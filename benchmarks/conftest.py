@@ -1,0 +1,33 @@
+"""Benchmark-suite fixtures.
+
+Compile-time measurements create millions of short-lived IR objects; as
+the session accumulates long-lived state (cached workloads, compiled
+kernels), full GC collections get slower and skew *later* benchmarks.
+Freezing the survivors between tests keeps the collector's work — and
+therefore the timings — stable across the whole suite.
+"""
+
+import gc
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _stable_gc():
+    gc.collect()
+    gc.freeze()
+    yield
+    gc.unfreeze()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every figure's paper-vs-measured table in the summary, so the
+    reproductions are visible even without ``-s``."""
+    from .common import ALL_REPORTS
+
+    populated = [report for report in ALL_REPORTS if report.rows]
+    if not populated:
+        return
+    terminalreporter.section("paper figure reproductions")
+    for report in populated:
+        terminalreporter.write(report.render() + "\n")

@@ -1,0 +1,68 @@
+"""Fig. 6 — CPU mapping-strategy design-space exploration.
+
+Paper: execution time of the speaker-ID inference for No-Vec, AVX2
+(vectorized without a vector library), +VecLib, +Shuffle. Key shape:
+vectorization *without* a vector math library is slower than scalar
+code; the vector library gives the big win; loads+shuffles add a small
+further improvement over gathers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_spn
+from repro.spn import JointProbability
+
+from .common import FigureReport, speaker_workload, time_callable
+
+report = FigureReport(
+    "Fig. 6",
+    "CPU configuration DSE, clean speech (execution time per sample)",
+    paper={
+        "no-vec": "1x (reference)",
+        "avx2 (no veclib)": "slower than no-vec",
+        "avx2 +veclib": "large improvement",
+        "avx2 +veclib +shuffle": "small further improvement",
+    },
+)
+
+CONFIGS = {
+    "no-vec": CompilerOptions(),
+    "avx2 (no veclib)": CompilerOptions(
+        vectorize=True, use_vector_library=False, use_shuffle=False
+    ),
+    "avx2 +veclib": CompilerOptions(vectorize=True, use_shuffle=False),
+    "avx2 +veclib +shuffle": CompilerOptions(vectorize=True, use_shuffle=True),
+}
+
+
+@pytest.mark.parametrize("name", list(CONFIGS))
+def test_fig06_cpu_config(benchmark, name):
+    workload = speaker_workload()
+    spn = workload["spns"][0]
+    inputs = workload["clean"]
+    query = JointProbability(batch_size=inputs.shape[0])
+    executable = compile_spn(spn, query, CONFIGS[name]).executable
+
+    benchmark(lambda: executable(inputs))
+    per_sample = benchmark.stats.stats.median / inputs.shape[0] * 1e6
+    report.add(name, per_sample)
+    benchmark.extra_info["us_per_sample"] = per_sample
+
+
+def test_fig06_summary(benchmark):
+    benchmark(lambda: None)
+    assert set(report.rows) == set(CONFIGS)
+    report.note(
+        "veclib effect reproduces: no-veclib is several times slower than +veclib"
+    )
+    report.note(
+        "documented deviation (EXPERIMENTS.md): in Python-ISA units the scalar "
+        "baseline is disproportionately slow, so 'avx2 (no veclib)' lands "
+        "between no-vec and +veclib instead of above no-vec as in the paper"
+    )
+    report.show()
+    # The veclib effect must reproduce strongly (paper: no-veclib loses big).
+    assert report.rows["avx2 (no veclib)"] > 3 * report.rows["avx2 +veclib"]
+    # Vectorized with veclib beats scalar.
+    assert report.rows["avx2 +veclib"] < report.rows["no-vec"]

@@ -1,0 +1,165 @@
+"""Fig. 7 — performance comparison on clean speech samples.
+
+Paper (speedup over SPFlow's Python execution, geo-mean across speakers):
+TF-CPU 1.5x, TF-GPU 1.38x, SPNC-GPU 352x, SPNC no-vec 564x, AVX2 801x,
+AVX-512 976x.
+
+Reproduction shape (DESIGN.md / EXPERIMENTS.md): absolute factors
+compress in Python-ISA units, but the key orderings hold —
+AVX-512 > AVX2 > GPU > TF-CPU > TF-GPU, compiled-vectorized beats every
+baseline, and every configuration beats the interpreted baseline.
+The documented deviation is the no-vec configuration, which lands near
+the bottom because scalar Python is disproportionately slow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GPUSession, Session, log_likelihood_python, translate_to_graph
+from repro.compiler import CompilerOptions, compile_spn
+from repro.spn import JointProbability
+
+from .common import FigureReport, geomean, scaled, speaker_workload
+
+report = FigureReport(
+    "Fig. 7",
+    "Clean speech: speedup over SPFlow Python (geo-mean across speakers)",
+    unit="speedup (x)",
+    paper={
+        "tf-cpu": "1.5x",
+        "tf-gpu": "1.38x",
+        "spnc gpu": "352x",
+        "spnc no-vec": "564x",
+        "spnc avx2": "801x",
+        "spnc avx512": "976x",
+    },
+)
+
+_state = {}
+
+
+def _setup():
+    if _state:
+        return _state
+    workload = speaker_workload()
+    inputs = workload["clean"]
+    x64 = inputs.astype(np.float64)
+    n = inputs.shape[0]
+
+    # The 1x reference: SPFlow's interpreted Python inference, measured
+    # on a subsample (its per-sample cost is size-independent).
+    probe = max(64, scaled(128))
+    baseline_per_sample = []
+    for spn in workload["spns"]:
+        import time
+
+        start = time.perf_counter()
+        log_likelihood_python(spn, x64[:probe])
+        baseline_per_sample.append((time.perf_counter() - start) / probe)
+    _state.update(
+        workload=workload,
+        inputs=inputs,
+        x64=x64,
+        n=n,
+        baseline=baseline_per_sample,
+        speedups={},
+    )
+    return _state
+
+
+def _record(name, per_sample_seconds):
+    state = _setup()
+    speedups = [b / t for b, t in zip(state["baseline"], per_sample_seconds)]
+    report.add(name, geomean(speedups))
+
+
+SPNC_CONFIGS = {
+    "spnc no-vec": CompilerOptions(),
+    "spnc avx2": CompilerOptions(vectorize=True, opt_level=2),
+    "spnc avx512": CompilerOptions(vectorize=True, vector_isa="avx512", opt_level=2),
+}
+
+
+@pytest.mark.parametrize("name", list(SPNC_CONFIGS))
+def test_fig07_spnc_cpu(benchmark, name):
+    state = _setup()
+    executables = [
+        compile_spn(
+            spn, JointProbability(batch_size=state["n"]), SPNC_CONFIGS[name]
+        ).executable
+        for spn in state["workload"]["spns"]
+    ]
+    inputs = state["inputs"]
+
+    def run_all():
+        for executable in executables:
+            executable(inputs)
+
+    benchmark(run_all)
+    per_spn = benchmark.stats.stats.median / len(executables) / state["n"]
+    _record(name, [per_spn] * len(executables))
+
+
+def test_fig07_spnc_gpu(benchmark):
+    state = _setup()
+    executables = [
+        compile_spn(
+            spn, JointProbability(batch_size=64), CompilerOptions(target="gpu")
+        ).executable
+        for spn in state["workload"]["spns"]
+    ]
+    inputs = state["inputs"]
+
+    def run_all():
+        for executable in executables:
+            executable(inputs)
+
+    benchmark(run_all)
+    per_sample = []
+    for executable in executables:
+        simulated = min(
+            (executable(inputs), executable.simulated_seconds())[1]
+            for _ in range(5)
+        )
+        per_sample.append(simulated / state["n"])
+    _record("spnc gpu", per_sample)
+
+
+def test_fig07_tensorflow(benchmark):
+    state = _setup()
+    sessions = [
+        Session(translate_to_graph(spn)) for spn in state["workload"]["spns"]
+    ]
+    x64 = state["x64"]
+
+    def run_all():
+        for session in sessions:
+            session.run(x64)
+
+    benchmark(run_all)
+    cpu_per_sample = []
+    gpu_per_sample = []
+    for session in sessions:
+        session.run(x64)
+        cpu_per_sample.append(session.last_simulated_seconds / state["n"])
+        gpu = GPUSession(session.graph)
+        gpu.run(x64)
+        gpu_per_sample.append(gpu.last_simulated_seconds / state["n"])
+    _record("tf-cpu", cpu_per_sample)
+    _record("tf-gpu", gpu_per_sample)
+
+
+def test_fig07_summary(benchmark):
+    benchmark(lambda: None)
+    report.note("1x = SPFlow interpreted Python inference (per-sample probe)")
+    report.note(
+        "documented deviation: no-vec ranks below TF here (scalar Python-ISA "
+        "penalty); all other orderings match the paper"
+    )
+    report.show()
+    rows = report.rows
+    # Orderings that must reproduce (paper Fig. 7).
+    assert rows["spnc avx512"] > rows["spnc avx2"] > rows["spnc gpu"]
+    assert rows["spnc gpu"] > rows["tf-cpu"] > rows["tf-gpu"]
+    # Everything is a genuine speedup over the Python baseline.
+    assert all(v > 1.0 for v in rows.values())

@@ -1,0 +1,49 @@
+"""Fig. 9 — GPU execution-time breakdown.
+
+Paper: "Data movements between host and device in both cases make up for
+more than 60% of the execution time", explaining why the GPU executable
+trails the vectorized CPU despite fast on-device compute.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_spn
+from repro.spn import JointProbability
+
+from .common import FigureReport, speaker_workload
+
+report = FigureReport(
+    "Fig. 9",
+    "GPU execution-time breakdown (fraction of simulated time)",
+    unit="fraction",
+    paper={
+        "clean / data movement": "> 0.60",
+        "clean / compute": "< 0.40",
+        "noisy / data movement": "> 0.60",
+        "noisy / compute": "< 0.40",
+    },
+)
+
+
+@pytest.mark.parametrize("split", ["clean", "noisy"])
+def test_fig09_breakdown(benchmark, split):
+    workload = speaker_workload()
+    spn = workload["spns"][0]
+    inputs = workload[split]
+    query = JointProbability(batch_size=64, support_marginal=(split == "noisy"))
+    executable = compile_spn(spn, query, CompilerOptions(target="gpu")).executable
+
+    benchmark(lambda: executable(inputs))
+    profile = executable.last_profile
+    report.add(f"{split} / data movement", profile.transfer_fraction)
+    report.add(f"{split} / compute", 1.0 - profile.transfer_fraction)
+    benchmark.extra_info["transfer_fraction"] = profile.transfer_fraction
+    benchmark.extra_info["bytes_moved"] = profile.bytes_moved
+
+
+def test_fig09_summary(benchmark):
+    benchmark(lambda: None)
+    report.note("fractions from the gpusim execution profile (device model)")
+    report.show()
+    assert report.rows["clean / data movement"] > 0.60
+    assert report.rows["noisy / data movement"] > 0.60

@@ -1,0 +1,83 @@
+"""Fig. 11 — RAT-SPN: optimization level vs compile & execution time (CPU).
+
+Paper: -O0 compiles fastest but executes slowest; -O1 through -O3
+significantly increase compilation time while improving execution time,
+with only small differences among them — the paper picks -O1.
+"""
+
+import time
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_spn
+from repro.spn import JointProbability
+
+from .common import FigureReport, rat_workload, time_callable
+
+report = FigureReport(
+    "Fig. 11",
+    "RAT-SPN optimization-level sweep, CPU",
+    unit="seconds",
+    paper={
+        "-O0: exec": "slowest execution",
+        "-O1: exec": "big improvement; paper's pick",
+        "-O2: exec": "similar to -O1",
+        "-O3: exec": "similar to -O1",
+    },
+)
+
+_compile_times = {}
+_exec_times = {}
+
+OPT_LEVELS = (0, 1, 2, 3)
+PARTITION_SIZE = 2500
+
+
+@pytest.mark.parametrize("opt", OPT_LEVELS)
+def test_fig11_opt_level(benchmark, opt):
+    workload = rat_workload()
+    spn = workload["roots"][0]
+    images = workload["images"].test
+    query = JointProbability(batch_size=images.shape[0])
+    options = CompilerOptions(
+        max_partition_size=PARTITION_SIZE, vectorize=True, opt_level=opt
+    )
+
+    holder = {}
+
+    def compile_once():
+        start = time.perf_counter()
+        holder["result"] = compile_spn(spn, query, options)
+        holder["compile_seconds"] = time.perf_counter() - start
+
+    benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    exec_seconds = time_callable(
+        lambda: holder["result"].executable(images), min_rounds=3
+    )
+    _compile_times[opt] = holder["compile_seconds"]
+    _exec_times[opt] = exec_seconds
+    report.add(f"-O{opt}: compile", holder["compile_seconds"])
+    report.add(f"-O{opt}: exec", exec_seconds)
+
+
+def test_fig11_summary(benchmark):
+    benchmark(lambda: None)
+    report.note(
+        "compile time grows with the optimization level, as in the paper"
+    )
+    report.note(
+        "documented deviation (EXPERIMENTS.md): the paper's large -O0 "
+        "execution penalty comes from LLVM -O0 keeping values in memory; "
+        "the Python-ISA backend has no spill analog, so CPU execution "
+        "times differ only mildly across levels (the GPU sweep, Fig. 13, "
+        "shows the full -O0 penalty via the retained host round trips)"
+    )
+    report.show()
+    # -O0 compiles fastest (allow a small noise margin on the cheap end);
+    # the expensive end (-O3) must clearly cost more than -O0.
+    assert _compile_times[0] <= min(_compile_times.values()) * 1.15
+    assert _compile_times[3] > _compile_times[0]
+    # Execution: the best optimized level beats -O0, and all levels stay
+    # within a narrow band (the paper's "differences are small").
+    assert min(_exec_times[i] for i in (1, 2, 3)) < _exec_times[0]
+    assert max(_exec_times.values()) / min(_exec_times.values()) < 1.6

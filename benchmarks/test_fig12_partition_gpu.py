@@ -1,0 +1,66 @@
+"""Fig. 12 — RAT-SPN: max partition size vs compile & execution time (GPU).
+
+Paper: for the GPU a smaller range of partition sizes is interesting —
+small kernels incur too much launch/communication overhead. Compilation
+time increases with partition size; execution time improves at a much
+slower rate; the paper picks 10k operations.
+"""
+
+import time
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_spn
+from repro.spn import JointProbability
+
+from .common import RAT_PARTITION_SIZES, FigureReport, rat_workload
+
+report = FigureReport(
+    "Fig. 12",
+    "RAT-SPN partition-size sweep, GPU",
+    unit="seconds",
+    paper={
+        "exec trend": "small kernels pay launch+transfer overhead",
+    },
+)
+
+_exec_times = {}
+_compile_times = {}
+
+
+@pytest.mark.parametrize("psize", RAT_PARTITION_SIZES)
+def test_fig12_partition_size(benchmark, psize):
+    workload = rat_workload()
+    spn = workload["roots"][0]
+    images = workload["images"].test
+    options = CompilerOptions(target="gpu", max_partition_size=psize)
+    query = JointProbability(batch_size=64)
+
+    holder = {}
+
+    def compile_once():
+        start = time.perf_counter()
+        holder["result"] = compile_spn(spn, query, options)
+        holder["compile_seconds"] = time.perf_counter() - start
+
+    benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    executable = holder["result"].executable
+    simulated = min(
+        (executable(images), executable.simulated_seconds())[1] for _ in range(5)
+    )
+    _compile_times[psize] = holder["compile_seconds"]
+    _exec_times[psize] = simulated
+    report.add(f"psize={psize:>6}: compile", holder["compile_seconds"])
+    report.add(f"psize={psize:>6}: exec (sim)", simulated)
+    benchmark.extra_info.update(
+        tasks=holder["result"].num_tasks, simulated_exec=simulated
+    )
+
+
+def test_fig12_summary(benchmark):
+    benchmark(lambda: None)
+    report.show()
+    sizes = sorted(_exec_times)
+    # Many small kernels pay launch overhead: the smallest partition size
+    # must execute slower than the largest.
+    assert _exec_times[sizes[0]] > _exec_times[sizes[-1]]

@@ -1,0 +1,75 @@
+"""Fig. 13 — RAT-SPN: optimization level vs compile & execution time (GPU).
+
+Paper: same shape as the CPU sweep — -O0 compiles fastest and executes
+slowest; -O1…-O3 cost more compile time with similar execution times.
+On the GPU path -O0 additionally keeps the naive host↔device round
+trips (no copy elimination), which shows up as extra transfer time.
+"""
+
+import time
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_spn
+from repro.spn import JointProbability
+
+from .common import FigureReport, rat_workload
+
+report = FigureReport(
+    "Fig. 13",
+    "RAT-SPN optimization-level sweep, GPU",
+    unit="seconds",
+    paper={
+        "-O0: exec (sim)": "slowest (naive copies)",
+        "-O1: exec (sim)": "paper's pick",
+    },
+)
+
+_exec_times = {}
+_compile_times = {}
+_bytes_moved = {}
+
+OPT_LEVELS = (0, 1, 2, 3)
+PARTITION_SIZE = 2500
+
+
+@pytest.mark.parametrize("opt", OPT_LEVELS)
+def test_fig13_opt_level(benchmark, opt):
+    workload = rat_workload()
+    spn = workload["roots"][0]
+    images = workload["images"].test
+    options = CompilerOptions(
+        target="gpu", max_partition_size=PARTITION_SIZE, opt_level=opt
+    )
+    query = JointProbability(batch_size=64)
+
+    holder = {}
+
+    def compile_once():
+        start = time.perf_counter()
+        holder["result"] = compile_spn(spn, query, options)
+        holder["compile_seconds"] = time.perf_counter() - start
+
+    benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    executable = holder["result"].executable
+    simulated = min(
+        (executable(images), executable.simulated_seconds())[1] for _ in range(5)
+    )
+    _compile_times[opt] = holder["compile_seconds"]
+    _exec_times[opt] = simulated
+    _bytes_moved[opt] = executable.last_profile.bytes_moved
+    report.add(f"-O{opt}: compile", holder["compile_seconds"])
+    report.add(f"-O{opt}: exec (sim)", simulated)
+
+
+def test_fig13_summary(benchmark):
+    benchmark(lambda: None)
+    report.note(
+        f"bytes moved per run: -O0 {_bytes_moved[0]:,} vs -O1 {_bytes_moved[1]:,} "
+        "(copy elimination)"
+    )
+    report.show()
+    assert _compile_times[0] == min(_compile_times.values())
+    assert _exec_times[0] == max(_exec_times.values())
+    # Copy elimination at -O1 reduces data movement.
+    assert _bytes_moved[1] < _bytes_moved[0]

@@ -1,0 +1,39 @@
+"""SPNC reproduction: an MLIR-style compiler for fast SPN inference.
+
+A self-contained Python reproduction of "SPNC: An Open-Source MLIR-Based
+Compiler for Fast Sum-Product Network Inference on CPUs and GPUs"
+(Sommer, Axenie, Koch — CGO 2022). See README.md for the architecture
+overview and DESIGN.md for the substitution policy of the simulated
+substrates.
+
+Public entry points:
+
+- :class:`CPUCompiler` / :class:`GPUCompiler` — single-call compile+run,
+- :func:`repro.compiler.compile_spn` — the full pipeline with options,
+- :mod:`repro.spn` — the SPFlow-equivalent modeling/learning frontend,
+- :mod:`repro.baselines` — the interpreted and graph-runtime baselines.
+"""
+
+from . import dialects  # registers all dialects for parsing/passes
+from .api import CPUCompiler, GPUCompiler
+from .compiler.pipeline import CompilationResult, CompilerOptions, compile_spn
+from .spn.nodes import Categorical, Gaussian, Histogram, Node, Product, Sum
+from .spn.query import JointProbability
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPUCompiler",
+    "GPUCompiler",
+    "CompilationResult",
+    "CompilerOptions",
+    "compile_spn",
+    "Categorical",
+    "Gaussian",
+    "Histogram",
+    "Node",
+    "Product",
+    "Sum",
+    "JointProbability",
+    "__version__",
+]

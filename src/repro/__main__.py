@@ -1,0 +1,8 @@
+"""``python -m repro`` — the command-line driver (see tools/cli.py)."""
+
+import sys
+
+from .tools.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Single-call user API, mirroring SPNC's Python interface.
+
+The paper (Section IV-A1): "The Python interface of the compiler also
+allows to start the compilation and execution of the compiled query
+directly from Python with as little as a single API call."
+
+Example::
+
+    from repro import CPUCompiler
+    log_probs = CPUCompiler(vectorize=True).log_likelihood(spn, inputs)
+
+Compilers cache the compiled kernel per SPN graph, so repeated
+``log_likelihood`` calls on the same model only compile once. The full
+exchange path (binary serialization → compiler frontend) is exercised
+when ``via_serialization=True``, matching the real SPFlow↔SPNC hand-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .compiler.frontend import parse_binary_query
+from .compiler.pipeline import CompilationResult, CompilerOptions, compile_spn
+from .spn.nodes import Node
+from .spn.query import JointProbability
+from .spn.serialization import deserialize, serialize
+
+
+class _CompilerBase:
+    """Shared compile-and-cache behaviour of the CPU/GPU entry points."""
+
+    target = "cpu"
+
+    def __init__(
+        self,
+        batch_size: int = 4096,
+        support_marginal: bool = False,
+        opt_level: int = 1,
+        max_partition_size: Optional[int] = None,
+        use_log_space: bool = True,
+        via_serialization: bool = False,
+        **target_options,
+    ):
+        self.batch_size = batch_size
+        self.support_marginal = support_marginal
+        self.opt_level = opt_level
+        self.max_partition_size = max_partition_size
+        self.use_log_space = use_log_space
+        self.via_serialization = via_serialization
+        self.target_options = target_options
+        self._cache: Dict[int, CompilationResult] = {}
+
+    def _options(self) -> CompilerOptions:
+        return CompilerOptions(
+            target=self.target,
+            opt_level=self.opt_level,
+            max_partition_size=self.max_partition_size,
+            use_log_space=self.use_log_space,
+            **self.target_options,
+        )
+
+    def compile(self, spn, query: Optional[JointProbability] = None) -> CompilationResult:
+        """Compile (or fetch the cached kernel for) an SPN.
+
+        ``spn`` may also be a list of class SPNs: they compile into a
+        single multi-head kernel sharing common sub-DAGs, whose
+        executable returns a ``[num_heads, batch]`` matrix.
+        """
+        key = (
+            tuple(id(s) for s in spn) if isinstance(spn, (list, tuple)) else id(spn)
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        query = query or JointProbability(
+            batch_size=self.batch_size, support_marginal=self.support_marginal
+        )
+        if self.via_serialization and not isinstance(spn, (list, tuple)):
+            # Round-trip through the binary exchange format, as the real
+            # SPFlow -> SPNC hand-off does.
+            spn, query = deserialize(serialize(spn, query))
+        result = compile_spn(spn, query, self._options())
+        self._cache[key] = result
+        return result
+
+    def log_likelihood(self, spn, inputs: np.ndarray) -> np.ndarray:
+        """Compile (cached) and execute a joint/marginal query.
+
+        Returns log likelihoods when compiling in log space (default),
+        linear probabilities otherwise. For a list of SPNs, the result
+        is a ``[num_heads, batch]`` matrix from one multi-head kernel.
+        """
+        result = self.compile(spn)
+        return result.executable(np.asarray(inputs))
+
+    def classify(self, spns, inputs: np.ndarray) -> np.ndarray:
+        """Arg-max classification over per-class SPNs (one shared kernel)."""
+        scores = self.log_likelihood(list(spns), inputs)
+        return np.argmax(scores, axis=0)
+
+
+class CPUCompiler(_CompilerBase):
+    """Compile SPN queries to (simulated-ISA) CPU kernels.
+
+    Keyword options beyond the shared ones: ``vectorize``,
+    ``vector_isa`` ("avx2" / "avx512" / "neon"), ``use_vector_library``,
+    ``use_shuffle``, ``num_threads``, ``superword_factor``.
+    """
+
+    target = "cpu"
+
+
+class GPUCompiler(_CompilerBase):
+    """Compile SPN queries to kernels for the simulated CUDA GPU.
+
+    Extra keyword option: ``gpu_block_size`` (defaults to the query batch
+    size, as in the paper).
+    """
+
+    target = "gpu"
+
+    def simulated_seconds(self, spn: Node) -> float:
+        """Simulated device time of the most recent execution for ``spn``."""
+        result = self._cache.get(id(spn))
+        if result is None:
+            raise RuntimeError("compile and execute the SPN first")
+        return result.executable.simulated_seconds()

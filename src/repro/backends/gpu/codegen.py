@@ -1,0 +1,282 @@
+"""GPU backend: gpu-dialect modules → simulator-executable Python.
+
+Two code generators cooperate:
+
+- :class:`GPUKernelCodeGenerator` compiles each ``gpu.func`` into a
+  thread-parallel function. The IR describes one thread's scalar
+  computation; the generated code evaluates it for *all* resident
+  threads at once by binding the thread-id ops to index arrays (the
+  simulator's warp-parallel execution). Every arithmetic handler is
+  therefore array-valued: selects become ``np.where``, libm calls use
+  the vector entry points, loads are NumPy gathers.
+- :class:`GPUHostCodeGenerator` extends the CPU generator with handlers
+  for the host-side driver ops (``gpu.alloc``/``gpu.memcpy``/
+  ``gpu.launch_func``), which call into the :class:`GPUSimulator`
+  runtime bound as ``_gpu``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ...dialects import gpu as gpu_dialect
+from ...ir.ops import Operation
+from ...ir.types import IndexType, IntegerType
+from ...gpusim.simulator import GPUSimulator
+from ..cpu.codegen import (
+    CodeGenerator,
+    CodegenError,
+    GeneratedModule,
+    _HANDLERS,
+    _binary,
+    _dtype_expr,
+    numpy_dtype,
+)
+
+# --- device kernel code generation -----------------------------------------------
+
+
+_KERNEL_HANDLERS: Dict[str, Any] = dict(_HANDLERS)
+
+
+def kernel_handles(op_name: str):
+    def register(fn):
+        _KERNEL_HANDLERS[op_name] = fn
+        return fn
+
+    return register
+
+
+@kernel_handles("gpu.thread_id")
+def _k_thread_id(cg, op, indent):
+    cg._expr_result(op, indent, "(_lin % _bdim)")
+
+
+@kernel_handles("gpu.block_id")
+def _k_block_id(cg, op, indent):
+    cg._expr_result(op, indent, "(_lin // _bdim)")
+
+
+@kernel_handles("gpu.block_dim")
+def _k_block_dim(cg, op, indent):
+    cg._expr_result(op, indent, "_bdim")
+
+
+@kernel_handles("gpu.grid_dim")
+def _k_grid_dim(cg, op, indent):
+    cg._expr_result(op, indent, "((_nthreads + _bdim - 1) // _bdim)")
+
+
+@kernel_handles("gpu.return")
+def _k_return(cg, op, indent):
+    cg._line(indent, "return")
+
+
+@kernel_handles("memref.load")
+def _k_load(cg, op, indent):
+    buf = cg._name_of(op.operands[0])
+    idx = ", ".join(cg._name_of(v) for v in op.operands[1:])
+    cg._expr_result(op, indent, f"{buf}[{idx}]")
+
+
+@kernel_handles("memref.store")
+def _k_store(cg, op, indent):
+    value = cg._name_of(op.operands[0])
+    buf = cg._name_of(op.operands[1])
+    idx = ", ".join(cg._name_of(v) for v in op.operands[2:])
+    cg._line(indent, f"{buf}[{idx}] = {value}")
+
+
+@kernel_handles("arith.select")
+def _k_select(cg, op, indent):
+    cond, yes, no = (cg._name_of(v) for v in op.operands)
+    cg._expr_result(op, indent, f"np.where({cond}, {yes}, {no})")
+
+
+@kernel_handles("arith.andi")
+def _k_andi(cg, op, indent):
+    _binary(cg, op, indent, "&")
+
+
+@kernel_handles("arith.ori")
+def _k_ori(cg, op, indent):
+    _binary(cg, op, indent, "|")
+
+
+@kernel_handles("arith.fptosi")
+def _k_fptosi(cg, op, indent):
+    a = cg._name_of(op.operands[0])
+    cg._expr_result(op, indent, f"{a}.astype(np.int64)")
+
+
+@kernel_handles("arith.sitofp")
+def _k_sitofp(cg, op, indent):
+    a = cg._name_of(op.operands[0])
+    cg._expr_result(op, indent, f"{a}.astype({_dtype_expr(op.results[0].type)})")
+
+
+@kernel_handles("arith.index_cast")
+def _k_index_cast(cg, op, indent):
+    cg._expr_result(op, indent, cg._name_of(op.operands[0]))
+
+
+def _k_float_cast(cg, op, indent):
+    a = cg._name_of(op.operands[0])
+    cg._expr_result(op, indent, f"{a}.astype({_dtype_expr(op.results[0].type)})")
+
+
+_KERNEL_HANDLERS["arith.extf"] = _k_float_cast
+_KERNEL_HANDLERS["arith.truncf"] = _k_float_cast
+
+
+def _k_math(cg, op, indent, fn: str):
+    a = cg._name_of(op.operands[0])
+    cg._expr_result(op, indent, f"_v{fn}({a})")
+
+
+for _name, _fn in (("math.log", "log"), ("math.exp", "exp"),
+                   ("math.log1p", "log1p"), ("math.sqrt", "sqrt")):
+    def _make(fn):
+        def handler(cg, op, indent):
+            _k_math(cg, op, indent, fn)
+        return handler
+    _KERNEL_HANDLERS[_name] = _make(_fn)
+
+
+@kernel_handles("arith.minf")
+def _k_minf(cg, op, indent):
+    a, b = (cg._name_of(v) for v in op.operands)
+    cg._expr_result(op, indent, f"np.minimum({a}, {b})")
+
+
+@kernel_handles("arith.maxf")
+def _k_maxf(cg, op, indent):
+    a, b = (cg._name_of(v) for v in op.operands)
+    cg._expr_result(op, indent, f"np.maximum({a}, {b})")
+
+
+class GPUKernelCodeGenerator(CodeGenerator):
+    """Compiles gpu.func kernels to thread-parallel NumPy functions."""
+
+    HANDLERS = _KERNEL_HANDLERS
+
+    def generate_kernels(self) -> GeneratedModule:
+        for gpu_module in self.module.body_block.ops:
+            if gpu_module.op_name != gpu_dialect.GPUModuleOp.name:
+                continue
+            for kernel in gpu_module.body_block.ops:
+                if kernel.op_name == gpu_dialect.GPUFuncOp.name:
+                    self._emit_kernel(kernel)
+        source = "\n".join(self.lines) + "\n"
+        self.stats.source_lines = len(self.lines)
+        code = compile(source, "<spnc-gpu-kernel>", "exec")
+        namespace = dict(self.globals)
+        exec(code, namespace)
+        functions = {
+            name: namespace[name]
+            for name in namespace
+            if callable(namespace.get(name))
+            and not name.startswith("_")
+            and name != "np"
+        }
+        return GeneratedModule(source, namespace, functions, self.stats)
+
+    def _emit_kernel(self, kernel: Operation) -> None:
+        self.stats.functions += 1
+        self._names = {}
+        from ..cpu.codegen import _NamePool
+
+        self._pool = _NamePool()
+        args = kernel.body_block.arguments
+        arg_names = [self._assign_fixed(arg, f"a{i}") for i, arg in enumerate(args)]
+        name = kernel.attributes["sym_name"]
+        self.lines.append(f"def {name}(_nthreads, _bdim, {', '.join(arg_names)}):")
+        self._line(1, "_lin = np.arange(_nthreads)")
+        self._emit_block(kernel.body_block, indent=1)
+        self.lines.append("")
+
+
+# --- host code generation -----------------------------------------------------------
+
+
+_HOST_HANDLERS: Dict[str, Any] = dict(_HANDLERS)
+
+
+def host_handles(op_name: str):
+    def register(fn):
+        _HOST_HANDLERS[op_name] = fn
+        return fn
+
+    return register
+
+
+@host_handles("gpu.module")
+def _h_gpu_module(cg, op, indent):
+    pass  # kernels are compiled separately and registered on the simulator
+
+
+@host_handles("gpu.alloc")
+def _h_gpu_alloc(cg, op, indent):
+    ty = op.results[0].type
+    dims: List[str] = []
+    operand_iter = iter(cg._name_of(v) for v in op.operands)
+    for dim in ty.shape:
+        dims.append(next(operand_iter) if dim is None else str(dim))
+    shape = ", ".join(dims) + ("," if len(dims) == 1 else "")
+    cg._expr_result(
+        op, indent, f"_gpu.alloc(({shape}), {_dtype_expr(ty.element_type)})"
+    )
+
+
+@host_handles("gpu.dealloc")
+def _h_gpu_dealloc(cg, op, indent):
+    cg._line(indent, f"_gpu.dealloc({cg._name_of(op.operands[0])})")
+
+
+@host_handles("gpu.memcpy")
+def _h_gpu_memcpy(cg, op, indent):
+    dst = cg._name_of(op.operands[0])
+    src = cg._name_of(op.operands[1])
+    cg._line(indent, f"_gpu.memcpy({dst}, {src}, {op.attributes['direction']!r})")
+
+
+@host_handles("gpu.launch_func")
+def _h_gpu_launch(cg, op, indent):
+    grid = cg._name_of(op.grid_size)
+    block = cg._name_of(op.block_size)
+    valid = cg._name_of(op.valid_count)
+    args = ", ".join(cg._name_of(v) for v in op.kernel_args)
+    cg._line(
+        indent,
+        f"_gpu.launch({op.kernel_name!r}, {grid}, {block}, {valid}, [{args}])",
+    )
+
+
+class GPUHostCodeGenerator(CodeGenerator):
+    """Compiles the host coordination function (func.func + gpu driver ops)."""
+
+    HANDLERS = _HOST_HANDLERS
+
+    def __init__(self, module: Operation, simulator: GPUSimulator):
+        super().__init__(module)
+        self.globals["_gpu"] = simulator
+
+
+def generate_gpu_module(module: Operation, simulator: GPUSimulator):
+    """Compile kernels + host code; returns (host GeneratedModule, kernels).
+
+    Kernels are registered on ``simulator`` with a register-pressure
+    estimate derived from their IR size.
+    """
+    kernel_gen = GPUKernelCodeGenerator(module)
+    kernels = kernel_gen.generate_kernels()
+    for gpu_module in module.body_block.ops:
+        if gpu_module.op_name != gpu_dialect.GPUModuleOp.name:
+            continue
+        for kernel in gpu_module.kernels():
+            name = kernel.sym_name
+            simulator.register_kernel(name, kernels.get(name))
+    host = GPUHostCodeGenerator(module, simulator).generate()
+    return host, kernels

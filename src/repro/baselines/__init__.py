@@ -1,0 +1,25 @@
+"""Baseline inference implementations the paper compares against."""
+
+from .rat_tensorized import TensorizedRatExecutor, TensorizedRatGPU
+from .spflow_python import log_likelihood_batched, log_likelihood_python
+from .tfgraph import (
+    GPUSession,
+    MarginalizationUnsupported,
+    Session,
+    TFGPUModel,
+    TFGraph,
+    translate_to_graph,
+)
+
+__all__ = [
+    "TensorizedRatExecutor",
+    "TensorizedRatGPU",
+    "log_likelihood_batched",
+    "log_likelihood_python",
+    "GPUSession",
+    "MarginalizationUnsupported",
+    "Session",
+    "TFGPUModel",
+    "TFGraph",
+    "translate_to_graph",
+]

@@ -1,0 +1,21 @@
+"""The SPNC compiler: frontend, dialect lowerings, partitioning, targets."""
+
+from .frontend import build_hispn_module, parse_binary_query
+from .lower_to_lospn import lower_to_lospn
+from .partitioning import PartitioningOptions, partition_kernel
+from .bufferization import bufferize, insert_deallocations, remove_result_copies
+from .pipeline import CompilationResult, CompilerOptions, compile_spn
+
+__all__ = [
+    "build_hispn_module",
+    "parse_binary_query",
+    "lower_to_lospn",
+    "PartitioningOptions",
+    "partition_kernel",
+    "bufferize",
+    "insert_deallocations",
+    "remove_result_copies",
+    "CompilationResult",
+    "CompilerOptions",
+    "compile_spn",
+]

@@ -1,0 +1,248 @@
+"""Bufferization of LoSPN modules (paper Section IV-A5).
+
+Up to this point the LoSPN module uses the ``tensor`` type for batches,
+because value semantics are easier to reason about. In preparation for
+target lowering, bufferization rewrites kernels and tasks to operate on
+``memref`` buffers:
+
+- the kernel signature gains one output memref argument per result tensor
+  and returns nothing,
+- every intermediate task result tensor becomes a ``memref.alloc`` sized
+  by the dynamic batch dimension,
+- ``batch_extract`` becomes ``batch_read``, ``batch_collect`` becomes
+  ``batch_write`` into the task's output buffer argument.
+
+Bufferization itself is deliberately naive: the final task writes into a
+fresh buffer which is then ``memref.copy``'d into the kernel's output
+argument. Two follow-up passes (run at -O1 and above) complete the
+picture, mirroring the paper:
+
+- :func:`remove_result_copies` — write directly into the final output
+  buffer instead of copying an intermediate buffer, and
+- :func:`insert_deallocations` — the ``BufferDeallocation`` equivalent,
+  releasing every remaining intermediate buffer at the end of the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dialects import lospn, memref as memref_dialect
+from ..ir import Builder, ModuleOp
+from ..ir.ops import IRError, Operation
+from ..ir.types import MemRefType, TensorType
+from ..ir.value import Value
+
+
+def _memref_of(tensor_type: TensorType) -> MemRefType:
+    if not isinstance(tensor_type, TensorType):
+        raise IRError(f"expected a tensor type, got {tensor_type}")
+    return MemRefType(tensor_type.shape, tensor_type.element_type)
+
+
+def bufferize(module: ModuleOp) -> ModuleOp:
+    """Rewrite all kernels in ``module`` from tensor to memref form."""
+    new_module = ModuleOp.build()
+    builder = Builder.at_end(new_module.body)
+    for op in module.body_block.ops:
+        if op.op_name == lospn.KernelOp.name:
+            _bufferize_kernel(op, builder)
+        else:
+            builder.insert(op.clone({}))
+    return new_module
+
+
+def _bufferize_kernel(kernel: Operation, builder: Builder) -> None:
+    arg_memrefs = [_memref_of(t) for t in kernel.arg_types]
+    result_memrefs = [_memref_of(t) for t in kernel.result_types]
+    new_kernel = builder.create(
+        lospn.KernelOp,
+        kernel.sym_name,
+        arg_memrefs + result_memrefs,
+        [],
+    )
+    kb = Builder.at_end(new_kernel.body)
+
+    value_map: Dict[Value, Value] = {}
+    for old_arg, new_arg in zip(
+        kernel.body.arguments, new_kernel.body.arguments
+    ):
+        value_map[old_arg] = new_arg
+    output_args = new_kernel.body.arguments[len(arg_memrefs):]
+
+    # Batch count for dynamic allocation sizes, taken from the first input.
+    batch_dim: Optional[Value] = None
+
+    def get_batch_dim() -> Value:
+        nonlocal batch_dim
+        if batch_dim is None:
+            batch_dim = kb.create(
+                memref_dialect.DimOp, new_kernel.body.arguments[0], 0
+            ).result
+        return batch_dim
+
+    # Which tensor values are returned by the kernel (positionally)?
+    returned: Dict[Value, int] = {}
+    terminator = kernel.body.terminator
+    if terminator is not None and terminator.op_name == lospn.KernelReturnOp.name:
+        for i, value in enumerate(terminator.operands):
+            returned[value] = i
+
+    buffer_of: Dict[Value, Value] = {}
+
+    for op in kernel.body.ops:
+        if op.op_name == lospn.TaskOp.name:
+            _bufferize_task(op, kb, value_map, buffer_of, get_batch_dim)
+        elif op.op_name == lospn.KernelReturnOp.name:
+            for value, index in returned.items():
+                buffer = buffer_of.get(value)
+                if buffer is None:
+                    raise IRError("kernel returns a tensor with no backing buffer")
+                kb.create(memref_dialect.CopyOp, buffer, output_args[index])
+            kb.create(lospn.KernelReturnOp, [])
+        else:
+            kb.insert(op.clone(value_map))
+
+
+def _bufferize_task(
+    task: Operation,
+    kb: Builder,
+    value_map: Dict[Value, Value],
+    buffer_of: Dict[Value, Value],
+    get_batch_dim,
+) -> None:
+    # Inputs: kernel args map directly; task-result tensors map to their
+    # backing buffers.
+    new_inputs: List[Value] = []
+    for operand in task.operands:
+        if operand in value_map:
+            new_inputs.append(value_map[operand])
+        elif operand in buffer_of:
+            new_inputs.append(buffer_of[operand])
+        else:
+            raise IRError("task input has no bufferized equivalent")
+
+    # Allocate a buffer per task result.
+    result_buffers: List[Value] = []
+    for res in task.results:
+        mem_type = _memref_of(res.type)
+        dynamic = [get_batch_dim()] if None in mem_type.shape else []
+        alloc = kb.create(memref_dialect.AllocOp, mem_type, dynamic)
+        result_buffers.append(alloc.result)
+        buffer_of[res] = alloc.result
+
+    new_task = kb.create(
+        lospn.TaskOp, new_inputs + result_buffers, task.batch_size, []
+    )
+    tb = Builder.at_end(new_task.body)
+
+    inner_map: Dict[Value, Value] = {
+        task.batch_index: new_task.batch_index,
+    }
+    for old_arg, new_arg in zip(task.input_args, new_task.input_args):
+        inner_map[old_arg] = new_arg
+    output_buffer_args = new_task.input_args[len(new_inputs):]
+
+    # The i-th batch_collect in the region materializes the i-th task result.
+    collect_ops = [
+        op for op in task.body.ops if op.op_name == lospn.BatchCollectOp.name
+    ]
+    if len(collect_ops) != len(task.results):
+        raise IRError("task must collect exactly one tensor per result")
+    collect_target: Dict[int, int] = {
+        id(collect): i for i, collect in enumerate(collect_ops)
+    }
+
+    for op in task.body.ops:
+        if op.op_name == lospn.BatchExtractOp.name:
+            read = tb.create(
+                lospn.BatchReadOp,
+                inner_map[op.operands[0]],
+                inner_map.get(op.operands[1], op.operands[1]),
+                static_index=op.static_index,
+                transposed=op.transposed,
+            )
+            inner_map[op.results[0]] = read.result
+        elif op.op_name == lospn.BatchCollectOp.name:
+            buffer_arg = output_buffer_args[collect_target[id(op)]]
+            tb.create(
+                lospn.BatchWriteOp,
+                buffer_arg,
+                inner_map.get(op.batch_index, op.batch_index),
+                [inner_map[v] for v in op.result_values],
+                transposed=op.transposed,
+            )
+        else:
+            tb.insert(op.clone(inner_map))
+
+
+# --- copy removal (write directly to the kernel output) -----------------------------
+
+
+def remove_result_copies(module: ModuleOp) -> int:
+    """Eliminate alloc+copy pairs feeding kernel outputs (in place).
+
+    Pattern: a task writes buffer A (its last operand), A's only other use
+    is ``memref.copy(A, out)`` where ``out`` is a kernel argument. The task
+    is redirected to write ``out`` directly; the copy and the allocation
+    are erased. Returns the number of copies removed.
+    """
+    removed = 0
+    for kernel in module.body_block.ops:
+        if kernel.op_name != lospn.KernelOp.name:
+            continue
+        kernel_args = set(kernel.body.arguments)
+        for op in kernel.body.ops:
+            if op.op_name != memref_dialect.CopyOp.name:
+                continue
+            source, target = op.source, op.target
+            if target not in kernel_args:
+                continue
+            alloc = source.defining_op
+            if alloc is None or alloc.op_name != memref_dialect.AllocOp.name:
+                continue
+            users = source.users
+            if len(users) != 2:  # the producing task + this copy
+                continue
+            task = next((u for u in users if u.op_name == lospn.TaskOp.name), None)
+            if task is None:
+                continue
+            for i, operand in enumerate(task.operands):
+                if operand is source:
+                    task.set_operand(i, target)
+            op.erase()
+            if not alloc.results[0].has_uses:
+                alloc.erase()
+            removed += 1
+    return removed
+
+
+# --- buffer deallocation ----------------------------------------------------------
+
+
+def insert_deallocations(module: ModuleOp) -> int:
+    """Insert ``memref.dealloc`` for every intermediate buffer (in place).
+
+    Equivalent of MLIR's BufferDeallocation pass, with kernel-scope
+    lifetimes: every ``memref.alloc`` inside a kernel is released right
+    before the kernel's terminator. Returns the number of deallocations
+    inserted.
+    """
+    inserted = 0
+    for kernel in module.body_block.ops:
+        if kernel.op_name != lospn.KernelOp.name:
+            continue
+        terminator = kernel.body.terminator
+        allocs = [
+            op for op in kernel.body.ops
+            if op.op_name == memref_dialect.AllocOp.name
+        ]
+        builder = (
+            Builder.before_op(terminator)
+            if terminator is not None
+            else Builder.at_end(kernel.body)
+        )
+        for alloc in allocs:
+            builder.create(memref_dialect.DeallocOp, alloc.results[0])
+            inserted += 1
+    return inserted

@@ -1,0 +1,336 @@
+"""Shared lowering emitters: LoSPN body arithmetic → arith/math/vector ops.
+
+Both target lowerings (CPU scalar loop, CPU vectorized loop, GPU kernel
+body) need the same translation of SPN node semantics into elementary
+operations, differing only in the value *shape* (scalar vs W-lane vector)
+and in the discrete-leaf strategy (table lookup on CPU, select cascade on
+GPU — paper Section IV-C). The two emitter classes below capture those
+variations behind one interface:
+
+- probability multiplication: ``mulf`` in linear space, ``addf`` in log
+  space,
+- probability addition: ``addf`` in linear space, a numerically stable
+  ``max + log1p(exp(min - max))`` expansion in log space,
+- Gaussian leaves: PDF evaluation (linear) or the fused
+  ``c1 - (x-m)^2 * c2`` form (log),
+- discrete leaves: clamped table lookup or select cascade, and
+- marginalization: NaN evidence short-circuits to probability 1 (log 0),
+  with a NaN-safe placeholder feeding the index/PDF computation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dialects import arith, math_dialect, memref as memref_dialect, vector as vector_dialect
+from ..ir.builder import Builder
+from ..ir.ops import IRError, Operation
+from ..ir.types import FloatType, IntegerType, Type, VectorType, i1, i64, index as index_type
+from ..ir.value import Value
+
+LOG_2PI = math.log(2.0 * math.pi)
+
+#: Mass assigned to values outside a histogram's covered range; mirrors
+#: the reference implementation (spn.nodes.Histogram.EPSILON).
+HISTOGRAM_EPSILON = 1e-12
+
+
+class ScalarEmitter:
+    """Emits scalar arith/math ops for LoSPN body semantics.
+
+    Args:
+        builder: insertion point for per-sample ops (inside the loop).
+        table_builder: insertion point for hoisted constant tables
+            (function entry); tables must not be re-materialized per
+            sample.
+        compute_type: the storage float type (f32/f64) of the computation.
+        log_space: whether values represent log probabilities.
+        discrete_mode: "lookup" (CPU table load) or "cascade" (GPU selects).
+    """
+
+    def __init__(
+        self,
+        builder: Builder,
+        table_builder: Builder,
+        compute_type: FloatType,
+        log_space: bool,
+        discrete_mode: str = "lookup",
+    ):
+        if discrete_mode not in ("lookup", "cascade"):
+            raise IRError(f"unknown discrete leaf mode '{discrete_mode}'")
+        self.builder = builder
+        self.table_builder = table_builder
+        self.compute_type = compute_type
+        self.log_space = log_space
+        self.discrete_mode = discrete_mode
+        self._table_cache: Dict[Tuple, Value] = {}
+
+    # -- shape hooks (overridden by the vector emitter) -------------------------
+
+    @property
+    def value_type(self) -> Type:
+        return self.compute_type
+
+    def index_type(self) -> Type:
+        return i64
+
+    def splat(self, value: Value) -> Value:
+        """Adapt a scalar constant to the emitter's value shape."""
+        return value
+
+    # -- basics -------------------------------------------------------------------
+
+    def constant(self, value: float) -> Value:
+        scalar = self.builder.create(arith.ConstantOp, value, self.compute_type).result
+        return self.splat(scalar)
+
+    def int_constant(self, value: int) -> Value:
+        scalar = self.builder.create(arith.ConstantOp, value, i64).result
+        return self.splat_int(scalar)
+
+    def splat_int(self, value: Value) -> Value:
+        return value
+
+    def convert_input(self, x: Value) -> Value:
+        """Convert a loaded input feature to the computation float type."""
+        xt = x.type
+        elem = xt.element_type if isinstance(xt, VectorType) else xt
+        if elem == self.compute_type:
+            return x
+        target = (
+            VectorType(xt.shape, self.compute_type)
+            if isinstance(xt, VectorType)
+            else self.compute_type
+        )
+        if isinstance(elem, FloatType) and elem.width < self.compute_type.width:
+            return self.builder.create(arith.ExtFOp, x, target).result
+        if isinstance(elem, FloatType):
+            return self.builder.create(arith.TruncFOp, x, target).result
+        return self.builder.create(arith.SIToFPOp, x, target).result
+
+    # -- probability arithmetic -------------------------------------------------------
+
+    def mul(self, a: Value, b: Value) -> Value:
+        if self.log_space:
+            return self.builder.create(arith.AddFOp, a, b).result
+        return self.builder.create(arith.MulFOp, a, b).result
+
+    def add(self, a: Value, b: Value) -> Value:
+        if not self.log_space:
+            return self.builder.create(arith.AddFOp, a, b).result
+        # log-add-exp: max(a,b) + log1p(exp(min - max)), guarded so that
+        # (-inf, -inf) stays -inf instead of becoming NaN.
+        b_ = self.builder
+        a_ge_b = b_.create(arith.CmpFOp, "oge", a, b).result
+        hi = b_.create(arith.SelectOp, a_ge_b, a, b).result
+        lo = b_.create(arith.SelectOp, a_ge_b, b, a).result
+        diff = b_.create(arith.SubFOp, lo, hi).result
+        exp = b_.create(math_dialect.ExpOp, diff).result
+        log1p = b_.create(math_dialect.Log1pOp, exp).result
+        combined = b_.create(arith.AddFOp, hi, log1p).result
+        neg_inf = self.constant(-math.inf)
+        is_neg_inf = b_.create(arith.CmpFOp, "oeq", hi, neg_inf).result
+        return b_.create(arith.SelectOp, is_neg_inf, neg_inf, combined).result
+
+    def lo_constant(self, payload: float) -> Value:
+        """A lo_spn.constant payload (already in target space)."""
+        return self.constant(payload)
+
+    # -- marginalization helper ----------------------------------------------------------
+
+    def _with_marginal(self, x: Value, emit_fn) -> Value:
+        """Evaluate ``emit_fn(safe_x)`` with NaN evidence marginalized out."""
+        b_ = self.builder
+        is_nan = b_.create(arith.CmpFOp, "une", x, x).result
+        zero = self.constant(0.0)
+        safe_x = b_.create(arith.SelectOp, is_nan, zero, x).result
+        raw = emit_fn(safe_x)
+        one = self.constant(0.0 if self.log_space else 1.0)
+        return b_.create(arith.SelectOp, is_nan, one, raw).result
+
+    # -- leaves ------------------------------------------------------------------------
+
+    def gaussian(
+        self, x: Value, mean: float, stddev: float, support_marginal: bool
+    ) -> Value:
+        x = self.convert_input(x)
+        if support_marginal:
+            return self._with_marginal(x, lambda v: self._gaussian_raw(v, mean, stddev))
+        return self._gaussian_raw(x, mean, stddev)
+
+    def _gaussian_raw(self, x: Value, mean: float, stddev: float) -> Value:
+        b_ = self.builder
+        mean_c = self.constant(mean)
+        centered = b_.create(arith.SubFOp, x, mean_c).result
+        squared = b_.create(arith.MulFOp, centered, centered).result
+        inv_two_var = 1.0 / (2.0 * stddev * stddev)
+        if self.log_space:
+            # log N(x) = c1 - (x-m)^2 * c2
+            c1 = -math.log(stddev) - 0.5 * LOG_2PI
+            scaled = b_.create(
+                arith.MulFOp, squared, self.constant(inv_two_var)
+            ).result
+            return b_.create(arith.SubFOp, self.constant(c1), scaled).result
+        coefficient = 1.0 / (stddev * math.sqrt(2.0 * math.pi))
+        neg_scaled = b_.create(
+            arith.MulFOp, squared, self.constant(-inv_two_var)
+        ).result
+        exp = b_.create(math_dialect.ExpOp, neg_scaled).result
+        return b_.create(arith.MulFOp, exp, self.constant(coefficient)).result
+
+    def categorical(
+        self, x: Value, probabilities: Sequence[float], support_marginal: bool
+    ) -> Value:
+        def emit(v: Value) -> Value:
+            idx = self._index_from(v, offset=0.0, scale=1.0)
+            idx = self._clamp_index(idx, len(probabilities))
+            return self._discrete_value(idx, self._target_space(probabilities))
+
+        x = self.convert_input(x)
+        if support_marginal:
+            return self._with_marginal(x, emit)
+        return emit(x)
+
+    def histogram(
+        self,
+        x: Value,
+        bounds: Sequence[float],
+        probabilities: Sequence[float],
+        support_marginal: bool,
+    ) -> Value:
+        bounds = list(bounds)
+        widths = np.diff(bounds)
+        if not np.allclose(widths, widths[0], rtol=1e-6):
+            raise IRError(
+                "histogram lowering requires uniform bucket widths; "
+                "re-discretize the leaf or use a categorical leaf"
+            )
+        lo, width = float(bounds[0]), float(widths[0])
+        hi = float(bounds[-1])
+        eps = math.log(HISTOGRAM_EPSILON) if self.log_space else HISTOGRAM_EPSILON
+
+        def emit(v: Value) -> Value:
+            b_ = self.builder
+            idx = self._index_from(v, offset=lo, scale=1.0 / width)
+            idx = self._clamp_index(idx, len(probabilities))
+            value = self._discrete_value(idx, self._target_space(probabilities))
+            ge_lo = b_.create(arith.CmpFOp, "oge", v, self.constant(lo)).result
+            lt_hi = b_.create(arith.CmpFOp, "olt", v, self.constant(hi)).result
+            in_range = b_.create(arith.AndIOp, ge_lo, lt_hi).result
+            return b_.create(
+                arith.SelectOp, in_range, value, self.constant(eps)
+            ).result
+
+        x = self.convert_input(x)
+        if support_marginal:
+            return self._with_marginal(x, emit)
+        return emit(x)
+
+    # -- discrete machinery ----------------------------------------------------------------
+
+    def _target_space(self, probabilities: Sequence[float]) -> np.ndarray:
+        probs = np.asarray(probabilities, dtype=np.float64)
+        if self.log_space:
+            with np.errstate(divide="ignore"):
+                probs = np.log(probs)
+        dtype = np.float32 if self.compute_type.width == 32 else np.float64
+        return probs.astype(dtype)
+
+    def _index_from(self, v: Value, offset: float, scale: float) -> Value:
+        """Compute clamped bucket index floor((v - offset) * scale)."""
+        b_ = self.builder
+        shifted = v
+        if offset != 0.0:
+            shifted = b_.create(arith.SubFOp, v, self.constant(offset)).result
+        if scale != 1.0:
+            shifted = b_.create(arith.MulFOp, shifted, self.constant(scale)).result
+        return b_.create(arith.FPToSIOp, shifted, self.index_type()).result
+
+    def _clamp_index(self, idx: Value, count: int) -> Value:
+        b_ = self.builder
+        zero = self.int_constant(0)
+        top = self.int_constant(count - 1)
+        lt_zero = b_.create(arith.CmpIOp, "slt", idx, zero).result
+        idx = b_.create(arith.SelectOp, lt_zero, zero, idx).result
+        gt_top = b_.create(arith.CmpIOp, "sgt", idx, top).result
+        return b_.create(arith.SelectOp, gt_top, top, idx).result
+
+    def _discrete_value(self, idx: Value, table: np.ndarray) -> Value:
+        if self.discrete_mode == "cascade":
+            return self._select_cascade(idx, table)
+        return self._table_lookup(idx, table)
+
+    def _table_lookup(self, idx: Value, table: np.ndarray) -> Value:
+        buffer = self._get_table(table)
+        b_ = self.builder
+        as_index = b_.create(arith.IndexCastOp, idx, index_type).result
+        return b_.create(memref_dialect.LoadOp, buffer, [as_index]).result
+
+    def _get_table(self, table: np.ndarray) -> Value:
+        key = (table.dtype.str, table.tobytes())
+        cached = self._table_cache.get(key)
+        if cached is None:
+            cached = self.table_builder.create(
+                memref_dialect.ConstantBufferOp, table, self.compute_type
+            ).result
+            self._table_cache[key] = cached
+        return cached
+
+    def _select_cascade(self, idx: Value, table: np.ndarray) -> Value:
+        b_ = self.builder
+        result = self.constant(float(table[-1]))
+        for position in range(len(table) - 2, -1, -1):
+            matches = b_.create(
+                arith.CmpIOp, "eq", idx, self.int_constant(position)
+            ).result
+            result = b_.create(
+                arith.SelectOp, matches, self.constant(float(table[position])), result
+            ).result
+        return result
+
+
+class VectorEmitter(ScalarEmitter):
+    """Emits W-lane vector ops for LoSPN body semantics.
+
+    Reuses every ScalarEmitter recipe; the overrides below lift constants
+    to broadcasts, indexes to integer vectors, and table lookups to
+    vector gathers.
+    """
+
+    def __init__(
+        self,
+        builder: Builder,
+        table_builder: Builder,
+        compute_type: FloatType,
+        log_space: bool,
+        lanes: int,
+        discrete_mode: str = "lookup",
+    ):
+        super().__init__(builder, table_builder, compute_type, log_space, discrete_mode)
+        self.lanes = lanes
+
+    @property
+    def value_type(self) -> VectorType:
+        return VectorType((self.lanes,), self.compute_type)
+
+    def index_type(self) -> VectorType:
+        return VectorType((self.lanes,), i64)
+
+    def splat(self, value: Value) -> Value:
+        return self.builder.create(
+            vector_dialect.BroadcastOp, value, VectorType((self.lanes,), value.type)
+        ).result
+
+    def splat_int(self, value: Value) -> Value:
+        return self.builder.create(
+            vector_dialect.BroadcastOp, value, VectorType((self.lanes,), i64)
+        ).result
+
+    def _table_lookup(self, idx: Value, table: np.ndarray) -> Value:
+        buffer = self._get_table(table)
+        return self.builder.create(
+            vector_dialect.GatherTableOp, buffer, idx
+        ).result

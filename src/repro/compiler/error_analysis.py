@@ -1,0 +1,233 @@
+"""Arithmetic error analysis for the computation-type decision.
+
+The HiSPN ``!hi_spn.probability`` type defers the choice of the concrete
+computation format (paper §III-A: "The decision can then be based on
+characteristics, e.g., the depth of the graph, of the SPN"). This module
+implements that decision properly, in the spirit of the error model used
+by the SPNC authors: a bottom-up static analysis over the HiSPN graph
+that, for each candidate format, bounds
+
+- the **value range** each node can produce, detecting *underflow* of
+  linear-space formats (deep products of small probabilities vanish in
+  f32/f64 linear representation), and
+- the accumulated **relative error**, using a first-order rounding model
+  (one unit roundoff ``u`` per arithmetic operation; in log space the
+  absolute error of the log value bounds the relative error of the
+  probability, with roundoff scaled by the magnitude of the log values).
+
+The cheapest format whose error bound satisfies the query's requested
+``relative_error`` (and which cannot underflow) is selected; ties prefer
+f32 over f64 and log space over linear (log space is also what the
+evaluation uses throughout).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..dialects import hispn
+from ..ir.ops import Operation
+from ..ir.types import FloatType, f32, f64
+
+#: Unit roundoff of the supported float formats.
+UNIT_ROUNDOFF = {32: 2.0 ** -24, 64: 2.0 ** -53}
+
+#: Smallest positive normal magnitude (underflow threshold) per format.
+SMALLEST_NORMAL = {32: 2.0 ** -126, 64: 2.0 ** -1022}
+
+#: Leaves are evaluated over a bounded domain; Gaussian ranges use this
+#: many standard deviations around the mean.
+GAUSSIAN_DOMAIN_SIGMAS = 6.0
+
+#: Probability floor for range propagation (zero-probability buckets are
+#: clamped; they short-circuit to -inf and carry no rounding error).
+PROBABILITY_FLOOR = 1e-300
+
+
+@dataclass(frozen=True)
+class FormatEstimate:
+    """Analysis result for one candidate computation format."""
+
+    float_width: int
+    log_space: bool
+    max_relative_error: float
+    min_value_log: float  # log of the smallest reachable probability
+    underflows: bool
+
+    @property
+    def name(self) -> str:
+        space = "log" if self.log_space else "linear"
+        return f"f{self.float_width}-{space}"
+
+
+@dataclass
+class ErrorAnalysis:
+    """Per-format estimates plus the selected format."""
+
+    estimates: List[FormatEstimate]
+    selected: FormatEstimate
+
+    def estimate(self, float_width: int, log_space: bool) -> FormatEstimate:
+        for est in self.estimates:
+            if est.float_width == float_width and est.log_space == log_space:
+                return est
+        raise KeyError((float_width, log_space))
+
+
+def _leaf_range(op: Operation) -> Tuple[float, float]:
+    """(log_min, log_max) of the probabilities a leaf can produce."""
+    name = op.op_name
+    if name == hispn.GaussianOp.name:
+        stddev = op.stddev
+        peak = 1.0 / (stddev * math.sqrt(2.0 * math.pi))
+        # Smallest value over the bounded domain: GAUSSIAN_DOMAIN_SIGMAS out.
+        log_min = math.log(peak) - 0.5 * GAUSSIAN_DOMAIN_SIGMAS ** 2
+        return log_min, math.log(peak)
+    if name in (hispn.CategoricalOp.name, hispn.HistogramOp.name):
+        probs = [p for p in op.probabilities if p > 0.0]
+        if not probs:
+            probs = [PROBABILITY_FLOOR]
+        return (
+            math.log(max(min(probs), PROBABILITY_FLOOR)),
+            math.log(max(max(probs), PROBABILITY_FLOOR)),
+        )
+    raise ValueError(f"not a leaf op: {name}")
+
+
+def analyze_query(query: Operation) -> Dict[int, Tuple[float, float]]:
+    """Bottom-up (log_min, log_max) value ranges for every graph node."""
+    graph = query.graph
+    ranges: Dict[int, Tuple[float, float]] = {}
+    for op in graph.body.ops:
+        name = op.op_name
+        if name == hispn.RootOp.name:
+            continue
+        if name in hispn.LEAF_OP_NAMES:
+            ranges[id(op)] = _leaf_range(op)
+        elif name == hispn.ProductOp.name:
+            los, his = zip(*(ranges[id(v.defining_op)] for v in op.operands))
+            ranges[id(op)] = (sum(los), sum(his))
+        elif name == hispn.SumOp.name:
+            children = [ranges[id(v.defining_op)] for v in op.operands]
+            weights = op.weights
+            # Lower bound: the smallest weighted child alone; upper bound:
+            # log-sum-exp of the weighted upper bounds.
+            lo = min(
+                lo + (math.log(w) if w > 0 else -math.inf)
+                for (lo, _), w in zip(children, weights)
+            )
+            his = [
+                hi + (math.log(w) if w > 0 else -math.inf)
+                for (_, hi), w in zip(children, weights)
+            ]
+            peak = max(his)
+            hi = peak + math.log(sum(math.exp(h - peak) for h in his))
+            ranges[id(op)] = (lo, hi)
+        else:  # pragma: no cover - dialect is closed
+            raise ValueError(f"unexpected op {name}")
+    return ranges
+
+
+def _error_bound(query: Operation, width: int, log_space: bool,
+                 ranges: Dict[int, Tuple[float, float]]) -> float:
+    """First-order bound on the relative error of the root probability."""
+    u = UNIT_ROUNDOFF[width]
+    graph = query.graph
+    errors: Dict[int, float] = {}
+    root_error = 0.0
+    for op in graph.body.ops:
+        name = op.op_name
+        if name == hispn.RootOp.name:
+            producer = op.operands[0].defining_op
+            root_error = errors[id(producer)]
+            continue
+        if name in hispn.LEAF_OP_NAMES:
+            if log_space:
+                # One rounding of the stored log value; its absolute error
+                # scales with the log magnitude and converts ~1:1 into
+                # relative probability error.
+                log_lo, log_hi = ranges[id(op)]
+                magnitude = max(abs(log_lo), abs(log_hi), 1.0)
+                errors[id(op)] = u * magnitude
+            else:
+                errors[id(op)] = u
+        elif name == hispn.ProductOp.name:
+            child_err = sum(errors[id(v.defining_op)] for v in op.operands)
+            if log_space:
+                # Adds of log values: one rounding per add, scaled by the
+                # running log magnitude.
+                log_lo, log_hi = ranges[id(op)]
+                magnitude = max(abs(log_lo), abs(log_hi), 1.0)
+                ops_count = max(len(op.operands) - 1, 1)
+                errors[id(op)] = child_err + ops_count * u * magnitude
+            else:
+                errors[id(op)] = child_err + (len(op.operands) - 1) * u
+        elif name == hispn.SumOp.name:
+            child_err = max(errors[id(v.defining_op)] for v in op.operands)
+            terms = len(op.operands)
+            if log_space:
+                log_lo, log_hi = ranges[id(op)]
+                magnitude = max(abs(log_lo), abs(log_hi), 1.0)
+                # Per term: weight add + exp + log1p chain ≈ 3 roundings.
+                errors[id(op)] = child_err + 3 * terms * u * max(magnitude, 1.0)
+            else:
+                errors[id(op)] = child_err + 2 * terms * u
+        else:  # pragma: no cover
+            raise ValueError(f"unexpected op {name}")
+    return root_error
+
+
+def analyze_error(query: Operation) -> Dict[str, FormatEstimate]:
+    """Full per-format analysis of a hi_spn query op."""
+    ranges = analyze_query(query)
+    root_producer = query.graph.root_op.operands[0].defining_op
+    root_log_min = ranges[id(root_producer)][0]
+
+    estimates: Dict[str, FormatEstimate] = {}
+    for width in (32, 64):
+        for log_space in (True, False):
+            underflows = (
+                not log_space
+                and root_log_min < math.log(SMALLEST_NORMAL[width])
+            )
+            estimate = FormatEstimate(
+                float_width=width,
+                log_space=log_space,
+                max_relative_error=_error_bound(query, width, log_space, ranges),
+                min_value_log=root_log_min,
+                underflows=underflows,
+            )
+            estimates[estimate.name] = estimate
+    return estimates
+
+
+def select_format(
+    query: Operation,
+    relative_error: float,
+    prefer_log_space: bool = True,
+) -> ErrorAnalysis:
+    """Pick the cheapest format meeting ``relative_error`` (no underflow).
+
+    Preference order: f32-log, f64-log, f32-linear, f64-linear when log
+    space is preferred (the default, as in the evaluation); linear
+    formats first otherwise. Falls back to f64-log when no format meets
+    the bound — the best we can offer.
+    """
+    estimates = analyze_error(query)
+    if prefer_log_space:
+        order = ["f32-log", "f64-log", "f32-linear", "f64-linear"]
+    else:
+        order = ["f32-linear", "f64-linear", "f32-log", "f64-log"]
+    selected: Optional[FormatEstimate] = None
+    for name in order:
+        est = estimates[name]
+        if est.underflows:
+            continue
+        if est.max_relative_error <= relative_error:
+            selected = est
+            break
+    if selected is None:
+        selected = estimates["f64-log"]
+    return ErrorAnalysis(list(estimates.values()), selected)

@@ -1,0 +1,96 @@
+"""Compiler frontend: SPN graph + query → HiSPN module.
+
+This is the paper's "HiSPN translation" step (Section IV-A2): during
+de-serialization of the binary exchange format, the query and SPN DAG are
+translated into the HiSPN dialect, which closely mirrors the frontend's
+internal representation, making the translation straightforward. Shared
+subgraphs map to shared SSA values, so the DAG structure is preserved
+1:1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from ..dialects import hispn
+from ..ir import Builder, ModuleOp
+from ..ir.ops import Operation
+from ..ir.value import Value
+from ..spn.nodes import Categorical, Gaussian, Histogram, Node, Product, Sum, topological_order
+from ..spn.query import JointProbability
+from ..spn.serialization import deserialize
+
+
+def build_hispn_module(root, query: JointProbability) -> ModuleOp:
+    """Translate (root, query) into a fresh HiSPN module.
+
+    ``root`` may also be a *list* of class SPNs (multi-head queries):
+    shared sub-DAGs across the heads translate to shared SSA values, so
+    the whole ensemble is evaluated in one kernel pass — the advantage
+    the paper attributes to the native Tensorflow RAT implementation.
+    """
+    roots = list(root) if isinstance(root, (list, tuple)) else [root]
+    if not roots:
+        raise ValueError("at least one SPN root is required")
+    module = ModuleOp.build()
+    builder = Builder.at_end(module.body)
+
+    # Feature indices are input-column indices: an SPN over a sparse
+    # variable subset still reads from the full-width input rows.
+    num_features = max(max(r.scope) for r in roots) + 1
+    query_op = builder.create(
+        hispn.JointQueryOp,
+        num_features=num_features,
+        input_type=query.input_type,
+        batch_size=query.batch_size,
+        support_marginal=query.support_marginal,
+        relative_error=query.relative_error,
+    )
+    graph_builder = Builder.at_end(query_op.body_block)
+    graph_op = graph_builder.create(hispn.GraphOp, num_features, query.input_type)
+
+    body = Builder.at_end(graph_op.body)
+    features = graph_op.body.arguments
+    values: Dict[int, Value] = {}
+    translation_order = []
+    seen = set()
+    for head in roots:
+        for node in topological_order(head):
+            if id(node) not in seen:
+                seen.add(id(node))
+                translation_order.append(node)
+    for node in translation_order:
+        if isinstance(node, Gaussian):
+            value = body.create(
+                hispn.GaussianOp, features[node.variable], node.mean, node.stdev
+            ).result
+        elif isinstance(node, Categorical):
+            value = body.create(
+                hispn.CategoricalOp, features[node.variable], node.probabilities
+            ).result
+        elif isinstance(node, Histogram):
+            value = body.create(
+                hispn.HistogramOp,
+                features[node.variable],
+                node.bounds,
+                node.densities,
+            ).result
+        elif isinstance(node, Product):
+            value = body.create(
+                hispn.ProductOp, [values[id(c)] for c in node.children]
+            ).result
+        elif isinstance(node, Sum):
+            value = body.create(
+                hispn.SumOp, [values[id(c)] for c in node.children], node.weights
+            ).result
+        else:  # pragma: no cover - node hierarchy is closed
+            raise TypeError(f"unhandled node type {type(node).__name__}")
+        values[id(node)] = value
+    body.create(hispn.RootOp, [values[id(head)] for head in roots])
+    return module
+
+
+def parse_binary_query(payload: Union[bytes, bytearray]) -> ModuleOp:
+    """Entry point from the serialized exchange format (Section IV-A1/2)."""
+    root, query = deserialize(bytes(payload))
+    return build_hispn_module(root, query)

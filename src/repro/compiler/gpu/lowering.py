@@ -1,0 +1,240 @@
+"""GPU target lowering (paper Section IV-C).
+
+Each ``lo_spn.task`` becomes a ``gpu.func`` kernel computing one sample
+per thread; the ``lo_spn.kernel`` becomes a host ``func.func``
+coordinating device allocation, host↔device transfers and kernel
+launches. Differences from the CPU lowering, following the paper:
+
+- computation is parallelized across threads instead of a batch loop
+  (global id = block_id * block_dim + thread_id),
+- discrete univariate distributions lower to a **cascade of select
+  operations** instead of a table lookup,
+- the naive host code copies every intermediate task result back to the
+  host and to the device again before the consuming task; the copy
+  elimination pass (:mod:`copy_elim`) removes those round trips by
+  re-using the device-resident buffer.
+
+The user-provided batch size is used as the constant block size for all
+kernel launches (Section V-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...dialects import (
+    arith,
+    func as func_dialect,
+    gpu as gpu_dialect,
+    lospn,
+    memref as memref_dialect,
+)
+from ...ir import Builder, ModuleOp
+from ...ir.ops import IRError, Operation
+from ...ir.types import FloatType, MemRefType, index as index_type
+from ...ir.value import Value
+from ..emitters import ScalarEmitter
+from ..cpu.lowering import _storage_memref, _task_compute_info, _emit_body
+
+
+@dataclass
+class GPULoweringOptions:
+    block_size: int = 64
+    gpu_module_name: str = "gpu_kernels"
+
+
+def lower_kernel_to_gpu(
+    module: ModuleOp, options: Optional[GPULoweringOptions] = None
+) -> ModuleOp:
+    """Lower all bufferized LoSPN kernels in ``module`` to gpu/host form."""
+    options = options or GPULoweringOptions()
+    new_module = ModuleOp.build()
+    builder = Builder.at_end(new_module.body)
+    for op in module.body_block.ops:
+        if op.op_name == lospn.KernelOp.name:
+            _lower_kernel(op, builder, options)
+        else:
+            builder.insert(op.clone({}))
+    return new_module
+
+
+def _task_io_split(task: Operation) -> Tuple[List[int], List[int]]:
+    """Partition task operand indices into (read-from, written-to)."""
+    reads: Set[int] = set()
+    writes: Set[int] = set()
+    arg_index = {arg: i for i, arg in enumerate(task.input_args)}
+    for op in task.body.ops:
+        if op.op_name == lospn.BatchReadOp.name:
+            reads.add(arg_index[op.input])
+        elif op.op_name == lospn.BatchWriteOp.name:
+            writes.add(arg_index[op.batch_mem])
+    return sorted(reads), sorted(writes)
+
+
+def _lower_kernel(
+    kernel: Operation, builder: Builder, options: GPULoweringOptions
+) -> None:
+    gpu_module = builder.create(gpu_dialect.GPUModuleOp, options.gpu_module_name)
+    gm_builder = Builder.at_end(gpu_module.body_block)
+
+    task_kernels: Dict[int, str] = {}
+    for i, task in enumerate(kernel.tasks()):
+        name = f"{kernel.sym_name}_task_{i}"
+        task_kernels[id(task)] = name
+        _lower_task_kernel(task, name, gm_builder)
+
+    _lower_host_function(kernel, task_kernels, builder, options)
+
+
+def _lower_task_kernel(task: Operation, name: str, builder: Builder) -> None:
+    arg_types = [_storage_memref(v.type) for v in task.operands]
+    fn = builder.create(gpu_dialect.GPUFuncOp, name, arg_types)
+    fb = Builder.at_end(fn.body)
+    args = fn.body.arguments
+
+    tid = fb.create(gpu_dialect.ThreadIdOp, "x").result
+    bid = fb.create(gpu_dialect.BlockIdOp, "x").result
+    bdim = fb.create(gpu_dialect.BlockDimOp, "x").result
+    block_offset = fb.create(arith.MulIOp, bid, bdim).result
+    gid = fb.create(arith.AddIOp, block_offset, tid).result
+
+    compute_type, log_space = _task_compute_info(task)
+    table_builder = Builder.at_start(fn.body)
+    emitter = ScalarEmitter(
+        fb, table_builder, compute_type, log_space, discrete_mode="cascade"
+    )
+
+    arg_map: Dict[Value, Value] = dict(zip(task.input_args, args))
+    value_map: Dict[Value, Value] = {}
+
+    for op in task.body.ops:
+        if op.op_name == lospn.BatchReadOp.name:
+            buffer = arg_map[op.input]
+            col = fb.create(arith.ConstantOp, op.static_index, index_type).result
+            indices = [col, gid] if op.transposed else [gid, col]
+            value_map[op.results[0]] = fb.create(
+                memref_dialect.LoadOp, buffer, indices
+            ).result
+        elif op.op_name == lospn.BodyOp.name:
+            inner_map = {
+                arg: value_map[operand]
+                for arg, operand in zip(op.body_block.arguments, op.operands)
+            }
+            results = _emit_body(op, emitter, inner_map)
+            for res, value in zip(op.results, results):
+                value_map[res] = value
+        elif op.op_name == lospn.BatchWriteOp.name:
+            buffer = arg_map[op.batch_mem]
+            for k, stored in enumerate(op.result_values):
+                row = fb.create(arith.ConstantOp, k, index_type).result
+                indices = [row, gid] if op.transposed else [gid, row]
+                fb.create(
+                    memref_dialect.StoreOp, value_map[stored], buffer, indices
+                )
+        else:
+            raise IRError(f"unexpected op '{op.op_name}' in task region")
+    fb.create(gpu_dialect.ReturnOp)
+
+
+def _lower_host_function(
+    kernel: Operation,
+    task_kernels: Dict[int, str],
+    builder: Builder,
+    options: GPULoweringOptions,
+) -> None:
+    host = builder.create(
+        func_dialect.FuncOp,
+        kernel.sym_name,
+        [_storage_memref(t) for t in kernel.arg_types],
+        [],
+    )
+    hb = Builder.at_end(host.body)
+    value_map: Dict[Value, Value] = dict(
+        zip(kernel.body.arguments, host.body.arguments)
+    )
+
+    # Host buffer -> device twin (created lazily, one per host buffer).
+    device_of: Dict[Value, Value] = {}
+    device_allocs: List[Value] = []
+
+    n: Optional[Value] = None
+
+    def batch_extent() -> Value:
+        nonlocal n
+        if n is None:
+            n = hb.create(memref_dialect.DimOp, host.body.arguments[0], 0).result
+        return n
+
+    def device_twin(host_buffer: Value) -> Value:
+        twin = device_of.get(host_buffer)
+        if twin is None:
+            mem_type = _storage_memref(host_buffer.type)
+            dynamic = [batch_extent()] if None in mem_type.shape else []
+            twin = hb.create(gpu_dialect.AllocOp, mem_type, dynamic).result
+            device_of[host_buffer] = twin
+            device_allocs.append(twin)
+        return twin
+
+    # Upload the kernel input(s) once at the start.
+    input_args = host.body.arguments[:1]
+    for arg in input_args:
+        twin = device_twin(arg)
+        hb.create(gpu_dialect.MemcpyOp, twin, arg, gpu_dialect.H2D)
+
+    block = hb.create(arith.ConstantOp, options.block_size, index_type).result
+    block_m1 = hb.create(
+        arith.ConstantOp, options.block_size - 1, index_type
+    ).result
+
+    output_args = set(host.body.arguments[1:])
+
+    for op in kernel.body.ops:
+        if op.op_name == lospn.TaskOp.name:
+            reads, writes = _task_io_split(op)
+            mapped = [value_map.get(v, v) for v in op.operands]
+            # Naive staging: re-upload every intermediate input before the
+            # launch (the copy-elimination pass removes the round trips).
+            for i in reads:
+                host_buffer = mapped[i]
+                if host_buffer in device_of and host_buffer in set(input_args):
+                    continue  # the kernel input is already resident
+                twin = device_twin(host_buffer)
+                hb.create(gpu_dialect.MemcpyOp, twin, host_buffer, gpu_dialect.H2D)
+            for i in writes:
+                device_twin(mapped[i])
+
+            extent = batch_extent()
+            rounded = hb.create(arith.AddIOp, extent, block_m1).result
+            grid = hb.create(arith.DivSIOp, rounded, block).result
+            hb.create(
+                gpu_dialect.LaunchFuncOp,
+                options.gpu_module_name,
+                task_kernels[id(op)],
+                grid,
+                block,
+                extent,
+                [device_of[mapped[i]] for i in range(len(mapped))],
+            )
+            # Naive staging: download every result to its host buffer.
+            for i in writes:
+                host_buffer = mapped[i]
+                hb.create(
+                    gpu_dialect.MemcpyOp,
+                    host_buffer,
+                    device_of[host_buffer],
+                    gpu_dialect.D2H,
+                )
+        elif op.op_name == lospn.KernelReturnOp.name:
+            for twin in device_allocs:
+                hb.create(gpu_dialect.DeallocOp, twin)
+            hb.create(func_dialect.ReturnOp, [])
+        elif op.op_name == memref_dialect.AllocOp.name:
+            new_alloc = hb.create(
+                memref_dialect.AllocOp,
+                _storage_memref(op.results[0].type),
+                [value_map.get(v, v) for v in op.operands],
+            )
+            value_map[op.results[0]] = new_alloc.result
+        else:
+            hb.insert(op.clone(value_map))

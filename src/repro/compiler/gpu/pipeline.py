@@ -1,0 +1,57 @@
+"""GPU leg of the compilation pipeline (invoked from compiler.pipeline)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...backends.gpu.codegen import generate_gpu_module
+from ...gpusim.simulator import GPUSimulator
+from ...ir import ModuleOp
+from ...ir.transforms import run_cse, run_dce
+from ...ir.transforms.canonicalize import canonicalize
+from ...runtime.gpu_executable import GPUExecutable
+from ...spn.query import JointProbability
+from .copy_elim import eliminate_host_round_trips
+from .lowering import GPULoweringOptions, lower_kernel_to_gpu
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline import CompilerOptions, _StageTimer
+
+
+def compile_gpu_module(
+    module: ModuleOp,
+    query: JointProbability,
+    options: "CompilerOptions",
+    timer: "_StageTimer",
+) -> GPUExecutable:
+    from ..pipeline import _kernel_name, _kernel_signature
+
+    signature = _kernel_signature(module, query)
+    kernel_name = _kernel_name(module)
+
+    block_size = options.gpu_block_size or query.batch_size
+    lowering_options = GPULoweringOptions(block_size=block_size)
+    lowered = timer.run(
+        "gpu-lowering", lambda: lower_kernel_to_gpu(module, lowering_options)
+    )
+
+    if options.opt_level >= 1:
+        timer.run(
+            "gpu-copy-elimination",
+            lambda: eliminate_host_round_trips(lowered),
+            lowered,
+        )
+        timer.run("canonicalize", lambda: canonicalize(lowered), lowered)
+        timer.run("cse", lambda: run_cse(lowered), lowered)
+        timer.run("dce", lambda: run_dce(lowered), lowered)
+    if options.opt_level >= 2:
+        timer.run("canonicalize-2", lambda: canonicalize(lowered), lowered)
+        timer.run("cse-2", lambda: run_cse(lowered), lowered)
+    if options.opt_level >= 3:
+        timer.run("canonicalize-3", lambda: canonicalize(lowered), lowered)
+
+    simulator = GPUSimulator()
+    host, kernels = timer.run(
+        "gpu-codegen", lambda: generate_gpu_module(lowered, simulator)
+    )
+    return GPUExecutable(host, kernels, kernel_name, signature, simulator)

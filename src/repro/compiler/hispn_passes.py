@@ -1,0 +1,82 @@
+"""Early HiSPN-level optimizations (paper Section IV-A2).
+
+After translation into HiSPN, MLIR-style canonicalization handles early
+simplifications, most importantly "the transformation of DAG nodes with
+only a single input": products and sums with a single operand forward
+that operand (a single-operand weighted sum has weight 1 by the sum
+normalization invariant).
+"""
+
+from __future__ import annotations
+
+from ..dialects import hispn
+from ..ir.ops import Operation
+from ..ir.passes import Pass
+from ..ir.rewrite import RewritePattern, Rewriter, apply_patterns_greedily
+
+
+class SingleOperandProduct(RewritePattern):
+    """product(x) → x."""
+
+    op_name = hispn.ProductOp.name
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        if len(op.operands) != 1:
+            return False
+        rewriter.replace_op(op, [op.operands[0]])
+        return True
+
+
+class SingleOperandSum(RewritePattern):
+    """sum(x; w=1) → x."""
+
+    op_name = hispn.SumOp.name
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        if len(op.operands) != 1:
+            return False
+        rewriter.replace_op(op, [op.operands[0]])
+        return True
+
+
+class FlattenNestedProduct(RewritePattern):
+    """product(product(a, b), c) → product(a, b, c) when the inner product
+    has no other users (reduces DAG depth before binarization)."""
+
+    op_name = hispn.ProductOp.name
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        new_operands = []
+        changed = False
+        for operand in op.operands:
+            producer = operand.defining_op
+            if (
+                producer is not None
+                and producer.op_name == hispn.ProductOp.name
+                and operand.has_one_use()
+            ):
+                new_operands.extend(producer.operands)
+                changed = True
+            else:
+                new_operands.append(operand)
+        if not changed:
+            return False
+        builder = rewriter.builder_before(op)
+        replacement = builder.create(hispn.ProductOp, new_operands)
+        rewriter.replace_op(op, [replacement.result])
+        return True
+
+
+HISPN_PATTERNS = (SingleOperandProduct, SingleOperandSum, FlattenNestedProduct)
+
+
+def simplify_hispn(module: Operation) -> bool:
+    """Apply the HiSPN early-optimization patterns to a fixpoint."""
+    return apply_patterns_greedily(module, [cls() for cls in HISPN_PATTERNS])
+
+
+class HiSPNSimplifyPass(Pass):
+    name = "hispn-simplify"
+
+    def run(self, op: Operation) -> None:
+        simplify_hispn(op)

@@ -1,0 +1,277 @@
+"""Lowering HiSPN → LoSPN (paper Section IV-A3).
+
+The HiSPN query + DAG is turned into a ``lo_spn.kernel`` containing a
+single ``lo_spn.task`` whose region holds the per-sample computation in a
+``lo_spn.body``:
+
+- variadic HiSPN sums/products are **binarized** into two-operand
+  ``lo_spn.add``/``lo_spn.mul`` chains,
+- weighted sums are **decomposed** into constant-multiplications and
+  additions,
+- the abstract ``!hi_spn.probability`` type is resolved to a concrete
+  computation type: log-space (``!lo_spn.log<T>``) by default, with the
+  float width chosen from graph characteristics (depth — a proxy for how
+  small intermediate probabilities become and how much rounding error
+  accumulates).
+
+The resulting module uses the tensor form of LoSPN; bufferization later
+switches it to memrefs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..dialects import hispn, lospn
+from ..ir import Builder, ModuleOp
+from ..ir.ops import IRError, Operation
+from ..ir.passes import Pass
+from ..ir.types import FloatType, TensorType, f32, f64
+from ..ir.value import Value
+
+#: Graphs deeper than this get f64 in log space: each level can lose a few
+#: ulps in log-add-exp, and beyond ~60 levels f32's 24-bit mantissa starts
+#: showing relative errors above 1e-4 at the root.
+DEPTH_F64_THRESHOLD = 60
+
+
+@dataclass
+class TypeDecision:
+    """The computation-type choice for a query (Section III-A)."""
+
+    use_log_space: bool
+    float_type: FloatType
+
+    @property
+    def computation_type(self):
+        if self.use_log_space:
+            return lospn.LogType(self.float_type)
+        return self.float_type
+
+
+def graph_depth(graph: hispn.GraphOp) -> int:
+    depths: Dict[int, int] = {}
+    max_depth = 0
+    for op in graph.body.ops:
+        if op.op_name == hispn.RootOp.name:
+            continue
+        operand_depths = [
+            depths.get(id(v.defining_op), 0)
+            for v in op.operands
+            if v.defining_op is not None
+        ]
+        depth = 1 + max(operand_depths, default=0)
+        depths[id(op)] = depth
+        max_depth = max(max_depth, depth)
+    return max_depth
+
+
+def decide_computation_type(
+    query: hispn.JointQueryOp,
+    use_log_space: bool = True,
+    force_float_type: Optional[FloatType] = None,
+) -> TypeDecision:
+    """Pick the concrete datatype for the abstract probability type.
+
+    With a ``relativeError`` bound attached to the query, the full error
+    analysis (:mod:`error_analysis`) selects the cheapest format whose
+    predicted error satisfies the bound and which cannot underflow.
+    Without one, the lightweight depth heuristic applies.
+    """
+    if force_float_type is not None:
+        return TypeDecision(use_log_space, force_float_type)
+
+    relative_error = query.relative_error
+    if relative_error > 0.0:
+        from .error_analysis import select_format
+
+        selected = select_format(
+            query, relative_error, prefer_log_space=use_log_space
+        ).selected
+        return TypeDecision(
+            selected.log_space, f32 if selected.float_width == 32 else f64
+        )
+
+    depth = graph_depth(query.graph)
+    if use_log_space:
+        float_type = f64 if depth > DEPTH_F64_THRESHOLD else f32
+    else:
+        # Linear space underflows quickly; wide type is the only option.
+        float_type = f64
+    return TypeDecision(use_log_space, float_type)
+
+
+class LoweringError(IRError):
+    pass
+
+
+def lower_to_lospn(
+    module: ModuleOp,
+    use_log_space: bool = True,
+    force_float_type: Optional[FloatType] = None,
+    kernel_name: str = "spn_kernel",
+) -> ModuleOp:
+    """Lower every HiSPN query in ``module`` to a new LoSPN module."""
+    new_module = ModuleOp.build()
+    builder = Builder.at_end(new_module.body)
+    lowered_any = False
+    for op in module.body_block.ops:
+        if op.op_name == hispn.JointQueryOp.name:
+            _lower_query(op, builder, use_log_space, force_float_type, kernel_name)
+            lowered_any = True
+    if not lowered_any:
+        raise LoweringError("module contains no hi_spn.joint_query to lower")
+    return new_module
+
+
+def _lower_query(
+    query: hispn.JointQueryOp,
+    builder: Builder,
+    use_log_space: bool,
+    force_float_type: Optional[FloatType],
+    kernel_name: str,
+) -> None:
+    decision = decide_computation_type(query, use_log_space, force_float_type)
+    ct = decision.computation_type
+    input_type = query.input_type
+    num_features = query.num_features
+    num_heads = len(query.graph.root_op.operands)
+
+    input_tensor_type = TensorType((None, num_features), input_type)
+    result_tensor_type = TensorType((num_heads, None), ct)
+
+    kernel = builder.create(
+        lospn.KernelOp,
+        kernel_name,
+        [input_tensor_type],
+        [result_tensor_type],
+    )
+    kernel_builder = Builder.at_end(kernel.body)
+    input_arg = kernel.body.arguments[0]
+
+    task = kernel_builder.create(
+        lospn.TaskOp,
+        [input_arg],
+        query.batch_size,
+        [result_tensor_type],
+    )
+    task_builder = Builder.at_end(task.body)
+    batch_index = task.batch_index
+    task_input = task.input_args[0]
+
+    graph = query.graph
+    # Only extract features actually consumed by leaves.
+    used_features = sorted(
+        {
+            arg.arg_index
+            for arg in graph.body.arguments
+            if arg.has_uses
+        }
+    )
+    feature_values: Dict[int, Value] = {}
+    for feature in used_features:
+        extract = task_builder.create(
+            lospn.BatchExtractOp,
+            task_input,
+            batch_index,
+            static_index=feature,
+            transposed=False,
+        )
+        feature_values[feature] = extract.result
+
+    body_inputs = [feature_values[f] for f in used_features]
+    body = task_builder.create(lospn.BodyOp, body_inputs, [ct] * num_heads)
+    body_builder = Builder.at_end(body.body)
+    arg_of_feature = {
+        feature: body.body.arguments[i] for i, feature in enumerate(used_features)
+    }
+
+    support_marginal = query.support_marginal
+    mapping: Dict[Value, Value] = {}
+    root_values: Optional[List[Value]] = None
+    for op in graph.body.ops:
+        if op.op_name == hispn.RootOp.name:
+            root_values = [mapping[v] for v in op.operands]
+            continue
+        mapping.update(
+            _lower_node(
+                op, body_builder, mapping, arg_of_feature, ct, decision, support_marginal
+            )
+        )
+    if root_values is None:
+        raise LoweringError("hi_spn.graph has no root")
+    body_builder.create(lospn.YieldOp, root_values)
+
+    task_builder.create(
+        lospn.BatchCollectOp, batch_index, list(body.results), transposed=True
+    )
+    kernel_builder.create(lospn.KernelReturnOp, [task.results[0]])
+
+
+def _lower_node(
+    op: Operation,
+    builder: Builder,
+    mapping: Dict[Value, Value],
+    arg_of_feature: Dict[int, Value],
+    ct,
+    decision: TypeDecision,
+    support_marginal: bool,
+) -> Dict[Value, Value]:
+    name = op.op_name
+    if name == hispn.GaussianOp.name:
+        evidence = arg_of_feature[op.operands[0].arg_index]
+        lowered = builder.create(
+            lospn.GaussianOp, evidence, op.mean, op.stddev, ct, support_marginal
+        )
+        return {op.results[0]: lowered.result}
+    if name == hispn.CategoricalOp.name:
+        index = arg_of_feature[op.operands[0].arg_index]
+        lowered = builder.create(
+            lospn.CategoricalOp, index, op.probabilities, ct, support_marginal
+        )
+        return {op.results[0]: lowered.result}
+    if name == hispn.HistogramOp.name:
+        index = arg_of_feature[op.operands[0].arg_index]
+        lowered = builder.create(
+            lospn.HistogramOp, index, op.bounds, op.probabilities, ct, support_marginal
+        )
+        return {op.results[0]: lowered.result}
+    if name == hispn.ProductOp.name:
+        operands = [mapping[v] for v in op.operands]
+        acc = operands[0]
+        for operand in operands[1:]:
+            acc = builder.create(lospn.MulOp, acc, operand).result
+        return {op.results[0]: acc}
+    if name == hispn.SumOp.name:
+        operands = [mapping[v] for v in op.operands]
+        weights = op.weights
+        terms: List[Value] = []
+        for operand, weight in zip(operands, weights):
+            if decision.use_log_space:
+                payload = math.log(weight) if weight > 0 else -math.inf
+            else:
+                payload = weight
+            const = builder.create(lospn.ConstantOp, payload, ct)
+            terms.append(builder.create(lospn.MulOp, operand, const.result).result)
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = builder.create(lospn.AddOp, acc, term).result
+        return {op.results[0]: acc}
+    raise LoweringError(f"cannot lower HiSPN op '{name}'")
+
+
+class LowerToLoSPNPass(Pass):
+    """Pass wrapper (note: produces a *new* module; use the function in
+    pipelines that thread module values instead)."""
+
+    name = "lower-to-lospn"
+
+    def __init__(self, use_log_space: bool = True):
+        super().__init__()
+        self.use_log_space = use_log_space
+        self.result: Optional[ModuleOp] = None
+
+    def run(self, op: Operation) -> None:
+        self.result = lower_to_lospn(op, self.use_log_space)

@@ -1,0 +1,500 @@
+"""Acyclic graph partitioning of LoSPN tasks (paper Section IV-A4).
+
+Very large SPNs (the RAT-SPN stress test reaches hundreds of thousands of
+operations) are infeasible to compile as a single unit, so the single big
+``lo_spn.task`` is split into multiple smaller tasks. The algorithm
+adapts the heuristic acyclic DAG partitioning of Moreira et al. [10] as
+described in the paper:
+
+- **Initial ordering**: instead of a random topological ordering, a
+  depth-first, child-first traversal is used — a node enters the ordering
+  as soon as all its children (operands) have been processed, so subtrees
+  tend to land in the same partition. The ordering preserves the
+  invariant that no node in partition ``V_j`` has an edge to ``V_i`` with
+  ``i < j``, which guarantees the partition dependence graph is acyclic.
+- **Balance slack**: partitions may exceed the balanced size by 1 %
+  (configurable), enabling more refinement moves.
+- **Cost model**: all edges carrying one SSA value from partition ``V_j``
+  into partition ``V_i`` have a *combined* cost of 1 — the value is
+  stored once in ``V_j``'s task and loaded once in ``V_i``'s task. Values
+  produced by constant-like ops are free (they are re-materialized in the
+  consumer).
+- **Refinement**: the *Simple Moves* heuristic — single-node moves
+  between neighbouring partitions that reduce cut cost while preserving
+  acyclicity and balance.
+
+After assignment the kernel is rewritten: one ``lo_spn.task`` per
+partition, with cross-partition values communicated through intermediate
+result tensors (``batch_collect`` in the producer, ``batch_extract`` in
+the consumers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dialects import lospn
+from ..ir import Builder, ModuleOp
+from ..ir.ops import IRError, Operation
+from ..ir.traits import Trait
+from ..ir.types import TensorType
+from ..ir.value import BlockArgument, Value
+
+
+@dataclass
+class PartitioningOptions:
+    max_partition_size: int = 10_000
+    balance_slack: float = 0.01
+    refinement_rounds: int = 2
+
+
+@dataclass
+class PartitioningStats:
+    num_partitions: int = 0
+    partition_sizes: List[int] = field(default_factory=list)
+    initial_cut_cost: int = 0
+    final_cut_cost: int = 0
+    moves_applied: int = 0
+
+
+class GraphPartitioner:
+    """Partitions the op list of one lo_spn.body into acyclic parts."""
+
+    def __init__(
+        self,
+        ops: Sequence[Operation],
+        options: PartitioningOptions,
+        pinned_last: Sequence[Operation] = (),
+    ):
+        self.ops: List[Operation] = [
+            op for op in ops if op.op_name != lospn.YieldOp.name
+        ]
+        self.options = options
+        # Ops that must stay in the final partition (the root producer, so
+        # the kernel's single-row result tensor invariant holds).
+        self.pinned_last: Set[int] = {id(op) for op in pinned_last}
+        self.position: Dict[int, int] = {}
+        self.assignment: Dict[int, int] = {}
+        self.num_partitions = 0
+        self.capacity = 0
+        self.sizes: List[int] = []
+        self.stats = PartitioningStats()
+
+    # -- pipeline -------------------------------------------------------------
+
+    def run(self) -> Dict[int, int]:
+        order = self._child_first_ordering()
+        self._initial_partitioning(order)
+        self._apply_pins()
+        self.stats.initial_cut_cost = self._total_cut_cost()
+        self._refine()
+        self.stats.final_cut_cost = self._total_cut_cost()
+        self.stats.num_partitions = self.num_partitions
+        self.stats.partition_sizes = list(self.sizes)
+        return self.assignment
+
+    # -- initial ordering -------------------------------------------------------
+
+    def _child_first_ordering(self) -> List[Operation]:
+        """Depth-first post-order: children immediately precede parents."""
+        op_set = {id(op) for op in self.ops}
+        visited: Set[int] = set()
+        order: List[Operation] = []
+        # Roots: ops whose results have no users inside the op set.
+        roots = [
+            op
+            for op in self.ops
+            if not any(
+                id(use.owner) in op_set for res in op.results for use in res.uses
+            )
+        ]
+        stack: List[Tuple[Operation, bool]] = [(op, False) for op in reversed(roots)]
+        while stack:
+            op, expanded = stack.pop()
+            if expanded:
+                order.append(op)
+                continue
+            if id(op) in visited:
+                continue
+            visited.add(id(op))
+            stack.append((op, True))
+            for operand in reversed(op.operands):
+                producer = operand.defining_op
+                if producer is not None and id(producer) in op_set:
+                    if id(producer) not in visited:
+                        stack.append((producer, False))
+        # Any ops unreachable from the roots (shouldn't happen) keep order.
+        if len(order) != len(self.ops):
+            remaining = [op for op in self.ops if id(op) not in visited]
+            order.extend(remaining)
+        return order
+
+    # -- initial partitioning ------------------------------------------------------
+
+    def _initial_partitioning(self, order: List[Operation]) -> None:
+        total = len(order)
+        max_size = self.options.max_partition_size
+        self.num_partitions = max(1, -(-total // max_size))
+        target = -(-total // self.num_partitions)
+        self.capacity = max(
+            1, int(target * (1.0 + self.options.balance_slack))
+        )
+        self.sizes = [0] * self.num_partitions
+        partition = 0
+        for position, op in enumerate(order):
+            if self.sizes[partition] >= target and partition < self.num_partitions - 1:
+                partition += 1
+            self.position[id(op)] = position
+            self.assignment[id(op)] = partition
+            self.sizes[partition] += 1
+
+    def _apply_pins(self) -> None:
+        """Move pinned ops (head producers) into the final partition.
+
+        Heads have no users inside the op set, so the move keeps all
+        edges pointing forward; the final partition may exceed the
+        balance capacity by the number of heads, which is negligible.
+        """
+        last = self.num_partitions - 1
+        for op in self.ops:
+            if id(op) in self.pinned_last and self.assignment[id(op)] != last:
+                self.sizes[self.assignment[id(op)]] -= 1
+                self.assignment[id(op)] = last
+                self.sizes[last] += 1
+
+    # -- cost model ---------------------------------------------------------------
+
+    def _value_cost(self, op: Operation) -> int:
+        """Cut cost contributed by the results of ``op``."""
+        if op.has_trait(Trait.CONSTANT_LIKE):
+            return 0
+        producer_part = self.assignment[id(op)]
+        cost = 0
+        for res in op.results:
+            consumer_parts = {
+                self.assignment[id(use.owner)]
+                for use in res.uses
+                if id(use.owner) in self.assignment
+            }
+            consumer_parts.discard(producer_part)
+            if consumer_parts:
+                cost += 1 + len(consumer_parts)  # store once + one load per task
+        return cost
+
+    def _total_cut_cost(self) -> int:
+        return sum(self._value_cost(op) for op in self.ops)
+
+    # -- refinement (Simple Moves) ---------------------------------------------------
+
+    def _neighborhood_cost(self, op: Operation) -> int:
+        cost = self._value_cost(op)
+        for operand in op.operands:
+            producer = operand.defining_op
+            if producer is not None and id(producer) in self.assignment:
+                cost += self._value_cost(producer)
+        return cost
+
+    def _move_legal(self, op: Operation, target: int) -> bool:
+        if target < 0 or target >= self.num_partitions:
+            return False
+        if self.sizes[target] + 1 > self.capacity:
+            return False
+        source = self.assignment[id(op)]
+        if target > source:
+            # All users must live in partitions >= target.
+            for res in op.results:
+                for use in res.uses:
+                    user_part = self.assignment.get(id(use.owner))
+                    if user_part is not None and user_part < target:
+                        return False
+        else:
+            # All producers must live in partitions <= target.
+            for operand in op.operands:
+                producer = operand.defining_op
+                if producer is None:
+                    continue
+                producer_part = self.assignment.get(id(producer))
+                if producer_part is not None and producer_part > target:
+                    return False
+        return True
+
+    def _refine(self) -> None:
+        if self.num_partitions < 2:
+            return
+        for _ in range(self.options.refinement_rounds):
+            moves_this_round = 0
+            for op in self.ops:
+                if id(op) in self.pinned_last:
+                    continue
+                source = self.assignment[id(op)]
+                best_target = None
+                best_delta = 0
+                for target in (source - 1, source + 1):
+                    if not self._move_legal(op, target):
+                        continue
+                    before = self._neighborhood_cost(op)
+                    self.assignment[id(op)] = target
+                    after = self._neighborhood_cost(op)
+                    self.assignment[id(op)] = source
+                    delta = after - before
+                    if delta < best_delta:
+                        best_delta = delta
+                        best_target = target
+                if best_target is not None:
+                    self.assignment[id(op)] = best_target
+                    self.sizes[source] -= 1
+                    self.sizes[best_target] += 1
+                    moves_this_round += 1
+            self.stats.moves_applied += moves_this_round
+            if moves_this_round == 0:
+                break
+
+
+# --- IR rewriting ------------------------------------------------------------------
+
+
+def partition_kernel(
+    module: ModuleOp, options: Optional[PartitioningOptions] = None
+) -> Tuple[ModuleOp, PartitioningStats]:
+    """Split each kernel's single task into per-partition tasks.
+
+    Returns a new module; kernels whose task fits in one partition are
+    copied unchanged (cloned).
+    """
+    options = options or PartitioningOptions()
+    new_module = ModuleOp.build()
+    builder = Builder.at_end(new_module.body)
+    stats = PartitioningStats()
+    for op in module.body_block.ops:
+        if op.op_name != lospn.KernelOp.name:
+            builder.insert(op.clone({}))
+            continue
+        stats = _partition_one_kernel(op, builder, options)
+    return new_module, stats
+
+
+def _partition_one_kernel(
+    kernel: Operation, builder: Builder, options: PartitioningOptions
+) -> PartitioningStats:
+    tasks = kernel.tasks()
+    if len(tasks) != 1:
+        raise IRError("partitioning expects a kernel with exactly one task")
+    task = tasks[0]
+    bodies = [op for op in task.body.ops if op.op_name == lospn.BodyOp.name]
+    if len(bodies) != 1:
+        raise IRError("partitioning expects a task with exactly one body")
+    body = bodies[0]
+
+    dag_ops = [op for op in body.body.ops if op.op_name != lospn.YieldOp.name]
+    # Pin every head's producer to the final partition so the kernel's
+    # [num_heads x batch] result tensor invariant holds.
+    pinned = [
+        v.defining_op
+        for v in body.body.terminator.operands
+        if v.defining_op is not None
+    ]
+    partitioner = GraphPartitioner(dag_ops, options, pinned_last=pinned)
+    assignment = partitioner.run()
+    stats = partitioner.stats
+
+    if partitioner.num_partitions <= 1:
+        builder.insert(kernel.clone({}))
+        return stats
+
+    _rewrite_kernel(kernel, task, body, assignment, partitioner.num_partitions, builder)
+    return stats
+
+
+def _rewrite_kernel(
+    kernel: Operation,
+    task: Operation,
+    body: Operation,
+    assignment: Dict[int, int],
+    num_partitions: int,
+    builder: Builder,
+) -> None:
+    ct = body.results[0].type
+    batch_size = task.batch_size
+
+    # Map: feature block-arg of the old body -> feature index (staticIndex
+    # of the batch_extract feeding it).
+    feature_of_arg: Dict[Value, int] = {}
+    for extract in task.body.ops:
+        if extract.op_name != lospn.BatchExtractOp.name:
+            continue
+        for use in extract.results[0].uses:
+            if use.owner is body:
+                feature_of_arg[body.body.arguments[use.operand_index]] = (
+                    extract.static_index
+                )
+
+    dag_ops = [op for op in body.body.ops if op.op_name != lospn.YieldOp.name]
+    yield_op = body.body.terminator
+    root_values: List[Value] = list(yield_op.operands)
+    if len(set(map(id, root_values))) != len(root_values):
+        raise IRError(
+            "partitioning does not support duplicate head values in a "
+            "multi-head kernel"
+        )
+    root_set = set(map(id, root_values))
+
+    per_part_ops: List[List[Operation]] = [[] for _ in range(num_partitions)]
+    for op in dag_ops:
+        per_part_ops[assignment[id(op)]].append(op)
+
+    # Values each partition must export: used by a later partition or the root.
+    exports: List[List[Value]] = [[] for _ in range(num_partitions)]
+    export_index: Dict[Value, Tuple[int, int]] = {}
+    for op in dag_ops:
+        if op.has_trait(Trait.CONSTANT_LIKE):
+            continue
+        part = assignment[id(op)]
+        for res in op.results:
+            needed = id(res) in root_set or any(
+                id(use.owner) in assignment and assignment[id(use.owner)] != part
+                for use in res.uses
+            )
+            if needed:
+                export_index[res] = (part, len(exports[part]))
+                exports[part].append(res)
+
+    # The final partition's exports are exactly the head values; order
+    # them like the kernel's result rows.
+    for part, values in enumerate(exports):
+        if values and all(id(v) in root_set for v in values):
+            root_order = {id(v): i for i, v in enumerate(root_values)}
+            values.sort(key=lambda v: root_order[id(v)])
+            for i, v in enumerate(values):
+                export_index[v] = (part, i)
+
+    new_kernel = builder.create(
+        lospn.KernelOp,
+        kernel.sym_name,
+        list(kernel.arg_types),
+        list(kernel.result_types),
+    )
+    kb = Builder.at_end(new_kernel.body)
+    input_arg = new_kernel.body.arguments[0]
+
+    # Intermediate tensors indexed by partition.
+    part_result: Dict[int, Value] = {}
+    final_result: Optional[Value] = None
+
+    for part in range(num_partitions):
+        ops = per_part_ops[part]
+        if not ops or not exports[part]:
+            continue
+        # Which external values does this partition consume?
+        needed_features: List[int] = []
+        needed_imports: List[Value] = []
+        for op in ops:
+            for operand in op.operands:
+                if isinstance(operand, BlockArgument):
+                    feature = feature_of_arg[operand]
+                    if feature not in needed_features:
+                        needed_features.append(feature)
+                else:
+                    producer = operand.defining_op
+                    if producer is None or id(producer) not in assignment:
+                        continue
+                    if producer.has_trait(Trait.CONSTANT_LIKE):
+                        continue
+                    if assignment[id(producer)] != part and operand not in needed_imports:
+                        needed_imports.append(operand)
+
+        import_parts = sorted({export_index[v][0] for v in needed_imports})
+        task_inputs: List[Value] = []
+        if needed_features:
+            task_inputs.append(input_arg)
+        task_inputs.extend(part_result[p] for p in import_parts)
+
+        is_final = any(id(res) in root_set for op in ops for res in op.results)
+        num_exports = len(exports[part])
+        result_tensor = TensorType((num_exports, None), ct)
+        new_task = kb.create(
+            lospn.TaskOp, task_inputs, batch_size, [result_tensor]
+        )
+        tb = Builder.at_end(new_task.body)
+        batch_index = new_task.batch_index
+
+        arg_cursor = 0
+        feature_values: Dict[int, Value] = {}
+        if needed_features:
+            input_block_arg = new_task.input_args[arg_cursor]
+            arg_cursor += 1
+            for feature in needed_features:
+                feature_values[feature] = tb.create(
+                    lospn.BatchExtractOp,
+                    input_block_arg,
+                    batch_index,
+                    static_index=feature,
+                    transposed=False,
+                ).result
+        import_values: Dict[Value, Value] = {}
+        for p in import_parts:
+            tensor_arg = new_task.input_args[arg_cursor]
+            arg_cursor += 1
+            for value in needed_imports:
+                src_part, idx = export_index[value]
+                if src_part != p:
+                    continue
+                import_values[value] = tb.create(
+                    lospn.BatchExtractOp,
+                    tensor_arg,
+                    batch_index,
+                    static_index=idx,
+                    transposed=True,
+                ).result
+
+        # Build the body: inputs are features + imported intermediate values.
+        body_inputs: List[Value] = [feature_values[f] for f in needed_features]
+        body_inputs.extend(import_values[v] for v in needed_imports)
+        body_result_types = [v.type for v in exports[part]]
+        new_body = tb.create(lospn.BodyOp, body_inputs, body_result_types)
+        bb = Builder.at_end(new_body.body)
+
+        value_map: Dict[Value, Value] = {}
+        for i, feature in enumerate(needed_features):
+            # Feature block-args of the original body that map to this feature.
+            for old_arg, feat in feature_of_arg.items():
+                if feat == feature:
+                    value_map[old_arg] = new_body.body.arguments[i]
+        offset = len(needed_features)
+        for i, value in enumerate(needed_imports):
+            value_map[value] = new_body.body.arguments[offset + i]
+
+        cloned_constants: Dict[int, Operation] = {}
+        for op in ops:
+            # Re-materialize constant operands from other partitions.
+            for operand in op.operands:
+                producer = operand.defining_op
+                if (
+                    producer is not None
+                    and producer.has_trait(Trait.CONSTANT_LIKE)
+                    and assignment.get(id(producer)) != part
+                    and operand not in value_map
+                ):
+                    if id(producer) not in cloned_constants:
+                        cloned_constants[id(producer)] = bb.insert(
+                            producer.clone({})
+                        )
+                    value_map[operand] = cloned_constants[id(producer)].results[0]
+            bb.insert(op.clone(value_map))
+        bb.create(
+            lospn.YieldOp, [value_map.get(v, v) for v in exports[part]]
+        )
+
+        tb.create(
+            lospn.BatchCollectOp,
+            batch_index,
+            list(new_body.results),
+            transposed=True,
+        )
+        part_result[part] = new_task.results[0]
+        if is_final:
+            final_result = new_task.results[0]
+
+    if final_result is None:
+        raise IRError("partitioning lost the root value")
+    kb.create(lospn.KernelReturnOp, [final_result])

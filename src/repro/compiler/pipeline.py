@@ -1,0 +1,252 @@
+"""End-to-end compilation driver (paper Section IV).
+
+Runs the full SPNC flow::
+
+    SPN + query ──frontend──▶ HiSPN ──simplify──▶ HiSPN
+        ──lower──▶ LoSPN (tensor) ──partition──▶ LoSPN (multi-task)
+        ──bufferize──▶ LoSPN (memref) ──target lowering──▶ func/scf/...
+        ──codegen──▶ executable kernel
+
+Optimization levels mirror the paper's -O0…-O3 (Section V-B1):
+
+========  ==========================================================
+-O0       structural lowering only; no CSE/canonicalization/LICM,
+          naive bufferization copies remain
+-O1       canonicalize + CSE + LICM + buffer copy removal (the
+          configuration the paper selects as the best trade-off)
+-O2       a second canonicalize/CSE round after target lowering
+-O3       -O2 plus an extra LoSPN-level CSE round and one more
+          greedy canonicalization sweep
+========  ==========================================================
+
+The driver records wall-clock time per stage; the compile-time
+experiments (Figs. 10-13) read those numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dialects import lospn
+from ..ir import ModuleOp, print_op, verify
+from ..ir.transforms import run_cse, run_dce
+from ..ir.transforms.canonicalize import canonicalize
+from ..ir.transforms.licm import hoist_loop_invariants
+from ..spn.nodes import Node
+from ..spn.query import JointProbability
+from ..backends.cpu.codegen import generate_cpu_module, numpy_dtype
+from ..runtime.executable import CPUExecutable, KernelSignature
+from .bufferization import bufferize, insert_deallocations, remove_result_copies
+from .cpu.lowering import CPULoweringOptions, ISAS, lower_kernel_to_cpu
+from .frontend import build_hispn_module
+from .hispn_passes import simplify_hispn
+from .lower_to_lospn import lower_to_lospn
+from .partitioning import PartitioningOptions, PartitioningStats, partition_kernel
+
+
+@dataclass
+class CompilerOptions:
+    """User-facing compiler configuration (the Python interface knobs)."""
+
+    target: str = "cpu"  # "cpu" | "gpu"
+    opt_level: int = 1
+    # CPU mapping strategy (Section V-A1).
+    vectorize: bool = False
+    vector_isa: str = "avx2"
+    use_vector_library: bool = True
+    use_shuffle: bool = True
+    superword_factor: int = 128
+    num_threads: int = 1
+    # Target-independent knobs.
+    max_partition_size: Optional[int] = None
+    use_log_space: bool = True
+    # GPU knobs (block size defaults to the query batch size).
+    gpu_block_size: Optional[int] = None
+    # Diagnostics.
+    collect_ir: bool = False
+    verify_each_stage: bool = False
+
+    def __post_init__(self):
+        if self.target not in ("cpu", "gpu"):
+            raise ValueError(f"unknown target '{self.target}'")
+        if not 0 <= self.opt_level <= 3:
+            raise ValueError("opt_level must be in 0..3")
+        if self.vector_isa not in ISAS:
+            raise ValueError(f"unknown vector ISA '{self.vector_isa}'")
+
+
+@dataclass
+class CompilationResult:
+    """A compiled kernel plus compile-time diagnostics."""
+
+    executable: object
+    options: CompilerOptions
+    query: JointProbability
+    stage_seconds: "OrderedDict[str, float]"
+    partitioning: Optional[PartitioningStats]
+    num_tasks: int
+    ir_dumps: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def compile_time(self) -> float:
+        return sum(self.stage_seconds.values())
+
+
+class _StageTimer:
+    def __init__(self, collect_ir: bool, verify_each: bool):
+        self.stage_seconds: "OrderedDict[str, float]" = OrderedDict()
+        self.ir_dumps: Dict[str, str] = {}
+        self.collect_ir = collect_ir
+        self.verify_each = verify_each
+
+    def run(self, name: str, fn, module: Optional[ModuleOp] = None):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+        dump_target = result if isinstance(result, ModuleOp) else module
+        if self.verify_each and isinstance(dump_target, ModuleOp):
+            verify(dump_target)
+        if self.collect_ir and isinstance(dump_target, ModuleOp):
+            self.ir_dumps[name] = print_op(dump_target)
+        return result
+
+
+def compile_spn(
+    root: Node,
+    query: Optional[JointProbability] = None,
+    options: Optional[CompilerOptions] = None,
+) -> CompilationResult:
+    """Compile an SPN joint-probability query to an executable kernel."""
+    query = query or JointProbability()
+    options = options or CompilerOptions()
+    timer = _StageTimer(options.collect_ir, options.verify_each_stage)
+
+    # Target-independent pipeline (Section IV-A).
+    module = timer.run("frontend", lambda: build_hispn_module(root, query))
+    if options.opt_level >= 1:
+        timer.run("hispn-simplify", lambda: simplify_hispn(module), module)
+    module = timer.run(
+        "lower-to-lospn", lambda: lower_to_lospn(module, options.use_log_space)
+    )
+    if options.opt_level >= 3:
+        timer.run("lospn-cse", lambda: run_cse(module), module)
+
+    partition_stats: Optional[PartitioningStats] = None
+    if options.max_partition_size is not None:
+        part_options = PartitioningOptions(
+            max_partition_size=options.max_partition_size
+        )
+
+        def run_partitioning():
+            return partition_kernel(module, part_options)
+
+        module, partition_stats = timer.run("graph-partitioning", run_partitioning)
+
+    if options.opt_level >= 3:
+        from .balance import balance_chains
+
+        timer.run("balance-chains", lambda: balance_chains(module), module)
+
+    module = timer.run("bufferize", lambda: bufferize(module))
+    if options.opt_level >= 1:
+        timer.run(
+            "buffer-optimization", lambda: remove_result_copies(module), module
+        )
+    timer.run("buffer-deallocation", lambda: insert_deallocations(module), module)
+
+    num_tasks = _count_tasks(module)
+
+    if options.target == "cpu":
+        executable = _compile_cpu(module, query, options, timer)
+    else:
+        from .gpu.pipeline import compile_gpu_module
+
+        executable = compile_gpu_module(module, query, options, timer)
+
+    return CompilationResult(
+        executable=executable,
+        options=options,
+        query=query,
+        stage_seconds=timer.stage_seconds,
+        partitioning=partition_stats,
+        num_tasks=num_tasks,
+        ir_dumps=timer.ir_dumps,
+    )
+
+
+def _count_tasks(module: ModuleOp) -> int:
+    count = 0
+    for op in module.body_block.ops:
+        if op.op_name == lospn.KernelOp.name:
+            count += len(op.tasks())
+    return count
+
+
+def _kernel_signature(module: ModuleOp, query: JointProbability) -> KernelSignature:
+    for op in module.body_block.ops:
+        if op.op_name == lospn.KernelOp.name:
+            input_type = op.arg_types[0]
+            result_type = op.arg_types[-1]
+            return KernelSignature(
+                num_features=input_type.shape[1],
+                input_dtype=numpy_dtype(input_type.element_type),
+                result_dtype=numpy_dtype(result_type.element_type),
+                log_space=isinstance(result_type.element_type, lospn.LogType),
+                batch_size=query.batch_size,
+                num_results=result_type.shape[0] or 1,
+            )
+    raise ValueError("module contains no lo_spn.kernel")
+
+
+def _compile_cpu(
+    module: ModuleOp,
+    query: JointProbability,
+    options: CompilerOptions,
+    timer: _StageTimer,
+) -> CPUExecutable:
+    signature = _kernel_signature(module, query)
+    kernel_name = _kernel_name(module)
+
+    lowering_options = CPULoweringOptions(
+        vectorize=options.vectorize,
+        isa=ISAS[options.vector_isa],
+        use_vector_library=options.use_vector_library,
+        use_shuffle=options.use_shuffle,
+        superword_factor=options.superword_factor,
+    )
+    lowered = timer.run(
+        "cpu-lowering", lambda: lower_kernel_to_cpu(module, lowering_options)
+    )
+
+    if options.opt_level >= 1:
+        timer.run("canonicalize", lambda: canonicalize(lowered), lowered)
+        timer.run("cse", lambda: run_cse(lowered), lowered)
+        timer.run("licm", lambda: hoist_loop_invariants(lowered), lowered)
+        timer.run("dce", lambda: run_dce(lowered), lowered)
+    if options.opt_level >= 2:
+        timer.run("canonicalize-2", lambda: canonicalize(lowered), lowered)
+        timer.run("cse-2", lambda: run_cse(lowered), lowered)
+    if options.opt_level >= 3:
+        timer.run("canonicalize-3", lambda: canonicalize(lowered), lowered)
+
+    reuse_registers = options.opt_level >= 2 and options.vectorize
+    generated = timer.run(
+        "codegen",
+        lambda: generate_cpu_module(lowered, reuse_vector_registers=reuse_registers),
+    )
+    return CPUExecutable(
+        generated, kernel_name, signature, num_threads=options.num_threads
+    )
+
+
+def _kernel_name(module: ModuleOp) -> str:
+    for op in module.body_block.ops:
+        if op.op_name == lospn.KernelOp.name:
+            return op.sym_name
+    raise ValueError("module contains no lo_spn.kernel")

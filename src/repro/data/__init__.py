@@ -1,0 +1,19 @@
+"""Synthetic dataset generators standing in for the paper's workloads."""
+
+from .images import ImageDataset, ImageDatasetConfig, generate_image_dataset
+from .speaker import (
+    SpeakerDataset,
+    SpeakerDatasetConfig,
+    generate_speaker_dataset,
+    train_speaker_spns,
+)
+
+__all__ = [
+    "ImageDataset",
+    "ImageDatasetConfig",
+    "generate_image_dataset",
+    "SpeakerDataset",
+    "SpeakerDatasetConfig",
+    "generate_speaker_dataset",
+    "train_speaker_spns",
+]

@@ -1,0 +1,128 @@
+"""Synthetic speaker-identification dataset (Application 1 substitute).
+
+The paper evaluates on SPNs from Nicolson et al.'s robust automatic
+speaker identification: per-speaker SPNs over 26-dimensional speech
+feature vectors (MFSC features), evaluated on clean samples and on noisy
+samples with marginalized (missing) features.
+
+The original corpus is not available offline, so this module synthesizes
+speech-like data with the same relevant structure: each speaker is a
+random mixture of Gaussians over 26 correlated features, clean samples
+draw directly from the speaker's mixture, and noisy samples additionally
+mask a random subset of features with NaN (the compiler's marginalization
+convention). Per-speaker SPNs are then learned with LearnSPN, yielding
+graphs in the paper's reported size range (~2.5k operations, roughly half
+Gaussian leaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..spn.learning import LearnSPNOptions, learn_spn
+from ..spn.nodes import Node
+
+NUM_FEATURES = 26
+
+
+@dataclass
+class SpeakerDatasetConfig:
+    """Configuration for the synthetic speaker-ID data generator."""
+
+    num_speakers: int = 5
+    num_features: int = NUM_FEATURES
+    train_samples_per_speaker: int = 400
+    clean_samples: int = 2000
+    noisy_samples: int = 4000
+    mixture_components: int = 4
+    noise_missing_fraction: float = 0.3
+    seed: int = 7
+
+
+@dataclass
+class SpeakerDataset:
+    """Generated data plus the per-speaker ground-truth mixture parameters."""
+
+    config: SpeakerDatasetConfig
+    train: List[np.ndarray]  # per speaker [n, features]
+    clean: np.ndarray  # [clean_samples, features] float32
+    clean_labels: np.ndarray
+    noisy: np.ndarray  # [noisy_samples, features] with NaN holes, float32
+    noisy_labels: np.ndarray
+
+
+def _speaker_mixture(rng: np.random.Generator, config: SpeakerDatasetConfig):
+    """Random GMM parameters for one speaker (means, scales, base correlation)."""
+    k = config.mixture_components
+    means = rng.normal(0.0, 2.0, size=(k, config.num_features))
+    scales = rng.uniform(0.4, 1.2, size=(k, config.num_features))
+    weights = rng.dirichlet(np.ones(k))
+    # A shared low-rank direction induces feature correlations, making the
+    # LearnSPN row-clustering / independence splits non-trivial.
+    direction = rng.normal(0.0, 1.0, size=config.num_features)
+    return means, scales, weights, direction
+
+
+def _draw(rng, means, scales, weights, direction, count: int) -> np.ndarray:
+    k, features = means.shape
+    components = rng.choice(k, size=count, p=weights)
+    noise = rng.normal(0.0, 1.0, size=(count, features))
+    shared = rng.normal(0.0, 1.0, size=(count, 1)) * direction[None, :] * 0.5
+    return means[components] + noise * scales[components] + shared
+
+
+def generate_speaker_dataset(config: SpeakerDatasetConfig = None) -> SpeakerDataset:
+    """Generate train/clean/noisy splits for all speakers."""
+    config = config or SpeakerDatasetConfig()
+    rng = np.random.default_rng(config.seed)
+    mixtures = [_speaker_mixture(rng, config) for _ in range(config.num_speakers)]
+
+    train = [
+        _draw(rng, *mix, config.train_samples_per_speaker) for mix in mixtures
+    ]
+
+    def draw_labeled(total: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, config.num_speakers, size=total)
+        samples = np.empty((total, config.num_features))
+        for speaker in range(config.num_speakers):
+            mask = labels == speaker
+            if mask.any():
+                samples[mask] = _draw(rng, *mixtures[speaker], int(mask.sum()))
+        return samples, labels
+
+    clean, clean_labels = draw_labeled(config.clean_samples)
+    noisy, noisy_labels = draw_labeled(config.noisy_samples)
+    holes = rng.random(noisy.shape) < config.noise_missing_fraction
+    noisy = noisy.copy()
+    noisy[holes] = np.nan
+
+    return SpeakerDataset(
+        config=config,
+        train=train,
+        clean=clean.astype(np.float32),
+        clean_labels=clean_labels,
+        noisy=noisy.astype(np.float32),
+        noisy_labels=noisy_labels,
+    )
+
+
+def train_speaker_spns(
+    dataset: SpeakerDataset, options: LearnSPNOptions = None
+) -> List[Node]:
+    """Learn one SPN per speaker from the training split.
+
+    The default LearnSPN options are tuned to produce graphs around the
+    paper's reported average size (~2.5k operations, ~49 % Gaussian
+    leaves).
+    """
+    options = options or LearnSPNOptions(
+        min_instances=25,
+        independence_threshold=0.3,
+        num_clusters=2,
+        leaf_kind="gaussian",
+        max_depth=14,
+    )
+    return [learn_spn(split, options) for split in dataset.train]

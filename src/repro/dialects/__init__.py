@@ -1,0 +1,19 @@
+"""Dialect definitions: standard dialects plus the two SPN dialects.
+
+Importing this package registers every dialect's operations and types, so
+the parser and pass infrastructure can resolve them by name.
+"""
+
+from . import arith, func, gpu, hispn, lospn, math_dialect, memref, scf, vector
+
+__all__ = [
+    "arith",
+    "func",
+    "gpu",
+    "hispn",
+    "lospn",
+    "math_dialect",
+    "memref",
+    "scf",
+    "vector",
+]

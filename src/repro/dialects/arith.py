@@ -1,0 +1,389 @@
+"""The ``arith`` dialect: constants, integer/float arithmetic, compare, select.
+
+Ops operate elementwise, so the same op classes are reused for scalar and
+vector types (as in MLIR). Constant folding hooks implement the subset of
+folds the canonicalizer needs for SPN kernels: constant-constant
+arithmetic, additive/multiplicative identities, and select-of-constant.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, List, Optional, Union
+
+import numpy as np
+
+from ..ir.builder import Builder
+from ..ir.dialect import Dialect
+from ..ir.ops import IRError, Operation
+from ..ir.rewrite import set_constant_materializer
+from ..ir.traits import Trait
+from ..ir.types import FloatType, IndexType, IntegerType, Type, VectorType, i1
+from ..ir.value import Value
+
+arith = Dialect("arith", "Standard integer and floating point arithmetic")
+
+Number = Union[int, float]
+
+
+def element_type(ty: Type) -> Type:
+    return ty.element_type if isinstance(ty, VectorType) else ty
+
+
+@arith.op
+class ConstantOp(Operation):
+    """A compile-time constant scalar (``value`` attribute)."""
+
+    name = "arith.constant"
+    traits = frozenset({Trait.PURE, Trait.CONSTANT_LIKE})
+
+    @classmethod
+    def build(cls, value: Number, ty: Type) -> "ConstantOp":
+        elem = element_type(ty)
+        if isinstance(elem, FloatType):
+            value = float(value)
+        elif isinstance(elem, (IntegerType, IndexType)):
+            value = int(value)
+        else:
+            raise IRError(f"cannot build arith.constant of type {ty}")
+        return cls(attributes={"value": value}, result_types=[ty])
+
+    @property
+    def value(self) -> Number:
+        return self.attributes["value"]
+
+
+def constant_value(value: Value) -> Optional[Number]:
+    """If ``value`` is produced by arith.constant, return its payload."""
+    op = value.defining_op
+    if op is not None and op.op_name == ConstantOp.name:
+        return op.attributes["value"]
+    return None
+
+
+def _materialize(builder: Builder, value: Any, ty: Type) -> Optional[Value]:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return builder.create(ConstantOp, value, ty).result
+    if isinstance(value, bool):
+        return builder.create(ConstantOp, int(value), i1).result
+    return None
+
+
+set_constant_materializer(_materialize)
+
+
+class _BinaryOp(Operation):
+    """Shared base for elementwise binary ops."""
+
+    traits = frozenset({Trait.PURE, Trait.SAME_OPERANDS_AND_RESULT_TYPE})
+    py_operator = None  # set by subclasses
+    identity: Optional[Number] = None  # right identity, if folding is safe
+
+    @classmethod
+    def build(cls, lhs: Value, rhs: Value) -> "_BinaryOp":
+        if lhs.type != rhs.type:
+            raise IRError(f"'{cls.name}': operand types differ: {lhs.type} vs {rhs.type}")
+        return cls(operands=[lhs, rhs], result_types=[lhs.type])
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def verify_op(self) -> None:
+        if len(self.operands) != 2:
+            raise IRError(f"'{self.op_name}' requires exactly two operands")
+        if self.operands[0].type != self.operands[1].type:
+            raise IRError(f"'{self.op_name}' operand types differ")
+
+    def fold(self):
+        lhs_const = constant_value(self.operands[0])
+        rhs_const = constant_value(self.operands[1])
+        if lhs_const is not None and rhs_const is not None:
+            return [type(self).py_operator(lhs_const, rhs_const)]
+        if rhs_const is not None and rhs_const == type(self).identity:
+            return [self.operands[0]]
+        return None
+
+
+@arith.op
+class AddFOp(_BinaryOp):
+    name = "arith.addf"
+    traits = _BinaryOp.traits | {Trait.COMMUTATIVE}
+    py_operator = operator.add
+    identity = 0.0
+
+
+@arith.op
+class SubFOp(_BinaryOp):
+    name = "arith.subf"
+    py_operator = operator.sub
+    identity = 0.0
+
+
+@arith.op
+class MulFOp(_BinaryOp):
+    name = "arith.mulf"
+    traits = _BinaryOp.traits | {Trait.COMMUTATIVE}
+    py_operator = operator.mul
+    identity = 1.0
+
+
+@arith.op
+class DivFOp(_BinaryOp):
+    name = "arith.divf"
+    py_operator = operator.truediv
+    identity = 1.0
+
+
+@arith.op
+class AddIOp(_BinaryOp):
+    name = "arith.addi"
+    traits = _BinaryOp.traits | {Trait.COMMUTATIVE}
+    py_operator = operator.add
+    identity = 0
+
+
+@arith.op
+class SubIOp(_BinaryOp):
+    name = "arith.subi"
+    py_operator = operator.sub
+    identity = 0
+
+
+@arith.op
+class MulIOp(_BinaryOp):
+    name = "arith.muli"
+    traits = _BinaryOp.traits | {Trait.COMMUTATIVE}
+    py_operator = operator.mul
+    identity = 1
+
+
+@arith.op
+class NegFOp(Operation):
+    name = "arith.negf"
+    traits = frozenset({Trait.PURE, Trait.SAME_OPERANDS_AND_RESULT_TYPE})
+
+    @classmethod
+    def build(cls, value: Value) -> "NegFOp":
+        return cls(operands=[value], result_types=[value.type])
+
+    def fold(self):
+        const = constant_value(self.operands[0])
+        if const is not None:
+            return [-const]
+        return None
+
+
+_CMP_PREDICATES = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "slt": operator.lt,
+    "sle": operator.le,
+    "sgt": operator.gt,
+    "sge": operator.ge,
+    "ult": operator.lt,
+    "ule": operator.le,
+    "ugt": operator.gt,
+    "uge": operator.ge,
+    "olt": operator.lt,
+    "ole": operator.le,
+    "ogt": operator.gt,
+    "oge": operator.ge,
+    "oeq": operator.eq,
+    "one": operator.ne,
+    # Unordered float predicates (true when an operand is NaN at runtime;
+    # folding only happens on non-NaN constants where they coincide).
+    "ueq": operator.eq,
+    "une": operator.ne,
+}
+
+
+class _CmpOp(Operation):
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, predicate: str, lhs: Value, rhs: Value) -> "_CmpOp":
+        if predicate not in _CMP_PREDICATES:
+            raise IRError(f"unknown comparison predicate '{predicate}'")
+        if lhs.type != rhs.type:
+            raise IRError(f"'{cls.name}': operand types differ")
+        result = (
+            VectorType(lhs.type.shape, i1) if isinstance(lhs.type, VectorType) else i1
+        )
+        return cls(
+            operands=[lhs, rhs],
+            result_types=[result],
+            attributes={"predicate": predicate},
+        )
+
+    @property
+    def predicate(self) -> str:
+        return self.attributes["predicate"]
+
+    def fold(self):
+        lhs_const = constant_value(self.operands[0])
+        rhs_const = constant_value(self.operands[1])
+        if lhs_const is not None and rhs_const is not None:
+            return [int(_CMP_PREDICATES[self.predicate](lhs_const, rhs_const))]
+        return None
+
+
+@arith.op
+class CmpIOp(_CmpOp):
+    name = "arith.cmpi"
+
+
+@arith.op
+class CmpFOp(_CmpOp):
+    name = "arith.cmpf"
+
+
+@arith.op
+class SelectOp(Operation):
+    """``select(cond, true_value, false_value)``, elementwise on vectors."""
+
+    name = "arith.select"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, cond: Value, true_value: Value, false_value: Value) -> "SelectOp":
+        if true_value.type != false_value.type:
+            raise IRError("arith.select branch types differ")
+        return cls(
+            operands=[cond, true_value, false_value],
+            result_types=[true_value.type],
+        )
+
+    def fold(self):
+        cond_const = constant_value(self.operands[0])
+        if cond_const is not None:
+            return [self.operands[1] if cond_const else self.operands[2]]
+        if self.operands[1] is self.operands[2]:
+            return [self.operands[1]]
+        return None
+
+
+@arith.op
+class IndexCastOp(Operation):
+    """Cast between index and integer types."""
+
+    name = "arith.index_cast"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value: Value, result_type: Type) -> "IndexCastOp":
+        return cls(operands=[value], result_types=[result_type])
+
+    def fold(self):
+        const = constant_value(self.operands[0])
+        if const is not None:
+            return [int(const)]
+        return None
+
+
+@arith.op
+class SIToFPOp(Operation):
+    """Signed integer to floating point conversion."""
+
+    name = "arith.sitofp"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value: Value, result_type: Type) -> "SIToFPOp":
+        return cls(operands=[value], result_types=[result_type])
+
+    def fold(self):
+        const = constant_value(self.operands[0])
+        if const is not None:
+            return [float(const)]
+        return None
+
+
+@arith.op
+class FPToSIOp(Operation):
+    """Floating point to signed integer conversion (truncating)."""
+
+    name = "arith.fptosi"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value: Value, result_type: Type) -> "FPToSIOp":
+        return cls(operands=[value], result_types=[result_type])
+
+    def fold(self):
+        const = constant_value(self.operands[0])
+        if const is not None:
+            return [int(const)]
+        return None
+
+
+@arith.op
+class TruncFOp(Operation):
+    """Floating point truncation (e.g. f64 -> f32)."""
+
+    name = "arith.truncf"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value: Value, result_type: Type) -> "TruncFOp":
+        return cls(operands=[value], result_types=[result_type])
+
+
+@arith.op
+class ExtFOp(Operation):
+    """Floating point extension (e.g. f32 -> f64)."""
+
+    name = "arith.extf"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value: Value, result_type: Type) -> "ExtFOp":
+        return cls(operands=[value], result_types=[result_type])
+
+
+@arith.op
+class DivSIOp(_BinaryOp):
+    """Signed integer division (floor semantics in our Python backend)."""
+
+    name = "arith.divsi"
+    py_operator = operator.floordiv
+    identity = 1
+
+
+@arith.op
+class RemSIOp(_BinaryOp):
+    name = "arith.remsi"
+    py_operator = operator.mod
+
+
+@arith.op
+class AndIOp(_BinaryOp):
+    name = "arith.andi"
+    traits = _BinaryOp.traits | {Trait.COMMUTATIVE}
+    py_operator = operator.and_
+
+
+@arith.op
+class OrIOp(_BinaryOp):
+    name = "arith.ori"
+    traits = _BinaryOp.traits | {Trait.COMMUTATIVE}
+    py_operator = operator.or_
+    identity = 0
+
+
+@arith.op
+class MinFOp(_BinaryOp):
+    name = "arith.minf"
+    traits = _BinaryOp.traits | {Trait.COMMUTATIVE}
+    py_operator = min
+
+
+@arith.op
+class MaxFOp(_BinaryOp):
+    name = "arith.maxf"
+    traits = _BinaryOp.traits | {Trait.COMMUTATIVE}
+    py_operator = max

@@ -1,0 +1,118 @@
+"""The ``func`` dialect: functions, calls and returns."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir.builtin import ModuleOp
+from ..ir.dialect import Dialect
+from ..ir.ops import Block, IRError, Operation
+from ..ir.traits import Trait
+from ..ir.types import Type
+from ..ir.value import Value
+
+func = Dialect("func", "Functions, calls and returns")
+
+
+@func.op
+class FuncOp(Operation):
+    """A function definition.
+
+    The signature is stored as ``arg_types`` / ``result_types`` attributes
+    (tuples of types); the single region's entry block carries matching
+    block arguments.
+    """
+
+    name = "func.func"
+    traits = frozenset(
+        {Trait.ISOLATED_FROM_ABOVE, Trait.SINGLE_BLOCK, Trait.FUNCTION_LIKE}
+    )
+
+    @classmethod
+    def build(
+        cls,
+        sym_name: str,
+        arg_types: Sequence[Type],
+        result_types: Sequence[Type] = (),
+    ) -> "FuncOp":
+        op = cls(
+            attributes={
+                "sym_name": sym_name,
+                "arg_types": tuple(arg_types),
+                "result_types": tuple(result_types),
+            },
+            regions=1,
+        )
+        op.regions[0].append_block(Block(arg_types))
+        return op
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"]
+
+    @property
+    def arg_types(self) -> tuple:
+        return self.attributes["arg_types"]
+
+    @property
+    def result_types(self) -> tuple:
+        return self.attributes["result_types"]
+
+    @property
+    def body(self) -> Block:
+        return self.body_block
+
+    def verify_op(self) -> None:
+        block = self.body_block
+        if tuple(arg.type for arg in block.arguments) != tuple(self.arg_types):
+            raise IRError(
+                f"func '{self.sym_name}': entry block arguments do not match signature"
+            )
+        term = block.terminator
+        if term is None or term.op_name != ReturnOp.name:
+            raise IRError(f"func '{self.sym_name}' must end with func.return")
+        if tuple(v.type for v in term.operands) != tuple(self.result_types):
+            raise IRError(f"func '{self.sym_name}': return types do not match signature")
+
+
+@func.op
+class ReturnOp(Operation):
+    name = "func.return"
+    traits = frozenset({Trait.TERMINATOR})
+
+    @classmethod
+    def build(cls, values: Sequence[Value] = ()) -> "ReturnOp":
+        return cls(operands=list(values))
+
+
+@func.op
+class CallOp(Operation):
+    """A direct call to a function symbol in the enclosing module."""
+
+    name = "func.call"
+
+    @classmethod
+    def build(
+        cls, callee: str, operands: Sequence[Value], result_types: Sequence[Type] = ()
+    ) -> "CallOp":
+        return cls(
+            operands=list(operands),
+            result_types=list(result_types),
+            attributes={"callee": callee},
+        )
+
+    @property
+    def callee(self) -> str:
+        return self.attributes["callee"]
+
+
+def lookup_function(module: Operation, sym_name: str) -> Optional[FuncOp]:
+    """Find a func.func with the given symbol name in a module."""
+    for op in module.body_block.ops:
+        if op.op_name == FuncOp.name and op.attributes.get("sym_name") == sym_name:
+            return op
+    return None
+
+
+def module_functions(module: Operation) -> List[FuncOp]:
+    return [op for op in module.body_block.ops if op.op_name == FuncOp.name]

@@ -1,0 +1,230 @@
+"""The ``gpu`` dialect: kernels, launches and host/device data movement.
+
+Mirrors the subset of MLIR's gpu dialect the SPNC GPU lowering uses: a
+``gpu.module`` holding ``gpu.func`` kernels, ``gpu.launch_func`` from host
+code, device buffer management (``gpu.alloc``/``gpu.dealloc``) and
+explicit transfers (``gpu.memcpy`` with a direction attribute). The copy
+elimination pass (Section IV-C) rewrites memcpy round trips.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir.dialect import Dialect
+from ..ir.ops import Block, IRError, Operation
+from ..ir.traits import Trait
+from ..ir.types import IndexType, MemRefType, Type
+from ..ir.value import Value
+
+gpu = Dialect("gpu", "GPU kernels, launches and data transfers")
+
+#: Valid memcpy directions.
+H2D = "h2d"
+D2H = "d2h"
+D2D = "d2d"
+
+
+@gpu.op
+class GPUModuleOp(Operation):
+    """Container for the device-side kernels of one compiled SPN kernel."""
+
+    name = "gpu.module"
+    traits = frozenset({Trait.ISOLATED_FROM_ABOVE, Trait.SINGLE_BLOCK})
+
+    @classmethod
+    def build(cls, sym_name: str) -> "GPUModuleOp":
+        op = cls(attributes={"sym_name": sym_name}, regions=1)
+        op.regions[0].append_block(Block())
+        return op
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"]
+
+    def kernels(self) -> List["GPUFuncOp"]:
+        return [op for op in self.body_block.ops if op.op_name == GPUFuncOp.name]
+
+
+@gpu.op
+class GPUFuncOp(Operation):
+    """A device kernel function; computes one sample per thread."""
+
+    name = "gpu.func"
+    traits = frozenset(
+        {Trait.ISOLATED_FROM_ABOVE, Trait.SINGLE_BLOCK, Trait.FUNCTION_LIKE}
+    )
+
+    @classmethod
+    def build(cls, sym_name: str, arg_types: Sequence[Type]) -> "GPUFuncOp":
+        op = cls(
+            attributes={"sym_name": sym_name, "arg_types": tuple(arg_types), "kernel": True},
+            regions=1,
+        )
+        op.regions[0].append_block(Block(arg_types))
+        return op
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"]
+
+    @property
+    def arg_types(self) -> tuple:
+        return self.attributes["arg_types"]
+
+    @property
+    def body(self) -> Block:
+        return self.body_block
+
+
+@gpu.op
+class ReturnOp(Operation):
+    name = "gpu.return"
+    traits = frozenset({Trait.TERMINATOR})
+
+    @classmethod
+    def build(cls) -> "ReturnOp":
+        return cls()
+
+
+class _IdOp(Operation):
+    """Base for block/thread id and dim queries (``dimension`` in x/y/z)."""
+
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, dimension: str = "x"):
+        if dimension not in ("x", "y", "z"):
+            raise IRError(f"invalid gpu dimension '{dimension}'")
+        return cls(
+            result_types=[IndexType()], attributes={"dimension": dimension}
+        )
+
+    @property
+    def dimension(self) -> str:
+        return self.attributes["dimension"]
+
+
+@gpu.op
+class BlockIdOp(_IdOp):
+    name = "gpu.block_id"
+
+
+@gpu.op
+class ThreadIdOp(_IdOp):
+    name = "gpu.thread_id"
+
+
+@gpu.op
+class BlockDimOp(_IdOp):
+    name = "gpu.block_dim"
+
+
+@gpu.op
+class GridDimOp(_IdOp):
+    name = "gpu.grid_dim"
+
+
+@gpu.op
+class AllocOp(Operation):
+    """Allocate a device buffer."""
+
+    name = "gpu.alloc"
+
+    @classmethod
+    def build(cls, memref_type: MemRefType, dynamic_sizes: Sequence[Value] = ()) -> "AllocOp":
+        return cls(operands=list(dynamic_sizes), result_types=[memref_type])
+
+
+@gpu.op
+class DeallocOp(Operation):
+    name = "gpu.dealloc"
+
+    @classmethod
+    def build(cls, buffer: Value) -> "DeallocOp":
+        return cls(operands=[buffer])
+
+
+@gpu.op
+class MemcpyOp(Operation):
+    """Copy between host and device buffers (``direction`` attribute)."""
+
+    name = "gpu.memcpy"
+
+    @classmethod
+    def build(cls, dst: Value, src: Value, direction: str) -> "MemcpyOp":
+        if direction not in (H2D, D2H, D2D):
+            raise IRError(f"invalid memcpy direction '{direction}'")
+        return cls(operands=[dst, src], attributes={"direction": direction})
+
+    @property
+    def dst(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def src(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def direction(self) -> str:
+        return self.attributes["direction"]
+
+
+@gpu.op
+class LaunchFuncOp(Operation):
+    """Launch a kernel over a 1-D grid.
+
+    Operands: grid size, block size, valid thread count (all index), then
+    the kernel arguments. The valid count realizes the per-thread bounds
+    guard (``if global_id < n``) of real kernels: the simulator only
+    materializes in-range threads. The kernel is referenced by
+    ``module @ function`` symbol attributes.
+    """
+
+    name = "gpu.launch_func"
+
+    @classmethod
+    def build(
+        cls,
+        module_name: str,
+        kernel_name: str,
+        grid_size: Value,
+        block_size: Value,
+        valid_count: Value,
+        kernel_args: Sequence[Value],
+    ) -> "LaunchFuncOp":
+        return cls(
+            operands=[grid_size, block_size, valid_count] + list(kernel_args),
+            attributes={"module": module_name, "kernel": kernel_name},
+        )
+
+    @property
+    def module_name(self) -> str:
+        return self.attributes["module"]
+
+    @property
+    def kernel_name(self) -> str:
+        return self.attributes["kernel"]
+
+    @property
+    def grid_size(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def block_size(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def valid_count(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def kernel_args(self) -> List[Value]:
+        return self.operands[3:]
+
+
+def lookup_gpu_module(module: Operation, sym_name: str) -> Optional[GPUModuleOp]:
+    for op in module.body_block.ops:
+        if op.op_name == GPUModuleOp.name and op.attributes.get("sym_name") == sym_name:
+            return op
+    return None

@@ -1,0 +1,333 @@
+"""The ``hi_spn`` dialect (paper Section III-A, Table I).
+
+HiSPN captures a probabilistic query and the SPN DAG at the abstraction
+level of the SPFlow frontend. The DAG lives inside a ``hi_spn.graph``
+whose entry block has one argument per input feature; sum/product/leaf
+ops model the DAG through data flow, and ``hi_spn.root`` marks the root.
+
+All node ops produce the abstract ``!hi_spn.probability`` type: the
+concrete computation datatype (f32/f64, linear or log space) is only
+chosen during the lowering to LoSPN, based on graph characteristics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.dialect import Dialect
+from ..ir.ops import Block, IRError, Operation
+from ..ir.traits import Trait
+from ..ir.types import Type, register_dialect_type
+from ..ir.value import Value
+
+hispn = Dialect("hi_spn", "High-level SPN queries and DAG structure")
+
+
+@hispn.type
+class ProbabilityType(Type):
+    """The abstract probability type deferring the datatype decision."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__(())
+
+    def spelling(self) -> str:
+        return "!hi_spn.probability"
+
+    @classmethod
+    def parse(cls, body: str, parser=None) -> "ProbabilityType":
+        if body:
+            raise ValueError("!hi_spn.probability takes no parameters")
+        return cls()
+
+
+register_dialect_type("hi_spn.probability", ProbabilityType)
+
+prob = ProbabilityType()
+
+
+class _QueryOp(Operation):
+    """Common base for query ops wrapping a graph region."""
+
+    traits = frozenset({Trait.ISOLATED_FROM_ABOVE, Trait.SINGLE_BLOCK})
+
+    @classmethod
+    def build(
+        cls,
+        num_features: int,
+        input_type: Type,
+        batch_size: int = 1,
+        support_marginal: bool = False,
+        relative_error: float = 0.0,
+    ):
+        op = cls(
+            attributes={
+                "numFeatures": num_features,
+                "inputType": input_type,
+                "batchSize": batch_size,
+                "supportMarginal": support_marginal,
+                "relativeError": float(relative_error),
+            },
+            regions=1,
+        )
+        op.regions[0].append_block(Block())
+        return op
+
+    @property
+    def num_features(self) -> int:
+        return self.attributes["numFeatures"]
+
+    @property
+    def input_type(self) -> Type:
+        return self.attributes["inputType"]
+
+    @property
+    def batch_size(self) -> int:
+        return self.attributes["batchSize"]
+
+    @property
+    def support_marginal(self) -> bool:
+        return self.attributes["supportMarginal"]
+
+    @property
+    def relative_error(self) -> float:
+        return self.attributes.get("relativeError", 0.0)
+
+    @property
+    def graph(self) -> "GraphOp":
+        for op in self.body_block.ops:
+            if op.op_name == GraphOp.name:
+                return op
+        raise IRError(f"'{self.op_name}' contains no hi_spn.graph")
+
+    def verify_op(self) -> None:
+        graphs = [op for op in self.body_block.ops if op.op_name == GraphOp.name]
+        if len(graphs) != 1:
+            raise IRError(f"'{self.op_name}' must contain exactly one hi_spn.graph")
+        if graphs[0].num_features != self.num_features:
+            raise IRError("query/graph numFeatures mismatch")
+
+
+@hispn.op
+class JointQueryOp(_QueryOp):
+    """A joint probability query over a batch of fully observed samples.
+
+    With ``supportMarginal`` set, NaN feature values are treated as
+    missing evidence and marginalized at the leaves.
+    """
+
+    name = "hi_spn.joint_query"
+
+
+@hispn.op
+class GraphOp(Operation):
+    """Container for the SPN DAG; block arguments are the feature inputs."""
+
+    name = "hi_spn.graph"
+    traits = frozenset({Trait.SINGLE_BLOCK})
+
+    @classmethod
+    def build(cls, num_features: int, input_type: Type) -> "GraphOp":
+        op = cls(attributes={"numFeatures": num_features}, regions=1)
+        op.regions[0].append_block(Block([input_type] * num_features))
+        return op
+
+    @property
+    def num_features(self) -> int:
+        return self.attributes["numFeatures"]
+
+    @property
+    def body(self) -> Block:
+        return self.body_block
+
+    @property
+    def root_op(self) -> "RootOp":
+        term = self.body_block.terminator
+        if term is None or term.op_name != RootOp.name:
+            raise IRError("hi_spn.graph must terminate with hi_spn.root")
+        return term
+
+    def verify_op(self) -> None:
+        if len(self.body_block.arguments) != self.num_features:
+            raise IRError("hi_spn.graph feature count does not match block arguments")
+        self.root_op  # raises if missing
+
+
+@hispn.op
+class RootOp(Operation):
+    """Marks the root value(s) of the SPN DAG.
+
+    Table I lists a single ``rootValue``; as an extension, multi-head
+    queries (several class SPNs sharing one DAG, compiled into a single
+    kernel) mark one root per head.
+    """
+
+    name = "hi_spn.root"
+    traits = frozenset({Trait.TERMINATOR})
+
+    @classmethod
+    def build(cls, root_values) -> "RootOp":
+        values = list(root_values) if isinstance(root_values, (list, tuple)) else [root_values]
+        if not values:
+            raise IRError("hi_spn.root requires at least one root value")
+        return cls(operands=values)
+
+    @property
+    def root_value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def root_values(self):
+        return list(self.operands)
+
+
+@hispn.op
+class ProductOp(Operation):
+    """An SPN product node (factorization of independent scopes)."""
+
+    name = "hi_spn.product"
+    traits = frozenset({Trait.PURE, Trait.COMMUTATIVE})
+
+    @classmethod
+    def build(cls, operands: Sequence[Value]) -> "ProductOp":
+        return cls(operands=list(operands), result_types=[prob])
+
+    def verify_op(self) -> None:
+        if not self.operands:
+            raise IRError("hi_spn.product requires at least one operand")
+
+
+@hispn.op
+class SumOp(Operation):
+    """An SPN weighted sum node (mixture); weights are an attribute."""
+
+    name = "hi_spn.sum"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, operands: Sequence[Value], weights: Sequence[float]) -> "SumOp":
+        if len(operands) != len(weights):
+            raise IRError("hi_spn.sum operand/weight count mismatch")
+        return cls(
+            operands=list(operands),
+            result_types=[prob],
+            attributes={"weights": tuple(float(w) for w in weights)},
+        )
+
+    @property
+    def weights(self) -> Tuple[float, ...]:
+        return self.attributes["weights"]
+
+    def verify_op(self) -> None:
+        if not self.operands:
+            raise IRError("hi_spn.sum requires at least one operand")
+        if len(self.operands) != len(self.weights):
+            raise IRError("hi_spn.sum operand/weight count mismatch")
+        total = sum(self.weights)
+        if not np.isclose(total, 1.0, atol=1e-4):
+            raise IRError(f"hi_spn.sum weights must sum to 1, got {total}")
+
+
+@hispn.op
+class HistogramOp(Operation):
+    """A histogram leaf over a discretized feature.
+
+    ``bounds`` holds bucket boundaries (len = bucketCount + 1) and
+    ``probabilities`` the per-bucket mass. The input indexes buckets by
+    value: bucket i covers [bounds[i], bounds[i+1]).
+    """
+
+    name = "hi_spn.histogram"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(
+        cls,
+        index: Value,
+        bounds: Sequence[float],
+        probabilities: Sequence[float],
+    ) -> "HistogramOp":
+        if len(bounds) != len(probabilities) + 1:
+            raise IRError("hi_spn.histogram needs len(bounds) == len(probabilities)+1")
+        return cls(
+            operands=[index],
+            result_types=[prob],
+            attributes={
+                "bounds": tuple(float(b) for b in bounds),
+                "probabilities": tuple(float(p) for p in probabilities),
+                "bucketCount": len(probabilities),
+            },
+        )
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self.attributes["bounds"]
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        return self.attributes["probabilities"]
+
+    @property
+    def bucket_count(self) -> int:
+        return self.attributes["bucketCount"]
+
+
+@hispn.op
+class CategoricalOp(Operation):
+    """A categorical leaf: the input selects one of N probabilities."""
+
+    name = "hi_spn.categorical"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, index: Value, probabilities: Sequence[float]) -> "CategoricalOp":
+        return cls(
+            operands=[index],
+            result_types=[prob],
+            attributes={"probabilities": tuple(float(p) for p in probabilities)},
+        )
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        return self.attributes["probabilities"]
+
+    def verify_op(self) -> None:
+        total = sum(self.probabilities)
+        if not np.isclose(total, 1.0, atol=1e-4):
+            raise IRError(f"hi_spn.categorical probabilities must sum to 1, got {total}")
+
+
+@hispn.op
+class GaussianOp(Operation):
+    """A univariate Gaussian leaf (mean / stddev attributes)."""
+
+    name = "hi_spn.gaussian"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, evidence: Value, mean: float, stddev: float) -> "GaussianOp":
+        if stddev <= 0:
+            raise IRError("hi_spn.gaussian requires a positive stddev")
+        return cls(
+            operands=[evidence],
+            result_types=[prob],
+            attributes={"mean": float(mean), "stddev": float(stddev)},
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.attributes["mean"]
+
+    @property
+    def stddev(self) -> float:
+        return self.attributes["stddev"]
+
+
+LEAF_OP_NAMES = frozenset(
+    {HistogramOp.name, CategoricalOp.name, GaussianOp.name}
+)
+
+NODE_OP_NAMES = LEAF_OP_NAMES | {ProductOp.name, SumOp.name}

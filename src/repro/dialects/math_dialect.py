@@ -1,0 +1,77 @@
+"""The ``math`` dialect: elementary transcendental functions.
+
+These are the functions the SPNC lowering maps to vector-library calls
+(Intel SVML / GLIBC libmvec in the paper; our NumPy-backed veclib here).
+"""
+
+from __future__ import annotations
+
+import math as pymath
+
+from ..ir.dialect import Dialect
+from ..ir.ops import IRError, Operation
+from ..ir.traits import Trait
+from ..ir.value import Value
+
+from .arith import constant_value
+
+math = Dialect("math", "Elementary mathematical functions")
+
+
+class _UnaryMathOp(Operation):
+    traits = frozenset({Trait.PURE, Trait.SAME_OPERANDS_AND_RESULT_TYPE})
+    py_function = None  # set by subclasses
+
+    @classmethod
+    def build(cls, value: Value) -> "_UnaryMathOp":
+        return cls(operands=[value], result_types=[value.type])
+
+    def verify_op(self) -> None:
+        if len(self.operands) != 1:
+            raise IRError(f"'{self.op_name}' takes exactly one operand")
+
+    def fold(self):
+        const = constant_value(self.operands[0])
+        if const is None:
+            return None
+        try:
+            return [type(self).py_function(const)]
+        except ValueError:
+            # e.g. log of a non-positive constant: leave for runtime (-inf/nan).
+            return None
+
+
+@math.op
+class LogOp(_UnaryMathOp):
+    """Natural logarithm."""
+
+    name = "math.log"
+    py_function = pymath.log
+
+
+@math.op
+class ExpOp(_UnaryMathOp):
+    """Natural exponential."""
+
+    name = "math.exp"
+    py_function = pymath.exp
+
+
+@math.op
+class SqrtOp(_UnaryMathOp):
+    name = "math.sqrt"
+    py_function = pymath.sqrt
+
+
+@math.op
+class AbsOp(_UnaryMathOp):
+    name = "math.abs"
+    py_function = abs
+
+
+@math.op
+class Log1pOp(_UnaryMathOp):
+    """log(1 + x), used by the numerically stable log-add-exp expansion."""
+
+    name = "math.log1p"
+    py_function = pymath.log1p

@@ -1,0 +1,158 @@
+"""The ``memref`` dialect: buffer allocation, loads, stores and copies."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ir.dialect import Dialect
+from ..ir.ops import IRError, Operation
+from ..ir.traits import Trait
+from ..ir.types import IndexType, MemRefType, Type
+from ..ir.value import Value
+
+memref = Dialect("memref", "Buffers with explicit load/store semantics")
+
+
+@memref.op
+class AllocOp(Operation):
+    """Allocate a buffer; dynamic dimensions are passed as index operands."""
+
+    name = "memref.alloc"
+
+    @classmethod
+    def build(cls, memref_type: MemRefType, dynamic_sizes: Sequence[Value] = ()) -> "AllocOp":
+        dynamic = sum(1 for d in memref_type.shape if d is None)
+        if dynamic != len(dynamic_sizes):
+            raise IRError(
+                f"memref.alloc of {memref_type} needs {dynamic} dynamic sizes, "
+                f"got {len(dynamic_sizes)}"
+            )
+        return cls(operands=list(dynamic_sizes), result_types=[memref_type])
+
+
+@memref.op
+class DeallocOp(Operation):
+    name = "memref.dealloc"
+
+    @classmethod
+    def build(cls, buffer: Value) -> "DeallocOp":
+        return cls(operands=[buffer])
+
+
+@memref.op
+class LoadOp(Operation):
+    name = "memref.load"
+
+    @classmethod
+    def build(cls, buffer: Value, indices: Sequence[Value]) -> "LoadOp":
+        buffer_type = buffer.type
+        if not isinstance(buffer_type, MemRefType):
+            raise IRError("memref.load requires a memref operand")
+        if len(indices) != buffer_type.rank:
+            raise IRError(
+                f"memref.load on rank-{buffer_type.rank} memref needs "
+                f"{buffer_type.rank} indices, got {len(indices)}"
+            )
+        return cls(
+            operands=[buffer] + list(indices),
+            result_types=[buffer_type.element_type],
+        )
+
+    @property
+    def buffer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self):
+        return self.operands[1:]
+
+
+@memref.op
+class StoreOp(Operation):
+    name = "memref.store"
+
+    @classmethod
+    def build(cls, value: Value, buffer: Value, indices: Sequence[Value]) -> "StoreOp":
+        buffer_type = buffer.type
+        if not isinstance(buffer_type, MemRefType):
+            raise IRError("memref.store requires a memref operand")
+        if value.type != buffer_type.element_type:
+            raise IRError(
+                f"memref.store element mismatch: {value.type} into {buffer_type}"
+            )
+        return cls(operands=[value, buffer] + list(indices))
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def buffer(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def indices(self):
+        return self.operands[2:]
+
+
+@memref.op
+class CopyOp(Operation):
+    """Copy the contents of one buffer into another of equal shape."""
+
+    name = "memref.copy"
+
+    @classmethod
+    def build(cls, source: Value, target: Value) -> "CopyOp":
+        return cls(operands=[source, target])
+
+    @property
+    def source(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def target(self) -> Value:
+        return self.operands[1]
+
+
+@memref.op
+class DimOp(Operation):
+    """Query a (dynamic) dimension of a memref."""
+
+    name = "memref.dim"
+
+    @classmethod
+    def build(cls, buffer: Value, dim: int) -> "DimOp":
+        return cls(
+            operands=[buffer],
+            result_types=[IndexType()],
+            attributes={"dim": dim},
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.attributes["dim"]
+
+
+@memref.op
+class ConstantBufferOp(Operation):
+    """A read-only buffer initialized from a dense payload.
+
+    Stands in for MLIR's ``memref.global`` + ``memref.get_global`` pair;
+    used for leaf-distribution lookup tables (histogram buckets,
+    categorical probabilities).
+    """
+
+    name = "memref.constant_buffer"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, data: np.ndarray, element_type: Type) -> "ConstantBufferOp":
+        data = np.asarray(data)
+        ty = MemRefType(tuple(data.shape), element_type)
+        return cls(attributes={"data": data}, result_types=[ty])
+
+    @property
+    def data(self) -> np.ndarray:
+        return self.attributes["data"]

@@ -1,0 +1,141 @@
+"""The ``scf`` dialect: structured control flow (for / if / yield).
+
+``scf.for`` carries loop-carried values (``iter_args``) exactly like MLIR;
+the CPU lowering uses it for the batch loop and the vectorized loop with
+scalar epilogue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..ir.dialect import Dialect
+from ..ir.ops import Block, IRError, Operation
+from ..ir.traits import Trait
+from ..ir.types import IndexType
+from ..ir.value import BlockArgument, Value
+
+scf = Dialect("scf", "Structured control flow")
+
+
+@scf.op
+class YieldOp(Operation):
+    name = "scf.yield"
+    traits = frozenset({Trait.TERMINATOR})
+
+    @classmethod
+    def build(cls, values: Sequence[Value] = ()) -> "YieldOp":
+        return cls(operands=list(values))
+
+
+@scf.op
+class ForOp(Operation):
+    """A counted loop: ``for i = lower to upper step step iter_args(...)``.
+
+    Operands: lower, upper, step, then the initial values of the
+    loop-carried variables. The single body block receives the induction
+    variable (index) followed by the carried values, and must terminate
+    with an ``scf.yield`` of the next carried values.
+    """
+
+    name = "scf.for"
+    traits = frozenset({Trait.SINGLE_BLOCK})
+
+    @classmethod
+    def build(
+        cls,
+        lower: Value,
+        upper: Value,
+        step: Value,
+        iter_args: Sequence[Value] = (),
+    ) -> "ForOp":
+        iter_args = list(iter_args)
+        op = cls(
+            operands=[lower, upper, step] + iter_args,
+            result_types=[v.type for v in iter_args],
+            regions=1,
+        )
+        op.regions[0].append_block(
+            Block([IndexType()] + [v.type for v in iter_args])
+        )
+        return op
+
+    @property
+    def lower(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def upper(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def step(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def init_args(self) -> List[Value]:
+        return self.operands[3:]
+
+    @property
+    def induction_var(self) -> BlockArgument:
+        return self.body_block.arguments[0]
+
+    @property
+    def iter_args(self) -> List[BlockArgument]:
+        return self.body_block.arguments[1:]
+
+    def verify_op(self) -> None:
+        block = self.body_block
+        if not block.arguments or not isinstance(block.arguments[0].type, IndexType):
+            raise IRError("scf.for body must start with an index block argument")
+        carried = [a.type for a in block.arguments[1:]]
+        if carried != [v.type for v in self.operands[3:]]:
+            raise IRError("scf.for iter_args do not match init operands")
+        term = block.terminator
+        if term is None or term.op_name != YieldOp.name:
+            raise IRError("scf.for body must end with scf.yield")
+        if [v.type for v in term.operands] != carried:
+            raise IRError("scf.yield types do not match scf.for iter_args")
+
+
+@scf.op
+class IfOp(Operation):
+    """Conditional with a then-region and an optional else-region."""
+
+    name = "scf.if"
+    traits = frozenset({Trait.SINGLE_BLOCK})
+
+    @classmethod
+    def build(cls, cond: Value, result_types: Sequence = (), with_else: bool = True) -> "IfOp":
+        op = cls(
+            operands=[cond],
+            result_types=list(result_types),
+            regions=2 if with_else or result_types else 1,
+        )
+        for region in op.regions:
+            region.append_block(Block())
+        return op
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def else_block(self) -> Block:
+        if len(self.regions) < 2:
+            raise IRError("scf.if has no else region")
+        return self.regions[1].entry_block
+
+    def verify_op(self) -> None:
+        expected = [r.type for r in self.results]
+        for region in self.regions:
+            term = region.entry_block.terminator
+            if expected and (term is None or term.op_name != YieldOp.name):
+                raise IRError("scf.if with results requires scf.yield in each region")
+            if term is not None and term.op_name == YieldOp.name:
+                if [v.type for v in term.operands] != expected:
+                    raise IRError("scf.if region yield types do not match results")

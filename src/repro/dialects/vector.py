@@ -1,0 +1,273 @@
+"""The ``vector`` dialect: SIMD registers and memory movement.
+
+The SPNC CPU vectorizer rewrites the batch loop into vector form using
+these ops. Two input-access strategies are representable, matching the
+paper's design-space exploration (Fig. 6):
+
+- ``vector.gather``: one strided gather per feature column, and
+- ``vector.load_tile`` + ``vector.extract_column``: W contiguous row loads
+  followed by in-register shuffles (the "Shuffle" configuration), which
+  the paper reports as slightly faster than gathers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.dialect import Dialect
+from ..ir.ops import IRError, Operation
+from ..ir.traits import Trait
+from ..ir.types import IndexType, MemRefType, Type, VectorType
+from ..ir.value import Value
+
+vector = Dialect("vector", "SIMD vectors and vector memory operations")
+
+
+@vector.op
+class BroadcastOp(Operation):
+    """Splat a scalar into all lanes of a vector."""
+
+    name = "vector.broadcast"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, scalar: Value, vector_type: VectorType) -> "BroadcastOp":
+        if vector_type.element_type != scalar.type:
+            raise IRError("vector.broadcast element type mismatch")
+        return cls(operands=[scalar], result_types=[vector_type])
+
+
+@vector.op
+class LoadOp(Operation):
+    """Load ``W`` contiguous elements starting at a base index."""
+
+    name = "vector.load"
+
+    @classmethod
+    def build(cls, buffer: Value, indices: Sequence[Value], vector_type: VectorType) -> "LoadOp":
+        if not isinstance(buffer.type, MemRefType):
+            raise IRError("vector.load requires a memref operand")
+        return cls(operands=[buffer] + list(indices), result_types=[vector_type])
+
+    @property
+    def buffer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self):
+        return self.operands[1:]
+
+
+@vector.op
+class StoreOp(Operation):
+    """Store a vector to ``W`` contiguous elements at a base index."""
+
+    name = "vector.store"
+
+    @classmethod
+    def build(cls, value: Value, buffer: Value, indices: Sequence[Value]) -> "StoreOp":
+        if not isinstance(value.type, VectorType):
+            raise IRError("vector.store requires a vector value")
+        return cls(operands=[value, buffer] + list(indices))
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def buffer(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def indices(self):
+        return self.operands[2:]
+
+
+@vector.op
+class GatherOp(Operation):
+    """Gather one strided column: ``result[l] = buffer[base + l, column]``.
+
+    Models an x86 gather of feature ``column`` for W consecutive samples of
+    a row-major [batch x features] buffer.
+    """
+
+    name = "vector.gather"
+
+    @classmethod
+    def build(cls, buffer: Value, base: Value, column: int, vector_type: VectorType) -> "GatherOp":
+        if not isinstance(buffer.type, MemRefType) or buffer.type.rank != 2:
+            raise IRError("vector.gather requires a rank-2 memref")
+        return cls(
+            operands=[buffer, base],
+            result_types=[vector_type],
+            attributes={"column": column},
+        )
+
+    @property
+    def buffer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def base(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def column(self) -> int:
+        return self.attributes["column"]
+
+
+@vector.op
+class LoadTileOp(Operation):
+    """Load W full rows ``buffer[base : base+W, :]`` as a 2-D register tile.
+
+    Models the "loads + shuffles" strategy: W vector loads bring in W
+    contiguous rows; subsequent :class:`ExtractColumnOp`\\ s are the
+    in-register shuffles producing per-feature vectors.
+    """
+
+    name = "vector.load_tile"
+
+    @classmethod
+    def build(cls, buffer: Value, base: Value, rows: int) -> "LoadTileOp":
+        if not isinstance(buffer.type, MemRefType) or buffer.type.rank != 2:
+            raise IRError("vector.load_tile requires a rank-2 memref")
+        cols = buffer.type.shape[1]
+        if cols is None:
+            raise IRError("vector.load_tile requires a static feature dimension")
+        tile = VectorType((rows, cols), buffer.type.element_type)
+        return cls(operands=[buffer, base], result_types=[tile])
+
+    @property
+    def buffer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def base(self) -> Value:
+        return self.operands[1]
+
+
+@vector.op
+class ExtractColumnOp(Operation):
+    """Shuffle one column out of a 2-D register tile into a 1-D vector."""
+
+    name = "vector.extract_column"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, tile: Value, column: int) -> "ExtractColumnOp":
+        tile_type = tile.type
+        if not isinstance(tile_type, VectorType) or tile_type.rank != 2:
+            raise IRError("vector.extract_column requires a 2-D vector tile")
+        result = VectorType((tile_type.shape[0],), tile_type.element_type)
+        return cls(
+            operands=[tile],
+            result_types=[result],
+            attributes={"column": column},
+        )
+
+    @property
+    def column(self) -> int:
+        return self.attributes["column"]
+
+
+@vector.op
+class ExtractOp(Operation):
+    """Extract a single lane from a vector."""
+
+    name = "vector.extract"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, vec: Value, position: int) -> "ExtractOp":
+        vec_type = vec.type
+        if not isinstance(vec_type, VectorType) or vec_type.rank != 1:
+            raise IRError("vector.extract requires a 1-D vector")
+        return cls(
+            operands=[vec],
+            result_types=[vec_type.element_type],
+            attributes={"position": position},
+        )
+
+    @property
+    def position(self) -> int:
+        return self.attributes["position"]
+
+
+@vector.op
+class InsertOp(Operation):
+    """Insert a scalar into one lane, producing a new vector."""
+
+    name = "vector.insert"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, scalar: Value, vec: Value, position: int) -> "InsertOp":
+        return cls(
+            operands=[scalar, vec],
+            result_types=[vec.type],
+            attributes={"position": position},
+        )
+
+    @property
+    def position(self) -> int:
+        return self.attributes["position"]
+
+
+@vector.op
+class ScalarizedCallOp(Operation):
+    """A vector math function evaluated lane-by-lane.
+
+    Produced by the veclib-disabled lowering path: without a vector math
+    library, every lane must be extracted, the scalar libm function
+    invoked, and the result re-inserted (paper Fig. 6's "AVX2 without
+    VecLib" configuration, which is *slower* than scalar code). The op
+    carries the function name (``log``, ``exp``, ``log1p``) as an
+    attribute; the backend emits an explicit per-lane loop.
+    """
+
+    name = "vector.scalarized_call"
+    traits = frozenset({Trait.PURE})
+
+    SUPPORTED = ("log", "exp", "log1p", "sqrt")
+
+    @classmethod
+    def build(cls, fn: str, value: Value) -> "ScalarizedCallOp":
+        if fn not in cls.SUPPORTED:
+            raise IRError(f"unsupported scalarized function '{fn}'")
+        if not isinstance(value.type, VectorType):
+            raise IRError("vector.scalarized_call requires a vector operand")
+        return cls(operands=[value], result_types=[value.type], attributes={"fn": fn})
+
+    @property
+    def fn(self) -> str:
+        return self.attributes["fn"]
+
+
+@vector.op
+class GatherTableOp(Operation):
+    """Indexed gather from a 1-D lookup table: ``result[l] = table[idx[l]]``.
+
+    Used for vectorized discrete leaves (histogram / categorical): the
+    integer index vector selects per-lane probabilities from the table.
+    """
+
+    name = "vector.gather_table"
+
+    @classmethod
+    def build(cls, table: Value, idx: Value) -> "GatherTableOp":
+        table_type = table.type
+        idx_type = idx.type
+        if not isinstance(table_type, MemRefType) or table_type.rank != 1:
+            raise IRError("vector.gather_table requires a rank-1 memref table")
+        if not isinstance(idx_type, VectorType):
+            raise IRError("vector.gather_table requires a vector of indices")
+        result = VectorType(idx_type.shape, table_type.element_type)
+        return cls(operands=[table, idx], result_types=[result])
+
+    @property
+    def table(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index_vector(self) -> Value:
+        return self.operands[1]

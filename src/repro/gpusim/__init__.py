@@ -1,0 +1,21 @@
+"""GPU simulator substrate: device model, buffers, grid executor."""
+
+from .device import (
+    DeviceBuffer,
+    DeviceSpec,
+    ExecutionProfile,
+    LaunchRecord,
+    OutOfDeviceMemory,
+    TransferRecord,
+)
+from .simulator import GPUSimulator
+
+__all__ = [
+    "DeviceBuffer",
+    "DeviceSpec",
+    "ExecutionProfile",
+    "LaunchRecord",
+    "OutOfDeviceMemory",
+    "TransferRecord",
+    "GPUSimulator",
+]

@@ -1,0 +1,123 @@
+"""GPU simulator runtime: the object generated host code drives.
+
+Generated host functions receive this runtime as ``_gpu`` and call:
+
+- ``alloc(shape, dtype)`` / ``dealloc(buffer)`` — device memory,
+- ``memcpy(dst, src, direction)`` — host↔device transfers (timed by the
+  device model),
+- ``launch(kernel, grid, block, valid_threads, args)`` — executes the
+  registered device function vectorized over the resident threads and
+  converts the measured NumPy time into simulated GPU time.
+
+``valid_threads`` realizes the per-thread bounds guard of real kernels:
+the simulator only materializes in-range threads, so tail threads of the
+last block never touch memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .device import (
+    DeviceBuffer,
+    DeviceSpec,
+    ExecutionProfile,
+    LaunchRecord,
+    OutOfDeviceMemory,
+    TransferRecord,
+)
+
+
+class GPUSimulator:
+    """Simulated CUDA device + driver for one compiled module."""
+
+    def __init__(self, spec: DeviceSpec = None, registers_per_thread: int = None):
+        self.spec = spec or DeviceSpec()
+        self.kernels: Dict[str, Callable] = {}
+        self.registers_per_thread: Dict[str, int] = {}
+        self._default_registers = (
+            registers_per_thread or self.spec.default_registers_per_thread
+        )
+        self.allocated_bytes = 0
+        self.profile = ExecutionProfile()
+
+    # -- module loading -------------------------------------------------------
+
+    def register_kernel(
+        self, name: str, fn: Callable, registers_per_thread: int = None
+    ) -> None:
+        self.kernels[name] = fn
+        self.registers_per_thread[name] = (
+            registers_per_thread or self._default_registers
+        )
+
+    def reset_profile(self) -> None:
+        self.profile = ExecutionProfile()
+
+    # -- driver API (called from generated host code) ---------------------------
+
+    def alloc(self, shape: Tuple[int, ...], dtype) -> DeviceBuffer:
+        buffer = DeviceBuffer(np.empty(shape, dtype=dtype))
+        self.allocated_bytes += buffer.nbytes
+        if self.allocated_bytes > self.spec.device_memory_bytes:
+            raise OutOfDeviceMemory(
+                f"device memory exhausted: {self.allocated_bytes} bytes "
+                f"> {self.spec.device_memory_bytes}"
+            )
+        return buffer
+
+    def dealloc(self, buffer: DeviceBuffer) -> None:
+        if not isinstance(buffer, DeviceBuffer):
+            raise TypeError("gpu.dealloc requires a device buffer")
+        self.allocated_bytes -= buffer.nbytes
+
+    def memcpy(self, dst, src, direction: str) -> None:
+        if direction == "h2d":
+            if not isinstance(dst, DeviceBuffer) or isinstance(src, DeviceBuffer):
+                raise TypeError("h2d memcpy requires host source and device target")
+            dst.data[...] = src
+            num_bytes = dst.nbytes
+        elif direction == "d2h":
+            if isinstance(dst, DeviceBuffer) or not isinstance(src, DeviceBuffer):
+                raise TypeError("d2h memcpy requires device source and host target")
+            dst[...] = src.data
+            num_bytes = src.nbytes
+        elif direction == "d2d":
+            if not (isinstance(dst, DeviceBuffer) and isinstance(src, DeviceBuffer)):
+                raise TypeError("d2d memcpy requires two device buffers")
+            dst.data[...] = src.data
+            num_bytes = src.nbytes
+        else:
+            raise ValueError(f"unknown memcpy direction '{direction}'")
+        self.profile.transfers.append(
+            TransferRecord(direction, num_bytes, self.spec.transfer_seconds(num_bytes))
+        )
+
+    def launch(
+        self,
+        kernel: str,
+        grid_size: int,
+        block_size: int,
+        valid_threads: int,
+        args: Sequence,
+    ) -> None:
+        fn = self.kernels.get(kernel)
+        if fn is None:
+            raise KeyError(f"no kernel named '{kernel}' loaded on device")
+        if grid_size * block_size < valid_threads:
+            raise ValueError("grid does not cover the batch")
+        unwrapped = [
+            arg.data if isinstance(arg, DeviceBuffer) else arg for arg in args
+        ]
+        start = time.perf_counter()
+        fn(valid_threads, block_size, *unwrapped)
+        measured = time.perf_counter() - start
+        simulated = self.spec.launch_seconds(
+            grid_size, block_size, measured, self.registers_per_thread[kernel]
+        )
+        self.profile.launches.append(
+            LaunchRecord(kernel, grid_size, block_size, measured, simulated)
+        )

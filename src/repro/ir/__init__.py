@@ -1,0 +1,103 @@
+"""A from-scratch mini-MLIR: SSA IR with dialects, regions and passes.
+
+This package provides the compiler infrastructure the SPNC reproduction is
+built on: types and attributes, operations with nested regions, a builder,
+a verifier, textual printing/parsing (generic form), a pass manager with
+timing, and a greedy pattern-rewrite driver with canonicalization, CSE and
+DCE.
+"""
+
+from .attributes import attributes_equal, normalize_attribute
+from .builder import Builder
+from .builtin import ModuleOp, UnrealizedConversionCastOp
+from .dialect import Dialect, get_dialect, registered_dialects
+from .ops import Block, IRError, Operation, Region, lookup_op_class, register_op
+from .parser import ParseError, parse_module, parse_type_text
+from .passes import FunctionPass, Pass, PassManager, PassTiming
+from .printer import print_op
+from .rewrite import (
+    GreedyRewriteDriver,
+    RewritePattern,
+    Rewriter,
+    apply_patterns_greedily,
+    set_constant_materializer,
+)
+from .traits import Trait
+from .transforms import CanonicalizePass, CSEPass, DCEPass, canonicalize, run_cse, run_dce
+from .types import (
+    FloatType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    Type,
+    VectorType,
+    f32,
+    f64,
+    i1,
+    i32,
+    i64,
+    index,
+    none,
+)
+from .value import BlockArgument, OpResult, Use, Value
+from .verifier import VerificationError, verify
+
+__all__ = [
+    "attributes_equal",
+    "normalize_attribute",
+    "Builder",
+    "ModuleOp",
+    "UnrealizedConversionCastOp",
+    "Dialect",
+    "get_dialect",
+    "registered_dialects",
+    "Block",
+    "IRError",
+    "Operation",
+    "Region",
+    "lookup_op_class",
+    "register_op",
+    "ParseError",
+    "parse_module",
+    "parse_type_text",
+    "FunctionPass",
+    "Pass",
+    "PassManager",
+    "PassTiming",
+    "print_op",
+    "GreedyRewriteDriver",
+    "RewritePattern",
+    "Rewriter",
+    "apply_patterns_greedily",
+    "set_constant_materializer",
+    "Trait",
+    "CanonicalizePass",
+    "CSEPass",
+    "DCEPass",
+    "canonicalize",
+    "run_cse",
+    "run_dce",
+    "FloatType",
+    "IndexType",
+    "IntegerType",
+    "MemRefType",
+    "NoneType",
+    "TensorType",
+    "Type",
+    "VectorType",
+    "f32",
+    "f64",
+    "i1",
+    "i32",
+    "i64",
+    "index",
+    "none",
+    "BlockArgument",
+    "OpResult",
+    "Use",
+    "Value",
+    "VerificationError",
+    "verify",
+]

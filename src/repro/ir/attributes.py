@@ -1,0 +1,82 @@
+"""Attribute handling for the mini-MLIR IR.
+
+Rather than reproducing MLIR's full attribute class hierarchy, attributes
+are plain Python values with a small normalization / hashing layer on top:
+
+=================  =========================================
+Python value       Textual form
+=================  =========================================
+``bool``           ``true`` / ``false``
+``int``            ``5 : i64``
+``float``          ``5.000000e+00 : f64``
+``str``            ``"escaped"``
+:class:`Type`      ``f32`` (a type attribute)
+``tuple``          ``[elem, elem, ...]``
+``numpy.ndarray``  ``dense<[...]> : tensor<NxT>``
+=================  =========================================
+
+Lists are normalized to tuples so attribute dictionaries stay hashable for
+CSE. Dense numpy payloads are hashed via their raw bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from .types import Type
+
+
+def normalize_attribute(value: Any) -> Any:
+    """Normalize an attribute value to its canonical stored form."""
+    if isinstance(value, (bool, int, float, str, Type)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return tuple(normalize_attribute(v) for v in value)
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        arr.setflags(write=False)
+        return arr
+    if value is None:
+        raise TypeError("None is not a valid attribute; omit the key instead")
+    raise TypeError(f"unsupported attribute value of type {type(value).__name__}")
+
+
+def normalize_attributes(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {name: normalize_attribute(value) for name, value in attrs.items()}
+
+
+def attribute_key(value: Any) -> Any:
+    """Return a hashable key identifying an attribute value (for CSE)."""
+    if isinstance(value, np.ndarray):
+        return ("dense", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, tuple):
+        return tuple(attribute_key(v) for v in value)
+    if isinstance(value, bool):
+        # Distinguish True from 1 explicitly.
+        return ("bool", value)
+    return value
+
+
+def attributes_key(attrs: Dict[str, Any]) -> Tuple:
+    return tuple(sorted((k, attribute_key(v)) for k, v in attrs.items()))
+
+
+def attributes_equal(a: Any, b: Any) -> bool:
+    """Deep attribute equality, handling numpy payloads."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and a.dtype == b.dtype
+            and bool(np.array_equal(a, b))
+        )
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(attributes_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    return a == b

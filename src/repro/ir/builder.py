@@ -1,0 +1,78 @@
+"""Insertion-point based IR construction helper."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .ops import Block, IRError, Operation
+
+
+class Builder:
+    """Creates operations at a movable insertion point.
+
+    The insertion point is a block plus an optional anchor operation:
+    new ops are inserted before the anchor, or appended at the block's end
+    when the anchor is None.
+    """
+
+    def __init__(self, block: Optional[Block] = None, before: Optional[Operation] = None):
+        self.block = block
+        self.before = before
+
+    # -- insertion point management -----------------------------------------
+
+    @classmethod
+    def at_end(cls, block: Block) -> "Builder":
+        return cls(block, None)
+
+    @classmethod
+    def at_start(cls, block: Block) -> "Builder":
+        return cls(block, block.first_op)
+
+    @classmethod
+    def before_op(cls, op: Operation) -> "Builder":
+        if op.parent is None:
+            raise IRError("cannot build before a detached op")
+        return cls(op.parent, op)
+
+    @classmethod
+    def after_op(cls, op: Operation) -> "Builder":
+        if op.parent is None:
+            raise IRError("cannot build after a detached op")
+        return cls(op.parent, op.next_op)
+
+    def set_insertion_point_to_end(self, block: Block) -> None:
+        self.block = block
+        self.before = None
+
+    def set_insertion_point(self, op: Operation) -> None:
+        self.block = op.parent
+        self.before = op
+
+    @contextmanager
+    def at(self, block: Block, before: Optional[Operation] = None):
+        """Temporarily move the insertion point."""
+        saved = (self.block, self.before)
+        self.block, self.before = block, before
+        try:
+            yield self
+        finally:
+            self.block, self.before = saved
+
+    # -- op creation ----------------------------------------------------------
+
+    def insert(self, op: Operation) -> Operation:
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        if self.before is None:
+            self.block.append(op)
+        else:
+            self.block._insert_before(self.before, op)
+        return op
+
+    def create(self, op_class, *args, **kwargs) -> Operation:
+        """Build an op via its class ``build`` method and insert it."""
+        build = getattr(op_class, "build", None)
+        op = build(*args, **kwargs) if build is not None else op_class(*args, **kwargs)
+        return self.insert(op)

@@ -1,0 +1,40 @@
+"""The builtin dialect: the top-level module container op."""
+
+from __future__ import annotations
+
+from .dialect import Dialect
+from .ops import Block, Operation
+from .traits import Trait
+
+builtin = Dialect("builtin", "Builtin top-level container operations")
+
+
+@builtin.op
+class ModuleOp(Operation):
+    """Top-level container holding a single region with one block."""
+
+    name = "builtin.module"
+    traits = frozenset({Trait.ISOLATED_FROM_ABOVE, Trait.SINGLE_BLOCK})
+
+    @classmethod
+    def build(cls, sym_name: str = "") -> "ModuleOp":
+        attrs = {"sym_name": sym_name} if sym_name else {}
+        op = cls(attributes=attrs, regions=1)
+        op.regions[0].append_block(Block())
+        return op
+
+    @property
+    def body(self) -> Block:
+        return self.body_block
+
+
+@builtin.op
+class UnrealizedConversionCastOp(Operation):
+    """Temporary cast bridging type systems during progressive lowering."""
+
+    name = "builtin.unrealized_conversion_cast"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, value, result_type) -> "UnrealizedConversionCastOp":
+        return cls(operands=[value], result_types=[result_type])

@@ -1,0 +1,44 @@
+"""Dialect grouping: a named collection of operations and types."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type as PyType
+
+from .ops import register_op
+
+_DIALECTS: Dict[str, "Dialect"] = {}
+
+
+class Dialect:
+    """A registered dialect (e.g. ``hi_spn``, ``lo_spn``, ``arith``)."""
+
+    def __init__(self, name: str, description: str = ""):
+        if name in _DIALECTS:
+            raise ValueError(f"dialect '{name}' already registered")
+        self.name = name
+        self.description = description
+        self.op_classes: List[PyType] = []
+        self.type_classes: List[PyType] = []
+        _DIALECTS[name] = self
+
+    def op(self, cls: PyType) -> PyType:
+        """Class decorator: register an operation under this dialect."""
+        if not cls.name.startswith(self.name + "."):
+            raise ValueError(
+                f"op '{cls.name}' does not belong to dialect '{self.name}'"
+            )
+        register_op(cls)
+        self.op_classes.append(cls)
+        return cls
+
+    def type(self, cls: PyType) -> PyType:
+        self.type_classes.append(cls)
+        return cls
+
+
+def registered_dialects() -> Dict[str, Dialect]:
+    return dict(_DIALECTS)
+
+
+def get_dialect(name: str) -> Dialect:
+    return _DIALECTS[name]

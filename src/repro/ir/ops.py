@@ -1,0 +1,483 @@
+"""Core IR structure: operations, blocks and regions.
+
+The structural model follows MLIR: a :class:`Region` contains
+:class:`Block`\\ s, a block contains :class:`Operation`\\ s, and each
+operation may itself carry nested regions. Blocks store their operations
+in an intrusive doubly-linked list so insertion and erasure are O(1) —
+important because SPN kernels routinely contain 10^5 operations.
+
+Operation classes register themselves by name (``"dialect.op"``) so the
+parser and :meth:`Operation.clone` can reconstruct typed op instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .attributes import attributes_equal, normalize_attribute, normalize_attributes
+from .traits import Trait
+from .types import Type
+from .value import BlockArgument, OpResult, Use, Value
+
+# Registry of op name -> Operation subclass.
+_OP_REGISTRY: Dict[str, type] = {}
+
+
+def register_op(cls: type) -> type:
+    """Class decorator registering an Operation subclass by its ``name``."""
+    name = getattr(cls, "name", None)
+    if not name or "." not in name:
+        raise ValueError(f"operation class {cls.__name__} needs a dotted 'name'")
+    if name in _OP_REGISTRY and _OP_REGISTRY[name] is not cls:
+        raise ValueError(f"duplicate registration for operation '{name}'")
+    _OP_REGISTRY[name] = cls
+    return cls
+
+
+def lookup_op_class(name: str) -> type:
+    """Return the registered class for ``name`` or the generic Operation."""
+    return _OP_REGISTRY.get(name, Operation)
+
+
+def registered_ops() -> Dict[str, type]:
+    return dict(_OP_REGISTRY)
+
+
+class IRError(Exception):
+    """Raised for structural IR violations."""
+
+
+class Operation:
+    """A generic IR operation.
+
+    Subclasses typically define ``name`` (class attribute), ``traits``
+    (frozenset of :class:`Trait`) and a ``build`` classmethod. Instances of
+    unregistered names can still be created through the base constructor,
+    which is what the generic parser does.
+    """
+
+    name: str = "builtin.unregistered"
+    traits: frozenset = frozenset()
+
+    __slots__ = (
+        "op_name",
+        "operands",
+        "results",
+        "attributes",
+        "regions",
+        "parent",
+        "_prev",
+        "_next",
+    )
+
+    def __init__(
+        self,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[Type] = (),
+        attributes: Optional[Dict[str, Any]] = None,
+        regions: int = 0,
+        name: Optional[str] = None,
+    ):
+        self.op_name: str = name or type(self).name
+        self.operands: List[Value] = []
+        self.results: List[OpResult] = [
+            OpResult(self, i, ty) for i, ty in enumerate(result_types)
+        ]
+        self.attributes: Dict[str, Any] = normalize_attributes(attributes or {})
+        self.regions: List[Region] = [Region(self) for _ in range(regions)]
+        self.parent: Optional[Block] = None
+        self._prev: Optional[Operation] = None
+        self._next: Optional[Operation] = None
+        for value in operands:
+            self._append_operand(value)
+
+    # -- identity ----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Operation {self.op_name} at {id(self):#x}>"
+
+    def has_trait(self, trait: Trait) -> bool:
+        return trait in type(self).traits
+
+    @property
+    def dialect(self) -> str:
+        return self.op_name.split(".", 1)[0]
+
+    # -- operands ----------------------------------------------------------
+
+    def _append_operand(self, value: Value) -> None:
+        if not isinstance(value, Value):
+            raise IRError(
+                f"operand of '{self.op_name}' must be a Value, got {type(value).__name__}"
+            )
+        index = len(self.operands)
+        self.operands.append(value)
+        value._add_use(Use(self, index))
+
+    def _set_operand(self, index: int, value: Value) -> None:
+        old = self.operands[index]
+        old._remove_use(self, index)
+        self.operands[index] = value
+        value._add_use(Use(self, index))
+
+    def set_operand(self, index: int, value: Value) -> None:
+        self._set_operand(index, value)
+
+    def set_operands(self, values: Sequence[Value]) -> None:
+        """Replace the full operand list."""
+        for i, old in enumerate(self.operands):
+            old._remove_use(self, i)
+        self.operands = []
+        for value in values:
+            self._append_operand(value)
+
+    def drop_all_operand_uses(self) -> None:
+        for i, old in enumerate(self.operands):
+            old._remove_use(self, i)
+        self.operands = []
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def result(self) -> OpResult:
+        if len(self.results) != 1:
+            raise IRError(
+                f"'{self.op_name}' has {len(self.results)} results; .result needs exactly 1"
+            )
+        return self.results[0]
+
+    def replace_all_uses_with(self, replacements: Sequence[Value]) -> None:
+        if len(replacements) != len(self.results):
+            raise IRError("replacement count does not match result count")
+        for res, new in zip(self.results, replacements):
+            res.replace_all_uses_with(new)
+
+    @property
+    def has_uses(self) -> bool:
+        return any(res.has_uses for res in self.results)
+
+    # -- attributes ----------------------------------------------------------
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        return self.attributes.get(key, default)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attributes[key] = normalize_attribute(value)
+
+    def remove_attr(self, key: str) -> None:
+        self.attributes.pop(key, None)
+
+    # -- placement ----------------------------------------------------------
+
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        if self.parent is not None and self.parent.parent is not None:
+            return self.parent.parent.parent
+        return None
+
+    @property
+    def next_op(self) -> Optional["Operation"]:
+        return self._next
+
+    @property
+    def prev_op(self) -> Optional["Operation"]:
+        return self._prev
+
+    def remove_from_parent(self) -> None:
+        """Unlink from the containing block without touching uses."""
+        if self.parent is not None:
+            self.parent._unlink(self)
+
+    def erase(self) -> None:
+        """Remove the op from its block and delete it.
+
+        The op must have no remaining uses of its results. Nested regions
+        are erased recursively.
+        """
+        for res in self.results:
+            if res.has_uses:
+                raise IRError(
+                    f"cannot erase '{self.op_name}': result {res.result_index} still has uses"
+                )
+        self.remove_from_parent()
+        self.drop_all_operand_uses()
+        for region in self.regions:
+            region.erase_contents()
+        self.regions = []
+
+    def move_before(self, other: "Operation") -> None:
+        self.remove_from_parent()
+        other.parent._insert_before(other, self)
+
+    def move_after(self, other: "Operation") -> None:
+        self.remove_from_parent()
+        other.parent._insert_after(other, self)
+
+    # -- traversal -----------------------------------------------------------
+
+    def walk(self, fn: Optional[Callable[["Operation"], None]] = None):
+        """Post-order walk over this op and all nested ops.
+
+        With ``fn`` given, calls it on each op; otherwise returns a list of
+        ops in walk order.
+        """
+        collected: Optional[List[Operation]] = None if fn is not None else []
+
+        def visit(op: Operation) -> None:
+            for region in op.regions:
+                for block in region.blocks:
+                    for nested in list(block.ops):
+                        visit(nested)
+            if fn is not None:
+                fn(op)
+            else:
+                collected.append(op)
+
+        visit(self)
+        return collected
+
+    # -- regions -------------------------------------------------------------
+
+    @property
+    def region(self) -> "Region":
+        if len(self.regions) != 1:
+            raise IRError(
+                f"'{self.op_name}' has {len(self.regions)} regions; .region needs exactly 1"
+            )
+        return self.regions[0]
+
+    @property
+    def body_block(self) -> "Block":
+        """Sole block of the sole region (for single-block region ops)."""
+        region = self.region
+        if len(region.blocks) != 1:
+            raise IRError(f"'{self.op_name}' region must have exactly one block")
+        return region.blocks[0]
+
+    # -- cloning -------------------------------------------------------------
+
+    def clone(self, value_map: Optional[Dict[Value, Value]] = None) -> "Operation":
+        """Deep-copy this operation (and nested regions).
+
+        ``value_map`` maps old values to new values; operands found in the
+        map are remapped, others are reused as-is. The map is updated with
+        this op's results and any nested block arguments.
+        """
+        if value_map is None:
+            value_map = {}
+        cls = lookup_op_class(self.op_name)
+        new = Operation.__new__(cls)  # bypass build-specific __init__
+        Operation.__init__(
+            new,
+            operands=[value_map.get(v, v) for v in self.operands],
+            result_types=[r.type for r in self.results],
+            attributes=dict(self.attributes),
+            regions=0,
+            name=self.op_name,
+        )
+        for old_res, new_res in zip(self.results, new.results):
+            value_map[old_res] = new_res
+        for region in self.regions:
+            new_region = Region(new)
+            new.regions.append(new_region)
+            for block in region.blocks:
+                new_block = Block([arg.type for arg in block.arguments])
+                new_region.append_block(new_block)
+                for old_arg, new_arg in zip(block.arguments, new_block.arguments):
+                    value_map[old_arg] = new_arg
+            for block, new_block in zip(region.blocks, new_region.blocks):
+                for op in block.ops:
+                    new_block.append(op.clone(value_map))
+        return new
+
+    # -- hooks ----------------------------------------------------------------
+
+    def verify_op(self) -> None:
+        """Per-op structural verification hook; raise IRError on violation."""
+
+    def fold(self) -> Optional[List[Any]]:
+        """Constant-folding hook.
+
+        Returns None when not foldable, otherwise a list with one entry per
+        result: either an existing :class:`Value` or a Python constant that
+        the folding driver materializes as a constant op.
+        """
+        return None
+
+    def is_structurally_equivalent(self, other: "Operation") -> bool:
+        """Structural equality ignoring object identity (used by tests)."""
+        if self.op_name != other.op_name:
+            return False
+        if [r.type for r in self.results] != [r.type for r in other.results]:
+            return False
+        if set(self.attributes) != set(other.attributes):
+            return False
+        for key, val in self.attributes.items():
+            if not attributes_equal(val, other.attributes[key]):
+                return False
+        if len(self.regions) != len(other.regions):
+            return False
+        # Operand equivalence is checked by the module-level comparator which
+        # tracks value numbering; here we only compare counts and types.
+        if [v.type for v in self.operands] != [v.type for v in other.operands]:
+            return False
+        return True
+
+
+class Block:
+    """A sequential list of operations with typed block arguments."""
+
+    __slots__ = ("arguments", "parent", "_first", "_last", "_size")
+
+    def __init__(self, arg_types: Sequence[Type] = ()):
+        self.arguments: List[BlockArgument] = [
+            BlockArgument(self, i, ty) for i, ty in enumerate(arg_types)
+        ]
+        self.parent: Optional[Region] = None
+        self._first: Optional[Operation] = None
+        self._last: Optional[Operation] = None
+        self._size = 0
+
+    # -- arguments ------------------------------------------------------------
+
+    def add_argument(self, ty: Type) -> BlockArgument:
+        arg = BlockArgument(self, len(self.arguments), ty)
+        self.arguments.append(arg)
+        return arg
+
+    def erase_argument(self, index: int) -> None:
+        arg = self.arguments[index]
+        if arg.has_uses:
+            raise IRError(f"cannot erase block argument {index}: still has uses")
+        del self.arguments[index]
+        for i, remaining in enumerate(self.arguments):
+            remaining.arg_index = i
+
+    # -- op list ---------------------------------------------------------------
+
+    @property
+    def ops(self) -> Iterator[Operation]:
+        op = self._first
+        while op is not None:
+            next_op = op._next  # snapshot to allow erasure during iteration
+            yield op
+            op = next_op
+
+    def op_list(self) -> List[Operation]:
+        return list(self.ops)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def first_op(self) -> Optional[Operation]:
+        return self._first
+
+    @property
+    def terminator(self) -> Optional[Operation]:
+        return self._last
+
+    def append(self, op: Operation) -> Operation:
+        if op.parent is not None:
+            raise IRError("op already belongs to a block")
+        op.parent = self
+        op._prev = self._last
+        op._next = None
+        if self._last is not None:
+            self._last._next = op
+        else:
+            self._first = op
+        self._last = op
+        self._size += 1
+        return op
+
+    def _insert_before(self, anchor: Operation, op: Operation) -> None:
+        if anchor.parent is not self:
+            raise IRError("anchor not in this block")
+        op.parent = self
+        op._prev = anchor._prev
+        op._next = anchor
+        if anchor._prev is not None:
+            anchor._prev._next = op
+        else:
+            self._first = op
+        anchor._prev = op
+        self._size += 1
+
+    def _insert_after(self, anchor: Operation, op: Operation) -> None:
+        if anchor.parent is not self:
+            raise IRError("anchor not in this block")
+        op.parent = self
+        op._next = anchor._next
+        op._prev = anchor
+        if anchor._next is not None:
+            anchor._next._prev = op
+        else:
+            self._last = op
+        anchor._next = op
+        self._size += 1
+
+    def _unlink(self, op: Operation) -> None:
+        if op.parent is not self:
+            raise IRError("op not in this block")
+        if op._prev is not None:
+            op._prev._next = op._next
+        else:
+            self._first = op._next
+        if op._next is not None:
+            op._next._prev = op._prev
+        else:
+            self._last = op._prev
+        op.parent = None
+        op._prev = None
+        op._next = None
+        self._size -= 1
+
+    @property
+    def parent_op(self) -> Optional[Operation]:
+        return self.parent.parent if self.parent is not None else None
+
+
+class Region:
+    """A list of blocks owned by an operation."""
+
+    __slots__ = ("parent", "blocks")
+
+    def __init__(self, parent: Optional[Operation] = None):
+        self.parent = parent
+        self.blocks: List[Block] = []
+
+    def append_block(self, block: Block) -> Block:
+        if block.parent is not None:
+            raise IRError("block already belongs to a region")
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def add_entry_block(self, arg_types: Sequence[Type] = ()) -> Block:
+        block = Block(arg_types)
+        self.blocks.insert(0, block)
+        block.parent = self
+        return block
+
+    @property
+    def entry_block(self) -> Block:
+        if not self.blocks:
+            raise IRError("region has no blocks")
+        return self.blocks[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks
+
+    def erase_contents(self) -> None:
+        """Drop all blocks and ops in this region (for op destruction)."""
+        for block in self.blocks:
+            # Break use chains bottom-up so erasure never sees dangling uses.
+            for op in reversed(block.op_list()):
+                op.drop_all_operand_uses()
+                for region in op.regions:
+                    region.erase_contents()
+                op.regions = []
+                block._unlink(op)
+        self.blocks = []

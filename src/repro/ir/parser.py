@@ -1,0 +1,430 @@
+"""Parser for the generic textual IR form produced by :mod:`printer`.
+
+Supports the complete print→parse round trip used by the test suite:
+operations, nested regions, block headers with arguments, all attribute
+kinds, builtin types and registered dialect types.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .ops import Block, Operation, Region, lookup_op_class
+from .types import (
+    FloatType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    Type,
+    VectorType,
+    lookup_dialect_type,
+)
+from .value import Value
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<caret>\^[A-Za-z0-9_]+)
+  | (?P<ssa>%[A-Za-z0-9_]+)
+  | (?P<dtype>![A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<arrow>->)
+  | (?P<number>-?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\.\d+(?:[eE][+-]?\d+)?|\d+))
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[(){}\[\]<>,=:?*+-])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+def _unescape(literal: str) -> str:
+    body = literal[1:-1]
+    return body.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self.values: Dict[str, Value] = {}
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Tuple[str, str]:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> str:
+        got_kind, got_text = self.peek()
+        if got_kind != kind or (text is not None and got_text != text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}, got {got_text!r}")
+        self.advance()
+        return got_text
+
+    def accept(self, kind: str, text: Optional[str] = None) -> bool:
+        got_kind, got_text = self.peek()
+        if got_kind == kind and (text is None or got_text == text):
+            self.advance()
+            return True
+        return False
+
+    # -- entry point --------------------------------------------------------------
+
+    def parse_module(self) -> Operation:
+        op = self.parse_operation()
+        self.expect("eof")
+        return op
+
+    # -- operations ----------------------------------------------------------------
+
+    def parse_operation(self) -> Operation:
+        result_names: List[str] = []
+        if self.peek()[0] == "ssa":
+            result_names.append(self.advance()[1])
+            while self.accept("punct", ","):
+                result_names.append(self.expect("ssa"))
+            self.expect("punct", "=")
+
+        op_name = _unescape(self.expect("string"))
+
+        self.expect("punct", "(")
+        operand_names: List[str] = []
+        if not self.accept("punct", ")"):
+            operand_names.append(self.expect("ssa"))
+            while self.accept("punct", ","):
+                operand_names.append(self.expect("ssa"))
+            self.expect("punct", ")")
+
+        regions_text: List[List[Block]] = []
+        if self.peek() == ("punct", "(") and self.peek(1) == ("punct", "{"):
+            self.advance()
+            regions_text.append(self.parse_region())
+            while self.accept("punct", ","):
+                regions_text.append(self.parse_region())
+            self.expect("punct", ")")
+
+        attributes: Dict[str, Any] = {}
+        if self.accept("punct", "{"):
+            if not self.accept("punct", "}"):
+                while True:
+                    key = self.expect("ident")
+                    self.expect("punct", "=")
+                    attributes[key] = self.parse_attribute()
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", "}")
+
+        self.expect("punct", ":")
+        operand_types, result_types = self.parse_function_type()
+        if len(operand_types) != len(operand_names):
+            raise ParseError(f"'{op_name}': operand/type count mismatch")
+        if len(result_types) != len(result_names):
+            raise ParseError(f"'{op_name}': result/type count mismatch")
+
+        operands = []
+        for name, ty in zip(operand_names, operand_types):
+            value = self.values.get(name)
+            if value is None:
+                raise ParseError(f"use of undefined value {name}")
+            if value.type != ty:
+                raise ParseError(f"type mismatch for {name}: {value.type} vs {ty}")
+            operands.append(value)
+
+        cls = lookup_op_class(op_name)
+        op = Operation.__new__(cls)
+        Operation.__init__(
+            op,
+            operands=operands,
+            result_types=result_types,
+            attributes=attributes,
+            regions=0,
+            name=op_name,
+        )
+        for region_blocks in regions_text:
+            new_region = Region(op)
+            op.regions.append(new_region)
+            for block in region_blocks:
+                new_region.append_block(block)
+
+        for name, result in zip(result_names, op.results):
+            self.values[name] = result
+        return op
+
+    def parse_region(self) -> List[Block]:
+        self.expect("punct", "{")
+        blocks: List[Block] = []
+        current = Block()
+        saw_header = False
+        while True:
+            kind, text = self.peek()
+            if kind == "punct" and text == "}":
+                self.advance()
+                break
+            if kind == "caret":
+                if saw_header or len(current) > 0 or current.arguments:
+                    blocks.append(current)
+                current = self.parse_block_header()
+                saw_header = True
+                continue
+            current.append(self.parse_operation())
+        blocks.append(current)
+        return blocks
+
+    def parse_block_header(self) -> Block:
+        self.expect("caret")
+        block = Block()
+        self.expect("punct", "(")
+        if not self.accept("punct", ")"):
+            while True:
+                name = self.expect("ssa")
+                self.expect("punct", ":")
+                ty = self.parse_type()
+                self.values[name] = block.add_argument(ty)
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        self.expect("punct", ":")
+        return block
+
+    # -- attributes -------------------------------------------------------------------
+
+    def parse_attribute(self) -> Any:
+        kind, text = self.peek()
+        if kind == "string":
+            self.advance()
+            return _unescape(text)
+        if kind == "ident" and text in ("true", "false"):
+            self.advance()
+            return text == "true"
+        if kind == "ident" and text in ("inf", "nan"):
+            self.advance()
+            self.expect("punct", ":")
+            self.parse_type()
+            return float(text)
+        if kind == "punct" and text == "-" and self.peek(1)[1] == "inf":
+            self.advance()
+            self.advance()
+            self.expect("punct", ":")
+            self.parse_type()
+            return float("-inf")
+        if kind == "number":
+            self.advance()
+            self.expect("punct", ":")
+            ty = self.parse_type()
+            if isinstance(ty, FloatType):
+                return float(text)
+            return int(text)
+        if kind == "punct" and text == "[":
+            self.advance()
+            items = []
+            if not self.accept("punct", "]"):
+                while True:
+                    items.append(self.parse_attribute())
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", "]")
+            return tuple(items)
+        if kind == "ident" and text == "dense":
+            return self.parse_dense()
+        # Otherwise it must be a type attribute.
+        return self.parse_type()
+
+    def parse_dense(self) -> np.ndarray:
+        self.expect("ident", "dense")
+        self.expect("punct", "<")
+        self.expect("punct", "[")
+        items: List[float] = []
+        if not self.accept("punct", "]"):
+            while True:
+                items.append(self._parse_signed_number())
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", "]")
+        self.expect("punct", ">")
+        self.expect("punct", ":")
+        container = self.parse_type()
+        if not isinstance(container, TensorType):
+            raise ParseError("dense attribute requires a tensor type")
+        dtype = {
+            "f32": np.float32,
+            "f64": np.float64,
+            "i32": np.int32,
+            "i64": np.int64,
+            "i1": np.bool_,
+        }[container.element_type.spelling()]
+        arr = np.array(items, dtype=dtype)
+        shape = tuple(d for d in container.shape)
+        if any(d is None for d in shape):
+            raise ParseError("dense attribute shape must be static")
+        arr = arr.reshape(shape) if arr.size else arr.reshape(shape)
+        arr.setflags(write=False)
+        return arr
+
+    def _parse_signed_number(self) -> float:
+        negative = self.accept("punct", "-")
+        kind, text = self.peek()
+        if kind == "ident" and text in ("inf", "nan"):
+            self.advance()
+            value = float(text)
+        else:
+            value = float(self.expect("number"))
+        return -value if negative else value
+
+    # -- types ------------------------------------------------------------------------
+
+    def parse_function_type(self) -> Tuple[List[Type], List[Type]]:
+        self.expect("punct", "(")
+        operand_types: List[Type] = []
+        if not self.accept("punct", ")"):
+            while True:
+                operand_types.append(self.parse_type())
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        self.expect("arrow")
+        result_types: List[Type] = []
+        if self.accept("punct", "("):
+            if not self.accept("punct", ")"):
+                while True:
+                    result_types.append(self.parse_type())
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", ")")
+        else:
+            result_types.append(self.parse_type())
+        return operand_types, result_types
+
+    def parse_type(self) -> Type:
+        kind, text = self.peek()
+        if kind == "dtype":
+            self.advance()
+            prefix = text[1:]
+            body = ""
+            if self.peek() == ("punct", "<"):
+                body = self._consume_balanced_angle()
+            cls = lookup_dialect_type(prefix)
+            if cls is None:
+                raise ParseError(f"unknown dialect type !{prefix}")
+            return cls.parse(body, self)
+        if kind != "ident":
+            raise ParseError(f"expected a type, got {text!r}")
+        self.advance()
+        if text == "index":
+            return IndexType()
+        if text == "none":
+            return NoneType()
+        if re.fullmatch(r"i\d+", text):
+            return IntegerType(int(text[1:]))
+        if re.fullmatch(r"f\d+", text):
+            return FloatType(int(text[1:]))
+        if text in ("tensor", "memref", "vector"):
+            return self._parse_shaped(text)
+        raise ParseError(f"unknown type {text!r}")
+
+    def _parse_shaped(self, keyword: str) -> Type:
+        self.expect("punct", "<")
+        shape: List[Optional[int]] = []
+        # Dimensions are printed as `4x`, `?x`, possibly none at all. After
+        # tokenization `4x8xf32` splits into number/ident tokens; the final
+        # ident contains the trailing element-type keyword.
+        while True:
+            kind, text = self.peek()
+            if kind == "punct" and text == "?":
+                self.advance()
+                shape.append(None)
+                kind, text = self.peek()
+                if kind == "ident" and text.startswith("x"):
+                    self._split_x_prefix()
+                continue
+            if kind == "number" and "." not in text:
+                self.advance()
+                shape.append(int(text))
+                kind, text = self.peek()
+                if kind == "ident" and text.startswith("x"):
+                    self._split_x_prefix()
+                continue
+            break
+        element = self.parse_type()
+        self.expect("punct", ">")
+        cls = {"tensor": TensorType, "memref": MemRefType, "vector": VectorType}[keyword]
+        return cls(tuple(shape), element)
+
+    def _split_x_prefix(self) -> None:
+        """Split a token like ``xf32`` or ``x4`` into the x separator + rest."""
+        kind, text = self.tokens[self.pos]
+        rest = text[1:]
+        if not rest:
+            self.pos += 1
+            return
+        replacement: List[Tuple[str, str]] = []
+        if re.fullmatch(r"\d+", rest):
+            replacement.append(("number", rest))
+        else:
+            match = re.match(r"(\d+)(x.*)", rest)
+            if match:
+                replacement.append(("number", match.group(1)))
+                replacement.append(("ident", match.group(2)))
+            else:
+                replacement.append(("ident", rest))
+        self.tokens[self.pos : self.pos + 1] = replacement
+
+    def _consume_balanced_angle(self) -> str:
+        """Consume tokens between balanced ``<`` ``>`` and return their text."""
+        self.expect("punct", "<")
+        depth = 1
+        parts: List[str] = []
+        while depth > 0:
+            kind, text = self.advance()
+            if kind == "eof":
+                raise ParseError("unterminated dialect type body")
+            if kind == "punct" and text == "<":
+                depth += 1
+            elif kind == "punct" and text == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            parts.append(text)
+        return "".join(parts)
+
+
+def parse_module(text: str) -> Operation:
+    """Parse a module (or any single top-level op) from generic-form text."""
+    return Parser(text).parse_module()
+
+
+def parse_type_text(text: str) -> Type:
+    """Parse a standalone type spelling such as ``memref<?xf32>``."""
+    parser = Parser(text)
+    ty = parser.parse_type()
+    parser.expect("eof")
+    return ty

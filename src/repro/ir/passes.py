@@ -1,0 +1,94 @@
+"""Pass infrastructure: passes, pipelines and per-pass timing.
+
+The :class:`PassManager` records wall-clock time per pass, which the
+benchmark harness uses to reproduce the paper's compile-time breakdowns
+(Section V-B1: where compilation time is spent).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from .ops import Operation
+from .verifier import verify
+
+
+class Pass:
+    """Base class for IR passes. Subclasses implement :meth:`run`."""
+
+    #: Human-readable pass name; defaults to the class name.
+    name: str = ""
+
+    def __init__(self):
+        if not self.name:
+            self.name = type(self).__name__
+
+    def run(self, op: Operation) -> None:
+        raise NotImplementedError
+
+
+class FunctionPass(Pass):
+    """A pass that runs once per function-like op inside a module."""
+
+    def run(self, op: Operation) -> None:
+        from .traits import Trait
+
+        for nested in op.walk():
+            if nested.has_trait(Trait.FUNCTION_LIKE):
+                self.run_on_function(nested)
+
+    def run_on_function(self, func: Operation) -> None:
+        raise NotImplementedError
+
+
+class PassTiming:
+    """Accumulated timing statistics for one pipeline execution."""
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {}
+        self.order: List[str] = []
+
+    def record(self, name: str, elapsed: float) -> None:
+        if name not in self.seconds:
+            self.order.append(name)
+            self.seconds[name] = 0.0
+        self.seconds[name] += elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def report(self) -> str:
+        lines = ["pass timing:"]
+        for name in self.order:
+            lines.append(f"  {name:40s} {self.seconds[name] * 1e3:10.3f} ms")
+        lines.append(f"  {'total':40s} {self.total * 1e3:10.3f} ms")
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a sequence of passes over a module, with optional verification."""
+
+    def __init__(self, verify_each: bool = False):
+        self.passes: List[Pass] = []
+        self.verify_each = verify_each
+        self.timing = PassTiming()
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def extend(self, passes) -> "PassManager":
+        for pass_ in passes:
+            self.add(pass_)
+        return self
+
+    def run(self, module: Operation) -> PassTiming:
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            pass_.run(module)
+            self.timing.record(pass_.name, time.perf_counter() - start)
+            if self.verify_each:
+                verify(module)
+        return self.timing

@@ -1,0 +1,79 @@
+"""Textual pass-pipeline specifications.
+
+MLIR exposes pipelines as text (``--pass-pipeline='builtin.module(cse,
+canonicalize)'``); this module provides the equivalent for our pass
+infrastructure: ``parse_pipeline("canonicalize,cse,licm")`` returns a
+configured :class:`PassManager`. Used by the CLI and handy in tests for
+describing pipelines declaratively.
+
+Registered pass names:
+
+=============== =======================================================
+name            pass
+=============== =======================================================
+canonicalize    greedy canonicalization (folding + patterns + DCE)
+cse             common subexpression elimination
+dce             dead pure-op elimination
+licm            loop-invariant code motion
+hispn-simplify  HiSPN single-input node elimination / flattening
+=============== =======================================================
+
+New passes register via :func:`register_pass`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .passes import Pass, PassManager
+
+_PASS_REGISTRY: Dict[str, Callable[[], Pass]] = {}
+
+
+def register_pass(name: str, factory: Callable[[], Pass]) -> None:
+    """Register a pass factory under a pipeline-spec name."""
+    if name in _PASS_REGISTRY:
+        raise ValueError(f"pass '{name}' is already registered")
+    _PASS_REGISTRY[name] = factory
+
+
+def registered_passes() -> List[str]:
+    return sorted(_PASS_REGISTRY)
+
+
+def parse_pipeline(spec: str, verify_each: bool = False) -> PassManager:
+    """Build a PassManager from a comma-separated pass list."""
+    manager = PassManager(verify_each=verify_each)
+    for raw in spec.split(","):
+        name = raw.strip()
+        if not name:
+            continue
+        factory = _PASS_REGISTRY.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown pass '{name}'; registered: {', '.join(registered_passes())}"
+            )
+        manager.add(factory())
+    return manager
+
+
+def _register_builtin_passes() -> None:
+    from .transforms.canonicalize import CanonicalizePass
+    from .transforms.cse import CSEPass
+    from .transforms.dce import DCEPass
+    from .transforms.licm import LICMPass
+
+    register_pass("canonicalize", CanonicalizePass)
+    register_pass("cse", CSEPass)
+    register_pass("dce", DCEPass)
+    register_pass("licm", LICMPass)
+
+    def _hispn_simplify() -> Pass:
+        from ..compiler.hispn_passes import HiSPNSimplifyPass
+
+        return HiSPNSimplifyPass()
+
+    register_pass("hispn-simplify", _hispn_simplify)
+
+
+_register_builtin_passes()

@@ -1,0 +1,154 @@
+"""Textual IR printing in MLIR's generic operation form.
+
+Example output::
+
+    "builtin.module"() ({
+      "arith.constant"() {value = 1.000000e+00 : f64} : () -> f64
+    }) : () -> ()
+
+The printer emits only the generic form (quoted op names, explicit
+functional type signatures) so the companion parser stays simple and the
+print→parse round trip can be property-tested.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+import numpy as np
+
+from .ops import Block, Operation, Region
+from .types import Type
+from .value import Value
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_float(value: float) -> str:
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return repr(float(value))
+
+
+def format_attribute(value: Any) -> str:
+    """Render one attribute value in its textual form."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return f"{value} : i64"
+    if isinstance(value, float):
+        return f"{format_float(value)} : f64"
+    if isinstance(value, str):
+        return f'"{_escape(value)}"'
+    if isinstance(value, Type):
+        return value.spelling()
+    if isinstance(value, tuple):
+        return "[" + ", ".join(format_attribute(v) for v in value) + "]"
+    if isinstance(value, np.ndarray):
+        flat = np.asarray(value).ravel()
+        body = ", ".join(format_float(float(x)) for x in flat)
+        shape = "x".join(str(d) for d in value.shape) or "0"
+        return f"dense<[{body}]> : tensor<{shape}x{_np_dtype_spelling(value.dtype)}>"
+    raise TypeError(f"cannot print attribute of type {type(value).__name__}")
+
+
+def _np_dtype_spelling(dtype: np.dtype) -> str:
+    mapping = {
+        np.dtype(np.float32): "f32",
+        np.dtype(np.float64): "f64",
+        np.dtype(np.int32): "i32",
+        np.dtype(np.int64): "i64",
+        np.dtype(np.bool_): "i1",
+    }
+    try:
+        return mapping[np.dtype(dtype)]
+    except KeyError:  # pragma: no cover - guarded by normalize_attribute
+        raise TypeError(f"unsupported dense element dtype {dtype}")
+
+
+class Printer:
+    """Stateful printer assigning sequential SSA names."""
+
+    def __init__(self, indent_width: int = 2):
+        self.indent_width = indent_width
+        self._names: Dict[Value, str] = {}
+        self._counter = 0
+
+    def name_of(self, value: Value) -> str:
+        name = self._names.get(value)
+        if name is None:
+            name = f"%{self._counter}"
+            self._counter += 1
+            self._names[value] = name
+        return name
+
+    # -- entry points ----------------------------------------------------------
+
+    def print_op(self, op: Operation, indent: int = 0) -> str:
+        lines: List[str] = []
+        self._print_op(op, indent, lines)
+        return "\n".join(lines)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _print_op(self, op: Operation, indent: int, lines: List[str]) -> None:
+        pad = " " * (indent * self.indent_width)
+        results = ", ".join(self.name_of(r) for r in op.results)
+        prefix = f"{results} = " if op.results else ""
+        operands = ", ".join(self.name_of(v) for v in op.operands)
+        text = f'{pad}{prefix}"{op.op_name}"({operands})'
+
+        if op.regions:
+            region_texts = []
+            for region in op.regions:
+                region_texts.append(self._format_region(region, indent))
+            text += " (" + ", ".join(region_texts) + ")"
+
+        if op.attributes:
+            attrs = ", ".join(
+                f"{key} = {format_attribute(val)}"
+                for key, val in sorted(op.attributes.items())
+            )
+            text += " {" + attrs + "}"
+
+        in_types = ", ".join(v.type.spelling() for v in op.operands)
+        out_types = ", ".join(r.type.spelling() for r in op.results)
+        if len(op.results) == 1:
+            text += f" : ({in_types}) -> {op.results[0].type.spelling()}"
+        else:
+            text += f" : ({in_types}) -> ({out_types})"
+        lines.append(text)
+
+    def _format_region(self, region: Region, indent: int) -> str:
+        pad = " " * (indent * self.indent_width)
+        lines: List[str] = ["{"]
+        for block in region.blocks:
+            header = self._format_block_header(block, indent + 1)
+            if header:
+                lines.append(header)
+            inner: List[str] = []
+            for op in block.ops:
+                self._print_op(op, indent + 1, inner)
+            lines.extend(inner)
+        lines.append(pad + "}")
+        return "\n".join(lines)
+
+    def _format_block_header(self, block: Block, indent: int) -> str:
+        if not block.arguments and (block.parent is None or len(block.parent.blocks) == 1):
+            return ""
+        pad = " " * ((indent - 1) * self.indent_width)
+        index = block.parent.blocks.index(block) if block.parent else 0
+        args = ", ".join(
+            f"{self.name_of(arg)}: {arg.type.spelling()}" for arg in block.arguments
+        )
+        return f"{pad}^bb{index}({args}):"
+
+
+def print_op(op: Operation) -> str:
+    """Print an operation (and everything nested in it) to text."""
+    return Printer().print_op(op)

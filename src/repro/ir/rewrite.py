@@ -1,0 +1,188 @@
+"""Pattern rewriting infrastructure with a greedy worklist driver.
+
+This mirrors MLIR's ``applyPatternsAndFoldGreedily``: the driver visits
+every operation in a scope, attempts per-op constant folding (via
+``Operation.fold``), applies matching :class:`RewritePattern`\\ s, and
+erases dead pure operations, iterating to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .builder import Builder
+from .ops import Block, IRError, Operation
+from .traits import Trait
+from .value import OpResult, Value
+
+# A constant materializer turns a Python constant + result type into an op
+# producing that constant. The arith dialect registers the default one.
+_CONSTANT_MATERIALIZER: Optional[Callable] = None
+
+
+def set_constant_materializer(fn: Callable) -> None:
+    global _CONSTANT_MATERIALIZER
+    _CONSTANT_MATERIALIZER = fn
+
+
+class Rewriter:
+    """Mutation interface handed to patterns; tracks changed ops."""
+
+    def __init__(self, driver: Optional["GreedyRewriteDriver"] = None):
+        self.driver = driver
+
+    def notify(self, op: Operation) -> None:
+        if self.driver is not None:
+            self.driver.enqueue(op)
+
+    def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        anchor.parent._insert_before(anchor, op)
+        self.notify(op)
+        return op
+
+    def replace_op(self, op: Operation, replacements: Sequence[Value]) -> None:
+        for res in op.results:
+            for user in res.users:
+                self.notify(user)
+        op.replace_all_uses_with(list(replacements))
+        self.erase_op(op)
+
+    def erase_op(self, op: Operation) -> None:
+        if self.driver is not None:
+            self.driver.discard(op)
+        for operand in op.operands:
+            producer = operand.defining_op
+            if producer is not None:
+                self.notify(producer)
+        op.erase()
+
+    def builder_before(self, op: Operation) -> Builder:
+        return Builder.before_op(op)
+
+
+class RewritePattern:
+    """Base class for rewrite patterns.
+
+    ``op_name`` restricts the pattern to one operation kind; leave it None
+    to match any op. :meth:`match_and_rewrite` returns True when it changed
+    the IR.
+    """
+
+    op_name: Optional[str] = None
+    benefit: int = 1
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        raise NotImplementedError
+
+
+class GreedyRewriteDriver:
+    """Applies folding + patterns until a fixpoint is reached."""
+
+    def __init__(self, patterns: Sequence[RewritePattern], max_iterations: int = 10):
+        self.generic: List[RewritePattern] = []
+        self.by_name: Dict[str, List[RewritePattern]] = {}
+        for pattern in sorted(patterns, key=lambda p: -p.benefit):
+            if pattern.op_name is None:
+                self.generic.append(pattern)
+            else:
+                self.by_name.setdefault(pattern.op_name, []).append(pattern)
+        self.max_iterations = max_iterations
+        self._worklist: List[Operation] = []
+        self._on_list: set = set()
+        self._erased: set = set()
+
+    # -- worklist ---------------------------------------------------------------
+
+    def enqueue(self, op: Operation) -> None:
+        key = id(op)
+        if key not in self._on_list and key not in self._erased:
+            self._worklist.append(op)
+            self._on_list.add(key)
+
+    def discard(self, op: Operation) -> None:
+        self._erased.add(id(op))
+
+    def _pop(self) -> Optional[Operation]:
+        while self._worklist:
+            op = self._worklist.pop()
+            self._on_list.discard(id(op))
+            if id(op) not in self._erased and op.parent is not None:
+                return op
+        return None
+
+    # -- driver --------------------------------------------------------------------
+
+    def run(self, root: Operation) -> bool:
+        """Rewrite everything nested under ``root``; returns True if changed."""
+        changed = False
+        rewriter = Rewriter(self)
+        for _ in range(self.max_iterations):
+            for op in root.walk():
+                if op is not root:
+                    self.enqueue(op)
+            iteration_changed = False
+            while True:
+                op = self._pop()
+                if op is None:
+                    break
+                if self._process(op, rewriter):
+                    iteration_changed = True
+            changed |= iteration_changed
+            if not iteration_changed:
+                break
+        return changed
+
+    def _process(self, op: Operation, rewriter: Rewriter) -> bool:
+        # Dead pure op elimination.
+        if (
+            op.has_trait(Trait.PURE)
+            and op.results
+            and not op.has_uses
+            and op.parent is not None
+        ):
+            rewriter.erase_op(op)
+            return True
+
+        if try_fold(op, rewriter):
+            return True
+
+        for pattern in self.by_name.get(op.op_name, []):
+            if pattern.match_and_rewrite(op, rewriter):
+                return True
+        for pattern in self.generic:
+            if pattern.match_and_rewrite(op, rewriter):
+                return True
+        return False
+
+
+def try_fold(op: Operation, rewriter: Rewriter) -> bool:
+    """Attempt to fold ``op``; on success replaces and erases it."""
+    if not op.results:
+        return False
+    folded = op.fold()
+    if folded is None:
+        return False
+    if len(folded) != len(op.results):
+        raise IRError(f"fold of '{op.op_name}' returned wrong result count")
+    replacements: List[Value] = []
+    builder = Builder.before_op(op)
+    for entry, result in zip(folded, op.results):
+        if isinstance(entry, Value):
+            replacements.append(entry)
+        else:
+            if _CONSTANT_MATERIALIZER is None:
+                return False
+            const = _CONSTANT_MATERIALIZER(builder, entry, result.type)
+            if const is None:
+                return False
+            rewriter.notify(const.defining_op)
+            replacements.append(const)
+    rewriter.replace_op(op, replacements)
+    return True
+
+
+def apply_patterns_greedily(
+    root: Operation, patterns: Sequence[RewritePattern], max_iterations: int = 10
+) -> bool:
+    """Convenience wrapper running a greedy rewrite over ``root``."""
+    return GreedyRewriteDriver(patterns, max_iterations).run(root)

@@ -1,0 +1,38 @@
+"""Operation traits and interfaces.
+
+Traits are declarative markers attached to operation classes (mirroring
+MLIR's ``OpTrait``). Generic transformations key off them:
+
+- ``PURE`` ops are eligible for CSE, DCE and constant folding.
+- ``COMMUTATIVE`` ops get operand order canonicalized.
+- ``TERMINATOR`` ops must appear last in their block.
+- ``CONSTANT_LIKE`` ops materialize attribute values.
+- ``ISOLATED_FROM_ABOVE`` regions may not reference outer SSA values.
+- ``SINGLE_BLOCK`` regions must contain exactly one block.
+- ``FUNCTION_LIKE`` ops define a symbol with a body region.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Trait(enum.Enum):
+    PURE = "pure"
+    COMMUTATIVE = "commutative"
+    TERMINATOR = "terminator"
+    CONSTANT_LIKE = "constant_like"
+    ISOLATED_FROM_ABOVE = "isolated_from_above"
+    SINGLE_BLOCK = "single_block"
+    FUNCTION_LIKE = "function_like"
+    SAME_OPERANDS_AND_RESULT_TYPE = "same_operands_and_result_type"
+
+
+PURE = Trait.PURE
+COMMUTATIVE = Trait.COMMUTATIVE
+TERMINATOR = Trait.TERMINATOR
+CONSTANT_LIKE = Trait.CONSTANT_LIKE
+ISOLATED_FROM_ABOVE = Trait.ISOLATED_FROM_ABOVE
+SINGLE_BLOCK = Trait.SINGLE_BLOCK
+FUNCTION_LIKE = Trait.FUNCTION_LIKE
+SAME_OPERANDS_AND_RESULT_TYPE = Trait.SAME_OPERANDS_AND_RESULT_TYPE

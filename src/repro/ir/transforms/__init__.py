@@ -1,0 +1,14 @@
+"""Generic, dialect-agnostic IR transformations."""
+
+from .canonicalize import CanonicalizePass, canonicalize
+from .cse import CSEPass, run_cse
+from .dce import DCEPass, run_dce
+
+__all__ = [
+    "CanonicalizePass",
+    "canonicalize",
+    "CSEPass",
+    "run_cse",
+    "DCEPass",
+    "run_dce",
+]

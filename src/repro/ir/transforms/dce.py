@@ -1,0 +1,35 @@
+"""Dead code elimination for pure operations."""
+
+from __future__ import annotations
+
+from ..ops import Operation
+from ..passes import Pass
+from ..traits import Trait
+
+
+def run_dce(root: Operation) -> int:
+    """Erase pure ops whose results are all unused; returns #erased.
+
+    Iterates to a fixpoint so chains of dead ops disappear in one call.
+    The walk is post-order, so users are visited (and erased) before their
+    producers within each sweep.
+    """
+    erased_total = 0
+    while True:
+        erased = 0
+        for op in root.walk():
+            if op is root or op.parent is None:
+                continue
+            if op.has_trait(Trait.PURE) and op.results and not op.has_uses:
+                op.erase()
+                erased += 1
+        erased_total += erased
+        if erased == 0:
+            return erased_total
+
+
+class DCEPass(Pass):
+    name = "dce"
+
+    def run(self, op: Operation) -> None:
+        run_dce(op)

@@ -1,0 +1,195 @@
+"""Type system for the mini-MLIR IR.
+
+Types are immutable, uniqued-by-value objects. Two types constructed with
+the same parameters compare (and hash) equal, mirroring MLIR's context-level
+type uniquing without requiring an explicit context handle.
+
+Builtin types implemented here cover what the SPNC pipeline needs:
+integers, floats, index, tensors, memrefs and vectors. Dialect-specific
+types (``!hi_spn.probability``, ``!lo_spn.log<T>``) subclass :class:`Type`
+in their dialect modules and are registered for parsing via
+:func:`register_dialect_type`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type as PyType
+
+
+class Type:
+    """Base class of all IR types.
+
+    Subclasses must set ``_params`` (a hashable tuple) in ``__init__`` and
+    implement :meth:`spelling`. Equality and hashing are derived from the
+    class and ``_params`` so types behave as value objects.
+    """
+
+    __slots__ = ("_params",)
+
+    def __init__(self, params: Tuple = ()):
+        self._params = params
+
+    def spelling(self) -> str:
+        """Return the textual form of this type (e.g. ``f32``)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.spelling()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.spelling()}>"
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._params == other._params
+
+    def __hash__(self) -> int:
+        return hash((type(self), self._params))
+
+
+class IntegerType(Type):
+    """An integer type of a fixed bit-width (e.g. ``i32``)."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"integer width must be positive, got {width}")
+        self.width = width
+        super().__init__((width,))
+
+    def spelling(self) -> str:
+        return f"i{self.width}"
+
+
+class FloatType(Type):
+    """An IEEE floating point type (``f32`` or ``f64``)."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width not in (16, 32, 64):
+            raise ValueError(f"unsupported float width {width}")
+        self.width = width
+        super().__init__((width,))
+
+    def spelling(self) -> str:
+        return f"f{self.width}"
+
+
+class IndexType(Type):
+    """The platform-sized index type used for loop induction variables."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__(())
+
+    def spelling(self) -> str:
+        return "index"
+
+
+class NoneType(Type):
+    """A unit type for ops that produce no meaningful value."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__(())
+
+    def spelling(self) -> str:
+        return "none"
+
+
+class _ShapedType(Type):
+    """Common base for tensor / memref / vector types."""
+
+    __slots__ = ("shape", "element_type")
+
+    _keyword = ""
+
+    def __init__(self, shape: Tuple[Optional[int], ...], element_type: Type):
+        self.shape = tuple(shape)
+        self.element_type = element_type
+        super().__init__((self.shape, element_type))
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def num_elements(self) -> Optional[int]:
+        """Static element count, or None if any dimension is dynamic."""
+        total = 1
+        for dim in self.shape:
+            if dim is None:
+                return None
+            total *= dim
+        return total
+
+    def spelling(self) -> str:
+        dims = "x".join("?" if d is None else str(d) for d in self.shape)
+        sep = "x" if dims else ""
+        return f"{self._keyword}<{dims}{sep}{self.element_type.spelling()}>"
+
+
+class TensorType(_ShapedType):
+    """An immutable value-semantics tensor (``tensor<?xf32>``)."""
+
+    __slots__ = ()
+    _keyword = "tensor"
+
+
+class MemRefType(_ShapedType):
+    """A mutable buffer reference (``memref<?xf32>``)."""
+
+    __slots__ = ()
+    _keyword = "memref"
+
+
+class VectorType(_ShapedType):
+    """A fixed-length SIMD vector (``vector<8xf32>``)."""
+
+    __slots__ = ()
+    _keyword = "vector"
+
+    def __init__(self, shape, element_type: Type):
+        shape = tuple(shape)
+        if any(d is None or d <= 0 for d in shape):
+            raise ValueError("vector dimensions must be static and positive")
+        super().__init__(shape, element_type)
+
+
+# Convenient singletons for the common types.
+f32 = FloatType(32)
+f64 = FloatType(64)
+i1 = IntegerType(1)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+index = IndexType()
+none = NoneType()
+
+
+# --- dialect type registry (used by the parser) -----------------------------
+
+_DIALECT_TYPES: Dict[str, PyType] = {}
+
+
+def register_dialect_type(prefix: str, cls: PyType) -> None:
+    """Register a dialect type class for parsing.
+
+    ``prefix`` is the mnemonic that appears after ``!`` in the textual form,
+    e.g. ``"lo_spn.log"``. The class must provide a ``parse(body: str)``
+    classmethod receiving the text between ``<`` and ``>`` (or ``""``).
+    """
+    _DIALECT_TYPES[prefix] = cls
+
+
+def lookup_dialect_type(prefix: str) -> Optional[PyType]:
+    return _DIALECT_TYPES.get(prefix)
+
+
+def is_float(ty: Type) -> bool:
+    return isinstance(ty, FloatType)
+
+
+def is_integer(ty: Type) -> bool:
+    return isinstance(ty, IntegerType)

@@ -1,0 +1,134 @@
+"""SSA values, results and block arguments.
+
+Every :class:`Value` keeps an explicit use-list so that passes can query
+``value.uses``, ``value.has_uses`` and rewrite with
+``value.replace_all_uses_with`` in O(#uses), which matters for the large
+SPN graphs (hundreds of thousands of operations) the compiler handles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List
+
+from .types import Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ops import Block, Operation
+
+
+class Use:
+    """A single use of a value: ``owner.operands[operand_index]``."""
+
+    __slots__ = ("owner", "operand_index")
+
+    def __init__(self, owner: "Operation", operand_index: int):
+        self.owner = owner
+        self.operand_index = operand_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Use {self.owner.name}#{self.operand_index}>"
+
+
+class Value:
+    """Base class for SSA values (operation results and block arguments)."""
+
+    __slots__ = ("type", "_uses")
+
+    def __init__(self, type: Type):
+        self.type = type
+        self._uses: List[Use] = []
+
+    # -- use tracking ------------------------------------------------------
+
+    @property
+    def uses(self) -> Iterator[Use]:
+        return iter(list(self._uses))
+
+    @property
+    def users(self) -> List["Operation"]:
+        """Distinct operations using this value, in first-use order."""
+        seen = []
+        for use in self._uses:
+            if use.owner not in seen:
+                seen.append(use.owner)
+        return seen
+
+    @property
+    def has_uses(self) -> bool:
+        return bool(self._uses)
+
+    @property
+    def num_uses(self) -> int:
+        return len(self._uses)
+
+    def has_one_use(self) -> bool:
+        return len(self._uses) == 1
+
+    def _add_use(self, use: Use) -> None:
+        self._uses.append(use)
+
+    def _remove_use(self, owner: "Operation", operand_index: int) -> None:
+        for i, use in enumerate(self._uses):
+            if use.owner is owner and use.operand_index == operand_index:
+                del self._uses[i]
+                return
+        raise RuntimeError("use not found on value")  # pragma: no cover
+
+    def replace_all_uses_with(self, replacement: "Value") -> None:
+        """Rewrite every use of this value to use ``replacement`` instead."""
+        if replacement is self:
+            return
+        for use in list(self._uses):
+            use.owner._set_operand(use.operand_index, replacement)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def owner(self):
+        """The operation or block defining this value."""
+        raise NotImplementedError
+
+    @property
+    def defining_op(self):
+        """The defining operation, or None for block arguments."""
+        return None
+
+
+class OpResult(Value):
+    """A result produced by an operation."""
+
+    __slots__ = ("op", "result_index")
+
+    def __init__(self, op: "Operation", result_index: int, type: Type):
+        super().__init__(type)
+        self.op = op
+        self.result_index = result_index
+
+    @property
+    def owner(self) -> "Operation":
+        return self.op
+
+    @property
+    def defining_op(self) -> "Operation":
+        return self.op
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OpResult #{self.result_index} of {self.op.name} : {self.type}>"
+
+
+class BlockArgument(Value):
+    """An argument of a block (e.g. a loop induction variable)."""
+
+    __slots__ = ("block", "arg_index")
+
+    def __init__(self, block: "Block", arg_index: int, type: Type):
+        super().__init__(type)
+        self.block = block
+        self.arg_index = arg_index
+
+    @property
+    def owner(self) -> "Block":
+        return self.block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BlockArgument #{self.arg_index} : {self.type}>"

@@ -1,0 +1,64 @@
+"""Structural IR verification.
+
+Checks the invariants the rest of the compiler relies on:
+
+- every operand is defined before use (straight-line dominance within a
+  block, or by a block argument / value from an enclosing region),
+- ``ISOLATED_FROM_ABOVE`` ops never reference outer values,
+- ``SINGLE_BLOCK`` ops have exactly one block per region,
+- terminators appear only in terminal position,
+- per-op ``verify_op`` hooks pass.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .ops import Block, IRError, Operation, Region
+from .traits import Trait
+from .value import Value
+
+
+class VerificationError(IRError):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify(op: Operation) -> None:
+    """Verify ``op`` and everything nested within it."""
+    _verify_op(op, visible=set())
+
+
+def _verify_op(op: Operation, visible: Set[Value]) -> None:
+    for operand in op.operands:
+        if operand not in visible:
+            raise VerificationError(
+                f"operand of '{op.op_name}' ({operand!r}) does not dominate its use"
+            )
+
+    if op.has_trait(Trait.SINGLE_BLOCK):
+        for region in op.regions:
+            if len(region.blocks) != 1:
+                raise VerificationError(
+                    f"'{op.op_name}' requires exactly one block per region, "
+                    f"found {len(region.blocks)}"
+                )
+
+    op.verify_op()
+
+    isolated = op.has_trait(Trait.ISOLATED_FROM_ABOVE)
+    for region in op.regions:
+        _verify_region(region, set() if isolated else set(visible))
+
+
+def _verify_region(region: Region, visible: Set[Value]) -> None:
+    for block in region.blocks:
+        block_visible = set(visible)
+        block_visible.update(block.arguments)
+        ops = block.op_list()
+        for i, op in enumerate(ops):
+            if op.has_trait(Trait.TERMINATOR) and i != len(ops) - 1:
+                raise VerificationError(
+                    f"terminator '{op.op_name}' is not the last op in its block"
+                )
+            _verify_op(op, block_visible)
+            block_visible.update(op.results)

@@ -1,0 +1,6 @@
+"""Runtime component: kernel loading, chunking, multi-threading."""
+
+from .executable import CPUExecutable, KernelSignature
+from .threadpool import ChunkedExecutor, chunk_ranges
+
+__all__ = ["CPUExecutable", "KernelSignature", "ChunkedExecutor", "chunk_ranges"]

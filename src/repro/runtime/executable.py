@@ -1,0 +1,84 @@
+"""Loadable compiled kernels: the runtime component.
+
+A :class:`CPUExecutable` wraps the generated kernel entry point; calling
+it with a [batch, features] array returns per-sample (log) likelihoods.
+The runtime owns output allocation, chunking and multi-threading — the
+generated kernel itself processes an arbitrary number of samples
+(batch size is only an optimization hint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..backends.cpu.codegen import GeneratedModule, numpy_dtype
+from ..ir.types import Type
+from .threadpool import ChunkedExecutor
+
+
+@dataclass
+class KernelSignature:
+    """Shape/type contract of a compiled query kernel."""
+
+    num_features: int
+    input_dtype: np.dtype
+    result_dtype: np.dtype
+    log_space: bool
+    batch_size: int
+    #: Result rows per sample (1 for a single query; one per head for
+    #: multi-head kernels).
+    num_results: int = 1
+
+
+class CPUExecutable:
+    """A compiled CPU kernel plus its invocation metadata."""
+
+    def __init__(
+        self,
+        generated: GeneratedModule,
+        entry_name: str,
+        signature: KernelSignature,
+        num_threads: int = 1,
+    ):
+        self.generated = generated
+        self.entry = generated.get(entry_name)
+        self.entry_name = entry_name
+        self.signature = signature
+        self.num_threads = num_threads
+        self._executor = ChunkedExecutor(num_threads) if num_threads > 1 else None
+
+    # -- invocation ---------------------------------------------------------------
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.execute(inputs)
+
+    def execute(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the kernel; returns [batch] (log-)likelihoods."""
+        sig = self.signature
+        inputs = np.ascontiguousarray(inputs, dtype=sig.input_dtype)
+        if inputs.ndim != 2 or inputs.shape[1] != sig.num_features:
+            raise ValueError(
+                f"expected input of shape [batch, {sig.num_features}], "
+                f"got {inputs.shape}"
+            )
+        n = inputs.shape[0]
+        output = np.empty((sig.num_results, n), dtype=sig.result_dtype)
+        # libm semantics for the raw ufuncs in generated code: log(0) is
+        # -inf, exp overflow is inf — never a warning or exception.
+        with np.errstate(all="ignore"):
+            if self._executor is None or n <= sig.batch_size:
+                self.entry(inputs, output)
+            else:
+                def run_chunk(start: int, end: int) -> None:
+                    self.entry(inputs[start:end], output[:, start:end])
+
+                self._executor.run(n, sig.batch_size, run_chunk)
+        return output[0] if sig.num_results == 1 else output
+
+    @property
+    def source(self) -> str:
+        """The generated Python source (the "object code" listing)."""
+        return self.generated.source

@@ -1,0 +1,59 @@
+"""Multi-threaded chunked kernel execution (paper Section IV-B).
+
+The generated CPU code is single-threaded by design; the runtime splits
+the input batch into chunks (of the user-provided batch size — "a mere
+optimization hint") and processes chunks on a thread pool.
+
+Honesty note (DESIGN.md): with Python as the ISA, scalar kernels hold the
+GIL, so threading mainly overlaps the NumPy portions of vectorized
+kernels. The structure matches the paper's runtime; absolute thread
+scaling does not.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Tuple
+
+
+def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Split [0, total) into consecutive [start, end) chunks."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+
+
+class ChunkedExecutor:
+    """Runs a per-chunk callable over the batch, optionally in parallel."""
+
+    def __init__(self, num_threads: int = 1):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = num_threads
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=num_threads) if num_threads > 1 else None
+        )
+
+    def run(self, total: int, chunk_size: int, fn: Callable[[int, int], None]) -> None:
+        ranges = chunk_ranges(total, chunk_size)
+        if self._pool is None or len(ranges) == 1:
+            for start, end in ranges:
+                fn(start, end)
+            return
+        futures = [self._pool.submit(fn, start, end) for start, end in ranges]
+        for future in futures:
+            future.result()  # propagate exceptions
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ChunkedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,95 @@
+"""SPN frontend substrate: graphs, validity, inference, learning, RAT-SPNs.
+
+This package is the SPFlow-equivalent: users model or learn Sum-Product
+Networks here and hand them (plus a query) to :mod:`repro.compiler`.
+"""
+
+from .inference import classify, likelihood, log_likelihood
+from .learning import (
+    LearnSPNOptions,
+    em_weight_update,
+    fit_leaf,
+    independent_groups,
+    kmeans,
+    learn_spn,
+    mean_log_likelihood,
+)
+from .nodes import (
+    Categorical,
+    Gaussian,
+    GraphStatistics,
+    Histogram,
+    Leaf,
+    Node,
+    Product,
+    Sum,
+    all_nodes,
+    depth,
+    leaves,
+    num_nodes,
+    structurally_equal,
+    topological_order,
+)
+from .mpe import max_log_likelihood, mpe
+from .query import JointProbability
+from .rat import RatSpnConfig, build_rat_spn, train_rat_spn
+from .sampling import conditional_sample, sample
+from .serialization import (
+    SerializationError,
+    deserialize,
+    deserialize_from_file,
+    serialize,
+    serialize_to_file,
+)
+from .validity import (
+    InvalidSPNError,
+    assert_valid,
+    check_completeness,
+    check_decomposability,
+    is_valid,
+)
+
+__all__ = [
+    "classify",
+    "likelihood",
+    "log_likelihood",
+    "LearnSPNOptions",
+    "em_weight_update",
+    "fit_leaf",
+    "independent_groups",
+    "kmeans",
+    "learn_spn",
+    "mean_log_likelihood",
+    "Categorical",
+    "Gaussian",
+    "GraphStatistics",
+    "Histogram",
+    "Leaf",
+    "Node",
+    "Product",
+    "Sum",
+    "all_nodes",
+    "depth",
+    "leaves",
+    "num_nodes",
+    "structurally_equal",
+    "topological_order",
+    "max_log_likelihood",
+    "mpe",
+    "JointProbability",
+    "conditional_sample",
+    "sample",
+    "RatSpnConfig",
+    "build_rat_spn",
+    "train_rat_spn",
+    "SerializationError",
+    "deserialize",
+    "deserialize_from_file",
+    "serialize",
+    "serialize_to_file",
+    "InvalidSPNError",
+    "assert_valid",
+    "check_completeness",
+    "check_decomposability",
+    "is_valid",
+]

@@ -1,0 +1,247 @@
+"""Structure and weight learning for SPNs.
+
+Implements a LearnSPN-style recursive algorithm (Gens & Domingos):
+
+1. If only one variable remains, fit a univariate leaf.
+2. Try to split the variable set into independent groups (pairwise
+   absolute-correlation threshold + connected components) → Product node.
+3. Otherwise cluster the rows (k-means) → Sum node with weights
+   proportional to cluster sizes.
+4. When too few rows remain, fall back to a naive factorization of all
+   variables into leaves.
+
+Also provides EM-style weight learning on a fixed structure, used for
+fine-tuning the RAT-SPN mixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .inference import log_likelihood
+from .nodes import Categorical, Gaussian, Histogram, Leaf, Node, Product, Sum, topological_order
+
+
+@dataclass
+class LearnSPNOptions:
+    """Tuning knobs for :func:`learn_spn`."""
+
+    min_instances: int = 40
+    independence_threshold: float = 0.25
+    num_clusters: int = 2
+    leaf_kind: str = "gaussian"  # "gaussian" | "histogram" | "auto"
+    histogram_buckets: int = 12
+    min_stdev: float = 1e-3
+    max_depth: int = 16
+    seed: int = 0
+
+
+# --- helpers -------------------------------------------------------------------
+
+
+def kmeans(data: np.ndarray, k: int, rng: np.random.Generator, iters: int = 25) -> np.ndarray:
+    """Plain Lloyd's k-means, returning a cluster label per row."""
+    n = data.shape[0]
+    if n <= k:
+        return np.arange(n) % k
+    centers = data[rng.choice(n, size=k, replace=False)].astype(np.float64)
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(iters):
+        distances = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = np.argmin(distances, axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for j in range(k):
+            mask = labels == j
+            if mask.any():
+                centers[j] = data[mask].mean(axis=0)
+    # Guard against empty clusters: reassign arbitrary points.
+    for j in range(k):
+        if not (labels == j).any():
+            labels[rng.integers(0, n)] = j
+    return labels
+
+
+def independent_groups(data: np.ndarray, threshold: float) -> List[List[int]]:
+    """Group columns into connected components of |corr| > threshold."""
+    cols = data.shape[1]
+    if cols == 1:
+        return [[0]]
+    with np.errstate(invalid="ignore"):
+        corr = np.corrcoef(data, rowvar=False)
+    corr = np.nan_to_num(corr, nan=0.0)
+    adjacency = np.abs(corr) > threshold
+    seen = set()
+    groups: List[List[int]] = []
+    for start in range(cols):
+        if start in seen:
+            continue
+        stack = [start]
+        component: List[int] = []
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            component.append(node)
+            for other in range(cols):
+                if other != node and adjacency[node, other] and other not in seen:
+                    stack.append(other)
+        groups.append(sorted(component))
+    return groups
+
+
+def fit_leaf(column: np.ndarray, variable: int, options: LearnSPNOptions) -> Leaf:
+    """Fit a univariate leaf to a data column."""
+    kind = options.leaf_kind
+    if kind == "auto":
+        values = np.unique(column[~np.isnan(column)])
+        integral = np.all(values == np.round(values)) and values.size <= 32
+        kind = "categorical" if integral else "gaussian"
+    if kind == "gaussian":
+        mean = float(np.nanmean(column)) if column.size else 0.0
+        stdev = float(np.nanstd(column)) if column.size else 1.0
+        return Gaussian(variable, mean, max(stdev, options.min_stdev))
+    if kind == "categorical":
+        values = column[~np.isnan(column)].astype(np.int64)
+        k = int(values.max()) + 1 if values.size else 2
+        counts = np.bincount(values, minlength=max(k, 2)).astype(np.float64)
+        counts += 1.0  # Laplace smoothing
+        return Categorical(variable, counts / counts.sum())
+    if kind == "histogram":
+        finite = column[~np.isnan(column)]
+        lo = float(finite.min()) if finite.size else 0.0
+        hi = float(finite.max()) if finite.size else 1.0
+        if hi <= lo:
+            hi = lo + 1.0
+        buckets = options.histogram_buckets
+        bounds = np.linspace(lo, hi + 1e-9, buckets + 1)
+        counts, _ = np.histogram(finite, bins=bounds)
+        masses = (counts + 0.5) / (counts.sum() + 0.5 * buckets)
+        return Histogram(variable, bounds, masses)
+    raise ValueError(f"unknown leaf kind '{options.leaf_kind}'")
+
+
+# --- LearnSPN -------------------------------------------------------------------
+
+
+def learn_spn(
+    data: np.ndarray,
+    options: Optional[LearnSPNOptions] = None,
+    variables: Optional[Sequence[int]] = None,
+) -> Node:
+    """Learn an SPN structure + parameters from data.
+
+    Args:
+        data: [rows, num_features] training matrix.
+        options: learning configuration.
+        variables: global variable indices of the columns (defaults to
+            0..num_features-1).
+    """
+    options = options or LearnSPNOptions()
+    data = np.asarray(data, dtype=np.float64)
+    if variables is None:
+        variables = list(range(data.shape[1]))
+    rng = np.random.default_rng(options.seed)
+    return _learn(data, list(variables), options, rng, depth=0, force_cluster=True)
+
+
+def _naive_factorization(
+    data: np.ndarray, variables: List[int], options: LearnSPNOptions
+) -> Node:
+    leaf_nodes = [
+        fit_leaf(data[:, i], var, options) for i, var in enumerate(variables)
+    ]
+    if len(leaf_nodes) == 1:
+        return leaf_nodes[0]
+    return Product(leaf_nodes)
+
+
+def _learn(
+    data: np.ndarray,
+    variables: List[int],
+    options: LearnSPNOptions,
+    rng: np.random.Generator,
+    depth: int,
+    force_cluster: bool = False,
+) -> Node:
+    if len(variables) == 1:
+        return fit_leaf(data[:, 0], variables[0], options)
+    if data.shape[0] < options.min_instances or depth >= options.max_depth:
+        return _naive_factorization(data, variables, options)
+
+    if not force_cluster:
+        groups = independent_groups(data, options.independence_threshold)
+        if len(groups) > 1:
+            children = [
+                _learn(
+                    data[:, group],
+                    [variables[i] for i in group],
+                    options,
+                    rng,
+                    depth + 1,
+                )
+                for group in groups
+            ]
+            return Product(children)
+
+    labels = kmeans(data, options.num_clusters, rng)
+    children: List[Node] = []
+    weights: List[float] = []
+    for cluster in range(options.num_clusters):
+        mask = labels == cluster
+        if not mask.any():
+            continue
+        children.append(
+            _learn(data[mask], list(variables), options, rng, depth + 1)
+        )
+        weights.append(float(mask.sum()))
+    if len(children) == 1:
+        return children[0]
+    return Sum(children, weights)
+
+
+# --- EM weight learning -----------------------------------------------------------
+
+
+def em_weight_update(root: Node, data: np.ndarray, iterations: int = 3) -> None:
+    """In-place EM updates of all sum-node weights on a fixed structure.
+
+    Uses the standard soft-assignment E-step: the responsibility of child c
+    at sum node s is w_c * L_c / L_s per sample, accumulated over the batch.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    order = topological_order(root)
+    for _ in range(iterations):
+        values: Dict[int, np.ndarray] = {}
+        for node in order:
+            if isinstance(node, Leaf):
+                values[id(node)] = node.log_density(data[:, node.variable])
+            elif isinstance(node, Product):
+                acc = values[id(node.children[0])].copy()
+                for child in node.children[1:]:
+                    acc += values[id(child)]
+                values[id(node)] = acc
+            else:
+                stacked = np.stack([values[id(c)] for c in node.children], axis=0)
+                logw = np.log(np.asarray(node.weights))[:, None]
+                shifted = stacked + logw
+                peak = np.max(shifted, axis=0)
+                values[id(node)] = peak + np.log(np.exp(shifted - peak).sum(axis=0))
+        for node in order:
+            if isinstance(node, Sum):
+                stacked = np.stack([values[id(c)] for c in node.children], axis=0)
+                logw = np.log(np.asarray(node.weights))[:, None]
+                log_resp = stacked + logw - values[id(node)][None, :]
+                resp = np.exp(np.nan_to_num(log_resp, neginf=-745.0)).sum(axis=1)
+                resp = np.maximum(resp, 1e-8)
+                node.weights = list(resp / resp.sum())
+
+
+def mean_log_likelihood(root: Node, data: np.ndarray) -> float:
+    """Average log likelihood of the data under the SPN."""
+    return float(np.mean(log_likelihood(root, data)))

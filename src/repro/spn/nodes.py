@@ -1,0 +1,299 @@
+"""SPN graph representation (the SPFlow-equivalent substrate).
+
+A Sum-Product Network is a rooted DAG of :class:`Sum`, :class:`Product`
+and leaf nodes (:class:`Gaussian`, :class:`Categorical`,
+:class:`Histogram`). Each node has a *scope*: the set of feature indices
+it defines a distribution over.
+
+The module also provides graph utilities shared by training, inference
+and compilation: topological ordering, node/scope queries, and structural
+statistics matching the paper's reporting (operation counts, share of
+Gaussian leaves, DAG depth).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_node_counter = itertools.count()
+
+
+class Node:
+    """Base class of all SPN nodes.
+
+    The DAG structure (children) is immutable after construction —
+    parameters (weights, leaf params) may change during training, but
+    edges never do. Scopes are therefore cached: without the cache, the
+    recursive scope computation re-expands shared sub-DAGs exponentially
+    on heavily shared structures such as RAT-SPNs.
+    """
+
+    __slots__ = ("id", "children", "_scope")
+
+    def __init__(self, children: Sequence["Node"] = ()):
+        self.id = next(_node_counter)
+        self.children: List[Node] = list(children)
+        self._scope: Optional[FrozenSet[int]] = None
+
+    @property
+    def scope(self) -> FrozenSet[int]:
+        if self._scope is None:
+            # Fill caches bottom-up, iteratively (deep graphs would blow
+            # the recursion limit).
+            for node in topological_order(self):
+                if node._scope is None:
+                    node._scope = node._compute_scope()
+        return self._scope
+
+    def _compute_scope(self) -> FrozenSet[int]:
+        raise NotImplementedError
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.id}>"
+
+
+class Sum(Node):
+    """A weighted mixture of child distributions over a shared scope."""
+
+    __slots__ = ("weights",)
+
+    def __init__(self, children: Sequence[Node], weights: Sequence[float]):
+        if len(children) != len(weights):
+            raise ValueError("sum node needs one weight per child")
+        if not children:
+            raise ValueError("sum node needs at least one child")
+        weights = np.asarray(weights, dtype=np.float64)
+        if np.any(weights < 0):
+            raise ValueError("sum weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("sum weights must not all be zero")
+        super().__init__(children)
+        self.weights: List[float] = [float(w) / total for w in weights]
+
+    def _compute_scope(self) -> FrozenSet[int]:
+        return frozenset().union(*(c._scope for c in self.children))
+
+
+class Product(Node):
+    """A factorization of independent child distributions."""
+
+    __slots__ = ()
+
+    def __init__(self, children: Sequence[Node]):
+        if not children:
+            raise ValueError("product node needs at least one child")
+        super().__init__(children)
+
+    def _compute_scope(self) -> FrozenSet[int]:
+        return frozenset().union(*(c._scope for c in self.children))
+
+
+class Leaf(Node):
+    """Base class of univariate leaf distributions."""
+
+    __slots__ = ("variable",)
+
+    def __init__(self, variable: int):
+        super().__init__(())
+        self.variable = int(variable)
+        self._scope = frozenset((self.variable,))
+
+    def _compute_scope(self) -> FrozenSet[int]:
+        return self._scope
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized log density/mass for an array of feature values."""
+        raise NotImplementedError
+
+
+class Gaussian(Leaf):
+    """A univariate Gaussian leaf."""
+
+    __slots__ = ("mean", "stdev")
+
+    def __init__(self, variable: int, mean: float, stdev: float):
+        if stdev <= 0:
+            raise ValueError("Gaussian stdev must be positive")
+        super().__init__(variable)
+        self.mean = float(mean)
+        self.stdev = float(stdev)
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        norm = -0.5 * np.log(2.0 * np.pi) - np.log(self.stdev)
+        z = (values - self.mean) / self.stdev
+        return norm - 0.5 * z * z
+
+
+class Categorical(Leaf):
+    """A categorical leaf over values ``0..K-1``."""
+
+    __slots__ = ("probabilities",)
+
+    def __init__(self, variable: int, probabilities: Sequence[float]):
+        probs = np.asarray(probabilities, dtype=np.float64)
+        if probs.ndim != 1 or probs.size == 0:
+            raise ValueError("categorical needs a non-empty 1-D probability vector")
+        if np.any(probs < 0):
+            raise ValueError("categorical probabilities must be non-negative")
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("categorical probabilities must not all be zero")
+        super().__init__(variable)
+        self.probabilities: List[float] = list(probs / total)
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        table = np.asarray(self.probabilities)
+        idx = np.clip(values.astype(np.int64), 0, len(table) - 1)
+        with np.errstate(divide="ignore"):
+            return np.log(table[idx])
+
+
+class Histogram(Leaf):
+    """A histogram leaf: piecewise-constant mass over value buckets.
+
+    Bucket ``i`` covers ``[bounds[i], bounds[i+1])``; values outside the
+    covered range receive a tiny epsilon mass to avoid -inf likelihoods,
+    mirroring SPFlow's behaviour.
+    """
+
+    EPSILON = 1e-12
+
+    __slots__ = ("bounds", "densities")
+
+    def __init__(self, variable: int, bounds: Sequence[float], densities: Sequence[float]):
+        bounds_arr = np.asarray(bounds, dtype=np.float64)
+        dens = np.asarray(densities, dtype=np.float64)
+        if len(bounds_arr) != len(dens) + 1:
+            raise ValueError("histogram needs len(bounds) == len(densities) + 1")
+        if np.any(np.diff(bounds_arr) <= 0):
+            raise ValueError("histogram bounds must be strictly increasing")
+        if np.any(dens < 0):
+            raise ValueError("histogram densities must be non-negative")
+        super().__init__(variable)
+        self.bounds: List[float] = list(bounds_arr)
+        self.densities: List[float] = list(dens)
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        bounds = np.asarray(self.bounds)
+        dens = np.asarray(self.densities)
+        idx = np.searchsorted(bounds, values, side="right") - 1
+        out_of_range = (idx < 0) | (idx >= len(dens))
+        idx = np.clip(idx, 0, len(dens) - 1)
+        result = dens[idx]
+        result = np.where(out_of_range, self.EPSILON, result)
+        with np.errstate(divide="ignore"):
+            return np.log(np.maximum(result, self.EPSILON))
+
+
+# --- graph utilities ---------------------------------------------------------
+
+
+def topological_order(root: Node) -> List[Node]:
+    """Children-before-parents ordering of all nodes reachable from root."""
+    order: List[Node] = []
+    visited = set()
+    stack: List[Tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for child in node.children:
+            if id(child) not in visited:
+                stack.append((child, False))
+    return order
+
+
+def all_nodes(root: Node) -> List[Node]:
+    return topological_order(root)
+
+
+def leaves(root: Node) -> List[Leaf]:
+    return [n for n in topological_order(root) if isinstance(n, Leaf)]
+
+
+def num_nodes(root: Node) -> int:
+    return len(topological_order(root))
+
+
+def depth(root: Node) -> int:
+    """Longest path from root to a leaf (leaf alone has depth 0)."""
+    depths: Dict[int, int] = {}
+    for node in topological_order(root):
+        if node.is_leaf:
+            depths[id(node)] = 0
+        else:
+            depths[id(node)] = 1 + max(depths[id(c)] for c in node.children)
+    return depths[id(root)]
+
+
+class GraphStatistics:
+    """Node-count statistics as reported in the paper's evaluation."""
+
+    def __init__(self, root: Node):
+        nodes = topological_order(root)
+        self.num_nodes = len(nodes)
+        self.num_sums = sum(1 for n in nodes if isinstance(n, Sum))
+        self.num_products = sum(1 for n in nodes if isinstance(n, Product))
+        self.num_leaves = sum(1 for n in nodes if isinstance(n, Leaf))
+        self.num_gaussians = sum(1 for n in nodes if isinstance(n, Gaussian))
+        self.num_features = len(root.scope)
+        self.depth = depth(root)
+
+    @property
+    def gaussian_share(self) -> float:
+        return self.num_gaussians / max(self.num_nodes, 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStatistics(nodes={self.num_nodes}, sums={self.num_sums}, "
+            f"products={self.num_products}, leaves={self.num_leaves}, "
+            f"features={self.num_features}, depth={self.depth})"
+        )
+
+
+def structurally_equal(a: Node, b: Node) -> bool:
+    """Deep structural equality of two SPN graphs (shared subgraphs respected)."""
+    mapping: Dict[int, int] = {}
+
+    def visit(x: Node, y: Node) -> bool:
+        if id(x) in mapping:
+            return mapping[id(x)] == id(y)
+        mapping[id(x)] = id(y)
+        if type(x) is not type(y):
+            return False
+        if isinstance(x, Gaussian):
+            return (
+                x.variable == y.variable
+                and np.isclose(x.mean, y.mean)
+                and np.isclose(x.stdev, y.stdev)
+            )
+        if isinstance(x, Categorical):
+            return x.variable == y.variable and np.allclose(
+                x.probabilities, y.probabilities
+            )
+        if isinstance(x, Histogram):
+            return (
+                x.variable == y.variable
+                and np.allclose(x.bounds, y.bounds)
+                and np.allclose(x.densities, y.densities)
+            )
+        if len(x.children) != len(y.children):
+            return False
+        if isinstance(x, Sum) and not np.allclose(x.weights, y.weights):
+            return False
+        return all(visit(cx, cy) for cx, cy in zip(x.children, y.children))
+
+    return visit(a, b)

@@ -1,0 +1,48 @@
+"""Probabilistic query descriptors.
+
+A query bundles what the user wants computed (joint or marginal log
+likelihood), over how many samples per chunk (``batch_size``, an
+optimization hint used for vector/block sizing and runtime chunking), and
+the input element type. It is what the frontend serializes alongside the
+SPN graph for the compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.types import FloatType, Type, f32, f64
+
+
+_DTYPE_BY_NAME = {"f32": f32, "f64": f64}
+
+
+@dataclass(frozen=True)
+class JointProbability:
+    """A joint-probability query over fully (or partially) observed samples.
+
+    Attributes:
+        batch_size: samples per processing chunk (optimization hint only;
+            compiled kernels accept arbitrary batch lengths).
+        input_dtype: "f32" or "f64" input feature encoding.
+        support_marginal: treat NaN features as missing and marginalize
+            them at the leaves.
+        relative_error: reserved accuracy knob (the paper's Python API
+            exposes it; our lowering always selects log-space f32/f64 by
+            graph depth, see ``lower_to_lospn``).
+    """
+
+    batch_size: int = 4096
+    input_dtype: str = "f32"
+    support_marginal: bool = False
+    relative_error: float = 0.0
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.input_dtype not in _DTYPE_BY_NAME:
+            raise ValueError(f"unsupported input dtype '{self.input_dtype}'")
+
+    @property
+    def input_type(self) -> FloatType:
+        return _DTYPE_BY_NAME[self.input_dtype]

@@ -1,0 +1,210 @@
+"""Random Tensorized SPNs (RAT-SPNs) per Peharz et al. [13].
+
+RAT-SPNs sidestep structure learning by instantiating a *random region
+graph*: the full variable set is recursively split into two random,
+balanced parts (``depth`` times, repeated for ``num_repetitions``
+replicas). Each leaf region receives ``num_input_distributions``
+univariate input distributions per variable (factorized); each internal
+region holds ``num_sums`` sum nodes whose children are the cross products
+of the child regions' nodes; the root region holds one sum node per
+class.
+
+The construction matches the paper's second application (Section V-B): a
+separate (large) SPN per output class, sharing the same random structure
+with different weights — the stress-test workload for graph partitioning
+and compile-time exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .learning import em_weight_update
+from .nodes import Gaussian, Node, Product, Sum
+
+
+@dataclass
+class RatSpnConfig:
+    """Structural hyper-parameters of a RAT-SPN.
+
+    Defaults give a laptop-scale stress SPN (~20-40k nodes per class);
+    scale ``num_repetitions``/``num_sums`` up to approach the paper's
+    ~340k-node models.
+    """
+
+    num_features: int = 64
+    num_classes: int = 10
+    depth: int = 3
+    num_repetitions: int = 8
+    num_sums: int = 8
+    num_input_distributions: int = 4
+    seed: int = 0
+
+
+class _Region:
+    """A region (variable subset) in the region graph."""
+
+    __slots__ = ("variables", "children_pairs")
+
+    def __init__(self, variables: Tuple[int, ...]):
+        self.variables = variables
+        # Each entry is a (left, right) partition of this region.
+        self.children_pairs: List[Tuple["_Region", "_Region"]] = []
+
+
+def _random_binary_tree(
+    variables: Tuple[int, ...], depth: int, rng: np.random.Generator
+) -> _Region:
+    region = _Region(variables)
+    if depth == 0 or len(variables) < 2:
+        return region
+    perm = list(variables)
+    rng.shuffle(perm)
+    mid = len(perm) // 2
+    left = _random_binary_tree(tuple(sorted(perm[:mid])), depth - 1, rng)
+    right = _random_binary_tree(tuple(sorted(perm[mid:])), depth - 1, rng)
+    region.children_pairs.append((left, right))
+    return region
+
+
+def _build_region_nodes(
+    region: _Region,
+    config: RatSpnConfig,
+    rng: np.random.Generator,
+    is_root: bool,
+) -> List[Node]:
+    """Construct the SPN nodes representing one region (bottom-up)."""
+    if not region.children_pairs:
+        # Leaf region: num_input_distributions factorized Gaussian products.
+        nodes: List[Node] = []
+        for _ in range(config.num_input_distributions):
+            gaussians = [
+                Gaussian(
+                    var,
+                    mean=float(rng.normal(0.0, 1.0)),
+                    stdev=float(rng.uniform(0.5, 1.5)),
+                )
+                for var in region.variables
+            ]
+            nodes.append(Product(gaussians) if len(gaussians) > 1 else gaussians[0])
+        return nodes
+
+    products: List[Node] = []
+    for left, right in region.children_pairs:
+        left_nodes = _build_region_nodes(left, config, rng, is_root=False)
+        right_nodes = _build_region_nodes(right, config, rng, is_root=False)
+        for ln in left_nodes:
+            for rn in right_nodes:
+                products.append(Product([ln, rn]))
+
+    count = config.num_classes if is_root else config.num_sums
+    sums: List[Node] = []
+    for _ in range(count):
+        weights = rng.dirichlet(np.ones(len(products)))
+        sums.append(Sum(products, weights))
+    return sums
+
+
+def build_rat_spn(config: Optional[RatSpnConfig] = None) -> List[Node]:
+    """Construct a RAT-SPN; returns one root (Sum) per class.
+
+    All classes share the same structure (children), differing only in the
+    root/sum weights — matching the paper's observation that "the random
+    structure for both tasks is identical and only the weights differ".
+    """
+    config = config or RatSpnConfig()
+    rng = np.random.default_rng(config.seed)
+    variables = tuple(range(config.num_features))
+
+    # The root region merges products from all repetitions.
+    root_products: List[Node] = []
+    for _ in range(config.num_repetitions):
+        tree = _random_binary_tree(variables, config.depth, rng)
+        if not tree.children_pairs:
+            raise ValueError("RAT-SPN needs depth >= 1 and >= 2 features")
+        left, right = tree.children_pairs[0]
+        left_nodes = _build_region_nodes(left, config, rng, is_root=False)
+        right_nodes = _build_region_nodes(right, config, rng, is_root=False)
+        for ln in left_nodes:
+            for rn in right_nodes:
+                root_products.append(Product([ln, rn]))
+
+    roots: List[Node] = []
+    for _ in range(config.num_classes):
+        weights = rng.dirichlet(np.ones(len(root_products)))
+        roots.append(Sum(root_products, weights))
+    return roots
+
+
+def train_rat_spn(
+    roots: Sequence[Node],
+    data: np.ndarray,
+    labels: np.ndarray,
+    em_iterations: int = 2,
+) -> None:
+    """EM weight training of a RAT-SPN (generative, per class heads).
+
+    Two phases, respecting the shared structure: the *internal* sum
+    weights (shared by all class heads) are fit with EM over the full
+    training set; then each class head's root weights are fit on that
+    class's samples only, which is what separates the classes.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels)
+
+    # Phase 0: data-driven leaf initialization (the usual EM warm start):
+    # each Gaussian leaf's mean is drawn from the empirical distribution
+    # of its variable, its stdev from the column spread.
+    from .nodes import Gaussian as GaussianLeaf, topological_order as _topo
+
+    rng = np.random.default_rng(0xA11CE)
+    stds = np.maximum(data.std(axis=0), 1e-3)
+    for node in _topo(roots[0]):
+        if isinstance(node, GaussianLeaf):
+            node.mean = float(data[rng.integers(0, data.shape[0]), node.variable])
+            node.stdev = float(stds[node.variable] * rng.uniform(0.7, 1.3))
+
+    # Phase 1: shared internal weights on all data (use head 0 as the
+    # traversal root — all heads share the same children).
+    em_weight_update(roots[0], data, iterations=em_iterations)
+
+    # Phase 2: per-class root-only weight updates. All children are
+    # evaluated in one shared bottom-up pass per class.
+    from .inference import log_likelihood  # noqa: F401  (documented API)
+    from .nodes import Leaf, Product as ProductNode, Sum as SumNode, topological_order
+
+    def children_log_likelihoods(root: Node, class_data: np.ndarray) -> np.ndarray:
+        values = {}
+        for node in topological_order(root):
+            if isinstance(node, Leaf):
+                values[id(node)] = node.log_density(class_data[:, node.variable])
+            elif isinstance(node, ProductNode):
+                acc = values[id(node.children[0])].copy()
+                for child in node.children[1:]:
+                    acc += values[id(child)]
+                values[id(node)] = acc
+            elif node is not root and isinstance(node, SumNode):
+                stacked = np.stack([values[id(c)] for c in node.children], axis=0)
+                with np.errstate(divide="ignore"):
+                    logw = np.log(np.asarray(node.weights))[:, None]
+                shifted = stacked + logw
+                peak = np.max(shifted, axis=0)
+                values[id(node)] = peak + np.log(np.exp(shifted - peak).sum(axis=0))
+        return np.stack([values[id(c)] for c in root.children], axis=0)
+
+    for cls, root in enumerate(roots):
+        class_data = data[labels == cls]
+        if class_data.shape[0] == 0:
+            continue
+        child_ll = children_log_likelihoods(root, class_data)
+        for _ in range(max(em_iterations, 1)):
+            with np.errstate(divide="ignore"):
+                shifted = child_ll + np.log(np.asarray(root.weights))[:, None]
+            peak = np.max(shifted, axis=0)
+            log_total = peak + np.log(np.exp(shifted - peak).sum(axis=0))
+            resp = np.exp(shifted - log_total[None, :]).sum(axis=1)
+            resp = np.maximum(resp, 1e-8)
+            root.weights = list(resp / resp.sum())

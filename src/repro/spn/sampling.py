@@ -1,0 +1,122 @@
+"""Ancestral sampling from Sum-Product Networks.
+
+SPNs are generative: sampling follows the DAG top-down — at a sum node
+a child is drawn according to the mixture weights, at a product node all
+children are visited, and at a leaf a value is drawn from the univariate
+distribution. Conditional sampling fixes observed (non-NaN) features and
+draws sum-node branches from the *posterior* child responsibilities
+given the evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .nodes import Categorical, Gaussian, Histogram, Leaf, Node, Product, Sum, topological_order
+
+
+def _sample_leaf(leaf: Leaf, rng: np.random.Generator) -> float:
+    if isinstance(leaf, Gaussian):
+        return float(rng.normal(leaf.mean, leaf.stdev))
+    if isinstance(leaf, Categorical):
+        return float(rng.choice(len(leaf.probabilities), p=leaf.probabilities))
+    if isinstance(leaf, Histogram):
+        probs = np.asarray(leaf.densities) / np.sum(leaf.densities)
+        bucket = rng.choice(len(probs), p=probs)
+        return float(rng.uniform(leaf.bounds[bucket], leaf.bounds[bucket + 1]))
+    raise TypeError(f"unknown leaf type {type(leaf).__name__}")  # pragma: no cover
+
+
+def sample(root: Node, num_samples: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Draw unconditional samples; returns [num_samples, num_features]."""
+    rng = rng or np.random.default_rng()
+    num_features = max(root.scope) + 1
+    out = np.full((num_samples, num_features), np.nan)
+
+    def descend(node: Node, row: int) -> None:
+        if isinstance(node, Leaf):
+            out[row, node.variable] = _sample_leaf(node, rng)
+        elif isinstance(node, Product):
+            for child in node.children:
+                descend(child, row)
+        elif isinstance(node, Sum):
+            child = node.children[rng.choice(len(node.children), p=node.weights)]
+            descend(child, row)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown node type {type(node).__name__}")
+
+    for row in range(num_samples):
+        descend(root, row)
+    return out
+
+
+def conditional_sample(
+    root: Node,
+    evidence: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample completions of NaN features conditioned on the observed ones.
+
+    At each sum node the branch is drawn from the posterior
+    responsibilities ``w_k * L_k(evidence) / Σ ...`` computed by one
+    bottom-up (marginalized) likelihood pass.
+    """
+    rng = rng or np.random.default_rng()
+    evidence = np.asarray(evidence, dtype=np.float64)
+    if evidence.ndim != 2:
+        raise ValueError("evidence must have shape [batch, num_features]")
+
+    # Bottom-up marginal likelihood of the evidence under every node.
+    values: Dict[int, np.ndarray] = {}
+    for node in topological_order(root):
+        if isinstance(node, Leaf):
+            column = evidence[:, node.variable]
+            missing = np.isnan(column)
+            safe = np.where(missing, 0.0, column)
+            ll = node.log_density(safe)
+            values[id(node)] = np.where(missing, 0.0, ll)
+        elif isinstance(node, Product):
+            acc = values[id(node.children[0])].copy()
+            for child in node.children[1:]:
+                acc += values[id(child)]
+            values[id(node)] = acc
+        else:
+            stacked = np.stack([values[id(c)] for c in node.children], axis=0)
+            with np.errstate(divide="ignore"):
+                logw = np.log(np.asarray(node.weights))[:, None]
+            shifted = stacked + logw
+            peak = np.max(shifted, axis=0)
+            with np.errstate(invalid="ignore"):
+                values[id(node)] = peak + np.log(np.exp(shifted - peak).sum(axis=0))
+
+    out = evidence.copy()
+
+    def descend(node: Node, row: int) -> None:
+        if isinstance(node, Leaf):
+            if np.isnan(evidence[row, node.variable]):
+                out[row, node.variable] = _sample_leaf(node, rng)
+            return
+        if isinstance(node, Product):
+            for child in node.children:
+                descend(child, row)
+            return
+        with np.errstate(divide="ignore"):
+            scores = np.array(
+                [
+                    (np.log(w) if w > 0 else -np.inf) + values[id(c)][row]
+                    for c, w in zip(node.children, node.weights)
+                ]
+            )
+        peak = scores.max()
+        if not np.isfinite(peak):
+            probs = np.asarray(node.weights)
+        else:
+            probs = np.exp(scores - peak)
+            probs /= probs.sum()
+        descend(node.children[rng.choice(len(probs), p=probs)], row)
+
+    for row in range(evidence.shape[0]):
+        descend(root, row)
+    return out

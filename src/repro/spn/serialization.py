@@ -1,0 +1,188 @@
+"""Binary serialization of SPN graphs and queries.
+
+The paper uses a custom Cap'n Proto based binary format to hand SPNs from
+the SPFlow frontend to the compiler (SPFlow itself has no binary format).
+This module plays the same role with a compact struct-packed format:
+
+====================  =============================================
+section               layout (little endian)
+====================  =============================================
+header                magic ``SPNB``, version u16, reserved u16
+query                 kind u8, batch_size u32, num_features u32,
+                      dtype u8 (0=f32, 1=f64), support_marginal u8
+graph                 node_count u32, then per node a tag byte and a
+                      type-specific payload; children are referenced
+                      by their (already emitted) topological index
+root                  root node index u32
+====================  =============================================
+
+Shared subgraphs are preserved exactly: each node is emitted once and
+referenced by index, so the DAG (not a tree expansion) round-trips.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Dict, List, Tuple, Union
+
+from .nodes import Categorical, Gaussian, Histogram, Node, Product, Sum, topological_order
+from .query import JointProbability
+
+MAGIC = b"SPNB"
+VERSION = 2
+
+_TAG_GAUSSIAN = 1
+_TAG_CATEGORICAL = 2
+_TAG_HISTOGRAM = 3
+_TAG_SUM = 4
+_TAG_PRODUCT = 5
+
+_QUERY_KIND_JOINT = 0
+
+_DTYPE_CODES = {"f32": 0, "f64": 1}
+_DTYPE_NAMES = {code: name for name, code in _DTYPE_CODES.items()}
+
+
+class SerializationError(ValueError):
+    """Raised on malformed binary SPN payloads."""
+
+
+def _write(stream: BinaryIO, fmt: str, *values) -> None:
+    stream.write(struct.pack("<" + fmt, *values))
+
+
+def _read(stream: BinaryIO, fmt: str) -> Tuple:
+    size = struct.calcsize("<" + fmt)
+    payload = stream.read(size)
+    if len(payload) != size:
+        raise SerializationError("unexpected end of SPN payload")
+    return struct.unpack("<" + fmt, payload)
+
+
+def serialize(root: Node, query: JointProbability, stream: BinaryIO = None) -> bytes:
+    """Serialize an SPN + query to bytes (and optionally into a stream)."""
+    buffer = io.BytesIO()
+    _write(buffer, "4sHH", MAGIC, VERSION, 0)
+
+    num_features = max(root.scope) + 1
+    _write(
+        buffer,
+        "BIIBBd",
+        _QUERY_KIND_JOINT,
+        query.batch_size,
+        num_features,
+        _DTYPE_CODES[query.input_dtype],
+        int(query.support_marginal),
+        query.relative_error,
+    )
+
+    order = topological_order(root)
+    index: Dict[int, int] = {id(node): i for i, node in enumerate(order)}
+    _write(buffer, "I", len(order))
+    for node in order:
+        if isinstance(node, Gaussian):
+            _write(buffer, "BIdd", _TAG_GAUSSIAN, node.variable, node.mean, node.stdev)
+        elif isinstance(node, Categorical):
+            probs = node.probabilities
+            _write(buffer, "BII", _TAG_CATEGORICAL, node.variable, len(probs))
+            _write(buffer, f"{len(probs)}d", *probs)
+        elif isinstance(node, Histogram):
+            _write(buffer, "BII", _TAG_HISTOGRAM, node.variable, len(node.densities))
+            _write(buffer, f"{len(node.bounds)}d", *node.bounds)
+            _write(buffer, f"{len(node.densities)}d", *node.densities)
+        elif isinstance(node, Sum):
+            children = [index[id(c)] for c in node.children]
+            _write(buffer, "BI", _TAG_SUM, len(children))
+            _write(buffer, f"{len(children)}I", *children)
+            _write(buffer, f"{len(children)}d", *node.weights)
+        elif isinstance(node, Product):
+            children = [index[id(c)] for c in node.children]
+            _write(buffer, "BI", _TAG_PRODUCT, len(children))
+            _write(buffer, f"{len(children)}I", *children)
+        else:  # pragma: no cover - node hierarchy is closed
+            raise SerializationError(f"cannot serialize node type {type(node).__name__}")
+    _write(buffer, "I", index[id(root)])
+
+    payload = buffer.getvalue()
+    if stream is not None:
+        stream.write(payload)
+    return payload
+
+
+def deserialize(payload: Union[bytes, BinaryIO]) -> Tuple[Node, JointProbability]:
+    """Reconstruct (root, query) from the binary format."""
+    stream = io.BytesIO(payload) if isinstance(payload, (bytes, bytearray)) else payload
+
+    magic, version, _ = _read(stream, "4sHH")
+    if magic != MAGIC:
+        raise SerializationError("bad magic: not an SPN binary payload")
+    if version != VERSION:
+        raise SerializationError(f"unsupported SPN binary version {version}")
+
+    (
+        kind,
+        batch_size,
+        num_features,
+        dtype_code,
+        support_marginal,
+        relative_error,
+    ) = _read(stream, "BIIBBd")
+    if kind != _QUERY_KIND_JOINT:
+        raise SerializationError(f"unknown query kind {kind}")
+    if dtype_code not in _DTYPE_NAMES:
+        raise SerializationError(f"unknown dtype code {dtype_code}")
+    query = JointProbability(
+        batch_size=batch_size,
+        input_dtype=_DTYPE_NAMES[dtype_code],
+        support_marginal=bool(support_marginal),
+        relative_error=relative_error,
+    )
+
+    (node_count,) = _read(stream, "I")
+    nodes: List[Node] = []
+    for _ in range(node_count):
+        (tag,) = _read(stream, "B")
+        if tag == _TAG_GAUSSIAN:
+            variable, mean, stdev = _read(stream, "Idd")
+            nodes.append(Gaussian(variable, mean, stdev))
+        elif tag == _TAG_CATEGORICAL:
+            variable, count = _read(stream, "II")
+            probs = _read(stream, f"{count}d")
+            nodes.append(Categorical(variable, list(probs)))
+        elif tag == _TAG_HISTOGRAM:
+            variable, count = _read(stream, "II")
+            bounds = _read(stream, f"{count + 1}d")
+            densities = _read(stream, f"{count}d")
+            nodes.append(Histogram(variable, list(bounds), list(densities)))
+        elif tag == _TAG_SUM:
+            (count,) = _read(stream, "I")
+            children_idx = _read(stream, f"{count}I")
+            weights = _read(stream, f"{count}d")
+            nodes.append(Sum([nodes[i] for i in children_idx], list(weights)))
+        elif tag == _TAG_PRODUCT:
+            (count,) = _read(stream, "I")
+            children_idx = _read(stream, f"{count}I")
+            nodes.append(Product([nodes[i] for i in children_idx]))
+        else:
+            raise SerializationError(f"unknown node tag {tag}")
+
+    (root_index,) = _read(stream, "I")
+    if root_index >= len(nodes):
+        raise SerializationError("root index out of range")
+    root = nodes[root_index]
+    if max(root.scope) + 1 != num_features:
+        raise SerializationError(
+            f"query claims {num_features} features, graph needs {max(root.scope) + 1}"
+        )
+    return root, query
+
+
+def serialize_to_file(root: Node, query: JointProbability, path: str) -> None:
+    with open(path, "wb") as handle:
+        serialize(root, query, handle)
+
+
+def deserialize_from_file(path: str) -> Tuple[Node, JointProbability]:
+    with open(path, "rb") as handle:
+        return deserialize(handle)

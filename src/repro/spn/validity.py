@@ -1,0 +1,69 @@
+"""Validity checks for SPN graphs: completeness and decomposability.
+
+A valid (tractable) SPN requires:
+
+- **completeness**: all children of a sum node share the same scope, and
+- **decomposability**: children of a product node have pairwise disjoint
+  scopes.
+
+These two properties are what make single-pass bottom-up inference exact,
+so every structure produced by learning or RAT construction is validated
+against them in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from .nodes import Node, Product, Sum, topological_order
+
+
+class InvalidSPNError(ValueError):
+    """Raised when an SPN violates completeness or decomposability."""
+
+
+def check_completeness(root: Node) -> List[str]:
+    """Return a list of completeness violations (empty when valid)."""
+    errors: List[str] = []
+    scopes: Dict[int, FrozenSet[int]] = {}
+    for node in topological_order(root):
+        scopes[id(node)] = node.scope
+        if isinstance(node, Sum):
+            first = scopes[id(node.children[0])]
+            for child in node.children[1:]:
+                if scopes[id(child)] != first:
+                    errors.append(
+                        f"sum node {node.id}: child scopes differ "
+                        f"({sorted(first)} vs {sorted(scopes[id(child)])})"
+                    )
+                    break
+    return errors
+
+
+def check_decomposability(root: Node) -> List[str]:
+    """Return a list of decomposability violations (empty when valid)."""
+    errors: List[str] = []
+    scopes: Dict[int, FrozenSet[int]] = {}
+    for node in topological_order(root):
+        scopes[id(node)] = node.scope
+        if isinstance(node, Product):
+            union: set = set()
+            total = 0
+            for child in node.children:
+                child_scope = scopes[id(child)]
+                union.update(child_scope)
+                total += len(child_scope)
+            if total != len(union):
+                errors.append(f"product node {node.id}: child scopes overlap")
+    return errors
+
+
+def is_valid(root: Node) -> bool:
+    return not check_completeness(root) and not check_decomposability(root)
+
+
+def assert_valid(root: Node) -> None:
+    """Raise :class:`InvalidSPNError` if the SPN is not complete/decomposable."""
+    errors = check_completeness(root) + check_decomposability(root)
+    if errors:
+        raise InvalidSPNError("; ".join(errors))

@@ -1,0 +1,79 @@
+"""Graphviz (DOT) export of SPN graphs and compiled-pipeline artifacts.
+
+``to_dot`` renders an SPN DAG in the style of the paper's Fig. 1: circled
+``+`` for sums (edges labeled with weights), ``×`` for products, and the
+distribution family for leaves. The output is plain DOT text — no
+graphviz installation required to produce it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .nodes import Categorical, Gaussian, Histogram, Leaf, Node, Product, Sum, topological_order
+
+
+def _leaf_label(leaf: Leaf) -> str:
+    if isinstance(leaf, Gaussian):
+        return f"N(x{leaf.variable}; {leaf.mean:.2g}, {leaf.stdev:.2g})"
+    if isinstance(leaf, Categorical):
+        return f"Cat(x{leaf.variable}; K={len(leaf.probabilities)})"
+    if isinstance(leaf, Histogram):
+        return f"Hist(x{leaf.variable}; B={len(leaf.densities)})"
+    return f"leaf(x{leaf.variable})"  # pragma: no cover - closed hierarchy
+
+
+def to_dot(root: Node, graph_name: str = "spn", max_nodes: Optional[int] = None) -> str:
+    """Render the SPN rooted at ``root`` as a DOT digraph.
+
+    ``max_nodes`` truncates huge graphs (RAT-SPNs) with an ellipsis node
+    so the output stays renderable.
+    """
+    order = topological_order(root)
+    truncated = False
+    if max_nodes is not None and len(order) > max_nodes:
+        order = order[-max_nodes:]  # keep the root-side of the graph
+        truncated = True
+    kept = {id(node) for node in order}
+
+    lines: List[str] = [
+        f"digraph {graph_name} {{",
+        "  rankdir=TB;",
+        '  node [fontname="Helvetica"];',
+    ]
+    names: Dict[int, str] = {}
+    for i, node in enumerate(order):
+        name = f"n{i}"
+        names[id(node)] = name
+        if isinstance(node, Sum):
+            lines.append(f'  {name} [shape=circle, label="+"];')
+        elif isinstance(node, Product):
+            lines.append(f'  {name} [shape=circle, label="&times;"];')
+        else:
+            lines.append(f'  {name} [shape=box, label="{_leaf_label(node)}"];')
+    if truncated:
+        lines.append('  trunc [shape=plaintext, label="..."];')
+
+    for node in order:
+        parent = names[id(node)]
+        if isinstance(node, Sum):
+            for child, weight in zip(node.children, node.weights):
+                if id(child) in kept:
+                    lines.append(
+                        f'  {parent} -> {names[id(child)]} [label="{weight:.3g}"];'
+                    )
+                else:
+                    lines.append(f"  {parent} -> trunc;")
+        else:
+            for child in node.children:
+                if id(child) in kept:
+                    lines.append(f"  {parent} -> {names[id(child)]};")
+                elif truncated:
+                    lines.append(f"  {parent} -> trunc;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(root: Node, path: str, **kwargs) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_dot(root, **kwargs))

@@ -1,0 +1,210 @@
+"""Command-line driver: compile, inspect and run serialized SPN models.
+
+Mirrors what the original project's `spnc` binary offers on top of the
+library, operating on the binary exchange format (``.spnb``):
+
+    python -m repro info model.spnb
+    python -m repro compile model.spnb --target cpu --vectorize --dump-ir lower-to-lospn
+    python -m repro run model.spnb inputs.npy -o loglik.npy --target gpu
+    python -m repro sample model.spnb 1000 -o samples.npy
+
+``inputs.npy``/outputs are plain NumPy arrays (``np.save`` format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from ..compiler.pipeline import CompilerOptions, compile_spn
+from ..spn.nodes import GraphStatistics
+from ..spn.sampling import sample as sample_spn
+from ..spn.serialization import deserialize_from_file
+
+
+def _add_compiler_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--target", choices=("cpu", "gpu"), default="cpu")
+    parser.add_argument("--opt", type=int, default=1, choices=(0, 1, 2, 3),
+                        help="optimization level (-O0..-O3)")
+    parser.add_argument("--vectorize", action="store_true",
+                        help="enable SIMD vectorization (CPU target)")
+    parser.add_argument("--vector-isa", choices=("avx2", "avx512", "neon"),
+                        default="avx2")
+    parser.add_argument("--no-veclib", action="store_true",
+                        help="disable the vector math library")
+    parser.add_argument("--no-shuffle", action="store_true",
+                        help="use gathers instead of loads+shuffles")
+    parser.add_argument("--partition", type=int, default=None, metavar="N",
+                        help="max graph-partition size (ops per task)")
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--linear-space", action="store_true",
+                        help="compute in linear instead of log space")
+
+
+def _options_from(args: argparse.Namespace, collect_ir: bool = False) -> CompilerOptions:
+    return CompilerOptions(
+        target=args.target,
+        opt_level=args.opt,
+        vectorize=args.vectorize,
+        vector_isa=args.vector_isa,
+        use_vector_library=not args.no_veclib,
+        use_shuffle=not args.no_shuffle,
+        max_partition_size=args.partition,
+        num_threads=args.threads,
+        use_log_space=not args.linear_space,
+        collect_ir=collect_ir,
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    root, query = deserialize_from_file(args.model)
+    stats = GraphStatistics(root)
+    print(f"model: {args.model}")
+    print(f"  nodes:      {stats.num_nodes}")
+    print(f"  sums:       {stats.num_sums}")
+    print(f"  products:   {stats.num_products}")
+    print(f"  leaves:     {stats.num_leaves} "
+          f"({stats.gaussian_share:.0%} Gaussian)")
+    print(f"  features:   {stats.num_features}")
+    print(f"  depth:      {stats.depth}")
+    print(f"query:")
+    print(f"  batch size: {query.batch_size}")
+    print(f"  input type: {query.input_dtype}")
+    print(f"  marginal:   {query.support_marginal}")
+    print(f"  rel. error: {query.relative_error}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    root, query = deserialize_from_file(args.model)
+    result = compile_spn(root, query, _options_from(args, collect_ir=bool(args.dump_ir)))
+    print(f"compiled '{args.model}' for {args.target} "
+          f"(-O{args.opt}, {result.num_tasks} task(s)) "
+          f"in {result.compile_time:.3f}s")
+    for stage, seconds in result.stage_seconds.items():
+        print(f"  {stage:24s} {seconds * 1e3:9.2f} ms")
+    if args.dump_ir:
+        dump = result.ir_dumps.get(args.dump_ir)
+        if dump is None:
+            print(f"error: no IR dump for stage '{args.dump_ir}'; "
+                  f"available: {', '.join(result.ir_dumps)}", file=sys.stderr)
+            return 1
+        print(dump)
+    if args.emit_source:
+        print(result.executable.source)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    root, query = deserialize_from_file(args.model)
+    inputs = np.load(args.inputs)
+    result = compile_spn(root, query, _options_from(args))
+    outputs = result.executable(inputs)
+    if args.output:
+        np.save(args.output, outputs)
+        print(f"wrote {outputs.shape[0]} results to {args.output}")
+    else:
+        np.set_printoptions(threshold=20)
+        print(outputs)
+    if args.target == "gpu":
+        profile = result.executable.last_profile
+        print(f"simulated GPU time: {profile.total_seconds * 1e3:.3f} ms "
+              f"({profile.transfer_fraction:.0%} data movement)")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    root, _ = deserialize_from_file(args.model)
+    rng = np.random.default_rng(args.seed)
+    samples = sample_spn(root, args.count, rng)
+    if args.output:
+        np.save(args.output, samples)
+        print(f"wrote {args.count} samples to {args.output}")
+    else:
+        np.set_printoptions(threshold=20)
+        print(samples)
+    return 0
+
+
+def _cmd_opt(args: argparse.Namespace) -> int:
+    from ..ir import parse_module, print_op, verify
+    from ..ir.pipeline_spec import parse_pipeline, registered_passes
+
+    if args.input == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.input) as handle:
+            text = handle.read()
+    module = parse_module(text)
+    verify(module)
+    try:
+        manager = parse_pipeline(args.pipeline, verify_each=args.verify_each)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    timing = manager.run(module)
+    print(print_op(module))
+    if args.timing:
+        print(timing.report(), file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPNC: compile and run Sum-Product Network inference",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="show model and query statistics")
+    info.add_argument("model")
+    info.set_defaults(fn=_cmd_info)
+
+    comp = sub.add_parser("compile", help="compile a model and report stats")
+    comp.add_argument("model")
+    _add_compiler_arguments(comp)
+    comp.add_argument("--dump-ir", metavar="STAGE", default=None,
+                      help="print the IR after the named pipeline stage")
+    comp.add_argument("--emit-source", action="store_true",
+                      help="print the generated kernel source")
+    comp.set_defaults(fn=_cmd_compile)
+
+    run = sub.add_parser("run", help="compile and execute on an input array")
+    run.add_argument("model")
+    run.add_argument("inputs", help="input .npy array [batch, features]")
+    run.add_argument("-o", "--output", default=None)
+    _add_compiler_arguments(run)
+    run.set_defaults(fn=_cmd_run)
+
+    opt = sub.add_parser(
+        "opt", help="run a pass pipeline over textual IR (mlir-opt style)"
+    )
+    opt.add_argument("input", help="IR file in generic textual form ('-' = stdin)")
+    opt.add_argument("--pipeline", default="canonicalize,cse,dce",
+                     help="comma-separated pass list")
+    opt.add_argument("--verify-each", action="store_true",
+                     help="verify the module after every pass")
+    opt.add_argument("--timing", action="store_true",
+                     help="print per-pass timing to stderr")
+    opt.set_defaults(fn=_cmd_opt)
+
+    samp = sub.add_parser("sample", help="draw samples from the model")
+    samp.add_argument("model")
+    samp.add_argument("count", type=int)
+    samp.add_argument("-o", "--output", default=None)
+    samp.add_argument("--seed", type=int, default=None)
+    samp.set_defaults(fn=_cmd_sample)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,164 @@
+"""Tests for the vector math library and the GPU simulator substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends.cpu import veclib
+from repro.gpusim import (
+    DeviceBuffer,
+    DeviceSpec,
+    ExecutionProfile,
+    GPUSimulator,
+    OutOfDeviceMemory,
+)
+
+
+class TestVecLib:
+    def test_vlog_matches_numpy(self):
+        x = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(veclib.vlog(x), np.log(x))
+
+    def test_vlog_edge_cases_silent(self):
+        out = veclib.vlog(np.array([0.0, -1.0]))
+        assert out[0] == -np.inf
+        assert np.isnan(out[1])
+
+    def test_vexp_overflow_silent(self):
+        assert veclib.vexp(np.array([1e4]))[0] == np.inf
+
+    def test_scalar_guards(self):
+        assert veclib.slog(0.0) == -math.inf
+        assert math.isnan(veclib.slog(-1.0))
+        assert veclib.slog(math.e) == pytest.approx(1.0)
+        assert veclib.sexp(1e4) == math.inf
+        assert veclib.slog1p(-1.0) == -math.inf
+        assert math.isnan(veclib.ssqrt(-1.0))
+
+    @pytest.mark.parametrize("fn", ["log", "exp", "log1p", "sqrt"])
+    def test_scalarized_matches_vectorized(self, fn):
+        x = np.abs(np.random.default_rng(0).normal(size=32)) + 0.1
+        np.testing.assert_allclose(
+            veclib.scalarized(fn, x), veclib.VECTOR_FN[fn](x), rtol=1e-12
+        )
+
+    def test_scalarized_preserves_dtype(self):
+        x = np.ones(8, dtype=np.float32)
+        assert veclib.scalarized("log", x).dtype == np.float32
+
+
+class TestDeviceModel:
+    def test_transfer_time_scales_with_bytes(self):
+        spec = DeviceSpec()
+        small = spec.transfer_seconds(1024)
+        large = spec.transfer_seconds(1024 * 1024)
+        assert large > small
+        assert small >= spec.pcie_latency
+
+    def test_occupancy_block_sweep_optimum_near_64(self):
+        """The paper's sweep found block size 64 preferable (V-A1)."""
+        spec = DeviceSpec()
+        n = 100_000
+        compute = 0.05
+
+        def simulated(block):
+            grid = -(-n // block)
+            return spec.launch_seconds(
+                grid, block, compute, spec.default_registers_per_thread
+            )
+
+        times = {b: simulated(b) for b in (16, 32, 64, 128, 256, 512, 1024)}
+        assert min(times, key=times.get) == 64
+
+    def test_occupancy_bounds(self):
+        spec = DeviceSpec()
+        for block in (1, 32, 64, 1024):
+            occ = spec.occupancy(block, 110)
+            assert 0 < occ <= 1
+
+    def test_subwarp_blocks_penalized(self):
+        spec = DeviceSpec()
+        assert spec.occupancy(8, 110) < spec.occupancy(32, 110)
+
+
+class TestSimulator:
+    def test_alloc_dealloc_accounting(self):
+        sim = GPUSimulator()
+        buf = sim.alloc((1024,), np.float32)
+        assert sim.allocated_bytes == 4096
+        sim.dealloc(buf)
+        assert sim.allocated_bytes == 0
+
+    def test_out_of_memory(self):
+        sim = GPUSimulator(DeviceSpec(device_memory_bytes=1024))
+        with pytest.raises(OutOfDeviceMemory):
+            sim.alloc((1024,), np.float64)
+
+    def test_memcpy_directions_enforced(self):
+        sim = GPUSimulator()
+        host = np.zeros(8, dtype=np.float32)
+        dev = sim.alloc((8,), np.float32)
+        sim.memcpy(dev, host, "h2d")
+        sim.memcpy(host, dev, "d2h")
+        with pytest.raises(TypeError):
+            sim.memcpy(host, host, "h2d")
+        with pytest.raises(TypeError):
+            sim.memcpy(dev, dev, "d2h")
+        with pytest.raises(ValueError):
+            sim.memcpy(dev, host, "zigzag")
+
+    def test_memcpy_moves_data(self):
+        sim = GPUSimulator()
+        host = np.arange(8, dtype=np.float32)
+        dev = sim.alloc((8,), np.float32)
+        sim.memcpy(dev, host, "h2d")
+        back = np.zeros(8, dtype=np.float32)
+        sim.memcpy(back, dev, "d2h")
+        np.testing.assert_array_equal(back, host)
+
+    def test_launch_runs_kernel_over_valid_threads(self):
+        sim = GPUSimulator()
+        dev = sim.alloc((10,), np.float64)
+
+        def kernel(n, block, buf):
+            lin = np.arange(n)
+            buf[lin] = lin * 2.0
+
+        sim.register_kernel("k", kernel)
+        sim.launch("k", grid_size=2, block_size=8, valid_threads=10, args=[dev])
+        np.testing.assert_array_equal(dev.data, np.arange(10) * 2.0)
+
+    def test_launch_grid_must_cover_batch(self):
+        sim = GPUSimulator()
+        sim.register_kernel("k", lambda n, b: None)
+        with pytest.raises(ValueError):
+            sim.launch("k", grid_size=1, block_size=8, valid_threads=10, args=[])
+
+    def test_unknown_kernel(self):
+        sim = GPUSimulator()
+        with pytest.raises(KeyError):
+            sim.launch("nope", 1, 8, 4, [])
+
+    def test_profile_accumulates_and_resets(self):
+        sim = GPUSimulator()
+        host = np.zeros(1024, dtype=np.float32)
+        dev = sim.alloc((1024,), np.float32)
+        sim.memcpy(dev, host, "h2d")
+        sim.register_kernel("k", lambda n, b, buf: None)
+        sim.launch("k", 16, 64, 1024, [dev])
+        profile = sim.profile
+        assert len(profile.transfers) == 1
+        assert len(profile.launches) == 1
+        assert profile.transfer_seconds > 0
+        assert profile.compute_seconds > 0
+        assert profile.total_seconds == pytest.approx(
+            profile.transfer_seconds + profile.compute_seconds
+        )
+        sim.reset_profile()
+        assert sim.profile.transfers == []
+
+    def test_device_buffer_repr_and_props(self):
+        buf = DeviceBuffer(np.zeros((2, 3), dtype=np.float64))
+        assert buf.shape == (2, 3)
+        assert buf.nbytes == 48

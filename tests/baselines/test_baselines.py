@@ -1,0 +1,197 @@
+"""Tests for the SPFlow-Python, TF-graph and tensorized-RAT baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import (
+    GPUSession,
+    MarginalizationUnsupported,
+    Session,
+    TensorizedRatExecutor,
+    TensorizedRatGPU,
+    log_likelihood_batched,
+    log_likelihood_python,
+    translate_to_graph,
+)
+from repro.spn import (
+    JointProbability,
+    RatSpnConfig,
+    build_rat_spn,
+    log_likelihood,
+)
+
+from ..conftest import make_discrete_spn, make_gaussian_spn, make_shared_spn
+from ..spn.strategies import random_spns
+
+
+class TestPythonInterpreter:
+    @pytest.mark.parametrize(
+        "factory", [make_gaussian_spn, make_discrete_spn, make_shared_spn]
+    )
+    def test_matches_reference(self, factory, rng):
+        spn = factory()
+        x = np.column_stack(
+            [rng.integers(0, 3, size=30), rng.uniform(0, 3.9, size=30)]
+        ).astype(np.float64)
+        np.testing.assert_allclose(
+            log_likelihood_python(spn, x), log_likelihood(spn, x), rtol=1e-10
+        )
+
+    def test_marginalization(self, rng):
+        spn = make_gaussian_spn()
+        x = rng.normal(size=(20, 2))
+        x[::2, 1] = np.nan
+        np.testing.assert_allclose(
+            log_likelihood_python(spn, x), log_likelihood(spn, x), rtol=1e-10
+        )
+
+    def test_zero_probability_categorical(self):
+        from repro.spn import Categorical, Product
+
+        spn = Product([Categorical(0, [1.0, 0.0]), Categorical(1, [0.5, 0.5])])
+        x = np.array([[1.0, 0.0]])
+        assert log_likelihood_python(spn, x)[0] == -np.inf
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_spns())
+    def test_property_matches_reference(self, spn_and_features):
+        spn, num_features = spn_and_features
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0.0, 1.9, size=(8, num_features))
+        np.testing.assert_allclose(
+            log_likelihood_python(spn, x), log_likelihood(spn, x), rtol=1e-9
+        )
+
+
+class TestBatchedInterpreter:
+    def test_matches_reference(self, rng):
+        spn = make_gaussian_spn()
+        x = rng.normal(size=(50, 2))
+        np.testing.assert_allclose(
+            log_likelihood_batched(spn, x), log_likelihood(spn, x), rtol=1e-9
+        )
+
+    def test_marginal(self, rng):
+        spn = make_gaussian_spn()
+        x = rng.normal(size=(20, 2))
+        x[::3, 0] = np.nan
+        np.testing.assert_allclose(
+            log_likelihood_batched(spn, x), log_likelihood(spn, x), rtol=1e-9
+        )
+
+
+class TestTFGraph:
+    def test_translation_produces_primitive_ops(self):
+        graph = translate_to_graph(make_gaussian_spn())
+        kinds = {op.kind for op in graph.ops}
+        # Gaussians expand into primitive arithmetic, not fused log-pdfs.
+        assert {"sub_scalar", "div_scalar", "square", "mul_scalar", "add_scalar"} <= kinds
+        assert "stack" in kinds and "reduce_logsumexp" in kinds
+        # 4 gaussians x 5 + 2 gathers + 2 products + sum(3) = 27 ops.
+        assert graph.num_ops == 27
+
+    def test_session_matches_reference(self, rng):
+        spn = make_gaussian_spn()
+        x = rng.normal(size=(40, 2))
+        session = Session(translate_to_graph(spn))
+        np.testing.assert_allclose(session.run(x), log_likelihood(spn, x), rtol=1e-9)
+
+    def test_discrete_graph_matches_reference(self, rng):
+        spn = make_discrete_spn()
+        x = np.column_stack(
+            [rng.integers(0, 3, size=25), rng.uniform(-0.5, 4.5, size=25)]
+        ).astype(np.float64)
+        session = Session(translate_to_graph(spn))
+        np.testing.assert_allclose(session.run(x), log_likelihood(spn, x), rtol=1e-9)
+
+    def test_marginalization_unsupported(self, rng):
+        session = Session(translate_to_graph(make_gaussian_spn()))
+        x = rng.normal(size=(5, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(MarginalizationUnsupported):
+            session.run(x)
+
+    def test_feed_shape_validated(self):
+        session = Session(translate_to_graph(make_gaussian_spn()))
+        with pytest.raises(ValueError):
+            session.run(np.zeros((4, 3)))
+
+    def test_ops_executed_counter(self, rng):
+        graph = translate_to_graph(make_gaussian_spn())
+        session = Session(graph)
+        session.run(rng.normal(size=(5, 2)))
+        assert session.ops_executed == graph.num_ops
+
+    def test_simulated_time_includes_dispatch_model(self, rng):
+        graph = translate_to_graph(make_gaussian_spn())
+        session = Session(graph)
+        session.run(rng.normal(size=(5, 2)))
+        assert session.last_simulated_seconds is not None
+        assert (
+            session.last_simulated_seconds
+            >= graph.num_ops * session.runtime_model.per_op_overhead
+        )
+
+    def test_gpu_session_timing(self, rng):
+        graph = translate_to_graph(make_gaussian_spn())
+        cpu = Session(graph)
+        gpu = GPUSession(graph)
+        x = rng.normal(size=(50, 2))
+        np.testing.assert_allclose(gpu.run(x), cpu.run(x))
+        # Per-node graphs are launch-bound on GPU: slower than TF-CPU.
+        assert gpu.last_simulated_seconds > cpu.last_simulated_seconds
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_spns())
+    def test_property_translation_preserves_semantics(self, spn_and_features):
+        spn, num_features = spn_and_features
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0.0, 1.9, size=(6, num_features))
+        session = Session(translate_to_graph(spn))
+        np.testing.assert_allclose(
+            session.run(x), log_likelihood(spn, x), rtol=1e-9, atol=1e-12
+        )
+
+
+class TestTensorizedRat:
+    @pytest.fixture
+    def rat(self):
+        return build_rat_spn(
+            RatSpnConfig(
+                num_features=12,
+                num_classes=3,
+                depth=2,
+                num_repetitions=2,
+                num_sums=2,
+                num_input_distributions=2,
+                seed=5,
+            )
+        )
+
+    def test_matches_per_class_reference(self, rat, rng):
+        executor = TensorizedRatExecutor(rat)
+        x = rng.normal(size=(16, 12))
+        expected = np.stack([log_likelihood(r, x) for r in rat], axis=1)
+        np.testing.assert_allclose(executor.log_likelihoods(x), expected, rtol=1e-9)
+
+    def test_shared_nodes_counted_once(self, rat):
+        executor = TensorizedRatExecutor(rat)
+        from repro.spn import num_nodes
+
+        # All classes share children; the shared pass holds barely more
+        # nodes than a single class (just the extra heads).
+        assert executor.num_nodes < num_nodes(rat[0]) + len(rat)
+
+    def test_classify(self, rat, rng):
+        executor = TensorizedRatExecutor(rat)
+        x = rng.normal(size=(10, 12))
+        lls = executor.log_likelihoods(x)
+        np.testing.assert_array_equal(executor.classify(x), np.argmax(lls, axis=1))
+
+    def test_gpu_variant_timing(self, rat, rng):
+        executor = TensorizedRatGPU(rat)
+        x = rng.normal(size=(10, 12))
+        executor.log_likelihoods(x)
+        assert executor.last_simulated_seconds is not None
+        assert executor.last_simulated_seconds > 0

@@ -1,0 +1,135 @@
+"""Tests for bufferization, copy removal and buffer deallocation."""
+
+import pytest
+
+from repro.compiler.bufferization import (
+    bufferize,
+    insert_deallocations,
+    remove_result_copies,
+)
+from repro.compiler.frontend import build_hispn_module
+from repro.compiler.lower_to_lospn import lower_to_lospn
+from repro.compiler.partitioning import PartitioningOptions, partition_kernel
+from repro.ir import MemRefType, TensorType, verify
+from repro.spn import JointProbability
+
+
+def ops_named(module, name):
+    return [op for op in module.walk() if op.op_name == name]
+
+
+@pytest.fixture
+def tensor_module(gaussian_spn, query):
+    return lower_to_lospn(build_hispn_module(gaussian_spn, query))
+
+
+@pytest.fixture
+def partitioned_module(gaussian_spn, query):
+    module = lower_to_lospn(build_hispn_module(gaussian_spn, query))
+    module, _ = partition_kernel(module, PartitioningOptions(max_partition_size=3))
+    return module
+
+
+class TestBufferize:
+    def test_verifies(self, tensor_module):
+        buffered = bufferize(tensor_module)
+        verify(buffered)
+
+    def test_kernel_signature_gains_output_memref(self, tensor_module):
+        buffered = bufferize(tensor_module)
+        kernel = ops_named(buffered, "lo_spn.kernel")[0]
+        assert len(kernel.arg_types) == 2
+        assert all(isinstance(t, MemRefType) for t in kernel.arg_types)
+        assert kernel.result_types == ()
+
+    def test_no_tensors_remain(self, partitioned_module):
+        buffered = bufferize(partitioned_module)
+        for op in buffered.walk():
+            for value in list(op.operands) + list(op.results):
+                assert not isinstance(value.type, TensorType)
+
+    def test_extract_becomes_read(self, tensor_module):
+        buffered = bufferize(tensor_module)
+        assert not ops_named(buffered, "lo_spn.batch_extract")
+        assert ops_named(buffered, "lo_spn.batch_read")
+
+    def test_collect_becomes_write(self, tensor_module):
+        buffered = bufferize(tensor_module)
+        assert not ops_named(buffered, "lo_spn.batch_collect")
+        assert ops_named(buffered, "lo_spn.batch_write")
+
+    def test_naive_form_has_copy_to_output(self, tensor_module):
+        buffered = bufferize(tensor_module)
+        copies = ops_named(buffered, "memref.copy")
+        assert len(copies) == 1
+        kernel = ops_named(buffered, "lo_spn.kernel")[0]
+        assert copies[0].target is kernel.body.arguments[-1]
+
+    def test_intermediate_allocations_sized_dynamically(self, partitioned_module):
+        buffered = bufferize(partitioned_module)
+        allocs = ops_named(buffered, "memref.alloc")
+        assert allocs
+        for alloc in allocs:
+            assert None in alloc.results[0].type.shape
+            assert len(alloc.operands) == 1  # the batch extent
+        assert ops_named(buffered, "memref.dim")
+
+    def test_transposed_flags_preserved(self, partitioned_module):
+        buffered = bufferize(partitioned_module)
+        reads = ops_named(buffered, "lo_spn.batch_read")
+        assert any(r.transposed for r in reads)  # intermediate reads
+        assert any(not r.transposed for r in reads)  # feature reads
+
+
+class TestCopyRemoval:
+    def test_copy_removed_and_task_redirected(self, tensor_module):
+        buffered = bufferize(tensor_module)
+        removed = remove_result_copies(buffered)
+        assert removed == 1
+        verify(buffered)
+        assert not ops_named(buffered, "memref.copy")
+        kernel = ops_named(buffered, "lo_spn.kernel")[0]
+        task = kernel.tasks()[0]
+        assert kernel.body.arguments[-1] in task.operands
+
+    def test_dead_alloc_erased(self, tensor_module):
+        buffered = bufferize(tensor_module)
+        before = len(ops_named(buffered, "memref.alloc"))
+        remove_result_copies(buffered)
+        after = len(ops_named(buffered, "memref.alloc"))
+        assert after == before - 1
+
+    def test_idempotent(self, tensor_module):
+        buffered = bufferize(tensor_module)
+        remove_result_copies(buffered)
+        assert remove_result_copies(buffered) == 0
+
+    def test_partitioned_intermediates_keep_buffers(self, partitioned_module):
+        buffered = bufferize(partitioned_module)
+        removed = remove_result_copies(buffered)
+        assert removed == 1  # only the final output copy
+        # Intermediate buffers still exist (consumed by later tasks).
+        assert ops_named(buffered, "memref.alloc")
+
+
+class TestDeallocation:
+    def test_every_alloc_gets_a_dealloc(self, partitioned_module):
+        buffered = bufferize(partitioned_module)
+        remove_result_copies(buffered)
+        inserted = insert_deallocations(buffered)
+        allocs = ops_named(buffered, "memref.alloc")
+        deallocs = ops_named(buffered, "memref.dealloc")
+        assert inserted == len(allocs) == len(deallocs)
+        verify(buffered)
+
+    def test_deallocs_precede_terminator(self, partitioned_module):
+        buffered = bufferize(partitioned_module)
+        insert_deallocations(buffered)
+        kernel = ops_named(buffered, "lo_spn.kernel")[0]
+        ops = kernel.body.op_list()
+        dealloc_positions = [
+            i for i, op in enumerate(ops) if op.op_name == "memref.dealloc"
+        ]
+        terminator_pos = len(ops) - 1
+        assert all(p < terminator_pos for p in dealloc_positions)
+        assert ops[terminator_pos].op_name == "lo_spn.kernel_return"

@@ -1,0 +1,210 @@
+"""Direct unit tests for the scalar/vector emitters.
+
+Each test builds a tiny func around emitter output, runs it through the
+codegen backend and checks the numerics against closed-form values.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.backends.cpu.codegen import generate_cpu_module
+from repro.compiler.emitters import HISTOGRAM_EPSILON, ScalarEmitter, VectorEmitter
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.dialects.memref import LoadOp, StoreOp
+from repro.dialects.vector import LoadOp as VLoadOp, StoreOp as VStoreOp
+from repro.dialects.arith import ConstantOp
+from repro.ir import Builder, IRError, MemRefType, ModuleOp, f32, f64, index, verify
+
+
+def run_scalar(build_fn, x_values, log_space=True, compute_type=f64):
+    """Build f(in_mem, out_mem) applying build_fn per element; run it."""
+    module = ModuleOp.build()
+    b = Builder.at_end(module.body)
+    n = len(x_values)
+    fn = b.create(FuncOp, "f", [MemRefType((n,), f64), MemRefType((n,), f64)], [])
+    fb = Builder.at_end(fn.body)
+    table_builder = Builder.at_start(fn.body)
+    for i in range(n):
+        ci = fb.create(ConstantOp, i, index)
+        x = fb.create(LoadOp, fn.body.arguments[0], [ci.result])
+        emitter = ScalarEmitter(fb, table_builder, compute_type, log_space)
+        result = build_fn(emitter, x.result)
+        fb.create(StoreOp, result, fn.body.arguments[1], [ci.result])
+    fb.create(ReturnOp, [])
+    verify(module)
+    generated = generate_cpu_module(module)
+    out = np.zeros(n)
+    with np.errstate(all="ignore"):
+        generated.get("f")(np.asarray(x_values, dtype=np.float64), out)
+    return out
+
+
+def run_vector(build_fn, x_values, log_space=True, compute_type=f64):
+    module = ModuleOp.build()
+    b = Builder.at_end(module.body)
+    n = len(x_values)
+    fn = b.create(FuncOp, "f", [MemRefType((n,), f64), MemRefType((n,), f64)], [])
+    fb = Builder.at_end(fn.body)
+    table_builder = Builder.at_start(fn.body)
+    c0 = fb.create(ConstantOp, 0, index)
+    from repro.ir import VectorType
+
+    x = fb.create(VLoadOp, fn.body.arguments[0], [c0.result], VectorType((n,), f64))
+    emitter = VectorEmitter(fb, table_builder, compute_type, log_space, lanes=n)
+    result = build_fn(emitter, x.result)
+    fb.create(VStoreOp, result, fn.body.arguments[1], [c0.result])
+    fb.create(ReturnOp, [])
+    verify(module)
+    generated = generate_cpu_module(module)
+    out = np.zeros(n)
+    with np.errstate(all="ignore"):
+        generated.get("f")(np.asarray(x_values, dtype=np.float64), out)
+    return out
+
+
+BOTH = pytest.mark.parametrize("runner", [run_scalar, run_vector], ids=["scalar", "vector"])
+
+
+class TestGaussianEmission:
+    @BOTH
+    def test_log_space_pdf(self, runner):
+        xs = [-1.0, 0.0, 0.5, 3.0]
+        out = runner(lambda e, x: e.gaussian(x, 0.5, 1.5, False), xs)
+        np.testing.assert_allclose(out, norm.logpdf(xs, 0.5, 1.5), rtol=1e-12)
+
+    @BOTH
+    def test_linear_space_pdf(self, runner):
+        xs = [-1.0, 0.0, 2.0]
+        out = runner(
+            lambda e, x: e.gaussian(x, 0.0, 2.0, False), xs, log_space=False
+        )
+        np.testing.assert_allclose(out, norm.pdf(xs, 0.0, 2.0), rtol=1e-12)
+
+    @BOTH
+    def test_marginal_nan_gives_log_one(self, runner):
+        out = runner(
+            lambda e, x: e.gaussian(x, 0.0, 1.0, True), [float("nan"), 1.0]
+        )
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(norm.logpdf(1.0))
+
+
+class TestDiscreteEmission:
+    PROBS = [0.2, 0.5, 0.3]
+
+    @BOTH
+    def test_categorical_lookup(self, runner):
+        out = runner(
+            lambda e, x: e.categorical(x, self.PROBS, False), [0.0, 1.0, 2.0]
+        )
+        np.testing.assert_allclose(out, np.log(self.PROBS), rtol=1e-12)
+
+    @BOTH
+    def test_categorical_clamps_out_of_range(self, runner):
+        out = runner(
+            lambda e, x: e.categorical(x, self.PROBS, False), [-3.0, 9.0]
+        )
+        np.testing.assert_allclose(
+            out, [math.log(self.PROBS[0]), math.log(self.PROBS[-1])]
+        )
+
+    @BOTH
+    def test_histogram_lookup_and_epsilon(self, runner):
+        bounds = [0.0, 1.0, 2.0, 3.0]
+        probs = [0.25, 0.5, 0.25]
+        out = runner(
+            lambda e, x: e.histogram(x, bounds, probs, False),
+            [0.5, 1.5, 2.9, -1.0, 3.5],
+        )
+        np.testing.assert_allclose(out[:3], np.log(probs), rtol=1e-12)
+        np.testing.assert_allclose(out[3:], math.log(HISTOGRAM_EPSILON))
+
+    def test_cascade_mode_matches_lookup(self):
+        def lookup(e, x):
+            return e.categorical(x, self.PROBS, False)
+
+        def cascade(e, x):
+            e.discrete_mode = "cascade"
+            return e.categorical(x, self.PROBS, False)
+
+        xs = [0.0, 1.0, 2.0, -1.0, 5.0]
+        np.testing.assert_allclose(
+            run_scalar(lookup, xs), run_scalar(cascade, xs), rtol=1e-12
+        )
+
+    def test_non_uniform_histogram_rejected(self):
+        with pytest.raises(IRError):
+            run_scalar(
+                lambda e, x: e.histogram(x, [0.0, 1.0, 5.0], [0.5, 0.5], False),
+                [0.5],
+            )
+
+    def test_unknown_discrete_mode_rejected(self):
+        module = ModuleOp.build()
+        fn = Builder.at_end(module.body).create(FuncOp, "f", [], [])
+        fb = Builder.at_end(fn.body)
+        with pytest.raises(IRError):
+            ScalarEmitter(fb, fb, f64, True, discrete_mode="wat")
+
+
+class TestArithmeticEmission:
+    @BOTH
+    def test_log_space_mul_is_add(self, runner):
+        out = runner(lambda e, x: e.mul(x, e.constant(-0.5)), [-1.0, -2.0])
+        np.testing.assert_allclose(out, [-1.5, -2.5])
+
+    @BOTH
+    def test_log_space_add_is_logaddexp(self, runner):
+        out = runner(lambda e, x: e.add(x, e.constant(-1.0)), [-1.0, -5.0, 0.0])
+        np.testing.assert_allclose(
+            out, np.logaddexp([-1.0, -5.0, 0.0], -1.0), rtol=1e-12
+        )
+
+    @BOTH
+    def test_log_space_add_neg_inf_guard(self, runner):
+        out = runner(
+            lambda e, x: e.add(x, e.constant(-math.inf)),
+            [-math.inf, -1.0],
+        )
+        assert out[0] == -math.inf  # (-inf) + (-inf) stays -inf, not NaN
+        assert out[1] == pytest.approx(-1.0)
+
+    @BOTH
+    def test_linear_space_arithmetic(self, runner):
+        out = runner(
+            lambda e, x: e.add(e.mul(x, e.constant(2.0)), e.constant(1.0)),
+            [0.5, 3.0],
+            log_space=False,
+        )
+        np.testing.assert_allclose(out, [2.0, 7.0])
+
+    @BOTH
+    def test_convert_input_from_f32(self, runner):
+        # compute in f64 from f64 loads is identity; check conversion path
+        # by emitting through convert_input explicitly.
+        out = runner(lambda e, x: e.convert_input(x), [1.25])
+        assert out[0] == 1.25
+
+
+class TestTableCaching:
+    def test_identical_tables_shared(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "f", [MemRefType((1,), f64), MemRefType((1,), f64)], [])
+        fb = Builder.at_end(fn.body)
+        tb = Builder.at_start(fn.body)
+        emitter = ScalarEmitter(fb, tb, f64, True)
+        c0 = fb.create(ConstantOp, 0, index)
+        x = fb.create(LoadOp, fn.body.arguments[0], [c0.result])
+        a = emitter.categorical(x.result, [0.5, 0.5], False)
+        b_val = emitter.categorical(x.result, [0.5, 0.5], False)
+        result = emitter.mul(a, b_val)
+        fb.create(StoreOp, result, fn.body.arguments[1], [c0.result])
+        fb.create(ReturnOp, [])
+        buffers = [
+            op for op in module.walk() if op.op_name == "memref.constant_buffer"
+        ]
+        assert len(buffers) == 1  # same payload -> one table

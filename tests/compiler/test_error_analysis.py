@@ -1,0 +1,155 @@
+"""Tests for the arithmetic error analysis and format selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_spn
+from repro.compiler.error_analysis import (
+    FormatEstimate,
+    analyze_error,
+    analyze_query,
+    select_format,
+)
+from repro.compiler.frontend import build_hispn_module
+from repro.spn import Gaussian, JointProbability, Product, Sum, log_likelihood
+
+from ..conftest import make_deep_spn, make_discrete_spn, make_gaussian_spn
+
+
+def query_op(spn, **query_kwargs):
+    module = build_hispn_module(spn, JointProbability(**query_kwargs))
+    return [op for op in module.walk() if op.op_name == "hi_spn.joint_query"][0]
+
+
+def deep_product_chain(length):
+    """A product over many features with small per-leaf probabilities."""
+    leaves = [Gaussian(i, 0.0, 0.001) for i in range(length)]
+    return Product(leaves)
+
+
+class TestValueRanges:
+    def test_gaussian_leaf_range(self):
+        q = query_op(Product([Gaussian(0, 0.0, 1.0), Gaussian(1, 0.0, 1.0)]))
+        ranges = analyze_query(q)
+        peaks = [hi for (lo, hi) in ranges.values()]
+        # Standard normal peak density is 1/sqrt(2 pi) ~ 0.3989.
+        expected = math.log(1.0 / math.sqrt(2 * math.pi))
+        assert any(abs(hi - expected) < 1e-9 for hi in peaks)
+
+    def test_product_range_adds_logs(self):
+        spn = Product([Gaussian(0, 0.0, 1.0), Gaussian(1, 0.0, 1.0)])
+        q = query_op(spn)
+        ranges = analyze_query(q)
+        product_op = [
+            op for op in q.walk() if op.op_name == "hi_spn.product"
+        ][0]
+        _, product_hi = ranges[id(product_op)]
+        expected = 2 * math.log(1.0 / math.sqrt(2 * math.pi))
+        assert product_hi == pytest.approx(expected)
+
+    def test_discrete_leaf_range_skips_zero_probabilities(self):
+        from repro.spn import Categorical
+
+        spn = Product([Categorical(0, [0.5, 0.5, 0.0]), Categorical(1, [1.0])])
+        q = query_op(spn)
+        ranges = analyze_query(q)
+        assert all(np.isfinite(lo) for (lo, hi) in ranges.values())
+
+
+class TestErrorEstimates:
+    def test_f64_tighter_than_f32(self):
+        q = query_op(make_gaussian_spn())
+        estimates = analyze_error(q)
+        assert (
+            estimates["f64-log"].max_relative_error
+            < estimates["f32-log"].max_relative_error
+        )
+        assert (
+            estimates["f64-linear"].max_relative_error
+            < estimates["f32-linear"].max_relative_error
+        )
+
+    def test_deeper_graphs_accumulate_more_error(self):
+        shallow = analyze_error(query_op(make_gaussian_spn()))["f32-log"]
+        deep = analyze_error(query_op(make_deep_spn(depth=20)))["f32-log"]
+        assert deep.max_relative_error > shallow.max_relative_error
+
+    def test_linear_underflow_detected(self):
+        # 200 leaves with peak density ~399 each but evaluated values down
+        # to exp(-18)*399 — the product's lower bound drops below f32's
+        # (and for long chains f64's) normal range.
+        chain = deep_product_chain(60)
+        estimates = analyze_error(query_op(chain))
+        assert estimates["f32-linear"].underflows
+        assert not estimates["f32-log"].underflows
+
+    def test_long_chain_underflows_even_f64(self):
+        chain = deep_product_chain(400)
+        estimates = analyze_error(query_op(chain))
+        assert estimates["f64-linear"].underflows
+        assert not estimates["f64-log"].underflows
+
+
+class TestFormatSelection:
+    def test_loose_bound_picks_f32_log(self):
+        analysis = select_format(query_op(make_gaussian_spn()), 1e-3)
+        assert analysis.selected.name == "f32-log"
+
+    def test_tight_bound_escalates_to_f64(self):
+        analysis = select_format(query_op(make_gaussian_spn()), 1e-9)
+        assert analysis.selected.float_width == 64
+
+    def test_impossible_bound_falls_back_to_f64_log(self):
+        analysis = select_format(query_op(make_deep_spn(depth=30)), 1e-18)
+        assert analysis.selected.name == "f64-log"
+
+    def test_linear_preference_respects_underflow(self):
+        chain = deep_product_chain(60)
+        analysis = select_format(query_op(chain), 1e-2, prefer_log_space=False)
+        # f32-linear underflows; the selection must avoid it.
+        assert not analysis.selected.underflows
+
+
+class TestPipelineIntegration:
+    def test_relative_error_drives_type_decision(self, gaussian_inputs):
+        spn = make_gaussian_spn()
+        ref = log_likelihood(spn, gaussian_inputs.astype(np.float64))
+
+        tight = compile_spn(
+            spn, JointProbability(batch_size=16, relative_error=1e-9)
+        )
+        assert tight.executable.signature.result_dtype == np.float64
+        np.testing.assert_allclose(
+            tight.executable(gaussian_inputs), ref, rtol=1e-7
+        )
+
+        loose = compile_spn(
+            spn, JointProbability(batch_size=16, relative_error=1e-3)
+        )
+        assert loose.executable.signature.result_dtype == np.float32
+        np.testing.assert_allclose(
+            loose.executable(gaussian_inputs), ref, rtol=2e-3, atol=1e-5
+        )
+
+    def test_error_bound_holds_empirically(self, rng):
+        """The f32 prediction must bound the observed f32-vs-f64 error."""
+        spn = make_gaussian_spn()
+        q = query_op(spn)
+        predicted = analyze_error(q)["f32-log"].max_relative_error
+
+        x = rng.normal(0, 1.5, size=(500, 2)).astype(np.float32)
+        ref = log_likelihood(spn, x.astype(np.float64))
+        out = compile_spn(spn, JointProbability(batch_size=128)).executable(x)
+        # Compare probabilities (the bound is on relative prob. error).
+        observed = np.max(np.abs(np.expm1(out - ref)))
+        assert observed <= predicted * 10  # first-order bound, small slack
+
+    def test_relative_error_survives_serialization(self):
+        from repro.spn import deserialize, serialize
+
+        spn = make_gaussian_spn()
+        payload = serialize(spn, JointProbability(relative_error=1e-6))
+        _, query = deserialize(payload)
+        assert query.relative_error == 1e-6

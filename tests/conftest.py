@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.spn import Categorical, Gaussian, Histogram, JointProbability, Product, Sum
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_gaussian_spn():
+    """The running example: a 2-feature mixture of factorizations (Fig. 1)."""
+    return Sum(
+        [
+            Product([Gaussian(0, 0.0, 1.0), Gaussian(1, 1.0, 2.0)]),
+            Product([Gaussian(0, 2.0, 1.0), Gaussian(1, -1.0, 1.0)]),
+        ],
+        [0.3, 0.7],
+    )
+
+
+def make_discrete_spn():
+    """A 2-feature SPN with categorical + histogram leaves."""
+    return Sum(
+        [
+            Product(
+                [
+                    Categorical(0, [0.2, 0.5, 0.3]),
+                    Histogram(1, [0.0, 1.0, 2.0, 3.0, 4.0], [0.1, 0.2, 0.3, 0.4]),
+                ]
+            ),
+            Product(
+                [
+                    Categorical(0, [0.7, 0.2, 0.1]),
+                    Histogram(1, [0.0, 1.0, 2.0, 3.0, 4.0], [0.4, 0.3, 0.2, 0.1]),
+                ]
+            ),
+        ],
+        [0.6, 0.4],
+    )
+
+
+def make_shared_spn():
+    """An SPN with a shared sub-DAG (leaf used by both mixture components)."""
+    shared = Gaussian(0, 0.5, 1.5)
+    return Sum(
+        [
+            Product([shared, Gaussian(1, 1.0, 1.0)]),
+            Product([shared, Gaussian(1, -2.0, 0.5)]),
+        ],
+        [0.4, 0.6],
+    )
+
+
+def make_deep_spn(depth: int = 8):
+    """A deep alternating sum/product chain over 2 features."""
+    left = Gaussian(0, 0.0, 1.0)
+    right = Gaussian(1, 0.0, 1.0)
+    node = Product([left, right])
+    for level in range(depth):
+        alt = Product(
+            [Gaussian(0, float(level), 1.0), Gaussian(1, -float(level), 1.0)]
+        )
+        node = Sum([node, alt], [0.5, 0.5])
+    return node
+
+
+@pytest.fixture
+def gaussian_spn():
+    return make_gaussian_spn()
+
+
+@pytest.fixture
+def discrete_spn():
+    return make_discrete_spn()
+
+
+@pytest.fixture
+def shared_spn():
+    return make_shared_spn()
+
+
+@pytest.fixture
+def gaussian_inputs(rng):
+    return rng.normal(0.0, 1.5, size=(97, 2)).astype(np.float32)
+
+
+@pytest.fixture
+def discrete_inputs(rng):
+    return np.column_stack(
+        [
+            rng.integers(0, 3, size=97).astype(np.float32),
+            rng.uniform(-0.5, 4.5, size=97).astype(np.float32),
+        ]
+    )
+
+
+@pytest.fixture
+def query():
+    return JointProbability(batch_size=16)

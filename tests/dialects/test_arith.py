@@ -1,0 +1,183 @@
+"""Tests for the arith dialect: builders, verification, folding."""
+
+import pytest
+
+from repro.dialects import arith
+from repro.ir import Block, IRError, Trait, VectorType, f32, f64, i1, i64, index
+
+
+@pytest.fixture
+def args():
+    return Block([f32, f32]).arguments
+
+
+class TestConstant:
+    def test_float_constant(self):
+        c = arith.ConstantOp.build(1.5, f32)
+        assert c.value == 1.5
+        assert c.result.type == f32
+
+    def test_int_constant_coerces(self):
+        c = arith.ConstantOp.build(3.0, i64)
+        assert c.value == 3
+        assert isinstance(c.value, int)
+
+    def test_index_constant(self):
+        c = arith.ConstantOp.build(7, index)
+        assert c.value == 7
+
+    def test_vector_constant(self):
+        c = arith.ConstantOp.build(2.0, VectorType((8,), f32))
+        assert c.result.type == VectorType((8,), f32)
+
+    def test_constant_like_trait(self):
+        assert arith.ConstantOp.build(0, i64).has_trait(Trait.CONSTANT_LIKE)
+
+    def test_constant_value_helper(self, args):
+        c = arith.ConstantOp.build(4.0, f32)
+        assert arith.constant_value(c.result) == 4.0
+        assert arith.constant_value(args[0]) is None
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize(
+        "cls", [arith.AddFOp, arith.SubFOp, arith.MulFOp, arith.DivFOp]
+    )
+    def test_float_ops_build(self, cls, args):
+        op = cls.build(args[0], args[1])
+        assert op.result.type == f32
+
+    def test_type_mismatch_rejected(self):
+        a = Block([f32, f64]).arguments
+        with pytest.raises(IRError):
+            arith.AddFOp.build(a[0], a[1])
+
+    def test_commutative_traits(self):
+        assert Trait.COMMUTATIVE in arith.AddFOp.traits
+        assert Trait.COMMUTATIVE in arith.MulFOp.traits
+        assert Trait.COMMUTATIVE not in arith.SubFOp.traits
+        assert Trait.COMMUTATIVE not in arith.DivFOp.traits
+
+    @pytest.mark.parametrize(
+        "cls,a,b,expected",
+        [
+            (arith.AddFOp, 2.0, 3.0, 5.0),
+            (arith.SubFOp, 2.0, 3.0, -1.0),
+            (arith.MulFOp, 2.0, 3.0, 6.0),
+            (arith.DivFOp, 3.0, 2.0, 1.5),
+            (arith.MinFOp, 2.0, 3.0, 2.0),
+            (arith.MaxFOp, 2.0, 3.0, 3.0),
+        ],
+    )
+    def test_constant_constant_folds(self, cls, a, b, expected):
+        ca = arith.ConstantOp.build(a, f64)
+        cb = arith.ConstantOp.build(b, f64)
+        op = cls.build(ca.result, cb.result)
+        assert op.fold() == [expected]
+
+    @pytest.mark.parametrize(
+        "cls,a,b,expected",
+        [
+            (arith.AddIOp, 2, 3, 5),
+            (arith.SubIOp, 2, 3, -1),
+            (arith.MulIOp, 2, 3, 6),
+            (arith.DivSIOp, 7, 2, 3),
+            (arith.RemSIOp, 7, 2, 1),
+        ],
+    )
+    def test_integer_folds(self, cls, a, b, expected):
+        ca = arith.ConstantOp.build(a, i64)
+        cb = arith.ConstantOp.build(b, i64)
+        assert cls.build(ca.result, cb.result).fold() == [expected]
+
+    def test_identity_fold(self, args):
+        zero = arith.ConstantOp.build(0.0, f32)
+        op = arith.AddFOp.build(args[0], zero.result)
+        assert op.fold() == [args[0]]
+
+    def test_no_fold_without_constants(self, args):
+        assert arith.AddFOp.build(args[0], args[1]).fold() is None
+
+    def test_negf_fold(self):
+        c = arith.ConstantOp.build(2.5, f64)
+        assert arith.NegFOp.build(c.result).fold() == [-2.5]
+
+    def test_verify_op_checks_arity(self, args):
+        op = arith.AddFOp.build(args[0], args[1])
+        op.verify_op()
+        bad = arith.AddFOp(operands=[args[0]], result_types=[f32])
+        with pytest.raises(IRError):
+            bad.verify_op()
+
+
+class TestComparisons:
+    def test_cmpf_builds_i1(self, args):
+        op = arith.CmpFOp.build("olt", args[0], args[1])
+        assert op.result.type == i1
+        assert op.predicate == "olt"
+
+    def test_cmp_vector_result(self):
+        vec = VectorType((4,), f32)
+        a = Block([vec, vec]).arguments
+        op = arith.CmpFOp.build("oge", a[0], a[1])
+        assert op.result.type == VectorType((4,), i1)
+
+    def test_unknown_predicate_rejected(self, args):
+        with pytest.raises(IRError):
+            arith.CmpFOp.build("wat", args[0], args[1])
+
+    @pytest.mark.parametrize(
+        "pred,a,b,expected",
+        [
+            ("eq", 1, 1, 1),
+            ("ne", 1, 2, 1),
+            ("slt", 1, 2, 1),
+            ("sge", 1, 2, 0),
+            ("oeq", 1, 2, 0),
+            ("une", 1, 1, 0),
+        ],
+    )
+    def test_cmp_folds(self, pred, a, b, expected):
+        cls = arith.CmpIOp if pred in ("eq", "ne", "slt", "sge") else arith.CmpFOp
+        ty = i64 if cls is arith.CmpIOp else f64
+        ca = arith.ConstantOp.build(a, ty)
+        cb = arith.ConstantOp.build(b, ty)
+        assert cls.build(pred, ca.result, cb.result).fold() == [expected]
+
+
+class TestSelect:
+    def test_build_checks_branch_types(self, args):
+        cond = arith.CmpFOp.build("olt", args[0], args[1])
+        other = Block([f64]).arguments[0]
+        with pytest.raises(IRError):
+            arith.SelectOp.build(cond.result, args[0], other)
+
+    def test_fold_constant_condition(self, args):
+        true_c = arith.ConstantOp.build(1, i1)
+        op = arith.SelectOp.build(true_c.result, args[0], args[1])
+        assert op.fold() == [args[0]]
+
+    def test_fold_same_branches(self, args):
+        cond = arith.CmpFOp.build("olt", args[0], args[1])
+        op = arith.SelectOp.build(cond.result, args[0], args[0])
+        assert op.fold() == [args[0]]
+
+
+class TestCasts:
+    def test_fptosi_fold_truncates(self):
+        c = arith.ConstantOp.build(2.9, f64)
+        assert arith.FPToSIOp.build(c.result, i64).fold() == [2]
+
+    def test_sitofp_fold(self):
+        c = arith.ConstantOp.build(3, i64)
+        assert arith.SIToFPOp.build(c.result, f64).fold() == [3.0]
+
+    def test_index_cast_fold(self):
+        c = arith.ConstantOp.build(5, i64)
+        assert arith.IndexCastOp.build(c.result, index).fold() == [5]
+
+    def test_extf_truncf_types(self, args):
+        ext = arith.ExtFOp.build(args[0], f64)
+        assert ext.result.type == f64
+        trunc = arith.TruncFOp.build(ext.result, f32)
+        assert trunc.result.type == f32

@@ -1,0 +1,154 @@
+"""Tests for the HiSPN dialect (paper Table I)."""
+
+import pytest
+
+from repro.dialects import hispn
+from repro.ir import Builder, IRError, ModuleOp, f32, parse_module, print_op, verify
+
+
+def build_query(num_features=2, support_marginal=False):
+    module = ModuleOp.build()
+    b = Builder.at_end(module.body)
+    query = b.create(
+        hispn.JointQueryOp,
+        num_features=num_features,
+        input_type=f32,
+        batch_size=8,
+        support_marginal=support_marginal,
+    )
+    graph = Builder.at_end(query.body_block).create(hispn.GraphOp, num_features, f32)
+    return module, query, graph
+
+
+class TestProbabilityType:
+    def test_spelling(self):
+        assert hispn.ProbabilityType().spelling() == "!hi_spn.probability"
+
+    def test_uniqued(self):
+        assert hispn.ProbabilityType() == hispn.prob
+
+    def test_parse_rejects_parameters(self):
+        with pytest.raises(ValueError):
+            hispn.ProbabilityType.parse("f32")
+
+
+class TestQueryAndGraph:
+    def test_query_attributes(self):
+        module, query, graph = build_query()
+        assert query.num_features == 2
+        assert query.batch_size == 8
+        assert query.input_type == f32
+        assert not query.support_marginal
+        assert query.graph is graph
+
+    def test_graph_features_are_block_args(self):
+        _, _, graph = build_query(num_features=3)
+        assert len(graph.body.arguments) == 3
+        assert all(arg.type == f32 for arg in graph.body.arguments)
+
+    def test_verify_requires_root(self):
+        module, _, graph = build_query()
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_query_graph_feature_mismatch(self):
+        module, query, graph = build_query()
+        gb = Builder.at_end(graph.body)
+        leaf = gb.create(hispn.GaussianOp, graph.body.arguments[0], 0.0, 1.0)
+        gb.create(hispn.RootOp, leaf.result)
+        query.attributes["numFeatures"] = 5
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_full_query_verifies_and_round_trips(self):
+        module, query, graph = build_query()
+        gb = Builder.at_end(graph.body)
+        g0 = gb.create(hispn.GaussianOp, graph.body.arguments[0], 0.0, 1.0)
+        g1 = gb.create(hispn.GaussianOp, graph.body.arguments[1], 1.0, 2.0)
+        prod = gb.create(hispn.ProductOp, [g0.result, g1.result])
+        hist = gb.create(
+            hispn.HistogramOp, graph.body.arguments[0], [0, 1, 2], [0.5, 0.5]
+        )
+        cat = gb.create(hispn.CategoricalOp, graph.body.arguments[1], [0.1, 0.9])
+        prod2 = gb.create(hispn.ProductOp, [hist.result, cat.result])
+        total = gb.create(hispn.SumOp, [prod.result, prod2.result], [0.25, 0.75])
+        gb.create(hispn.RootOp, total.result)
+        verify(module)
+        text = print_op(module)
+        reparsed = parse_module(text)
+        verify(reparsed)
+        assert print_op(reparsed) == text
+
+
+class TestNodeOps:
+    def test_product_requires_operands(self):
+        with pytest.raises(IRError):
+            hispn.ProductOp.build([]).verify_op()
+
+    def test_sum_weight_count_checked(self):
+        _, _, graph = build_query()
+        gb = Builder.at_end(graph.body)
+        leaf = gb.create(hispn.GaussianOp, graph.body.arguments[0], 0.0, 1.0)
+        with pytest.raises(IRError):
+            hispn.SumOp.build([leaf.result], [0.5, 0.5])
+
+    def test_sum_weights_must_normalize(self):
+        module, _, graph = build_query()
+        gb = Builder.at_end(graph.body)
+        a = gb.create(hispn.GaussianOp, graph.body.arguments[0], 0.0, 1.0)
+        b = gb.create(hispn.GaussianOp, graph.body.arguments[0], 1.0, 1.0)
+        s = gb.create(hispn.SumOp, [a.result, b.result], [0.9, 0.9])
+        gb.create(hispn.RootOp, s.result)
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_gaussian_attrs(self):
+        _, _, graph = build_query()
+        gb = Builder.at_end(graph.body)
+        g = gb.create(hispn.GaussianOp, graph.body.arguments[0], 1.5, 0.5)
+        assert g.mean == 1.5
+        assert g.stddev == 0.5
+        assert g.result.type == hispn.prob
+
+    def test_gaussian_rejects_nonpositive_stddev(self):
+        _, _, graph = build_query()
+        with pytest.raises(IRError):
+            hispn.GaussianOp.build(graph.body.arguments[0], 0.0, 0.0)
+
+    def test_histogram_bucket_counts(self):
+        _, _, graph = build_query()
+        h = hispn.HistogramOp.build(
+            graph.body.arguments[0], [0, 1, 2, 3], [0.2, 0.3, 0.5]
+        )
+        assert h.bucket_count == 3
+        assert h.bounds == (0.0, 1.0, 2.0, 3.0)
+
+    def test_histogram_bounds_length_checked(self):
+        _, _, graph = build_query()
+        with pytest.raises(IRError):
+            hispn.HistogramOp.build(graph.body.arguments[0], [0, 1], [0.2, 0.8])
+
+    def test_categorical_normalization_checked(self):
+        module, _, graph = build_query()
+        gb = Builder.at_end(graph.body)
+        c = gb.create(hispn.CategoricalOp, graph.body.arguments[0], [0.3, 0.3])
+        gb.create(hispn.RootOp, c.result)
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_table1_inventory(self):
+        """Every operation listed in Table I exists with the right name."""
+        expected = {
+            "hi_spn.joint_query",
+            "hi_spn.graph",
+            "hi_spn.root",
+            "hi_spn.product",
+            "hi_spn.sum",
+            "hi_spn.histogram",
+            "hi_spn.categorical",
+            "hi_spn.gaussian",
+        }
+        from repro.ir import registered_dialects
+
+        names = {cls.name for cls in registered_dialects()["hi_spn"].op_classes}
+        assert expected <= names

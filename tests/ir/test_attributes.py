@@ -1,0 +1,84 @@
+"""Tests for attribute normalization, hashing and equality."""
+
+import numpy as np
+import pytest
+
+from repro.ir import attributes_equal, normalize_attribute
+from repro.ir.attributes import attribute_key, attributes_key, normalize_attributes
+from repro.ir.types import f32
+
+
+class TestNormalization:
+    def test_scalars_pass_through(self):
+        assert normalize_attribute(5) == 5
+        assert normalize_attribute(1.5) == 1.5
+        assert normalize_attribute(True) is True
+        assert normalize_attribute("name") == "name"
+        assert normalize_attribute(f32) == f32
+
+    def test_numpy_scalars_unwrap(self):
+        assert normalize_attribute(np.float64(2.5)) == 2.5
+        assert isinstance(normalize_attribute(np.int64(3)), int)
+
+    def test_lists_become_tuples(self):
+        assert normalize_attribute([1, 2, 3]) == (1, 2, 3)
+        assert normalize_attribute([[1], [2]]) == ((1,), (2,))
+
+    def test_arrays_become_readonly(self):
+        arr = normalize_attribute(np.array([1.0, 2.0]))
+        assert not arr.flags.writeable
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            normalize_attribute(None)
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(TypeError):
+            normalize_attribute(object())
+
+    def test_dict_normalization(self):
+        attrs = normalize_attributes({"a": [1, 2], "b": 3})
+        assert attrs == {"a": (1, 2), "b": 3}
+
+
+class TestKeys:
+    def test_array_keys_are_hashable(self):
+        key = attribute_key(np.array([1.0, 2.0]))
+        hash(key)
+
+    def test_equal_arrays_same_key(self):
+        a = attribute_key(np.array([1.0, 2.0]))
+        b = attribute_key(np.array([1.0, 2.0]))
+        assert a == b
+
+    def test_different_dtype_different_key(self):
+        a = attribute_key(np.array([1.0], dtype=np.float32))
+        b = attribute_key(np.array([1.0], dtype=np.float64))
+        assert a != b
+
+    def test_bool_distinct_from_int(self):
+        assert attribute_key(True) != attribute_key(1)
+
+    def test_attributes_key_order_independent(self):
+        a = attributes_key({"x": 1, "y": 2})
+        b = attributes_key({"y": 2, "x": 1})
+        assert a == b
+
+
+class TestEquality:
+    def test_scalar_equality(self):
+        assert attributes_equal(1.5, 1.5)
+        assert not attributes_equal(1.5, 2.5)
+
+    def test_bool_int_distinct(self):
+        assert not attributes_equal(True, 1)
+        assert attributes_equal(True, True)
+
+    def test_array_equality(self):
+        assert attributes_equal(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert not attributes_equal(np.array([1.0]), np.array([2.0]))
+        assert not attributes_equal(np.array([1.0]), 1.0)
+
+    def test_tuple_equality_recursive(self):
+        assert attributes_equal((1, (2, 3)), (1, (2, 3)))
+        assert not attributes_equal((1, 2), (1, 2, 3))

@@ -1,0 +1,250 @@
+"""Tests for the core IR structure: operations, blocks, regions, values."""
+
+import pytest
+
+from repro.dialects.arith import AddFOp, ConstantOp, MulFOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.ir import Block, Builder, IRError, ModuleOp, Operation, Region, f32, f64
+from repro.ir.ops import lookup_op_class
+
+
+def build_simple_func():
+    module = ModuleOp.build()
+    builder = Builder.at_end(module.body)
+    fn = builder.create(FuncOp, "f", [f32], [f32])
+    fb = Builder.at_end(fn.body)
+    c = fb.create(ConstantOp, 1.0, f32)
+    add = fb.create(AddFOp, fn.body.arguments[0], c.result)
+    fb.create(ReturnOp, [add.result])
+    return module, fn, c, add
+
+
+class TestUseChains:
+    def test_results_track_uses(self):
+        _, fn, c, add = build_simple_func()
+        assert c.result.has_uses
+        assert c.result.num_uses == 1
+        assert add in c.result.users
+
+    def test_block_argument_uses(self):
+        _, fn, _, add = build_simple_func()
+        arg = fn.body.arguments[0]
+        assert arg.users == [add]
+
+    def test_replace_all_uses_with(self):
+        _, fn, c, add = build_simple_func()
+        fb = Builder.before_op(add)
+        c2 = fb.create(ConstantOp, 2.0, f32)
+        c.result.replace_all_uses_with(c2.result)
+        assert not c.result.has_uses
+        assert add.operands[1] is c2.result
+
+    def test_replace_with_self_is_noop(self):
+        _, _, c, add = build_simple_func()
+        c.result.replace_all_uses_with(c.result)
+        assert add.operands[1] is c.result
+
+    def test_set_operand_updates_uses(self):
+        _, fn, c, add = build_simple_func()
+        add.set_operand(0, c.result)
+        assert c.result.num_uses == 2
+        assert not fn.body.arguments[0].has_uses
+
+    def test_set_operands_replaces_all(self):
+        _, fn, c, add = build_simple_func()
+        add.set_operands([c.result, c.result])
+        assert c.result.num_uses == 2
+
+    def test_has_one_use(self):
+        _, _, c, _ = build_simple_func()
+        assert c.result.has_one_use()
+
+
+class TestErasure:
+    def test_erase_with_uses_rejected(self):
+        _, _, c, _ = build_simple_func()
+        with pytest.raises(IRError):
+            c.erase()
+
+    def test_erase_removes_from_block(self):
+        _, fn, c, add = build_simple_func()
+        term = fn.body.terminator
+        term.erase()
+        add.erase()
+        c.erase()
+        assert len(fn.body) == 0
+
+    def test_erase_releases_operand_uses(self):
+        _, fn, c, add = build_simple_func()
+        fn.body.terminator.erase()
+        add.erase()
+        assert not c.result.has_uses
+
+
+class TestBlockList:
+    def test_linked_list_order(self):
+        _, fn, c, add = build_simple_func()
+        names = [op.op_name for op in fn.body.ops]
+        assert names == ["arith.constant", "arith.addf", "func.return"]
+        assert len(fn.body) == 3
+
+    def test_first_and_terminator(self):
+        _, fn, c, _ = build_simple_func()
+        assert fn.body.first_op is c
+        assert fn.body.terminator.op_name == "func.return"
+
+    def test_move_before(self):
+        _, fn, c, add = build_simple_func()
+        add_op = c.next_op
+        c.move_before(fn.body.terminator)
+        names = [op.op_name for op in fn.body.ops]
+        assert names == ["arith.addf", "arith.constant", "func.return"]
+
+    def test_move_after(self):
+        _, fn, c, add = build_simple_func()
+        c.move_after(add)
+        names = [op.op_name for op in fn.body.ops]
+        assert names == ["arith.addf", "arith.constant", "func.return"]
+
+    def test_iteration_survives_erasure(self):
+        _, fn, *_ = build_simple_func()
+        fn.body.terminator.erase()
+        visited = []
+        for op in fn.body.ops:
+            visited.append(op.op_name)
+            if not op.has_uses:
+                op.erase()
+        assert len(visited) == 2
+
+    def test_prev_next_pointers(self):
+        _, fn, c, add = build_simple_func()
+        assert c.next_op is add
+        assert add.prev_op is c
+        assert c.prev_op is None
+
+    def test_insert_before_updates_size(self):
+        _, fn, c, _ = build_simple_func()
+        new = ConstantOp.build(9.0, f32)
+        fn.body._insert_before(c, new)
+        assert fn.body.first_op is new
+        assert len(fn.body) == 4
+
+
+class TestBlockArguments:
+    def test_add_argument(self):
+        block = Block([f32])
+        arg = block.add_argument(f64)
+        assert arg.arg_index == 1
+        assert arg.type == f64
+
+    def test_erase_argument_renumbers(self):
+        block = Block([f32, f64, f32])
+        block.erase_argument(1)
+        assert [a.arg_index for a in block.arguments] == [0, 1]
+
+    def test_erase_used_argument_rejected(self):
+        block = Block([f32])
+        op = AddFOp.build(block.arguments[0], block.arguments[0])
+        block.append(op)
+        with pytest.raises(IRError):
+            block.erase_argument(0)
+
+
+class TestWalkAndClone:
+    def test_walk_postorder_visits_nested_first(self):
+        module, fn, c, add = build_simple_func()
+        order = [op.op_name for op in module.walk()]
+        assert order.index("arith.constant") < order.index("builtin.module")
+        assert order[-1] == "builtin.module"
+
+    def test_walk_with_callback(self):
+        module, *_ = build_simple_func()
+        count = []
+        module.walk(lambda op: count.append(op))
+        assert len(count) == len(module.walk())
+
+    def test_clone_remaps_internal_values(self):
+        module, fn, _, _ = build_simple_func()
+        clone = fn.clone({})
+        ops = clone.body.op_list()
+        # The add in the clone must use the clone's own constant and arg.
+        add = ops[1]
+        assert add.operands[0] is clone.body.arguments[0]
+        assert add.operands[1] is ops[0].results[0]
+
+    def test_clone_preserves_registered_class(self):
+        _, fn, c, _ = build_simple_func()
+        clone = c.clone({})
+        assert isinstance(clone, ConstantOp)
+
+    def test_clone_does_not_mutate_original(self):
+        module, fn, c, _ = build_simple_func()
+        before = len(fn.body)
+        fn.clone({})
+        assert len(fn.body) == before
+        assert c.result.num_uses == 1
+
+    def test_clone_with_external_mapping(self):
+        block = Block([f32, f32])
+        add = AddFOp.build(block.arguments[0], block.arguments[1])
+        block.append(add)
+        replacement = Block([f32, f32])
+        mapping = {
+            block.arguments[0]: replacement.arguments[1],
+            block.arguments[1]: replacement.arguments[0],
+        }
+        clone = add.clone(mapping)
+        assert clone.operands[0] is replacement.arguments[1]
+
+
+class TestOperationBasics:
+    def test_registry_lookup(self):
+        assert lookup_op_class("arith.addf") is AddFOp
+        assert lookup_op_class("nope.nope") is Operation
+
+    def test_result_property_single(self):
+        c = ConstantOp.build(1.0, f32)
+        assert c.result is c.results[0]
+
+    def test_result_property_requires_single(self):
+        ret = ReturnOp.build([])
+        with pytest.raises(IRError):
+            ret.result
+
+    def test_attr_helpers(self):
+        c = ConstantOp.build(1.0, f32)
+        assert c.attr("value") == 1.0
+        assert c.attr("missing", 7) == 7
+        c.set_attr("note", "x")
+        assert c.attr("note") == "x"
+        c.remove_attr("note")
+        assert c.attr("note") is None
+
+    def test_dialect_name(self):
+        assert ConstantOp.build(0.0, f32).dialect == "arith"
+
+    def test_parent_op_chain(self):
+        module, fn, c, _ = build_simple_func()
+        assert c.parent_op is fn
+        assert fn.parent_op is module
+        assert module.parent_op is None
+
+    def test_operand_must_be_value(self):
+        with pytest.raises(IRError):
+            Operation(operands=[42], name="x.y")
+
+
+class TestRegions:
+    def test_region_entry_block(self):
+        module = ModuleOp.build()
+        assert module.region.entry_block is module.body
+
+    def test_body_block_requires_single_region(self):
+        op = Operation(name="x.two", regions=2)
+        with pytest.raises(IRError):
+            op.region
+
+    def test_erase_contents_clears_nested(self):
+        module, fn, *_ = build_simple_func()
+        fn.region.erase_contents()
+        assert fn.region.empty

@@ -1,0 +1,238 @@
+"""Round-trip tests for the textual IR format."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dialects.arith import AddFOp, ConstantOp, MulFOp, SelectOp, CmpFOp
+from repro.dialects.func import CallOp, FuncOp, ReturnOp
+from repro.dialects.math_dialect import LogOp
+from repro.dialects.memref import AllocOp, ConstantBufferOp, LoadOp, StoreOp
+from repro.dialects.scf import ForOp, YieldOp
+from repro.ir import (
+    Builder,
+    MemRefType,
+    ModuleOp,
+    ParseError,
+    f32,
+    f64,
+    index,
+    parse_module,
+    print_op,
+    verify,
+)
+from repro.ir.printer import format_attribute
+
+
+def round_trip(module):
+    text = print_op(module)
+    reparsed = parse_module(text)
+    verify(reparsed)
+    assert print_op(reparsed) == text
+    return reparsed
+
+
+class TestAttributePrinting:
+    def test_bool(self):
+        assert format_attribute(True) == "true"
+        assert format_attribute(False) == "false"
+
+    def test_int_and_float(self):
+        assert format_attribute(5) == "5 : i64"
+        assert format_attribute(0.5) == "0.5 : f64"
+
+    def test_special_floats(self):
+        assert format_attribute(float("inf")) == "inf : f64"
+        assert format_attribute(float("-inf")) == "-inf : f64"
+        assert format_attribute(float("nan")) == "nan : f64"
+
+    def test_string_escaping(self):
+        assert format_attribute('a"b\\c') == '"a\\"b\\\\c"'
+
+    def test_tuple(self):
+        assert format_attribute((1, 2.0)) == "[1 : i64, 2.0 : f64]"
+
+    def test_dense(self):
+        text = format_attribute(np.array([1.0, 2.0], dtype=np.float32))
+        assert text == "dense<[1.0, 2.0]> : tensor<2xf32>"
+
+    def test_type_attribute(self):
+        assert format_attribute(f32) == "f32"
+
+
+class TestModuleRoundTrip:
+    def test_empty_module(self):
+        round_trip(ModuleOp.build())
+
+    def test_arith_module(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "main", [f32, f32], [f32])
+        fb = Builder.at_end(fn.body)
+        c = fb.create(ConstantOp, -0.5, f32)
+        add = fb.create(AddFOp, fn.body.arguments[0], c.result)
+        mul = fb.create(MulFOp, add.result, fn.body.arguments[1])
+        log = fb.create(LogOp, mul.result)
+        fb.create(ReturnOp, [log.result])
+        round_trip(module)
+
+    def test_special_float_attributes(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "weird", [], [f64, f64])
+        fb = Builder.at_end(fn.body)
+        ninf = fb.create(ConstantOp, float("-inf"), f64)
+        inf = fb.create(ConstantOp, float("inf"), f64)
+        fb.create(ReturnOp, [ninf.result, inf.result])
+        reparsed = round_trip(module)
+        values = [
+            op.attributes["value"]
+            for op in reparsed.walk()
+            if op.op_name == "arith.constant"
+        ]
+        assert values == [float("-inf"), float("inf")]
+
+    def test_dense_attribute_round_trip(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "tables", [], [])
+        fb = Builder.at_end(fn.body)
+        fb.create(
+            ConstantBufferOp, np.array([0.25, -1.5, math.inf], dtype=np.float64), f64
+        )
+        fb.create(ReturnOp, [])
+        reparsed = round_trip(module)
+        buffers = [
+            op for op in reparsed.walk() if op.op_name == "memref.constant_buffer"
+        ]
+        np.testing.assert_array_equal(
+            buffers[0].attributes["data"], np.array([0.25, -1.5, math.inf])
+        )
+
+    def test_loop_with_iter_args(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "loop", [index, f32], [f32])
+        fb = Builder.at_end(fn.body)
+        c0 = fb.create(ConstantOp, 0, index)
+        c1 = fb.create(ConstantOp, 1, index)
+        loop = fb.create(
+            ForOp, c0.result, fn.body.arguments[0], c1.result, [fn.body.arguments[1]]
+        )
+        lb = Builder.at_end(loop.body_block)
+        doubled = lb.create(AddFOp, loop.iter_args[0], loop.iter_args[0])
+        lb.create(YieldOp, [doubled.result])
+        fb.create(ReturnOp, [loop.results[0]])
+        round_trip(module)
+
+    def test_memref_ops(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        mem_type = MemRefType((None, 4), f32)
+        fn = b.create(FuncOp, "mem", [mem_type, index], [])
+        fb = Builder.at_end(fn.body)
+        alloc = fb.create(AllocOp, MemRefType((None,), f32), [fn.body.arguments[1]])
+        load = fb.create(
+            LoadOp, fn.body.arguments[0], [fn.body.arguments[1], fn.body.arguments[1]]
+        )
+        fb.create(StoreOp, load.result, alloc.result, [fn.body.arguments[1]])
+        fb.create(ReturnOp, [])
+        round_trip(module)
+
+    def test_multi_result_and_calls(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        callee = b.create(FuncOp, "callee", [f32], [f32, f32])
+        cb = Builder.at_end(callee.body)
+        cb.create(ReturnOp, [callee.body.arguments[0], callee.body.arguments[0]])
+        caller = b.create(FuncOp, "caller", [f32], [f32])
+        fb = Builder.at_end(caller.body)
+        call = fb.create(CallOp, "callee", [caller.body.arguments[0]], [f32, f32])
+        fb.create(ReturnOp, [call.results[1]])
+        round_trip(module)
+
+    def test_select_and_cmp(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "sel", [f32, f32], [f32])
+        fb = Builder.at_end(fn.body)
+        args = fn.body.arguments
+        cmp = fb.create(CmpFOp, "une", args[0], args[0])
+        sel = fb.create(SelectOp, cmp.result, args[0], args[1])
+        fb.create(ReturnOp, [sel.result])
+        round_trip(module)
+
+
+class TestParserErrors:
+    def test_bad_token(self):
+        with pytest.raises(ParseError):
+            parse_module("@@@@")
+
+    def test_undefined_value(self):
+        with pytest.raises(ParseError):
+            parse_module('"x.y"(%0) : (f32) -> ()')
+
+    def test_operand_type_mismatch(self):
+        text = (
+            '"builtin.module"() ({\n'
+            '  %0 = "arith.constant"() {value = 1.0 : f64} : () -> f32\n'
+            '  %1 = "math.log"(%0) : (f64) -> f64\n'
+            "}) : () -> ()"
+        )
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_result_count_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_module('%0, %1 = "arith.constant"() {value = 1 : i64} : () -> i64')
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_module('"builtin.module"() : () -> () extra')
+
+
+# --- property-based: random expression DAGs round-trip ---------------------------
+
+
+@st.composite
+def expression_modules(draw):
+    module = ModuleOp.build()
+    b = Builder.at_end(module.body)
+    num_args = draw(st.integers(1, 3))
+    fn = b.create(FuncOp, "f", [f64] * num_args, [f64])
+    fb = Builder.at_end(fn.body)
+    values = list(fn.body.arguments)
+    for _ in range(draw(st.integers(1, 12))):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            payload = draw(
+                st.floats(
+                    allow_nan=False, allow_infinity=False, width=64,
+                    min_value=-1e6, max_value=1e6,
+                )
+                | st.just(float("inf"))
+                | st.just(float("-inf"))
+            )
+            values.append(fb.create(ConstantOp, payload, f64).result)
+        elif choice == 1:
+            lhs = draw(st.sampled_from(values))
+            rhs = draw(st.sampled_from(values))
+            values.append(fb.create(AddFOp, lhs, rhs).result)
+        elif choice == 2:
+            lhs = draw(st.sampled_from(values))
+            rhs = draw(st.sampled_from(values))
+            values.append(fb.create(MulFOp, lhs, rhs).result)
+        else:
+            operand = draw(st.sampled_from(values))
+            values.append(fb.create(LogOp, operand).result)
+    fb.create(ReturnOp, [values[-1]])
+    return module
+
+
+@settings(max_examples=40, deadline=None)
+@given(expression_modules())
+def test_property_print_parse_round_trip(module):
+    verify(module)
+    round_trip(module)

@@ -1,0 +1,295 @@
+"""Tests for CSE, DCE, LICM, canonicalization and the rewrite driver."""
+
+import numpy as np
+import pytest
+
+from repro.dialects.arith import AddFOp, ConstantOp, MulFOp, SelectOp, CmpFOp, SubFOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.dialects.math_dialect import ExpOp, LogOp
+from repro.dialects.memref import AllocOp, StoreOp
+from repro.dialects.scf import ForOp, YieldOp
+from repro.ir import (
+    Builder,
+    MemRefType,
+    ModuleOp,
+    Operation,
+    RewritePattern,
+    apply_patterns_greedily,
+    canonicalize,
+    f32,
+    f64,
+    index,
+    run_cse,
+    run_dce,
+    verify,
+)
+from repro.ir.transforms.licm import hoist_loop_invariants
+
+
+def new_func(args=(), results=()):
+    module = ModuleOp.build()
+    fn = Builder.at_end(module.body).create(FuncOp, "f", list(args), list(results))
+    return module, fn, Builder.at_end(fn.body)
+
+
+def ops_named(module, name):
+    return [op for op in module.walk() if op.op_name == name]
+
+
+class TestDCE:
+    def test_removes_unused_pure_op(self):
+        module, fn, fb = new_func()
+        fb.create(ConstantOp, 1.0, f32)
+        fb.create(ReturnOp, [])
+        assert run_dce(module) == 1
+        assert not ops_named(module, "arith.constant")
+
+    def test_removes_dead_chains(self):
+        module, fn, fb = new_func()
+        c = fb.create(ConstantOp, 1.0, f32)
+        a = fb.create(AddFOp, c.result, c.result)
+        fb.create(MulFOp, a.result, a.result)
+        fb.create(ReturnOp, [])
+        assert run_dce(module) == 3
+
+    def test_keeps_used_ops(self):
+        module, fn, fb = new_func(results=[f32])
+        c = fb.create(ConstantOp, 1.0, f32)
+        fb.create(ReturnOp, [c.result])
+        assert run_dce(module) == 0
+
+    def test_keeps_side_effecting_ops(self):
+        module, fn, fb = new_func()
+        alloc = fb.create(AllocOp, MemRefType((4,), f32), [])
+        fb.create(ReturnOp, [])
+        run_dce(module)
+        assert ops_named(module, "memref.alloc")
+
+
+class TestCSE:
+    def test_dedupes_identical_constants(self):
+        module, fn, fb = new_func(results=[f32])
+        c1 = fb.create(ConstantOp, 1.0, f32)
+        c2 = fb.create(ConstantOp, 1.0, f32)
+        add = fb.create(AddFOp, c1.result, c2.result)
+        fb.create(ReturnOp, [add.result])
+        assert run_cse(module) == 1
+        assert len(ops_named(module, "arith.constant")) == 1
+        verify(module)
+
+    def test_respects_attribute_differences(self):
+        module, fn, fb = new_func(results=[f32])
+        c1 = fb.create(ConstantOp, 1.0, f32)
+        c2 = fb.create(ConstantOp, 2.0, f32)
+        add = fb.create(AddFOp, c1.result, c2.result)
+        fb.create(ReturnOp, [add.result])
+        assert run_cse(module) == 0
+
+    def test_respects_operand_differences(self):
+        module, fn, fb = new_func(args=[f32, f32], results=[f32])
+        a1 = fb.create(AddFOp, fn.body.arguments[0], fn.body.arguments[1])
+        a2 = fb.create(AddFOp, fn.body.arguments[1], fn.body.arguments[0])
+        r = fb.create(AddFOp, a1.result, a2.result)
+        fb.create(ReturnOp, [r.result])
+        assert run_cse(module) == 0
+
+    def test_dedupes_expression_dags(self):
+        module, fn, fb = new_func(args=[f32], results=[f32])
+        x = fn.body.arguments[0]
+        a1 = fb.create(AddFOp, x, x)
+        l1 = fb.create(LogOp, a1.result)
+        a2 = fb.create(AddFOp, x, x)
+        l2 = fb.create(LogOp, a2.result)
+        r = fb.create(MulFOp, l1.result, l2.result)
+        fb.create(ReturnOp, [r.result])
+        assert run_cse(module) == 2
+        verify(module)
+
+    def test_nested_scope_sees_outer_values(self):
+        module, fn, fb = new_func(args=[index])
+        c0 = fb.create(ConstantOp, 0, index)
+        c1 = fb.create(ConstantOp, 1, index)
+        outer = fb.create(ConstantOp, 5.0, f32)
+        loop = fb.create(ForOp, c0.result, fn.body.arguments[0], c1.result, [])
+        lb = Builder.at_end(loop.body_block)
+        inner = lb.create(ConstantOp, 5.0, f32)
+        lb.create(AddFOp, inner.result, outer.result)
+        lb.create(YieldOp, [])
+        fb.create(ReturnOp, [])
+        eliminated = run_cse(module)
+        assert eliminated == 1  # inner constant deduped against outer one
+        verify(module)
+
+    def test_does_not_merge_across_sibling_functions(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        for name in ("a", "b"):
+            fn = b.create(FuncOp, name, [], [f32])
+            fb = Builder.at_end(fn.body)
+            c = fb.create(ConstantOp, 3.0, f32)
+            fb.create(ReturnOp, [c.result])
+        assert run_cse(module) == 0
+
+
+class TestCanonicalize:
+    def test_constant_folding(self):
+        module, fn, fb = new_func(results=[f64])
+        c1 = fb.create(ConstantOp, 2.0, f64)
+        c2 = fb.create(ConstantOp, 3.0, f64)
+        add = fb.create(AddFOp, c1.result, c2.result)
+        fb.create(ReturnOp, [add.result])
+        canonicalize(module)
+        consts = ops_named(module, "arith.constant")
+        assert len(consts) == 1
+        assert consts[0].attributes["value"] == 5.0
+        assert not ops_named(module, "arith.addf")
+
+    def test_additive_identity(self):
+        module, fn, fb = new_func(args=[f32], results=[f32])
+        zero = fb.create(ConstantOp, 0.0, f32)
+        add = fb.create(AddFOp, fn.body.arguments[0], zero.result)
+        fb.create(ReturnOp, [add.result])
+        canonicalize(module)
+        assert not ops_named(module, "arith.addf")
+        ret = ops_named(module, "func.return")[0]
+        assert ret.operands[0] is fn.body.arguments[0]
+
+    def test_multiplicative_identity(self):
+        module, fn, fb = new_func(args=[f32], results=[f32])
+        one = fb.create(ConstantOp, 1.0, f32)
+        mul = fb.create(MulFOp, fn.body.arguments[0], one.result)
+        fb.create(ReturnOp, [mul.result])
+        canonicalize(module)
+        assert not ops_named(module, "arith.mulf")
+
+    def test_commutative_constant_sinks_right(self):
+        module, fn, fb = new_func(args=[f32], results=[f32])
+        c = fb.create(ConstantOp, 2.0, f32)
+        add = fb.create(AddFOp, c.result, fn.body.arguments[0])
+        fb.create(ReturnOp, [add.result])
+        canonicalize(module)
+        add = ops_named(module, "arith.addf")[0]
+        assert add.operands[0] is fn.body.arguments[0]
+
+    def test_select_with_constant_condition_folds(self):
+        module, fn, fb = new_func(args=[f32, f32], results=[f32])
+        c1 = fb.create(ConstantOp, 1.0, f32)
+        c2 = fb.create(ConstantOp, 2.0, f32)
+        cmp = fb.create(CmpFOp, "olt", c1.result, c2.result)
+        sel = fb.create(SelectOp, cmp.result, fn.body.arguments[0], fn.body.arguments[1])
+        fb.create(ReturnOp, [sel.result])
+        canonicalize(module)
+        assert not ops_named(module, "arith.select")
+        ret = ops_named(module, "func.return")[0]
+        assert ret.operands[0] is fn.body.arguments[0]
+
+    def test_transcendental_folding(self):
+        module, fn, fb = new_func(results=[f64])
+        c = fb.create(ConstantOp, 1.0, f64)
+        log = fb.create(LogOp, c.result)
+        fb.create(ReturnOp, [log.result])
+        canonicalize(module)
+        consts = ops_named(module, "arith.constant")
+        assert consts[0].attributes["value"] == 0.0
+
+    def test_log_of_nonpositive_constant_not_folded(self):
+        module, fn, fb = new_func(results=[f64])
+        c = fb.create(ConstantOp, 0.0, f64)
+        log = fb.create(LogOp, c.result)
+        fb.create(ReturnOp, [log.result])
+        canonicalize(module)
+        assert ops_named(module, "math.log")
+
+    def test_semantics_preserved(self):
+        # Compare evaluation before/after canonicalization via codegen.
+        from repro.backends.cpu.codegen import generate_cpu_module
+        from repro.dialects.memref import LoadOp
+
+        def build():
+            module, fn, fb = new_func(args=[MemRefType((1,), f64), MemRefType((1,), f64)])
+            c0 = fb.create(ConstantOp, 0, index)
+            x = fb.create(LoadOp, fn.body.arguments[0], [c0.result])
+            zero = fb.create(ConstantOp, 0.0, f64)
+            one = fb.create(ConstantOp, 1.0, f64)
+            t1 = fb.create(AddFOp, x.result, zero.result)
+            t2 = fb.create(MulFOp, t1.result, one.result)
+            t3 = fb.create(SubFOp, t2.result, zero.result)
+            e = fb.create(ExpOp, t3.result)
+            fb.create(StoreOp, e.result, fn.body.arguments[1], [c0.result])
+            fb.create(ReturnOp, [])
+            return module
+
+        reference = build()
+        optimized = build()
+        canonicalize(optimized)
+        verify(optimized)
+        for module in (reference, optimized):
+            gen = generate_cpu_module(module)
+            out = np.zeros(1)
+            gen.get("f")(np.array([0.75]), out)
+            assert out[0] == pytest.approx(np.exp(0.75))
+
+
+class TestLICM:
+    def test_hoists_invariant_chain(self):
+        module, fn, fb = new_func(args=[index])
+        c0 = fb.create(ConstantOp, 0, index)
+        c1 = fb.create(ConstantOp, 1, index)
+        loop = fb.create(ForOp, c0.result, fn.body.arguments[0], c1.result, [])
+        lb = Builder.at_end(loop.body_block)
+        a = lb.create(ConstantOp, 2.0, f32)
+        b_op = lb.create(AddFOp, a.result, a.result)
+        lb.create(YieldOp, [])
+        fb.create(ReturnOp, [])
+        hoisted = hoist_loop_invariants(module)
+        assert hoisted == 2
+        assert len(loop.body_block) == 1  # only the yield remains
+        verify(module)
+
+    def test_keeps_variant_ops(self):
+        from repro.dialects.arith import SIToFPOp, IndexCastOp
+        from repro.ir.types import i64
+
+        module, fn, fb = new_func(args=[index])
+        c0 = fb.create(ConstantOp, 0, index)
+        c1 = fb.create(ConstantOp, 1, index)
+        loop = fb.create(ForOp, c0.result, fn.body.arguments[0], c1.result, [])
+        lb = Builder.at_end(loop.body_block)
+        cast = lb.create(IndexCastOp, loop.induction_var, i64)
+        lb.create(SIToFPOp, cast.result, f32)
+        lb.create(YieldOp, [])
+        fb.create(ReturnOp, [])
+        # The dead chain depends on the induction variable: must stay.
+        hoisted = hoist_loop_invariants(module)
+        assert hoisted == 0
+        assert len(loop.body_block) == 3
+
+
+class TestRewriteDriver:
+    def test_custom_pattern_applies_to_fixpoint(self):
+        class RewriteAddToMul(RewritePattern):
+            op_name = "arith.addf"
+
+            def match_and_rewrite(self, op, rewriter):
+                builder = rewriter.builder_before(op)
+                mul = builder.create(MulFOp, op.operands[0], op.operands[1])
+                rewriter.replace_op(op, [mul.result])
+                return True
+
+        module, fn, fb = new_func(args=[f32], results=[f32])
+        x = fn.body.arguments[0]
+        a = fb.create(AddFOp, x, x)
+        b_op = fb.create(AddFOp, a.result, x)
+        fb.create(ReturnOp, [b_op.result])
+        changed = apply_patterns_greedily(module, [RewriteAddToMul()])
+        assert changed
+        assert not ops_named(module, "arith.addf")
+        assert len(ops_named(module, "arith.mulf")) == 2
+        verify(module)
+
+    def test_driver_erases_dead_pure_ops(self):
+        module, fn, fb = new_func()
+        fb.create(ConstantOp, 1.0, f32)
+        fb.create(ReturnOp, [])
+        assert apply_patterns_greedily(module, [])
+        assert not ops_named(module, "arith.constant")

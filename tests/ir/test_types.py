@@ -1,0 +1,161 @@
+"""Tests for the IR type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    FloatType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    VectorType,
+    f32,
+    f64,
+    i1,
+    i32,
+    i64,
+    index,
+    parse_type_text,
+)
+
+
+class TestScalarTypes:
+    def test_integer_spelling(self):
+        assert IntegerType(32).spelling() == "i32"
+        assert IntegerType(1).spelling() == "i1"
+
+    def test_integer_width_validation(self):
+        with pytest.raises(ValueError):
+            IntegerType(0)
+        with pytest.raises(ValueError):
+            IntegerType(-8)
+
+    def test_float_spelling(self):
+        assert FloatType(32).spelling() == "f32"
+        assert FloatType(64).spelling() == "f64"
+
+    def test_float_width_validation(self):
+        with pytest.raises(ValueError):
+            FloatType(8)
+
+    def test_index_and_none(self):
+        assert IndexType().spelling() == "index"
+        assert NoneType().spelling() == "none"
+
+    def test_value_equality(self):
+        assert IntegerType(32) == IntegerType(32)
+        assert IntegerType(32) != IntegerType(64)
+        assert FloatType(32) != IntegerType(32)
+        assert IndexType() == IndexType()
+
+    def test_hashing_uniques_by_value(self):
+        types = {IntegerType(32), IntegerType(32), FloatType(32), f32}
+        assert len(types) == 2
+
+    def test_singletons_match_fresh_instances(self):
+        assert f32 == FloatType(32)
+        assert f64 == FloatType(64)
+        assert i1 == IntegerType(1)
+        assert i32 == IntegerType(32)
+        assert i64 == IntegerType(64)
+        assert index == IndexType()
+
+
+class TestShapedTypes:
+    def test_tensor_spelling(self):
+        assert TensorType((None, 26), f32).spelling() == "tensor<?x26xf32>"
+        assert TensorType((4,), f64).spelling() == "tensor<4xf64>"
+        assert TensorType((), f32).spelling() == "tensor<f32>"
+
+    def test_memref_spelling(self):
+        assert MemRefType((1, None), f32).spelling() == "memref<1x?xf32>"
+
+    def test_vector_spelling(self):
+        assert VectorType((8,), f32).spelling() == "vector<8xf32>"
+        assert VectorType((8, 26), f32).spelling() == "vector<8x26xf32>"
+
+    def test_vector_requires_static_positive_dims(self):
+        with pytest.raises(ValueError):
+            VectorType((None,), f32)
+        with pytest.raises(ValueError):
+            VectorType((0,), f32)
+
+    def test_rank_and_elements(self):
+        ty = TensorType((3, 4), f32)
+        assert ty.rank == 2
+        assert ty.num_elements() == 12
+        assert TensorType((None, 4), f32).num_elements() is None
+
+    def test_nested_element_types(self):
+        ty = TensorType((2,), VectorType((8,), f32))
+        assert ty.spelling() == "tensor<2xvector<8xf32>>"
+
+    def test_equality_includes_shape(self):
+        assert TensorType((2,), f32) != TensorType((3,), f32)
+        assert TensorType((2,), f32) != MemRefType((2,), f32)
+        assert MemRefType((2,), f32) == MemRefType((2,), f32)
+
+
+class TestTypeParsing:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "i1",
+            "i32",
+            "i64",
+            "f32",
+            "f64",
+            "index",
+            "none",
+            "tensor<?x26xf32>",
+            "tensor<4xf64>",
+            "memref<1x?xf64>",
+            "vector<16xf32>",
+            "vector<8x26xf32>",
+            "tensor<f32>",
+            "!hi_spn.probability",
+            "!lo_spn.log<f32>",
+            "!lo_spn.log<f64>",
+            "memref<2x?x!lo_spn.log<f32>>",
+        ],
+    )
+    def test_round_trip(self, text):
+        assert parse_type_text(text).spelling() == text
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(Exception):
+            parse_type_text("f128x")
+
+    def test_unknown_dialect_type_rejected(self):
+        with pytest.raises(Exception):
+            parse_type_text("!no_such.type")
+
+
+# Property: any type built from the constructors round-trips through text.
+_scalar = st.sampled_from([f32, f64, i1, i32, i64, index])
+_dims = st.lists(
+    st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+    min_size=1,
+    max_size=3,
+)
+
+
+@st.composite
+def shaped_types(draw):
+    elem = draw(_scalar)
+    kind = draw(st.sampled_from(["tensor", "memref", "vector"]))
+    if kind == "vector":
+        dims = draw(
+            st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=2)
+        )
+        return VectorType(tuple(dims), elem)
+    dims = draw(_dims)
+    cls = TensorType if kind == "tensor" else MemRefType
+    return cls(tuple(dims), elem)
+
+
+@given(st.one_of(_scalar, shaped_types()))
+def test_property_type_text_round_trip(ty):
+    assert parse_type_text(ty.spelling()) == ty

@@ -1,0 +1,137 @@
+"""Tests for structural IR verification."""
+
+import pytest
+
+from repro.dialects.arith import AddFOp, ConstantOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.dialects.scf import ForOp, YieldOp
+from repro.ir import (
+    Block,
+    Builder,
+    ModuleOp,
+    Operation,
+    VerificationError,
+    f32,
+    f64,
+    index,
+    verify,
+)
+
+
+def empty_func(name="f", args=(), results=()):
+    module = ModuleOp.build()
+    b = Builder.at_end(module.body)
+    fn = b.create(FuncOp, name, list(args), list(results))
+    return module, fn
+
+
+class TestDominance:
+    def test_valid_module_passes(self):
+        module, fn = empty_func(args=[f32], results=[f32])
+        fb = Builder.at_end(fn.body)
+        fb.create(ReturnOp, [fn.body.arguments[0]])
+        verify(module)
+
+    def test_use_before_def_rejected(self):
+        module, fn = empty_func(results=[f32])
+        fb = Builder.at_end(fn.body)
+        c = fb.create(ConstantOp, 1.0, f32)
+        add = fb.create(AddFOp, c.result, c.result)
+        fb.create(ReturnOp, [add.result])
+        add.move_before(c)  # now add uses c before its definition
+        with pytest.raises(VerificationError):
+            verify(module)
+
+    def test_cross_function_use_rejected(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        f1 = b.create(FuncOp, "a", [f32], [f32])
+        Builder.at_end(f1.body).create(ReturnOp, [f1.body.arguments[0]])
+        f2 = b.create(FuncOp, "b", [], [f32])
+        # Manually splice an illegal cross-function use.
+        ret = ReturnOp.build([f1.body.arguments[0]])
+        f2.body.append(ret)
+        f2.attributes["result_types"] = (f32,)
+        with pytest.raises(VerificationError):
+            verify(module)
+
+    def test_value_from_enclosing_region_is_visible(self):
+        module, fn = empty_func(args=[index], results=[])
+        fb = Builder.at_end(fn.body)
+        c = fb.create(ConstantOp, 2.0, f32)
+        c0 = fb.create(ConstantOp, 0, index)
+        c1 = fb.create(ConstantOp, 1, index)
+        loop = fb.create(ForOp, c0.result, fn.body.arguments[0], c1.result, [])
+        lb = Builder.at_end(loop.body_block)
+        lb.create(AddFOp, c.result, c.result)  # uses outer value: legal
+        lb.create(YieldOp, [])
+        fb.create(ReturnOp, [])
+        verify(module)
+
+
+class TestStructuralRules:
+    def test_terminator_must_be_last(self):
+        # The func-level hook (return must be last) fires first; both are
+        # IRErrors, and VerificationError is an IRError subclass.
+        from repro.ir import IRError
+
+        module, fn = empty_func()
+        fb = Builder.at_end(fn.body)
+        fb.create(ReturnOp, [])
+        fb.create(ConstantOp, 1.0, f32)
+        with pytest.raises(IRError):
+            verify(module)
+
+    def test_terminator_position_checked_in_plain_blocks(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        b.create(ReturnOp, [])
+        b.create(ModuleOp)  # another op after a terminator
+        with pytest.raises(VerificationError):
+            verify(module)
+
+    def test_func_requires_return(self):
+        module, fn = empty_func()
+        with pytest.raises(Exception):
+            verify(module)
+
+    def test_func_return_type_mismatch(self):
+        module, fn = empty_func(results=[f64])
+        fb = Builder.at_end(fn.body)
+        c = fb.create(ConstantOp, 1.0, f32)
+        fb.create(ReturnOp, [c.result])
+        with pytest.raises(Exception):
+            verify(module)
+
+    def test_single_block_trait_enforced(self):
+        module = ModuleOp.build()
+        module.region.append_block(Block())  # second block: illegal
+        with pytest.raises(VerificationError):
+            verify(module)
+
+    def test_for_loop_yield_type_checked(self):
+        module, fn = empty_func(args=[index], results=[])
+        fb = Builder.at_end(fn.body)
+        c0 = fb.create(ConstantOp, 0, index)
+        c1 = fb.create(ConstantOp, 1, index)
+        init = fb.create(ConstantOp, 0.0, f32)
+        loop = fb.create(
+            ForOp, c0.result, fn.body.arguments[0], c1.result, [init.result]
+        )
+        lb = Builder.at_end(loop.body_block)
+        lb.create(YieldOp, [])  # missing the carried value
+        fb.create(ReturnOp, [])
+        with pytest.raises(Exception):
+            verify(module)
+
+    def test_per_op_hook_runs(self):
+        class BadOp(Operation):
+            name = "test.bad_hook"
+
+            def verify_op(self):
+                raise VerificationError("always bad")
+
+        module = ModuleOp.build()
+        module.body.append(BadOp())
+        with pytest.raises(VerificationError):
+            verify(module)

@@ -1,0 +1,55 @@
+"""Tests for the runtime component: chunking and threading."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ChunkedExecutor, chunk_ranges
+
+
+class TestChunkRanges:
+    def test_exact_division(self):
+        assert chunk_ranges(8, 4) == [(0, 4), (4, 8)]
+
+    def test_remainder_chunk(self):
+        assert chunk_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_chunk(self):
+        assert chunk_ranges(3, 100) == [(0, 3)]
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, 0)
+
+
+class TestChunkedExecutor:
+    def test_sequential_covers_all(self):
+        seen = []
+        with ChunkedExecutor(1) as ex:
+            ex.run(10, 3, lambda s, e: seen.append((s, e)))
+        assert seen == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_parallel_covers_all(self):
+        out = np.zeros(100)
+        with ChunkedExecutor(4) as ex:
+            ex.run(100, 7, lambda s, e: out.__setitem__(slice(s, e), 1.0))
+        assert out.sum() == 100
+
+    def test_exceptions_propagate(self):
+        def boom(s, e):
+            raise RuntimeError("chunk failed")
+
+        with ChunkedExecutor(2) as ex:
+            with pytest.raises(RuntimeError):
+                ex.run(10, 2, boom)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ChunkedExecutor(0)
+
+    def test_close_idempotent(self):
+        ex = ChunkedExecutor(2)
+        ex.close()
+        ex.close()

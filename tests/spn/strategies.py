@@ -1,0 +1,61 @@
+"""Hypothesis strategies generating random valid SPNs."""
+
+from hypothesis import strategies as st
+
+from repro.spn import Categorical, Gaussian, Histogram, Product, Sum
+
+
+@st.composite
+def leaf_nodes(draw, variable: int):
+    kind = draw(st.sampled_from(["gaussian", "categorical", "histogram"]))
+    if kind == "gaussian":
+        mean = draw(st.floats(-5.0, 5.0, allow_nan=False))
+        stdev = draw(st.floats(0.1, 3.0, allow_nan=False))
+        return Gaussian(variable, mean, stdev)
+    if kind == "categorical":
+        k = draw(st.integers(2, 5))
+        raw = draw(
+            st.lists(st.floats(0.05, 1.0, allow_nan=False), min_size=k, max_size=k)
+        )
+        return Categorical(variable, raw)
+    buckets = draw(st.integers(2, 5))
+    densities = draw(
+        st.lists(
+            st.floats(0.05, 1.0, allow_nan=False),
+            min_size=buckets,
+            max_size=buckets,
+        )
+    )
+    bounds = [float(i) for i in range(buckets + 1)]
+    total = sum(densities)
+    return Histogram(variable, bounds, [d / total for d in densities])
+
+
+@st.composite
+def random_spns(draw, max_features: int = 4, max_depth: int = 3):
+    """A random complete & decomposable SPN over ``num_features`` variables."""
+    num_features = draw(st.integers(2, max_features))
+    variables = tuple(range(num_features))
+
+    def build(scope, depth):
+        if len(scope) == 1:
+            return draw(leaf_nodes(scope[0]))
+        if depth >= max_depth:
+            return Product([draw(leaf_nodes(v)) for v in scope])
+        kind = draw(st.sampled_from(["sum", "product"]))
+        if kind == "sum":
+            arity = draw(st.integers(2, 3))
+            children = [build(scope, depth + 1) for _ in range(arity)]
+            weights = draw(
+                st.lists(
+                    st.floats(0.1, 1.0, allow_nan=False),
+                    min_size=arity,
+                    max_size=arity,
+                )
+            )
+            return Sum(children, weights)
+        split = draw(st.integers(1, len(scope) - 1))
+        left, right = scope[:split], scope[split:]
+        return Product([build(left, depth + 1), build(right, depth + 1)])
+
+    return build(variables, 0), num_features

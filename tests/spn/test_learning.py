@@ -1,0 +1,187 @@
+"""Tests for structure learning (LearnSPN) and EM weight learning."""
+
+import numpy as np
+import pytest
+
+from repro.spn import (
+    Categorical,
+    Gaussian,
+    Histogram,
+    LearnSPNOptions,
+    Product,
+    Sum,
+    assert_valid,
+    em_weight_update,
+    fit_leaf,
+    independent_groups,
+    kmeans,
+    learn_spn,
+    mean_log_likelihood,
+    num_nodes,
+)
+
+
+@pytest.fixture
+def two_cluster_data(rng):
+    a = rng.normal(-3.0, 0.5, size=(150, 3))
+    b = rng.normal(3.0, 0.5, size=(150, 3))
+    return np.vstack([a, b])
+
+
+class TestKMeans:
+    def test_separates_clear_clusters(self, two_cluster_data, rng):
+        labels = kmeans(two_cluster_data, 2, rng)
+        first, second = labels[:150], labels[150:]
+        assert len(np.unique(first)) == 1
+        assert len(np.unique(second)) == 1
+        assert first[0] != second[0]
+
+    def test_handles_fewer_rows_than_clusters(self, rng):
+        labels = kmeans(np.zeros((2, 2)), 4, rng)
+        assert labels.shape == (2,)
+
+    def test_no_empty_clusters(self, rng):
+        data = rng.normal(size=(30, 2))
+        labels = kmeans(data, 3, rng)
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+
+class TestIndependenceSplit:
+    def test_correlated_columns_grouped(self, rng):
+        base = rng.normal(size=500)
+        data = np.column_stack([base, base + rng.normal(scale=0.01, size=500),
+                                rng.normal(size=500)])
+        groups = independent_groups(data, threshold=0.5)
+        assert sorted(map(sorted, groups)) == [[0, 1], [2]]
+
+    def test_all_independent(self, rng):
+        data = rng.normal(size=(500, 3))
+        groups = independent_groups(data, threshold=0.5)
+        assert len(groups) == 3
+
+    def test_single_column(self):
+        assert independent_groups(np.zeros((10, 1)), 0.5) == [[0]]
+
+    def test_constant_column_handled(self, rng):
+        data = np.column_stack([np.ones(100), rng.normal(size=100)])
+        groups = independent_groups(data, threshold=0.5)
+        assert len(groups) == 2
+
+
+class TestFitLeaf:
+    def test_gaussian_fit(self, rng):
+        column = rng.normal(2.0, 0.5, size=1000)
+        leaf = fit_leaf(column, 3, LearnSPNOptions(leaf_kind="gaussian"))
+        assert isinstance(leaf, Gaussian)
+        assert leaf.variable == 3
+        assert leaf.mean == pytest.approx(2.0, abs=0.1)
+        assert leaf.stdev == pytest.approx(0.5, abs=0.1)
+
+    def test_gaussian_min_stdev(self):
+        leaf = fit_leaf(np.ones(50), 0, LearnSPNOptions(leaf_kind="gaussian"))
+        assert leaf.stdev >= LearnSPNOptions().min_stdev
+
+    def test_categorical_fit(self, rng):
+        column = rng.choice([0, 1, 2], p=[0.6, 0.3, 0.1], size=2000).astype(float)
+        leaf = fit_leaf(column, 0, LearnSPNOptions(leaf_kind="categorical"))
+        assert isinstance(leaf, Categorical)
+        assert leaf.probabilities[0] == pytest.approx(0.6, abs=0.05)
+
+    def test_histogram_fit(self, rng):
+        column = rng.uniform(0, 10, size=500)
+        options = LearnSPNOptions(leaf_kind="histogram", histogram_buckets=5)
+        leaf = fit_leaf(column, 0, options)
+        assert isinstance(leaf, Histogram)
+        assert len(leaf.densities) == 5
+        assert sum(leaf.densities) == pytest.approx(1.0)
+
+    def test_auto_picks_categorical_for_small_ints(self, rng):
+        column = rng.integers(0, 3, size=200).astype(float)
+        leaf = fit_leaf(column, 0, LearnSPNOptions(leaf_kind="auto"))
+        assert isinstance(leaf, Categorical)
+
+    def test_auto_picks_gaussian_for_continuous(self, rng):
+        column = rng.normal(size=200)
+        leaf = fit_leaf(column, 0, LearnSPNOptions(leaf_kind="auto"))
+        assert isinstance(leaf, Gaussian)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            fit_leaf(np.zeros(10), 0, LearnSPNOptions(leaf_kind="wat"))
+
+
+class TestLearnSPN:
+    def test_structure_is_valid(self, two_cluster_data):
+        spn = learn_spn(two_cluster_data)
+        assert_valid(spn)
+        assert spn.scope == frozenset({0, 1, 2})
+
+    def test_learns_mixture_for_clustered_data(self, two_cluster_data):
+        spn = learn_spn(two_cluster_data)
+        assert isinstance(spn, Sum)
+
+    def test_beats_naive_single_gaussian_fit(self, two_cluster_data):
+        spn = learn_spn(two_cluster_data)
+        naive = Product(
+            [
+                fit_leaf(two_cluster_data[:, i], i, LearnSPNOptions())
+                for i in range(3)
+            ]
+        )
+        assert mean_log_likelihood(spn, two_cluster_data) > mean_log_likelihood(
+            naive, two_cluster_data
+        )
+
+    def test_min_instances_forces_factorization(self, rng):
+        data = rng.normal(size=(10, 3))
+        spn = learn_spn(data, LearnSPNOptions(min_instances=50))
+        assert_valid(spn)
+        # With too few rows the result is a mixture of naive factorizations
+        # (or a single one), never deeper.
+        assert num_nodes(spn) <= 11
+
+    def test_single_feature_gives_leaf_mixture(self, rng):
+        data = rng.normal(size=(200, 1))
+        spn = learn_spn(data)
+        assert spn.scope == frozenset({0})
+
+    def test_custom_variable_indices(self, rng):
+        data = rng.normal(size=(100, 2))
+        spn = learn_spn(data, variables=[5, 9])
+        assert spn.scope == frozenset({5, 9})
+
+    def test_deterministic_for_fixed_seed(self, two_cluster_data):
+        from repro.spn import structurally_equal
+
+        a = learn_spn(two_cluster_data, LearnSPNOptions(seed=3))
+        b = learn_spn(two_cluster_data, LearnSPNOptions(seed=3))
+        assert structurally_equal(a, b)
+
+
+class TestEM:
+    def test_em_improves_log_likelihood(self, two_cluster_data, rng):
+        spn = learn_spn(two_cluster_data)
+        # Perturb the weights away from the fitted values.
+        for node in [spn] if isinstance(spn, Sum) else []:
+            node.weights = [1.0 / len(node.weights)] * len(node.weights)
+        before = mean_log_likelihood(spn, two_cluster_data)
+        em_weight_update(spn, two_cluster_data, iterations=5)
+        after = mean_log_likelihood(spn, two_cluster_data)
+        assert after >= before - 1e-9
+
+    def test_em_preserves_normalization(self, two_cluster_data):
+        spn = learn_spn(two_cluster_data)
+        em_weight_update(spn, two_cluster_data, iterations=2)
+        from repro.spn import topological_order
+
+        for node in topological_order(spn):
+            if isinstance(node, Sum):
+                assert sum(node.weights) == pytest.approx(1.0)
+
+    def test_em_recovers_mixture_proportions(self, rng):
+        data = np.concatenate(
+            [rng.normal(-4, 0.5, size=900), rng.normal(4, 0.5, size=100)]
+        ).reshape(-1, 1)
+        spn = Sum([Gaussian(0, -4, 0.5), Gaussian(0, 4, 0.5)], [0.5, 0.5])
+        em_weight_update(spn, data, iterations=10)
+        assert spn.weights[0] == pytest.approx(0.9, abs=0.03)

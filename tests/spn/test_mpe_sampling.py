@@ -1,0 +1,140 @@
+"""Tests for MPE inference and ancestral sampling."""
+
+import numpy as np
+import pytest
+
+from repro.spn import Categorical, Gaussian, Histogram, Product, Sum, log_likelihood
+from repro.spn.mpe import max_log_likelihood, mpe
+from repro.spn.sampling import conditional_sample, sample
+
+from ..conftest import make_discrete_spn, make_gaussian_spn
+
+
+class TestMaxLogLikelihood:
+    def test_fully_observed_leaf_equals_density(self):
+        g = Gaussian(0, 1.0, 2.0)
+        x = np.array([[0.5]])
+        assert max_log_likelihood(g, x)[0] == pytest.approx(
+            log_likelihood(g, x)[0]
+        )
+
+    def test_sum_takes_max_not_sum(self):
+        spn = Sum([Gaussian(0, -2.0, 1.0), Gaussian(0, 2.0, 1.0)], [0.5, 0.5])
+        x = np.array([[2.0]])
+        expected = np.log(0.5) + log_likelihood(Gaussian(0, 2.0, 1.0), x)[0]
+        assert max_log_likelihood(spn, x)[0] == pytest.approx(expected)
+        # And it is a lower bound on the (marginal) log likelihood.
+        assert max_log_likelihood(spn, x)[0] <= log_likelihood(spn, x)[0]
+
+    def test_missing_leaf_scores_its_mode(self):
+        g = Gaussian(0, 3.0, 0.5)
+        x = np.array([[np.nan]])
+        assert max_log_likelihood(g, x)[0] == pytest.approx(
+            g.log_density(np.array([3.0]))[0]
+        )
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            max_log_likelihood(make_gaussian_spn(), np.zeros(3))
+
+
+class TestMPE:
+    def test_fully_observed_rows_unchanged(self, rng):
+        spn = make_gaussian_spn()
+        x = rng.normal(size=(10, 2))
+        completed, scores = mpe(spn, x)
+        np.testing.assert_array_equal(completed, x)
+        np.testing.assert_allclose(scores, max_log_likelihood(spn, x))
+
+    def test_gaussian_completion_uses_branch_mean(self):
+        spn = make_gaussian_spn()
+        # Feature 0 strongly indicates the second mixture component
+        # (mean 2.0); the MPE completion of feature 1 must be that
+        # component's mean for feature 1 (-1.0).
+        x = np.array([[2.0, np.nan]])
+        completed, _ = mpe(spn, x)
+        assert completed[0, 1] == pytest.approx(-1.0)
+        x = np.array([[0.0, np.nan]])
+        completed, _ = mpe(spn, x)
+        assert completed[0, 1] == pytest.approx(1.0)
+
+    def test_categorical_completion_is_argmax(self):
+        spn = Product([Categorical(0, [0.1, 0.8, 0.1]), Gaussian(1, 0.0, 1.0)])
+        completed, _ = mpe(spn, np.array([[np.nan, 0.0]]))
+        assert completed[0, 0] == 1.0
+
+    def test_histogram_completion_is_mode_bucket_center(self):
+        spn = Product(
+            [Histogram(0, [0, 1, 2, 3], [0.1, 0.7, 0.2]), Gaussian(1, 0, 1)]
+        )
+        completed, _ = mpe(spn, np.array([[np.nan, 0.0]]))
+        assert completed[0, 0] == pytest.approx(1.5)
+
+    def test_completion_has_no_nans_and_consistent_score(self, rng):
+        spn = make_gaussian_spn()
+        x = rng.normal(size=(20, 2))
+        x[::2, 0] = np.nan
+        x[::3, 1] = np.nan
+        completed, scores = mpe(spn, x)
+        assert not np.isnan(completed).any()
+        # The returned score bounds the actual likelihood of the completion.
+        actual = log_likelihood(spn, completed)
+        assert np.all(actual >= scores - 1e-9)
+
+    def test_all_missing(self):
+        spn = make_gaussian_spn()
+        completed, scores = mpe(spn, np.full((1, 2), np.nan))
+        # Heaviest component is the second (w=0.7): means (2.0, -1.0).
+        np.testing.assert_allclose(completed[0], [2.0, -1.0])
+
+
+class TestSampling:
+    def test_shapes_and_no_nans(self, rng):
+        spn = make_gaussian_spn()
+        samples = sample(spn, 50, rng)
+        assert samples.shape == (50, 2)
+        assert not np.isnan(samples).any()
+
+    def test_sample_statistics_match_mixture(self, rng):
+        spn = make_gaussian_spn()
+        samples = sample(spn, 6000, rng)
+        # Mixture mean of feature 0: 0.3*0 + 0.7*2 = 1.4.
+        assert samples[:, 0].mean() == pytest.approx(1.4, abs=0.1)
+        assert samples[:, 1].mean() == pytest.approx(0.3 * 1.0 - 0.7 * 1.0, abs=0.1)
+
+    def test_discrete_samples_in_support(self, rng):
+        spn = make_discrete_spn()
+        samples = sample(spn, 300, rng)
+        assert set(np.unique(samples[:, 0])) <= {0.0, 1.0, 2.0}
+        assert np.all((samples[:, 1] >= 0.0) & (samples[:, 1] < 4.0))
+
+    def test_categorical_frequencies(self, rng):
+        spn = Categorical(0, [0.2, 0.8])
+        samples = sample(spn, 5000, rng)
+        assert (samples[:, 0] == 1.0).mean() == pytest.approx(0.8, abs=0.03)
+
+    def test_conditional_sampling_respects_evidence(self, rng):
+        spn = make_gaussian_spn()
+        evidence = np.array([[2.0, np.nan]] * 500)
+        completed = conditional_sample(spn, evidence, rng)
+        np.testing.assert_array_equal(completed[:, 0], 2.0)
+        assert not np.isnan(completed).any()
+        # Feature 0 = 2.0 makes the second component (~w 0.96 posterior)
+        # dominate; sampled feature 1 should center near its mean -1.0.
+        assert completed[:, 1].mean() == pytest.approx(-1.0, abs=0.3)
+
+    def test_conditional_with_no_evidence_matches_prior(self, rng):
+        spn = make_gaussian_spn()
+        evidence = np.full((4000, 2), np.nan)
+        completed = conditional_sample(spn, evidence, rng)
+        assert completed[:, 0].mean() == pytest.approx(1.4, abs=0.15)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            conditional_sample(make_gaussian_spn(), np.zeros(3))
+
+    def test_reproducible_with_seeded_rng(self):
+        spn = make_gaussian_spn()
+        a = sample(spn, 10, np.random.default_rng(3))
+        b = sample(spn, 10, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,173 @@
+"""Tests for SPN node classes and graph utilities."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.spn import (
+    Categorical,
+    Gaussian,
+    GraphStatistics,
+    Histogram,
+    Product,
+    Sum,
+    depth,
+    leaves,
+    num_nodes,
+    structurally_equal,
+    topological_order,
+)
+
+from ..conftest import make_gaussian_spn, make_shared_spn
+
+
+class TestLeafConstruction:
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            Gaussian(0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Gaussian(0, 0.0, -1.0)
+
+    def test_gaussian_log_density_matches_scipy(self):
+        g = Gaussian(0, 1.5, 0.7)
+        xs = np.linspace(-3, 5, 40)
+        np.testing.assert_allclose(
+            g.log_density(xs), norm.logpdf(xs, 1.5, 0.7), rtol=1e-12
+        )
+
+    def test_categorical_normalizes(self):
+        c = Categorical(0, [2.0, 1.0, 1.0])
+        assert c.probabilities == pytest.approx([0.5, 0.25, 0.25])
+
+    def test_categorical_validation(self):
+        with pytest.raises(ValueError):
+            Categorical(0, [])
+        with pytest.raises(ValueError):
+            Categorical(0, [-0.5, 1.5])
+        with pytest.raises(ValueError):
+            Categorical(0, [0.0, 0.0])
+
+    def test_categorical_log_density(self):
+        c = Categorical(0, [0.25, 0.75])
+        np.testing.assert_allclose(
+            c.log_density(np.array([0.0, 1.0])), np.log([0.25, 0.75])
+        )
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(0, [0, 1], [0.5, 0.5])  # bounds/density mismatch
+        with pytest.raises(ValueError):
+            Histogram(0, [0, 0, 1], [0.5, 0.5])  # non-increasing bounds
+        with pytest.raises(ValueError):
+            Histogram(0, [0, 1, 2], [-0.5, 1.5])
+
+    def test_histogram_in_range_lookup(self):
+        h = Histogram(0, [0, 1, 2], [0.25, 0.75])
+        np.testing.assert_allclose(
+            h.log_density(np.array([0.5, 1.5])), np.log([0.25, 0.75])
+        )
+
+    def test_histogram_out_of_range_epsilon(self):
+        h = Histogram(0, [0, 1, 2], [0.25, 0.75])
+        values = h.log_density(np.array([-1.0, 5.0]))
+        np.testing.assert_allclose(values, np.log(Histogram.EPSILON))
+
+    def test_node_ids_unique(self):
+        a, b = Gaussian(0, 0, 1), Gaussian(0, 0, 1)
+        assert a.id != b.id
+
+
+class TestInnerNodes:
+    def test_sum_weight_normalization(self):
+        s = Sum([Gaussian(0, 0, 1), Gaussian(0, 1, 1)], [2.0, 6.0])
+        assert s.weights == pytest.approx([0.25, 0.75])
+
+    def test_sum_validation(self):
+        with pytest.raises(ValueError):
+            Sum([], [])
+        with pytest.raises(ValueError):
+            Sum([Gaussian(0, 0, 1)], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            Sum([Gaussian(0, 0, 1)], [-1.0])
+        with pytest.raises(ValueError):
+            Sum([Gaussian(0, 0, 1)], [0.0])
+
+    def test_product_validation(self):
+        with pytest.raises(ValueError):
+            Product([])
+
+
+class TestScope:
+    def test_leaf_scope(self):
+        assert Gaussian(3, 0, 1).scope == frozenset({3})
+
+    def test_inner_scopes(self):
+        spn = make_gaussian_spn()
+        assert spn.scope == frozenset({0, 1})
+        assert spn.children[0].scope == frozenset({0, 1})
+
+    def test_scope_cached_on_shared_structure(self):
+        spn = make_shared_spn()
+        first = spn.scope
+        assert spn._scope is not None
+        assert spn.scope is first  # cached object returned
+
+
+class TestGraphUtilities:
+    def test_topological_order_children_first(self):
+        spn = make_gaussian_spn()
+        order = topological_order(spn)
+        position = {id(node): i for i, node in enumerate(order)}
+        for node in order:
+            for child in node.children:
+                assert position[id(child)] < position[id(node)]
+        assert order[-1] is spn
+
+    def test_topological_order_visits_shared_once(self):
+        spn = make_shared_spn()
+        order = topological_order(spn)
+        assert len(order) == len({id(n) for n in order})
+        assert num_nodes(spn) == 6  # shared leaf counted once
+
+    def test_leaves_and_counts(self):
+        spn = make_gaussian_spn()
+        assert num_nodes(spn) == 7
+        assert len(leaves(spn)) == 4
+
+    def test_depth(self):
+        spn = make_gaussian_spn()
+        assert depth(spn) == 2
+        assert depth(Gaussian(0, 0, 1)) == 0
+
+    def test_statistics(self):
+        stats = GraphStatistics(make_gaussian_spn())
+        assert stats.num_nodes == 7
+        assert stats.num_sums == 1
+        assert stats.num_products == 2
+        assert stats.num_leaves == 4
+        assert stats.num_gaussians == 4
+        assert stats.gaussian_share == pytest.approx(4 / 7)
+        assert stats.num_features == 2
+
+
+class TestStructuralEquality:
+    def test_equal_copies(self):
+        assert structurally_equal(make_gaussian_spn(), make_gaussian_spn())
+
+    def test_weight_difference_detected(self):
+        a = make_gaussian_spn()
+        b = make_gaussian_spn()
+        b.weights = [0.5, 0.5]
+        assert not structurally_equal(a, b)
+
+    def test_parameter_difference_detected(self):
+        a = make_gaussian_spn()
+        b = make_gaussian_spn()
+        b.children[0].children[0].mean = 99.0
+        assert not structurally_equal(a, b)
+
+    def test_type_difference_detected(self):
+        assert not structurally_equal(Gaussian(0, 0, 1), Categorical(0, [0.5, 0.5]))
+
+    def test_sharing_respected(self):
+        assert structurally_equal(make_shared_spn(), make_shared_spn())

@@ -1,0 +1,199 @@
+"""Tests for RAT-SPN construction and the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ImageDatasetConfig,
+    SpeakerDatasetConfig,
+    generate_image_dataset,
+    generate_speaker_dataset,
+    train_speaker_spns,
+)
+from repro.spn import (
+    GraphStatistics,
+    RatSpnConfig,
+    Sum,
+    assert_valid,
+    build_rat_spn,
+    classify,
+    log_likelihood,
+    num_nodes,
+    topological_order,
+    train_rat_spn,
+)
+
+
+SMALL_RAT = RatSpnConfig(
+    num_features=16,
+    num_classes=3,
+    depth=2,
+    num_repetitions=2,
+    num_sums=3,
+    num_input_distributions=2,
+    seed=1,
+)
+
+
+class TestRatConstruction:
+    def test_one_root_per_class(self):
+        roots = build_rat_spn(SMALL_RAT)
+        assert len(roots) == 3
+        assert all(isinstance(r, Sum) for r in roots)
+
+    def test_roots_are_valid_spns(self):
+        for root in build_rat_spn(SMALL_RAT):
+            assert_valid(root)
+            assert root.scope == frozenset(range(16))
+
+    def test_classes_share_structure(self):
+        roots = build_rat_spn(SMALL_RAT)
+        assert roots[0].children == roots[1].children  # same child objects
+        assert roots[0].weights != roots[1].weights
+
+    def test_deterministic_by_seed(self):
+        from repro.spn import structurally_equal
+
+        a = build_rat_spn(SMALL_RAT)
+        b = build_rat_spn(SMALL_RAT)
+        assert structurally_equal(a[0], b[0])
+
+    def test_size_scales_with_repetitions(self):
+        small = build_rat_spn(SMALL_RAT)
+        import dataclasses
+
+        bigger_cfg = dataclasses.replace(SMALL_RAT, num_repetitions=4)
+        bigger = build_rat_spn(bigger_cfg)
+        assert num_nodes(bigger[0]) > num_nodes(small[0])
+
+    def test_depth_zero_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            build_rat_spn(dataclasses.replace(SMALL_RAT, depth=0))
+
+    def test_gaussian_leaves_only(self):
+        from repro.spn import Gaussian, leaves
+
+        roots = build_rat_spn(SMALL_RAT)
+        assert all(isinstance(l, Gaussian) for l in leaves(roots[0]))
+
+
+class TestRatTraining:
+    def test_training_improves_class_separation(self, rng):
+        import dataclasses
+
+        cfg = dataclasses.replace(
+            SMALL_RAT, num_repetitions=4, num_sums=4, num_input_distributions=4
+        )
+        roots = build_rat_spn(cfg)
+        centers = rng.normal(0, 2.0, size=(3, 16))
+        labels = np.repeat(np.arange(3), 60)
+        data = centers[labels] + rng.normal(0, 0.4, size=(180, 16))
+        untrained = (classify(roots, data) == labels).mean()
+        train_rat_spn(roots, data, labels, em_iterations=3)
+        accuracy = (classify(roots, data) == labels).mean()
+        assert accuracy > 0.8
+        assert accuracy >= untrained
+
+    def test_training_keeps_validity(self, rng):
+        roots = build_rat_spn(SMALL_RAT)
+        data = rng.normal(size=(90, 16))
+        labels = np.repeat(np.arange(3), 30)
+        train_rat_spn(roots, data, labels)
+        for root in roots:
+            assert_valid(root)
+            total = sum(root.weights)
+            assert total == pytest.approx(1.0)
+
+
+class TestSpeakerData:
+    def test_shapes_and_dtypes(self):
+        cfg = SpeakerDatasetConfig(
+            num_speakers=2,
+            train_samples_per_speaker=50,
+            clean_samples=40,
+            noisy_samples=30,
+        )
+        ds = generate_speaker_dataset(cfg)
+        assert len(ds.train) == 2
+        assert ds.train[0].shape == (50, 26)
+        assert ds.clean.shape == (40, 26)
+        assert ds.clean.dtype == np.float32
+        assert ds.noisy.shape == (30, 26)
+        assert ds.clean_labels.shape == (40,)
+
+    def test_noisy_split_has_missing_features(self):
+        cfg = SpeakerDatasetConfig(
+            num_speakers=2, train_samples_per_speaker=50,
+            clean_samples=10, noisy_samples=200,
+        )
+        ds = generate_speaker_dataset(cfg)
+        frac = np.isnan(ds.noisy).mean()
+        assert frac == pytest.approx(cfg.noise_missing_fraction, abs=0.05)
+        assert not np.isnan(ds.clean).any()
+
+    def test_reproducible(self):
+        cfg = SpeakerDatasetConfig(num_speakers=2, clean_samples=20, noisy_samples=20)
+        a = generate_speaker_dataset(cfg)
+        b = generate_speaker_dataset(cfg)
+        np.testing.assert_array_equal(a.clean, b.clean)
+
+    def test_trained_spns_classify_clean_speech(self):
+        cfg = SpeakerDatasetConfig(
+            num_speakers=3,
+            train_samples_per_speaker=200,
+            clean_samples=150,
+            noisy_samples=10,
+        )
+        ds = generate_speaker_dataset(cfg)
+        spns = train_speaker_spns(ds)
+        for spn in spns:
+            assert_valid(spn)
+            assert GraphStatistics(spn).num_features == 26
+        accuracy = (
+            classify(spns, ds.clean.astype(np.float64)) == ds.clean_labels
+        ).mean()
+        assert accuracy > 0.9
+
+    def test_marginalized_classification_still_works(self):
+        cfg = SpeakerDatasetConfig(
+            num_speakers=2,
+            train_samples_per_speaker=200,
+            clean_samples=10,
+            noisy_samples=150,
+            noise_missing_fraction=0.2,
+        )
+        ds = generate_speaker_dataset(cfg)
+        spns = train_speaker_spns(ds)
+        scores = np.stack(
+            [log_likelihood(s, ds.noisy.astype(np.float64)) for s in spns], axis=1
+        )
+        accuracy = (np.argmax(scores, axis=1) == ds.noisy_labels).mean()
+        assert accuracy > 0.8
+
+
+class TestImageData:
+    def test_shapes(self):
+        cfg = ImageDatasetConfig(num_classes=4, side=6, train_per_class=10, test_samples=20)
+        ds = generate_image_dataset(cfg)
+        assert ds.train.shape == (40, 36)
+        assert ds.test.shape == (20, 36)
+        assert set(np.unique(ds.train_labels)) == {0, 1, 2, 3}
+
+    def test_classes_are_separable(self):
+        cfg = ImageDatasetConfig(num_classes=3, side=8, train_per_class=30, test_samples=60)
+        ds = generate_image_dataset(cfg)
+        # Nearest-prototype classification on the training means.
+        means = np.stack(
+            [ds.train[ds.train_labels == c].mean(axis=0) for c in range(3)]
+        )
+        dists = ((ds.test[:, None, :] - means[None]) ** 2).sum(axis=2)
+        accuracy = (np.argmin(dists, axis=1) == ds.test_labels).mean()
+        assert accuracy > 0.9
+
+    def test_reproducible(self):
+        cfg = ImageDatasetConfig(test_samples=10)
+        np.testing.assert_array_equal(
+            generate_image_dataset(cfg).test, generate_image_dataset(cfg).test
+        )

@@ -1,0 +1,117 @@
+"""Tests for the binary SPN serialization format."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.spn import (
+    Categorical,
+    Gaussian,
+    Histogram,
+    JointProbability,
+    Product,
+    SerializationError,
+    Sum,
+    deserialize,
+    deserialize_from_file,
+    log_likelihood,
+    serialize,
+    serialize_to_file,
+    structurally_equal,
+)
+
+from ..conftest import make_discrete_spn, make_gaussian_spn, make_shared_spn
+from .strategies import random_spns
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [make_gaussian_spn, make_discrete_spn, make_shared_spn]
+    )
+    def test_structural_round_trip(self, factory):
+        spn = factory()
+        restored, _ = deserialize(serialize(spn, JointProbability()))
+        assert structurally_equal(spn, restored)
+
+    def test_query_round_trip(self):
+        query = JointProbability(batch_size=512, input_dtype="f64", support_marginal=True)
+        _, restored = deserialize(serialize(make_gaussian_spn(), query))
+        assert restored.batch_size == 512
+        assert restored.input_dtype == "f64"
+        assert restored.support_marginal
+
+    def test_single_leaf_spn(self):
+        spn = Gaussian(0, 1.0, 2.0)
+        restored, _ = deserialize(serialize(spn, JointProbability()))
+        assert structurally_equal(spn, restored)
+
+    def test_dag_sharing_preserved(self):
+        spn = make_shared_spn()
+        restored, _ = deserialize(serialize(spn, JointProbability()))
+        # The shared leaf must be the *same object* in both branches.
+        left = restored.children[0].children[0]
+        right = restored.children[1].children[0]
+        assert left is right
+
+    def test_semantics_preserved(self, rng):
+        spn = make_gaussian_spn()
+        restored, _ = deserialize(serialize(spn, JointProbability()))
+        x = rng.normal(size=(20, 2))
+        np.testing.assert_allclose(
+            log_likelihood(spn, x), log_likelihood(restored, x)
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "model.spnb")
+        spn = make_discrete_spn()
+        serialize_to_file(spn, JointProbability(batch_size=7), path)
+        restored, query = deserialize_from_file(path)
+        assert structurally_equal(spn, restored)
+        assert query.batch_size == 7
+
+    def test_stream_variant(self):
+        buffer = io.BytesIO()
+        serialize(make_gaussian_spn(), JointProbability(), buffer)
+        buffer.seek(0)
+        restored, _ = deserialize(buffer)
+        assert structurally_equal(make_gaussian_spn(), restored)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_spns())
+    def test_property_round_trip(self, spn_and_features):
+        spn, _ = spn_and_features
+        restored, _ = deserialize(serialize(spn, JointProbability()))
+        assert structurally_equal(spn, restored)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        payload = serialize(make_gaussian_spn(), JointProbability())
+        with pytest.raises(SerializationError):
+            deserialize(b"XXXX" + payload[4:])
+
+    def test_bad_version(self):
+        payload = bytearray(serialize(make_gaussian_spn(), JointProbability()))
+        payload[4] = 99
+        with pytest.raises(SerializationError):
+            deserialize(bytes(payload))
+
+    def test_truncated_payload(self):
+        payload = serialize(make_gaussian_spn(), JointProbability())
+        with pytest.raises(SerializationError):
+            deserialize(payload[: len(payload) // 2])
+
+    def test_unknown_tag(self):
+        payload = bytearray(serialize(Gaussian(0, 0.0, 1.0), JointProbability()))
+        # The first node tag byte sits right after header+query+count.
+        tag_offset = 8 + 19 + 4
+        assert payload[tag_offset] == 1  # gaussian
+        payload[tag_offset] = 77
+        with pytest.raises(SerializationError):
+            deserialize(bytes(payload))
+
+    def test_empty_payload(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"")

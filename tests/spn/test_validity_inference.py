@@ -1,0 +1,166 @@
+"""Tests for validity checking and the reference inference oracle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from scipy.stats import norm
+
+from repro.spn import (
+    Categorical,
+    Gaussian,
+    InvalidSPNError,
+    Product,
+    Sum,
+    assert_valid,
+    check_completeness,
+    check_decomposability,
+    classify,
+    is_valid,
+    likelihood,
+    log_likelihood,
+)
+
+from ..conftest import make_discrete_spn, make_gaussian_spn, make_shared_spn
+from .strategies import random_spns
+
+
+class TestValidity:
+    def test_valid_spn(self):
+        assert is_valid(make_gaussian_spn())
+        assert_valid(make_discrete_spn())
+        assert_valid(make_shared_spn())
+
+    def test_incomplete_sum_detected(self):
+        bad = Sum([Gaussian(0, 0, 1), Gaussian(1, 0, 1)], [0.5, 0.5])
+        errors = check_completeness(bad)
+        assert len(errors) == 1
+        assert "scopes differ" in errors[0]
+        with pytest.raises(InvalidSPNError):
+            assert_valid(bad)
+
+    def test_nondecomposable_product_detected(self):
+        bad = Product([Gaussian(0, 0, 1), Gaussian(0, 1, 1)])
+        errors = check_decomposability(bad)
+        assert len(errors) == 1
+        assert "overlap" in errors[0]
+        assert not is_valid(bad)
+
+    def test_nested_violation_found(self):
+        inner = Product([Gaussian(0, 0, 1), Gaussian(0, 1, 1)])
+        outer = Sum([inner, Product([Gaussian(0, 2, 1), Gaussian(0, 3, 1)])], [0.5, 0.5])
+        assert not is_valid(outer)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_spns())
+    def test_property_generated_spns_are_valid(self, spn_and_features):
+        spn, _ = spn_and_features
+        assert_valid(spn)
+
+
+class TestJointInference:
+    def test_hand_computed_mixture(self):
+        spn = make_gaussian_spn()
+        x = np.array([[0.5, 1.0]])
+        expected = np.logaddexp(
+            math.log(0.3) + norm.logpdf(0.5, 0, 1) + norm.logpdf(1.0, 1, 2),
+            math.log(0.7) + norm.logpdf(0.5, 2, 1) + norm.logpdf(1.0, -1, 1),
+        )
+        assert log_likelihood(spn, x)[0] == pytest.approx(expected)
+
+    def test_single_leaf(self):
+        g = Gaussian(0, 0.0, 1.0)
+        x = np.array([[1.3]])
+        assert log_likelihood(g, x)[0] == pytest.approx(norm.logpdf(1.3))
+
+    def test_likelihood_is_exp(self):
+        spn = make_gaussian_spn()
+        x = np.random.default_rng(0).normal(size=(10, 2))
+        np.testing.assert_allclose(
+            likelihood(spn, x), np.exp(log_likelihood(spn, x))
+        )
+
+    def test_input_shape_validated(self):
+        with pytest.raises(ValueError):
+            log_likelihood(make_gaussian_spn(), np.zeros(3))
+
+    def test_shared_subgraph_evaluated_consistently(self):
+        spn = make_shared_spn()
+        x = np.array([[0.1, -0.3], [1.0, 2.0]])
+        shared = spn.children[0].children[0]
+        expected0 = np.logaddexp(
+            math.log(0.4)
+            + shared.log_density(x[:, 0])
+            + norm.logpdf(x[:, 1], 1.0, 1.0),
+            math.log(0.6)
+            + shared.log_density(x[:, 0])
+            + norm.logpdf(x[:, 1], -2.0, 0.5),
+        )
+        np.testing.assert_allclose(log_likelihood(spn, x), expected0)
+
+    def test_discrete_joint_probabilities_sum_to_one(self):
+        """Total probability over the full discrete domain is 1."""
+        spn = Sum(
+            [
+                Product([Categorical(0, [0.2, 0.8]), Categorical(1, [0.5, 0.5])]),
+                Product([Categorical(0, [0.9, 0.1]), Categorical(1, [0.3, 0.7])]),
+            ],
+            [0.4, 0.6],
+        )
+        grid = np.array([[a, b] for a in (0, 1) for b in (0, 1)], dtype=float)
+        assert likelihood(spn, grid).sum() == pytest.approx(1.0)
+
+    def test_gaussian_likelihood_integrates_to_one(self):
+        g = Gaussian(0, 0.3, 0.9)
+        xs = np.linspace(-10, 10, 4001).reshape(-1, 1)
+        integral = np.trapezoid(likelihood(g, xs), xs[:, 0])
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_spns())
+    def test_property_log_likelihood_finite_in_support(self, spn_and_features):
+        spn, num_features = spn_and_features
+        rng = np.random.default_rng(0)
+        # Values inside every leaf kind's comfortable support.
+        x = rng.uniform(0.0, 1.9, size=(16, num_features))
+        ll = log_likelihood(spn, x)
+        assert np.all(np.isfinite(ll))
+
+
+class TestMarginalInference:
+    def test_all_marginalized_gives_probability_one(self):
+        spn = make_gaussian_spn()
+        x = np.full((3, 2), np.nan)
+        np.testing.assert_allclose(log_likelihood(spn, x), 0.0, atol=1e-12)
+
+    def test_partial_marginalization(self):
+        spn = make_gaussian_spn()
+        x = np.array([[0.5, np.nan]])
+        expected = np.logaddexp(
+            math.log(0.3) + norm.logpdf(0.5, 0, 1),
+            math.log(0.7) + norm.logpdf(0.5, 2, 1),
+        )
+        assert log_likelihood(spn, x)[0] == pytest.approx(expected)
+
+    def test_explicit_marginal_flag(self):
+        spn = make_gaussian_spn()
+        x = np.array([[0.5, 1.0]])
+        # With marginal=True but no NaNs, results match the joint query.
+        np.testing.assert_allclose(
+            log_likelihood(spn, x, marginal=True), log_likelihood(spn, x)
+        )
+
+    def test_marginal_autodetected(self):
+        spn = make_gaussian_spn()
+        x = np.array([[np.nan, 1.0]])
+        result = log_likelihood(spn, x)  # no flag
+        assert np.isfinite(result[0])
+
+
+class TestClassify:
+    def test_argmax_of_class_likelihoods(self):
+        class0 = Product([Gaussian(0, -2.0, 0.5), Gaussian(1, -2.0, 0.5)])
+        class1 = Product([Gaussian(0, 2.0, 0.5), Gaussian(1, 2.0, 0.5)])
+        x = np.array([[-2.0, -2.1], [2.2, 1.9]])
+        np.testing.assert_array_equal(classify([class0, class1], x), [0, 1])

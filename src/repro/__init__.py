@@ -15,8 +15,20 @@ Public entry points:
 """
 
 from . import dialects  # registers all dialects for parsing/passes
-from .api import CPUCompiler, GPUCompiler
+from .api import CPUCompiler, FallbackWarning, GPUCompiler
 from .compiler.pipeline import CompilationResult, CompilerOptions, compile_spn
+from .diagnostics import (
+    CompilerError,
+    DeviceError,
+    Diagnostic,
+    DiagnosticLog,
+    ErrorCode,
+    ExecutionError,
+    OptionsError,
+    PassError,
+    Severity,
+    StageError,
+)
 from .spn.nodes import Categorical, Gaussian, Histogram, Node, Product, Sum
 from .spn.query import JointProbability
 
@@ -25,6 +37,17 @@ __version__ = "1.0.0"
 __all__ = [
     "CPUCompiler",
     "GPUCompiler",
+    "FallbackWarning",
+    "CompilerError",
+    "DeviceError",
+    "Diagnostic",
+    "DiagnosticLog",
+    "ErrorCode",
+    "ExecutionError",
+    "OptionsError",
+    "PassError",
+    "Severity",
+    "StageError",
     "CompilationResult",
     "CompilerOptions",
     "compile_spn",

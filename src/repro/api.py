@@ -10,22 +10,74 @@ Example::
     log_probs = CPUCompiler(vectorize=True).log_likelihood(spn, inputs)
 
 Compilers cache the compiled kernel per SPN graph, so repeated
-``log_likelihood`` calls on the same model only compile once. The full
-exchange path (binary serialization → compiler frontend) is exercised
-when ``via_serialization=True``, matching the real SPFlow↔SPNC hand-off.
+``log_likelihood`` calls on the same model only compile once. Cache
+entries are keyed by the SPN object identity *plus* a query/option
+fingerprint, and are evicted via weak references when the model is
+garbage collected — a recycled ``id()`` can never produce a stale hit.
+The full exchange path (binary serialization → compiler frontend) is
+exercised when ``via_serialization=True``, matching the real
+SPFlow↔SPNC hand-off.
+
+Graceful degradation (``fallback=`` policy): like SPFlow itself, which
+always has a correct (slow) interpreter to fall back to, the compilers
+can transparently degrade instead of surfacing a compiler or runtime
+defect to the caller:
+
+- ``"raise"`` (default): failures propagate as structured
+  :class:`~repro.diagnostics.CompilerError`\\ s naming the failing
+  pass/stage, with a reproducer dumped to the artifact directory.
+- ``"interpret"``: on any compile-stage, codegen or execution failure,
+  fall back down the cascade — GPU kernel → CPU kernel → reference
+  interpreter (:mod:`repro.spn.inference`) — recording diagnostics and
+  emitting a single :class:`FallbackWarning` per degraded model.
+- ``"warn"``: same cascade, but warns on *every* degraded call instead
+  of deduplicating per model.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import warnings
+import weakref
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .compiler.frontend import parse_binary_query
 from .compiler.pipeline import CompilationResult, CompilerOptions, compile_spn
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticLog,
+    ErrorCode,
+    OptionsError,
+    Severity,
+    diagnostic_from_exception,
+)
+from .spn import inference
 from .spn.nodes import Node
 from .spn.query import JointProbability
 from .spn.serialization import deserialize, serialize
+
+
+class FallbackWarning(UserWarning):
+    """Emitted when a compiled path degrades to a slower rung."""
+
+
+def _register_eviction(cache: Dict, spns: Tuple, key) -> None:
+    """Evict ``key`` from ``cache`` when any of its SPNs is collected.
+
+    This is what makes identity-based cache keys safe: after the model
+    dies, its entry disappears before CPython can recycle the ``id()``
+    for an unrelated object.
+    """
+
+    def evict(_cache=cache, _key=key):
+        _cache.pop(_key, None)
+
+    for spn in spns:
+        try:
+            weakref.finalize(spn, evict)
+        except TypeError:  # pragma: no cover - non-weakrefable model object
+            pass
 
 
 class _CompilerBase:
@@ -41,25 +93,71 @@ class _CompilerBase:
         max_partition_size: Optional[int] = None,
         use_log_space: bool = True,
         via_serialization: bool = False,
+        fallback: str = "raise",
+        artifact_dir: Optional[str] = None,
         **target_options,
     ):
+        if fallback not in ("raise", "interpret", "warn"):
+            raise OptionsError(
+                f"unknown fallback policy '{fallback}' "
+                "(expected 'raise', 'interpret' or 'warn')"
+            )
         self.batch_size = batch_size
         self.support_marginal = support_marginal
         self.opt_level = opt_level
         self.max_partition_size = max_partition_size
         self.use_log_space = use_log_space
         self.via_serialization = via_serialization
+        self.fallback = fallback
+        self.artifact_dir = artifact_dir
         self.target_options = target_options
-        self._cache: Dict[int, CompilationResult] = {}
+        #: Structured record of every failure/degradation this compiler
+        #: instance observed (see :class:`repro.diagnostics.Diagnostic`).
+        self.diagnostics = DiagnosticLog()
+        self._cache: Dict[tuple, CompilationResult] = {}
+        self._warned_keys = set()
 
-    def _options(self) -> CompilerOptions:
+    # -- configuration -----------------------------------------------------------
+
+    def _options(self, target: Optional[str] = None) -> CompilerOptions:
         return CompilerOptions(
-            target=self.target,
+            target=target or self.target,
             opt_level=self.opt_level,
             max_partition_size=self.max_partition_size,
             use_log_space=self.use_log_space,
+            fallback=self.fallback,
+            artifact_dir=self.artifact_dir,
             **self.target_options,
         )
+
+    def _default_query(self) -> JointProbability:
+        return JointProbability(
+            batch_size=self.batch_size, support_marginal=self.support_marginal
+        )
+
+    # -- caching -----------------------------------------------------------------
+
+    @staticmethod
+    def _as_tuple(spn) -> Tuple[Node, ...]:
+        return tuple(spn) if isinstance(spn, (list, tuple)) else (spn,)
+
+    def _fingerprint(self, query: JointProbability, target: str) -> tuple:
+        return (
+            target,
+            self.opt_level,
+            self.max_partition_size,
+            self.use_log_space,
+            self.via_serialization,
+            tuple(sorted(self.target_options.items())),
+            query.batch_size,
+            query.input_dtype,
+            query.support_marginal,
+            query.relative_error,
+        )
+
+    def _cache_key(self, spn, query: JointProbability, target: str) -> tuple:
+        ids = tuple(id(s) for s in self._as_tuple(spn))
+        return (ids, self._fingerprint(query, target))
 
     def compile(self, spn, query: Optional[JointProbability] = None) -> CompilationResult:
         """Compile (or fetch the cached kernel for) an SPN.
@@ -68,22 +166,27 @@ class _CompilerBase:
         single multi-head kernel sharing common sub-DAGs, whose
         executable returns a ``[num_heads, batch]`` matrix.
         """
-        key = (
-            tuple(id(s) for s in spn) if isinstance(spn, (list, tuple)) else id(spn)
-        )
+        return self._compile_cached(spn, query, self.target)
+
+    def _compile_cached(
+        self, spn, query: Optional[JointProbability], target: str
+    ) -> CompilationResult:
+        query = query or self._default_query()
+        key = self._cache_key(spn, query, target)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        query = query or JointProbability(
-            batch_size=self.batch_size, support_marginal=self.support_marginal
-        )
+        compile_input = spn
         if self.via_serialization and not isinstance(spn, (list, tuple)):
             # Round-trip through the binary exchange format, as the real
             # SPFlow -> SPNC hand-off does.
-            spn, query = deserialize(serialize(spn, query))
-        result = compile_spn(spn, query, self._options())
+            compile_input, query = deserialize(serialize(spn, query))
+        result = compile_spn(compile_input, query, self._options(target))
         self._cache[key] = result
+        _register_eviction(self._cache, self._as_tuple(spn), key)
         return result
+
+    # -- execution with graceful degradation --------------------------------------
 
     def log_likelihood(self, spn, inputs: np.ndarray) -> np.ndarray:
         """Compile (cached) and execute a joint/marginal query.
@@ -91,14 +194,114 @@ class _CompilerBase:
         Returns log likelihoods when compiling in log space (default),
         linear probabilities otherwise. For a list of SPNs, the result
         is a ``[num_heads, batch]`` matrix from one multi-head kernel.
+
+        With ``fallback="interpret"`` / ``"warn"``, any failure in the
+        compile/execute path degrades down the cascade (GPU kernel →
+        CPU kernel → reference interpreter) instead of raising.
         """
-        result = self.compile(spn)
-        return result.executable(np.asarray(inputs))
+        inputs = np.asarray(inputs)
+        if self.fallback == "raise":
+            return self._compile_cached(spn, None, self.target).executable(inputs)
+        return self._degradable_log_likelihood(spn, inputs)
 
     def classify(self, spns, inputs: np.ndarray) -> np.ndarray:
         """Arg-max classification over per-class SPNs (one shared kernel)."""
         scores = self.log_likelihood(list(spns), inputs)
         return np.argmax(scores, axis=0)
+
+    def _degradable_log_likelihood(self, spn, inputs: np.ndarray) -> np.ndarray:
+        cascade = ["gpu", "cpu"] if self.target == "gpu" else ["cpu"]
+        failures: List[Diagnostic] = []
+        for rung, target in enumerate(cascade):
+            try:
+                result = self._compile_cached(spn, None, target)
+                output = result.executable(inputs)
+                self._check_output(output, inputs, target)
+            except Exception as error:
+                failures.append(self._record_failure(error, target))
+                continue
+            if rung > 0:
+                self._announce_fallback(spn, failures, landed=f"{target} kernel")
+            return output
+        output = self._interpret(spn, inputs)
+        self._announce_fallback(spn, failures, landed="reference interpreter")
+        return output
+
+    def _check_output(
+        self, output: np.ndarray, inputs: np.ndarray, target: str
+    ) -> None:
+        """Reject NaN kernel results (a codegen/runtime defect signal).
+
+        -inf is a legitimate log probability of zero; NaN never is —
+        even for marginal queries, NaN *inputs* must not leak through to
+        the result. Only consulted on the degradable path, preserving
+        strict ``fallback="raise"`` semantics.
+        """
+        if np.isnan(output).any():
+            from .diagnostics import ExecutionError
+
+            raise ExecutionError(
+                f"compiled {target} kernel produced NaN results",
+                diagnostic=Diagnostic(
+                    severity=Severity.ERROR,
+                    code=ErrorCode.KERNEL_NAN,
+                    message=f"compiled {target} kernel produced NaN results",
+                    stage="execute",
+                    target=target,
+                ),
+            )
+
+    def _record_failure(self, error: BaseException, target: str) -> Diagnostic:
+        diagnostic = diagnostic_from_exception(
+            error, code=ErrorCode.EXECUTION_FAILED, target=target
+        )
+        self.diagnostics.emit(diagnostic)
+        return diagnostic
+
+    def _interpret(self, spn, inputs: np.ndarray) -> np.ndarray:
+        data = np.asarray(inputs, dtype=np.float64)
+        if isinstance(spn, (list, tuple)):
+            output = np.stack(
+                [inference.log_likelihood(s, data) for s in spn], axis=0
+            )
+        else:
+            output = inference.log_likelihood(spn, data)
+        return output if self.use_log_space else np.exp(output)
+
+    def _announce_fallback(
+        self, spn, failures: List[Diagnostic], landed: str
+    ) -> None:
+        first = failures[0] if failures else None
+        where = ""
+        if first is not None:
+            stage = first.stage or first.pass_name
+            if stage:
+                where = f" (failed at '{stage}')"
+        message = (
+            f"{type(self).__name__}: compiled execution degraded to the "
+            f"{landed}{where}; results remain correct but slower. "
+            f"See .diagnostics for details."
+        )
+        self.diagnostics.emit(
+            Diagnostic(
+                severity=Severity.WARNING,
+                code=(
+                    ErrorCode.FALLBACK_INTERPRETER
+                    if "interpreter" in landed
+                    else ErrorCode.FALLBACK_CPU
+                ),
+                message=message,
+                stage=first.stage if first else None,
+                pass_name=first.pass_name if first else None,
+                target=self.target,
+                detail={"landed": landed, "failures": len(failures)},
+            )
+        )
+        ids = tuple(id(s) for s in self._as_tuple(spn))
+        if self.fallback == "interpret" and ids in self._warned_keys:
+            return
+        self._warned_keys.add(ids)
+        warnings.warn(message, FallbackWarning, stacklevel=3)
 
 
 class CPUCompiler(_CompilerBase):
@@ -121,9 +324,18 @@ class GPUCompiler(_CompilerBase):
 
     target = "gpu"
 
-    def simulated_seconds(self, spn: Node) -> float:
-        """Simulated device time of the most recent execution for ``spn``."""
-        result = self._cache.get(id(spn))
+    def simulated_seconds(self, spn) -> float:
+        """Simulated device time of the most recent execution for ``spn``.
+
+        Accepts a single SPN or the same list of SPNs that was compiled
+        into a multi-head kernel.
+        """
+        ids = tuple(id(s) for s in self._as_tuple(spn))
+        result = None
+        for (key_ids, _fingerprint), cached in self._cache.items():
+            if key_ids == ids and hasattr(cached.executable, "simulated_seconds"):
+                result = cached
+                break
         if result is None:
             raise RuntimeError("compile and execute the SPN first")
         return result.executable.simulated_seconds()

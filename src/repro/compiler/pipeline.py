@@ -32,9 +32,20 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..diagnostics import (
+    CompilerError,
+    Diagnostic,
+    ErrorCode,
+    OptionsError,
+    Severity,
+    StageError,
+    dump_reproducer,
+)
 from ..dialects import lospn
 from ..ir import ModuleOp, print_op, verify
 from ..ir.transforms import run_cse, run_dce
+from ..ir.verifier import VerificationError
+from ..testing import faults
 from ..ir.transforms.canonicalize import canonicalize
 from ..ir.transforms.licm import hoist_loop_invariants
 from ..spn.nodes import Node
@@ -70,14 +81,29 @@ class CompilerOptions:
     # Diagnostics.
     collect_ir: bool = False
     verify_each_stage: bool = False
+    #: Degradation policy when a compile stage, codegen or execution
+    #: fails: "raise" propagates a structured CompilerError (the default,
+    #: preserving strict semantics), "interpret" transparently falls back
+    #: to the reference evaluator (warning once per model), "warn" does
+    #: the same but warns on every degraded call.
+    fallback: str = "raise"
+    #: Directory for reproducer dumps on failure; ``None`` resolves via
+    #: ``$SPNC_ARTIFACT_DIR`` / the system temp dir (see
+    #: :func:`repro.diagnostics.artifact_directory`).
+    artifact_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.target not in ("cpu", "gpu"):
-            raise ValueError(f"unknown target '{self.target}'")
+            raise OptionsError(f"unknown target '{self.target}'")
         if not 0 <= self.opt_level <= 3:
-            raise ValueError("opt_level must be in 0..3")
+            raise OptionsError("opt_level must be in 0..3")
         if self.vector_isa not in ISAS:
-            raise ValueError(f"unknown vector ISA '{self.vector_isa}'")
+            raise OptionsError(f"unknown vector ISA '{self.vector_isa}'")
+        if self.fallback not in ("raise", "interpret", "warn"):
+            raise OptionsError(
+                f"unknown fallback policy '{self.fallback}' "
+                "(expected 'raise', 'interpret' or 'warn')"
+            )
 
 
 @dataclass
@@ -98,23 +124,98 @@ class CompilationResult:
 
 
 class _StageTimer:
-    def __init__(self, collect_ir: bool, verify_each: bool):
+    """Stage driver: timing, optional verification, structured failures.
+
+    Any exception escaping a stage callable (or per-stage verification)
+    is wrapped into a :class:`~repro.diagnostics.StageError` naming the
+    stage, and a reproducer — the most recent printable IR plus the
+    active options — is dumped to the artifact directory.
+    """
+
+    def __init__(self, options: "CompilerOptions"):
         self.stage_seconds: "OrderedDict[str, float]" = OrderedDict()
         self.ir_dumps: Dict[str, str] = {}
-        self.collect_ir = collect_ir
-        self.verify_each = verify_each
+        self.collect_ir = options.collect_ir
+        self.verify_each = options.verify_each_stage
+        self.options = options
+        #: Most recent module seen by any stage; the reproducer dump uses
+        #: it when the failing stage has no module of its own (codegen).
+        self.last_module: Optional[ModuleOp] = None
 
     def run(self, name: str, fn, module: Optional[ModuleOp] = None):
+        if module is not None:
+            self.last_module = module
         start = time.perf_counter()
-        result = fn()
+        try:
+            faults.maybe_fail_stage(name)
+            result = fn()
+        except CompilerError as error:
+            # Already structured (e.g. a PassError from a nested pass
+            # manager); annotate the stage if it is missing.
+            if error.diagnostic.stage is None:
+                error.diagnostic.stage = name
+            raise
+        except Exception as error:
+            raise self._stage_error(name, error, module) from error
         elapsed = time.perf_counter() - start
         self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
         dump_target = result if isinstance(result, ModuleOp) else module
+        if isinstance(dump_target, ModuleOp):
+            self.last_module = dump_target
         if self.verify_each and isinstance(dump_target, ModuleOp):
-            verify(dump_target)
+            try:
+                verify(dump_target)
+            except VerificationError as error:
+                raise self._stage_error(
+                    name, error, dump_target, after_verify=True
+                ) from error
         if self.collect_ir and isinstance(dump_target, ModuleOp):
             self.ir_dumps[name] = print_op(dump_target)
         return result
+
+    def _stage_error(
+        self,
+        name: str,
+        error: BaseException,
+        module: Optional[ModuleOp],
+        after_verify: bool = False,
+    ) -> StageError:
+        if after_verify:
+            code = ErrorCode.VERIFY_FAILED
+            message = f"IR verification failed after stage '{name}': {error}"
+        elif isinstance(error, faults.FaultInjectionError):
+            code = ErrorCode.FAULT_INJECTED
+            message = f"stage '{name}' failed: {error}"
+        else:
+            code = (
+                ErrorCode.CODEGEN_FAILED
+                if "codegen" in name
+                else ErrorCode.STAGE_FAILED
+            )
+            message = f"stage '{name}' failed: {type(error).__name__}: {error}"
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code=code,
+            message=message,
+            stage=name,
+            op_path=getattr(error, "op_path", None),
+            target=self.options.target,
+            detail={"exception_type": type(error).__name__},
+        )
+        dump_module = module if module is not None else self.last_module
+        module_text = None
+        if dump_module is not None:
+            try:
+                module_text = print_op(dump_module)
+            except Exception:  # a broken module must not mask the error
+                module_text = None
+        reproducer = dump_reproducer(
+            diagnostic,
+            module_text=module_text,
+            options=self.options,
+            artifact_dir=self.options.artifact_dir,
+        )
+        return StageError(message, diagnostic=diagnostic, reproducer_path=reproducer)
 
 
 def compile_spn(
@@ -125,7 +226,7 @@ def compile_spn(
     """Compile an SPN joint-probability query to an executable kernel."""
     query = query or JointProbability()
     options = options or CompilerOptions()
-    timer = _StageTimer(options.collect_ir, options.verify_each_stage)
+    timer = _StageTimer(options)
 
     # Target-independent pipeline (Section IV-A).
     module = timer.run("frontend", lambda: build_hispn_module(root, query))

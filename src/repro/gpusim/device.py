@@ -147,6 +147,9 @@ class LaunchRecord:
     block_size: int
     measured_compute: float
     simulated_seconds: float
+    #: Number of OOM-triggered relaunches (each halving the block size)
+    #: it took before this launch succeeded.
+    retries: int = 0
 
 
 @dataclass
@@ -176,3 +179,8 @@ class ExecutionProfile:
     @property
     def bytes_moved(self) -> int:
         return sum(t.num_bytes for t in self.transfers)
+
+    @property
+    def num_oom_retries(self) -> int:
+        """Total OOM-triggered relaunches across all kernel launches."""
+        return sum(l.retries for l in self.launches)

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..testing import faults
 from .device import (
     DeviceBuffer,
     DeviceSpec,
@@ -32,7 +33,18 @@ from .device import (
 
 
 class GPUSimulator:
-    """Simulated CUDA device + driver for one compiled module."""
+    """Simulated CUDA device + driver for one compiled module.
+
+    Launch robustness: a launch attempt that raises
+    :class:`OutOfDeviceMemory` (per-launch scratch pressure; the
+    fault-injection suite simulates it) is retried with the block size
+    halved — mirroring the standard CUDA mitigation of shrinking the
+    launch configuration — up to :attr:`max_launch_retries` times before
+    the error propagates to the host.
+    """
+
+    #: Bounded retry budget for OOM-failing kernel launches.
+    max_launch_retries: int = 4
 
     def __init__(self, spec: DeviceSpec = None, registers_per_thread: int = None):
         self.spec = spec or DeviceSpec()
@@ -43,6 +55,9 @@ class GPUSimulator:
         )
         self.allocated_bytes = 0
         self.profile = ExecutionProfile()
+        #: Successfully completed launches over the simulator's lifetime
+        #: (drives deterministic ``inject_gpu_oom(after_n_launches=...)``).
+        self.completed_launches = 0
 
     # -- module loading -------------------------------------------------------
 
@@ -112,12 +127,28 @@ class GPUSimulator:
         unwrapped = [
             arg.data if isinstance(arg, DeviceBuffer) else arg for arg in args
         ]
-        start = time.perf_counter()
-        fn(valid_threads, block_size, *unwrapped)
-        measured = time.perf_counter() - start
+        retries = 0
+        while True:
+            try:
+                faults.maybe_fail_gpu_launch(self.completed_launches)
+                start = time.perf_counter()
+                fn(valid_threads, block_size, *unwrapped)
+                measured = time.perf_counter() - start
+                break
+            except OutOfDeviceMemory:
+                if retries >= self.max_launch_retries or block_size <= 1:
+                    raise
+                # Shrink the launch configuration and relaunch: halve the
+                # block size, re-derive the grid to keep covering the batch.
+                retries += 1
+                block_size = max(1, block_size // 2)
+                grid_size = -(-valid_threads // block_size)
         simulated = self.spec.launch_seconds(
             grid_size, block_size, measured, self.registers_per_thread[kernel]
         )
         self.profile.launches.append(
-            LaunchRecord(kernel, grid_size, block_size, measured, simulated)
+            LaunchRecord(
+                kernel, grid_size, block_size, measured, simulated, retries=retries
+            )
         )
+        self.completed_launches += 1

@@ -175,6 +175,28 @@ class Operation:
             return self.parent.parent.parent
         return None
 
+    def path(self) -> str:
+        """Path from the root op to this op, for diagnostics.
+
+        Each segment is ``op_name#index`` where ``index`` is the op's
+        position in its block (the root op has no index), e.g.
+        ``builtin.module/lo_spn.kernel#0/lo_spn.task#1/arith.addf#3``.
+        """
+        parts: List[str] = []
+        op: Optional[Operation] = self
+        while op is not None:
+            if op.parent is None:
+                parts.append(op.op_name)
+            else:
+                index = 0
+                for sibling in op.parent.ops:
+                    if sibling is op:
+                        break
+                    index += 1
+                parts.append(f"{op.op_name}#{index}")
+            op = op.parent_op
+        return "/".join(reversed(parts))
+
     @property
     def next_op(self) -> Optional["Operation"]:
         return self._next

@@ -3,15 +3,33 @@
 The :class:`PassManager` records wall-clock time per pass, which the
 benchmark harness uses to reproduce the paper's compile-time breakdowns
 (Section V-B1: where compilation time is spent).
+
+Failures are structured: when a pass raises — or when per-pass
+verification after it fails — the manager raises
+:class:`repro.diagnostics.PassError` carrying a
+:class:`~repro.diagnostics.Diagnostic` that names the pass (and, for
+verification failures, the offending op path). With ``artifact_dir``
+configured (or the ``SPNC_ARTIFACT_DIR`` environment variable set), the
+manager also dumps a reproducer: the module IR before the failing pass
+in generic textual form.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional
 
+from ..diagnostics import (
+    Diagnostic,
+    ErrorCode,
+    PassError,
+    Severity,
+    dump_reproducer,
+)
+from ..testing import faults
 from .ops import Operation
-from .verifier import verify
+from .verifier import VerificationError, verify
 
 
 class Pass:
@@ -70,9 +88,10 @@ class PassTiming:
 class PassManager:
     """Runs a sequence of passes over a module, with optional verification."""
 
-    def __init__(self, verify_each: bool = False):
+    def __init__(self, verify_each: bool = False, artifact_dir: Optional[str] = None):
         self.passes: List[Pass] = []
         self.verify_each = verify_each
+        self.artifact_dir = artifact_dir
         self.timing = PassTiming()
 
     def add(self, pass_: Pass) -> "PassManager":
@@ -87,8 +106,59 @@ class PassManager:
     def run(self, module: Operation) -> PassTiming:
         for pass_ in self.passes:
             start = time.perf_counter()
-            pass_.run(module)
+            try:
+                faults.maybe_fail_pass(pass_.name)
+                pass_.run(module)
+            except PassError:
+                raise
+            except Exception as error:
+                raise self._pass_error(pass_.name, error, module) from error
             self.timing.record(pass_.name, time.perf_counter() - start)
             if self.verify_each:
-                verify(module)
+                try:
+                    verify(module)
+                except VerificationError as error:
+                    raise self._pass_error(
+                        pass_.name, error, module, after_verify=True
+                    ) from error
         return self.timing
+
+    def _pass_error(
+        self,
+        pass_name: str,
+        error: BaseException,
+        module: Operation,
+        after_verify: bool = False,
+    ) -> PassError:
+        if after_verify:
+            code = ErrorCode.VERIFY_FAILED
+            message = (
+                f"IR verification failed after pass '{pass_name}': {error}"
+            )
+        else:
+            code = (
+                ErrorCode.FAULT_INJECTED
+                if isinstance(error, faults.FaultInjectionError)
+                else ErrorCode.PASS_FAILED
+            )
+            message = f"pass '{pass_name}' failed: {error}"
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code=code,
+            message=message,
+            pass_name=pass_name,
+            op_path=getattr(error, "op_path", None),
+            detail={"exception_type": type(error).__name__},
+        )
+        reproducer = None
+        if self.artifact_dir or os.environ.get("SPNC_ARTIFACT_DIR"):
+            from .printer import print_op
+
+            try:
+                module_text = print_op(module)
+            except Exception:  # printing a broken module must not mask the error
+                module_text = None
+            reproducer = dump_reproducer(
+                diagnostic, module_text=module_text, artifact_dir=self.artifact_dir
+            )
+        return PassError(message, diagnostic=diagnostic, reproducer_path=reproducer)

@@ -8,11 +8,16 @@ Checks the invariants the rest of the compiler relies on:
 - ``SINGLE_BLOCK`` ops have exactly one block per region,
 - terminators appear only in terminal position,
 - per-op ``verify_op`` hooks pass.
+
+Verification failures are structured: every :class:`VerificationError`
+carries ``op_path``, the path of the offending operation inside the
+module (see :meth:`Operation.path`), so downstream diagnostics can name
+the exact op without re-walking the IR.
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Optional, Set
 
 from .ops import Block, IRError, Operation, Region
 from .traits import Trait
@@ -20,19 +25,37 @@ from .value import Value
 
 
 class VerificationError(IRError):
-    """Raised when the IR violates a structural invariant."""
+    """Raised when the IR violates a structural invariant.
+
+    Attributes:
+        op_path: path of the offending op inside its module (may be
+            ``None`` when raised from contexts without an op at hand).
+    """
+
+    def __init__(self, message: str, op_path: Optional[str] = None):
+        if op_path:
+            message = f"{message} (at {op_path})"
+        super().__init__(message)
+        self.op_path = op_path
 
 
 def verify(op: Operation) -> None:
     """Verify ``op`` and everything nested within it."""
-    _verify_op(op, visible=set())
+    _verify_op(op, visible=set(), shadowed=set())
 
 
-def _verify_op(op: Operation, visible: Set[Value]) -> None:
+def _verify_op(op: Operation, visible: Set[Value], shadowed: Set[Value]) -> None:
     for operand in op.operands:
         if operand not in visible:
+            if operand in shadowed:
+                raise VerificationError(
+                    f"operand of '{op.op_name}' ({operand!r}) is defined outside "
+                    f"its ISOLATED_FROM_ABOVE ancestor",
+                    op_path=op.path(),
+                )
             raise VerificationError(
-                f"operand of '{op.op_name}' ({operand!r}) does not dominate its use"
+                f"operand of '{op.op_name}' ({operand!r}) does not dominate its use",
+                op_path=op.path(),
             )
 
     if op.has_trait(Trait.SINGLE_BLOCK):
@@ -40,17 +63,26 @@ def _verify_op(op: Operation, visible: Set[Value]) -> None:
             if len(region.blocks) != 1:
                 raise VerificationError(
                     f"'{op.op_name}' requires exactly one block per region, "
-                    f"found {len(region.blocks)}"
+                    f"found {len(region.blocks)}",
+                    op_path=op.path(),
                 )
 
-    op.verify_op()
+    try:
+        op.verify_op()
+    except VerificationError as error:
+        if error.op_path is None:
+            raise VerificationError(str(error), op_path=op.path()) from error
+        raise
 
     isolated = op.has_trait(Trait.ISOLATED_FROM_ABOVE)
     for region in op.regions:
-        _verify_region(region, set() if isolated else set(visible))
+        if isolated:
+            _verify_region(region, set(), shadowed | visible)
+        else:
+            _verify_region(region, set(visible), set(shadowed))
 
 
-def _verify_region(region: Region, visible: Set[Value]) -> None:
+def _verify_region(region: Region, visible: Set[Value], shadowed: Set[Value]) -> None:
     for block in region.blocks:
         block_visible = set(visible)
         block_visible.update(block.arguments)
@@ -58,7 +90,8 @@ def _verify_region(region: Region, visible: Set[Value]) -> None:
         for i, op in enumerate(ops):
             if op.has_trait(Trait.TERMINATOR) and i != len(ops) - 1:
                 raise VerificationError(
-                    f"terminator '{op.op_name}' is not the last op in its block"
+                    f"terminator '{op.op_name}' is not the last op in its block",
+                    op_path=op.path(),
                 )
-            _verify_op(op, block_visible)
+            _verify_op(op, block_visible, shadowed)
             block_visible.update(op.results)

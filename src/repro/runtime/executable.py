@@ -5,6 +5,12 @@ it with a [batch, features] array returns per-sample (log) likelihoods.
 The runtime owns output allocation, chunking and multi-threading — the
 generated kernel itself processes an arbitrary number of samples
 (batch size is only an optimization hint).
+
+Lifecycle: multi-threaded executables own a thread pool. Call
+:meth:`CPUExecutable.close` (or use the executable as a context
+manager) to release it deterministically; otherwise the pool is
+reclaimed with the executable (``__del__``) rather than leaking across
+many compile sessions.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import numpy as np
 
 from ..backends.cpu.codegen import GeneratedModule, numpy_dtype
 from ..ir.types import Type
+from ..testing import faults
 from .threadpool import ChunkedExecutor
 
 
@@ -42,13 +49,39 @@ class CPUExecutable:
         entry_name: str,
         signature: KernelSignature,
         num_threads: int = 1,
+        max_chunk_retries: int = 0,
     ):
         self.generated = generated
         self.entry = generated.get(entry_name)
         self.entry_name = entry_name
         self.signature = signature
         self.num_threads = num_threads
+        #: Bounded per-chunk retry budget for transient execution faults
+        #: (0 preserves strict fail-immediately semantics).
+        self.max_chunk_retries = max_chunk_retries
         self._executor = ChunkedExecutor(num_threads) if num_threads > 1 else None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self._closed = True
+
+    def __enter__(self) -> "CPUExecutable":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- invocation ---------------------------------------------------------------
 
@@ -57,6 +90,8 @@ class CPUExecutable:
 
     def execute(self, inputs: np.ndarray) -> np.ndarray:
         """Run the kernel; returns [batch] (log-)likelihoods."""
+        if self._closed:
+            raise RuntimeError("executable is closed")
         sig = self.signature
         inputs = np.ascontiguousarray(inputs, dtype=sig.input_dtype)
         if inputs.ndim != 2 or inputs.shape[1] != sig.num_features:
@@ -75,7 +110,13 @@ class CPUExecutable:
                 def run_chunk(start: int, end: int) -> None:
                     self.entry(inputs[start:end], output[:, start:end])
 
-                self._executor.run(n, sig.batch_size, run_chunk)
+                self._executor.run(
+                    n, sig.batch_size, run_chunk, max_retries=self.max_chunk_retries
+                )
+        if faults.kernel_nan_active():
+            # Fault injection: simulate a codegen defect at the generated
+            # kernel entry — the output buffer comes back NaN-poisoned.
+            output.fill(np.nan)
         return output[0] if sig.num_results == 1 else output
 
     @property

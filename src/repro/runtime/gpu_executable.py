@@ -7,8 +7,10 @@ from typing import Optional
 import numpy as np
 
 from ..backends.cpu.codegen import GeneratedModule
-from ..gpusim.device import ExecutionProfile
+from ..diagnostics import DeviceError, Diagnostic, ErrorCode, Severity
+from ..gpusim.device import ExecutionProfile, OutOfDeviceMemory
 from ..gpusim.simulator import GPUSimulator
+from ..testing import faults
 from .executable import KernelSignature
 
 
@@ -53,8 +55,27 @@ class GPUExecutable:
         n = inputs.shape[0]
         output = np.empty((sig.num_results, n), dtype=sig.result_dtype)
         self.simulator.reset_profile()
-        self.entry(inputs, output)
+        try:
+            self.entry(inputs, output)
+        except OutOfDeviceMemory as error:
+            # The simulator already exhausted its halved-block-size retry
+            # budget; surface a structured device error so the fallback
+            # cascade (GPU -> CPU kernel -> interpreter) can take over.
+            raise DeviceError(
+                f"device out of memory executing '{self.entry_name}': {error}",
+                diagnostic=Diagnostic(
+                    severity=Severity.ERROR,
+                    code=ErrorCode.DEVICE_OOM,
+                    message=str(error),
+                    stage="gpu-execute",
+                    target="gpu",
+                ),
+            ) from error
         self.last_profile = self.simulator.profile
+        if faults.kernel_nan_active():
+            # Fault injection: simulate a codegen defect at the device
+            # kernel entry — results come back NaN-poisoned.
+            output.fill(np.nan)
         return output[0] if sig.num_results == 1 else output
 
     def simulated_seconds(self) -> float:

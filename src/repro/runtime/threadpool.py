@@ -4,6 +4,14 @@ The generated CPU code is single-threaded by design; the runtime splits
 the input batch into chunks (of the user-provided batch size — "a mere
 optimization hint") and processes chunks on a thread pool.
 
+Robustness: when a chunk raises, the executor *fails fast* — every
+not-yet-started chunk is cancelled so a poisoned batch does not keep
+burning worker time — and failed or cancelled chunks are re-run inline
+with a bounded per-chunk retry budget (``max_retries``). Retries target
+transient faults (the fault-injection suite simulates them); a
+deterministically-failing chunk exhausts its budget and re-raises the
+last error.
+
 Honesty note (DESIGN.md): with Python as the ISA, scalar kernels hold the
 GIL, so threading mainly overlaps the NumPy portions of vectorized
 kernels. The structure matches the paper's runtime; absolute thread
@@ -12,7 +20,7 @@ scaling does not.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 from typing import Callable, List, Optional, Tuple
 
 
@@ -27,7 +35,13 @@ def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 
 class ChunkedExecutor:
-    """Runs a per-chunk callable over the batch, optionally in parallel."""
+    """Runs a per-chunk callable over the batch, optionally in parallel.
+
+    Attributes (reset per :meth:`run`, for observability and tests):
+        last_run_retries: number of retry attempts performed.
+        last_run_cancelled: number of chunks cancelled before starting
+            after another chunk failed (they are then re-run inline).
+    """
 
     def __init__(self, num_threads: int = 1):
         if num_threads < 1:
@@ -36,16 +50,84 @@ class ChunkedExecutor:
         self._pool: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(max_workers=num_threads) if num_threads > 1 else None
         )
+        self.last_run_retries = 0
+        self.last_run_cancelled = 0
 
-    def run(self, total: int, chunk_size: int, fn: Callable[[int, int], None]) -> None:
+    def run(
+        self,
+        total: int,
+        chunk_size: int,
+        fn: Callable[[int, int], None],
+        max_retries: int = 0,
+    ) -> None:
+        """Execute ``fn(start, end)`` for every chunk of the batch.
+
+        Args:
+            max_retries: extra attempts granted to each failing chunk
+                (0 = fail immediately, preserving strict semantics).
+        """
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.last_run_retries = 0
+        self.last_run_cancelled = 0
         ranges = chunk_ranges(total, chunk_size)
         if self._pool is None or len(ranges) == 1:
             for start, end in ranges:
-                fn(start, end)
+                self._run_with_retry(fn, start, end, max_retries)
             return
-        futures = [self._pool.submit(fn, start, end) for start, end in ranges]
-        for future in futures:
-            future.result()  # propagate exceptions
+
+        futures = [(self._pool.submit(fn, s, e), (s, e)) for s, e in ranges]
+        failed: List[Tuple[Tuple[int, int], BaseException]] = []
+        cancelled_ids: set = set()
+        for index, (future, chunk) in enumerate(futures):
+            if index in cancelled_ids:
+                continue
+            try:
+                future.result()
+            except CancelledError:  # pragma: no cover - cancel() raced us
+                cancelled_ids.add(index)
+            except Exception as error:
+                failed.append((chunk, error))
+                # Fail fast: the moment any chunk raises, sweep the queue
+                # and cancel everything that has not started yet; those
+                # chunks are re-run inline (or the error re-raised) below.
+                for later in range(index + 1, len(futures)):
+                    if later not in cancelled_ids and futures[later][0].cancel():
+                        cancelled_ids.add(later)
+        cancelled = [futures[i][1] for i in sorted(cancelled_ids)]
+        self.last_run_cancelled = len(cancelled)
+
+        for (start, end), error in failed:
+            self._retry_failed(fn, start, end, max_retries, error)
+        for start, end in cancelled:
+            self._run_with_retry(fn, start, end, max_retries)
+
+    def _run_with_retry(
+        self, fn: Callable[[int, int], None], start: int, end: int, budget: int
+    ) -> None:
+        try:
+            fn(start, end)
+        except Exception as error:
+            self._retry_failed(fn, start, end, budget, error)
+
+    def _retry_failed(
+        self,
+        fn: Callable[[int, int], None],
+        start: int,
+        end: int,
+        budget: int,
+        error: BaseException,
+    ) -> None:
+        while True:
+            if budget <= 0:
+                raise error
+            budget -= 1
+            self.last_run_retries += 1
+            try:
+                fn(start, end)
+                return
+            except Exception as new_error:
+                error = new_error
 
     def close(self) -> None:
         if self._pool is not None:

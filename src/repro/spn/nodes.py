@@ -31,7 +31,7 @@ class Node:
     on heavily shared structures such as RAT-SPNs.
     """
 
-    __slots__ = ("id", "children", "_scope")
+    __slots__ = ("id", "children", "_scope", "__weakref__")
 
     def __init__(self, children: Sequence["Node"] = ()):
         self.id = next(_node_counter)

@@ -1,0 +1,21 @@
+"""Test-support utilities: deterministic fault injection.
+
+Nothing in here runs in production paths unless explicitly armed via the
+context managers in :mod:`repro.testing.faults`.
+"""
+
+from .faults import (
+    FaultInjectionError,
+    inject_gpu_oom,
+    inject_kernel_nan,
+    inject_pass_failure,
+    no_faults,
+)
+
+__all__ = [
+    "FaultInjectionError",
+    "inject_gpu_oom",
+    "inject_kernel_nan",
+    "inject_pass_failure",
+    "no_faults",
+]

@@ -1,0 +1,214 @@
+"""Deterministic fault injection for the compile/execute path.
+
+The robustness test-suite needs to exercise degradation paths — a pass
+that raises mid-pipeline, a kernel that produces NaNs, a simulated
+device that runs out of memory — *deterministically*. This module is
+the single switchboard: production code calls the cheap ``maybe_*`` /
+``*_active`` hooks (no-ops when nothing is armed), and tests arm faults
+through context managers::
+
+    with inject_pass_failure("cse"):
+        CPUCompiler(fallback="interpret").log_likelihood(spn, x)
+
+    with inject_kernel_nan():
+        ...  # compiled kernels poison their output with NaN
+
+    with inject_gpu_oom(after_n_launches=1):
+        ...  # the 2nd GPU kernel launch raises OutOfDeviceMemory
+
+Hooks are consulted from:
+
+- :meth:`repro.ir.passes.PassManager.run` (per-pass),
+- the stage driver in :mod:`repro.compiler.pipeline` (per-stage; stage
+  names such as ``"codegen"`` or ``"gpu-lowering"`` match too),
+- the generated-kernel entry in :class:`repro.runtime.executable.CPUExecutable`
+  and :class:`repro.runtime.gpu_executable.GPUExecutable`,
+- :meth:`repro.gpusim.simulator.GPUSimulator.launch` (device OOM).
+
+Matching for pass/stage names is case-insensitive containment: arming
+``"cse"`` fires on the pass named ``cse`` and on pipeline stages named
+``cse`` / ``cse-2`` / ``lospn-cse``. Faults are process-global and meant
+for single-threaded test orchestration; the kernel-NaN flag is a plain
+read, safe to consult from runtime worker threads.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class FaultInjectionError(RuntimeError):
+    """Default exception raised by an armed pass/stage fault."""
+
+
+@dataclass
+class _PassFault:
+    name: str
+    exception: Optional[Callable[[], BaseException]] = None
+    #: Remaining number of times this fault fires; ``None`` = unlimited
+    #: while armed.
+    remaining: Optional[int] = None
+    fired: int = 0
+
+    def matches(self, actual: str) -> bool:
+        return self.name.lower() in actual.lower()
+
+    def trigger(self, actual: str) -> None:
+        if self.remaining is not None:
+            if self.remaining <= 0:
+                return
+            self.remaining -= 1
+        self.fired += 1
+        if self.exception is not None:
+            raise self.exception()
+        raise FaultInjectionError(
+            f"injected failure in pass/stage '{actual}' "
+            f"(armed as '{self.name}')"
+        )
+
+
+@dataclass
+class _GpuOomFault:
+    after_n_launches: int = 0
+    count: int = 1
+    fired: int = 0
+
+    def should_fire(self, launches_completed: int) -> bool:
+        if self.fired >= self.count:
+            return False
+        return launches_completed >= self.after_n_launches
+
+
+@dataclass
+class _FaultState:
+    pass_faults: List[_PassFault] = field(default_factory=list)
+    kernel_nan: int = 0
+    gpu_oom: Optional[_GpuOomFault] = None
+
+
+_STATE = _FaultState()
+
+
+def reset() -> None:
+    """Disarm every fault (used by test teardown)."""
+    global _STATE
+    _STATE = _FaultState()
+
+
+@contextmanager
+def no_faults():
+    """Context manager guaranteeing a clean fault state inside."""
+    saved = _STATE
+    reset()
+    try:
+        yield
+    finally:
+        globals()["_STATE"] = saved
+
+
+# --- pass / stage failures ---------------------------------------------------------
+
+
+@contextmanager
+def inject_pass_failure(
+    name: str,
+    exception: Optional[Callable[[], BaseException]] = None,
+    times: Optional[int] = None,
+):
+    """Arm a failure for any pass or pipeline stage matching ``name``.
+
+    Args:
+        name: case-insensitive substring matched against pass and stage
+            names ("cse", "codegen", "gpu-lowering", ...).
+        exception: zero-arg callable producing the exception to raise;
+            defaults to :class:`FaultInjectionError`.
+        times: fire at most this many times (``None`` = every match
+            while armed).
+    """
+    fault = _PassFault(name=name, exception=exception, remaining=times)
+    _STATE.pass_faults.append(fault)
+    try:
+        yield fault
+    finally:
+        if fault in _STATE.pass_faults:
+            _STATE.pass_faults.remove(fault)
+
+
+def maybe_fail_pass(actual_name: str) -> None:
+    """Hook: raise if a fault is armed for this pass/stage name."""
+    if not _STATE.pass_faults:
+        return
+    for fault in list(_STATE.pass_faults):
+        if fault.matches(actual_name):
+            fault.trigger(actual_name)
+
+
+#: Stage names share the pass switchboard; alias for readability.
+maybe_fail_stage = maybe_fail_pass
+
+
+# --- kernel NaN poisoning ----------------------------------------------------------
+
+
+@contextmanager
+def inject_kernel_nan():
+    """Arm NaN poisoning of compiled-kernel outputs (CPU and GPU)."""
+    _STATE.kernel_nan += 1
+    try:
+        yield
+    finally:
+        _STATE.kernel_nan -= 1
+
+
+def kernel_nan_active() -> bool:
+    """Hook: whether generated-kernel outputs should be NaN-poisoned."""
+    return _STATE.kernel_nan > 0
+
+
+# --- simulated device OOM ----------------------------------------------------------
+
+
+@contextmanager
+def inject_gpu_oom(after_n_launches: int = 0, count: int = 1):
+    """Arm simulated device-OOM on GPU kernel launches.
+
+    The fault fires on launch *attempts* once ``after_n_launches``
+    launches have completed successfully, raising
+    :class:`repro.gpusim.device.OutOfDeviceMemory` at most ``count``
+    times. With the simulator's halved-block-size retry loop, a
+    ``count`` smaller than the retry budget degrades transparently; a
+    large ``count`` exhausts the retries and escalates to the fallback
+    cascade.
+    """
+    fault = _GpuOomFault(after_n_launches=after_n_launches, count=count)
+    previous = _STATE.gpu_oom
+    _STATE.gpu_oom = fault
+    try:
+        yield fault
+    finally:
+        _STATE.gpu_oom = previous
+
+
+def maybe_fail_gpu_launch(launches_completed: int) -> None:
+    """Hook: raise OutOfDeviceMemory if a device-OOM fault is due."""
+    fault = _STATE.gpu_oom
+    if fault is None or not fault.should_fire(launches_completed):
+        return
+    fault.fired += 1
+    from ..gpusim.device import OutOfDeviceMemory
+
+    raise OutOfDeviceMemory(
+        f"injected device OOM on launch attempt "
+        f"(after {launches_completed} completed launches)"
+    )
+
+
+def active_faults() -> Dict[str, object]:
+    """Introspection helper for diagnostics/tests."""
+    return {
+        "pass_faults": [f.name for f in _STATE.pass_faults],
+        "kernel_nan": _STATE.kernel_nan > 0,
+        "gpu_oom": _STATE.gpu_oom,
+    }

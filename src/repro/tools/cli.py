@@ -129,6 +129,68 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    """End-to-end robustness check of the compile/execute path.
+
+    Builds a tiny Gaussian SPN, injects a failure into a mid-pipeline
+    pass and verifies that the graceful-degradation fallback still
+    produces reference-exact log-likelihoods (plus a clean run as a
+    control). Exits non-zero on any mismatch.
+    """
+    import warnings
+
+    from ..api import CPUCompiler, FallbackWarning
+    from ..spn import Gaussian, Product, Sum
+    from ..spn.inference import log_likelihood as reference_ll
+    from ..testing import faults
+
+    spn = Sum(
+        [
+            Product([Gaussian(0, -1.0, 1.0), Gaussian(1, 0.5, 2.0)]),
+            Product([Gaussian(0, 1.5, 0.5), Gaussian(1, -0.5, 1.5)]),
+        ],
+        [0.4, 0.6],
+    )
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(64, 2))
+    reference = reference_ll(spn, inputs)
+    failures = 0
+
+    def check(label, ok, detail=""):
+        nonlocal failures
+        status = "ok" if ok else "FAIL"
+        print(f"  {label:42s} {status}{detail}")
+        if not ok:
+            failures += 1
+
+    print("selftest: compile/execute robustness")
+
+    clean = CPUCompiler(batch_size=32).log_likelihood(spn, inputs)
+    check("clean compile matches reference",
+          bool(np.allclose(clean, reference, atol=1e-5, rtol=1e-5)))
+
+    compiler = CPUCompiler(batch_size=32, fallback="interpret")
+    with faults.inject_pass_failure("cse"):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degraded = compiler.log_likelihood(spn, inputs)
+    warned = [w for w in caught if issubclass(w.category, FallbackWarning)]
+    check("interpreter fallback matches reference",
+          bool(np.allclose(degraded, reference, atol=1e-9, rtol=0)))
+    check("exactly one fallback warning", len(warned) == 1,
+          f" ({len(warned)} warnings)")
+    errors = compiler.diagnostics.errors()
+    check("diagnostic names the failed stage",
+          bool(errors) and errors[0].stage == "cse",
+          f" (stage={errors[0].stage if errors else None})")
+
+    if failures:
+        print(f"selftest: {failures} check(s) failed", file=sys.stderr)
+        return 1
+    print("selftest: all checks passed")
+    return 0
+
+
 def _cmd_opt(args: argparse.Namespace) -> int:
     from ..ir import parse_module, print_op, verify
     from ..ir.pipeline_spec import parse_pipeline, registered_passes
@@ -198,10 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
     samp.add_argument("--seed", type=int, default=None)
     samp.set_defaults(fn=_cmd_sample)
 
+    selftest = sub.add_parser(
+        "selftest",
+        help="verify fallback robustness under an injected pass failure",
+    )
+    selftest.set_defaults(fn=_cmd_selftest)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `--selftest` is accepted as a flag alias for the subcommand so CI
+    # can call `python -m repro --selftest`.
+    argv = ["selftest" if a == "--selftest" else a for a in argv]
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

@@ -1,0 +1,102 @@
+"""Compiled-kernel cache: weakref identity, fingerprints, eviction."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro import CPUCompiler, GPUCompiler
+from repro.spn import JointProbability, log_likelihood
+
+from ..conftest import make_gaussian_spn
+
+
+class TestCacheHits:
+    def test_repeated_calls_compile_once(self, rng):
+        compiler = CPUCompiler(batch_size=32)
+        spn = make_gaussian_spn()
+        first = compiler.compile(spn)
+        second = compiler.compile(spn)
+        assert first is second
+
+    def test_different_query_recompiles(self):
+        compiler = CPUCompiler(batch_size=32)
+        spn = make_gaussian_spn()
+        first = compiler.compile(spn, JointProbability(batch_size=32))
+        second = compiler.compile(spn, JointProbability(batch_size=64))
+        assert first is not second
+        # Both remain cached under their own fingerprint.
+        assert compiler.compile(spn, JointProbability(batch_size=32)) is first
+
+    def test_marginal_flag_is_part_of_the_key(self):
+        compiler = CPUCompiler(batch_size=32)
+        spn = make_gaussian_spn()
+        joint = compiler.compile(spn, JointProbability(batch_size=32))
+        marginal = compiler.compile(
+            spn, JointProbability(batch_size=32, support_marginal=True)
+        )
+        assert joint is not marginal
+
+    def test_list_of_spns_cached(self):
+        compiler = CPUCompiler(batch_size=32)
+        spns = [make_gaussian_spn(), make_gaussian_spn()]
+        first = compiler.compile(spns)
+        second = compiler.compile(spns)
+        assert first is second
+
+
+class TestWeakrefEviction:
+    def test_entry_evicted_when_model_collected(self):
+        compiler = CPUCompiler(batch_size=32)
+        spn = make_gaussian_spn()
+        compiler.compile(spn)
+        assert len(compiler._cache) == 1
+        del spn
+        gc.collect()
+        assert len(compiler._cache) == 0
+
+    def test_recycled_id_cannot_hit_stale_entry(self, rng):
+        # The classic id()-reuse hazard: compile model A, drop it, build
+        # model B (which may land on the same id), and verify B's results
+        # come from B's own kernel.
+        compiler = CPUCompiler(batch_size=32)
+        inputs = rng.normal(size=(16, 2))
+        for _ in range(10):
+            spn = make_gaussian_spn()
+            out = compiler.log_likelihood(spn, inputs)
+            reference = log_likelihood(spn, inputs)
+            np.testing.assert_allclose(out, reference, atol=1e-5, rtol=1e-5)
+            del spn
+            gc.collect()
+        assert len(compiler._cache) == 0
+
+    def test_list_entry_evicted_when_any_member_dies(self):
+        compiler = CPUCompiler(batch_size=32)
+        keep = make_gaussian_spn()
+        doomed = make_gaussian_spn()
+        compiler.compile([keep, doomed])
+        assert len(compiler._cache) == 1
+        del doomed
+        gc.collect()
+        assert len(compiler._cache) == 0
+
+
+class TestSimulatedSeconds:
+    def test_single_spn_lookup(self, rng):
+        compiler = GPUCompiler(batch_size=32)
+        spn = make_gaussian_spn()
+        compiler.log_likelihood(spn, rng.normal(size=(32, 2)))
+        assert compiler.simulated_seconds(spn) > 0
+
+    def test_list_of_spns_lookup(self, rng):
+        # Previously a silent miss: the cache key for a list is the tuple
+        # of ids, but simulated_seconds looked up id(list).
+        compiler = GPUCompiler(batch_size=32)
+        spns = [make_gaussian_spn(), make_gaussian_spn()]
+        compiler.log_likelihood(spns, rng.normal(size=(32, 2)))
+        assert compiler.simulated_seconds(spns) > 0
+
+    def test_uncompiled_spn_raises(self):
+        compiler = GPUCompiler(batch_size=32)
+        with pytest.raises(RuntimeError):
+            compiler.simulated_seconds(make_gaussian_spn())

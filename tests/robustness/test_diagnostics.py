@@ -1,0 +1,181 @@
+"""Structured diagnostics: records, error hierarchy, reproducer dumps."""
+
+import json
+import os
+
+import pytest
+
+from repro import (
+    CompilerError,
+    CompilerOptions,
+    Diagnostic,
+    DiagnosticLog,
+    ErrorCode,
+    PassError,
+    Severity,
+    StageError,
+    compile_spn,
+)
+from repro.diagnostics import artifact_directory, diagnostic_from_exception
+from repro.ir import Builder, ModuleOp, PassManager, VerificationError, verify
+from repro.ir.transforms import CSEPass
+from repro.spn import JointProbability
+from repro.testing import faults
+
+from ..conftest import make_gaussian_spn
+
+
+class TestDiagnosticRecord:
+    def test_render_includes_location(self):
+        d = Diagnostic(
+            severity=Severity.ERROR,
+            code=ErrorCode.PASS_FAILED,
+            message="boom",
+            stage="cpu-lowering",
+            pass_name="cse",
+            op_path="builtin.module/lo_spn.kernel#0",
+        )
+        text = d.render()
+        assert "error" in text and "pass-failed" in text
+        assert "stage=cpu-lowering" in text
+        assert "pass=cse" in text
+        assert "at=builtin.module/lo_spn.kernel#0" in text
+
+    def test_to_dict_is_json_serializable(self):
+        d = Diagnostic(Severity.WARNING, ErrorCode.FALLBACK_CPU, "msg")
+        assert json.loads(json.dumps(d.to_dict()))["severity"] == "warning"
+
+    def test_log_collects_and_filters(self):
+        log = DiagnosticLog()
+        log.emit(Diagnostic(Severity.NOTE, "note", "n"))
+        log.emit(Diagnostic(Severity.ERROR, ErrorCode.STAGE_FAILED, "e"))
+        assert len(log) == 2
+        assert len(log.errors()) == 1
+        assert log.last.code == ErrorCode.STAGE_FAILED
+        assert log.by_code("note")[0].message == "n"
+        assert "stage-failed" in log.report()
+
+    def test_diagnostic_from_plain_exception(self):
+        d = diagnostic_from_exception(ValueError("nope"), stage="codegen")
+        assert d.stage == "codegen"
+        assert "ValueError" in d.message
+
+    def test_diagnostic_from_compiler_error_preserves_structure(self):
+        inner = PassError(
+            "bad",
+            diagnostic=Diagnostic(
+                Severity.ERROR, ErrorCode.PASS_FAILED, "bad", pass_name="cse"
+            ),
+        )
+        d = diagnostic_from_exception(inner, target="cpu")
+        assert d.pass_name == "cse"
+        assert d.target == "cpu"
+
+
+class TestArtifactDirectory:
+    def test_explicit_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SPNC_ARTIFACT_DIR", "/elsewhere")
+        assert artifact_directory(str(tmp_path)) == str(tmp_path)
+
+    def test_env_var_used(self, monkeypatch):
+        monkeypatch.setenv("SPNC_ARTIFACT_DIR", "/from-env")
+        assert artifact_directory(None) == "/from-env"
+
+    def test_default_is_tempdir_based(self, monkeypatch):
+        monkeypatch.delenv("SPNC_ARTIFACT_DIR", raising=False)
+        assert "spnc-artifacts" in artifact_directory(None)
+
+
+class TestStageFailures:
+    def test_stage_error_names_stage_and_dumps_reproducer(self, tmp_path):
+        spn = make_gaussian_spn()
+        options = CompilerOptions(artifact_dir=str(tmp_path))
+        with faults.inject_pass_failure("cpu-lowering"):
+            with pytest.raises(StageError) as excinfo:
+                compile_spn(spn, JointProbability(batch_size=8), options)
+        error = excinfo.value
+        assert error.stage == "cpu-lowering"
+        assert error.diagnostic.code == ErrorCode.FAULT_INJECTED
+        assert error.reproducer_path is not None
+        files = os.listdir(error.reproducer_path)
+        assert "module.mlir" in files
+        assert "options.json" in files
+        assert "diagnostic.json" in files
+        with open(os.path.join(error.reproducer_path, "options.json")) as fh:
+            dumped = json.load(fh)
+        assert dumped["target"] == "cpu"
+        with open(os.path.join(error.reproducer_path, "module.mlir")) as fh:
+            assert "lo_spn" in fh.read() or "builtin.module" in fh.read()
+
+    def test_frontend_failure_still_structured(self, tmp_path):
+        options = CompilerOptions(artifact_dir=str(tmp_path))
+        with faults.inject_pass_failure("frontend"):
+            with pytest.raises(StageError) as excinfo:
+                compile_spn(make_gaussian_spn(), JointProbability(batch_size=8), options)
+        assert excinfo.value.stage == "frontend"
+
+    def test_codegen_failure_classified(self, tmp_path):
+        options = CompilerOptions(artifact_dir=str(tmp_path))
+        with faults.inject_pass_failure("codegen"):
+            with pytest.raises(StageError) as excinfo:
+                compile_spn(make_gaussian_spn(), JointProbability(batch_size=8), options)
+        assert excinfo.value.stage == "codegen"
+
+    def test_gpu_stage_failure_names_gpu_stage(self, tmp_path):
+        options = CompilerOptions(target="gpu", artifact_dir=str(tmp_path))
+        with faults.inject_pass_failure("gpu-lowering"):
+            with pytest.raises(StageError) as excinfo:
+                compile_spn(make_gaussian_spn(), JointProbability(batch_size=8), options)
+        assert excinfo.value.stage == "gpu-lowering"
+        assert excinfo.value.diagnostic.target == "gpu"
+
+    def test_compiler_error_is_exception(self):
+        assert issubclass(StageError, CompilerError)
+        assert issubclass(PassError, CompilerError)
+
+
+class TestPassManagerFailures:
+    def test_pass_error_names_pass(self):
+        module = ModuleOp.build()
+        manager = PassManager().add(CSEPass())
+        with faults.inject_pass_failure("cse"):
+            with pytest.raises(PassError) as excinfo:
+                manager.run(module)
+        assert excinfo.value.pass_name == "cse"
+        assert excinfo.value.diagnostic.code == ErrorCode.FAULT_INJECTED
+
+    def test_pass_error_dumps_reproducer_when_configured(self, tmp_path):
+        module = ModuleOp.build()
+        manager = PassManager(artifact_dir=str(tmp_path)).add(CSEPass())
+        with faults.inject_pass_failure("cse"):
+            with pytest.raises(PassError) as excinfo:
+                manager.run(module)
+        assert excinfo.value.reproducer_path is not None
+        assert "module.mlir" in os.listdir(excinfo.value.reproducer_path)
+
+    def test_unrelated_pass_unaffected(self):
+        module = ModuleOp.build()
+        manager = PassManager().add(CSEPass())
+        with faults.inject_pass_failure("licm"):
+            manager.run(module)  # should not raise
+
+
+class TestVerifierOpPaths:
+    def test_verification_error_carries_op_path(self):
+        from repro.dialects.arith import AddFOp, ConstantOp
+        from repro.dialects.func import FuncOp, ReturnOp
+        from repro.ir import f32
+
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "f", [], [f32])
+        fb = Builder.at_end(fn.body)
+        c = fb.create(ConstantOp, 1.0, f32)
+        add = fb.create(AddFOp, c.result, c.result)
+        fb.create(ReturnOp, [add.result])
+        add.move_before(c)
+        with pytest.raises(VerificationError) as excinfo:
+            verify(module)
+        assert excinfo.value.op_path is not None
+        assert "arith.addf" in excinfo.value.op_path
+        assert excinfo.value.op_path.startswith("builtin.module")

@@ -1,0 +1,123 @@
+"""The fault-injection switchboard itself, and the GPU OOM retry loop."""
+
+import numpy as np
+import pytest
+
+from repro import DeviceError, GPUCompiler
+from repro.gpusim.device import OutOfDeviceMemory
+from repro.gpusim.simulator import GPUSimulator
+from repro.spn import log_likelihood
+from repro.testing import faults
+from repro.testing.faults import FaultInjectionError
+
+from ..conftest import make_gaussian_spn
+
+
+class TestFaultScoping:
+    def test_faults_disarm_on_exit(self):
+        with faults.inject_pass_failure("cse"):
+            with pytest.raises(FaultInjectionError):
+                faults.maybe_fail_pass("cse")
+        faults.maybe_fail_pass("cse")  # disarmed: no raise
+
+    def test_matching_is_case_insensitive_containment(self):
+        with faults.inject_pass_failure("CSE"):
+            with pytest.raises(FaultInjectionError):
+                faults.maybe_fail_pass("lospn-cse")
+            faults.maybe_fail_pass("canonicalize")  # no match
+
+    def test_times_bounds_firing(self):
+        with faults.inject_pass_failure("cse", times=1) as fault:
+            with pytest.raises(FaultInjectionError):
+                faults.maybe_fail_pass("cse")
+            faults.maybe_fail_pass("cse")  # budget exhausted: no raise
+        assert fault.fired == 1
+
+    def test_custom_exception_factory(self):
+        with faults.inject_pass_failure("cse", exception=lambda: KeyError("boom")):
+            with pytest.raises(KeyError):
+                faults.maybe_fail_pass("cse")
+
+    def test_kernel_nan_flag_nests(self):
+        assert not faults.kernel_nan_active()
+        with faults.inject_kernel_nan():
+            with faults.inject_kernel_nan():
+                assert faults.kernel_nan_active()
+            assert faults.kernel_nan_active()
+        assert not faults.kernel_nan_active()
+
+    def test_no_faults_context_isolates(self):
+        with faults.inject_pass_failure("cse"):
+            with faults.no_faults():
+                faults.maybe_fail_pass("cse")  # clean inside
+            with pytest.raises(FaultInjectionError):
+                faults.maybe_fail_pass("cse")  # restored outside
+
+    def test_active_faults_introspection(self):
+        with faults.inject_pass_failure("dce"), faults.inject_kernel_nan():
+            state = faults.active_faults()
+        assert state["pass_faults"] == ["dce"]
+        assert state["kernel_nan"] is True
+
+
+class TestGpuOomRetry:
+    def _compile(self, **kw):
+        compiler = GPUCompiler(batch_size=64, **kw)
+        spn = make_gaussian_spn()
+        return compiler, spn
+
+    def test_single_oom_is_absorbed_by_halved_block_retry(self, rng):
+        compiler, spn = self._compile()
+        inputs = rng.normal(size=(64, 2))
+        reference = log_likelihood(spn, inputs)
+        with faults.inject_gpu_oom(after_n_launches=0, count=1):
+            out = compiler.log_likelihood(spn, inputs)
+        np.testing.assert_allclose(out, reference, atol=1e-5, rtol=1e-5)
+        profile = compiler.compile(spn).executable.last_profile
+        assert profile.num_oom_retries == 1
+        # The retried launch ran at half the original block size.
+        retried = [l for l in profile.launches if l.retries]
+        assert retried and retried[0].block_size == 32
+
+    def test_after_n_launches_delays_the_fault(self, rng):
+        compiler, spn = self._compile()
+        inputs = rng.normal(size=(64, 2))
+        compiler.log_likelihood(spn, inputs)  # launch 0 completes clean
+        with faults.inject_gpu_oom(after_n_launches=1, count=1):
+            compiler.log_likelihood(spn, inputs)
+        profile = compiler.compile(spn).executable.last_profile
+        assert profile.num_oom_retries == 1
+
+    def test_persistent_oom_exhausts_retries_and_raises(self, rng):
+        compiler, spn = self._compile()
+        inputs = rng.normal(size=(64, 2))
+        with faults.inject_gpu_oom(after_n_launches=0, count=1000):
+            with pytest.raises(DeviceError) as excinfo:
+                compiler.log_likelihood(spn, inputs)
+        assert excinfo.value.diagnostic.stage == "gpu-execute"
+
+    def test_retry_budget_is_bounded(self):
+        simulator = GPUSimulator()
+        simulator.register_kernel("k", lambda n, b: None)
+        with faults.inject_gpu_oom(after_n_launches=0, count=1000):
+            with pytest.raises(OutOfDeviceMemory):
+                simulator.launch("k", 1, 64, 64, [])
+        # 1 initial attempt + max_launch_retries retries, all failed.
+        assert simulator.completed_launches == 0
+
+    def test_retry_grid_still_covers_batch(self):
+        simulator = GPUSimulator()
+        seen = []
+
+        def kernel(nthreads, bdim):
+            seen.append((nthreads, bdim))
+
+        simulator.register_kernel("k", kernel)
+        with faults.inject_gpu_oom(after_n_launches=0, count=2):
+            simulator.launch("k", 1, 64, 64, [])
+        # Two OOMs -> block size halved twice; the batch is still covered.
+        assert seen == [(64, 16)]
+        record = simulator.profile.launches[0]
+        assert record.retries == 2
+        assert record.block_size == 16
+        assert record.grid_size * record.block_size >= 64

@@ -1,0 +1,180 @@
+"""Runtime hardening: chunk retry/cancellation and executable lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, compile_spn
+from repro.runtime import ChunkedExecutor
+from repro.spn import JointProbability, log_likelihood
+
+from ..conftest import make_gaussian_spn
+
+
+class FlakyChunk:
+    """Fails the configured chunk the first ``failures`` times it runs."""
+
+    def __init__(self, fail_start, failures=1, exc=RuntimeError):
+        self.fail_start = fail_start
+        self.failures = failures
+        self.exc = exc
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def __call__(self, start, end):
+        with self.lock:
+            self.calls.append((start, end))
+            if start == self.fail_start and self.failures > 0:
+                self.failures -= 1
+                raise self.exc(f"chunk {start} failed")
+
+
+class TestChunkRetry:
+    def test_serial_retry_recovers_transient_failure(self):
+        fn = FlakyChunk(fail_start=4, failures=1)
+        with ChunkedExecutor(1) as ex:
+            ex.run(12, 4, fn, max_retries=1)
+        assert ex.last_run_retries == 1
+        # Chunk 4 ran twice (fail + retry), others once.
+        assert fn.calls.count((4, 8)) == 2
+
+    def test_serial_no_retry_raises_immediately(self):
+        fn = FlakyChunk(fail_start=0, failures=1)
+        with ChunkedExecutor(1) as ex:
+            with pytest.raises(RuntimeError):
+                ex.run(8, 4, fn)
+
+    def test_retry_budget_exhausted_reraises_last_error(self):
+        fn = FlakyChunk(fail_start=0, failures=10)
+        with ChunkedExecutor(1) as ex:
+            with pytest.raises(RuntimeError):
+                ex.run(4, 4, fn, max_retries=2)
+        assert ex.last_run_retries == 2
+
+    def test_parallel_retry_recovers(self):
+        fn = FlakyChunk(fail_start=8, failures=1)
+        with ChunkedExecutor(3) as ex:
+            ex.run(20, 4, fn, max_retries=2)
+        assert ex.last_run_retries == 1
+        covered = sorted(set(fn.calls))
+        assert covered == [(0, 4), (4, 8), (8, 12), (12, 16), (16, 20)]
+
+    def test_parallel_failure_without_retry_raises(self):
+        fn = FlakyChunk(fail_start=0, failures=1)
+        with ChunkedExecutor(2) as ex:
+            with pytest.raises(RuntimeError):
+                ex.run(16, 4, fn)
+
+    def test_fail_fast_cancels_queued_chunks(self):
+        # Two workers, ten chunks: chunk 0 fails instantly while every
+        # other chunk is slow, so the failure is observed while most of
+        # the queue has not started — those chunks must be cancelled
+        # (fail fast) rather than left running.
+        import time
+
+        lock = threading.Lock()
+        calls = []
+
+        def fn(start, end):
+            with lock:
+                calls.append((start, end))
+            if start == 0:
+                raise RuntimeError("poisoned chunk")
+            time.sleep(0.1)
+
+        with ChunkedExecutor(2) as ex:
+            with pytest.raises(RuntimeError):
+                ex.run(40, 4, fn)
+            assert ex.last_run_cancelled > 0
+
+    def test_cancelled_chunks_rerun_when_retry_allowed(self):
+        blocker = threading.Event()
+        lock = threading.Lock()
+        failures = {"remaining": 1}
+        calls = []
+
+        def fn(start, end):
+            with lock:
+                calls.append((start, end))
+            if start == 0:
+                if failures["remaining"]:
+                    failures["remaining"] -= 1
+                    blocker.wait(timeout=5)
+                    raise RuntimeError("transient")
+            if start == 4:
+                blocker.set()
+
+        with ChunkedExecutor(2) as ex:
+            ex.run(40, 4, fn, max_retries=1)
+        covered = set()
+        for start, end in calls:
+            covered.update(range(start, end))
+        assert covered == set(range(40))  # every sample processed
+
+    def test_negative_retry_rejected(self):
+        with ChunkedExecutor(1) as ex:
+            with pytest.raises(ValueError):
+                ex.run(4, 4, lambda s, e: None, max_retries=-1)
+
+
+class TestExecutorLifecycle:
+    def test_close_is_idempotent(self):
+        ex = ChunkedExecutor(2)
+        ex.close()
+        ex.close()
+
+    def test_context_manager_closes_pool(self):
+        with ChunkedExecutor(2) as ex:
+            ex.run(8, 4, lambda s, e: None)
+        assert ex._pool is None
+
+
+class TestCPUExecutableLifecycle:
+    def _executable(self, num_threads=4):
+        result = compile_spn(
+            make_gaussian_spn(),
+            JointProbability(batch_size=16),
+            CompilerOptions(num_threads=num_threads),
+        )
+        return result.executable
+
+    def test_close_releases_pool(self, rng):
+        exe = self._executable()
+        inputs = rng.normal(size=(64, 2))
+        exe(inputs)
+        exe.close()
+        assert exe._executor is None
+
+    def test_context_manager(self, rng):
+        inputs = rng.normal(size=(64, 2))
+        spn = make_gaussian_spn()
+        reference = log_likelihood(spn, inputs)
+        result = compile_spn(
+            spn, JointProbability(batch_size=16), CompilerOptions(num_threads=2)
+        )
+        with result.executable as exe:
+            out = exe(inputs)
+        np.testing.assert_allclose(out, reference, atol=1e-5, rtol=1e-5)
+
+    def test_closed_executable_rejects_execution(self, rng):
+        exe = self._executable()
+        exe.close()
+        with pytest.raises(RuntimeError):
+            exe(rng.normal(size=(8, 2)))
+
+    def test_single_threaded_close_is_noop_safe(self, rng):
+        exe = self._executable(num_threads=1)
+        exe.close()
+        with pytest.raises(RuntimeError):
+            exe(rng.normal(size=(8, 2)))
+
+    def test_no_thread_leak_across_compiles(self, rng):
+        # Closing executables keeps the thread count flat across many
+        # compile sessions (the leak the lifecycle fix addresses).
+        before = threading.active_count()
+        for _ in range(5):
+            exe = self._executable(num_threads=3)
+            exe(rng.normal(size=(64, 2)))
+            exe.close()
+        assert threading.active_count() <= before + 1

@@ -14,6 +14,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -37,16 +38,69 @@ def round_to(value: int, multiple: int) -> int:
     return max(multiple, ((value + multiple - 1) // multiple) * multiple)
 
 
-def time_callable(fn: Callable, min_rounds: int = 3, max_seconds: float = 5.0) -> float:
-    """Median wall-clock seconds of ``fn`` over adaptive rounds."""
+class TimingResult(float):
+    """Median wall-clock seconds per round, as a plain float.
+
+    Extra attributes keep the warm-up call (which absorbs first-call
+    compile/caching cost) separate from the measured rounds, and expose
+    per-round variance so BENCH numbers can be sanity-checked:
+
+    - ``warmup_seconds``: duration of the discarded warm-up call,
+    - ``mean`` / ``stdev``: statistics over the measured rounds,
+    - ``rounds``: number of measured rounds,
+    - ``times``: the raw per-round durations.
+    """
+
+    warmup_seconds: float
+    mean: float
+    stdev: float
+    rounds: int
+    times: tuple
+
+    def __new__(cls, times: List[float], warmup_seconds: float) -> "TimingResult":
+        self = super().__new__(cls, float(np.median(times)))
+        self.warmup_seconds = float(warmup_seconds)
+        self.mean = float(np.mean(times))
+        self.stdev = float(np.std(times))
+        self.rounds = len(times)
+        self.times = tuple(times)
+        return self
+
+
+def time_callable(
+    fn: Callable, min_rounds: int = 3, max_seconds: float = 5.0
+) -> TimingResult:
+    """Median wall-clock seconds of ``fn`` over adaptive rounds.
+
+    The first call is a discarded warm-up (its duration is reported
+    separately as ``warmup_seconds``), so first-call compile time never
+    pollutes the measured rounds.
+    """
+    warmup_start = time.perf_counter()
     fn()  # warm-up
+    warmup_seconds = time.perf_counter() - warmup_start
     times: List[float] = []
     budget_start = time.perf_counter()
     while len(times) < min_rounds and time.perf_counter() - budget_start < max_seconds:
         start = time.perf_counter()
         fn()
         times.append(time.perf_counter() - start)
-    return float(np.median(times))
+    return TimingResult(times, warmup_seconds)
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write a BENCH_*.json perf-trajectory file at the repo root.
+
+    ``REPRO_BENCH_OUT`` overrides the output directory. Returns the path.
+    """
+    out_dir = os.environ.get(
+        "REPRO_BENCH_OUT", os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 #: Every FigureReport registers itself here; the benchmark conftest

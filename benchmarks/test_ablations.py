@@ -97,10 +97,10 @@ def test_ablation_vector_register_reuse(benchmark):
     query = JointProbability(batch_size=images.shape[0])
 
     plain = compile_spn(
-        spn, query, CompilerOptions(vectorize=True, opt_level=1)
+        spn, query, CompilerOptions(vectorize="lanes", opt_level=1)
     ).executable
     reuse = compile_spn(
-        spn, query, CompilerOptions(vectorize=True, opt_level=2)
+        spn, query, CompilerOptions(vectorize="lanes", opt_level=2)
     ).executable
 
     benchmark(lambda: reuse(images))

@@ -27,12 +27,12 @@ report = FigureReport(
 )
 
 CONFIGS = {
-    "no-vec": CompilerOptions(),
+    "no-vec": CompilerOptions(vectorize="off"),
     "avx2 (no veclib)": CompilerOptions(
-        vectorize=True, use_vector_library=False, use_shuffle=False
+        vectorize="lanes", use_vector_library=False, use_shuffle=False
     ),
-    "avx2 +veclib": CompilerOptions(vectorize=True, use_shuffle=False),
-    "avx2 +veclib +shuffle": CompilerOptions(vectorize=True, use_shuffle=True),
+    "avx2 +veclib": CompilerOptions(vectorize="lanes", use_shuffle=False),
+    "avx2 +veclib +shuffle": CompilerOptions(vectorize="lanes", use_shuffle=True),
 }
 
 

@@ -59,9 +59,9 @@ def _record(name, per_sample_seconds):
 
 
 CONFIGS = {
-    "spnc no-vec": CompilerOptions(),
-    "spnc avx2": CompilerOptions(vectorize=True, opt_level=2),
-    "spnc avx512": CompilerOptions(vectorize=True, vector_isa="avx512", opt_level=2),
+    "spnc no-vec": CompilerOptions(vectorize="off"),
+    "spnc avx2": CompilerOptions(vectorize="lanes", opt_level=2),
+    "spnc avx512": CompilerOptions(vectorize="lanes", vector_isa="avx512", opt_level=2),
 }
 
 

@@ -36,7 +36,7 @@ def test_fig10_partition_size(benchmark, psize):
     spn = workload["roots"][0]
     images = workload["images"].test
     query = JointProbability(batch_size=images.shape[0])
-    options = CompilerOptions(max_partition_size=psize, vectorize=True)
+    options = CompilerOptions(max_partition_size=psize, vectorize="lanes")
 
     holder = {"compile_seconds": float("inf")}
 

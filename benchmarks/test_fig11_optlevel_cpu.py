@@ -40,7 +40,7 @@ def test_fig11_opt_level(benchmark, opt):
     images = workload["images"].test
     query = JointProbability(batch_size=images.shape[0])
     options = CompilerOptions(
-        max_partition_size=PARTITION_SIZE, vectorize=True, opt_level=opt
+        max_partition_size=PARTITION_SIZE, vectorize="lanes", opt_level=opt
     )
 
     holder = {}

@@ -67,7 +67,7 @@ def test_tab_spnc_cpu(benchmark):
     images = workload["images"].test
     query = JointProbability(batch_size=images.shape[0])
     options = CompilerOptions(
-        vectorize=True, opt_level=2, max_partition_size=2500
+        vectorize="lanes", opt_level=2, max_partition_size=2500
     )
     executables = [
         compile_spn(spn, query, options).executable for spn in workload["roots"]
@@ -90,7 +90,7 @@ def test_tab_spnc_cpu_multihead(benchmark):
     workload = rat_workload()
     images = workload["images"].test
     query = JointProbability(batch_size=images.shape[0])
-    options = CompilerOptions(vectorize=True, opt_level=2, max_partition_size=2500)
+    options = CompilerOptions(vectorize="lanes", opt_level=2, max_partition_size=2500)
     executable = compile_spn(list(workload["roots"]), query, options).executable
 
     benchmark(lambda: executable(images))

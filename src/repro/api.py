@@ -142,13 +142,15 @@ class _CompilerBase:
         return tuple(spn) if isinstance(spn, (list, tuple)) else (spn,)
 
     def _fingerprint(self, query: JointProbability, target: str) -> tuple:
+        # Normalize through CompilerOptions so equivalent spellings (e.g.
+        # vectorize=True vs "lanes") share a cache entry while any change
+        # to the vectorization mode/width/veclib configuration — or any
+        # other kernel-affecting option — recompiles instead of returning
+        # a stale kernel.
+        options_key = self._options(target).cache_fingerprint()
         return (
-            target,
-            self.opt_level,
-            self.max_partition_size,
-            self.use_log_space,
+            options_key,
             self.via_serialization,
-            tuple(sorted(self.target_options.items())),
             query.batch_size,
             query.input_dtype,
             query.support_marginal,

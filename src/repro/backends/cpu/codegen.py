@@ -131,12 +131,21 @@ class CodeGenerator:
     """
 
     def __init__(self, module: Operation, reuse_vector_registers: bool = False):
+        # Local import: runtime.executable imports this module at load time.
+        from ...runtime.bufferpool import BufferPool
+
         self.module = module
         self.reuse_vector_registers = reuse_vector_registers
-        self._scratch_pools: Dict[Tuple[int, str], List[str]] = {}
-        self._scratch_pool_of: Dict[str, Tuple[int, str]] = {}
+        self._scratch_pools: Dict[Tuple[Optional[int], str], List[str]] = {}
+        self._scratch_pool_of: Dict[str, Tuple[Optional[int], str]] = {}
         self._scratch_decls: Dict[str, str] = {}
         self._scratch_created = 0
+        #: Reusable temp-buffer pool shared by every function of this
+        #: module: memref temporaries and runtime-width scratch vectors
+        #: are fetched from it per invocation instead of np.empty'd.
+        self.buffer_pool = BufferPool()
+        self._alloc_count = 0
+        self._uses_batch_width = False
         self.lines: List[str] = []
         self.globals: Dict[str, Any] = {
             "np": np,
@@ -152,6 +161,7 @@ class CodeGenerator:
             "_vlog1p": veclib.vlog1p,
             "_vsqrt": veclib.vsqrt,
             "_scalarized": veclib.scalarized,
+            "_tmp_pool": self.buffer_pool,
         }
         self.stats = CodegenStats()
         self._table_count = 0
@@ -183,7 +193,9 @@ class CodeGenerator:
             for name in namespace
             if callable(namespace.get(name)) and not name.startswith("_") and name != "np"
         }
-        return GeneratedModule(source, namespace, functions, self.stats)
+        return GeneratedModule(
+            source, namespace, functions, self.stats, self.buffer_pool
+        )
 
     # -- naming / regalloc ----------------------------------------------------------
 
@@ -229,6 +241,7 @@ class CodeGenerator:
         self._scratch_pools = {}
         self._scratch_pool_of = {}
         self._scratch_decls = {}
+        self._uses_batch_width = False
         args = fn.body_block.arguments
         arg_names = [self._assign_fixed(arg, f"a{i}") for i, arg in enumerate(args)]
         self.lines.append(f"def {fn.attributes['sym_name']}({', '.join(arg_names)}):")
@@ -240,12 +253,25 @@ class CodeGenerator:
                 f"    {name} = {expr}"
                 for name, expr in sorted(self._scratch_decls.items())
             ]
+            if self._uses_batch_width:
+                # Runtime-width scratch: the chunk width comes from the
+                # first dynamic memref dimension among the arguments.
+                decls.insert(0, f"    _n = {self._batch_width_expr(fn)}")
             self.lines[body_lines_before:body_lines_before] = decls
         if len(self.lines) == body_lines_before:
             self.lines.append("    pass")
         self.lines.append("")
         self.stats.registers_allocated = max(
             self.stats.registers_allocated, self._pool.created
+        )
+
+    def _batch_width_expr(self, fn: Operation) -> str:
+        for i, arg in enumerate(fn.body_block.arguments):
+            ty = arg.type
+            if isinstance(ty, MemRefType) and None in ty.shape:
+                return f"a{i}.shape[{ty.shape.index(None)}]"
+        raise CodegenError(
+            "runtime-width vectors require a dynamically sized memref argument"
         )
 
     def _emit_block(self, block: Block, indent: int) -> None:
@@ -338,9 +364,18 @@ class CodeGenerator:
         else:
             name = f"v{self._scratch_created}"
             self._scratch_created += 1
-            self._scratch_decls[name] = (
-                f"np.empty({key[0]}, dtype=np.{key[1]})"
-            )
+            if key[0] is None:
+                # Runtime-width scratch lives in the reusable buffer
+                # pool: same slot, same thread → same backing array on
+                # every chunk, so steady state allocates nothing.
+                self._uses_batch_width = True
+                self._scratch_decls[name] = (
+                    f"_tmp_pool.buffer({name!r}, _n, np.{key[1]})"
+                )
+            else:
+                self._scratch_decls[name] = (
+                    f"np.empty({key[0]}, dtype=np.{key[1]})"
+                )
             self._scratch_pool_of[name] = key
         self._names[value] = name
         self.stats.values_assigned += 1
@@ -379,6 +414,9 @@ class GeneratedModule:
     namespace: Dict[str, Any]
     functions: Dict[str, Any]
     stats: CodegenStats
+    #: Reusable temp-buffer pool the generated code draws intermediates
+    #: from (None for backends that do not pool temporaries).
+    buffer_pool: Optional[Any] = None
 
     def get(self, name: str):
         fn = self.functions.get(name)
@@ -621,6 +659,13 @@ def _h_broadcast(cg, op, indent):
     cg._expr_result(op, indent, cg._name_of(op.operands[0]))
 
 
+def _width_slice(start: str, width: Optional[int]) -> str:
+    """[start, start+width) subscript text; open-ended for dynamic widths."""
+    if width is None:
+        return f"{start}:"
+    return f"{start}:{start}+{width}"
+
+
 @handles("vector.load")
 def _h_vload(cg, op, indent):
     buf = cg._name_of(op.operands[0])
@@ -628,7 +673,7 @@ def _h_vload(cg, op, indent):
     width = op.results[0].type.shape[0]
     lead = ", ".join(idx[:-1])
     prefix = f"{lead}, " if lead else ""
-    cg._expr_result(op, indent, f"{buf}[{prefix}{idx[-1]}:{idx[-1]}+{width}]")
+    cg._expr_result(op, indent, f"{buf}[{prefix}{_width_slice(idx[-1], width)}]")
 
 
 @handles("vector.store")
@@ -639,7 +684,7 @@ def _h_vstore(cg, op, indent):
     width = op.operands[0].type.shape[0]
     lead = ", ".join(idx[:-1])
     prefix = f"{lead}, " if lead else ""
-    cg._line(indent, f"{buf}[{prefix}{idx[-1]}:{idx[-1]}+{width}] = {value}")
+    cg._line(indent, f"{buf}[{prefix}{_width_slice(idx[-1], width)}] = {value}")
 
 
 @handles("vector.gather")
@@ -647,8 +692,13 @@ def _h_vgather(cg, op, indent):
     buf = cg._name_of(op.operands[0])
     base = cg._name_of(op.operands[1])
     width = op.results[0].type.shape[0]
+    column = op.attributes["column"]
+    if width is None:
+        # Runtime width: the whole column from base on, as a strided view.
+        cg._expr_result(op, indent, f"{buf}[{base}:, {column}]")
+        return
     arange = cg._arange_global(width)
-    cg._expr_result(op, indent, f"{buf}[{arange} + {base}, {op.attributes['column']}]")
+    cg._expr_result(op, indent, f"{buf}[{arange} + {base}, {column}]")
 
 
 @handles("vector.load_tile")
@@ -658,7 +708,7 @@ def _h_load_tile(cg, op, indent):
     rows = op.results[0].type.shape[0]
     # W contiguous row loads + in-register shuffles == one transposed copy.
     cg._expr_result(
-        op, indent, f"np.ascontiguousarray({buf}[{base}:{base}+{rows}].T)"
+        op, indent, f"np.ascontiguousarray({buf}[{_width_slice(base, rows)}].T)"
     )
 
 
@@ -708,7 +758,16 @@ def _h_alloc(cg, op, indent):
     for dim in ty.shape:
         dims.append(next(operand_iter) if dim is None else str(dim))
     shape = ", ".join(dims) + ("," if len(dims) == 1 else "")
-    cg._expr_result(op, indent, f"np.empty(({shape}), dtype={_dtype_expr(ty.element_type)})")
+    # Temporaries come from the reusable buffer pool, keyed by a stable
+    # module-unique slot: re-invoking the kernel on same-shaped chunks
+    # reuses the retained backing arrays instead of allocating.
+    slot = f"m{cg._alloc_count}"
+    cg._alloc_count += 1
+    cg._expr_result(
+        op,
+        indent,
+        f"_tmp_pool.buffer({slot!r}, ({shape}), {_dtype_expr(ty.element_type)})",
+    )
 
 
 @handles("memref.dealloc")

@@ -7,6 +7,12 @@ every lane, call the scalar libm routine, and re-insert the result
 (see :func:`scalarized` below), which is slower than not vectorizing at
 all.
 
+The entry points are width-agnostic: the same routines serve fixed
+ISA-lane registers (length-W arrays) and the batch-vectorized kernels'
+runtime-width vectors spanning a whole chunk. The optional ``out=``
+parameter lets register-reusing code write results into preallocated
+scratch, mirroring NumPy ufunc semantics.
+
 Scalar guarded helpers (`slog` etc.) give the generated scalar code libm
 semantics — ``log(0) = -inf`` instead of a raised ``ValueError``.
 """
@@ -14,6 +20,7 @@ semantics — ``log(0) = -inf`` instead of a raised ``ValueError``.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
@@ -24,24 +31,24 @@ NAN = float("nan")
 
 # --- vectorized entry points (SVML equivalents) ------------------------------------
 
-def vlog(values: np.ndarray) -> np.ndarray:
+def vlog(values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     with np.errstate(divide="ignore", invalid="ignore"):
-        return np.log(values)
+        return np.log(values, out=out)
 
 
-def vexp(values: np.ndarray) -> np.ndarray:
+def vexp(values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     with np.errstate(over="ignore"):
-        return np.exp(values)
+        return np.exp(values, out=out)
 
 
-def vlog1p(values: np.ndarray) -> np.ndarray:
+def vlog1p(values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     with np.errstate(divide="ignore", invalid="ignore"):
-        return np.log1p(values)
+        return np.log1p(values, out=out)
 
 
-def vsqrt(values: np.ndarray) -> np.ndarray:
+def vsqrt(values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
     with np.errstate(invalid="ignore"):
-        return np.sqrt(values)
+        return np.sqrt(values, out=out)
 
 
 # --- guarded scalar versions (libm semantics, no exceptions) -------------------------

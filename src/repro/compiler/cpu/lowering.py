@@ -5,13 +5,22 @@ Each ``lo_spn.kernel`` becomes a ``func.func`` that calls one function per
 the batch; SPN operations lower to scalar arithmetic via
 :class:`ScalarEmitter`.
 
-With vectorization enabled, the batch loop is rewritten data-parallel: a
-vector loop computes W samples per iteration (W = ISA lanes × a
-register-blocking factor for the Python backend, see DESIGN.md), followed
-by a scalar epilogue for the remainder. Input features are fetched either
-with per-feature strided gathers or — in the "+Shuffle" configuration —
-with one contiguous row-tile load per iteration followed by in-register
-column extraction.
+Three vectorization modes (``CPULoweringOptions.vectorize``):
+
+- ``"off"``: a plain scalar loop over the batch.
+- ``"lanes"``: the paper's literal strategy — a vector loop computes W
+  samples per iteration (W = ISA lanes × a register-blocking factor for
+  the Python backend, see DESIGN.md), followed by a scalar epilogue for
+  the remainder. Input features are fetched either with per-feature
+  strided gathers or — in the "+Shuffle" configuration — with one
+  contiguous row-tile load per iteration followed by in-register column
+  extraction.
+- ``"batch"``: the paper's vectorizer reinterpreted with W = the whole
+  chunk. The batch loop disappears entirely: every LoSPN op becomes one
+  op on a runtime-width vector (``vector<?xf64>``) spanning the chunk
+  axis, so the generated kernel is straight-line NumPy code with no
+  per-sample interpreter overhead and no scalar epilogue — a short tail
+  chunk simply runs the same kernel at a smaller width.
 
 Without a vector math library, vectorized transcendentals are scalarized
 (:func:`scalarize_vector_math`), reproducing the paper's observation that
@@ -21,7 +30,7 @@ vectorization *without* a veclib is slower than scalar code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ...dialects import (
     arith,
@@ -63,19 +72,47 @@ NEON = VectorISA("neon", 4, 2)
 
 ISAS = {isa.name: isa for isa in (AVX2, AVX512, NEON)}
 
+#: The supported vectorization strategies (see module docstring).
+VECTORIZE_MODES = ("off", "lanes", "batch")
+
+
+def normalize_vectorize_mode(value: Union[bool, str, None]) -> str:
+    """Canonicalize a user-facing ``vectorize`` spelling to a mode name.
+
+    Booleans are accepted for backward compatibility: ``True`` selects
+    the fixed-lane strategy (the pre-batch meaning of ``vectorize=True``)
+    and ``False``/``None`` disable vectorization.
+    """
+    if value is True:
+        return "lanes"
+    if value is False or value is None:
+        return "off"
+    if value in VECTORIZE_MODES:
+        return value
+    raise ValueError(
+        f"unknown vectorize mode {value!r} "
+        f"(expected one of {', '.join(VECTORIZE_MODES)}, or a bool)"
+    )
+
 
 @dataclass
 class CPULoweringOptions:
     """Configuration of the CPU mapping strategy (paper Section V-A1)."""
 
-    vectorize: bool = False
+    #: "off" | "lanes" | "batch" (bools accepted: True == "lanes").
+    vectorize: Union[bool, str] = False
     isa: VectorISA = AVX2
     use_vector_library: bool = True
     use_shuffle: bool = True
     #: Samples processed per vector iteration = lanes * superword_factor.
     #: Register blocking amortizes the Python backend's per-op dispatch
     #: the way real SIMD amortizes instruction overhead (DESIGN.md).
+    #: Only meaningful in "lanes" mode; "batch" mode always uses the
+    #: full chunk width.
     superword_factor: int = 128
+
+    def vectorize_mode(self) -> str:
+        return normalize_vectorize_mode(self.vectorize)
 
 
 def lower_kernel_to_cpu(
@@ -83,6 +120,7 @@ def lower_kernel_to_cpu(
 ) -> ModuleOp:
     """Lower all bufferized LoSPN kernels in ``module`` to func/scf form."""
     options = options or CPULoweringOptions()
+    mode = options.vectorize_mode()
     new_module = ModuleOp.build()
     builder = Builder.at_end(new_module.body)
     for op in module.body_block.ops:
@@ -90,7 +128,7 @@ def lower_kernel_to_cpu(
             _lower_kernel(op, builder, options)
         else:
             builder.insert(op.clone({}))
-    if options.vectorize and not options.use_vector_library:
+    if mode != "off" and not options.use_vector_library:
         scalarize_vector_math(new_module)
     return new_module
 
@@ -158,17 +196,28 @@ def _lower_task(
     fb = Builder.at_end(fn.body)
     args = fn.body.arguments
 
-    dim_operand, dim_axis = _batch_dim_source(task)
-    n = fb.create(memref_dialect.DimOp, args[dim_operand], dim_axis).result
+    mode = options.vectorize_mode()
     c0 = fb.create(arith.ConstantOp, 0, index_type).result
-    c1 = fb.create(arith.ConstantOp, 1, index_type).result
 
     # Constant tables (.rodata) go to the function entry, ahead of the loop.
     table_builder = Builder.at_start(fn.body)
 
     compute_type, log_space = _task_compute_info(task)
 
-    if options.vectorize:
+    if mode == "batch":
+        # W = the whole chunk: no loop, no epilogue. Every op below works
+        # on a runtime-width vector spanning the full batch axis starting
+        # at sample 0; a short tail chunk just runs at a smaller width.
+        emitter = VectorEmitter(fb, table_builder, compute_type, log_space, None)
+        _emit_samples(task, fb, emitter, c0, args, options, True, None)
+        fb.create(func_dialect.ReturnOp, [])
+        return
+
+    dim_operand, dim_axis = _batch_dim_source(task)
+    n = fb.create(memref_dialect.DimOp, args[dim_operand], dim_axis).result
+    c1 = fb.create(arith.ConstantOp, 1, index_type).result
+
+    if mode == "lanes":
         lanes = options.isa.lanes(compute_type) * options.superword_factor
         width = fb.create(arith.ConstantOp, lanes, index_type).result
         chunks = fb.create(arith.DivSIOp, n, width).result
@@ -178,20 +227,24 @@ def _lower_task(
         vb = Builder.at_end(vector_loop.body_block)
         emitter = VectorEmitter(vb, table_builder, compute_type, log_space, lanes)
         _emit_samples(
-            task, vb, emitter, vector_loop.induction_var, args, options, lanes
+            task, vb, emitter, vector_loop.induction_var, args, options, True, lanes
         )
         vb.create(scf.YieldOp, [])
 
         epilogue = fb.create(scf.ForOp, nvec, n, c1)
         eb = Builder.at_end(epilogue.body_block)
         scalar = ScalarEmitter(eb, table_builder, compute_type, log_space)
-        _emit_samples(task, eb, scalar, epilogue.induction_var, args, options, None)
+        _emit_samples(
+            task, eb, scalar, epilogue.induction_var, args, options, False, None
+        )
         eb.create(scf.YieldOp, [])
     else:
         loop = fb.create(scf.ForOp, c0, n, c1)
         lb = Builder.at_end(loop.body_block)
         scalar = ScalarEmitter(lb, table_builder, compute_type, log_space)
-        _emit_samples(task, lb, scalar, loop.induction_var, args, options, None)
+        _emit_samples(
+            task, lb, scalar, loop.induction_var, args, options, False, None
+        )
         lb.create(scf.YieldOp, [])
 
     fb.create(func_dialect.ReturnOp, [])
@@ -219,10 +272,14 @@ def _emit_samples(
     sample_index: Value,
     func_args,
     options: CPULoweringOptions,
+    vectorized: bool,
     lanes: Optional[int],
 ) -> None:
-    """Emit the per-sample (or per-vector-of-samples) computation."""
-    vectorized = lanes is not None
+    """Emit the per-sample (or per-vector-of-samples) computation.
+
+    ``lanes`` is the static vector width, or ``None`` for batch mode
+    (runtime-width vectors spanning the whole chunk).
+    """
     arg_map: Dict[Value, Value] = dict(zip(task.input_args, func_args))
     value_map: Dict[Value, Value] = {}
     tile_cache: Dict[int, Value] = {}

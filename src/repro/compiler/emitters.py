@@ -298,6 +298,10 @@ class VectorEmitter(ScalarEmitter):
     Reuses every ScalarEmitter recipe; the overrides below lift constants
     to broadcasts, indexes to integer vectors, and table lookups to
     vector gathers.
+
+    ``lanes`` is the static vector width, or ``None`` for batch
+    vectorization: values become runtime-width vectors
+    (``vector<?xf64>``) spanning the whole chunk.
     """
 
     def __init__(
@@ -306,7 +310,7 @@ class VectorEmitter(ScalarEmitter):
         table_builder: Builder,
         compute_type: FloatType,
         log_space: bool,
-        lanes: int,
+        lanes: Optional[int],
         discrete_mode: str = "lookup",
     ):
         super().__init__(builder, table_builder, compute_type, log_space, discrete_mode)

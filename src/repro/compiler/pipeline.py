@@ -53,7 +53,13 @@ from ..spn.query import JointProbability
 from ..backends.cpu.codegen import generate_cpu_module, numpy_dtype
 from ..runtime.executable import CPUExecutable, KernelSignature
 from .bufferization import bufferize, insert_deallocations, remove_result_copies
-from .cpu.lowering import CPULoweringOptions, ISAS, lower_kernel_to_cpu
+from .cpu.lowering import (
+    CPULoweringOptions,
+    ISAS,
+    VECTORIZE_MODES,
+    lower_kernel_to_cpu,
+    normalize_vectorize_mode,
+)
 from .frontend import build_hispn_module
 from .hispn_passes import simplify_hispn
 from .lower_to_lospn import lower_to_lospn
@@ -66,8 +72,12 @@ class CompilerOptions:
 
     target: str = "cpu"  # "cpu" | "gpu"
     opt_level: int = 1
-    # CPU mapping strategy (Section V-A1).
-    vectorize: bool = False
+    # CPU mapping strategy (Section V-A1). ``vectorize`` selects the
+    # batch-loop strategy: "batch" (default — whole-chunk NumPy vector
+    # kernels), "lanes" (fixed ISA-width vectors + scalar epilogue, for
+    # the fig06/fig11 design-space exploration) or "off" (scalar loop).
+    # Bools are accepted for backward compatibility (True == "lanes").
+    vectorize: "bool | str" = "batch"
     vector_isa: str = "avx2"
     use_vector_library: bool = True
     use_shuffle: bool = True
@@ -97,6 +107,10 @@ class CompilerOptions:
             raise OptionsError(f"unknown target '{self.target}'")
         if not 0 <= self.opt_level <= 3:
             raise OptionsError("opt_level must be in 0..3")
+        try:
+            self.vectorize = normalize_vectorize_mode(self.vectorize)
+        except ValueError as error:
+            raise OptionsError(str(error)) from None
         if self.vector_isa not in ISAS:
             raise OptionsError(f"unknown vector ISA '{self.vector_isa}'")
         if self.fallback not in ("raise", "interpret", "warn"):
@@ -104,6 +118,26 @@ class CompilerOptions:
                 f"unknown fallback policy '{self.fallback}' "
                 "(expected 'raise', 'interpret' or 'warn')"
             )
+
+    def cache_fingerprint(self) -> tuple:
+        """Normalized tuple of every option that affects the compiled
+        kernel — the compiler caches key on this, so two spellings of the
+        same configuration share an entry and any change in vectorization
+        mode/width/veclib recompiles."""
+        return (
+            self.target,
+            self.opt_level,
+            self.vectorize,  # already normalized to "off"/"lanes"/"batch"
+            self.vector_isa,
+            self.use_vector_library,
+            self.use_shuffle,
+            self.superword_factor,
+            self.num_threads,
+            self.max_partition_size,
+            self.use_log_space,
+            self.gpu_block_size,
+            self.collect_ir,
+        )
 
 
 @dataclass
@@ -336,7 +370,13 @@ def _compile_cpu(
     if options.opt_level >= 3:
         timer.run("canonicalize-3", lambda: canonicalize(lowered), lowered)
 
-    reuse_registers = options.opt_level >= 2 and options.vectorize
+    # Scratch (out=) register reuse: at -O2+ for fixed-lane vectors, and
+    # already at -O1 for batch vectors — whole-chunk scratch reuse is
+    # what keeps the batch kernel allocation-free in steady state.
+    mode = normalize_vectorize_mode(options.vectorize)
+    reuse_registers = (mode == "lanes" and options.opt_level >= 2) or (
+        mode == "batch" and options.opt_level >= 1
+    )
     generated = timer.run(
         "codegen",
         lambda: generate_cpu_module(lowered, reuse_vector_registers=reuse_registers),

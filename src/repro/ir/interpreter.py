@@ -330,13 +330,18 @@ def _broadcast(interp, op, env):
     interp._set(op, env, interp._in(op, env, 0))
 
 
+def _width_slice(start, width):
+    """[start, start+width), open-ended for dynamic (None) widths."""
+    return slice(start, None if width is None else start + width)
+
+
 @op_handler("vector.load")
 def _vload(interp, op, env):
     buf = interp._in(op, env, 0)
     idx = [env[v] for v in op.operands[1:]]
     width = op.results[0].type.shape[0]
     lead = tuple(idx[:-1])
-    interp._set(op, env, buf[lead + (slice(idx[-1], idx[-1] + width),)])
+    interp._set(op, env, buf[lead + (_width_slice(idx[-1], width),)])
 
 
 @op_handler("vector.store")
@@ -345,7 +350,7 @@ def _vstore(interp, op, env):
     buf = interp._in(op, env, 1)
     idx = [env[v] for v in op.operands[2:]]
     width = op.operands[0].type.shape[0]
-    buf[tuple(idx[:-1]) + (slice(idx[-1], idx[-1] + width),)] = value
+    buf[tuple(idx[:-1]) + (_width_slice(idx[-1], width),)] = value
 
 
 @op_handler("vector.gather")
@@ -353,7 +358,11 @@ def _vgather(interp, op, env):
     buf = interp._in(op, env, 0)
     base = interp._in(op, env, 1)
     width = op.results[0].type.shape[0]
-    interp._set(op, env, buf[np.arange(width) + base, op.attributes["column"]])
+    column = op.attributes["column"]
+    if width is None:
+        interp._set(op, env, buf[base:, column])
+    else:
+        interp._set(op, env, buf[np.arange(width) + base, column])
 
 
 @op_handler("vector.load_tile")
@@ -361,7 +370,9 @@ def _load_tile(interp, op, env):
     buf = interp._in(op, env, 0)
     base = interp._in(op, env, 1)
     rows = op.results[0].type.shape[0]
-    interp._set(op, env, np.ascontiguousarray(buf[base : base + rows].T))
+    interp._set(
+        op, env, np.ascontiguousarray(buf[_width_slice(base, rows)].T)
+    )
 
 
 @op_handler("vector.extract_column")

@@ -146,15 +146,20 @@ class MemRefType(_ShapedType):
 
 
 class VectorType(_ShapedType):
-    """A fixed-length SIMD vector (``vector<8xf32>``)."""
+    """A SIMD vector (``vector<8xf32>``).
+
+    Dimensions are usually static lane counts, but a dimension may be
+    dynamic (``None``, printed ``?``) for batch-vectorized kernels whose
+    vector width is the runtime chunk size (``vector<?xf64>``).
+    """
 
     __slots__ = ()
     _keyword = "vector"
 
     def __init__(self, shape, element_type: Type):
         shape = tuple(shape)
-        if any(d is None or d <= 0 for d in shape):
-            raise ValueError("vector dimensions must be static and positive")
+        if any(d is not None and d <= 0 for d in shape):
+            raise ValueError("vector dimensions must be positive")
         super().__init__(shape, element_type)
 
 

@@ -1,6 +1,13 @@
 """Runtime component: kernel loading, chunking, multi-threading."""
 
+from .bufferpool import BufferPool
 from .executable import CPUExecutable, KernelSignature
 from .threadpool import ChunkedExecutor, chunk_ranges
 
-__all__ = ["CPUExecutable", "KernelSignature", "ChunkedExecutor", "chunk_ranges"]
+__all__ = [
+    "BufferPool",
+    "CPUExecutable",
+    "KernelSignature",
+    "ChunkedExecutor",
+    "chunk_ranges",
+]

@@ -1,0 +1,107 @@
+"""Reusable temporary-buffer pool for generated kernels.
+
+The batch-vectorized CPU kernels (paper Section IV-A, with W = the
+chunk size) need per-op intermediates of runtime-dependent width: one
+scratch vector per live value, plus any ``memref`` temporaries the
+bufferization pass introduced. Allocating those with ``np.empty`` on
+every kernel invocation is pure churn — the ChunkedExecutor calls the
+same kernel once per chunk, with identical shapes for every full chunk.
+
+A :class:`BufferPool` keeps one array per *slot* (a codegen-assigned
+stable name such as ``v0`` or ``m1``) and hands out views:
+
+- first request for a slot allocates exactly the requested shape;
+- a request that fits the retained capacity returns a (zero-copy) view;
+- a larger request grows the retained array (per-dimension max), so a
+  short tail chunk followed by a full chunk at most doubles the
+  high-water footprint once.
+
+Buffers are **thread-local**: the multi-threaded runtime runs the same
+kernel concurrently on pool workers, and slots must never be shared
+across threads. Counters (``allocations``/``requests``) are aggregated
+across threads for observability — the steady-state regression test
+asserts that repeated same-shape invocations perform zero allocations.
+
+Pooled buffers are strictly kernel-internal. Results returned to the
+user are always freshly allocated by the executable, never views into
+the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+ShapeArg = Union[int, Tuple[int, ...]]
+
+
+class BufferPool:
+    """Slot-keyed, thread-local cache of reusable ndarray temporaries."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._allocations = 0
+        self._requests = 0
+
+    # -- accounting (aggregated across threads) ------------------------------
+
+    @property
+    def allocations(self) -> int:
+        """Number of backing-array allocations performed so far."""
+        return self._allocations
+
+    @property
+    def requests(self) -> int:
+        """Total number of :meth:`buffer` calls served so far."""
+        return self._requests
+
+    def _slots(self) -> Dict[str, np.ndarray]:
+        slots = getattr(self._local, "slots", None)
+        if slots is None:
+            slots = self._local.slots = {}
+        return slots
+
+    # -- the kernel-facing entry point ----------------------------------------
+
+    def buffer(self, slot: str, shape: ShapeArg, dtype) -> np.ndarray:
+        """Return a reusable uninitialized array of ``shape``/``dtype``.
+
+        The returned array is a view of this thread's retained backing
+        store for ``slot``; its contents are unspecified (like
+        ``np.empty``). Callers must fully define every element they
+        read — generated kernels do, by construction.
+        """
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        else:
+            shape = tuple(int(d) for d in shape)
+        slots = self._slots()
+        backing = slots.get(slot)
+        with self._lock:
+            self._requests += 1
+        if (
+            backing is None
+            or backing.dtype != np.dtype(dtype)
+            or backing.ndim != len(shape)
+            or any(c < d for c, d in zip(backing.shape, shape))
+        ):
+            grown = (
+                shape
+                if backing is None or backing.ndim != len(shape)
+                or backing.dtype != np.dtype(dtype)
+                else tuple(max(c, d) for c, d in zip(backing.shape, shape))
+            )
+            backing = np.empty(grown, dtype=dtype)
+            slots[slot] = backing
+            with self._lock:
+                self._allocations += 1
+        if backing.shape == shape:
+            return backing
+        return backing[tuple(slice(0, d) for d in shape)]
+
+    def clear(self) -> None:
+        """Drop this thread's retained buffers (counters are kept)."""
+        self._slots().clear()

@@ -6,6 +6,15 @@ The runtime owns output allocation, chunking and multi-threading — the
 generated kernel itself processes an arbitrary number of samples
 (batch size is only an optimization hint).
 
+Batch-vectorized kernels make the chunk hand-off the unit of
+parallelism: each chunk is passed *whole* to the wide kernel as a pair
+of array views, every LoSPN op inside runs as one NumPy call over the
+full chunk, and NumPy releases the GIL — so the ChunkedExecutor's
+worker threads overlap real work. Per-chunk temporaries come from the
+generated module's :class:`~repro.runtime.bufferpool.BufferPool`
+(thread-local slots), so steady-state execution allocates nothing per
+chunk beyond the one output array per call.
+
 Lifecycle: multi-threaded executables own a thread pool. Call
 :meth:`CPUExecutable.close` (or use the executable as a context
 manager) to release it deterministically; otherwise the pool is
@@ -123,3 +132,8 @@ class CPUExecutable:
     def source(self) -> str:
         """The generated Python source (the "object code" listing)."""
         return self.generated.source
+
+    @property
+    def buffer_pool(self):
+        """The kernel's reusable temp-buffer pool (observability/tests)."""
+        return self.generated.buffer_pool

@@ -12,10 +12,12 @@ transient faults (the fault-injection suite simulates them); a
 deterministically-failing chunk exhausts its budget and re-raises the
 last error.
 
-Honesty note (DESIGN.md): with Python as the ISA, scalar kernels hold the
-GIL, so threading mainly overlaps the NumPy portions of vectorized
-kernels. The structure matches the paper's runtime; absolute thread
-scaling does not.
+Honesty note (DESIGN.md): with Python as the ISA, scalar kernels hold
+the GIL, so threading over them is structural only. Batch-vectorized
+kernels change that: each chunk is one straight line of whole-chunk
+NumPy calls, which release the GIL, so worker threads genuinely overlap
+— the configuration where the paper's Section IV-B runtime design pays
+off in this reproduction.
 """
 
 from __future__ import annotations

@@ -29,8 +29,11 @@ def _add_compiler_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--target", choices=("cpu", "gpu"), default="cpu")
     parser.add_argument("--opt", type=int, default=1, choices=(0, 1, 2, 3),
                         help="optimization level (-O0..-O3)")
-    parser.add_argument("--vectorize", action="store_true",
-                        help="enable SIMD vectorization (CPU target)")
+    parser.add_argument("--vectorize", nargs="?", const="lanes", default="batch",
+                        choices=("off", "lanes", "batch"), metavar="MODE",
+                        help="batch-loop vectorization mode: off, lanes or "
+                             "batch (default: batch; a bare --vectorize "
+                             "selects the fixed-lane SIMD strategy)")
     parser.add_argument("--vector-isa", choices=("avx2", "avx512", "neon"),
                         default="avx2")
     parser.add_argument("--no-veclib", action="store_true",

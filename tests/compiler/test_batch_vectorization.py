@@ -1,0 +1,135 @@
+"""Batch-vectorization mode: scalar equivalence, tails, and buffer reuse.
+
+The batch mode (paper Section IV-A's vectorizer with W = the whole
+chunk) must be a pure performance transformation: for every batch size
+— including W-1/W/W+1 tails around the compiled chunk width and
+degenerate single-sample batches — the wide kernel's log-likelihoods
+must match the scalar kernel's within rtol 1e-9, and steady-state
+execution must not allocate fresh temporaries per chunk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_spn
+from repro.spn import JointProbability
+
+from ..conftest import make_discrete_spn, make_gaussian_spn
+
+#: The compiled chunk width used throughout; batch sizes probe the
+#: W-1 / W / W+1 boundary around it.
+W = 64
+
+BATCH_SIZES = (1, 7, W - 1, W, W + 1, 1000)
+
+RTOL = 1e-9
+
+
+def _query(**kwargs):
+    # relative_error=1e-9 forces float64 compute so scalar and batch
+    # kernels are comparable at rtol 1e-9 (f32 would dominate the error).
+    kwargs.setdefault("batch_size", W)
+    kwargs.setdefault("relative_error", 1e-9)
+    return JointProbability(**kwargs)
+
+
+def _pair(spn, query):
+    """Compile the same (spn, query) scalar and batch-vectorized."""
+    scalar = compile_spn(spn, query, CompilerOptions(vectorize="off")).executable
+    batch = compile_spn(spn, query, CompilerOptions(vectorize="batch")).executable
+    return scalar, batch
+
+
+def _gaussian_inputs(n, rng):
+    return rng.normal(0.0, 1.5, size=(n, 2))
+
+
+def _discrete_inputs(n, rng):
+    return np.column_stack(
+        [
+            rng.integers(0, 3, size=n).astype(np.float64),
+            rng.uniform(-0.5, 4.5, size=n),
+        ]
+    )
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_gaussian(self, n, rng):
+        scalar, batch = _pair(make_gaussian_spn(), _query())
+        inputs = _gaussian_inputs(n, rng)
+        np.testing.assert_allclose(batch(inputs), scalar(inputs), rtol=RTOL)
+
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_categorical_and_histogram(self, n, rng):
+        # Discrete leaves exercise the batched-gather path (one fancy
+        # index over the whole chunk instead of per-lane extracts).
+        scalar, batch = _pair(make_discrete_spn(), _query())
+        inputs = _discrete_inputs(n, rng)
+        np.testing.assert_allclose(batch(inputs), scalar(inputs), rtol=RTOL)
+
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_marginalized_query(self, n, rng):
+        scalar, batch = _pair(
+            make_gaussian_spn(), _query(support_marginal=True)
+        )
+        inputs = _gaussian_inputs(n, rng)
+        # NaN marks a marginalized-out feature; the wide select must
+        # behave exactly like the scalar branch.
+        inputs[rng.random(n) < 0.4, 0] = np.nan
+        inputs[rng.random(n) < 0.4, 1] = np.nan
+        out_b, out_s = batch(inputs), scalar(inputs)
+        assert not np.isnan(out_b).any()
+        np.testing.assert_allclose(out_b, out_s, rtol=RTOL)
+
+    def test_linear_space(self, rng):
+        query = _query()
+        options = CompilerOptions(vectorize="batch", use_log_space=False)
+        scalar = compile_spn(
+            make_gaussian_spn(), query, CompilerOptions(vectorize="off", use_log_space=False)
+        ).executable
+        batch = compile_spn(make_gaussian_spn(), query, options).executable
+        inputs = _gaussian_inputs(W + 1, rng)
+        np.testing.assert_allclose(batch(inputs), scalar(inputs), rtol=RTOL)
+
+
+class TestKernelShape:
+    def test_batch_kernel_is_straight_line(self):
+        """W = chunk means no batch loop and no scalar epilogue at all."""
+        _, batch = _pair(make_gaussian_spn(), _query())
+        assert "for " not in batch.source
+        assert "while " not in batch.source
+
+    def test_scalar_kernel_keeps_its_loop(self):
+        scalar, _ = _pair(make_gaussian_spn(), _query())
+        assert "for " in scalar.source
+
+    def test_batch_kernel_uses_runtime_width(self):
+        _, batch = _pair(make_gaussian_spn(), _query())
+        # Temporaries are sized from the incoming chunk, not a compile-
+        # time constant, so any tail size runs without an epilogue.
+        assert "_n = a0.shape[0]" in batch.source
+        assert "_tmp_pool.buffer(" in batch.source
+
+
+class TestBufferPoolReuse:
+    def test_steady_state_allocates_nothing(self, rng):
+        _, batch = _pair(make_gaussian_spn(), _query())
+        pool = batch.buffer_pool
+        assert pool is not None
+        batch(_gaussian_inputs(1000, rng))  # warm-up sizes the pool
+        warm = pool.allocations
+        for _ in range(5):
+            batch(_gaussian_inputs(1000, rng))
+        assert pool.allocations == warm
+        assert pool.requests > warm
+
+    def test_smaller_batches_reuse_grown_buffers(self, rng):
+        _, batch = _pair(make_gaussian_spn(), _query())
+        pool = batch.buffer_pool
+        batch(_gaussian_inputs(1000, rng))
+        warm = pool.allocations
+        # Every smaller batch fits in the already-grown backing arrays.
+        for n in (1, 7, W, 999):
+            batch(_gaussian_inputs(n, rng))
+        assert pool.allocations == warm

@@ -76,11 +76,16 @@ class TestShapedTypes:
         assert VectorType((8,), f32).spelling() == "vector<8xf32>"
         assert VectorType((8, 26), f32).spelling() == "vector<8x26xf32>"
 
-    def test_vector_requires_static_positive_dims(self):
-        with pytest.raises(ValueError):
-            VectorType((None,), f32)
+    def test_dynamic_vector_spelling(self):
+        # Batch-vectorized kernels use runtime-width vectors.
+        assert VectorType((None,), f64).spelling() == "vector<?xf64>"
+        assert VectorType((None, 26), f32).spelling() == "vector<?x26xf32>"
+
+    def test_vector_requires_positive_dims(self):
         with pytest.raises(ValueError):
             VectorType((0,), f32)
+        with pytest.raises(ValueError):
+            VectorType((-4,), f32)
 
     def test_rank_and_elements(self):
         ty = TensorType((3, 4), f32)
@@ -148,7 +153,11 @@ def shaped_types(draw):
     kind = draw(st.sampled_from(["tensor", "memref", "vector"]))
     if kind == "vector":
         dims = draw(
-            st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=2)
+            st.lists(
+                st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+                min_size=1,
+                max_size=2,
+            )
         )
         return VectorType(tuple(dims), elem)
     dims = draw(_dims)

@@ -45,6 +45,51 @@ class TestCacheHits:
         assert first is second
 
 
+class TestVectorizationFingerprint:
+    """The full vectorization configuration is part of the cache key."""
+
+    def test_mode_change_recompiles(self):
+        spn = make_gaussian_spn()
+        query = JointProbability(batch_size=32)
+        compilers = {
+            mode: CPUCompiler(batch_size=32, vectorize=mode)
+            for mode in ("off", "lanes", "batch")
+        }
+        prints = {m: c._fingerprint(query, "cpu") for m, c in compilers.items()}
+        assert len(set(prints.values())) == 3
+        # The kernels are genuinely different, not just distinct keys.
+        by_mode = {m: c.compile(spn) for m, c in compilers.items()}
+        assert "for " not in by_mode["batch"].executable.source
+        assert "for " in by_mode["off"].executable.source
+
+    def test_equivalent_spellings_share_an_entry(self):
+        spn = make_gaussian_spn()
+        legacy = CPUCompiler(batch_size=32, vectorize=True)
+        modern = CPUCompiler(batch_size=32, vectorize="lanes")
+        assert legacy._fingerprint(
+            JointProbability(batch_size=32), "cpu"
+        ) == modern._fingerprint(JointProbability(batch_size=32), "cpu")
+        off = CPUCompiler(batch_size=32, vectorize=False)
+        disabled = CPUCompiler(batch_size=32, vectorize="off")
+        assert off._fingerprint(
+            JointProbability(batch_size=32), "cpu"
+        ) == disabled._fingerprint(JointProbability(batch_size=32), "cpu")
+
+    def test_width_and_veclib_changes_recompile(self):
+        query = JointProbability(batch_size=32)
+        prints = {
+            CPUCompiler(
+                batch_size=32, vectorize="lanes", **kwargs
+            )._fingerprint(query, "cpu")
+            for kwargs in (
+                {"vector_isa": "avx2"},
+                {"vector_isa": "avx512"},
+                {"use_vector_library": False},
+            )
+        }
+        assert len(prints) == 3
+
+
 class TestWeakrefEviction:
     def test_entry_evicted_when_model_collected(self):
         compiler = CPUCompiler(batch_size=32)

@@ -36,6 +36,7 @@ defect to the caller:
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 import weakref
 from typing import Dict, List, Optional, Tuple
@@ -135,6 +136,23 @@ class _CompilerBase:
             batch_size=self.batch_size, support_marginal=self.support_marginal
         )
 
+    def _query_for(self, inputs: np.ndarray) -> JointProbability:
+        """The query to compile for a concrete input batch.
+
+        NaN evidence always means "marginalize this feature out" — the
+        semantics of the reference evaluator and of SPFlow. A kernel
+        compiled without marginal support treats its inputs as fully
+        observed and would propagate NaN (Gaussian) or zero probability
+        (discrete leaves) instead, so when a batch contains NaN evidence
+        the API transparently routes it to a marginal-supporting kernel
+        (a separate cache entry; fully-observed batches keep using the
+        cheaper non-marginal kernel).
+        """
+        query = self._default_query()
+        if not query.support_marginal and np.isnan(np.min(inputs)):
+            query = dataclasses.replace(query, support_marginal=True)
+        return query
+
     # -- caching -----------------------------------------------------------------
 
     @staticmethod
@@ -197,26 +215,34 @@ class _CompilerBase:
         linear probabilities otherwise. For a list of SPNs, the result
         is a ``[num_heads, batch]`` matrix from one multi-head kernel.
 
+        NaN evidence marks a feature as marginalized out (matching the
+        reference evaluator): batches containing NaN are automatically
+        served by a marginal-supporting kernel even when the compiler
+        was constructed with ``support_marginal=False``.
+
         With ``fallback="interpret"`` / ``"warn"``, any failure in the
         compile/execute path degrades down the cascade (GPU kernel →
         CPU kernel → reference interpreter) instead of raising.
         """
         inputs = np.asarray(inputs)
+        query = self._query_for(inputs)
         if self.fallback == "raise":
-            return self._compile_cached(spn, None, self.target).executable(inputs)
-        return self._degradable_log_likelihood(spn, inputs)
+            return self._compile_cached(spn, query, self.target).executable(inputs)
+        return self._degradable_log_likelihood(spn, inputs, query)
 
     def classify(self, spns, inputs: np.ndarray) -> np.ndarray:
         """Arg-max classification over per-class SPNs (one shared kernel)."""
         scores = self.log_likelihood(list(spns), inputs)
         return np.argmax(scores, axis=0)
 
-    def _degradable_log_likelihood(self, spn, inputs: np.ndarray) -> np.ndarray:
+    def _degradable_log_likelihood(
+        self, spn, inputs: np.ndarray, query: Optional[JointProbability] = None
+    ) -> np.ndarray:
         cascade = ["gpu", "cpu"] if self.target == "gpu" else ["cpu"]
         failures: List[Diagnostic] = []
         for rung, target in enumerate(cascade):
             try:
-                result = self._compile_cached(spn, None, target)
+                result = self._compile_cached(spn, query, target)
                 output = result.executable(inputs)
                 self._check_output(output, inputs, target)
             except Exception as error:

@@ -184,10 +184,30 @@ class ScalarEmitter:
     def categorical(
         self, x: Value, probabilities: Sequence[float], support_marginal: bool
     ) -> Value:
+        count = len(probabilities)
+        zero_prob = -math.inf if self.log_space else 0.0
+
         def emit(v: Value) -> Value:
-            idx = self._index_from(v, offset=0.0, scale=1.0)
-            idx = self._clamp_index(idx, len(probabilities))
-            return self._discrete_value(idx, self._target_space(probabilities))
+            # Domain rule shared with spn.nodes.Categorical.log_density:
+            # values outside [0, K) — including NaN, which fails both
+            # ordered comparisons — carry zero probability. The index is
+            # computed from a domain-safe placeholder so NaN/huge values
+            # never reach the float→int conversion.
+            b_ = self.builder
+            ge_lo = b_.create(arith.CmpFOp, "oge", v, self.constant(0.0)).result
+            lt_hi = b_.create(
+                arith.CmpFOp, "olt", v, self.constant(float(count))
+            ).result
+            in_domain = b_.create(arith.AndIOp, ge_lo, lt_hi).result
+            safe = b_.create(
+                arith.SelectOp, in_domain, v, self.constant(0.0)
+            ).result
+            idx = self._index_from(safe, offset=0.0, scale=1.0)
+            idx = self._clamp_index(idx, count)
+            value = self._discrete_value(idx, self._target_space(probabilities))
+            return b_.create(
+                arith.SelectOp, in_domain, value, self.constant(zero_prob)
+            ).result
 
         x = self.convert_input(x)
         if support_marginal:
@@ -211,15 +231,28 @@ class ScalarEmitter:
         lo, width = float(bounds[0]), float(widths[0])
         hi = float(bounds[-1])
         eps = math.log(HISTOGRAM_EPSILON) if self.log_space else HISTOGRAM_EPSILON
+        # The reference (spn.nodes.Histogram, mirroring SPFlow) floors
+        # every bucket at EPSILON so zero-density buckets never produce
+        # -inf; the compiled table must match.
+        probabilities = np.maximum(
+            np.asarray(probabilities, dtype=np.float64), HISTOGRAM_EPSILON
+        )
 
         def emit(v: Value) -> Value:
+            # Out-of-range values (including NaN without marginal
+            # support) receive the epsilon mass; the bucket index is
+            # computed from an in-range placeholder so NaN/huge values
+            # never reach the float→int conversion.
             b_ = self.builder
-            idx = self._index_from(v, offset=lo, scale=1.0 / width)
-            idx = self._clamp_index(idx, len(probabilities))
-            value = self._discrete_value(idx, self._target_space(probabilities))
             ge_lo = b_.create(arith.CmpFOp, "oge", v, self.constant(lo)).result
             lt_hi = b_.create(arith.CmpFOp, "olt", v, self.constant(hi)).result
             in_range = b_.create(arith.AndIOp, ge_lo, lt_hi).result
+            safe = b_.create(
+                arith.SelectOp, in_range, v, self.constant(lo)
+            ).result
+            idx = self._index_from(safe, offset=lo, scale=1.0 / width)
+            idx = self._clamp_index(idx, len(probabilities))
+            value = self._discrete_value(idx, self._target_space(probabilities))
             return b_.create(
                 arith.SelectOp, in_range, value, self.constant(eps)
             ).result

@@ -62,6 +62,8 @@ class ErrorCode:
     FALLBACK_CPU = "fallback-cpu-kernel"
     FALLBACK_INTERPRETER = "fallback-interpreter"
     FAULT_INJECTED = "fault-injected"
+    DIVERGENCE = "differential-divergence"
+    IR_FUZZ_FAILED = "ir-fuzz-failed"
 
 
 @dataclass

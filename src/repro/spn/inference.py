@@ -4,7 +4,13 @@ Implements batched bottom-up evaluation over the DAG with NumPy,
 supporting joint probability and marginal inference. Marginalized
 features are encoded as NaN in the input (matching the compiler's
 ``supportMarginal`` convention): a leaf whose evidence is missing
-contributes probability 1 (log 0).
+contributes probability 1 (log 0). The compiled entry points in
+:mod:`repro.api` implement the same NaN rule, auto-routing batches
+with NaN evidence to a marginal-supporting kernel.
+
+Out-of-domain discrete evidence (a categorical value outside
+``[0, K)``) has probability zero — the same rule the compiled
+backends emit, see :class:`repro.spn.nodes.Categorical`.
 
 Every compiled kernel — CPU scalar, CPU vectorized, GPU — is validated
 against :func:`log_likelihood` in the tests.

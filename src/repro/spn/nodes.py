@@ -133,7 +133,15 @@ class Gaussian(Leaf):
 
 
 class Categorical(Leaf):
-    """A categorical leaf over values ``0..K-1``."""
+    """A categorical leaf over values ``0..K-1``.
+
+    The leaf's domain is the half-open interval ``[0, K)``: values are
+    truncated to their integer bucket, and any value outside the domain
+    (negative, ``>= K``, or non-numeric) has probability zero. This
+    out-of-domain rule is the single definition shared by the reference
+    evaluator, the IR interpreter and every compiled backend — the
+    differential oracle (:mod:`repro.testing.oracle`) checks they agree.
+    """
 
     __slots__ = ("probabilities",)
 
@@ -151,9 +159,14 @@ class Categorical(Leaf):
 
     def log_density(self, values: np.ndarray) -> np.ndarray:
         table = np.asarray(self.probabilities)
-        idx = np.clip(values.astype(np.int64), 0, len(table) - 1)
+        values = np.asarray(values, dtype=np.float64)
+        with np.errstate(invalid="ignore"):
+            in_domain = (values >= 0.0) & (values < float(len(table)))
+        safe = np.where(in_domain, values, 0.0)
+        idx = safe.astype(np.int64)
         with np.errstate(divide="ignore"):
-            return np.log(table[idx])
+            result = np.log(table[idx])
+        return np.where(in_domain, result, -np.inf)
 
 
 class Histogram(Leaf):

@@ -1,7 +1,16 @@
-"""Test-support utilities: deterministic fault injection.
+"""Test-support utilities: fault injection, generators, the oracle.
 
-Nothing in here runs in production paths unless explicitly armed via the
-context managers in :mod:`repro.testing.faults`.
+- :mod:`repro.testing.faults` — deterministic fault injection; nothing
+  here runs in production paths unless explicitly armed via its context
+  managers.
+- :mod:`repro.testing.generators` — seedable random SPN/query/input
+  generation for differential testing and property-based tests.
+- :mod:`repro.testing.oracle` — the cross-backend differential oracle
+  and IR fuzzer behind ``python -m repro fuzz``.
+
+``generators`` and ``oracle`` are intentionally *not* imported here:
+the compiler pipeline imports :mod:`repro.testing.faults`, and the
+oracle imports the pipeline — importing it eagerly would be a cycle.
 """
 
 from .faults import (

@@ -1,0 +1,631 @@
+"""Cross-backend differential-testing oracle and IR fuzzer.
+
+Every compiled configuration of the same SPN query — CPU scalar, CPU
+fixed-lane and whole-batch vectorized, GPU simulator, partitioned,
+different optimization levels, the IR interpreter — must compute the
+same log-likelihoods as the reference NumPy evaluator, up to the
+floating-point error bounds predicted by
+:mod:`repro.compiler.error_analysis`. This module turns that invariant
+into an executable oracle:
+
+- :class:`DifferentialOracle` runs a :class:`~repro.testing.generators.Case`
+  through every configured backend and compares against the reference
+  under calibrated tolerances. On divergence it *shrinks* the case
+  (single failing row, sum nodes collapsed to single children while the
+  divergence persists) and dumps a self-contained reproducer —
+  ``module.mlir``, ``options.json``, ``diagnostic.json``, ``model.spnb``,
+  ``inputs.npy`` and a README with the replay command — through the
+  :mod:`repro.diagnostics` artifact machinery (``$SPNC_ARTIFACT_DIR``).
+- :class:`IRFuzzer` stresses the IR layer itself: print → parse →
+  reprint must be a fixed point on fully lowered modules, and random
+  permutations of the target-independent pass pipeline must preserve
+  interpreter semantics.
+
+``python -m repro fuzz N --seed S`` (and the nightly CI job) drive both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.bufferization import (
+    bufferize,
+    insert_deallocations,
+    remove_result_copies,
+)
+from ..compiler.cpu.lowering import CPULoweringOptions, lower_kernel_to_cpu
+from ..compiler.error_analysis import UNIT_ROUNDOFF, analyze_error
+from ..compiler.frontend import build_hispn_module
+from ..compiler.lower_to_lospn import decide_computation_type, lower_to_lospn
+from ..compiler.pipeline import CompilerOptions, compile_spn
+from ..diagnostics import (
+    Diagnostic,
+    ErrorCode,
+    Severity,
+    artifact_directory,
+    dump_reproducer,
+)
+from ..dialects import hispn
+from ..ir import parse_module, print_op, verify
+from ..ir.interpreter import Interpreter
+from ..ir.pipeline_spec import parse_pipeline
+from ..spn.inference import log_likelihood
+from ..spn.nodes import Node, Product, Sum, num_nodes
+from ..spn.query import JointProbability
+from ..spn.serialization import serialize_to_file
+from .generators import Case, CaseGenerator
+
+#: Safety factor applied to the analytic error bounds. The bounds are
+#: first-order worst-case estimates over a *modeled* input domain;
+#: real inputs (extreme magnitudes, cancellation patterns) can exceed
+#: them by a small constant factor without indicating a semantic bug.
+#: Calibrated empirically: across seeded fuzz runs the worst observed
+#: gap stays a factor ~4 below the raw bound, so 8 keeps real headroom
+#: while still flagging any semantic deviation.
+TOLERANCE_SAFETY = 8.0
+
+#: Absolute floor of the log-space tolerance — two f64 reference-grade
+#: evaluations of the same tiny graph still differ by a few ulps.
+TOLERANCE_FLOOR = 1e-9
+
+#: The interpreter walks scalar IR one Python op at a time; cap the rows
+#: it replays per case so fuzzing stays fast. Divergences are per-row,
+#: so a prefix is as good a witness as the full batch.
+INTERPRETER_ROW_LIMIT = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfigSpec:
+    """One execution configuration the oracle compares against reference."""
+
+    name: str
+    kind: str = "compiled"  # "compiled" | "interpreter"
+    options: Dict[str, object] = dataclasses.field(default_factory=dict)
+    row_limit: Optional[int] = None
+
+    def compiler_options(self, artifact_dir: Optional[str] = None) -> CompilerOptions:
+        return CompilerOptions(fallback="raise", artifact_dir=artifact_dir,
+                               **self.options)
+
+
+#: The default configuration matrix: every CPU vectorization strategy,
+#: the opt-level extremes, graph partitioning, the GPU simulator and the
+#: IR interpreter.
+DEFAULT_CONFIGS: Tuple[ConfigSpec, ...] = (
+    ConfigSpec("cpu-o0-scalar", options={"vectorize": "off", "opt_level": 0}),
+    ConfigSpec("cpu-o1-lanes", options={"vectorize": "lanes", "opt_level": 1}),
+    ConfigSpec("cpu-o2-batch", options={"vectorize": "batch", "opt_level": 2}),
+    ConfigSpec(
+        "cpu-o3-partitioned",
+        options={"vectorize": "batch", "opt_level": 3, "max_partition_size": 6},
+    ),
+    ConfigSpec("gpu-sim", options={"target": "gpu"}),
+    ConfigSpec("interpreter", kind="interpreter", row_limit=INTERPRETER_ROW_LIMIT),
+)
+
+
+@dataclasses.dataclass
+class Divergence:
+    """A confirmed disagreement between a backend and the reference."""
+
+    case: Case
+    config: str
+    reference: np.ndarray
+    observed: np.ndarray
+    tolerance: np.ndarray
+    reproducer_path: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def worst_row(self) -> int:
+        return int(np.argmax(self._gap()))
+
+    @property
+    def max_gap(self) -> float:
+        return float(np.max(self._gap()))
+
+    def _gap(self) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            diff = np.abs(self.observed - self.reference)
+        # Structural mismatches (one-sided inf/NaN) rank above any
+        # numeric gap so shrinking homes in on them first.
+        diff = np.where(np.isnan(diff), np.inf, diff)
+        both_neg_inf = np.isneginf(self.observed) & np.isneginf(self.reference)
+        return np.where(both_neg_inf, 0.0, diff)
+
+    def describe(self) -> str:
+        if self.error is not None:
+            return f"{self.config} failed on {self.case.name}: {self.error}"
+        row = self.worst_row
+        return (
+            f"{self.config} diverges from reference on {self.case.describe()}: "
+            f"row {row}: {self.observed[row]!r} vs {self.reference[row]!r} "
+            f"(tolerance {self.tolerance[row]:.3e})"
+        )
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of a fuzzing run."""
+
+    cases_run: int = 0
+    configs_compared: int = 0
+    divergences: List[Divergence] = dataclasses.field(default_factory=list)
+    ir_failures: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.ir_failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.cases_run} case(s), "
+            f"{self.configs_compared} backend comparison(s), "
+            f"{len(self.divergences)} divergence(s), "
+            f"{len(self.ir_failures)} IR failure(s)"
+        ]
+        for divergence in self.divergences:
+            lines.append(f"  DIVERGENCE: {divergence.describe()}")
+            if divergence.reproducer_path:
+                lines.append(f"    reproducer: {divergence.reproducer_path}")
+        for failure in self.ir_failures:
+            lines.append(f"  IR: {failure}")
+        return "\n".join(lines)
+
+
+def compute_tolerance(
+    spn: Node, query: JointProbability, reference: np.ndarray
+) -> np.ndarray:
+    """Per-row comparison tolerance in log space.
+
+    Calibrated from the compiler's own error analysis: the bound of the
+    format the type decision actually selects, plus the f64-log bound
+    the reference evaluation is subject to, scaled by
+    :data:`TOLERANCE_SAFETY`. A relative term covers log magnitudes far
+    outside the modeled leaf domain (adversarial extreme inputs), where
+    representation error alone grows with ``|log p|``.
+    """
+    module = build_hispn_module(spn, query)
+    query_op = next(
+        op
+        for op in module.body_block.ops
+        if op.op_name == hispn.JointQueryOp.name
+    )
+    decision = decide_computation_type(query_op, use_log_space=True)
+    estimates = analyze_error(query_op)
+    width = decision.float_type.width
+    space = "log" if decision.use_log_space else "linear"
+    selected = estimates[f"f{width}-{space}"]
+    baseline = estimates["f64-log"]
+    atol = TOLERANCE_SAFETY * (
+        selected.max_relative_error + baseline.max_relative_error
+    )
+    atol = max(atol, TOLERANCE_FLOOR)
+    # |log p| beyond the modeled range: one unit roundoff per represented
+    # log value, accumulated over the graph's add chain.
+    rtol = TOLERANCE_SAFETY * UNIT_ROUNDOFF[width] * max(num_nodes(spn), 8)
+    with np.errstate(invalid="ignore"):
+        magnitude = np.where(np.isfinite(reference), np.abs(reference), 0.0)
+    return atol + rtol * magnitude
+
+
+def outputs_match(
+    observed: np.ndarray, reference: np.ndarray, tolerance: np.ndarray
+) -> np.ndarray:
+    """Per-row agreement under the log-space comparison rules.
+
+    ``-inf == -inf`` (probability zero on both sides) is agreement; a
+    one-sided ``-inf`` or any NaN is a structural divergence regardless
+    of tolerance.
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    both_neg_inf = np.isneginf(observed) & np.isneginf(reference)
+    structurally_bad = (
+        np.isnan(observed)
+        | np.isnan(reference)
+        | (np.isneginf(observed) ^ np.isneginf(reference))
+    )
+    with np.errstate(invalid="ignore"):
+        close = np.abs(observed - reference) <= tolerance
+    return both_neg_inf | (~structurally_bad & close)
+
+
+def run_interpreter(case: Case, row_limit: Optional[int] = None) -> np.ndarray:
+    """Evaluate a case by interpreting the fully lowered scalar IR."""
+    return _interpret_lowered(_lowered_module(case, "off"), case, row_limit)
+
+
+class DifferentialOracle:
+    """Compares every configured backend against the reference evaluator."""
+
+    def __init__(
+        self,
+        configs: Sequence[ConfigSpec] = DEFAULT_CONFIGS,
+        artifact_dir: Optional[str] = None,
+        shrink: bool = True,
+        dump_reproducers: bool = True,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        self.configs = tuple(configs)
+        self.artifact_dir = artifact_dir
+        self.shrink = shrink
+        self.dump_reproducers = dump_reproducers
+        self.log = log or (lambda message: None)
+        self.comparisons = 0
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_config(self, spec: ConfigSpec, case: Case) -> np.ndarray:
+        if spec.kind == "interpreter":
+            return run_interpreter(case, spec.row_limit)
+        options = spec.compiler_options(self.artifact_dir)
+        result = compile_spn(case.spn, case.query, options)
+        inputs = case.inputs
+        if spec.row_limit is not None:
+            inputs = inputs[:spec.row_limit]
+        values = result.executable(inputs)
+        return np.asarray(values, dtype=np.float64)
+
+    def check_case(self, case: Case) -> List[Divergence]:
+        """Run one case through every backend; shrink and dump failures."""
+        reference = log_likelihood(
+            case.spn,
+            case.inputs.astype(np.float64),
+            marginal=case.query.support_marginal,
+        )
+        tolerance = compute_tolerance(case.spn, case.query, reference)
+        divergences: List[Divergence] = []
+        for spec in self.configs:
+            self.comparisons += 1
+            divergence = self._check_config(spec, case, reference, tolerance)
+            if divergence is not None:
+                if self.shrink and divergence.error is None:
+                    divergence = self._shrink(spec, divergence)
+                if self.dump_reproducers:
+                    divergence.reproducer_path = self._dump(spec, divergence)
+                divergences.append(divergence)
+                self.log(divergence.describe())
+        return divergences
+
+    def _check_config(
+        self,
+        spec: ConfigSpec,
+        case: Case,
+        reference: np.ndarray,
+        tolerance: np.ndarray,
+    ) -> Optional[Divergence]:
+        limit = spec.row_limit
+        ref = reference[:limit] if limit is not None else reference
+        tol = tolerance[:limit] if limit is not None else tolerance
+        try:
+            observed = self.run_config(spec, case)
+        except Exception as error:  # a backend crash is a divergence too
+            return Divergence(
+                case=case,
+                config=spec.name,
+                reference=ref,
+                observed=np.full_like(ref, np.nan),
+                tolerance=tol,
+                error=f"{type(error).__name__}: {error}",
+            )
+        if outputs_match(observed, ref, tol).all():
+            return None
+        return Divergence(
+            case=case, config=spec.name, reference=ref,
+            observed=np.asarray(observed, dtype=np.float64), tolerance=tol,
+        )
+
+    # -- shrinking ---------------------------------------------------------------
+
+    def _shrink(self, spec: ConfigSpec, divergence: Divergence) -> Divergence:
+        """Minimize a failing case while the divergence persists.
+
+        Two scope-preserving reductions: keep only the single worst
+        input row, then repeatedly collapse sum nodes to one of their
+        children (sum children share the parent scope, so validity and
+        the feature count are untouched).
+        """
+        case = divergence.case
+        row = divergence.worst_row
+        candidate = case.replace(inputs=case.inputs[row:row + 1])
+        shrunk = self._recheck(spec, candidate) or divergence
+
+        improved = True
+        while improved:
+            improved = False
+            for target in _sum_nodes(shrunk.case.spn):
+                for child in target.children:
+                    smaller = _replace_node(shrunk.case.spn, target, child)
+                    if smaller is shrunk.case.spn:
+                        continue
+                    candidate = shrunk.case.replace(spn=smaller)
+                    reduced = self._recheck(spec, candidate)
+                    if reduced is not None:
+                        shrunk = reduced
+                        improved = True
+                        break
+                if improved:
+                    break
+        return shrunk
+
+    def _recheck(self, spec: ConfigSpec, case: Case) -> Optional[Divergence]:
+        try:
+            reference = log_likelihood(
+                case.spn,
+                case.inputs.astype(np.float64),
+                marginal=case.query.support_marginal,
+            )
+            tolerance = compute_tolerance(case.spn, case.query, reference)
+            return self._check_config(spec, case, reference, tolerance)
+        except Exception:
+            # A reduction that breaks the harness itself is not a valid
+            # smaller witness; keep the current one.
+            return None
+
+    # -- reproducer dumps --------------------------------------------------------
+
+    def _dump(self, spec: ConfigSpec, divergence: Divergence) -> Optional[str]:
+        case = divergence.case
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code=ErrorCode.DIVERGENCE,
+            message=divergence.describe(),
+            stage="differential-test",
+            target=str(spec.options.get("target", "cpu")),
+            detail={
+                "config": spec.name,
+                "seed": case.seed,
+                "index": case.index,
+                "max_gap": None if divergence.error else divergence.max_gap,
+            },
+        )
+        module_text = None
+        try:
+            module_text = print_op(
+                lower_to_lospn(build_hispn_module(case.spn, case.query))
+            )
+        except Exception:
+            pass
+        options = None
+        if spec.kind == "compiled":
+            try:
+                options = spec.compiler_options(self.artifact_dir)
+            except Exception:
+                options = dict(spec.options)
+        path = dump_reproducer(
+            diagnostic,
+            module_text=module_text,
+            options=options,
+            artifact_dir=self.artifact_dir,
+        )
+        if path is None:
+            return None
+        try:
+            serialize_to_file(
+                case.spn, case.query, os.path.join(path, "model.spnb")
+            )
+            np.save(os.path.join(path, "inputs.npy"), case.inputs)
+            with open(os.path.join(path, "README.txt"), "w") as handle:
+                handle.write(
+                    f"Differential divergence: {spec.name} vs reference\n"
+                    f"case: seed={case.seed} index={case.index}\n\n"
+                    "Replay the failing configuration:\n"
+                    f"  python -m repro run model.spnb inputs.npy {_replay_flags(spec)}\n\n"
+                    "Reference values:\n"
+                    f"  {divergence.reference.tolist()}\n"
+                    "Observed values:\n"
+                    f"  {divergence.observed.tolist()}\n"
+                )
+        except OSError:
+            pass
+        return path
+
+    # -- fuzzing loop ------------------------------------------------------------
+
+    def fuzz(
+        self,
+        count: int,
+        seed: int = 0,
+        start: int = 0,
+        max_features: int = 5,
+        max_depth: int = 3,
+        ir_share: float = 0.25,
+        report: Optional[FuzzReport] = None,
+    ) -> FuzzReport:
+        """Run ``count`` generated cases (plus interleaved IR fuzzing)."""
+        report = report or FuzzReport()
+        generator = CaseGenerator(
+            seed=seed, max_features=max_features, max_depth=max_depth
+        )
+        ir_fuzzer = IRFuzzer(artifact_dir=self.artifact_dir)
+        ir_every = max(1, int(round(1.0 / ir_share))) if ir_share > 0 else 0
+        for case in generator.cases(count, start=start):
+            report.cases_run += 1
+            report.divergences.extend(self.check_case(case))
+            if ir_every and case.index % ir_every == 0:
+                report.ir_failures.extend(ir_fuzzer.fuzz_case(case))
+        report.configs_compared = self.comparisons
+        return report
+
+
+def _replay_flags(spec: ConfigSpec) -> str:
+    options = spec.options
+    flags = []
+    if options.get("target"):
+        flags.append(f"--target {options['target']}")
+    if "opt_level" in options:
+        flags.append(f"--opt {options['opt_level']}")
+    if "vectorize" in options:
+        flags.append(f"--vectorize {options['vectorize']}")
+    if options.get("max_partition_size") is not None:
+        flags.append(f"--partition {options['max_partition_size']}")
+    return " ".join(flags)
+
+
+def _sum_nodes(root: Node) -> List[Sum]:
+    found: List[Sum] = []
+    seen = set()
+
+    def walk(node: Node) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, Sum):
+            found.append(node)
+        for child in getattr(node, "children", ()):
+            walk(child)
+
+    walk(root)
+    return found
+
+
+def _replace_node(root: Node, target: Node, replacement: Node) -> Node:
+    """Rebuild the tree with ``target`` swapped for ``replacement``."""
+    if root is target:
+        return replacement
+    if isinstance(root, Sum):
+        children = [_replace_node(c, target, replacement) for c in root.children]
+        if all(a is b for a, b in zip(children, root.children)):
+            return root
+        return Sum(children, root.weights)
+    if isinstance(root, Product):
+        children = [_replace_node(c, target, replacement) for c in root.children]
+        if all(a is b for a, b in zip(children, root.children)):
+            return root
+        return Product(children)
+    return root
+
+
+# --- IR-layer fuzzing ----------------------------------------------------------
+
+#: Pass names whose permutations must preserve semantics.
+PERMUTABLE_PASSES = ("canonicalize", "cse", "dce", "licm")
+
+
+class IRFuzzer:
+    """Print/parse round-trip and pass-permutation fuzzing."""
+
+    def __init__(
+        self,
+        artifact_dir: Optional[str] = None,
+        dump_reproducers: bool = True,
+    ):
+        self.artifact_dir = artifact_dir
+        self.dump_reproducers = dump_reproducers
+
+    def fuzz_case(self, case: Case) -> List[str]:
+        failures: List[str] = []
+        rng = np.random.default_rng([case.seed, case.index, 0xFE])
+        vectorize = str(rng.choice(["off", "lanes", "batch"]))
+        try:
+            lowered = _lowered_module(case, vectorize)
+        except Exception as error:
+            failures.append(
+                f"{case.name}: lowering ({vectorize}) failed: "
+                f"{type(error).__name__}: {error}"
+            )
+            self._dump(case, failures[-1], None)
+            return failures
+        failures.extend(self.check_roundtrip(case, lowered, vectorize))
+        failures.extend(self.check_pass_permutation(case, rng))
+        return failures
+
+    def check_roundtrip(self, case: Case, module, label: str) -> List[str]:
+        """print → parse → reprint must be a fixed point, and verify."""
+        first = print_op(module)
+        try:
+            reparsed = parse_module(first)
+            verify(reparsed)
+            second = print_op(reparsed)
+        except Exception as error:
+            message = (
+                f"{case.name}: round-trip ({label}) failed: "
+                f"{type(error).__name__}: {error}"
+            )
+            self._dump(case, message, first)
+            return [message]
+        if second != first:
+            message = f"{case.name}: reprint ({label}) is not a fixed point"
+            self._dump(case, message, first + "\n// --- reprint ---\n" + second)
+            return [message]
+        return []
+
+    def check_pass_permutation(self, case: Case, rng) -> List[str]:
+        """A random pass-pipeline permutation must preserve semantics."""
+        order = list(PERMUTABLE_PASSES)
+        rng.shuffle(order)
+        # Random subset too — passes must not rely on a predecessor.
+        keep = max(1, int(rng.integers(1, len(order) + 1)))
+        spec = ",".join(order[:keep])
+        try:
+            baseline = run_interpreter(case, INTERPRETER_ROW_LIMIT)
+            module = _lowered_module(case, "off")
+            parse_pipeline(spec, verify_each=True).run(module)
+            after = _interpret_lowered(module, case, INTERPRETER_ROW_LIMIT)
+        except Exception as error:
+            message = (
+                f"{case.name}: pipeline [{spec}] failed: "
+                f"{type(error).__name__}: {error}"
+            )
+            self._dump(case, message, None)
+            return [message]
+        match = outputs_match(
+            after, baseline, np.full_like(baseline, TOLERANCE_FLOOR)
+        )
+        if not match.all():
+            message = (
+                f"{case.name}: pipeline [{spec}] changed interpreter "
+                f"results: {after.tolist()} vs {baseline.tolist()}"
+            )
+            self._dump(case, message, print_op(module))
+            return [message]
+        return []
+
+    def _dump(self, case: Case, message: str, module_text: Optional[str]):
+        if not self.dump_reproducers:
+            return None
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code=ErrorCode.IR_FUZZ_FAILED,
+            message=message,
+            stage="ir-fuzz",
+            detail={"seed": case.seed, "index": case.index},
+        )
+        return dump_reproducer(
+            diagnostic, module_text=module_text, artifact_dir=self.artifact_dir
+        )
+
+
+def _lowered_module(case: Case, vectorize: str):
+    module = lower_to_lospn(build_hispn_module(case.spn, case.query))
+    module = bufferize(module)
+    remove_result_copies(module)
+    insert_deallocations(module)
+    return lower_kernel_to_cpu(module, CPULoweringOptions(vectorize=vectorize))
+
+
+def _interpret_lowered(
+    lowered, case: Case, row_limit: Optional[int]
+) -> np.ndarray:
+    from ..backends.cpu.codegen import numpy_dtype
+    from ..dialects.func import lookup_function
+
+    kernel = lookup_function(lowered, "spn_kernel")
+    if kernel is None:
+        raise ValueError("lowered module has no 'spn_kernel' function")
+    input_type, result_type = kernel.arg_types[0], kernel.arg_types[-1]
+    x = np.ascontiguousarray(
+        case.inputs[:row_limit], dtype=numpy_dtype(input_type.element_type)
+    )
+    out = np.empty(
+        (result_type.shape[0] or 1, x.shape[0]),
+        dtype=numpy_dtype(result_type.element_type),
+    )
+    Interpreter(lowered).call(kernel.sym_name, x, out)
+    return out[0]

@@ -194,6 +194,49 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Cross-backend differential fuzzing (see repro.testing.oracle).
+
+    Generates seeded random SPN/query/input cases, runs each through
+    every backend configuration and compares against the reference
+    evaluator under calibrated tolerances; interleaves IR print/parse
+    round-trip and pass-permutation fuzzing. Divergences are shrunk,
+    dumped as reproducers (``--artifact-dir`` / ``$SPNC_ARTIFACT_DIR``)
+    and make the command exit non-zero.
+    """
+    from ..testing.oracle import DEFAULT_CONFIGS, DifferentialOracle
+
+    configs = DEFAULT_CONFIGS
+    if args.configs:
+        wanted = {name.strip() for name in args.configs.split(",") if name.strip()}
+        known = {spec.name for spec in DEFAULT_CONFIGS}
+        unknown = wanted - known
+        if unknown:
+            print(f"error: unknown config(s) {', '.join(sorted(unknown))}; "
+                  f"available: {', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+        configs = tuple(s for s in DEFAULT_CONFIGS if s.name in wanted)
+
+    def progress(message: str) -> None:
+        print(f"  {message}", file=sys.stderr)
+
+    oracle = DifferentialOracle(
+        configs=configs, artifact_dir=args.artifact_dir, log=progress
+    )
+    print(f"fuzzing {args.count} case(s), seed {args.seed}, "
+          f"{len(configs)} backend config(s)...")
+    report = oracle.fuzz(
+        args.count,
+        seed=args.seed,
+        start=args.start,
+        max_features=args.max_features,
+        max_depth=args.max_depth,
+        ir_share=0.0 if args.no_ir else 0.25,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_opt(args: argparse.Namespace) -> int:
     from ..ir import parse_module, print_op, verify
     from ..ir.pipeline_spec import parse_pipeline, registered_passes
@@ -269,15 +312,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selftest.set_defaults(fn=_cmd_selftest)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz every backend against the reference",
+    )
+    fuzz.add_argument("count", type=int, help="number of generated cases")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--start", type=int, default=0, metavar="N",
+                      help="first case index (resume/shard long runs)")
+    fuzz.add_argument("--max-features", type=int, default=5)
+    fuzz.add_argument("--max-depth", type=int, default=3)
+    fuzz.add_argument("--configs", default=None, metavar="A,B,...",
+                      help="comma-separated subset of backend configs")
+    fuzz.add_argument("--no-ir", action="store_true",
+                      help="skip IR round-trip/pass-permutation fuzzing")
+    fuzz.add_argument("--artifact-dir", default=None,
+                      help="reproducer dump directory "
+                           "(default: $SPNC_ARTIFACT_DIR)")
+    fuzz.set_defaults(fn=_cmd_fuzz)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # `--selftest` is accepted as a flag alias for the subcommand so CI
-    # can call `python -m repro --selftest`.
-    argv = ["selftest" if a == "--selftest" else a for a in argv]
+    # `--selftest` / `--fuzz` are accepted as flag aliases for the
+    # subcommands so CI can call `python -m repro --selftest` and
+    # `python -m repro --fuzz 200 --seed 0`.
+    argv = [
+        {"--selftest": "selftest", "--fuzz": "fuzz"}.get(a, a) for a in argv
+    ]
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

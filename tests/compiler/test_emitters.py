@@ -103,12 +103,23 @@ class TestDiscreteEmission:
         np.testing.assert_allclose(out, np.log(self.PROBS), rtol=1e-12)
 
     @BOTH
-    def test_categorical_clamps_out_of_range(self, runner):
+    def test_categorical_out_of_domain_is_zero_probability(self, runner):
+        # Values outside [0, K) — below, above, or NaN without marginal
+        # support — carry zero probability (log -inf), matching the
+        # reference Categorical.log_density domain rule.
         out = runner(
-            lambda e, x: e.categorical(x, self.PROBS, False), [-3.0, 9.0]
+            lambda e, x: e.categorical(x, self.PROBS, False),
+            [-3.0, 9.0, 3.0, float("nan")],
+        )
+        assert np.all(np.isneginf(out))
+
+    @BOTH
+    def test_categorical_fractional_value_truncates(self, runner):
+        out = runner(
+            lambda e, x: e.categorical(x, self.PROBS, False), [1.5, 2.9]
         )
         np.testing.assert_allclose(
-            out, [math.log(self.PROBS[0]), math.log(self.PROBS[-1])]
+            out, [math.log(self.PROBS[1]), math.log(self.PROBS[2])], rtol=1e-12
         )
 
     @BOTH

@@ -1,0 +1,147 @@
+"""Cross-backend semantic regression tests.
+
+These pin the input-domain contracts every backend must implement
+identically — NaN evidence means marginalization, out-of-domain
+discrete evidence means probability zero — against the reference
+evaluator, across all CPU vectorization modes and the GPU simulator.
+Before the contracts were unified, compiled non-marginal kernels
+propagated NaN and discrete leaves clamped out-of-range indices.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import CPUCompiler, GPUCompiler
+from repro.spn import Categorical, Gaussian, Histogram, Product, Sum
+from repro.spn.inference import log_likelihood
+
+from ..conftest import make_discrete_spn, make_gaussian_spn
+
+VECTORIZE_MODES = ("off", "lanes", "batch")
+
+
+def compilers(batch_size=8):
+    for mode in VECTORIZE_MODES:
+        yield f"cpu-{mode}", CPUCompiler(batch_size=batch_size, vectorize=mode)
+    yield "gpu", GPUCompiler(batch_size=batch_size)
+
+
+CONFIGS = list(compilers())
+CONFIG_IDS = [label for label, _ in CONFIGS]
+
+
+class TestNaNMeansMarginalized:
+    """NaN evidence auto-routes to a marginal kernel on every backend."""
+
+    @pytest.fixture(params=CONFIGS, ids=CONFIG_IDS)
+    def compiler(self, request):
+        return request.param[1]
+
+    def test_partial_nan_matches_reference(self, compiler, rng):
+        spn = make_gaussian_spn()
+        x = rng.normal(size=(21, 2))
+        x[3, 0] = np.nan
+        x[7, 1] = np.nan
+        x[11] = np.nan  # fully marginalized row: log-likelihood exactly 0
+        result = compiler.log_likelihood(spn, x)
+        reference = log_likelihood(spn, x)
+        assert not np.isnan(result).any()
+        np.testing.assert_allclose(result, reference, rtol=1e-5, atol=1e-5)
+        assert result[11] == pytest.approx(0.0, abs=1e-6)
+
+    def test_discrete_nan_matches_reference(self, compiler, rng):
+        spn = make_discrete_spn()
+        x = np.column_stack(
+            [
+                rng.integers(0, 3, size=13).astype(float),
+                rng.uniform(-0.5, 4.5, size=13),
+            ]
+        )
+        x[0, 0] = np.nan
+        x[5, 1] = np.nan
+        result = compiler.log_likelihood(spn, x)
+        reference = log_likelihood(spn, x)
+        assert not np.isnan(result).any()
+        np.testing.assert_allclose(result, reference, rtol=1e-5, atol=1e-5)
+
+    def test_nan_batch_does_not_poison_cache(self, rng):
+        """After a NaN batch, fully-observed batches still use the
+        non-marginal kernel and stay exact."""
+        compiler = CPUCompiler(batch_size=8)
+        spn = make_gaussian_spn()
+        clean = rng.normal(size=(8, 2))
+        with_nan = clean.copy()
+        with_nan[0, 0] = np.nan
+        before = compiler.log_likelihood(spn, clean)
+        compiler.log_likelihood(spn, with_nan)
+        after = compiler.log_likelihood(spn, clean)
+        np.testing.assert_array_equal(before, after)
+
+
+class TestOutOfDomainDiscrete:
+    """Discrete evidence outside [0, K) has probability zero everywhere."""
+
+    SPN = Sum(
+        [
+            Product([Categorical(0, [0.2, 0.5, 0.3]), Gaussian(1, 0.0, 1.0)]),
+            Product([Categorical(0, [0.6, 0.3, 0.1]), Gaussian(1, 1.0, 2.0)]),
+        ],
+        [0.4, 0.6],
+    )
+
+    @pytest.mark.parametrize("value", [-1.0, -0.4, 3.0, 7.5])
+    def test_reference_gives_zero_probability(self, value):
+        x = np.array([[value, 0.5]])
+        assert log_likelihood(self.SPN, x)[0] == -math.inf
+
+    @pytest.mark.parametrize("label,compiler", CONFIGS, ids=CONFIG_IDS)
+    def test_backends_agree_with_reference(self, label, compiler, rng):
+        x = np.column_stack(
+            [
+                np.array([0.0, 1.0, 2.0, -1.0, 3.0, 2.9, -0.4, 99.0]),
+                rng.normal(size=8),
+            ]
+        )
+        result = compiler.log_likelihood(self.SPN, x)
+        reference = log_likelihood(self.SPN, x)
+        in_domain = np.isfinite(reference)
+        np.testing.assert_array_equal(np.isneginf(result), ~in_domain)
+        np.testing.assert_allclose(
+            result[in_domain], reference[in_domain], rtol=1e-5, atol=1e-5
+        )
+
+    def test_fractional_values_truncate_to_bucket(self):
+        compiler = CPUCompiler(batch_size=4)
+        x = np.array([[1.5, 0.0], [2.9, 0.0]])
+        result = compiler.log_likelihood(self.SPN, x)
+        reference = log_likelihood(self.SPN, x)
+        exact = log_likelihood(self.SPN, np.array([[1.0, 0.0], [2.0, 0.0]]))
+        np.testing.assert_allclose(result, reference, rtol=1e-5, atol=1e-5)
+        np.testing.assert_allclose(reference, exact)
+
+    def test_histogram_out_of_range_gets_epsilon_floor(self, rng):
+        spn = Product(
+            [
+                Histogram(0, [0.0, 1.0, 2.0], [0.75, 0.25]),
+                Gaussian(1, 0.0, 1.0),
+            ]
+        )
+        x = np.column_stack([np.array([-1.0, 0.5, 5.0]), rng.normal(size=3)])
+        reference = log_likelihood(spn, x)
+        assert np.isfinite(reference).all()  # epsilon floor, not -inf
+        for label, compiler in compilers(batch_size=4):
+            result = compiler.log_likelihood(spn, x)
+            np.testing.assert_allclose(
+                result, reference, rtol=1e-5, atol=1e-5, err_msg=label
+            )
+
+    def test_zero_probability_bucket_is_exactly_neg_inf(self, rng):
+        spn = Product(
+            [Categorical(0, [0.0, 1.0]), Gaussian(1, 0.0, 1.0)]
+        )
+        x = np.column_stack([np.zeros(3), rng.normal(size=3)])
+        assert np.isneginf(log_likelihood(spn, x)).all()
+        for label, compiler in compilers(batch_size=4):
+            assert np.isneginf(compiler.log_likelihood(spn, x)).all(), label

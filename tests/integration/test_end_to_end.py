@@ -22,7 +22,7 @@ from repro.spn import (
     deserialize,
 )
 
-from ..spn.strategies import random_spns
+from repro.testing.generators import random_spns
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,228 @@
+"""Printer/parser/verifier edge cases surfaced by the IR fuzzer.
+
+Complements ``test_printer_parser.py`` with the corners the
+differential fuzzer exercises: dynamic vector types on fully lowered
+batch-vectorized kernels, dense attribute extremes, and the verifier's
+structured op-path error reporting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.bufferization import (
+    bufferize,
+    insert_deallocations,
+    remove_result_copies,
+)
+from repro.compiler.cpu.lowering import CPULoweringOptions, lower_kernel_to_cpu
+from repro.compiler.frontend import build_hispn_module
+from repro.compiler.lower_to_lospn import lower_to_lospn
+from repro.dialects.arith import AddFOp, ConstantOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.dialects.memref import ConstantBufferOp
+from repro.dialects.vector import BroadcastOp, LoadOp as VLoadOp, StoreOp as VStoreOp
+from repro.ir import (
+    Builder,
+    IRError,
+    MemRefType,
+    ModuleOp,
+    ParseError,
+    VectorType,
+    f32,
+    f64,
+    index,
+    parse_module,
+    print_op,
+    verify,
+)
+from repro.ir.printer import format_attribute
+from repro.ir.verifier import VerificationError
+from repro.spn import Gaussian, JointProbability, Product, Sum
+
+
+def round_trip(module):
+    text = print_op(module)
+    reparsed = parse_module(text)
+    verify(reparsed)
+    assert print_op(reparsed) == text, "reprint is not a fixed point"
+    return text
+
+
+class TestDynamicVectorRoundTrip:
+    def test_dynamic_vector_type_spelling(self):
+        assert VectorType((None,), f64).spelling() == "vector<?xf64>"
+
+    def test_handwritten_dynamic_vector_module(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "f", [MemRefType((None,), f64)], [])
+        fb = Builder.at_end(fn.body)
+        c0 = fb.create(ConstantOp, 0, index)
+        vec = VectorType((None,), f64)
+        x = fb.create(VLoadOp, fn.body.arguments[0], [c0.result], vec)
+        half = fb.create(ConstantOp, 0.5, f64)
+        splat = fb.create(BroadcastOp, half.result, vec)
+        total = fb.create(AddFOp, x.result, splat.result)
+        fb.create(VStoreOp, total.result, fn.body.arguments[0], [c0.result])
+        fb.create(ReturnOp, [])
+        text = round_trip(module)
+        assert "vector<?xf64>" in text
+
+    def test_batch_lowered_kernel_round_trips(self):
+        """The whole-batch pipeline emits vector<?xTY> throughout; the
+        full lowered module must survive print -> parse -> reprint."""
+        spn = Sum(
+            [
+                Product([Gaussian(0, 0.0, 1.0), Gaussian(1, 1.0, 2.0)]),
+                Product([Gaussian(0, 2.0, 1.0), Gaussian(1, -1.0, 1.0)]),
+            ],
+            [0.3, 0.7],
+        )
+        module = lower_to_lospn(
+            build_hispn_module(spn, JointProbability(batch_size=8))
+        )
+        module = bufferize(module)
+        remove_result_copies(module)
+        insert_deallocations(module)
+        lowered = lower_kernel_to_cpu(
+            module, CPULoweringOptions(vectorize="batch")
+        )
+        text = round_trip(lowered)
+        assert "vector<?x" in text
+
+    def test_mixed_static_dynamic_dims_rejected_in_dense(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                '"builtin.module"() ({\n'
+                '  "func.func"() ({\n'
+                '    %0 = "memref.constant_buffer"() '
+                "{value = dense<[1.0]> : tensor<?xf64>} : () -> memref<1xf64>\n"
+                '    "func.return"() : () -> ()\n'
+                '  }) {sym_name = "f", arg_types = [], result_types = []} '
+                ": () -> ()\n"
+                '}) : () -> ()'
+            )
+
+
+class TestDenseAttributeCorners:
+    def _buffer_module(self, payload, element_type=f64):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "f", [], [])
+        fb = Builder.at_end(fn.body)
+        fb.create(ConstantBufferOp, payload, element_type)
+        fb.create(ReturnOp, [])
+        return module
+
+    def test_empty_dense_array(self):
+        assert (
+            format_attribute(np.array([], dtype=np.float64))
+            == "dense<[]> : tensor<0xf64>"
+        )
+
+    def test_single_element_round_trips(self):
+        module = self._buffer_module(np.array([3.25], dtype=np.float64))
+        reparsed = parse_module(print_op(module))
+        buffer = next(
+            op
+            for op in reparsed.walk()
+            if op.op_name == "memref.constant_buffer"
+        )
+        np.testing.assert_array_equal(
+            buffer.attributes["data"], np.array([3.25])
+        )
+
+    def test_negative_and_special_values_round_trip(self):
+        payload = np.array(
+            [-0.0, -1.5, -np.inf, np.inf, 1e-300], dtype=np.float64
+        )
+        module = self._buffer_module(payload)
+        text = round_trip(module)
+        assert "-inf" in text and "inf" in text
+        reparsed = parse_module(text)
+        buffer = next(
+            op
+            for op in reparsed.walk()
+            if op.op_name == "memref.constant_buffer"
+        )
+        np.testing.assert_array_equal(buffer.attributes["data"], payload)
+
+    def test_f32_dense_keeps_dtype(self):
+        module = self._buffer_module(np.array([0.5, 0.25], dtype=np.float32), f32)
+        text = print_op(module)
+        assert "tensor<2xf32>" in text
+        reparsed = parse_module(text)
+        buffer = next(
+            op
+            for op in reparsed.walk()
+            if op.op_name == "memref.constant_buffer"
+        )
+        assert buffer.attributes["data"].dtype == np.float32
+
+    def test_parsed_dense_is_read_only(self):
+        module = self._buffer_module(np.array([1.0], dtype=np.float64))
+        reparsed = parse_module(print_op(module))
+        buffer = next(
+            op
+            for op in reparsed.walk()
+            if op.op_name == "memref.constant_buffer"
+        )
+        with pytest.raises(ValueError):
+            buffer.attributes["data"][0] = 2.0
+
+
+class TestVerifierOpPaths:
+    """Verifier failures must name the offending op via its path."""
+
+    def test_use_before_def_names_the_op(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "f", [], [])
+        fb = Builder.at_end(fn.body)
+        orphan = ConstantOp.build(1.0, f64)  # never inserted in a block
+        add = fb.create(AddFOp, orphan.results[0], orphan.results[0])
+        fb.create(ReturnOp, [])
+        with pytest.raises(VerificationError) as excinfo:
+            verify(module)
+        assert excinfo.value.op_path is not None
+        assert "arith.addf" in excinfo.value.op_path
+        assert excinfo.value.op_path in str(excinfo.value)
+
+    def test_op_path_indexes_repeated_siblings(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "f", [], [])
+        fb = Builder.at_end(fn.body)
+        fb.create(ConstantOp, 1.0, f64)
+        orphan = ConstantOp.build(2.0, f64)
+        fb.create(AddFOp, orphan.results[0], orphan.results[0])
+        fb.create(ReturnOp, [])
+        with pytest.raises(VerificationError) as excinfo:
+            verify(module)
+        # The failing add sits after one constant: sibling index 1.
+        assert "#1" in excinfo.value.op_path
+
+    def test_missing_terminator_names_the_function(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        fn = b.create(FuncOp, "f", [], [])
+        Builder.at_end(fn.body).create(ConstantOp, 1.0, f64)
+        with pytest.raises(IRError) as excinfo:
+            verify(module)
+        assert "'f'" in str(excinfo.value)
+
+    def test_parse_then_verify_reports_signature_mismatch(self):
+        """Structured verification also works on freshly parsed IR."""
+        text = (
+            '"builtin.module"() ({\n'
+            '  "func.func"() ({\n'
+            '    %0 = "arith.constant"() {value = 1.0 : f64} : () -> f64\n'
+            '    "func.return"(%0) : (f64) -> ()\n'
+            '  }) {sym_name = "f", arg_types = [], result_types = []} '
+            ": () -> ()\n"
+            '}) : () -> ()'
+        )
+        module = parse_module(text)
+        with pytest.raises(IRError) as excinfo:
+            verify(module)  # return arity does not match the signature
+        assert "'f'" in str(excinfo.value)

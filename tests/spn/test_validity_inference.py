@@ -23,7 +23,7 @@ from repro.spn import (
 )
 
 from ..conftest import make_discrete_spn, make_gaussian_spn, make_shared_spn
-from .strategies import random_spns
+from repro.testing.generators import random_spns
 
 
 class TestValidity:

@@ -61,6 +61,12 @@ def _bufferize_kernel(kernel: Operation, builder: Builder) -> None:
         arg_memrefs + result_memrefs,
         [],
     )
+    # Bufferization erases the input/output distinction from the type
+    # signature (everything becomes a memref argument); record it as
+    # attributes so later lowerings and the buffer-safety sanitizer can
+    # still tell which arguments must never be written.
+    new_kernel.attributes["numInputs"] = len(arg_memrefs)
+    new_kernel.attributes["readonlyArgs"] = tuple(range(len(arg_memrefs)))
     kb = Builder.at_end(new_kernel.body)
 
     value_map: Dict[Value, Value] = {}
@@ -207,9 +213,17 @@ def remove_result_copies(module: ModuleOp) -> int:
             task = next((u for u in users if u.op_name == lospn.TaskOp.name), None)
             if task is None:
                 continue
+            aliased = []
             for i, operand in enumerate(task.operands):
                 if operand is source:
                     task.set_operand(i, target)
+                    aliased.append(i)
+            # The task's output argument now *is* the kernel output
+            # buffer. Record the intentional aliasing so static analyses
+            # (and readers of the IR) know this is by construction, not
+            # an accidental buffer reuse.
+            existing = task.attributes.get("outputAliases", ())
+            task.attributes["outputAliases"] = tuple(existing) + tuple(aliased)
             op.erase()
             if not alloc.results[0].has_uses:
                 alloc.erase()

@@ -141,12 +141,35 @@ def _storage_memref(ty: MemRefType) -> MemRefType:
     return ty
 
 
+def _readonly_operand_indices(task: Operation, kernel: Operation) -> tuple:
+    """Task operand positions that bind read-only kernel arguments."""
+    readonly = set(kernel.attributes.get("readonlyArgs", ()))
+    if not readonly:
+        return ()
+    kernel_args = list(kernel.body.arguments)
+    indices = []
+    for i, operand in enumerate(task.operands):
+        try:
+            arg_index = kernel_args.index(operand)
+        except ValueError:
+            continue
+        if arg_index in readonly:
+            indices.append(i)
+    return tuple(indices)
+
+
 def _lower_kernel(kernel: Operation, builder: Builder, options: CPULoweringOptions) -> None:
     task_funcs: Dict[int, str] = {}
     for i, task in enumerate(kernel.tasks()):
         name = f"{kernel.sym_name}_task_{i}"
         task_funcs[id(task)] = name
-        _lower_task(task, name, builder, options)
+        _lower_task(
+            task,
+            name,
+            builder,
+            options,
+            readonly_args=_readonly_operand_indices(task, kernel),
+        )
 
     kernel_func = builder.create(
         func_dialect.FuncOp,
@@ -154,6 +177,8 @@ def _lower_kernel(kernel: Operation, builder: Builder, options: CPULoweringOptio
         [_storage_memref(t) for t in kernel.arg_types],
         [],
     )
+    if "readonlyArgs" in kernel.attributes:
+        kernel_func.attributes["readonlyArgs"] = kernel.attributes["readonlyArgs"]
     kb = Builder.at_end(kernel_func.body)
     value_map: Dict[Value, Value] = dict(
         zip(kernel.body.arguments, kernel_func.body.arguments)
@@ -189,10 +214,16 @@ def _batch_dim_source(task: Operation) -> Tuple[int, int]:
 
 
 def _lower_task(
-    task: Operation, name: str, builder: Builder, options: CPULoweringOptions
+    task: Operation,
+    name: str,
+    builder: Builder,
+    options: CPULoweringOptions,
+    readonly_args: tuple = (),
 ) -> None:
     arg_types = [_storage_memref(v.type) for v in task.operands]
     fn = builder.create(func_dialect.FuncOp, name, arg_types, [])
+    if readonly_args:
+        fn.attributes["readonlyArgs"] = tuple(readonly_args)
     fb = Builder.at_end(fn.body)
     args = fn.body.arguments
 

@@ -82,14 +82,37 @@ def _lower_kernel(
     for i, task in enumerate(kernel.tasks()):
         name = f"{kernel.sym_name}_task_{i}"
         task_kernels[id(task)] = name
-        _lower_task_kernel(task, name, gm_builder)
+        _lower_task_kernel(
+            task, name, gm_builder, _readonly_operand_indices(task, kernel)
+        )
 
     _lower_host_function(kernel, task_kernels, builder, options)
 
 
-def _lower_task_kernel(task: Operation, name: str, builder: Builder) -> None:
+def _readonly_operand_indices(task: Operation, kernel: Operation) -> tuple:
+    """Task operand positions bound to read-only kernel arguments."""
+    readonly = set(kernel.attributes.get("readonlyArgs", ()))
+    if not readonly:
+        return ()
+    kernel_args = list(kernel.body.arguments)
+    indices = []
+    for i, operand in enumerate(task.operands):
+        try:
+            arg_index = kernel_args.index(operand)
+        except ValueError:
+            continue
+        if arg_index in readonly:
+            indices.append(i)
+    return tuple(indices)
+
+
+def _lower_task_kernel(
+    task: Operation, name: str, builder: Builder, readonly_args: tuple = ()
+) -> None:
     arg_types = [_storage_memref(v.type) for v in task.operands]
     fn = builder.create(gpu_dialect.GPUFuncOp, name, arg_types)
+    if readonly_args:
+        fn.attributes["readonlyArgs"] = tuple(readonly_args)
     fb = Builder.at_end(fn.body)
     args = fn.body.arguments
 
@@ -149,6 +172,8 @@ def _lower_host_function(
         [_storage_memref(t) for t in kernel.arg_types],
         [],
     )
+    if "readonlyArgs" in kernel.attributes:
+        host.attributes["readonlyArgs"] = kernel.attributes["readonlyArgs"]
     hb = Builder.at_end(host.body)
     value_map: Dict[Value, Value] = dict(
         zip(kernel.body.arguments, host.body.arguments)

@@ -50,6 +50,8 @@ def compile_gpu_module(
     if options.opt_level >= 3:
         timer.run("canonicalize-3", lambda: canonicalize(lowered), lowered)
 
+    timer.checkpoint("gpu-lowering", lowered, phase="final")
+
     simulator = GPUSimulator()
     host, kernels = timer.run(
         "gpu-codegen", lambda: generate_gpu_module(lowered, simulator)

@@ -43,6 +43,7 @@ from ..diagnostics import (
 )
 from ..dialects import lospn
 from ..ir import ModuleOp, print_op, verify
+from ..ir.analysis import AnalysisFinding, run_checks, severity_at_least
 from ..ir.transforms import run_cse, run_dce
 from ..ir.verifier import VerificationError
 from ..testing import faults
@@ -91,6 +92,15 @@ class CompilerOptions:
     # Diagnostics.
     collect_ir: bool = False
     verify_each_stage: bool = False
+    #: Static-analysis instrumentation level (see repro.ir.analysis):
+    #: "off" (default), "boundaries" (run the registered checks — buffer
+    #: safety, log-space range, lint — at the pipeline's dialect
+    #: boundaries: after LoSPN lowering, after bufferization and on the
+    #: final lowered module) or "every-pass" (after every stage).
+    #: ERROR findings abort compilation with a StageError; WARNING/NOTE
+    #: findings are collected on CompilationResult.analysis_findings.
+    #: Any mode other than "off" implies structural verification too.
+    verify_each: str = "off"
     #: Degradation policy when a compile stage, codegen or execution
     #: fails: "raise" propagates a structured CompilerError (the default,
     #: preserving strict semantics), "interpret" transparently falls back
@@ -117,6 +127,15 @@ class CompilerOptions:
             raise OptionsError(
                 f"unknown fallback policy '{self.fallback}' "
                 "(expected 'raise', 'interpret' or 'warn')"
+            )
+        if self.verify_each is True:  # bool back-compat
+            self.verify_each = "boundaries"
+        elif self.verify_each is False or self.verify_each is None:
+            self.verify_each = "off"
+        if self.verify_each not in ("off", "boundaries", "every-pass"):
+            raise OptionsError(
+                f"unknown verify_each mode '{self.verify_each}' "
+                "(expected 'off', 'boundaries' or 'every-pass')"
             )
 
     def cache_fingerprint(self) -> tuple:
@@ -151,6 +170,9 @@ class CompilationResult:
     partitioning: Optional[PartitioningStats]
     num_tasks: int
     ir_dumps: Dict[str, str] = field(default_factory=dict)
+    #: WARNING/NOTE static-analysis findings collected by the
+    #: verify_each instrumentation (ERROR findings abort compilation).
+    analysis_findings: List["AnalysisFinding"] = field(default_factory=list)
 
     @property
     def compile_time(self) -> float:
@@ -170,11 +192,17 @@ class _StageTimer:
         self.stage_seconds: "OrderedDict[str, float]" = OrderedDict()
         self.ir_dumps: Dict[str, str] = {}
         self.collect_ir = options.collect_ir
-        self.verify_each = options.verify_each_stage
+        self.analysis_mode = options.verify_each
+        # Structural verification: the legacy bool knob, implied by any
+        # analysis instrumentation level.
+        self.verify_each = options.verify_each_stage or self.analysis_mode != "off"
         self.options = options
         #: Most recent module seen by any stage; the reproducer dump uses
         #: it when the failing stage has no module of its own (codegen).
         self.last_module: Optional[ModuleOp] = None
+        #: WARNING/NOTE findings from the analysis instrumentation.
+        self.analysis_findings: List[AnalysisFinding] = []
+        self._findings_seen: set = set()
 
     def run(self, name: str, fn, module: Optional[ModuleOp] = None):
         if module is not None:
@@ -203,9 +231,46 @@ class _StageTimer:
                 raise self._stage_error(
                     name, error, dump_target, after_verify=True
                 ) from error
+        if self.analysis_mode == "every-pass" and isinstance(
+            dump_target, ModuleOp
+        ):
+            self._run_checks(name, dump_target, phase="mid")
         if self.collect_ir and isinstance(dump_target, ModuleOp):
             self.ir_dumps[name] = print_op(dump_target)
         return result
+
+    def checkpoint(self, name: str, module: ModuleOp, phase: str = "mid"):
+        """Run the static analyses at a pipeline boundary.
+
+        Active in both "boundaries" and "every-pass" mode; the final
+        checkpoint (on the fully lowered module, before codegen) uses
+        ``phase="final"`` so phase-gated rules (leak detection, dead
+        pure results) apply with full strictness.
+        """
+        if self.analysis_mode == "off":
+            return
+        self._run_checks(name, module, phase=phase)
+
+    def _run_checks(self, name: str, module: ModuleOp, phase: str) -> None:
+        findings = run_checks(module, phase=phase)
+        errors = [
+            f for f in findings if severity_at_least(f.severity, Severity.ERROR)
+        ]
+        if errors:
+            summary = "; ".join(f.render() for f in errors[:5])
+            violation = _AnalysisStageViolation(
+                f"static analysis found {len(errors)} violation(s) after "
+                f"stage '{name}': {summary}",
+                op_path=errors[0].op_path,
+            )
+            raise self._stage_error(
+                name, violation, module, after_analysis=True
+            ) from None
+        for finding in findings:
+            key = (finding.check, finding.op_path, finding.message)
+            if key not in self._findings_seen:
+                self._findings_seen.add(key)
+                self.analysis_findings.append(finding)
 
     def _stage_error(
         self,
@@ -213,8 +278,12 @@ class _StageTimer:
         error: BaseException,
         module: Optional[ModuleOp],
         after_verify: bool = False,
+        after_analysis: bool = False,
     ) -> StageError:
-        if after_verify:
+        if after_analysis:
+            code = ErrorCode.ANALYSIS_FAILED
+            message = str(error)
+        elif after_verify:
             code = ErrorCode.VERIFY_FAILED
             message = f"IR verification failed after stage '{name}': {error}"
         elif isinstance(error, faults.FaultInjectionError):
@@ -250,6 +319,14 @@ class _StageTimer:
             artifact_dir=self.options.artifact_dir,
         )
         return StageError(message, diagnostic=diagnostic, reproducer_path=reproducer)
+
+
+class _AnalysisStageViolation(Exception):
+    """Carrier for a static-analysis instrumentation failure."""
+
+    def __init__(self, message: str, op_path: Optional[str] = None):
+        super().__init__(message)
+        self.op_path = op_path
 
 
 def compile_spn(
@@ -288,12 +365,15 @@ def compile_spn(
 
         timer.run("balance-chains", lambda: balance_chains(module), module)
 
+    timer.checkpoint("lower-to-lospn", module)
+
     module = timer.run("bufferize", lambda: bufferize(module))
     if options.opt_level >= 1:
         timer.run(
             "buffer-optimization", lambda: remove_result_copies(module), module
         )
     timer.run("buffer-deallocation", lambda: insert_deallocations(module), module)
+    timer.checkpoint("buffer-deallocation", module)
 
     num_tasks = _count_tasks(module)
 
@@ -312,6 +392,7 @@ def compile_spn(
         partitioning=partition_stats,
         num_tasks=num_tasks,
         ir_dumps=timer.ir_dumps,
+        analysis_findings=timer.analysis_findings,
     )
 
 
@@ -373,6 +454,8 @@ def _compile_cpu(
     # Scratch (out=) register reuse: at -O2+ for fixed-lane vectors, and
     # already at -O1 for batch vectors — whole-chunk scratch reuse is
     # what keeps the batch kernel allocation-free in steady state.
+    timer.checkpoint("cpu-lowering", lowered, phase="final")
+
     mode = normalize_vectorize_mode(options.vectorize)
     reuse_registers = (mode == "lanes" and options.opt_level >= 2) or (
         mode == "batch" and options.opt_level >= 1

@@ -51,6 +51,7 @@ class ErrorCode:
 
     INVALID_OPTIONS = "invalid-options"
     VERIFY_FAILED = "verify-failed"
+    ANALYSIS_FAILED = "static-analysis-failed"
     PASS_FAILED = "pass-failed"
     STAGE_FAILED = "stage-failed"
     CODEGEN_FAILED = "codegen-failed"

@@ -1,0 +1,331 @@
+"""Buffer-safety sanitizer over ``memref``/``gpu`` buffer operations.
+
+A forward dataflow analysis tracking the lifetime state of every buffer
+("memory object") used in a function. The state maps each canonical
+buffer value to a flag set in the powerset lattice over
+``{ALLOCATED, FREED}`` (union join, so merge points keep *may*
+information). Canonicalization folds aliases: block arguments of a
+``lo_spn.task`` / ``lo_spn.body`` region stand for the operand buffer
+they bind to, so a write through a task argument is a write to the
+underlying allocation or kernel argument.
+
+Reported rules (check ids, severities):
+
+- ``buffer-safety.use-after-free`` (ERROR) — a load/store/copy/read/
+  write/call touches a buffer that may already be deallocated.
+- ``buffer-safety.double-free`` (ERROR) — a ``dealloc`` of a buffer
+  that may already be deallocated.
+- ``buffer-safety.readonly-write`` (ERROR) — a store into a function
+  argument marked read-only (``readonlyArgs`` attribute; bufferization
+  marks the kernel's input buffers).
+- ``buffer-safety.out-of-bounds`` (ERROR) — a constant index that is
+  statically outside a static dimension: ``memref.load``/``store``,
+  ``vector.load``/``store``/``gather``, ``lo_spn.batch_read`` /
+  ``batch_extract`` static feature indices, and ``memref.dim`` of a
+  nonexistent dimension.
+- ``buffer-safety.leak`` (WARNING) — an allocation that is never
+  deallocated on any path and does not escape (mid-pipeline this only
+  fires once the function already contains deallocations, so the
+  pre-``BufferDeallocation`` phase is not flagged).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ...diagnostics import Severity
+from ..ops import Operation, Region
+from ..types import MemRefType, TensorType
+from ..value import BlockArgument, Value
+from .engine import AnalysisContext, DataflowAnalysis, register_check, run_analysis
+from .lattices import flags, join_flags
+
+ALLOCATED = "allocated"
+FREED = "freed"
+
+_ALLOC_OPS = frozenset({"memref.alloc", "gpu.alloc"})
+_DEALLOC_OPS = frozenset({"memref.dealloc", "gpu.dealloc"})
+
+#: op name -> (read operand indices spec, write operand indices spec).
+#: A spec is a tuple of operand positions; "rest" selectors are handled
+#: explicitly in :meth:`BufferSafetyAnalysis.transfer`.
+_READ_WRITE_ROLES: Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {
+    "memref.load": ((0,), ()),
+    "memref.store": ((), (1,)),
+    "memref.copy": ((0,), (1,)),
+    "memref.dim": ((0,), ()),
+    "vector.load": ((0,), ()),
+    "vector.store": ((), (1,)),
+    "vector.gather": ((0,), ()),
+    "vector.load_tile": ((0,), ()),
+    "vector.gather_table": ((0,), ()),
+    "lo_spn.batch_read": ((0,), ()),
+    "lo_spn.batch_write": ((), (0,)),
+    "gpu.memcpy": ((1,), (0,)),
+}
+
+
+def _is_buffer(value: Value) -> bool:
+    return isinstance(value.type, MemRefType)
+
+
+class BufferSafetyAnalysis(DataflowAnalysis):
+    """Tracks buffer lifetime states; see module docstring for rules."""
+
+    name = "buffer-safety"
+
+    def __init__(self):
+        self._alias: Dict[Value, Value] = {}
+        self._readonly: Set[Value] = set()
+        self._allocs: Dict[Value, Operation] = {}
+        self._escaped: Set[Value] = set()
+        self._function_has_dealloc = False
+
+    # -- canonicalization --------------------------------------------------
+
+    def canonical(self, value: Value) -> Value:
+        seen = []
+        while value in self._alias:
+            seen.append(value)
+            value = self._alias[value]
+        for v in seen:  # path compression
+            self._alias[v] = value
+        return value
+
+    # -- lattice -----------------------------------------------------------
+
+    def join_facts(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return join_flags(a, b)
+
+    def initial_state(self, func: Operation, ctx: AnalysisContext) -> Any:
+        self._alias = {}
+        self._readonly = set()
+        self._allocs = {}
+        self._escaped = set()
+        self._function_has_dealloc = any(
+            op.op_name in _DEALLOC_OPS for op in func.walk()
+        )
+        state: Dict[Value, FrozenSet[str]] = {}
+        readonly_indices = set(func.attributes.get("readonlyArgs", ()))
+        if func.regions and func.regions[0].blocks:
+            for i, arg in enumerate(func.regions[0].entry_block.arguments):
+                if not _is_buffer(arg):
+                    continue
+                state[arg] = flags(ALLOCATED)
+                if i in readonly_indices:
+                    self._readonly.add(arg)
+        return state
+
+    # -- region hooks ------------------------------------------------------
+
+    def enter_region(
+        self, op: Operation, region: Region, state: Any, ctx: AnalysisContext
+    ) -> Any:
+        if op.op_name == "lo_spn.task" and region.blocks:
+            # Entry block: batch index, then one argument per operand.
+            args = region.entry_block.arguments
+            for arg, operand in zip(args[1:], op.operands):
+                if _is_buffer(arg):
+                    self._alias[arg] = self.canonical(operand)
+        elif op.op_name == "lo_spn.body" and region.blocks:
+            for arg, operand in zip(region.entry_block.arguments, op.operands):
+                if _is_buffer(arg):
+                    self._alias[arg] = self.canonical(operand)
+        return state
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, op: Operation, state: Any, ctx: AnalysisContext) -> Any:
+        name = op.op_name
+        if name in _ALLOC_OPS:
+            result = op.results[0]
+            state[result] = flags(ALLOCATED)
+            self._allocs[result] = op
+            return state
+        if name in _DEALLOC_OPS:
+            self._check_dealloc(op, state, ctx)
+            return state
+
+        roles = _READ_WRITE_ROLES.get(name)
+        if roles is not None:
+            reads, writes = roles
+            for index in reads:
+                self._check_use(op, op.operands[index], state, ctx, write=False)
+            for index in writes:
+                self._check_use(op, op.operands[index], state, ctx, write=True)
+        elif name in ("func.call", "gpu.launch_func"):
+            start = 3 if name == "gpu.launch_func" else 0
+            for operand in op.operands[start:]:
+                if _is_buffer(operand):
+                    self._check_use(op, operand, state, ctx, write=False)
+                    self._escaped.add(self.canonical(operand))
+        elif name in ("func.return", "lo_spn.kernel_return", "scf.yield"):
+            for operand in op.operands:
+                if _is_buffer(operand):
+                    self._escaped.add(self.canonical(operand))
+
+        self._check_static_indices(op, ctx)
+        return state
+
+    # -- rule implementations ----------------------------------------------
+
+    def _check_dealloc(
+        self, op: Operation, state: Any, ctx: AnalysisContext
+    ) -> None:
+        buffer = self.canonical(op.operands[0])
+        current = state.get(buffer, flags(ALLOCATED))
+        if FREED in current:
+            qualifier = "is" if current == flags(FREED) else "may already be"
+            ctx.report(
+                "buffer-safety.double-free",
+                Severity.ERROR,
+                f"'{op.op_name}' of a buffer that {qualifier} deallocated",
+                op=op,
+                buffer=_describe_buffer(buffer),
+            )
+        state[buffer] = flags(FREED)
+
+    def _check_use(
+        self,
+        op: Operation,
+        operand: Value,
+        state: Any,
+        ctx: AnalysisContext,
+        write: bool,
+    ) -> None:
+        if not _is_buffer(operand):
+            return
+        buffer = self.canonical(operand)
+        current = state.get(buffer)
+        if current is not None and FREED in current:
+            qualifier = (
+                "after it is deallocated"
+                if current == flags(FREED)
+                else "on a path where it may already be deallocated"
+            )
+            ctx.report(
+                "buffer-safety.use-after-free",
+                Severity.ERROR,
+                f"'{op.op_name}' uses a buffer {qualifier}",
+                op=op,
+                buffer=_describe_buffer(buffer),
+            )
+        if write and buffer in self._readonly:
+            ctx.report(
+                "buffer-safety.readonly-write",
+                Severity.ERROR,
+                f"'{op.op_name}' writes to read-only function argument "
+                f"#{_arg_index(buffer)}",
+                op=op,
+            )
+
+    def _check_static_indices(self, op: Operation, ctx: AnalysisContext) -> None:
+        name = op.op_name
+        if name in ("memref.load", "memref.store", "vector.load", "vector.store"):
+            buffer_index = 1 if name in ("memref.store", "vector.store") else 0
+            offset = buffer_index + 1
+            buffer_type = op.operands[buffer_index].type
+            if not isinstance(buffer_type, MemRefType):
+                return
+            for dim, index_value in enumerate(op.operands[offset:]):
+                extent = (
+                    buffer_type.shape[dim]
+                    if dim < len(buffer_type.shape)
+                    else None
+                )
+                constant = _constant_index(index_value)
+                if constant is None or extent is None:
+                    continue
+                if constant < 0 or constant >= extent:
+                    ctx.report(
+                        "buffer-safety.out-of-bounds",
+                        Severity.ERROR,
+                        f"'{name}' index {constant} is out of bounds for "
+                        f"dimension {dim} of {buffer_type} (extent {extent})",
+                        op=op,
+                    )
+        elif name == "memref.dim":
+            buffer_type = op.operands[0].type
+            dim = op.attributes.get("dim", 0)
+            if isinstance(buffer_type, MemRefType) and not (
+                0 <= dim < buffer_type.rank
+            ):
+                ctx.report(
+                    "buffer-safety.out-of-bounds",
+                    Severity.ERROR,
+                    f"'memref.dim' queries dimension {dim} of rank-"
+                    f"{buffer_type.rank} {buffer_type}",
+                    op=op,
+                )
+        elif name in ("lo_spn.batch_read", "lo_spn.batch_extract"):
+            input_type = op.operands[0].type
+            if not isinstance(input_type, (MemRefType, TensorType)):
+                return
+            if input_type.rank != 2:
+                return
+            transposed = op.attributes.get("transposed", False)
+            static_dim = 0 if transposed else 1
+            extent = input_type.shape[static_dim]
+            static_index = op.attributes.get("staticIndex", 0)
+            if extent is not None and not (0 <= static_index < extent):
+                axis = "row" if transposed else "feature column"
+                ctx.report(
+                    "buffer-safety.out-of-bounds",
+                    Severity.ERROR,
+                    f"'{name}' static {axis} index {static_index} is out of "
+                    f"bounds for {input_type} (extent {extent})",
+                    op=op,
+                )
+
+    def finish_function(
+        self, func: Operation, state: Any, ctx: AnalysisContext
+    ) -> None:
+        if ctx.phase == "mid" and not self._function_has_dealloc:
+            # Before the buffer-deallocation pass has run, every alloc
+            # is "leaked"; only flag mixed states mid-pipeline.
+            return
+        for buffer, alloc in self._allocs.items():
+            if buffer in self._escaped:
+                continue
+            current = state.get(buffer, flags(ALLOCATED))
+            if FREED not in current:
+                ctx.report(
+                    "buffer-safety.leak",
+                    Severity.WARNING,
+                    f"'{alloc.op_name}' result is never deallocated on any "
+                    f"path (leaked buffer of type {alloc.results[0].type})",
+                    op=alloc,
+                )
+
+
+def _constant_index(value: Value) -> Optional[int]:
+    defining = value.defining_op
+    if defining is None or defining.op_name != "arith.constant":
+        return None
+    payload = defining.attributes.get("value")
+    if isinstance(payload, bool) or not isinstance(payload, (int, float)):
+        return None
+    if isinstance(payload, float) and not payload.is_integer():
+        return None
+    return int(payload)
+
+
+def _describe_buffer(buffer: Value) -> str:
+    if isinstance(buffer, BlockArgument):
+        return f"block argument #{buffer.arg_index} : {buffer.type}"
+    defining = buffer.defining_op
+    if defining is not None:
+        return f"result of '{defining.op_name}' : {buffer.type}"
+    return str(buffer.type)
+
+
+def _arg_index(buffer: Value) -> int:
+    return buffer.arg_index if isinstance(buffer, BlockArgument) else -1
+
+
+def check_buffer_safety(root: Operation, ctx: AnalysisContext) -> None:
+    """Registry entry point: run the sanitizer over ``root``."""
+    run_analysis(BufferSafetyAnalysis(), root, ctx)
+
+
+register_check("buffer-safety", check_buffer_safety)

@@ -1,0 +1,318 @@
+"""Generic MLIR-style dataflow engine and the static-check registry.
+
+The engine runs a :class:`DataflowAnalysis` over every function-like op
+of a module (``func.func``, ``lo_spn.kernel``, ``gpu.func`` — including
+functions nested inside ``gpu.module``). Analyses are *forward* walks
+over regions and blocks carrying an opaque state (typically a per-
+:class:`~repro.ir.value.Value` fact map joined in a semilattice):
+
+- straight-line ops apply :meth:`DataflowAnalysis.transfer`;
+- ``scf.if`` analyzes each branch from the incoming state and joins the
+  branch exits (plus the fall-through state when there is no else);
+- ``scf.for`` and ``lo_spn.task`` regions execute a statically unknown
+  number of times, so the engine iterates their bodies to a fixpoint,
+  switching from join to :meth:`DataflowAnalysis.widen_states` after a
+  few rounds to guarantee termination on infinite-height domains;
+- other region-carrying ops (``lo_spn.body``) are walked once inline.
+
+Analyses report :class:`AnalysisFinding` records through the shared
+:class:`AnalysisContext`; findings carry the op path (see
+:meth:`~repro.ir.ops.Operation.path`) so diagnostics can name the exact
+operation without re-walking the IR.
+
+Concrete checks register under a short name ("buffer-safety", "range",
+"lint") via :func:`register_check`; :func:`run_checks` is the single
+entry point used by the pass-manager instrumentation, the pipeline
+driver and the ``python -m repro analyze`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ...diagnostics import Severity
+from ..ops import Operation, Region
+from ..traits import Trait
+
+#: Fixpoint iteration cap for multi-execution regions; with widening the
+#: loop state reaches TOP long before this, so the cap is a backstop.
+MAX_FIXPOINT_ITERATIONS = 12
+
+#: Rounds of plain joining before the engine switches to widening.
+WIDEN_AFTER = 3
+
+#: Region ops whose bodies execute a statically unknown number of times.
+_LOOP_LIKE_OPS = frozenset({"scf.for", "lo_spn.task"})
+
+_SEVERITY_RANK = {
+    Severity.NOTE: 0,
+    Severity.WARNING: 1,
+    Severity.ERROR: 2,
+    Severity.FATAL: 3,
+}
+
+
+def severity_at_least(severity: Severity, threshold: Severity) -> bool:
+    return _SEVERITY_RANK[severity] >= _SEVERITY_RANK[threshold]
+
+
+@dataclass
+class AnalysisFinding:
+    """One static-analysis finding, anchored to an operation.
+
+    Attributes:
+        check: dotted check identifier, ``<registry-name>.<rule>``
+            (e.g. ``"buffer-safety.use-after-free"``).
+        severity: NOTE findings are informational (e.g. a proven
+            would-underflow site in a log-space module), WARNINGs flag
+            hazards, ERRORs are miscompiles waiting to happen.
+        message: human-readable description.
+        op_path: path of the offending op inside its module.
+        detail: free-form extra data (buffer path, interval bounds, ...).
+    """
+
+    check: str
+    severity: Severity
+    message: str
+    op_path: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        location = f" [at={self.op_path}]" if self.op_path else ""
+        return f"{self.severity}: {self.check}: {self.message}{location}"
+
+
+class AnalysisContext:
+    """Shared reporting context for one round of checks.
+
+    ``phase`` distinguishes instrumentation runs *between* passes
+    ("mid") — where transient states like not-yet-inserted deallocations
+    or not-yet-swept dead code are normal — from end-of-pipeline or
+    standalone runs ("final") where they are defects. Checks consult it
+    to suppress phase-dependent rules.
+    """
+
+    def __init__(self, phase: str = "final"):
+        if phase not in ("mid", "final"):
+            raise ValueError(f"unknown analysis phase '{phase}'")
+        self.phase = phase
+        self.findings: List[AnalysisFinding] = []
+        self._seen: Set[Tuple[str, Optional[str], str]] = set()
+
+    def report(
+        self,
+        check: str,
+        severity: Severity,
+        message: str,
+        op: Optional[Operation] = None,
+        **detail: Any,
+    ) -> Optional[AnalysisFinding]:
+        """Record one finding; duplicates (same check/op/message) fold."""
+        op_path = op.path() if op is not None else None
+        key = (check, op_path, message)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        finding = AnalysisFinding(
+            check=check,
+            severity=severity,
+            message=message,
+            op_path=op_path,
+            detail=dict(detail),
+        )
+        self.findings.append(finding)
+        return finding
+
+    def errors(self) -> List[AnalysisFinding]:
+        return [
+            f
+            for f in self.findings
+            if severity_at_least(f.severity, Severity.ERROR)
+        ]
+
+
+class DataflowAnalysis:
+    """Base class for forward dataflow analyses run by the engine.
+
+    The state is opaque to the engine; subclasses define its shape and
+    the lattice operations over it. The default implementations assume a
+    ``dict`` state with equality-comparable values.
+    """
+
+    #: Registry-facing name, also the prefix of this analysis' checks.
+    name: str = ""
+
+    # -- state lattice -----------------------------------------------------
+
+    def initial_state(self, func: Operation, ctx: AnalysisContext) -> Any:
+        return {}
+
+    def copy_state(self, state: Any) -> Any:
+        return dict(state)
+
+    def join_states(self, a: Any, b: Any) -> Any:
+        """Pointwise join of two fact maps (missing keys join with ⊥)."""
+        joined = dict(a)
+        for key, fact in b.items():
+            if key in joined:
+                joined[key] = self.join_facts(joined[key], fact)
+            else:
+                joined[key] = fact
+        return joined
+
+    def join_facts(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def widen_states(self, old: Any, new: Any) -> Any:
+        return self.join_states(old, new)
+
+    def states_equal(self, a: Any, b: Any) -> bool:
+        return a == b
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, op: Operation, state: Any, ctx: AnalysisContext) -> Any:
+        """Apply ``op``'s effect to ``state``; may report findings."""
+        return state
+
+    def enter_region(
+        self, op: Operation, region: Region, state: Any, ctx: AnalysisContext
+    ) -> Any:
+        """Hook called before walking a region (e.g. to alias block args
+        of a ``lo_spn.task`` to the corresponding operand buffers)."""
+        return state
+
+    def finish_function(
+        self, func: Operation, state: Any, ctx: AnalysisContext
+    ) -> None:
+        """Hook called with the exit state of each function-like op."""
+
+
+def run_analysis(
+    analysis: DataflowAnalysis, root: Operation, ctx: AnalysisContext
+) -> None:
+    """Run ``analysis`` over every function-like op under ``root``."""
+    if root.has_trait(Trait.FUNCTION_LIKE):
+        _run_on_function(analysis, root, ctx)
+        return
+    for op in root.walk():
+        if op.has_trait(Trait.FUNCTION_LIKE):
+            _run_on_function(analysis, op, ctx)
+
+
+def _run_on_function(
+    analysis: DataflowAnalysis, func: Operation, ctx: AnalysisContext
+) -> None:
+    state = analysis.initial_state(func, ctx)
+    for region in func.regions:
+        entry = analysis.enter_region(func, region, state, ctx)
+        state = _walk_region(analysis, region, entry, ctx)
+    analysis.finish_function(func, state, ctx)
+
+
+def _walk_region(
+    analysis: DataflowAnalysis, region: Region, state: Any, ctx: AnalysisContext
+) -> Any:
+    out = state
+    for i, block in enumerate(region.blocks):
+        if i == 0:
+            for op in block.ops:
+                out = _step(analysis, op, out, ctx)
+        else:
+            # Non-entry blocks are unreachable (this IR has no branch
+            # ops); walk them so their ops still get facts reported, but
+            # keep their effects out of the flow-through state.
+            dead = analysis.copy_state(state)
+            for op in block.ops:
+                dead = _step(analysis, op, dead, ctx)
+    return out
+
+
+def _step(
+    analysis: DataflowAnalysis, op: Operation, state: Any, ctx: AnalysisContext
+) -> Any:
+    if op.has_trait(Trait.FUNCTION_LIKE) or op.op_name == "gpu.module":
+        # Isolated function-like ops are analyzed separately by
+        # run_analysis; their outer flow state passes through unchanged.
+        return analysis.transfer(op, state, ctx)
+    if op.op_name == "scf.if" and op.regions:
+        branch_outs = []
+        for region in op.regions:
+            entry = analysis.enter_region(
+                op, region, analysis.copy_state(state), ctx
+            )
+            branch_outs.append(_walk_region(analysis, region, entry, ctx))
+        if len(op.regions) < 2:
+            branch_outs.append(state)  # fall-through when cond is false
+        joined = branch_outs[0]
+        for other in branch_outs[1:]:
+            joined = analysis.join_states(joined, other)
+        return analysis.transfer(op, joined, ctx)
+    if op.op_name in _LOOP_LIKE_OPS and op.regions:
+        current = state
+        for iteration in range(MAX_FIXPOINT_ITERATIONS):
+            entry = analysis.enter_region(
+                op, op.regions[0], analysis.copy_state(current), ctx
+            )
+            body_out = _walk_region(analysis, op.regions[0], entry, ctx)
+            # The loop may execute zero times, so the pre-state joins in.
+            new = analysis.join_states(current, body_out)
+            if analysis.states_equal(new, current):
+                break
+            if iteration >= WIDEN_AFTER:
+                current = analysis.widen_states(current, new)
+            else:
+                current = new
+        return analysis.transfer(op, current, ctx)
+    for region in op.regions:
+        entry = analysis.enter_region(op, region, state, ctx)
+        state = _walk_region(analysis, region, entry, ctx)
+    return analysis.transfer(op, state, ctx)
+
+
+# -- check registry -----------------------------------------------------------
+
+CheckFn = Callable[[Operation, AnalysisContext], None]
+
+_CHECK_REGISTRY: Dict[str, CheckFn] = {}
+
+
+def register_check(name: str, fn: CheckFn) -> None:
+    """Register a static check under a short name (e.g. "range")."""
+    if name in _CHECK_REGISTRY:
+        raise ValueError(f"check '{name}' is already registered")
+    _CHECK_REGISTRY[name] = fn
+
+
+def registered_checks() -> List[str]:
+    return sorted(_CHECK_REGISTRY)
+
+
+def run_checks(
+    root: Operation,
+    checks: Optional[Sequence[str]] = None,
+    phase: str = "final",
+    ctx: Optional[AnalysisContext] = None,
+) -> List[AnalysisFinding]:
+    """Run the named checks (default: all) over ``root``.
+
+    Returns the findings, ordered most severe first (stable within one
+    severity). ``phase`` selects instrumentation ("mid") vs standalone /
+    end-of-pipeline ("final") behavior for phase-dependent rules.
+    """
+    if ctx is None:
+        ctx = AnalysisContext(phase=phase)
+    selected = registered_checks() if checks is None else list(checks)
+    for name in selected:
+        fn = _CHECK_REGISTRY.get(name)
+        if fn is None:
+            raise ValueError(
+                f"unknown check '{name}'; registered: "
+                f"{', '.join(registered_checks())}"
+            )
+        fn(root, ctx)
+    ctx.findings.sort(
+        key=lambda f: -_SEVERITY_RANK[f.severity]
+    )
+    return ctx.findings

@@ -1,0 +1,246 @@
+"""Join-semilattices for the dataflow analyses.
+
+Two lattice families cover the registered analyses:
+
+- :class:`Interval` — the classic numeric interval domain ``[lo, hi]``
+  over extended reals, used by the log-space range analysis. ``BOTTOM``
+  (the empty interval) means "no execution reaches this value yet";
+  ``TOP`` is ``[-inf, +inf]``. Arithmetic transfer helpers implement
+  the monotone interval extensions of the operations the LoSPN dialect
+  can perform on probabilities (add, mul, exp, log, log-add-exp).
+- :func:`join_flags` — the powerset lattice over small state-flag sets
+  (e.g. buffer states ``{ALLOCATED}`` / ``{FREED}``), with union as
+  join. Kept as plain ``frozenset`` values; the helper exists so
+  analyses spell joins uniformly.
+
+Every operation here is a *may*-approximation: joins only ever grow the
+result, which is what guarantees fixpoint termination in the engine
+(together with widening for loop-carried values).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, Tuple
+
+#: log(smallest positive normal f64): below this, ``exp`` underflows.
+LOG_F64_MIN = math.log(2.2250738585072014e-308)  # ~ -708.396
+
+#: Smallest positive normal f64; linear-space values below it denormalize
+#: and eventually flush to zero.
+F64_MIN = 2.2250738585072014e-308
+
+#: log(largest finite f64): above this, ``exp`` overflows to +inf.
+LOG_F64_MAX = math.log(1.7976931348623157e308)  # ~ +709.78
+
+
+class Interval:
+    """A closed interval ``[lo, hi]`` over the extended reals.
+
+    Immutable value object. The empty interval (bottom) is represented
+    by ``lo > hi`` and uniqued through :data:`Interval.BOTTOM`.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float, hi: float):
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Interval":
+        values = [float(v) for v in values]
+        if not values:
+            return BOTTOM
+        return cls(min(values), max(values))
+
+    # -- lattice structure -------------------------------------------------
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.lo > self.hi
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Classic interval widening: jump unstable bounds to infinity."""
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        lo = self.lo if other.lo >= self.lo else -math.inf
+        hi = self.hi if other.hi <= self.hi else math.inf
+        return Interval(lo, hi)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_bottom and other.is_bottom:
+            return True
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        if self.is_bottom:
+            return hash("interval-bottom")
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        if self.is_bottom:
+            return "Interval(⊥)"
+        return f"Interval[{self.lo:.6g}, {self.hi:.6g}]"
+
+    # -- predicates --------------------------------------------------------
+
+    def contains(self, value: float) -> bool:
+        return not self.is_bottom and self.lo <= value <= self.hi
+
+    @property
+    def is_point(self) -> bool:
+        return not self.is_bottom and self.lo == self.hi
+
+    # -- arithmetic transfer functions -------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return Interval(_safe_add(self.lo, other.lo), _safe_add(self.hi, other.hi))
+
+    def sub(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return Interval(_safe_add(self.lo, -other.hi), _safe_add(self.hi, -other.lo))
+
+    def neg(self) -> "Interval":
+        if self.is_bottom:
+            return BOTTOM
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        products = [
+            _safe_mul(a, b)
+            for a in (self.lo, self.hi)
+            for b in (other.lo, other.hi)
+        ]
+        return Interval(min(products), max(products))
+
+    def exp(self) -> "Interval":
+        if self.is_bottom:
+            return BOTTOM
+        return Interval(_safe_exp(self.lo), _safe_exp(self.hi))
+
+    def log(self) -> "Interval":
+        """Monotone log; negative inputs clamp to the empty set below 0."""
+        if self.is_bottom or self.hi < 0:
+            return BOTTOM
+        return Interval(_safe_log(max(self.lo, 0.0)), _safe_log(self.hi))
+
+    def logaddexp(self, other: "Interval") -> "Interval":
+        """Transfer for log-space probability addition."""
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return Interval(
+            _logaddexp(self.lo, other.lo), _logaddexp(self.hi, other.hi)
+        )
+
+    def min_with(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_with(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+
+#: The empty interval (no reachable value).
+BOTTOM = Interval(math.inf, -math.inf)
+
+#: The full extended-real line (unknown value).
+TOP = Interval(-math.inf, math.inf)
+
+#: A probability in linear space.
+UNIT = Interval(0.0, 1.0)
+
+#: A probability in log space (stored representation of !lo_spn.log<T>).
+LOG_UNIT = Interval(-math.inf, 0.0)
+
+
+def _safe_add(a: float, b: float) -> float:
+    """IEEE addition that resolves inf + -inf conservatively.
+
+    In interval bounds the indeterminate form must not produce NaN; the
+    conservative resolution for a *may*-analysis picks the bound that
+    keeps the interval sound, which joining with both infinities does.
+    The callers only ever hit this when one side is already unbounded,
+    so returning the first infinite operand is sound for lo/hi alike.
+    """
+    result = a + b
+    if math.isnan(result):
+        return a if math.isinf(a) else b
+    return result
+
+
+def _safe_mul(a: float, b: float) -> float:
+    result = a * b
+    if math.isnan(result):
+        return 0.0 if (a == 0.0 or b == 0.0) else result
+    return result
+
+
+def _safe_exp(x: float) -> float:
+    if x == -math.inf:
+        return 0.0
+    if x > LOG_F64_MAX:
+        return math.inf
+    return math.exp(x)
+
+
+def _safe_log(x: float) -> float:
+    if x <= 0.0:
+        return -math.inf
+    if x == math.inf:
+        return math.inf
+    return math.log(x)
+
+
+def _logaddexp(a: float, b: float) -> float:
+    if a == -math.inf:
+        return b
+    if b == -math.inf:
+        return a
+    if math.isinf(a) or math.isinf(b):
+        return math.inf
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+# -- flag-set lattice ---------------------------------------------------------
+
+
+def join_flags(
+    a: FrozenSet[str], b: FrozenSet[str]
+) -> FrozenSet[str]:
+    """Join in the powerset lattice of state flags (set union)."""
+    return a | b
+
+
+def flags(*names: str) -> FrozenSet[str]:
+    return frozenset(names)
+
+
+Flags = FrozenSet[str]
+FlagsPair = Tuple[Flags, Flags]

@@ -1,0 +1,176 @@
+"""Def-use and structural linter.
+
+Pure IR-shape checks that need no dataflow state — a single walk over
+the module. Registered as the ``"lint"`` check:
+
+- ``lint.unused-result`` (WARNING) — a side-effect-free op (``PURE`` /
+  ``CONSTANT_LIKE``) none of whose results are ever used. Dead pure
+  code is a symptom of a broken rewrite; only reported in the "final"
+  phase because between passes (before DCE has swept) it is transient
+  and expected.
+- ``lint.dead-block`` (WARNING) — a non-entry block. This IR has no
+  branch terminators, so every non-entry block is unreachable code.
+- ``lint.shadowed-symbol`` (ERROR) — two function-like ops sharing one
+  ``sym_name`` inside the same symbol table (``builtin.module`` or
+  ``gpu.module``); calls and kernel launches resolve by name, so the
+  later definition silently shadows the earlier one.
+- ``lint.batch-dim-mismatch`` (ERROR) — a task's batch access ops
+  disagree with the buffer shapes of the enclosing kernel signature:
+  a ``batch_write``/``batch_collect`` whose static result-count extent
+  differs from the number of values written, or a ``batch_read``/
+  ``batch_extract`` whose orientation (``transposed``) puts the static
+  feature index on the buffer's dynamic axis while the batch runs over
+  a static axis (i.e. the access is transposed relative to the data).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...diagnostics import Severity
+from ..ops import Operation
+from ..traits import Trait
+from ..types import MemRefType, TensorType
+from .engine import AnalysisContext, register_check
+
+_SYMBOL_TABLE_OPS = frozenset({"builtin.module", "gpu.module"})
+
+
+def check_lint(root: Operation, ctx: AnalysisContext) -> None:
+    """Registry entry point: run all structural lint rules over ``root``."""
+    for op in _self_and_walk(root):
+        if op.op_name in _SYMBOL_TABLE_OPS:
+            _check_symbol_table(op, ctx)
+        _check_dead_blocks(op, ctx)
+        if ctx.phase == "final":
+            _check_unused_results(op, ctx)
+        if op.op_name == "lo_spn.task":
+            _check_task_batch_dims(op, ctx)
+
+
+def _self_and_walk(root: Operation):
+    yield root
+    yield from root.walk()
+
+
+def _check_unused_results(op: Operation, ctx: AnalysisContext) -> None:
+    if not op.results:
+        return
+    if not (op.has_trait(Trait.PURE) or op.has_trait(Trait.CONSTANT_LIKE)):
+        return
+    if any(result.has_uses for result in op.results):
+        return
+    ctx.report(
+        "lint.unused-result",
+        Severity.WARNING,
+        f"side-effect-free '{op.op_name}' has no used results "
+        f"(dead code a rewrite left behind)",
+        op=op,
+    )
+
+
+def _check_dead_blocks(op: Operation, ctx: AnalysisContext) -> None:
+    for region_index, region in enumerate(op.regions):
+        for block_index, block in enumerate(region.blocks):
+            if block_index == 0:
+                continue
+            ctx.report(
+                "lint.dead-block",
+                Severity.WARNING,
+                f"block #{block_index} of region #{region_index} of "
+                f"'{op.op_name}' is unreachable (no branch terminators "
+                f"exist in this IR)",
+                op=op,
+            )
+
+
+def _check_symbol_table(table: Operation, ctx: AnalysisContext) -> None:
+    seen: Dict[str, Operation] = {}
+    for region in table.regions:
+        for block in region.blocks:
+            for op in block.ops:
+                name = op.attributes.get("sym_name")
+                if not isinstance(name, str):
+                    continue
+                if not (
+                    op.has_trait(Trait.FUNCTION_LIKE)
+                    or op.op_name in _SYMBOL_TABLE_OPS
+                ):
+                    continue
+                first = seen.get(name)
+                if first is not None:
+                    ctx.report(
+                        "lint.shadowed-symbol",
+                        Severity.ERROR,
+                        f"symbol '{name}' is defined twice in the same "
+                        f"symbol table; this '{op.op_name}' shadows the "
+                        f"earlier '{first.op_name}'",
+                        op=op,
+                        first_definition=first.path(),
+                    )
+                else:
+                    seen[name] = op
+
+
+def _check_task_batch_dims(task: Operation, ctx: AnalysisContext) -> None:
+    for op in task.walk():
+        name = op.op_name
+        if name in ("lo_spn.batch_read", "lo_spn.batch_extract"):
+            _check_batch_access_orientation(op, ctx)
+        elif name in ("lo_spn.batch_write", "lo_spn.batch_collect"):
+            _check_batch_result_extent(op, ctx)
+
+
+def _rank2_shape(op: Operation, operand_index: int):
+    ty = op.operands[operand_index].type
+    if isinstance(ty, (MemRefType, TensorType)) and ty.rank == 2:
+        return ty, ty.shape
+    return None, None
+
+
+def _check_batch_access_orientation(op: Operation, ctx: AnalysisContext) -> None:
+    ty, shape = _rank2_shape(op, 0)
+    if ty is None:
+        return
+    transposed = op.attributes.get("transposed", False)
+    static_dim = 0 if transposed else 1  # axis indexed by staticIndex
+    batch_dim = 1 - static_dim
+    if shape[static_dim] is None and shape[batch_dim] is not None:
+        ctx.report(
+            "lint.batch-dim-mismatch",
+            Severity.ERROR,
+            f"'{op.op_name}' (transposed={transposed}) puts its static "
+            f"feature index on the dynamic axis of {ty} while the batch "
+            f"runs over a static axis; the access orientation disagrees "
+            f"with the kernel signature",
+            op=op,
+        )
+
+
+def _check_batch_result_extent(op: Operation, ctx: AnalysisContext) -> None:
+    if op.op_name == "lo_spn.batch_write":
+        ty, shape = _rank2_shape(op, 0)
+        written = len(op.operands) - 2  # buffer, batch index, values...
+    else:  # batch_collect: result tensor
+        result_type = op.results[0].type if op.results else None
+        if not isinstance(result_type, TensorType) or result_type.rank != 2:
+            return
+        ty, shape = result_type, result_type.shape
+        written = len(op.operands) - 1  # batch index, values...
+    if ty is None:
+        return
+    transposed = op.attributes.get("transposed", False)
+    result_dim = 0 if transposed else 1
+    extent = shape[result_dim]
+    if extent is not None and extent != written:
+        ctx.report(
+            "lint.batch-dim-mismatch",
+            Severity.ERROR,
+            f"'{op.op_name}' writes {written} value(s) per sample but the "
+            f"result extent of {ty} along dimension {result_dim} is "
+            f"{extent}; the task disagrees with the kernel signature",
+            op=op,
+        )
+
+
+register_check("lint", check_lint)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..diagnostics import (
     Diagnostic,
@@ -30,6 +30,32 @@ from ..diagnostics import (
 from ..testing import faults
 from .ops import Operation
 from .verifier import VerificationError, verify
+
+#: Valid ``verify_each`` instrumentation modes for :class:`PassManager`.
+VERIFY_EACH_MODES = ("off", "structural", "boundaries", "every-pass")
+
+
+def normalize_verify_each(mode: Union[bool, str, None]) -> str:
+    """Normalize a verify-each knob to one of :data:`VERIFY_EACH_MODES`.
+
+    Booleans are accepted for backward compatibility: ``True`` is the
+    historic structural-verify-after-each-pass behavior, ``False`` is
+    off. Strings select the full instrumentation level: "structural"
+    runs only the structural verifier after each pass, "boundaries"
+    additionally runs the registered static checks (buffer safety,
+    range, lint — see :mod:`repro.ir.analysis`) after the *last* pass,
+    and "every-pass" runs verifier plus checks after every pass.
+    """
+    if mode is None or mode is False:
+        return "off"
+    if mode is True:
+        return "structural"
+    if mode not in VERIFY_EACH_MODES:
+        raise ValueError(
+            f"unknown verify_each mode '{mode}' "
+            f"(expected one of {', '.join(VERIFY_EACH_MODES)})"
+        )
+    return mode
 
 
 class Pass:
@@ -86,13 +112,30 @@ class PassTiming:
 
 
 class PassManager:
-    """Runs a sequence of passes over a module, with optional verification."""
+    """Runs a sequence of passes over a module, with optional verification.
 
-    def __init__(self, verify_each: bool = False, artifact_dir: Optional[str] = None):
+    ``verify_each`` selects the instrumentation level (see
+    :func:`normalize_verify_each`): any mode other than "off" runs the
+    structural verifier after each pass; "boundaries" also runs the
+    registered static analyses (:mod:`repro.ir.analysis`) once after
+    the final pass, and "every-pass" runs them after every pass.
+    ERROR-severity findings abort with a :class:`PassError` naming the
+    offending pass; WARNING/NOTE findings accumulate on
+    :attr:`analysis_findings`.
+    """
+
+    def __init__(
+        self,
+        verify_each: Union[bool, str] = False,
+        artifact_dir: Optional[str] = None,
+    ):
         self.passes: List[Pass] = []
-        self.verify_each = verify_each
+        self.verify_each = normalize_verify_each(verify_each)
         self.artifact_dir = artifact_dir
         self.timing = PassTiming()
+        #: WARNING/NOTE analysis findings collected by instrumentation.
+        self.analysis_findings: List[object] = []
+        self._findings_seen: set = set()
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
@@ -104,7 +147,7 @@ class PassManager:
         return self
 
     def run(self, module: Operation) -> PassTiming:
-        for pass_ in self.passes:
+        for index, pass_ in enumerate(self.passes):
             start = time.perf_counter()
             try:
                 faults.maybe_fail_pass(pass_.name)
@@ -114,14 +157,46 @@ class PassManager:
             except Exception as error:
                 raise self._pass_error(pass_.name, error, module) from error
             self.timing.record(pass_.name, time.perf_counter() - start)
-            if self.verify_each:
+            if self.verify_each != "off":
                 try:
                     verify(module)
                 except VerificationError as error:
                     raise self._pass_error(
                         pass_.name, error, module, after_verify=True
                     ) from error
+            is_last = index == len(self.passes) - 1
+            if self.verify_each == "every-pass" or (
+                self.verify_each == "boundaries" and is_last
+            ):
+                self._run_analysis_checks(pass_.name, module)
         return self.timing
+
+    def _run_analysis_checks(self, pass_name: str, module: Operation) -> None:
+        from .analysis import run_checks, severity_at_least
+
+        findings = run_checks(module, phase="mid")
+        errors = [
+            f for f in findings if severity_at_least(f.severity, Severity.ERROR)
+        ]
+        if errors:
+            worst = errors[0]
+            summary = "; ".join(f.render() for f in errors[:5])
+            error = _AnalysisViolation(
+                f"static analysis found {len(errors)} violation(s) after "
+                f"pass '{pass_name}': {summary}",
+                op_path=worst.op_path,
+            )
+            raise self._pass_error(pass_name, error, module, after_analysis=True)
+        for finding in findings:
+            if severity_at_least(finding.severity, Severity.ERROR):
+                continue
+            # Unfixed findings re-surface after every subsequent pass;
+            # keep one copy per (check, op, message).
+            key = (finding.check, finding.op_path, finding.message)
+            if key in self._findings_seen:
+                continue
+            self._findings_seen.add(key)
+            self.analysis_findings.append(finding)
 
     def _pass_error(
         self,
@@ -129,8 +204,12 @@ class PassManager:
         error: BaseException,
         module: Operation,
         after_verify: bool = False,
+        after_analysis: bool = False,
     ) -> PassError:
-        if after_verify:
+        if after_analysis:
+            code = ErrorCode.ANALYSIS_FAILED
+            message = str(error)
+        elif after_verify:
             code = ErrorCode.VERIFY_FAILED
             message = (
                 f"IR verification failed after pass '{pass_name}': {error}"
@@ -162,3 +241,11 @@ class PassManager:
                 diagnostic, module_text=module_text, artifact_dir=self.artifact_dir
             )
         return PassError(message, diagnostic=diagnostic, reproducer_path=reproducer)
+
+
+class _AnalysisViolation(Exception):
+    """Carrier for an analysis-instrumentation failure (has an op path)."""
+
+    def __init__(self, message: str, op_path: Optional[str] = None):
+        super().__init__(message)
+        self.op_path = op_path

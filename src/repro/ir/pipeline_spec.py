@@ -41,8 +41,13 @@ def registered_passes() -> List[str]:
     return sorted(_PASS_REGISTRY)
 
 
-def parse_pipeline(spec: str, verify_each: bool = False) -> PassManager:
-    """Build a PassManager from a comma-separated pass list."""
+def parse_pipeline(spec: str, verify_each="off") -> PassManager:
+    """Build a PassManager from a comma-separated pass list.
+
+    ``verify_each`` accepts the :class:`PassManager` instrumentation
+    modes ("off" / "structural" / "boundaries" / "every-pass") or a
+    bool for backward compatibility (``True`` == "structural").
+    """
     manager = PassManager(verify_each=verify_each)
     for raw in spec.split(","):
         name = raw.strip()

@@ -21,7 +21,7 @@ from typing import Optional, Set
 
 from .ops import Block, IRError, Operation, Region
 from .traits import Trait
-from .value import Value
+from .value import BlockArgument, Value
 
 
 class VerificationError(IRError):
@@ -53,6 +53,13 @@ def _verify_op(op: Operation, visible: Set[Value], shadowed: Set[Value]) -> None
                     f"its ISOLATED_FROM_ABOVE ancestor",
                     op_path=op.path(),
                 )
+            if _defined_in_sibling_region(op, operand):
+                raise VerificationError(
+                    f"operand of '{op.op_name}' ({operand!r}) is defined in a "
+                    f"sibling region and does not dominate its use (values do "
+                    f"not flow across sibling regions)",
+                    op_path=op.path(),
+                )
             raise VerificationError(
                 f"operand of '{op.op_name}' ({operand!r}) does not dominate its use",
                 op_path=op.path(),
@@ -80,6 +87,27 @@ def _verify_op(op: Operation, visible: Set[Value], shadowed: Set[Value]) -> None
             _verify_region(region, set(), shadowed | visible)
         else:
             _verify_region(region, set(visible), set(shadowed))
+
+
+def _defined_in_sibling_region(op: Operation, operand: Value) -> bool:
+    """True when ``operand``'s definition lives in a region that is not
+    an ancestor of ``op``'s — i.e. a sibling (or cousin) region whose
+    values can never dominate the use, as opposed to a plain
+    defined-after-use ordering violation inside a shared block."""
+    if isinstance(operand, BlockArgument):
+        defining_block = operand.block
+    else:
+        defining_op = operand.defining_op
+        defining_block = defining_op.parent if defining_op is not None else None
+    if defining_block is None:
+        return False
+    ancestors = set()
+    current: Optional[Operation] = op
+    while current is not None:
+        if current.parent is not None:
+            ancestors.add(current.parent)
+        current = current.parent_op
+    return defining_block not in ancestors
 
 
 def _verify_region(region: Region, visible: Set[Value], shadowed: Set[Value]) -> None:

@@ -566,7 +566,12 @@ class IRFuzzer:
         try:
             baseline = run_interpreter(case, INTERPRETER_ROW_LIMIT)
             module = _lowered_module(case, "off")
-            parse_pipeline(spec, verify_each=True).run(module)
+            # "every-pass" runs the structural verifier *and* the static
+            # analyses (buffer safety, range, lint) after each pass, so a
+            # pass that produces invalid-but-interpretable IR fails
+            # structurally instead of surfacing only as a numeric
+            # divergence downstream.
+            parse_pipeline(spec, verify_each="every-pass").run(module)
             after = _interpret_lowered(module, case, INTERPRETER_ROW_LIMIT)
         except Exception as error:
             message = (

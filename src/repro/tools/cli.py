@@ -187,11 +187,82 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
           bool(errors) and errors[0].stage == "cse",
           f" (stage={errors[0].stage if errors else None})")
 
+    print("selftest: static analyses catch seeded bugs")
+    for label, expected, build in (
+        ("use-after-free flagged by buffer-safety",
+         "buffer-safety.use-after-free", _broken_module_use_after_free),
+        ("linear underflow flagged by range analysis",
+         "range.linear-underflow", _broken_module_underflow),
+        ("dead pure result flagged by lint",
+         "lint.unused-result", _broken_module_dead_result),
+    ):
+        from ..ir.analysis import run_checks
+
+        findings = run_checks(build(), phase="final")
+        names = {f.check for f in findings}
+        check(label, expected in names, f" (reported: {sorted(names) or '-'})")
+
     if failures:
         print(f"selftest: {failures} check(s) failed", file=sys.stderr)
         return 1
     print("selftest: all checks passed")
     return 0
+
+
+def _broken_module_use_after_free():
+    """A function loading from a buffer after deallocating it."""
+    from ..dialects import arith, func as func_dialect, memref as memref_dialect
+    from ..ir import Builder, ModuleOp
+    from ..ir.types import FloatType, IndexType, MemRefType
+
+    module = ModuleOp.build()
+    b = Builder.at_end(module.body)
+    fn = b.create(func_dialect.FuncOp, "use_after_free", [], [])
+    fb = Builder.at_end(fn.body)
+    buf = fb.create(
+        memref_dialect.AllocOp, MemRefType((4,), FloatType(64)), []
+    ).result
+    index = fb.create(arith.ConstantOp, 0, IndexType()).result
+    fb.create(memref_dialect.DeallocOp, buf)
+    fb.create(memref_dialect.LoadOp, buf, [index])  # use after free!
+    fb.create(func_dialect.ReturnOp, [])
+    return module
+
+
+def _broken_module_underflow():
+    """Linear-space probability product that underflows f64."""
+    from ..dialects import func as func_dialect, lospn
+    from ..ir import Builder, ModuleOp
+    from ..ir.types import FloatType
+
+    module = ModuleOp.build()
+    b = Builder.at_end(module.body)
+    fn = b.create(func_dialect.FuncOp, "underflow", [], [])
+    fb = Builder.at_end(fn.body)
+    f64 = FloatType(64)
+    tiny_a = fb.create(lospn.ConstantOp, 1e-160, f64).result
+    tiny_b = fb.create(lospn.ConstantOp, 1e-160, f64).result
+    product = fb.create(lospn.MulOp, tiny_a, tiny_b)  # 1e-320 < DBL_MIN
+    fb.create(lospn.LogOp, product.results[0])
+    fb.create(func_dialect.ReturnOp, [])
+    return module
+
+
+def _broken_module_dead_result():
+    """A pure op whose result is never used (dead code)."""
+    from ..dialects import arith, func as func_dialect
+    from ..ir import Builder, ModuleOp
+    from ..ir.types import FloatType
+
+    module = ModuleOp.build()
+    b = Builder.at_end(module.body)
+    fn = b.create(func_dialect.FuncOp, "dead_result", [], [])
+    fb = Builder.at_end(fn.body)
+    lhs = fb.create(arith.ConstantOp, 1.5, FloatType(64)).result
+    rhs = fb.create(arith.ConstantOp, 2.5, FloatType(64)).result
+    fb.create(arith.AddFOp, lhs, rhs)  # result never used
+    fb.create(func_dialect.ReturnOp, [])
+    return module
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -237,7 +308,124 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Static analysis over textual IR modules (see repro.ir.analysis).
+
+    Runs the registered checks (buffer safety, log-space range, lint)
+    over each module and prints the findings with op paths. Exits
+    non-zero when any finding at or above ``--min-severity`` (default:
+    warning) is reported; reproducers are dumped via
+    ``--artifact-dir`` / ``$SPNC_ARTIFACT_DIR``.
+    """
+    from ..diagnostics import (
+        Diagnostic,
+        ErrorCode,
+        Severity,
+        dump_reproducer,
+    )
+    from ..ir import parse_module, print_op, verify
+    from ..ir.analysis import registered_checks, run_checks, severity_at_least
+    from ..ir.verifier import VerificationError
+
+    checks = None
+    if args.checks:
+        checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+        unknown = sorted(set(checks) - set(registered_checks()))
+        if unknown:
+            print(f"error: unknown check(s) {', '.join(unknown)}; "
+                  f"available: {', '.join(registered_checks())}",
+                  file=sys.stderr)
+            return 2
+    threshold = {
+        "note": Severity.NOTE,
+        "warning": Severity.WARNING,
+        "error": Severity.ERROR,
+    }[args.min_severity]
+
+    if not args.modules and not args.corpus:
+        print("error: nothing to analyze (pass module files and/or --corpus N)",
+              file=sys.stderr)
+        return 2
+
+    modules = []  # (label, module) pairs
+    failures = 0
+    for path in args.modules:
+        if path == "-":
+            text = sys.stdin.read()
+            label = "<stdin>"
+        else:
+            with open(path) as handle:
+                text = handle.read()
+            label = path
+        modules.append((label, parse_module(text)))
+    if args.corpus:
+        from ..ir.pipeline_spec import parse_pipeline
+        from ..testing.generators import CaseGenerator
+        from ..testing.oracle import _lowered_module
+
+        generator = CaseGenerator(seed=args.seed)
+        for index in range(args.corpus):
+            case = generator.case(index)
+            for vec in ("off", "batch"):
+                label = f"corpus(seed={args.seed}, index={index}, {vec})"
+                module = _lowered_module(case, vec)
+                try:
+                    # Cleanup pipeline under every-pass instrumentation:
+                    # the checks run after each pass, so a pass that
+                    # breaks an invariant fails right here.
+                    parse_pipeline(
+                        "canonicalize,cse,licm,dce", verify_each="every-pass"
+                    ).run(module)
+                except Exception as error:
+                    print(f"{label}: FAIL {type(error).__name__}: {error}")
+                    failures += 1
+                    continue
+                modules.append((label, module))
+
+    for label, module in modules:
+        try:
+            verify(module)
+        except VerificationError as error:
+            print(f"{label}: error: structural verification failed: {error}")
+            failures += 1
+            continue
+        findings = run_checks(module, checks=checks, phase=args.phase)
+        gating = [
+            f for f in findings if severity_at_least(f.severity, threshold)
+        ]
+        for finding in findings:
+            print(f"{label}: {finding.render()}")
+        if gating:
+            failures += 1
+            diagnostic = Diagnostic(
+                severity=Severity.ERROR,
+                code=ErrorCode.ANALYSIS_FAILED,
+                message=(
+                    f"static analysis reported {len(gating)} finding(s) "
+                    f"at or above '{args.min_severity}' for {label}"
+                ),
+                op_path=gating[0].op_path,
+                detail={"findings": [f.render() for f in gating]},
+            )
+            reproducer = dump_reproducer(
+                diagnostic,
+                module_text=print_op(module),
+                artifact_dir=args.artifact_dir,
+            )
+            if reproducer:
+                print(f"{label}: reproducer dumped to {reproducer}",
+                      file=sys.stderr)
+        else:
+            print(f"{label}: clean ({len(findings)} finding(s) below "
+                  f"'{args.min_severity}')")
+    if failures:
+        print(f"analyze: {failures} module(s) with findings", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_opt(args: argparse.Namespace) -> int:
+    from ..diagnostics import PassError
     from ..ir import parse_module, print_op, verify
     from ..ir.pipeline_spec import parse_pipeline, registered_passes
 
@@ -253,8 +441,14 @@ def _cmd_opt(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    timing = manager.run(module)
+    try:
+        timing = manager.run(module)
+    except PassError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     print(print_op(module))
+    for finding in manager.analysis_findings:
+        print(finding.render(), file=sys.stderr)
     if args.timing:
         print(timing.report(), file=sys.stderr)
     return 0
@@ -293,11 +487,48 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("input", help="IR file in generic textual form ('-' = stdin)")
     opt.add_argument("--pipeline", default="canonicalize,cse,dce",
                      help="comma-separated pass list")
-    opt.add_argument("--verify-each", action="store_true",
-                     help="verify the module after every pass")
+    opt.add_argument("--verify-each", nargs="?", const="structural",
+                     default="off",
+                     choices=("off", "structural", "boundaries", "every-pass"),
+                     metavar="MODE",
+                     help="per-pass instrumentation: off, structural "
+                          "(verifier only; the default for a bare "
+                          "--verify-each), boundaries (static checks after "
+                          "the last pass) or every-pass (verifier + static "
+                          "checks after every pass)")
     opt.add_argument("--timing", action="store_true",
                      help="print per-pass timing to stderr")
     opt.set_defaults(fn=_cmd_opt)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run static analyses (buffer safety, range, lint) over IR",
+    )
+    analyze.add_argument("modules", nargs="*", metavar="MODULE",
+                         help="IR file(s) in generic textual form "
+                              "('-' = stdin)")
+    analyze.add_argument("--checks", default=None, metavar="A,B,...",
+                         help="comma-separated subset of checks "
+                              "(default: all registered)")
+    analyze.add_argument("--phase", choices=("mid", "final"), default="final",
+                         help="analysis phase: 'final' (default; full "
+                              "strictness) or 'mid' (suppress rules that "
+                              "are transient between passes)")
+    analyze.add_argument("--min-severity",
+                         choices=("note", "warning", "error"),
+                         default="warning",
+                         help="lowest severity that fails the command "
+                              "(default: warning)")
+    analyze.add_argument("--corpus", type=int, default=None, metavar="N",
+                         help="also analyze N generated lowered modules "
+                              "(run through the cleanup pipeline at "
+                              "verify_each=every-pass)")
+    analyze.add_argument("--seed", type=int, default=0,
+                         help="seed for --corpus generation")
+    analyze.add_argument("--artifact-dir", default=None,
+                         help="reproducer dump directory "
+                              "(default: $SPNC_ARTIFACT_DIR)")
+    analyze.set_defaults(fn=_cmd_analyze)
 
     samp = sub.add_parser("sample", help="draw samples from the model")
     samp.add_argument("model")

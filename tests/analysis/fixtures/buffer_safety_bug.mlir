@@ -1,0 +1,9 @@
+"builtin.module"() ({
+  "func.func"() ({
+    %0 = "memref.alloc"() : () -> memref<4xf64>
+    %1 = "arith.constant"() {value = 0 : i64} : () -> index
+    "memref.dealloc"(%0) : (memref<4xf64>) -> ()
+    %2 = "memref.load"(%0, %1) : (memref<4xf64>, index) -> f64
+    "func.return"() : () -> ()
+  }) {arg_types = [], result_types = [], sym_name = "use_after_free"} : () -> ()
+}) : () -> ()

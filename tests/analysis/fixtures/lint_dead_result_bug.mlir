@@ -1,0 +1,8 @@
+"builtin.module"() ({
+  "func.func"() ({
+    %0 = "arith.constant"() {value = 1.5 : f64} : () -> f64
+    %1 = "arith.constant"() {value = 2.5 : f64} : () -> f64
+    %2 = "arith.addf"(%0, %1) : (f64, f64) -> f64
+    "func.return"() : () -> ()
+  }) {arg_types = [], result_types = [], sym_name = "dead_result"} : () -> ()
+}) : () -> ()

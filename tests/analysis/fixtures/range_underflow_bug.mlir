@@ -1,0 +1,9 @@
+"builtin.module"() ({
+  "func.func"() ({
+    %0 = "lo_spn.constant"() {value = 1e-160 : f64} : () -> f64
+    %1 = "lo_spn.constant"() {value = 1e-160 : f64} : () -> f64
+    %2 = "lo_spn.mul"(%0, %1) : (f64, f64) -> f64
+    %3 = "lo_spn.log"(%2) : (f64) -> !lo_spn.log<f64>
+    "func.return"() : () -> ()
+  }) {arg_types = [], result_types = [], sym_name = "underflow"} : () -> ()
+}) : () -> ()

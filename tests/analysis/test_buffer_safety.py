@@ -1,0 +1,221 @@
+"""Tests for the buffer-safety sanitizer."""
+
+from repro.dialects.arith import ConstantOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.dialects.scf import IfOp
+from repro.dialects import lospn
+from repro.dialects.memref import AllocOp, DeallocOp, DimOp, LoadOp, StoreOp
+from repro.diagnostics import Severity
+from repro.ir import Builder, ModuleOp, f64, i1, index
+from repro.ir.analysis import run_checks
+from repro.ir.types import MemRefType
+
+
+def _func(module_args=(), name="f"):
+    module = ModuleOp.build()
+    fn = Builder.at_end(module.body).create(FuncOp, name, list(module_args), [])
+    return module, fn, Builder.at_end(fn.body)
+
+
+def _checks(module, phase="final"):
+    return run_checks(module, checks=["buffer-safety"], phase=phase)
+
+
+def _by_rule(findings):
+    return {f.check for f in findings}
+
+
+class TestUseAfterFree:
+    def test_load_after_dealloc_is_error(self):
+        module, fn, fb = _func()
+        buf = fb.create(AllocOp, MemRefType((4,), f64)).result
+        zero = fb.create(ConstantOp, 0, index).result
+        fb.create(DeallocOp, buf)
+        fb.create(LoadOp, buf, [zero])
+        fb.create(ReturnOp, [])
+        findings = _checks(module)
+        uaf = [f for f in findings if f.check == "buffer-safety.use-after-free"]
+        assert len(uaf) == 1
+        assert uaf[0].severity == Severity.ERROR
+        assert "after it is deallocated" in uaf[0].message
+        assert uaf[0].op_path and "memref.load" in uaf[0].op_path
+
+    def test_may_freed_on_one_branch_is_flagged(self):
+        module, fn, fb = _func()
+        buf = fb.create(AllocOp, MemRefType((4,), f64)).result
+        zero = fb.create(ConstantOp, 0, index).result
+        cond = fb.create(ConstantOp, True, i1).result
+        if_op = fb.create(IfOp, cond, [], with_else=True)
+        Builder.at_end(if_op.then_block).create(DeallocOp, buf)
+        fb.create(LoadOp, buf, [zero])
+        fb.create(ReturnOp, [])
+        findings = _checks(module)
+        uaf = [f for f in findings if f.check == "buffer-safety.use-after-free"]
+        assert len(uaf) == 1
+        assert "may already be deallocated" in uaf[0].message
+
+    def test_use_before_dealloc_is_clean(self):
+        module, fn, fb = _func()
+        buf = fb.create(AllocOp, MemRefType((4,), f64)).result
+        zero = fb.create(ConstantOp, 0, index).result
+        fb.create(LoadOp, buf, [zero])
+        fb.create(DeallocOp, buf)
+        fb.create(ReturnOp, [])
+        assert "buffer-safety.use-after-free" not in _by_rule(_checks(module))
+
+    def test_use_through_task_alias_is_tracked(self):
+        # A batch_read through a task block argument is a use of the
+        # underlying (freed) allocation.
+        module = ModuleOp.build()
+        kernel = Builder.at_end(module.body).create(
+            lospn.KernelOp, "k", [MemRefType((None, 2), f64)]
+        )
+        kb = Builder.at_end(kernel.body)
+        n = kb.create(ConstantOp, 16, index).result
+        buf = kb.create(AllocOp, MemRefType((None, 2), f64), [n]).result
+        kb.create(DeallocOp, buf)
+        task = kb.create(lospn.TaskOp, [buf], 8)
+        tb = Builder.at_end(task.body)
+        tb.create(
+            lospn.BatchReadOp, task.input_args[0], task.batch_index, 0
+        )
+        kb.create(lospn.KernelReturnOp)
+        findings = _checks(module)
+        assert "buffer-safety.use-after-free" in _by_rule(findings)
+
+
+class TestDoubleFree:
+    def test_double_dealloc_is_error(self):
+        module, fn, fb = _func()
+        buf = fb.create(AllocOp, MemRefType((4,), f64)).result
+        fb.create(DeallocOp, buf)
+        fb.create(DeallocOp, buf)
+        fb.create(ReturnOp, [])
+        findings = _checks(module)
+        dbl = [f for f in findings if f.check == "buffer-safety.double-free"]
+        assert len(dbl) == 1
+        assert dbl[0].severity == Severity.ERROR
+
+
+class TestReadonlyWrite:
+    def test_store_into_readonly_arg_is_error(self):
+        module, fn, fb = _func(module_args=[MemRefType((None, 4), f64)])
+        fn.attributes["readonlyArgs"] = (0,)
+        value = fb.create(ConstantOp, 1.0, f64).result
+        zero = fb.create(ConstantOp, 0, index).result
+        fb.create(StoreOp, value, fn.body.arguments[0], [zero, zero])
+        fb.create(ReturnOp, [])
+        findings = _checks(module)
+        rules = _by_rule(findings)
+        assert "buffer-safety.readonly-write" in rules
+
+    def test_store_into_unmarked_arg_is_clean(self):
+        module, fn, fb = _func(module_args=[MemRefType((None, 4), f64)])
+        value = fb.create(ConstantOp, 1.0, f64).result
+        zero = fb.create(ConstantOp, 0, index).result
+        fb.create(StoreOp, value, fn.body.arguments[0], [zero, zero])
+        fb.create(ReturnOp, [])
+        assert "buffer-safety.readonly-write" not in _by_rule(_checks(module))
+
+
+class TestStaticOutOfBounds:
+    def test_constant_index_past_extent(self):
+        module, fn, fb = _func()
+        buf = fb.create(AllocOp, MemRefType((4,), f64)).result
+        bad = fb.create(ConstantOp, 4, index).result
+        fb.create(LoadOp, buf, [bad])
+        fb.create(DeallocOp, buf)
+        fb.create(ReturnOp, [])
+        findings = _checks(module)
+        oob = [f for f in findings if f.check == "buffer-safety.out-of-bounds"]
+        assert len(oob) == 1
+        assert "index 4" in oob[0].message
+
+    def test_in_bounds_constant_index_is_clean(self):
+        module, fn, fb = _func()
+        buf = fb.create(AllocOp, MemRefType((4,), f64)).result
+        ok = fb.create(ConstantOp, 3, index).result
+        fb.create(LoadOp, buf, [ok])
+        fb.create(DeallocOp, buf)
+        fb.create(ReturnOp, [])
+        assert "buffer-safety.out-of-bounds" not in _by_rule(_checks(module))
+
+    def test_dynamic_extent_not_flagged(self):
+        module, fn, fb = _func(module_args=[MemRefType((None,), f64)])
+        big = fb.create(ConstantOp, 1000, index).result
+        fb.create(LoadOp, fn.body.arguments[0], [big])
+        fb.create(ReturnOp, [])
+        assert "buffer-safety.out-of-bounds" not in _by_rule(_checks(module))
+
+    def test_memref_dim_of_missing_dimension(self):
+        module, fn, fb = _func(module_args=[MemRefType((None, 4), f64)])
+        fb.create(DimOp, fn.body.arguments[0], 2)
+        fb.create(ReturnOp, [])
+        findings = _checks(module)
+        oob = [f for f in findings if f.check == "buffer-safety.out-of-bounds"]
+        assert len(oob) == 1
+        assert "memref.dim" in oob[0].message
+
+    def test_batch_read_static_index_out_of_bounds(self):
+        module = ModuleOp.build()
+        kernel = Builder.at_end(module.body).create(
+            lospn.KernelOp, "k", [MemRefType((None, 2), f64)]
+        )
+        kb = Builder.at_end(kernel.body)
+        task = kb.create(lospn.TaskOp, [kernel.body.arguments[0]], 8)
+        tb = Builder.at_end(task.body)
+        # Feature column 5 of a 2-feature input.
+        tb.create(
+            lospn.BatchReadOp, task.input_args[0], task.batch_index, 5
+        )
+        kb.create(lospn.KernelReturnOp)
+        findings = _checks(module)
+        oob = [f for f in findings if f.check == "buffer-safety.out-of-bounds"]
+        assert len(oob) == 1
+        assert "feature column index 5" in oob[0].message
+
+
+class TestLeak:
+    def test_unfreed_allocation_warns_in_final_phase(self):
+        module, fn, fb = _func()
+        fb.create(AllocOp, MemRefType((4,), f64))
+        fb.create(ReturnOp, [])
+        findings = _checks(module, phase="final")
+        leaks = [f for f in findings if f.check == "buffer-safety.leak"]
+        assert len(leaks) == 1
+        assert leaks[0].severity == Severity.WARNING
+
+    def test_mid_phase_before_dealloc_pass_is_silent(self):
+        # Between passes, a function with no deallocs at all simply has
+        # not reached BufferDeallocation yet; not a leak.
+        module, fn, fb = _func()
+        fb.create(AllocOp, MemRefType((4,), f64))
+        fb.create(ReturnOp, [])
+        assert "buffer-safety.leak" not in _by_rule(_checks(module, phase="mid"))
+
+    def test_mid_phase_with_other_deallocs_still_flags(self):
+        module, fn, fb = _func()
+        freed = fb.create(AllocOp, MemRefType((4,), f64)).result
+        fb.create(AllocOp, MemRefType((8,), f64))
+        fb.create(DeallocOp, freed)
+        fb.create(ReturnOp, [])
+        findings = _checks(module, phase="mid")
+        leaks = [f for f in findings if f.check == "buffer-safety.leak"]
+        assert len(leaks) == 1
+        assert "8" in leaks[0].message
+
+    def test_escaping_allocation_is_not_a_leak(self):
+        module = ModuleOp.build()
+        mem = MemRefType((4,), f64)
+        fn = Builder.at_end(module.body).create(FuncOp, "f", [], [mem])
+        fb = Builder.at_end(fn.body)
+        buf = fb.create(AllocOp, mem).result
+        fb.create(ReturnOp, [buf])
+        assert "buffer-safety.leak" not in _by_rule(_checks(module))
+
+    def test_freed_allocation_is_clean(self):
+        module, fn, fb = _func()
+        buf = fb.create(AllocOp, MemRefType((4,), f64)).result
+        fb.create(DeallocOp, buf)
+        fb.create(ReturnOp, [])
+        assert _by_rule(_checks(module)) == set()

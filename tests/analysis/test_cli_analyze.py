@@ -1,0 +1,119 @@
+"""Tests for ``python -m repro analyze`` and the checked-in fixtures."""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.ir import parse_module, verify
+from repro.ir.analysis import run_checks
+from repro.tools.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: fixture file -> the check its seeded bug must trigger.
+SEEDED_BUGS = {
+    "buffer_safety_bug.mlir": "buffer-safety.use-after-free",
+    "range_underflow_bug.mlir": "range.linear-underflow",
+    "lint_dead_result_bug.mlir": "lint.unused-result",
+}
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("name", sorted(SEEDED_BUGS))
+    def test_fixture_parses_and_verifies(self, name):
+        module = parse_module((FIXTURES / name).read_text())
+        verify(module)
+
+    @pytest.mark.parametrize("name,expected", sorted(SEEDED_BUGS.items()))
+    def test_fixture_triggers_its_seeded_check(self, name, expected):
+        module = parse_module((FIXTURES / name).read_text())
+        findings = run_checks(module, phase="final")
+        assert expected in {f.check for f in findings}
+
+
+class TestAnalyzeCommand:
+    @pytest.mark.parametrize("name,expected", sorted(SEEDED_BUGS.items()))
+    def test_seeded_bug_exits_nonzero_with_op_path(self, name, expected, capsys):
+        exit_code = main(["analyze", str(FIXTURES / name)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert expected in captured.out
+        assert "[at=builtin.module" in captured.out
+
+    def test_all_fixtures_in_one_invocation(self, capsys):
+        paths = [str(FIXTURES / name) for name in sorted(SEEDED_BUGS)]
+        assert main(["analyze", *paths]) == 1
+        captured = capsys.readouterr()
+        for expected in SEEDED_BUGS.values():
+            assert expected in captured.out
+
+    def test_check_selection_filters_findings(self, capsys):
+        # The range fixture is clean as far as buffer safety goes.
+        exit_code = main(
+            [
+                "analyze",
+                str(FIXTURES / "range_underflow_bug.mlir"),
+                "--checks",
+                "buffer-safety",
+            ]
+        )
+        assert exit_code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_min_severity_gates_exit_code(self, capsys):
+        # The underflow fixture only has WARNING/NOTE findings; raising
+        # the gate to "error" reports them without failing.
+        exit_code = main(
+            [
+                "analyze",
+                str(FIXTURES / "range_underflow_bug.mlir"),
+                "--min-severity",
+                "error",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "range.linear-underflow" in captured.out
+
+    def test_unknown_check_is_usage_error(self, capsys):
+        exit_code = main(
+            [
+                "analyze",
+                str(FIXTURES / "range_underflow_bug.mlir"),
+                "--checks",
+                "no-such-check",
+            ]
+        )
+        assert exit_code == 2
+        assert "unknown check" in capsys.readouterr().err
+
+    def test_no_input_is_usage_error(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "nothing to analyze" in capsys.readouterr().err
+
+    def test_reproducer_dumped_to_artifact_dir(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "analyze",
+                str(FIXTURES / "buffer_safety_bug.mlir"),
+                "--artifact-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 1
+        dumped = list(tmp_path.rglob("*"))
+        assert any(p.is_file() for p in dumped), "expected a reproducer dump"
+
+    def test_generated_corpus_is_clean(self, capsys):
+        exit_code = main(["analyze", "--corpus", "1", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "clean" in captured.out
+
+
+class TestSelftestIntegration:
+    def test_selftest_covers_the_analyses(self):
+        # --selftest asserts one intentionally-broken module per
+        # analysis; it must stay green as checks evolve.
+        assert main(["--selftest"]) == 0

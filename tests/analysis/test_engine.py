@@ -1,0 +1,194 @@
+"""Tests for the generic dataflow engine and the check registry."""
+
+import pytest
+
+from repro.dialects.arith import AddFOp, ConstantOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.dialects.scf import ForOp, IfOp, YieldOp
+from repro.diagnostics import Severity
+from repro.ir import Builder, ModuleOp, f64, i1, index
+from repro.ir.analysis import (
+    AnalysisContext,
+    DataflowAnalysis,
+    register_check,
+    registered_checks,
+    run_analysis,
+    run_checks,
+    severity_at_least,
+)
+from repro.ir.analysis.engine import MAX_FIXPOINT_ITERATIONS
+
+
+class ConstantSetAnalysis(DataflowAnalysis):
+    """Toy analysis: the state is the set of arith.constant payloads seen
+    on the current path. Join is set union; used to observe how the
+    engine merges branch and loop states."""
+
+    name = "constant-set"
+
+    def __init__(self):
+        self.final = None
+        self.loop_rounds = 0
+
+    def initial_state(self, func, ctx):
+        return frozenset()
+
+    def copy_state(self, state):
+        return state
+
+    def join_states(self, a, b):
+        return a | b
+
+    def transfer(self, op, state, ctx):
+        if op.op_name == "arith.constant":
+            return state | {op.attributes["value"]}
+        return state
+
+    def enter_region(self, op, region, state, ctx):
+        if op.op_name == "scf.for":
+            self.loop_rounds += 1
+        return state
+
+    def finish_function(self, func, state, ctx):
+        self.final = state
+
+
+def _func_in_module(name="f", args=(), results=()):
+    module = ModuleOp.build()
+    fn = Builder.at_end(module.body).create(FuncOp, name, list(args), list(results))
+    return module, fn
+
+
+class TestBranchJoin:
+    def test_scf_if_joins_both_branches(self):
+        module, fn = _func_in_module()
+        fb = Builder.at_end(fn.body)
+        cond = fb.create(ConstantOp, True, i1).result
+        if_op = fb.create(IfOp, cond, [], with_else=True)
+        Builder.at_end(if_op.then_block).create(ConstantOp, 1.0, f64)
+        Builder.at_end(if_op.else_block).create(ConstantOp, 2.0, f64)
+        fb.create(ReturnOp, [])
+
+        analysis = ConstantSetAnalysis()
+        run_analysis(analysis, module, AnalysisContext())
+        # After the if, facts from *both* branches are visible (may-join).
+        assert {1.0, 2.0} <= analysis.final
+
+    def test_scf_if_without_else_keeps_fall_through(self):
+        module, fn = _func_in_module()
+        fb = Builder.at_end(fn.body)
+        before = fb.create(ConstantOp, 0.5, f64)
+        cond = fb.create(ConstantOp, True, i1).result
+        if_op = fb.create(IfOp, cond, [], with_else=False)
+        Builder.at_end(if_op.then_block).create(ConstantOp, 1.0, f64)
+        fb.create(ReturnOp, [])
+        del before
+
+        analysis = ConstantSetAnalysis()
+        run_analysis(analysis, module, AnalysisContext())
+        # The pre-if state survives the (possibly not-taken) branch.
+        assert {0.5, 1.0} <= analysis.final
+
+
+class TestLoopFixpoint:
+    def _loop_module(self):
+        module, fn = _func_in_module(args=[index])
+        fb = Builder.at_end(fn.body)
+        zero = fb.create(ConstantOp, 0, index).result
+        one = fb.create(ConstantOp, 1, index).result
+        loop = fb.create(ForOp, zero, fn.body.arguments[0], one)
+        lb = Builder.at_end(loop.body_block)
+        lb.create(ConstantOp, 7.0, f64)
+        lb.create(YieldOp, [])
+        fb.create(ReturnOp, [])
+        return module
+
+    def test_loop_body_reaches_fixpoint_quickly(self):
+        module = self._loop_module()
+        analysis = ConstantSetAnalysis()
+        run_analysis(analysis, module, AnalysisContext())
+        assert 7.0 in analysis.final
+        # A finite-height state stabilizes well under the iteration cap.
+        assert 2 <= analysis.loop_rounds < MAX_FIXPOINT_ITERATIONS
+
+    def test_growing_state_is_capped(self):
+        class GrowingAnalysis(ConstantSetAnalysis):
+            """Pathological transfer that grows the state every round."""
+
+            def __init__(self):
+                super().__init__()
+                self._tick = 0
+
+            def transfer(self, op, state, ctx):
+                if op.op_name == "arith.constant" and op.parent_op is not None:
+                    self._tick += 1
+                    return state | {self._tick}
+                return state
+
+        module = self._loop_module()
+        analysis = GrowingAnalysis()
+        # Must terminate despite never stabilizing.
+        run_analysis(analysis, module, AnalysisContext())
+        assert analysis.loop_rounds <= MAX_FIXPOINT_ITERATIONS
+
+
+class TestAnalysisContext:
+    def test_report_dedups_identical_findings(self):
+        ctx = AnalysisContext()
+        assert ctx.report("x.rule", Severity.WARNING, "same message") is not None
+        assert ctx.report("x.rule", Severity.WARNING, "same message") is None
+        assert len(ctx.findings) == 1
+
+    def test_errors_selects_error_and_above(self):
+        ctx = AnalysisContext()
+        ctx.report("x.a", Severity.NOTE, "note")
+        ctx.report("x.b", Severity.ERROR, "error")
+        assert [f.check for f in ctx.errors()] == ["x.b"]
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            AnalysisContext(phase="sometimes")
+
+    def test_severity_ordering_helper(self):
+        assert severity_at_least(Severity.ERROR, Severity.WARNING)
+        assert severity_at_least(Severity.WARNING, Severity.WARNING)
+        assert not severity_at_least(Severity.NOTE, Severity.WARNING)
+
+
+class TestRegistry:
+    def test_builtin_checks_registered(self):
+        assert {"buffer-safety", "range", "lint"} <= set(registered_checks())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_check("lint", lambda root, ctx: None)
+
+    def test_unknown_check_name_rejected(self):
+        module, _ = _func_in_module()
+        with pytest.raises(ValueError, match="unknown check"):
+            run_checks(module, checks=["no-such-check"])
+
+    def test_findings_sorted_most_severe_first(self):
+        module, fn = _func_in_module()
+        fb = Builder.at_end(fn.body)
+        # A dead pure op (lint WARNING) ...
+        fb.create(ConstantOp, 1.0, f64)
+        fb.create(ReturnOp, [])
+        # ... plus a shadowed symbol (lint ERROR).
+        Builder.at_end(module.body).create(FuncOp, "f", [], [])
+        findings = run_checks(module, phase="final")
+        severities = [f.severity for f in findings]
+        ranks = [severity_at_least(s, Severity.ERROR) for s in severities]
+        assert ranks == sorted(ranks, reverse=True)
+        assert findings[0].check == "lint.shadowed-symbol"
+
+    def test_finding_render_includes_op_path(self):
+        module, fn = _func_in_module()
+        fb = Builder.at_end(fn.body)
+        fb.create(ConstantOp, 1.0, f64)
+        fb.create(ReturnOp, [])
+        findings = run_checks(module, checks=["lint"], phase="final")
+        assert findings, "expected the dead constant to be reported"
+        rendered = findings[0].render()
+        assert "lint.unused-result" in rendered
+        assert "[at=builtin.module" in rendered

@@ -1,0 +1,137 @@
+"""Tests for the interval and flag-set lattices."""
+
+import math
+
+from repro.ir.analysis.lattices import (
+    BOTTOM,
+    F64_MIN,
+    LOG_F64_MAX,
+    LOG_F64_MIN,
+    LOG_UNIT,
+    TOP,
+    UNIT,
+    Interval,
+    flags,
+    join_flags,
+)
+
+
+class TestIntervalLattice:
+    def test_bottom_is_empty(self):
+        assert BOTTOM.is_bottom
+        assert not BOTTOM.contains(0.0)
+        assert not Interval(0.0, 1.0).is_bottom
+
+    def test_join_is_hull(self):
+        a = Interval(0.0, 1.0)
+        b = Interval(2.0, 3.0)
+        assert a.join(b) == Interval(0.0, 3.0)
+        assert b.join(a) == Interval(0.0, 3.0)
+
+    def test_join_with_bottom_is_identity(self):
+        a = Interval(1.0, 2.0)
+        assert a.join(BOTTOM) == a
+        assert BOTTOM.join(a) == a
+        assert BOTTOM.join(BOTTOM).is_bottom
+
+    def test_join_only_grows(self):
+        a = Interval(-1.0, 1.0)
+        b = Interval(0.0, 0.5)
+        joined = a.join(b)
+        assert joined.lo <= min(a.lo, b.lo)
+        assert joined.hi >= max(a.hi, b.hi)
+
+    def test_widen_jumps_unstable_bounds_to_infinity(self):
+        old = Interval(0.0, 1.0)
+        grown = Interval(0.0, 2.0)
+        widened = old.widen(grown)
+        assert widened.lo == 0.0
+        assert widened.hi == math.inf
+
+    def test_widen_keeps_stable_bounds(self):
+        old = Interval(0.0, 1.0)
+        assert old.widen(Interval(0.5, 1.0)) == old
+
+    def test_point_and_of(self):
+        assert Interval.point(3.0) == Interval(3.0, 3.0)
+        assert Interval.point(3.0).is_point
+        assert Interval.of([0.25, 0.5, 0.125]) == Interval(0.125, 0.5)
+        assert Interval.of([]).is_bottom
+
+
+class TestIntervalArithmetic:
+    def test_add_sub_neg(self):
+        a = Interval(1.0, 2.0)
+        b = Interval(10.0, 20.0)
+        assert a.add(b) == Interval(11.0, 22.0)
+        assert b.sub(a) == Interval(8.0, 19.0)
+        assert a.neg() == Interval(-2.0, -1.0)
+
+    def test_mul_sign_cases(self):
+        assert Interval(-2.0, 3.0).mul(Interval(-1.0, 4.0)) == Interval(-8.0, 12.0)
+        assert Interval(0.0, 1.0).mul(Interval(0.0, 1.0)) == Interval(0.0, 1.0)
+
+    def test_mul_resolves_zero_times_inf(self):
+        # 0 * inf must not poison the bounds with NaN.
+        product = Interval(0.0, 1.0).mul(Interval(0.0, math.inf))
+        assert not math.isnan(product.lo) and not math.isnan(product.hi)
+
+    def test_exp_log_roundtrip_on_probabilities(self):
+        log_interval = UNIT.log()
+        assert log_interval == LOG_UNIT
+        back = log_interval.exp()
+        assert back == UNIT
+
+    def test_exp_underflow_and_overflow(self):
+        assert Interval.point(-math.inf).exp() == Interval.point(0.0)
+        assert Interval.point(LOG_F64_MAX + 1.0).exp().hi == math.inf
+
+    def test_log_clamps_negatives(self):
+        assert Interval(-1.0, 1.0).log() == Interval(-math.inf, 0.0)
+        assert Interval(-2.0, -1.0).log().is_bottom
+
+    def test_logaddexp_matches_scalar(self):
+        a = Interval.point(math.log(0.25))
+        b = Interval.point(math.log(0.5))
+        combined = a.logaddexp(b)
+        assert math.isclose(combined.lo, math.log(0.75))
+        assert math.isclose(combined.hi, math.log(0.75))
+
+    def test_logaddexp_with_neg_inf_is_identity(self):
+        a = Interval.point(-math.inf)
+        b = Interval.point(math.log(0.5))
+        assert a.logaddexp(b) == b
+
+    def test_bottom_propagates_through_arithmetic(self):
+        a = Interval(0.0, 1.0)
+        for result in (
+            a.add(BOTTOM),
+            BOTTOM.mul(a),
+            BOTTOM.exp(),
+            a.logaddexp(BOTTOM),
+        ):
+            assert result.is_bottom
+
+    def test_min_max_with(self):
+        a = Interval(0.0, 2.0)
+        b = Interval(1.0, 3.0)
+        assert a.min_with(b) == Interval(0.0, 2.0)
+        assert a.max_with(b) == Interval(1.0, 3.0)
+
+
+class TestConstants:
+    def test_float_constants_consistent(self):
+        assert math.isclose(LOG_F64_MIN, math.log(F64_MIN))
+        assert TOP.lo == -math.inf and TOP.hi == math.inf
+        # F64_MIN is the smallest positive *normal*; subnormals sit below.
+        assert 0.0 < 5e-324 < F64_MIN
+
+
+class TestFlagLattice:
+    def test_join_is_union(self):
+        assert join_flags(flags("a"), flags("b")) == flags("a", "b")
+        assert join_flags(flags(), flags("a")) == flags("a")
+
+    def test_flags_constructor(self):
+        assert flags() == frozenset()
+        assert flags("allocated") == frozenset({"allocated"})

@@ -1,0 +1,159 @@
+"""Tests for the def-use and structure linter."""
+
+from repro.dialects.arith import AddFOp, ConstantOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.dialects import lospn
+from repro.diagnostics import Severity
+from repro.ir import Block, Builder, ModuleOp, f64
+from repro.ir.analysis import run_checks
+from repro.ir.types import MemRefType
+
+
+def _lint(module, phase="final"):
+    return run_checks(module, checks=["lint"], phase=phase)
+
+
+def _rules(module, phase="final"):
+    return {f.check for f in _lint(module, phase)}
+
+
+def _module_with_func(name="f"):
+    module = ModuleOp.build()
+    fn = Builder.at_end(module.body).create(FuncOp, name, [], [])
+    return module, fn, Builder.at_end(fn.body)
+
+
+class TestUnusedResult:
+    def test_dead_pure_chain_reported_in_final_phase(self):
+        module, fn, fb = _module_with_func()
+        a = fb.create(ConstantOp, 1.0, f64)
+        b = fb.create(ConstantOp, 2.0, f64)
+        fb.create(AddFOp, a.result, b.result)  # result never used
+        fb.create(ReturnOp, [])
+        findings = [
+            f for f in _lint(module) if f.check == "lint.unused-result"
+        ]
+        # Only the add is fully dead; the constants feed it.
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "arith.addf" in findings[0].op_path
+
+    def test_suppressed_in_mid_phase(self):
+        # Between passes, not-yet-swept dead code is transient, not a bug.
+        module, fn, fb = _module_with_func()
+        fb.create(ConstantOp, 1.0, f64)
+        fb.create(ReturnOp, [])
+        assert "lint.unused-result" not in _rules(module, phase="mid")
+        assert "lint.unused-result" in _rules(module, phase="final")
+
+    def test_used_results_not_reported(self):
+        module = ModuleOp.build()
+        fn = Builder.at_end(module.body).create(FuncOp, "f", [], [f64])
+        fb = Builder.at_end(fn.body)
+        c = fb.create(ConstantOp, 1.0, f64)
+        fb.create(ReturnOp, [c.result])
+        assert _rules(module) == set()
+
+
+class TestDeadBlock:
+    def test_non_entry_block_reported(self):
+        module, fn, fb = _module_with_func()
+        fb.create(ReturnOp, [])
+        fn.regions[0].append_block(Block())
+        findings = [f for f in _lint(module) if f.check == "lint.dead-block"]
+        assert len(findings) == 1
+        assert "unreachable" in findings[0].message
+
+
+class TestShadowedSymbol:
+    def test_duplicate_function_symbol_is_error(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        for _ in range(2):
+            fn = b.create(FuncOp, "same_name", [], [])
+            Builder.at_end(fn.body).create(ReturnOp, [])
+        findings = [
+            f for f in _lint(module) if f.check == "lint.shadowed-symbol"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "same_name" in findings[0].message
+        assert findings[0].detail["first_definition"]
+
+    def test_distinct_symbols_are_clean(self):
+        module = ModuleOp.build()
+        b = Builder.at_end(module.body)
+        for name in ("a", "b"):
+            fn = b.create(FuncOp, name, [], [])
+            Builder.at_end(fn.body).create(ReturnOp, [])
+        assert "lint.shadowed-symbol" not in _rules(module)
+
+
+class TestBatchDimMismatch:
+    def _kernel_with_task(self, arg_type):
+        module = ModuleOp.build()
+        kernel = Builder.at_end(module.body).create(
+            lospn.KernelOp, "k", [arg_type]
+        )
+        kb = Builder.at_end(kernel.body)
+        task = kb.create(lospn.TaskOp, [kernel.body.arguments[0]], 8)
+        kb.create(lospn.KernelReturnOp)
+        return module, task, Builder.at_end(task.body)
+
+    def test_transposed_access_against_row_major_buffer(self):
+        # transposed=True indexes input[staticIndex, dynamicIndex]; on a
+        # [batch x features] buffer the static index lands on the
+        # *dynamic* batch axis while the batch runs over the static
+        # feature axis: the orientation disagrees with the signature.
+        module, task, tb = self._kernel_with_task(MemRefType((None, 4), f64))
+        tb.create(
+            lospn.BatchReadOp,
+            task.input_args[0],
+            task.batch_index,
+            0,
+            transposed=True,
+        )
+        findings = [
+            f for f in _lint(module) if f.check == "lint.batch-dim-mismatch"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "orientation" in findings[0].message
+
+    def test_matching_orientation_is_clean(self):
+        module, task, tb = self._kernel_with_task(MemRefType((None, 4), f64))
+        tb.create(
+            lospn.BatchReadOp, task.input_args[0], task.batch_index, 0
+        )
+        assert "lint.batch-dim-mismatch" not in _rules(module)
+
+    def test_batch_write_count_disagrees_with_extent(self):
+        # A [2 x batch] output buffer written with only one value per
+        # sample: the task disagrees with the kernel signature.
+        module = ModuleOp.build()
+        kernel = Builder.at_end(module.body).create(
+            lospn.KernelOp,
+            "k",
+            [MemRefType((None, 4), f64), MemRefType((2, None), f64)],
+        )
+        kb = Builder.at_end(kernel.body)
+        task = kb.create(
+            lospn.TaskOp, list(kernel.body.arguments), 8
+        )
+        tb = Builder.at_end(task.body)
+        read = tb.create(
+            lospn.BatchReadOp, task.input_args[0], task.batch_index, 0
+        )
+        tb.create(
+            lospn.BatchWriteOp,
+            task.input_args[1],
+            task.batch_index,
+            [read.results[0]],
+            transposed=True,
+        )
+        kb.create(lospn.KernelReturnOp)
+        findings = [
+            f for f in _lint(module) if f.check == "lint.batch-dim-mismatch"
+        ]
+        assert len(findings) == 1
+        assert "writes 1 value(s)" in findings[0].message

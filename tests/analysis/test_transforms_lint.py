@@ -1,0 +1,98 @@
+"""Transform/linter interplay: LICM and DCE against the static checks.
+
+Satellite coverage for ``repro.ir.transforms.licm`` and ``dce``: the
+transforms must leave golden pipeline modules in a state the analyses
+accept, and the linter's dead-code rule must agree with what DCE
+actually removes.
+"""
+
+from repro.diagnostics import Severity
+from repro.dialects.arith import AddFOp, ConstantOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.dialects.scf import ForOp, YieldOp
+from repro.ir import Builder, ModuleOp, f64, index, verify
+from repro.ir.analysis import run_checks, severity_at_least
+from repro.ir.transforms.dce import run_dce
+from repro.ir.transforms.licm import hoist_loop_invariants
+from repro.testing.generators import CaseGenerator
+from repro.testing.oracle import _lowered_module
+
+
+def _errors(findings):
+    return [f for f in findings if severity_at_least(f.severity, Severity.ERROR)]
+
+
+def _golden_modules():
+    generator = CaseGenerator(seed=11)
+    for index_ in range(2):
+        case = generator.case(index_)
+        for vectorize in ("off", "batch"):
+            yield f"case {index_} ({vectorize})", _lowered_module(case, vectorize)
+
+
+class TestTransformsOnGoldenModules:
+    def test_licm_preserves_analysis_cleanliness(self):
+        for label, module in _golden_modules():
+            hoist_loop_invariants(module)
+            verify(module)
+            findings = run_checks(module, phase="mid")
+            assert _errors(findings) == [], f"{label}: {findings}"
+
+    def test_licm_then_dce_leaves_no_dead_code_or_errors(self):
+        for label, module in _golden_modules():
+            hoist_loop_invariants(module)
+            run_dce(module)
+            verify(module)
+            findings = run_checks(module, phase="final")
+            assert _errors(findings) == [], f"{label}: {findings}"
+            dead = [f for f in findings if f.check == "lint.unused-result"]
+            assert dead == [], f"{label}: DCE left dead code: {dead}"
+
+
+class TestLinterAgreesWithDCE:
+    def _module_with_dead_chain(self):
+        module = ModuleOp.build()
+        fn = Builder.at_end(module.body).create(FuncOp, "f", [], [])
+        fb = Builder.at_end(fn.body)
+        a = fb.create(ConstantOp, 1.0, f64)
+        b = fb.create(ConstantOp, 2.0, f64)
+        fb.create(AddFOp, a.result, b.result)
+        fb.create(ReturnOp, [])
+        return module
+
+    def test_dce_clears_the_lint_warning(self):
+        module = self._module_with_dead_chain()
+        before = run_checks(module, checks=["lint"], phase="final")
+        assert any(f.check == "lint.unused-result" for f in before)
+        erased = run_dce(module)
+        assert erased == 3  # add + both now-dead constants
+        after = run_checks(module, checks=["lint"], phase="final")
+        assert after == []
+
+
+class TestLICMOnLoops:
+    def test_hoisted_invariants_stay_lint_clean(self):
+        module = ModuleOp.build()
+        fn = Builder.at_end(module.body).create(FuncOp, "f", [index], [])
+        fb = Builder.at_end(fn.body)
+        zero = fb.create(ConstantOp, 0, index).result
+        one = fb.create(ConstantOp, 1, index).result
+        loop = fb.create(ForOp, zero, fn.body.arguments[0], one)
+        lb = Builder.at_end(loop.body_block)
+        # Invariant chain: both ops hoist together.
+        c = lb.create(ConstantOp, 4.0, f64)
+        doubled = lb.create(AddFOp, c.result, c.result)
+        sink = lb.create(AddFOp, doubled.result, doubled.result)
+        lb.create(YieldOp, [])
+        fb.create(ReturnOp, [])
+        del sink
+
+        hoisted = hoist_loop_invariants(module)
+        assert hoisted == 3
+        verify(module)
+        # Post-LICM the (dead) chain now sits outside the loop; the
+        # linter still sees through it and DCE can finish the job.
+        findings = run_checks(module, phase="final")
+        assert _errors(findings) == []
+        run_dce(module)
+        assert run_checks(module, checks=["lint"], phase="final") == []

@@ -134,6 +134,39 @@ class TestOpt:
         assert main(["opt", str(path), "--pipeline", "frobnicate"]) == 1
         assert "unknown pass" in capsys.readouterr().err
 
+    def test_opt_analysis_violation_is_clean_error(self, tmp_path, capsys):
+        # An ERROR-severity finding under instrumentation must surface
+        # as a one-line error and exit code 1, not a traceback.
+        fixture = "tests/analysis/fixtures/buffer_safety_bug.mlir"
+        assert main([
+            "opt", fixture, "--pipeline", "canonicalize",
+            "--verify-each", "every-pass",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "buffer-safety.use-after-free" in err
+
+    def test_opt_prints_accumulated_warnings(self, tmp_path, capsys):
+        # WARNING-severity findings never abort, but they must be
+        # echoed to stderr: a leaked alloc in a function that already
+        # deallocates is a mid-phase buffer-safety warning.
+        ir = (
+            '"builtin.module"() ({\n'
+            '  "func.func"() ({\n'
+            '    %0 = "memref.alloc"() {memref_type = memref<4xf64>} : () -> memref<4xf64>\n'
+            '    %1 = "memref.alloc"() {memref_type = memref<8xf64>} : () -> memref<8xf64>\n'
+            '    "memref.dealloc"(%0) : (memref<4xf64>) -> ()\n'
+            '    "func.return"() : () -> ()\n'
+            '  }) {arg_types = [], result_types = [], sym_name = "f"} : () -> ()\n'
+            '}) : () -> ()'
+        )
+        path = tmp_path / "leak.mlir"
+        path.write_text(ir)
+        assert main([
+            "opt", str(path), "--pipeline", "cse",
+            "--verify-each", "every-pass",
+        ]) == 0
+        assert "buffer-safety.leak" in capsys.readouterr().err
+
     def test_opt_timing_report(self, tmp_path, capsys):
         path = tmp_path / "m.mlir"
         path.write_text(self.IR_TEXT)

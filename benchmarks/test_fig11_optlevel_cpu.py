@@ -28,6 +28,7 @@ report = FigureReport(
 
 _compile_times = {}
 _exec_times = {}
+_slowest_stage = {}
 
 OPT_LEVELS = (0, 1, 2, 3)
 PARTITION_SIZE = 2500
@@ -54,6 +55,11 @@ def test_fig11_opt_level(benchmark, opt):
     exec_seconds = time_callable(
         lambda: holder["result"].executable(images), min_rounds=3
     )
+    # The unified pass instrumentation breaks the wall-clock compile time
+    # down per stage; the per-stage sum is bounded by what we measured.
+    stage_seconds = holder["result"].stage_seconds
+    assert sum(stage_seconds.values()) <= holder["compile_seconds"]
+    _slowest_stage[opt] = max(stage_seconds, key=stage_seconds.get)
     _compile_times[opt] = holder["compile_seconds"]
     _exec_times[opt] = exec_seconds
     report.add(f"-O{opt}: compile", holder["compile_seconds"])
@@ -64,6 +70,10 @@ def test_fig11_summary(benchmark):
     benchmark(lambda: None)
     report.note(
         "compile time grows with the optimization level, as in the paper"
+    )
+    report.note(
+        "dominant stage per level: "
+        + ", ".join(f"-O{opt} {_slowest_stage[opt]}" for opt in OPT_LEVELS)
     )
     report.note(
         "documented deviation (EXPERIMENTS.md): the paper's large -O0 "

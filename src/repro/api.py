@@ -361,7 +361,7 @@ class GPUCompiler(_CompilerBase):
         ids = tuple(id(s) for s in self._as_tuple(spn))
         result = None
         for (key_ids, _fingerprint), cached in self._cache.items():
-            if key_ids == ids and hasattr(cached.executable, "simulated_seconds"):
+            if key_ids == ids and cached.executable.target == "gpu":
                 result = cached
                 break
         if result is None:

@@ -4,7 +4,20 @@ from .frontend import build_hispn_module, parse_binary_query
 from .lower_to_lospn import lower_to_lospn
 from .partitioning import PartitioningOptions, partition_kernel
 from .bufferization import bufferize, insert_deallocations, remove_result_copies
-from .pipeline import CompilationResult, CompilerOptions, compile_spn
+from .pipeline import (
+    STAGE_NAMES,
+    CompilationResult,
+    CompilerOptions,
+    build_compile_pipeline,
+    compile_spn,
+)
+from .targets import (
+    Target,
+    TargetSpec,
+    get_target,
+    register_target,
+    registered_targets,
+)
 
 __all__ = [
     "build_hispn_module",
@@ -15,7 +28,14 @@ __all__ = [
     "bufferize",
     "insert_deallocations",
     "remove_result_copies",
+    "STAGE_NAMES",
     "CompilationResult",
     "CompilerOptions",
+    "build_compile_pipeline",
     "compile_spn",
+    "Target",
+    "TargetSpec",
+    "get_target",
+    "register_target",
+    "registered_targets",
 ]

@@ -1,70 +1,96 @@
 """End-to-end compilation driver (paper Section IV).
 
-Runs the full SPNC flow::
+Since PR 5 the driver is *thin*: the entire flow is one declarative
+pass pipeline, resolved from the target registry
+(:mod:`repro.compiler.targets`) and run by a single
+:class:`~repro.ir.passes.PassManager`. For the default CPU
+configuration (-O1) the pipeline is::
 
-    SPN + query ──frontend──▶ HiSPN ──simplify──▶ HiSPN
-        ──lower──▶ LoSPN (tensor) ──partition──▶ LoSPN (multi-task)
-        ──bufferize──▶ LoSPN (memref) ──target lowering──▶ func/scf/...
-        ──codegen──▶ executable kernel
+    frontend,hispn-simplify,lower-to-lospn,bufferize,
+    buffer-optimization,buffer-deallocation,
+    cpu-lowering,canonicalize,cse,licm,dce
 
-Optimization levels mirror the paper's -O0…-O3 (Section V-B1):
+followed by the target's codegen step (which is not a pass — it leaves
+IR-land). ``spnc compile --print-pipeline`` prints the spec for any
+configuration and ``--pipeline`` overrides it.
+
+Optimization levels mirror the paper's -O0…-O3 (Section V-B1), encoded
+declaratively in :data:`repro.compiler.targets.CLEANUP_LADDER` and the
+per-level stages of :func:`repro.compiler.targets.common_pipeline`:
 
 ========  ==========================================================
 -O0       structural lowering only; no CSE/canonicalization/LICM,
           naive bufferization copies remain
--O1       canonicalize + CSE + LICM + buffer copy removal (the
+-O1       ``hispn-simplify`` + ``buffer-optimization`` + the
+          canonicalize/cse/licm/dce sweep after target lowering (the
           configuration the paper selects as the best trade-off)
--O2       a second canonicalize/CSE round after target lowering
--O3       -O2 plus an extra LoSPN-level CSE round and one more
-          greedy canonicalization sweep
+-O2       a second canonicalize/cse round after target lowering
+-O3       -O2 plus a LoSPN-level CSE round, chain re-balancing, and
+          one more greedy canonicalization sweep
 ========  ==========================================================
 
-The driver records wall-clock time per stage; the compile-time
-experiments (Figs. 10-13) read those numbers.
+The PassManager records unified per-pass instrumentation — wall time,
+op-count deltas, optional IR snapshots — surfaced on
+:class:`CompilationResult` (``stage_seconds`` keeps the historic
+accumulated-per-stage view the compile-time experiments, Figs. 10-13,
+read; ``timings`` carries the full per-pass records).
 """
 
 from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from ..diagnostics import (
-    CompilerError,
     Diagnostic,
     ErrorCode,
     OptionsError,
+    PassError,
     Severity,
     StageError,
     dump_reproducer,
 )
-from ..dialects import lospn
-from ..ir import ModuleOp, print_op, verify
-from ..ir.analysis import AnalysisFinding, run_checks, severity_at_least
-from ..ir.transforms import run_cse, run_dce
-from ..ir.verifier import VerificationError
-from ..testing import faults
-from ..ir.transforms.canonicalize import canonicalize
-from ..ir.transforms.licm import hoist_loop_invariants
+from ..ir import ModuleOp, print_op
+from ..ir.analysis import AnalysisFinding
+from ..ir.passes import PassInstrumentation, PassManager
+from ..ir.pipeline_spec import build_pipeline
 from ..spn.nodes import Node
 from ..spn.query import JointProbability
-from ..backends.cpu.codegen import generate_cpu_module, numpy_dtype
-from ..runtime.executable import CPUExecutable, KernelSignature
-from .bufferization import bufferize, insert_deallocations, remove_result_copies
-from .cpu.lowering import (
-    CPULoweringOptions,
-    ISAS,
-    VECTORIZE_MODES,
-    lower_kernel_to_cpu,
-    normalize_vectorize_mode,
+from ..testing import faults
+from .cpu.lowering import ISAS, normalize_vectorize_mode
+from .partitioning import PartitioningStats
+from .stages import FrontendPass, PartitionPass
+from .targets import get_target, registered_targets
+
+#: The frozen public stage-timing vocabulary: every key that can appear
+#: in ``CompilationResult.stage_seconds`` for a registry-built pipeline.
+#: Benchmarks and the EXPERIMENTS figures read these names — changing
+#: one is an interface break (see tests/compiler/test_targets.py).
+STAGE_NAMES = (
+    "frontend",
+    "hispn-simplify",
+    "lower-to-lospn",
+    "lospn-cse",
+    "graph-partitioning",
+    "balance-chains",
+    "bufferize",
+    "buffer-optimization",
+    "buffer-deallocation",
+    "cpu-lowering",
+    "gpu-lowering",
+    "gpu-copy-elimination",
+    "canonicalize",
+    "cse",
+    "licm",
+    "dce",
+    "canonicalize-2",
+    "cse-2",
+    "canonicalize-3",
+    "codegen",
+    "gpu-codegen",
 )
-from .frontend import build_hispn_module
-from .hispn_passes import simplify_hispn
-from .lower_to_lospn import lower_to_lospn
-from .partitioning import PartitioningOptions, PartitioningStats, partition_kernel
 
 
 @dataclass
@@ -89,17 +115,22 @@ class CompilerOptions:
     use_log_space: bool = True
     # GPU knobs (block size defaults to the query batch size).
     gpu_block_size: Optional[int] = None
+    #: Textual pipeline override (mlir-opt style). ``None`` resolves the
+    #: declarative pipeline from the target registry; a spec string
+    #: replaces the pass sequence wholesale (codegen still comes from
+    #: the target). See ``spnc compile --print-pipeline``.
+    pipeline: Optional[str] = None
     # Diagnostics.
     collect_ir: bool = False
     verify_each_stage: bool = False
     #: Static-analysis instrumentation level (see repro.ir.analysis):
-    #: "off" (default), "boundaries" (run the registered checks — buffer
-    #: safety, log-space range, lint — at the pipeline's dialect
+    #: "off" (default), "structural" (IR verifier after every pass, no
+    #: analyses), "boundaries" (verifier + the registered checks —
+    #: buffer safety, log-space range, lint — at the pipeline's dialect
     #: boundaries: after LoSPN lowering, after bufferization and on the
     #: final lowered module) or "every-pass" (after every stage).
     #: ERROR findings abort compilation with a StageError; WARNING/NOTE
     #: findings are collected on CompilationResult.analysis_findings.
-    #: Any mode other than "off" implies structural verification too.
     verify_each: str = "off"
     #: Degradation policy when a compile stage, codegen or execution
     #: fails: "raise" propagates a structured CompilerError (the default,
@@ -113,7 +144,7 @@ class CompilerOptions:
     artifact_dir: Optional[str] = None
 
     def __post_init__(self):
-        if self.target not in ("cpu", "gpu"):
+        if self.target not in registered_targets():
             raise OptionsError(f"unknown target '{self.target}'")
         if not 0 <= self.opt_level <= 3:
             raise OptionsError("opt_level must be in 0..3")
@@ -132,10 +163,10 @@ class CompilerOptions:
             self.verify_each = "boundaries"
         elif self.verify_each is False or self.verify_each is None:
             self.verify_each = "off"
-        if self.verify_each not in ("off", "boundaries", "every-pass"):
+        if self.verify_each not in ("off", "structural", "boundaries", "every-pass"):
             raise OptionsError(
                 f"unknown verify_each mode '{self.verify_each}' "
-                "(expected 'off', 'boundaries' or 'every-pass')"
+                "(expected 'off', 'structural', 'boundaries' or 'every-pass')"
             )
 
     def cache_fingerprint(self) -> tuple:
@@ -155,8 +186,16 @@ class CompilerOptions:
             self.max_partition_size,
             self.use_log_space,
             self.gpu_block_size,
+            self.pipeline,
             self.collect_ir,
         )
+
+    def verify_mode(self) -> str:
+        """The effective PassManager ``verify_each`` mode: the analysis
+        level when set, else structural when the legacy bool asked."""
+        if self.verify_each != "off":
+            return self.verify_each
+        return "structural" if self.verify_each_stage else "off"
 
 
 @dataclass
@@ -173,160 +212,27 @@ class CompilationResult:
     #: WARNING/NOTE static-analysis findings collected by the
     #: verify_each instrumentation (ERROR findings abort compilation).
     analysis_findings: List["AnalysisFinding"] = field(default_factory=list)
+    #: Unified per-pass instrumentation (wall time + op-count deltas +
+    #: optional IR snapshots) from the PassManager run. ``stage_seconds``
+    #: is its accumulated-per-stage view plus the codegen step.
+    timings: Optional[PassInstrumentation] = None
+    #: The textual pipeline spec the driver ran (round-trips through
+    #: ``repro.ir.pipeline_spec.build_pipeline``).
+    pipeline: str = ""
 
     @property
     def compile_time(self) -> float:
         return sum(self.stage_seconds.values())
 
 
-class _StageTimer:
-    """Stage driver: timing, optional verification, structured failures.
-
-    Any exception escaping a stage callable (or per-stage verification)
-    is wrapped into a :class:`~repro.diagnostics.StageError` naming the
-    stage, and a reproducer — the most recent printable IR plus the
-    active options — is dumped to the artifact directory.
-    """
-
-    def __init__(self, options: "CompilerOptions"):
-        self.stage_seconds: "OrderedDict[str, float]" = OrderedDict()
-        self.ir_dumps: Dict[str, str] = {}
-        self.collect_ir = options.collect_ir
-        self.analysis_mode = options.verify_each
-        # Structural verification: the legacy bool knob, implied by any
-        # analysis instrumentation level.
-        self.verify_each = options.verify_each_stage or self.analysis_mode != "off"
-        self.options = options
-        #: Most recent module seen by any stage; the reproducer dump uses
-        #: it when the failing stage has no module of its own (codegen).
-        self.last_module: Optional[ModuleOp] = None
-        #: WARNING/NOTE findings from the analysis instrumentation.
-        self.analysis_findings: List[AnalysisFinding] = []
-        self._findings_seen: set = set()
-
-    def run(self, name: str, fn, module: Optional[ModuleOp] = None):
-        if module is not None:
-            self.last_module = module
-        start = time.perf_counter()
-        try:
-            faults.maybe_fail_stage(name)
-            result = fn()
-        except CompilerError as error:
-            # Already structured (e.g. a PassError from a nested pass
-            # manager); annotate the stage if it is missing.
-            if error.diagnostic.stage is None:
-                error.diagnostic.stage = name
-            raise
-        except Exception as error:
-            raise self._stage_error(name, error, module) from error
-        elapsed = time.perf_counter() - start
-        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
-        dump_target = result if isinstance(result, ModuleOp) else module
-        if isinstance(dump_target, ModuleOp):
-            self.last_module = dump_target
-        if self.verify_each and isinstance(dump_target, ModuleOp):
-            try:
-                verify(dump_target)
-            except VerificationError as error:
-                raise self._stage_error(
-                    name, error, dump_target, after_verify=True
-                ) from error
-        if self.analysis_mode == "every-pass" and isinstance(
-            dump_target, ModuleOp
-        ):
-            self._run_checks(name, dump_target, phase="mid")
-        if self.collect_ir and isinstance(dump_target, ModuleOp):
-            self.ir_dumps[name] = print_op(dump_target)
-        return result
-
-    def checkpoint(self, name: str, module: ModuleOp, phase: str = "mid"):
-        """Run the static analyses at a pipeline boundary.
-
-        Active in both "boundaries" and "every-pass" mode; the final
-        checkpoint (on the fully lowered module, before codegen) uses
-        ``phase="final"`` so phase-gated rules (leak detection, dead
-        pure results) apply with full strictness.
-        """
-        if self.analysis_mode == "off":
-            return
-        self._run_checks(name, module, phase=phase)
-
-    def _run_checks(self, name: str, module: ModuleOp, phase: str) -> None:
-        findings = run_checks(module, phase=phase)
-        errors = [
-            f for f in findings if severity_at_least(f.severity, Severity.ERROR)
-        ]
-        if errors:
-            summary = "; ".join(f.render() for f in errors[:5])
-            violation = _AnalysisStageViolation(
-                f"static analysis found {len(errors)} violation(s) after "
-                f"stage '{name}': {summary}",
-                op_path=errors[0].op_path,
-            )
-            raise self._stage_error(
-                name, violation, module, after_analysis=True
-            ) from None
-        for finding in findings:
-            key = (finding.check, finding.op_path, finding.message)
-            if key not in self._findings_seen:
-                self._findings_seen.add(key)
-                self.analysis_findings.append(finding)
-
-    def _stage_error(
-        self,
-        name: str,
-        error: BaseException,
-        module: Optional[ModuleOp],
-        after_verify: bool = False,
-        after_analysis: bool = False,
-    ) -> StageError:
-        if after_analysis:
-            code = ErrorCode.ANALYSIS_FAILED
-            message = str(error)
-        elif after_verify:
-            code = ErrorCode.VERIFY_FAILED
-            message = f"IR verification failed after stage '{name}': {error}"
-        elif isinstance(error, faults.FaultInjectionError):
-            code = ErrorCode.FAULT_INJECTED
-            message = f"stage '{name}' failed: {error}"
-        else:
-            code = (
-                ErrorCode.CODEGEN_FAILED
-                if "codegen" in name
-                else ErrorCode.STAGE_FAILED
-            )
-            message = f"stage '{name}' failed: {type(error).__name__}: {error}"
-        diagnostic = Diagnostic(
-            severity=Severity.ERROR,
-            code=code,
-            message=message,
-            stage=name,
-            op_path=getattr(error, "op_path", None),
-            target=self.options.target,
-            detail={"exception_type": type(error).__name__},
-        )
-        dump_module = module if module is not None else self.last_module
-        module_text = None
-        if dump_module is not None:
-            try:
-                module_text = print_op(dump_module)
-            except Exception:  # a broken module must not mask the error
-                module_text = None
-        reproducer = dump_reproducer(
-            diagnostic,
-            module_text=module_text,
-            options=self.options,
-            artifact_dir=self.options.artifact_dir,
-        )
-        return StageError(message, diagnostic=diagnostic, reproducer_path=reproducer)
-
-
-class _AnalysisStageViolation(Exception):
-    """Carrier for a static-analysis instrumentation failure."""
-
-    def __init__(self, message: str, op_path: Optional[str] = None):
-        super().__init__(message)
-        self.op_path = op_path
+def build_compile_pipeline(
+    options: CompilerOptions,
+    query: Optional[JointProbability] = None,
+) -> "tuple[Target, str]":
+    """Resolve (target, textual pipeline spec) for a configuration."""
+    target = get_target(options.target)
+    spec = options.pipeline or target.pipeline(options, query)
+    return target, spec
 
 
 def compile_spn(
@@ -337,140 +243,98 @@ def compile_spn(
     """Compile an SPN joint-probability query to an executable kernel."""
     query = query or JointProbability()
     options = options or CompilerOptions()
-    timer = _StageTimer(options)
+    target, spec = build_compile_pipeline(options, query)
 
-    # Target-independent pipeline (Section IV-A).
-    module = timer.run("frontend", lambda: build_hispn_module(root, query))
-    if options.opt_level >= 1:
-        timer.run("hispn-simplify", lambda: simplify_hispn(module), module)
-    module = timer.run(
-        "lower-to-lospn", lambda: lower_to_lospn(module, options.use_log_space)
+    try:
+        passes = build_pipeline(spec)
+    except ValueError as error:
+        raise OptionsError(f"invalid pipeline: {error}") from None
+    for pass_ in passes:
+        if isinstance(pass_, FrontendPass):
+            pass_.bind(root, query)
+
+    manager = PassManager(
+        verify_each=options.verify_mode(),
+        artifact_dir=options.artifact_dir,
+        collect_ir=options.collect_ir,
     )
-    if options.opt_level >= 3:
-        timer.run("lospn-cse", lambda: run_cse(module), module)
+    manager.reproducer_options = options
+    manager.diagnostic_target = target.name
+    manager.extend(passes)
+    target.install_checkpoints(manager)
 
-    partition_stats: Optional[PartitioningStats] = None
-    if options.max_partition_size is not None:
-        part_options = PartitioningOptions(
-            max_partition_size=options.max_partition_size
-        )
+    module = ModuleOp.build()
+    try:
+        manager.run(module)
+    except PassError as error:
+        # Pipeline stages *are* passes; surface the failure as the
+        # stage-level error the driver has always raised, reusing the
+        # diagnostic (which names both pass and stage) and reproducer.
+        raise StageError(
+            error.args[0],
+            diagnostic=error.diagnostic,
+            reproducer_path=error.reproducer_path,
+        ) from error
 
-        def run_partitioning():
-            return partition_kernel(module, part_options)
+    # Codegen is not a pass (it leaves IR-land); the driver runs it as a
+    # timed, fault-checked stage recorded into the same instrumentation,
+    # so stage_seconds/report() cover the whole flow.
+    codegen_stage = target.spec.codegen_stage
+    start = time.perf_counter()
+    try:
+        faults.maybe_fail_stage(codegen_stage)
+        executable = target.codegen(module, passes, options, query)
+    except Exception as error:
+        raise _codegen_error(codegen_stage, error, module, options) from error
+    manager.timing.record(codegen_stage, time.perf_counter() - start)
 
-        module, partition_stats = timer.run("graph-partitioning", run_partitioning)
-
-    if options.opt_level >= 3:
-        from .balance import balance_chains
-
-        timer.run("balance-chains", lambda: balance_chains(module), module)
-
-    timer.checkpoint("lower-to-lospn", module)
-
-    module = timer.run("bufferize", lambda: bufferize(module))
-    if options.opt_level >= 1:
-        timer.run(
-            "buffer-optimization", lambda: remove_result_copies(module), module
-        )
-    timer.run("buffer-deallocation", lambda: insert_deallocations(module), module)
-    timer.checkpoint("buffer-deallocation", module)
-
-    num_tasks = _count_tasks(module)
-
-    if options.target == "cpu":
-        executable = _compile_cpu(module, query, options, timer)
-    else:
-        from .gpu.pipeline import compile_gpu_module
-
-        executable = compile_gpu_module(module, query, options, timer)
-
+    stage_seconds: "OrderedDict[str, float]" = OrderedDict(
+        manager.timing.stage_seconds()
+    )
     return CompilationResult(
         executable=executable,
         options=options,
         query=query,
-        stage_seconds=timer.stage_seconds,
-        partitioning=partition_stats,
-        num_tasks=num_tasks,
-        ir_dumps=timer.ir_dumps,
-        analysis_findings=timer.analysis_findings,
+        stage_seconds=stage_seconds,
+        partitioning=next(
+            (p.stats for p in passes if isinstance(p, PartitionPass)), None
+        ),
+        num_tasks=target.lowering_info(passes).num_tasks,
+        ir_dumps=manager.timing.ir_dumps(),
+        analysis_findings=manager.analysis_findings,
+        timings=manager.timing,
+        pipeline=spec,
     )
 
 
-def _count_tasks(module: ModuleOp) -> int:
-    count = 0
-    for op in module.body_block.ops:
-        if op.op_name == lospn.KernelOp.name:
-            count += len(op.tasks())
-    return count
-
-
-def _kernel_signature(module: ModuleOp, query: JointProbability) -> KernelSignature:
-    for op in module.body_block.ops:
-        if op.op_name == lospn.KernelOp.name:
-            input_type = op.arg_types[0]
-            result_type = op.arg_types[-1]
-            return KernelSignature(
-                num_features=input_type.shape[1],
-                input_dtype=numpy_dtype(input_type.element_type),
-                result_dtype=numpy_dtype(result_type.element_type),
-                log_space=isinstance(result_type.element_type, lospn.LogType),
-                batch_size=query.batch_size,
-                num_results=result_type.shape[0] or 1,
-            )
-    raise ValueError("module contains no lo_spn.kernel")
-
-
-def _compile_cpu(
+def _codegen_error(
+    name: str,
+    error: BaseException,
     module: ModuleOp,
-    query: JointProbability,
     options: CompilerOptions,
-    timer: _StageTimer,
-) -> CPUExecutable:
-    signature = _kernel_signature(module, query)
-    kernel_name = _kernel_name(module)
-
-    lowering_options = CPULoweringOptions(
-        vectorize=options.vectorize,
-        isa=ISAS[options.vector_isa],
-        use_vector_library=options.use_vector_library,
-        use_shuffle=options.use_shuffle,
-        superword_factor=options.superword_factor,
+) -> StageError:
+    if isinstance(error, faults.FaultInjectionError):
+        code = ErrorCode.FAULT_INJECTED
+    else:
+        code = ErrorCode.CODEGEN_FAILED
+    message = f"stage '{name}' failed: {type(error).__name__}: {error}"
+    diagnostic = Diagnostic(
+        severity=Severity.ERROR,
+        code=code,
+        message=message,
+        stage=name,
+        op_path=getattr(error, "op_path", None),
+        target=options.target,
+        detail={"exception_type": type(error).__name__},
     )
-    lowered = timer.run(
-        "cpu-lowering", lambda: lower_kernel_to_cpu(module, lowering_options)
+    try:
+        module_text = print_op(module)
+    except Exception:  # a broken module must not mask the error
+        module_text = None
+    reproducer = dump_reproducer(
+        diagnostic,
+        module_text=module_text,
+        options=options,
+        artifact_dir=options.artifact_dir,
     )
-
-    if options.opt_level >= 1:
-        timer.run("canonicalize", lambda: canonicalize(lowered), lowered)
-        timer.run("cse", lambda: run_cse(lowered), lowered)
-        timer.run("licm", lambda: hoist_loop_invariants(lowered), lowered)
-        timer.run("dce", lambda: run_dce(lowered), lowered)
-    if options.opt_level >= 2:
-        timer.run("canonicalize-2", lambda: canonicalize(lowered), lowered)
-        timer.run("cse-2", lambda: run_cse(lowered), lowered)
-    if options.opt_level >= 3:
-        timer.run("canonicalize-3", lambda: canonicalize(lowered), lowered)
-
-    # Scratch (out=) register reuse: at -O2+ for fixed-lane vectors, and
-    # already at -O1 for batch vectors — whole-chunk scratch reuse is
-    # what keeps the batch kernel allocation-free in steady state.
-    timer.checkpoint("cpu-lowering", lowered, phase="final")
-
-    mode = normalize_vectorize_mode(options.vectorize)
-    reuse_registers = (mode == "lanes" and options.opt_level >= 2) or (
-        mode == "batch" and options.opt_level >= 1
-    )
-    generated = timer.run(
-        "codegen",
-        lambda: generate_cpu_module(lowered, reuse_vector_registers=reuse_registers),
-    )
-    return CPUExecutable(
-        generated, kernel_name, signature, num_threads=options.num_threads
-    )
-
-
-def _kernel_name(module: ModuleOp) -> str:
-    for op in module.body_block.ops:
-        if op.op_name == lospn.KernelOp.name:
-            return op.sym_name
-    raise ValueError("module contains no lo_spn.kernel")
+    return StageError(message, diagnostic=diagnostic, reproducer_path=reproducer)

@@ -13,7 +13,15 @@ from .builtin import ModuleOp, UnrealizedConversionCastOp
 from .dialect import Dialect, get_dialect, registered_dialects
 from .ops import Block, IRError, Operation, Region, lookup_op_class, register_op
 from .parser import ParseError, parse_module, parse_type_text
-from .passes import FunctionPass, Pass, PassManager, PassTiming
+from .passes import (
+    FunctionPass,
+    Pass,
+    PassInstrumentation,
+    PassManager,
+    PassRecord,
+    PassTiming,
+    splice_module,
+)
 from .printer import print_op
 from .rewrite import (
     GreedyRewriteDriver,
@@ -64,8 +72,11 @@ __all__ = [
     "parse_type_text",
     "FunctionPass",
     "Pass",
+    "PassInstrumentation",
     "PassManager",
+    "PassRecord",
     "PassTiming",
+    "splice_module",
     "print_op",
     "GreedyRewriteDriver",
     "RewritePattern",

@@ -1,24 +1,44 @@
-"""Pass infrastructure: passes, pipelines and per-pass timing.
+"""Pass infrastructure: passes, pipelines and unified instrumentation.
 
-The :class:`PassManager` records wall-clock time per pass, which the
-benchmark harness uses to reproduce the paper's compile-time breakdowns
-(Section V-B1: where compilation time is spent).
+The :class:`PassManager` is the *single* driver for the whole compile
+flow (paper Section IV): every stage of :func:`repro.compiler.compile_spn`
+— frontend build, dialect lowerings, bufferization, target lowering and
+the cleanup ladders — is a registered :class:`Pass`, so one manager runs
+and instruments them all. Per-pass instrumentation
+(:class:`PassInstrumentation`) records wall-clock time, IR op-count
+deltas and optional IR snapshots; the benchmark harness uses the timing
+to reproduce the paper's compile-time breakdowns (Section V-B1: where
+compilation time is spent).
+
+Passes come in two flavours:
+
+- in-place passes mutate the module they are given and return ``None``
+  (the common MLIR shape: canonicalize, CSE, LICM, ...), and
+- *module-replacing* passes return a fresh module (full dialect
+  conversions such as ``lower-to-lospn`` or ``bufferize`` that rebuild
+  the module op by op). The manager splices the replacement's body into
+  the original module op, so callers keep a single stable module
+  reference across the whole pipeline.
 
 Failures are structured: when a pass raises — or when per-pass
 verification after it fails — the manager raises
 :class:`repro.diagnostics.PassError` carrying a
 :class:`~repro.diagnostics.Diagnostic` that names the pass (and, for
-verification failures, the offending op path). With ``artifact_dir``
-configured (or the ``SPNC_ARTIFACT_DIR`` environment variable set), the
-manager also dumps a reproducer: the module IR before the failing pass
-in generic textual form.
+verification failures, the offending op path). Because pipeline stages
+*are* passes now, the diagnostic fills both ``pass_name`` and ``stage``
+with the same name. With ``artifact_dir`` configured (or the
+``SPNC_ARTIFACT_DIR`` environment variable set), the manager also dumps
+a reproducer: the module IR before the failing pass in generic textual
+form, plus the active compiler options when the driver attached them
+via :attr:`PassManager.reproducer_options`.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..diagnostics import (
     Diagnostic,
@@ -43,8 +63,10 @@ def normalize_verify_each(mode: Union[bool, str, None]) -> str:
     off. Strings select the full instrumentation level: "structural"
     runs only the structural verifier after each pass, "boundaries"
     additionally runs the registered static checks (buffer safety,
-    range, lint — see :mod:`repro.ir.analysis`) after the *last* pass,
-    and "every-pass" runs verifier plus checks after every pass.
+    range, lint — see :mod:`repro.ir.analysis`) at the pipeline's
+    registered checkpoints (or after the *last* pass when none are
+    registered), and "every-pass" runs verifier plus checks after every
+    pass.
     """
     if mode is None or mode is False:
         return "off"
@@ -59,16 +81,31 @@ def normalize_verify_each(mode: Union[bool, str, None]) -> str:
 
 
 class Pass:
-    """Base class for IR passes. Subclasses implement :meth:`run`."""
+    """Base class for IR passes. Subclasses implement :meth:`run`.
 
-    #: Human-readable pass name; defaults to the class name.
+    :meth:`run` may return a replacement module (a fresh
+    :class:`Operation`) instead of mutating in place; the
+    :class:`PassManager` adopts the replacement by splicing its body
+    into the module it was given (see :func:`splice_module`).
+    """
+
+    #: Human-readable pass name; defaults to the class name. The
+    #: pipeline builder may suffix it ("canonicalize-2") to keep
+    #: instance names — and therefore timing keys — unique and stable.
     name: str = ""
 
     def __init__(self):
         if not self.name:
             self.name = type(self).__name__
+        #: Registry name this instance was built from (set by
+        #: :mod:`repro.ir.pipeline_spec`); used to print the pipeline
+        #: back to its textual form.
+        self.pipeline_name: Optional[str] = None
+        #: Explicit (non-default) options this instance was built with,
+        #: keyed by python identifier (underscores).
+        self.pipeline_options: Dict[str, object] = {}
 
-    def run(self, op: Operation) -> None:
+    def run(self, op: Operation) -> Optional[Operation]:
         raise NotImplementedError
 
 
@@ -86,29 +123,116 @@ class FunctionPass(Pass):
         raise NotImplementedError
 
 
-class PassTiming:
-    """Accumulated timing statistics for one pipeline execution."""
+def splice_module(old: Operation, new: Operation) -> Operation:
+    """Adopt ``new``'s body into ``old`` (module-replacing passes).
+
+    Every op of ``new``'s single block is *moved* (not cloned) into
+    ``old``'s block after the previous contents are unlinked, so SSA
+    def-use chains inside the moved ops survive intact and callers'
+    reference to ``old`` stays valid across full dialect conversions.
+    """
+    old_block = old.body_block
+    for op in list(old_block.ops):
+        op.remove_from_parent()
+    for op in list(new.body_block.ops):
+        op.remove_from_parent()
+        old_block.append(op)
+    if new.attributes:
+        old.attributes.update(new.attributes)
+    return old
+
+
+@dataclass
+class PassRecord:
+    """Instrumentation for one pass execution: time, op-count delta, IR."""
+
+    name: str
+    seconds: float
+    ops_before: Optional[int] = None
+    ops_after: Optional[int] = None
+    #: Generic-form IR snapshot after the pass (``collect_ir`` only).
+    ir_after: Optional[str] = None
+
+    @property
+    def op_delta(self) -> Optional[int]:
+        """Op-count change caused by the pass (negative = ops removed)."""
+        if self.ops_before is None or self.ops_after is None:
+            return None
+        return self.ops_after - self.ops_before
+
+
+class PassInstrumentation:
+    """Unified per-pass instrumentation for one pipeline execution.
+
+    This merges the historic ``PassTiming`` (wall-clock per pass) with
+    the stage-level record the old imperative driver kept: every record
+    carries the pass name, elapsed seconds, the module op counts before
+    and after, and — when IR collection is on — a textual IR snapshot.
+    ``seconds``/``order`` keep the old accumulated-by-name view that
+    the compile-time benchmarks (Figs. 10–13) read.
+    """
 
     def __init__(self):
+        self.records: List[PassRecord] = []
         self.seconds: Dict[str, float] = {}
         self.order: List[str] = []
 
-    def record(self, name: str, elapsed: float) -> None:
+    def record(
+        self,
+        name: str,
+        elapsed: float,
+        ops_before: Optional[int] = None,
+        ops_after: Optional[int] = None,
+        ir_after: Optional[str] = None,
+    ) -> PassRecord:
         if name not in self.seconds:
             self.order.append(name)
             self.seconds[name] = 0.0
         self.seconds[name] += elapsed
+        entry = PassRecord(
+            name=name,
+            seconds=elapsed,
+            ops_before=ops_before,
+            ops_after=ops_after,
+            ir_after=ir_after,
+        )
+        self.records.append(entry)
+        return entry
 
     @property
     def total(self) -> float:
         return sum(self.seconds.values())
 
+    def stage_seconds(self) -> "Dict[str, float]":
+        """Accumulated seconds per pass name, in first-run order."""
+        return {name: self.seconds[name] for name in self.order}
+
+    def ir_dumps(self) -> Dict[str, str]:
+        """Collected IR snapshots keyed by pass name (last run wins)."""
+        return {
+            record.name: record.ir_after
+            for record in self.records
+            if record.ir_after is not None
+        }
+
     def report(self) -> str:
         lines = ["pass timing:"]
+        deltas: Dict[str, Optional[int]] = {}
+        for record in self.records:
+            if record.op_delta is not None:
+                deltas[record.name] = deltas.get(record.name, 0) + record.op_delta
         for name in self.order:
-            lines.append(f"  {name:40s} {self.seconds[name] * 1e3:10.3f} ms")
+            line = f"  {name:40s} {self.seconds[name] * 1e3:10.3f} ms"
+            if name in deltas:
+                line += f" {deltas[name]:+6d} ops"
+            lines.append(line)
         lines.append(f"  {'total':40s} {self.total * 1e3:10.3f} ms")
         return "\n".join(lines)
+
+
+#: Backward-compatible alias: the timing class grew into the unified
+#: instrumentation record.
+PassTiming = PassInstrumentation
 
 
 class PassManager:
@@ -117,25 +241,47 @@ class PassManager:
     ``verify_each`` selects the instrumentation level (see
     :func:`normalize_verify_each`): any mode other than "off" runs the
     structural verifier after each pass; "boundaries" also runs the
-    registered static analyses (:mod:`repro.ir.analysis`) once after
-    the final pass, and "every-pass" runs them after every pass.
-    ERROR-severity findings abort with a :class:`PassError` naming the
-    offending pass; WARNING/NOTE findings accumulate on
-    :attr:`analysis_findings`.
+    registered static analyses (:mod:`repro.ir.analysis`) at the
+    registered checkpoints (falling back to once after the final pass
+    when no checkpoints are registered), and "every-pass" runs them
+    after every pass. ERROR-severity findings abort with a
+    :class:`PassError` naming the offending pass; WARNING/NOTE findings
+    accumulate on :attr:`analysis_findings`.
+
+    ``collect_ir`` snapshots the module in generic textual form after
+    every pass; ``instrument_ops`` (on by default) records module
+    op counts around each pass so :attr:`timing` carries op-count
+    deltas alongside wall-clock time.
     """
 
     def __init__(
         self,
         verify_each: Union[bool, str] = False,
         artifact_dir: Optional[str] = None,
+        collect_ir: bool = False,
+        instrument_ops: bool = True,
     ):
         self.passes: List[Pass] = []
         self.verify_each = normalize_verify_each(verify_each)
         self.artifact_dir = artifact_dir
-        self.timing = PassTiming()
+        self.collect_ir = collect_ir
+        self.instrument_ops = instrument_ops
+        self.timing = PassInstrumentation()
         #: WARNING/NOTE analysis findings collected by instrumentation.
         self.analysis_findings: List[object] = []
         self._findings_seen: set = set()
+        #: Analysis checkpoints: pass index -> (checkpoint name, phase).
+        #: In "boundaries" mode the static checks run only here; in
+        #: "every-pass" mode they run after every pass *plus* here (a
+        #: "final"-phase checkpoint applies the strict whole-module
+        #: rules on the fully lowered IR).
+        self._checkpoints: Dict[int, Tuple[str, str]] = {}
+        #: Optional compiler-options object included in reproducer dumps
+        #: (set by the compile driver).
+        self.reproducer_options: Optional[object] = None
+        #: Target name stamped onto failure diagnostics (set by the
+        #: compile driver).
+        self.diagnostic_target: Optional[str] = None
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
@@ -146,17 +292,41 @@ class PassManager:
             self.add(pass_)
         return self
 
-    def run(self, module: Operation) -> PassTiming:
+    def checkpoint_after(
+        self, index: int, name: str, phase: str = "mid"
+    ) -> "PassManager":
+        """Register an analysis checkpoint after the pass at ``index``."""
+        if not -len(self.passes) <= index < len(self.passes):
+            raise IndexError(f"no pass at index {index}")
+        self._checkpoints[index % len(self.passes)] = (name, phase)
+        return self
+
+    def run(self, module: Operation) -> PassInstrumentation:
         for index, pass_ in enumerate(self.passes):
+            ops_before = self._count_ops(module)
             start = time.perf_counter()
             try:
                 faults.maybe_fail_pass(pass_.name)
-                pass_.run(module)
+                result = pass_.run(module)
+                if isinstance(result, Operation) and result is not module:
+                    splice_module(module, result)
             except PassError:
                 raise
             except Exception as error:
                 raise self._pass_error(pass_.name, error, module) from error
-            self.timing.record(pass_.name, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            ir_after = None
+            if self.collect_ir:
+                from .printer import print_op
+
+                ir_after = print_op(module)
+            self.timing.record(
+                pass_.name,
+                elapsed,
+                ops_before=ops_before,
+                ops_after=self._count_ops(module),
+                ir_after=ir_after,
+            )
             if self.verify_each != "off":
                 try:
                     verify(module)
@@ -164,17 +334,41 @@ class PassManager:
                     raise self._pass_error(
                         pass_.name, error, module, after_verify=True
                     ) from error
-            is_last = index == len(self.passes) - 1
-            if self.verify_each == "every-pass" or (
-                self.verify_each == "boundaries" and is_last
-            ):
-                self._run_analysis_checks(pass_.name, module)
+            self._run_checkpoints(index, pass_, module)
         return self.timing
 
-    def _run_analysis_checks(self, pass_name: str, module: Operation) -> None:
+    def _count_ops(self, module: Operation) -> Optional[int]:
+        if not self.instrument_ops:
+            return None
+        return sum(1 for _ in module.walk())
+
+    def _run_checkpoints(
+        self, index: int, pass_: Pass, module: Operation
+    ) -> None:
+        if self.verify_each == "every-pass":
+            self._run_analysis_checks(pass_.name, module, phase="mid")
+        checkpoint = self._checkpoints.get(index)
+        if checkpoint is not None and self.verify_each in (
+            "boundaries",
+            "every-pass",
+        ):
+            name, phase = checkpoint
+            self._run_analysis_checks(name, module, phase=phase)
+        elif (
+            self.verify_each == "boundaries"
+            and not self._checkpoints
+            and index == len(self.passes) - 1
+        ):
+            # Legacy behavior for ad-hoc pipelines (``spnc opt``,
+            # parse_pipeline): boundaries == after the last pass.
+            self._run_analysis_checks(pass_.name, module, phase="mid")
+
+    def _run_analysis_checks(
+        self, pass_name: str, module: Operation, phase: str = "mid"
+    ) -> None:
         from .analysis import run_checks, severity_at_least
 
-        findings = run_checks(module, phase="mid")
+        findings = run_checks(module, phase=phase)
         errors = [
             f for f in findings if severity_at_least(f.severity, Severity.ERROR)
         ]
@@ -226,11 +420,22 @@ class PassManager:
             code=code,
             message=message,
             pass_name=pass_name,
+            # Stages and passes are unified: name the failure both ways
+            # so stage-oriented consumers (fallback cascade, CLI) see it.
+            stage=pass_name,
             op_path=getattr(error, "op_path", None),
+            target=self.diagnostic_target,
             detail={"exception_type": type(error).__name__},
         )
         reproducer = None
-        if self.artifact_dir or os.environ.get("SPNC_ARTIFACT_DIR"):
+        # Driver-run pipelines (reproducer_options attached) always dump —
+        # artifact_directory() falls back to $SPNC_ARTIFACT_DIR / the
+        # system temp dir; ad-hoc pipelines dump only when configured.
+        if (
+            self.artifact_dir
+            or os.environ.get("SPNC_ARTIFACT_DIR")
+            or self.reproducer_options is not None
+        ):
             from .printer import print_op
 
             try:
@@ -238,7 +443,10 @@ class PassManager:
             except Exception:  # printing a broken module must not mask the error
                 module_text = None
             reproducer = dump_reproducer(
-                diagnostic, module_text=module_text, artifact_dir=self.artifact_dir
+                diagnostic,
+                module_text=module_text,
+                options=self.reproducer_options,
+                artifact_dir=self.artifact_dir,
             )
         return PassError(message, diagnostic=diagnostic, reproducer_path=reproducer)
 

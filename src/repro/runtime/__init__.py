@@ -1,12 +1,13 @@
 """Runtime component: kernel loading, chunking, multi-threading."""
 
 from .bufferpool import BufferPool
-from .executable import CPUExecutable, KernelSignature
+from .executable import CPUExecutable, Executable, KernelSignature
 from .threadpool import ChunkedExecutor, chunk_ranges
 
 __all__ = [
     "BufferPool",
     "CPUExecutable",
+    "Executable",
     "KernelSignature",
     "ChunkedExecutor",
     "chunk_ranges",

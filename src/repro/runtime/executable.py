@@ -49,38 +49,35 @@ class KernelSignature:
     num_results: int = 1
 
 
-class CPUExecutable:
-    """A compiled CPU kernel plus its invocation metadata."""
+class Executable:
+    """Common contract for compiled kernels, regardless of target.
 
-    def __init__(
-        self,
-        generated: GeneratedModule,
-        entry_name: str,
-        signature: KernelSignature,
-        num_threads: int = 1,
-        max_chunk_retries: int = 0,
-    ):
-        self.generated = generated
-        self.entry = generated.get(entry_name)
+    Every backend executable shares: a :class:`KernelSignature`, a
+    ``source`` listing of the generated code, an explicit lifecycle
+    (:meth:`close`, context-manager support), and :meth:`execute` with
+    uniform input validation, output allocation, fault-injection
+    poisoning and single-result squeezing. Subclasses implement
+    :meth:`_run` (fill ``output`` from validated ``inputs``) and
+    :attr:`source`; :attr:`target` names the backend so callers (the
+    API-layer fallback cascade, the differential oracle) never need
+    ``isinstance`` checks against concrete classes.
+    """
+
+    #: Backend name ("cpu", "gpu", ...), set by each subclass.
+    target: str = "unknown"
+
+    def __init__(self, entry_name: str, signature: KernelSignature):
         self.entry_name = entry_name
         self.signature = signature
-        self.num_threads = num_threads
-        #: Bounded per-chunk retry budget for transient execution faults
-        #: (0 preserves strict fail-immediately semantics).
-        self.max_chunk_retries = max_chunk_retries
-        self._executor = ChunkedExecutor(num_threads) if num_threads > 1 else None
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the worker thread pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
+        """Release owned resources (idempotent)."""
         self._closed = True
 
-    def __enter__(self) -> "CPUExecutable":
+    def __enter__(self) -> "Executable":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -108,8 +105,55 @@ class CPUExecutable:
                 f"expected input of shape [batch, {sig.num_features}], "
                 f"got {inputs.shape}"
             )
+        output = np.empty((sig.num_results, inputs.shape[0]), dtype=sig.result_dtype)
+        self._run(inputs, output)
+        if faults.kernel_nan_active():
+            # Fault injection: simulate a codegen defect at the generated
+            # kernel entry — the output buffer comes back NaN-poisoned.
+            output.fill(np.nan)
+        return output[0] if sig.num_results == 1 else output
+
+    def _run(self, inputs: np.ndarray, output: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def source(self) -> str:
+        """The generated code listing (the "object code")."""
+        raise NotImplementedError
+
+
+class CPUExecutable(Executable):
+    """A compiled CPU kernel plus its invocation metadata."""
+
+    target = "cpu"
+
+    def __init__(
+        self,
+        generated: GeneratedModule,
+        entry_name: str,
+        signature: KernelSignature,
+        num_threads: int = 1,
+        max_chunk_retries: int = 0,
+    ):
+        super().__init__(entry_name, signature)
+        self.generated = generated
+        self.entry = generated.get(entry_name)
+        self.num_threads = num_threads
+        #: Bounded per-chunk retry budget for transient execution faults
+        #: (0 preserves strict fail-immediately semantics).
+        self.max_chunk_retries = max_chunk_retries
+        self._executor = ChunkedExecutor(num_threads) if num_threads > 1 else None
+
+    def close(self) -> None:
+        """Release the worker thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        super().close()
+
+    def _run(self, inputs: np.ndarray, output: np.ndarray) -> None:
+        sig = self.signature
         n = inputs.shape[0]
-        output = np.empty((sig.num_results, n), dtype=sig.result_dtype)
         # libm semantics for the raw ufuncs in generated code: log(0) is
         # -inf, exp overflow is inf — never a warning or exception.
         with np.errstate(all="ignore"):
@@ -122,11 +166,6 @@ class CPUExecutable:
                 self._executor.run(
                     n, sig.batch_size, run_chunk, max_retries=self.max_chunk_retries
                 )
-        if faults.kernel_nan_active():
-            # Fault injection: simulate a codegen defect at the generated
-            # kernel entry — the output buffer comes back NaN-poisoned.
-            output.fill(np.nan)
-        return output[0] if sig.num_results == 1 else output
 
     @property
     def source(self) -> str:

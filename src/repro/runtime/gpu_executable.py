@@ -10,11 +10,10 @@ from ..backends.cpu.codegen import GeneratedModule
 from ..diagnostics import DeviceError, Diagnostic, ErrorCode, Severity
 from ..gpusim.device import ExecutionProfile, OutOfDeviceMemory
 from ..gpusim.simulator import GPUSimulator
-from ..testing import faults
-from .executable import KernelSignature
+from .executable import Executable, KernelSignature
 
 
-class GPUExecutable:
+class GPUExecutable(Executable):
     """A compiled GPU kernel: host coordination code driving the simulator.
 
     Calling it returns the (log-)likelihoods, computed with real NumPy
@@ -25,6 +24,8 @@ class GPUExecutable:
     benchmarks report.
     """
 
+    target = "gpu"
+
     def __init__(
         self,
         host: GeneratedModule,
@@ -33,27 +34,14 @@ class GPUExecutable:
         signature: KernelSignature,
         simulator: GPUSimulator,
     ):
+        super().__init__(entry_name, signature)
         self.host = host
         self.kernels = kernels
         self.entry = host.get(entry_name)
-        self.entry_name = entry_name
-        self.signature = signature
         self.simulator = simulator
         self.last_profile: Optional[ExecutionProfile] = None
 
-    def __call__(self, inputs: np.ndarray) -> np.ndarray:
-        return self.execute(inputs)
-
-    def execute(self, inputs: np.ndarray) -> np.ndarray:
-        sig = self.signature
-        inputs = np.ascontiguousarray(inputs, dtype=sig.input_dtype)
-        if inputs.ndim != 2 or inputs.shape[1] != sig.num_features:
-            raise ValueError(
-                f"expected input of shape [batch, {sig.num_features}], "
-                f"got {inputs.shape}"
-            )
-        n = inputs.shape[0]
-        output = np.empty((sig.num_results, n), dtype=sig.result_dtype)
+    def _run(self, inputs: np.ndarray, output: np.ndarray) -> None:
         self.simulator.reset_profile()
         try:
             # Like the CPU executable: -inf log probabilities flow through
@@ -77,11 +65,6 @@ class GPUExecutable:
                 ),
             ) from error
         self.last_profile = self.simulator.profile
-        if faults.kernel_nan_active():
-            # Fault injection: simulate a codegen defect at the device
-            # kernel entry — results come back NaN-poisoned.
-            output.fill(np.nan)
-        return output[0] if sig.num_results == 1 else output
 
     def simulated_seconds(self) -> float:
         """Simulated device time of the most recent execution."""

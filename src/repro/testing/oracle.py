@@ -269,7 +269,10 @@ class DifferentialOracle:
         inputs = case.inputs
         if spec.row_limit is not None:
             inputs = inputs[:spec.row_limit]
-        values = result.executable(inputs)
+        # Every backend satisfies the common Executable contract, so the
+        # oracle runs and releases kernels uniformly — no target cases.
+        with result.executable as executable:
+            values = executable(inputs)
         return np.asarray(values, dtype=np.float64)
 
     def check_case(self, case: Case) -> List[Divergence]:

@@ -45,6 +45,21 @@ def _add_compiler_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threads", type=int, default=1)
     parser.add_argument("--linear-space", action="store_true",
                         help="compute in linear instead of log space")
+    parser.add_argument("--pipeline", default=None, metavar="SPEC",
+                        help="override the pass pipeline with an mlir-opt "
+                             "style spec (see --print-pipeline for the "
+                             "default of any configuration)")
+    parser.add_argument("--verify-each", nargs="?", const="structural",
+                        default="off",
+                        choices=("off", "structural", "boundaries",
+                                 "every-pass"),
+                        metavar="MODE",
+                        help="per-pass instrumentation: off, structural "
+                             "(IR verifier after every pass; the default "
+                             "for a bare --verify-each), boundaries "
+                             "(verifier + static checks at dialect "
+                             "boundaries) or every-pass (verifier + "
+                             "static checks after every pass)")
 
 
 def _options_from(args: argparse.Namespace, collect_ir: bool = False) -> CompilerOptions:
@@ -58,6 +73,8 @@ def _options_from(args: argparse.Namespace, collect_ir: bool = False) -> Compile
         max_partition_size=args.partition,
         num_threads=args.threads,
         use_log_space=not args.linear_space,
+        pipeline=args.pipeline,
+        verify_each=args.verify_each,
         collect_ir=collect_ir,
     )
 
@@ -83,6 +100,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     root, query = deserialize_from_file(args.model)
+    if args.print_pipeline:
+        from ..compiler.pipeline import build_compile_pipeline
+
+        _, spec = build_compile_pipeline(
+            _options_from(args), query
+        )
+        print(spec)
+        return 0
     result = compile_spn(root, query, _options_from(args, collect_ir=bool(args.dump_ir)))
     print(f"compiled '{args.model}' for {args.target} "
           f"(-O{args.opt}, {result.num_tasks} task(s)) "
@@ -454,6 +479,38 @@ def _cmd_opt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipelines(args: argparse.Namespace) -> int:
+    """Print the declarative pipeline for every registered configuration.
+
+    One line per ``(target, opt_level, vectorize)`` combination, in a
+    stable format the CI canary diffs against the golden snapshots
+    (``tests/compiler/golden_pipelines.txt``). Every printed spec is
+    constructible by ``repro.ir.pipeline_spec.build_pipeline`` (and
+    therefore usable with ``compile --pipeline``).
+    """
+    from ..compiler.targets import get_target, registered_targets
+
+    targets = registered_targets()
+    if args.target:
+        if args.target not in targets:
+            print(f"error: unknown target '{args.target}'; "
+                  f"registered: {', '.join(targets)}", file=sys.stderr)
+            return 2
+        targets = [args.target]
+    for target_name in targets:
+        target = get_target(target_name)
+        for opt_level in range(4):
+            for vectorize in ("off", "lanes", "batch"):
+                options = CompilerOptions(
+                    target=target_name,
+                    opt_level=opt_level,
+                    vectorize=vectorize,
+                )
+                spec = target.pipeline(options)
+                print(f"{target_name} -O{opt_level} vectorize={vectorize}: {spec}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -472,6 +529,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the IR after the named pipeline stage")
     comp.add_argument("--emit-source", action="store_true",
                       help="print the generated kernel source")
+    comp.add_argument("--print-pipeline", action="store_true",
+                      help="print the textual pass pipeline for this "
+                           "configuration and exit without compiling")
     comp.set_defaults(fn=_cmd_compile)
 
     run = sub.add_parser("run", help="compile and execute on an input array")
@@ -529,6 +589,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reproducer dump directory "
                               "(default: $SPNC_ARTIFACT_DIR)")
     analyze.set_defaults(fn=_cmd_analyze)
+
+    pipelines = sub.add_parser(
+        "pipelines",
+        help="print the declarative pass pipeline for every target/-O level",
+    )
+    pipelines.add_argument("--target", default=None,
+                           help="restrict to one registered target")
+    pipelines.set_defaults(fn=_cmd_pipelines)
 
     samp = sub.add_parser("sample", help="draw samples from the model")
     samp.add_argument("model")

@@ -16,7 +16,10 @@ fingerprint, and are evicted via weak references when the model is
 garbage collected — a recycled ``id()`` can never produce a stale hit.
 The full exchange path (binary serialization → compiler frontend) is
 exercised when ``via_serialization=True``, matching the real
-SPFlow↔SPNC hand-off.
+SPFlow↔SPNC hand-off. The cache is thread-safe with *single-flight*
+compilation: concurrent requests for the same (model, options) key
+compile exactly once — the serving runtime relies on this when many
+requests arrive for a freshly published model.
 
 Graceful degradation (``fallback=`` policy): like SPFlow itself, which
 always has a correct (slow) interpreter to fall back to, the compilers
@@ -37,6 +40,7 @@ defect to the caller:
 from __future__ import annotations
 
 import dataclasses
+import threading
 import warnings
 import weakref
 from typing import Dict, List, Optional, Tuple
@@ -63,22 +67,33 @@ class FallbackWarning(UserWarning):
     """Emitted when a compiled path degrades to a slower rung."""
 
 
-def _register_eviction(cache: Dict, spns: Tuple, key) -> None:
+def _register_eviction(cache: Dict, lock: threading.Lock, spns: Tuple, key) -> None:
     """Evict ``key`` from ``cache`` when any of its SPNs is collected.
 
     This is what makes identity-based cache keys safe: after the model
     dies, its entry disappears before CPython can recycle the ``id()``
-    for an unrelated object.
+    for an unrelated object. Eviction takes the cache lock so it cannot
+    interleave with a concurrent lookup/insert of the same key.
     """
 
-    def evict(_cache=cache, _key=key):
-        _cache.pop(_key, None)
+    def evict(_cache=cache, _lock=lock, _key=key):
+        with _lock:
+            _cache.pop(_key, None)
 
     for spn in spns:
         try:
             weakref.finalize(spn, evict)
         except TypeError:  # pragma: no cover - non-weakrefable model object
             pass
+
+
+class _CompileFlight:
+    """Single-flight slot: one leader compiles, followers wait on it."""
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result: Optional[CompilationResult] = None
+        self.error: Optional[BaseException] = None
 
 
 class _CompilerBase:
@@ -115,7 +130,14 @@ class _CompilerBase:
         #: Structured record of every failure/degradation this compiler
         #: instance observed (see :class:`repro.diagnostics.Diagnostic`).
         self.diagnostics = DiagnosticLog()
+        # The compile cache is shared by concurrent server threads:
+        # ``_cache_lock`` guards the dict (and weakref eviction), and
+        # ``_inflight`` provides single-flight compilation — concurrent
+        # requests for the same (model, options) key compile once, with
+        # followers blocking on the leader's result.
         self._cache: Dict[tuple, CompilationResult] = {}
+        self._cache_lock = threading.Lock()
+        self._inflight: Dict[tuple, _CompileFlight] = {}
         self._warned_keys = set()
 
     # -- configuration -----------------------------------------------------------
@@ -193,18 +215,41 @@ class _CompilerBase:
     ) -> CompilationResult:
         query = query or self._default_query()
         key = self._cache_key(spn, query, target)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        compile_input = spn
-        if self.via_serialization and not isinstance(spn, (list, tuple)):
-            # Round-trip through the binary exchange format, as the real
-            # SPFlow -> SPNC hand-off does.
-            compile_input, query = deserialize(serialize(spn, query))
-        result = compile_spn(compile_input, query, self._options(target))
-        self._cache[key] = result
-        _register_eviction(self._cache, self._as_tuple(spn), key)
-        return result
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[key] = _CompileFlight()
+        if not leader:
+            # Another thread is already compiling this exact kernel:
+            # wait for it instead of compiling twice (single-flight).
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result
+        try:
+            compile_input = spn
+            if self.via_serialization and not isinstance(spn, (list, tuple)):
+                # Round-trip through the binary exchange format, as the real
+                # SPFlow -> SPNC hand-off does.
+                compile_input, query = deserialize(serialize(spn, query))
+            result = compile_spn(compile_input, query, self._options(target))
+        except BaseException as error:
+            flight.error = error
+            raise
+        else:
+            flight.result = result
+            with self._cache_lock:
+                self._cache[key] = result
+            _register_eviction(self._cache, self._cache_lock, self._as_tuple(spn), key)
+            return result
+        finally:
+            with self._cache_lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
 
     # -- execution with graceful degradation --------------------------------------
 

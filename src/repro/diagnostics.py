@@ -24,6 +24,8 @@ IR layer (pass manager, verifier) can depend on it without cycles.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import dataclasses
 import enum
 import itertools
@@ -65,6 +67,13 @@ class ErrorCode:
     FAULT_INJECTED = "fault-injected"
     DIVERGENCE = "differential-divergence"
     IR_FUZZ_FAILED = "ir-fuzz-failed"
+    # Serving-runtime codes (repro.serving).
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+    ADMISSION_REJECTED = "admission-rejected"
+    BREAKER_OPEN = "circuit-breaker-open"
+    EXECUTABLE_CLOSED = "executable-closed"
+    MODEL_SWAPPED = "model-swapped"
+    MODEL_NOT_FOUND = "model-not-found"
 
 
 @dataclass
@@ -114,13 +123,56 @@ class Diagnostic:
         return data
 
 
+# --- request-scoped diagnostic context ---------------------------------------------
+
+#: Ambient key/value annotations attached to every diagnostic emitted
+#: while a :func:`diagnostic_context` is active. Backed by a
+#: ``contextvars.ContextVar`` so concurrent server threads (and asyncio
+#: tasks) each see only their own request's context.
+_DIAGNOSTIC_CONTEXT: contextvars.ContextVar[Dict[str, Any]] = contextvars.ContextVar(
+    "repro_diagnostic_context", default={}
+)
+
+
+@contextlib.contextmanager
+def diagnostic_context(**fields: Any):
+    """Annotate all diagnostics emitted inside the block.
+
+    The serving runtime wraps each request/batch in
+    ``diagnostic_context(request_id=..., model=...)`` so a chunk-retry
+    warning deep inside the runtime can be traced back to the request
+    that triggered it. Nested contexts merge (inner wins on key clash).
+    """
+    merged = dict(_DIAGNOSTIC_CONTEXT.get())
+    merged.update(fields)
+    token = _DIAGNOSTIC_CONTEXT.set(merged)
+    try:
+        yield merged
+    finally:
+        _DIAGNOSTIC_CONTEXT.reset(token)
+
+
+def current_diagnostic_context() -> Dict[str, Any]:
+    """The active request-scoped annotations (empty outside any context)."""
+    return dict(_DIAGNOSTIC_CONTEXT.get())
+
+
 class DiagnosticLog:
-    """Ordered collection of diagnostics for one compiler/executor."""
+    """Ordered collection of diagnostics for one compiler/executor.
+
+    Thread-safe for concurrent :meth:`emit` (the serving runtime shares
+    one log across batcher workers). Diagnostics emitted inside a
+    :func:`diagnostic_context` are annotated with the active request
+    scope under ``detail["context"]``.
+    """
 
     def __init__(self):
         self._diagnostics: List[Diagnostic] = []
 
     def emit(self, diagnostic: Diagnostic) -> Diagnostic:
+        scope = _DIAGNOSTIC_CONTEXT.get()
+        if scope and "context" not in diagnostic.detail:
+            diagnostic.detail["context"] = dict(scope)
         self._diagnostics.append(diagnostic)
         return diagnostic
 
@@ -235,6 +287,46 @@ class FallbackExhaustedError(CompilerError):
     """Every rung of the degradation cascade failed."""
 
     default_code = ErrorCode.EXECUTION_FAILED
+
+
+class DeadlineError(ExecutionError, TimeoutError):
+    """A per-request/per-batch deadline expired before completion.
+
+    Subclasses :class:`TimeoutError` so generic timeout handling works,
+    while carrying the structured :class:`Diagnostic` of the hierarchy.
+    """
+
+    default_code = ErrorCode.DEADLINE_EXCEEDED
+
+
+class ExecutableClosedError(ExecutionError, RuntimeError):
+    """An :class:`~repro.runtime.executable.Executable` was invoked after
+    (or concurrently with) :meth:`close`.
+
+    Subclasses :class:`RuntimeError` for backward compatibility with
+    callers that predate the structured hierarchy.
+    """
+
+    default_code = ErrorCode.EXECUTABLE_CLOSED
+
+
+class AdmissionError(CompilerError):
+    """The serving admission layer rejected a request (backpressure).
+
+    Carries ``retry_after_s`` — the client-facing hint for when capacity
+    is expected to free up (maps to HTTP 429 ``Retry-After``).
+    """
+
+    default_code = ErrorCode.ADMISSION_REJECTED
+
+    def __init__(
+        self,
+        message: str,
+        diagnostic: Optional[Diagnostic] = None,
+        retry_after_s: float = 0.05,
+    ):
+        super().__init__(message, diagnostic=diagnostic)
+        self.retry_after_s = retry_after_s
 
 
 # --- reproducer dumps --------------------------------------------------------------

@@ -16,23 +16,37 @@ generated module's :class:`~repro.runtime.bufferpool.BufferPool`
 chunk beyond the one output array per call.
 
 Lifecycle: multi-threaded executables own a thread pool. Call
-:meth:`CPUExecutable.close` (or use the executable as a context
-manager) to release it deterministically; otherwise the pool is
-reclaimed with the executable (``__del__``) rather than leaking across
-many compile sessions.
+:meth:`Executable.close` (or use the executable as a context manager)
+to release it deterministically; otherwise the pool is reclaimed with
+the executable (``__del__``) rather than leaking across many compile
+sessions. ``close()`` is safe under concurrency: it waits for in-flight
+:meth:`execute` calls to drain before releasing resources, and any
+``execute`` that arrives at — or races — a closed executable raises a
+clean structured :class:`~repro.diagnostics.ExecutableClosedError`
+instead of crashing on a released thread pool or buffer pool. The
+serving runtime's drain-before-unload model swap is built on exactly
+this contract.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..backends.cpu.codegen import GeneratedModule, numpy_dtype
+from ..diagnostics import (
+    Diagnostic,
+    DiagnosticLog,
+    ErrorCode,
+    ExecutableClosedError,
+    Severity,
+)
 from ..ir.types import Type
 from ..testing import faults
-from .threadpool import ChunkedExecutor
+from .threadpool import ChunkedExecutor, RetryPolicy
 
 
 @dataclass
@@ -69,13 +83,34 @@ class Executable:
     def __init__(self, entry_name: str, signature: KernelSignature):
         self.entry_name = entry_name
         self.signature = signature
+        #: Structured runtime events (chunk retries, ...) observed by
+        #: this executable; shared with the ChunkedExecutor.
+        self.diagnostics = DiagnosticLog()
         self._closed = False
+        self._inflight = 0
+        self._lifecycle = threading.Condition()
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Release owned resources (idempotent)."""
-        self._closed = True
+        """Release owned resources (idempotent, concurrency-safe).
+
+        Marks the executable closed — rejecting new :meth:`execute`
+        calls — then waits for in-flight executions to drain before
+        releasing resources via :meth:`_release`, so a racing
+        ``execute`` never observes a half-torn-down executable.
+        """
+        with self._lifecycle:
+            already = self._closed
+            self._closed = True
+            while self._inflight > 0:
+                self._lifecycle.wait()
+        if not already:
+            self._release()
+
+    def _release(self) -> None:
+        """Release subclass-owned resources; runs exactly once, after
+        every in-flight execution has drained."""
 
     def __enter__(self) -> "Executable":
         return self
@@ -89,31 +124,67 @@ class Executable:
         except Exception:
             pass
 
+    def _enter_execute(self) -> None:
+        with self._lifecycle:
+            if self._closed:
+                raise ExecutableClosedError(
+                    "executable closed",
+                    diagnostic=Diagnostic(
+                        severity=Severity.ERROR,
+                        code=ErrorCode.EXECUTABLE_CLOSED,
+                        message=f"'{self.entry_name}' invoked after close()",
+                        stage="execute",
+                        target=self.target,
+                    ),
+                )
+            self._inflight += 1
+
+    def _exit_execute(self) -> None:
+        with self._lifecycle:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._lifecycle.notify_all()
+
     # -- invocation ---------------------------------------------------------------
 
-    def __call__(self, inputs: np.ndarray) -> np.ndarray:
-        return self.execute(inputs)
+    def __call__(self, inputs: np.ndarray, deadline: Optional[float] = None) -> np.ndarray:
+        return self.execute(inputs, deadline=deadline)
 
-    def execute(self, inputs: np.ndarray) -> np.ndarray:
-        """Run the kernel; returns [batch] (log-)likelihoods."""
-        if self._closed:
-            raise RuntimeError("executable is closed")
-        sig = self.signature
-        inputs = np.ascontiguousarray(inputs, dtype=sig.input_dtype)
-        if inputs.ndim != 2 or inputs.shape[1] != sig.num_features:
-            raise ValueError(
-                f"expected input of shape [batch, {sig.num_features}], "
-                f"got {inputs.shape}"
+    def execute(
+        self, inputs: np.ndarray, deadline: Optional[float] = None
+    ) -> np.ndarray:
+        """Run the kernel; returns [batch] (log-)likelihoods.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp
+        propagated into chunk scheduling (CPU backend): chunks are not
+        started past it and a structured
+        :class:`~repro.diagnostics.DeadlineError` is raised instead.
+        """
+        self._enter_execute()
+        try:
+            sig = self.signature
+            inputs = np.ascontiguousarray(inputs, dtype=sig.input_dtype)
+            if inputs.ndim != 2 or inputs.shape[1] != sig.num_features:
+                raise ValueError(
+                    f"expected input of shape [batch, {sig.num_features}], "
+                    f"got {inputs.shape}"
+                )
+            faults.maybe_fail_kernel(self.entry_name)
+            output = np.empty(
+                (sig.num_results, inputs.shape[0]), dtype=sig.result_dtype
             )
-        output = np.empty((sig.num_results, inputs.shape[0]), dtype=sig.result_dtype)
-        self._run(inputs, output)
-        if faults.kernel_nan_active():
-            # Fault injection: simulate a codegen defect at the generated
-            # kernel entry — the output buffer comes back NaN-poisoned.
-            output.fill(np.nan)
-        return output[0] if sig.num_results == 1 else output
+            self._run(inputs, output, deadline=deadline)
+            if faults.kernel_nan_active():
+                # Fault injection: simulate a codegen defect at the generated
+                # kernel entry — the output buffer comes back NaN-poisoned.
+                output.fill(np.nan)
+            return output[0] if sig.num_results == 1 else output
+        finally:
+            self._exit_execute()
 
-    def _run(self, inputs: np.ndarray, output: np.ndarray) -> None:
+    def _run(
+        self, inputs: np.ndarray, output: np.ndarray, deadline: Optional[float] = None
+    ) -> None:
         raise NotImplementedError
 
     @property
@@ -134,6 +205,7 @@ class CPUExecutable(Executable):
         signature: KernelSignature,
         num_threads: int = 1,
         max_chunk_retries: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         super().__init__(entry_name, signature)
         self.generated = generated
@@ -142,29 +214,40 @@ class CPUExecutable(Executable):
         #: Bounded per-chunk retry budget for transient execution faults
         #: (0 preserves strict fail-immediately semantics).
         self.max_chunk_retries = max_chunk_retries
+        #: Full bounded-backoff retry policy; defaults to immediate
+        #: retries with the ``max_chunk_retries`` budget.
+        self.retry_policy = retry_policy or RetryPolicy(max_retries=max_chunk_retries)
         self._executor = ChunkedExecutor(num_threads) if num_threads > 1 else None
 
-    def close(self) -> None:
-        """Release the worker thread pool (idempotent)."""
+    def _release(self) -> None:
+        """Release the worker thread pool (runs once, post-drain)."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
-        super().close()
 
-    def _run(self, inputs: np.ndarray, output: np.ndarray) -> None:
+    def _run(
+        self, inputs: np.ndarray, output: np.ndarray, deadline: Optional[float] = None
+    ) -> None:
         sig = self.signature
         n = inputs.shape[0]
         # libm semantics for the raw ufuncs in generated code: log(0) is
         # -inf, exp overflow is inf — never a warning or exception.
         with np.errstate(all="ignore"):
             if self._executor is None or n <= sig.batch_size:
+                faults.maybe_delay_chunk()
                 self.entry(inputs, output)
             else:
                 def run_chunk(start: int, end: int) -> None:
+                    faults.maybe_delay_chunk()
                     self.entry(inputs[start:end], output[:, start:end])
 
                 self._executor.run(
-                    n, sig.batch_size, run_chunk, max_retries=self.max_chunk_retries
+                    n,
+                    sig.batch_size,
+                    run_chunk,
+                    retry_policy=self.retry_policy,
+                    deadline=deadline,
+                    diagnostics=self.diagnostics,
                 )
 
     @property

@@ -41,7 +41,11 @@ class GPUExecutable(Executable):
         self.simulator = simulator
         self.last_profile: Optional[ExecutionProfile] = None
 
-    def _run(self, inputs: np.ndarray, output: np.ndarray) -> None:
+    def _run(
+        self, inputs: np.ndarray, output: np.ndarray, deadline: Optional[float] = None
+    ) -> None:
+        # ``deadline`` is accepted for interface uniformity; the simulated
+        # device launch is not chunk-schedulable, so it cannot be cut short.
         self.simulator.reset_profile()
         try:
             # Like the CPU executable: -inf log probabilities flow through

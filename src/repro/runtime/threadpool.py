@@ -7,10 +7,19 @@ optimization hint") and processes chunks on a thread pool.
 Robustness: when a chunk raises, the executor *fails fast* — every
 not-yet-started chunk is cancelled so a poisoned batch does not keep
 burning worker time — and failed or cancelled chunks are re-run inline
-with a bounded per-chunk retry budget (``max_retries``). Retries target
-transient faults (the fault-injection suite simulates them); a
-deterministically-failing chunk exhausts its budget and re-raises the
-last error.
+under a bounded :class:`RetryPolicy` (attempts, exponential backoff,
+jitter). Retries target transient faults (the fault-injection suite
+simulates them); a deterministically-failing chunk exhausts its budget
+and re-raises the last error. Each retry is recorded as a structured
+:class:`~repro.diagnostics.Diagnostic` (code ``chunk-retry``) when the
+caller supplies a :class:`~repro.diagnostics.DiagnosticLog`.
+
+Deadlines: :meth:`ChunkedExecutor.run` accepts an absolute ``deadline``
+(``time.monotonic()`` timestamp). Chunks are not started — and retries
+not slept — past the deadline; instead a structured
+:class:`~repro.diagnostics.DeadlineError` is raised. The serving
+runtime propagates per-request deadlines down to this point so a slow
+batch fails bounded rather than late.
 
 Honesty note (DESIGN.md): with Python as the ISA, scalar kernels hold
 the GIL, so threading over them is structural only. Batch-vectorized
@@ -22,8 +31,19 @@ off in this reproduction.
 
 from __future__ import annotations
 
+import random
+import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
+
+from ..diagnostics import (
+    DeadlineError,
+    Diagnostic,
+    DiagnosticLog,
+    ErrorCode,
+    Severity,
+)
 
 
 def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -34,6 +54,61 @@ def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
         (start, min(start + chunk_size, total))
         for start in range(0, total, chunk_size)
     ]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and jitter.
+
+    ``max_retries=0`` preserves strict fail-immediately semantics.
+    ``backoff_base=0`` retries immediately (the pre-policy behaviour);
+    otherwise attempt *n* (0-based) sleeps
+    ``min(backoff_base * 2**n, backoff_max)`` scaled by a uniform
+    ``±jitter`` fraction so synchronized callers do not retry in
+    lock-step (thundering herd).
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.0
+    backoff_max: float = 0.25
+    jitter: float = 0.1
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff delay in seconds before retry ``attempt`` (0-based)."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        base = min(self.backoff_base * (2.0 ** attempt), self.backoff_max)
+        if self.jitter:
+            scale = (rng.uniform if rng else random.uniform)(
+                1.0 - self.jitter, 1.0 + self.jitter
+            )
+            base *= scale
+        return base
+
+
+def _deadline_error(start: int, end: int, deadline: float) -> DeadlineError:
+    message = (
+        f"deadline exceeded before chunk [{start}, {end}) completed "
+        f"({time.monotonic() - deadline:.3f}s past deadline)"
+    )
+    return DeadlineError(
+        message,
+        diagnostic=Diagnostic(
+            severity=Severity.ERROR,
+            code=ErrorCode.DEADLINE_EXCEEDED,
+            message=message,
+            stage="execute",
+            detail={"chunk": [start, end]},
+        ),
+    )
 
 
 class ChunkedExecutor:
@@ -61,21 +136,37 @@ class ChunkedExecutor:
         chunk_size: int,
         fn: Callable[[int, int], None],
         max_retries: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline: Optional[float] = None,
+        diagnostics: Optional[DiagnosticLog] = None,
     ) -> None:
         """Execute ``fn(start, end)`` for every chunk of the batch.
 
         Args:
             max_retries: extra attempts granted to each failing chunk
                 (0 = fail immediately, preserving strict semantics).
+                Shorthand for ``RetryPolicy(max_retries=...)`` with
+                immediate (no-backoff) retries.
+            retry_policy: full bounded-backoff policy; overrides
+                ``max_retries`` when provided.
+            deadline: absolute ``time.monotonic()`` timestamp after
+                which no further chunk is started and a structured
+                :class:`DeadlineError` is raised.
+            diagnostics: optional log receiving one ``chunk-retry``
+                WARNING diagnostic per retry attempt.
         """
-        if max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
+        if retry_policy is None:
+            if max_retries < 0:
+                raise ValueError("max_retries must be >= 0")
+            retry_policy = RetryPolicy(max_retries=max_retries)
         self.last_run_retries = 0
         self.last_run_cancelled = 0
+        self._diagnostics = diagnostics
         ranges = chunk_ranges(total, chunk_size)
         if self._pool is None or len(ranges) == 1:
             for start, end in ranges:
-                self._run_with_retry(fn, start, end, max_retries)
+                self._check_deadline(deadline, start, end)
+                self._run_with_retry(fn, start, end, retry_policy, deadline)
             return
 
         futures = [(self._pool.submit(fn, s, e), (s, e)) for s, e in ranges]
@@ -100,36 +191,80 @@ class ChunkedExecutor:
         self.last_run_cancelled = len(cancelled)
 
         for (start, end), error in failed:
-            self._retry_failed(fn, start, end, max_retries, error)
+            self._retry_failed(fn, start, end, retry_policy, deadline, error)
         for start, end in cancelled:
-            self._run_with_retry(fn, start, end, max_retries)
+            self._check_deadline(deadline, start, end)
+            self._run_with_retry(fn, start, end, retry_policy, deadline)
+
+    @staticmethod
+    def _check_deadline(deadline: Optional[float], start: int, end: int) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise _deadline_error(start, end, deadline)
 
     def _run_with_retry(
-        self, fn: Callable[[int, int], None], start: int, end: int, budget: int
+        self,
+        fn: Callable[[int, int], None],
+        start: int,
+        end: int,
+        policy: RetryPolicy,
+        deadline: Optional[float],
     ) -> None:
         try:
             fn(start, end)
         except Exception as error:
-            self._retry_failed(fn, start, end, budget, error)
+            self._retry_failed(fn, start, end, policy, deadline, error)
 
     def _retry_failed(
         self,
         fn: Callable[[int, int], None],
         start: int,
         end: int,
-        budget: int,
+        policy: RetryPolicy,
+        deadline: Optional[float],
         error: BaseException,
     ) -> None:
+        attempt = 0
         while True:
-            if budget <= 0:
+            if attempt >= policy.max_retries:
                 raise error
-            budget -= 1
+            delay = policy.delay(attempt)
+            if deadline is not None and time.monotonic() + delay >= deadline:
+                # No budget left to even wait out the backoff: surface a
+                # deadline error chained to the underlying fault.
+                raise _deadline_error(start, end, deadline) from error
+            if delay > 0.0:
+                time.sleep(delay)
+            attempt += 1
             self.last_run_retries += 1
+            self._emit_retry(start, end, attempt, delay, error)
             try:
                 fn(start, end)
                 return
             except Exception as new_error:
                 error = new_error
+
+    def _emit_retry(
+        self, start: int, end: int, attempt: int, delay: float, error: BaseException
+    ) -> None:
+        log = getattr(self, "_diagnostics", None)
+        if log is None:
+            return
+        log.emit(
+            Diagnostic(
+                severity=Severity.WARNING,
+                code=ErrorCode.CHUNK_RETRY,
+                message=(
+                    f"retrying chunk [{start}, {end}) after "
+                    f"{type(error).__name__}: {error}"
+                ),
+                stage="execute",
+                detail={
+                    "chunk": [start, end],
+                    "attempt": attempt,
+                    "backoff_s": delay,
+                },
+            )
+        )
 
     def close(self) -> None:
         if self._pool is not None:

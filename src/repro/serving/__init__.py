@@ -1,0 +1,66 @@
+"""Resilient serving runtime for compiled SPN inference.
+
+The compiler produces whole-batch vector kernels that only pay off at
+large batch sizes (BENCH_cpu.json peaks around 8192 samples), while
+realistic traffic arrives as many small concurrent requests. This
+package bridges the two with a thread-pool-backed async inference
+server whose design center is *robustness*:
+
+- :class:`ModelRegistry` — versioned compiled models keyed by
+  ``CompilerOptions.cache_fingerprint``, hot swap with
+  drain-before-unload (zero dropped in-flight requests);
+- :class:`DynamicBatcher` — coalesces concurrent requests into
+  whole-batch kernel calls under a max-batch + max-wait policy;
+- admission control — bounded queues with explicit backpressure
+  (reject-with-retry-after, never unbounded buffering), per-request
+  deadlines propagated into chunk scheduling, bounded-backoff retries;
+- :class:`CircuitBreaker` — trips on repeated kernel failures and
+  routes traffic down the compiled-kernel → reference-interpreter
+  degradation ladder until a half-open probe succeeds;
+- health/stats — queue depths, batch-size histogram, p50/p99 latency,
+  breaker states and degraded-mode flags via
+  :meth:`InferenceServer.health`;
+- a Poisson load generator (:mod:`repro.serving.loadgen`) measuring
+  QPS/latency/degraded-fraction and proving the zero-lost-requests
+  accounting identity under injected faults.
+
+Quickstart::
+
+    from repro.serving import InferenceServer
+
+    server = InferenceServer()
+    server.publish("speaker", spn, batch_size=256)
+    result = server.infer("speaker", row, timeout_s=0.5)   # blocking
+    future = server.submit("speaker", row)                 # async
+    print(server.health())
+    server.close()
+"""
+
+from .admission import (
+    BreakerConfig,
+    CircuitBreaker,
+    ModelNotFoundError,
+    RequestQueue,
+)
+from .batcher import BatchPolicy, DynamicBatcher, Request, ServingResult
+from .health import ServerStats
+from .httpd import serve_http
+from .registry import ModelRegistry, ModelVersion
+from .server import InferenceServer, ServerConfig
+
+__all__ = [
+    "BatchPolicy",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "DynamicBatcher",
+    "InferenceServer",
+    "ModelNotFoundError",
+    "ModelRegistry",
+    "ModelVersion",
+    "Request",
+    "RequestQueue",
+    "ServerConfig",
+    "ServerStats",
+    "ServingResult",
+    "serve_http",
+]

@@ -1,0 +1,205 @@
+"""Admission control: bounded queues, backpressure and circuit breaking.
+
+The robustness rules of the serving layer live here:
+
+- **Bounded queues, explicit backpressure.** :class:`RequestQueue` has
+  a hard capacity; when it is full, :meth:`RequestQueue.offer` fails
+  *synchronously* and the server rejects the request with a structured
+  :class:`~repro.diagnostics.AdmissionError` carrying a
+  ``retry_after_s`` hint — never unbounded buffering, which converts
+  overload into unbounded latency for everyone.
+- **Circuit breaking.** :class:`CircuitBreaker` counts consecutive
+  kernel failures per model; past the threshold it *opens* and traffic
+  is short-circuited down the degradation ladder (reference
+  interpreter) without touching the faulty kernel. After a cooldown it
+  goes *half-open*, letting a limited number of probe batches through;
+  a probe success closes it again, a probe failure re-opens it.
+
+Both are plain thread-safe state machines with no policy of their own —
+the :class:`~repro.serving.server.InferenceServer` wires them to the
+degradation ladder and the stats surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..diagnostics import CompilerError, ErrorCode
+
+
+class ModelNotFoundError(CompilerError, KeyError):
+    """A request named a model the registry does not know."""
+
+    default_code = ErrorCode.MODEL_NOT_FOUND
+
+
+class RequestQueue:
+    """Bounded FIFO of pending requests with blocking take.
+
+    ``offer`` never blocks (admission must answer immediately under
+    overload); ``take`` blocks until an item arrives, the timeout
+    elapses, or the queue is closed.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def offer(self, item) -> bool:
+        """Enqueue; False when full (backpressure), raises when closed."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if len(self._items) >= self.capacity:
+                return False
+            self._items.append(item)
+            self._cond.notify()
+            return True
+
+    def take(self, timeout: Optional[float] = None):
+        """Dequeue one item; ``None`` on timeout or when closed empty."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._cond.wait(remaining)
+            return self._items.popleft()
+
+    def take_nowait(self):
+        with self._cond:
+            return self._items.popleft() if self._items else None
+
+    def close(self, flush: bool = True) -> List:
+        """Close the queue (no further ``offer``).
+
+        ``flush=True`` removes and returns the still-pending items so
+        the caller can give each a terminal outcome — requests are never
+        silently dropped. ``flush=False`` leaves them for takers to
+        drain; ``take`` returns ``None`` once the queue runs empty.
+        """
+        with self._cond:
+            self._closed = True
+            pending: List = []
+            if flush:
+                pending = list(self._items)
+                self._items.clear()
+            self._cond.notify_all()
+        return pending
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning of the per-model circuit breaker."""
+
+    #: Consecutive compiled-path failures that trip the breaker open.
+    failure_threshold: int = 3
+    #: Seconds the breaker stays open before allowing half-open probes.
+    cooldown_s: float = 0.25
+    #: Probe batches admitted while half-open (one success closes).
+    half_open_probes: int = 1
+
+
+class CircuitBreaker:
+    """Per-model closed → open → half-open failure breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, config: Optional[BreakerConfig] = None):
+        self.config = config or BreakerConfig()
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_issued = 0
+        #: Number of times the breaker tripped open (observability).
+        self.trip_count = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == self.OPEN
+            and time.monotonic() - self._opened_at >= self.config.cooldown_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probes_issued = 0
+
+    def allow_request(self) -> bool:
+        """Whether the compiled path may be attempted right now."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN:
+                if self._probes_issued < self.config.half_open_probes:
+                    self._probes_issued += 1
+                    return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != self.CLOSED:
+                self._state = self.CLOSED
+                self._probes_issued = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN:
+                self._trip_locked()
+            elif (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.config.failure_threshold
+            ):
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = time.monotonic()
+        self._probes_issued = 0
+        self.trip_count += 1
+
+    def force_open(self) -> None:
+        """Trip the breaker manually (ops escape hatch / tests)."""
+        with self._lock:
+            self._trip_locked()
+
+    def describe(self) -> dict:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trip_count": self.trip_count,
+            }

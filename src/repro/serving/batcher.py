@@ -1,0 +1,170 @@
+"""Dynamic batching: coalesce small requests into whole-batch kernels.
+
+The whole-batch vectorized kernels (PR 2) amortize per-call overhead
+over thousands of rows; a single-row request wastes them. The
+:class:`DynamicBatcher` closes the gap: a worker blocks for the first
+pending request, then keeps admitting more until either ``max_batch``
+rows are collected or ``max_wait_us`` has elapsed since the first one —
+the classic max-batch + max-wait coalescing policy. Under load the
+batch fills instantly (throughput mode); a lone request waits at most
+``max_wait_us`` (bounded added latency).
+
+Expired requests are separated out at collection time so a request
+whose deadline passed while queued gets its terminal outcome
+(deadline error) immediately instead of burning kernel time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .admission import RequestQueue
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class ServingResult:
+    """Terminal success payload delivered through ``Request.future``."""
+
+    #: Per-request (log-)likelihoods: shape [rows] (or [heads, rows]).
+    values: np.ndarray
+    #: True when served by the interpreter degradation rung.
+    degraded: bool
+    #: Model version that produced the values.
+    model_version: int
+    #: End-to-end latency (submit → completion), seconds.
+    latency_s: float
+
+
+@dataclass
+class Request:
+    """One admitted inference request travelling through the server."""
+
+    model: str
+    #: Always [rows, features]; single-row submits are wrapped.
+    rows: np.ndarray
+    #: Absolute ``time.monotonic()`` deadline, or None.
+    deadline: Optional[float]
+    future: "Future[ServingResult]" = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.monotonic)
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: True when the caller submitted a single row (result is squeezed).
+    single_row: bool = False
+
+    @property
+    def num_rows(self) -> int:
+        return self.rows.shape[0]
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return self.deadline is not None and (now or time.monotonic()) >= self.deadline
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing policy: batch caps and the bounded wait."""
+
+    #: Max rows per kernel invocation.
+    max_batch: int = 1024
+    #: Max microseconds the first request of a batch waits for company.
+    max_wait_us: int = 2000
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_us < 0:
+            raise ValueError("max_wait_us must be >= 0")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_us / 1e6
+
+
+class DynamicBatcher:
+    """Forms batches from a :class:`RequestQueue` under a
+    :class:`BatchPolicy`."""
+
+    def __init__(self, policy: Optional[BatchPolicy] = None):
+        self.policy = policy or BatchPolicy()
+
+    def next_batch(
+        self, queue: RequestQueue
+    ) -> Tuple[Optional[List[Request]], List[Request]]:
+        """Collect the next batch (blocking).
+
+        Returns ``(batch, expired)``: ``expired`` are requests whose
+        deadline passed while queued — they need a terminal deadline
+        outcome, not kernel time. ``batch`` is ``None`` when there is
+        no live request to serve right now: either the queue was
+        closed, or only expired requests were drained (callers must
+        deliver their outcomes immediately, not wait for live
+        traffic). Check ``queue.closed`` to distinguish the two.
+        """
+        expired: List[Request] = []
+        first = self._take_live(queue, expired)
+        if first is None:
+            return None, expired
+        batch = [first]
+        rows = first.num_rows
+        wait_until = time.monotonic() + self.policy.max_wait_s
+        while rows < self.policy.max_batch:
+            remaining = wait_until - time.monotonic()
+            if remaining > 0:
+                request = queue.take(timeout=remaining)
+            else:
+                request = queue.take_nowait()
+            if request is None:
+                break
+            if request.expired():
+                expired.append(request)
+                continue
+            batch.append(request)
+            rows += request.num_rows
+        return batch, expired
+
+    @staticmethod
+    def _take_live(queue: RequestQueue, expired: List[Request]) -> Optional[Request]:
+        """Block for the first request that is not already expired.
+
+        Once an expired request has been drained, this must not block
+        again on an empty queue — its deadline outcome would be held
+        hostage until unrelated live traffic arrived. Return with no
+        live request instead so the caller delivers the expiries now.
+        """
+        while True:
+            request = queue.take()
+            if request is None:
+                return None
+            if request.expired():
+                expired.append(request)
+                if queue.depth == 0:
+                    return None
+                continue
+            return request
+
+    @staticmethod
+    def concat(batch: List[Request]) -> np.ndarray:
+        """Stack the batch's rows into one [total_rows, features] matrix."""
+        if len(batch) == 1:
+            return batch[0].rows
+        return np.concatenate([request.rows for request in batch], axis=0)
+
+    @staticmethod
+    def split(batch: List[Request], outputs: np.ndarray) -> List[np.ndarray]:
+        """Slice the batched kernel output back into per-request views.
+
+        ``outputs`` is [rows] for single-head kernels or [heads, rows]
+        for multi-head; rows are always the last axis.
+        """
+        pieces: List[np.ndarray] = []
+        offset = 0
+        for request in batch:
+            pieces.append(outputs[..., offset : offset + request.num_rows])
+            offset += request.num_rows
+        return pieces

@@ -1,0 +1,145 @@
+"""Serving observability: counters, batch histogram, latency quantiles.
+
+Every request gets *exactly one* terminal outcome — ``ok``,
+``rejected`` (admission backpressure), ``expired`` (deadline) or
+``failed`` (both rungs of the degradation ladder errored). The stats
+surface makes that auditable: :meth:`ServerStats.lost` computes the
+accounting identity ``arrived - terminal - in_flight``, which the
+fault-injection load tests (and the CI smoke job) assert to be zero.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional
+
+#: Terminal outcome labels (exactly one per request).
+OUTCOMES = ("ok", "rejected", "expired", "failed")
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ServerStats:
+    """Thread-safe counters for one model (or the whole server).
+
+    Latencies are kept in a bounded reservoir (most recent
+    ``reservoir_size`` completions) so long-running servers report
+    *current* p50/p99, not a lifetime average diluted by history.
+    """
+
+    def __init__(self, reservoir_size: int = 4096):
+        self._lock = threading.Lock()
+        self._arrived = 0
+        self._in_flight = 0
+        self._outcomes = Counter()
+        self._degraded = 0
+        self._retries = 0
+        self._breaker_short_circuits = 0
+        self._batches = 0
+        self._batch_sizes = Counter()
+        self._latencies: Deque[float] = deque(maxlen=reservoir_size)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_arrival(self, accepted: bool) -> None:
+        with self._lock:
+            self._arrived += 1
+            if accepted:
+                self._in_flight += 1
+            else:
+                self._outcomes["rejected"] += 1
+
+    def record_outcome(
+        self, outcome: str, latency_s: Optional[float] = None, degraded: bool = False
+    ) -> None:
+        """Terminal outcome of a previously accepted request."""
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome '{outcome}'")
+        with self._lock:
+            self._outcomes[outcome] += 1
+            self._in_flight -= 1
+            if degraded:
+                self._degraded += 1
+            if latency_s is not None:
+                self._latencies.append(latency_s)
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batch_sizes[size] += 1
+
+    def record_retry(self, count: int = 1) -> None:
+        with self._lock:
+            self._retries += count
+
+    def record_breaker_short_circuit(self) -> None:
+        with self._lock:
+            self._breaker_short_circuits += 1
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def arrived(self) -> int:
+        with self._lock:
+            return self._arrived
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def outcome(self, name: str) -> int:
+        with self._lock:
+            return self._outcomes[name]
+
+    def lost(self) -> int:
+        """The accounting identity: requests with no terminal outcome
+        that are not in flight. Must be zero at all times."""
+        with self._lock:
+            terminal = sum(self._outcomes.values())
+            return self._arrived - terminal - self._in_flight
+
+    def degraded_fraction(self) -> float:
+        with self._lock:
+            completed = self._outcomes["ok"]
+            return (self._degraded / completed) if completed else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            latencies = list(self._latencies)
+            outcomes = {name: self._outcomes[name] for name in OUTCOMES}
+            terminal = sum(outcomes.values())
+            completed = outcomes["ok"]
+            return {
+                "arrived": self._arrived,
+                "in_flight": self._in_flight,
+                "outcomes": outcomes,
+                "lost": self._arrived - terminal - self._in_flight,
+                "degraded": self._degraded,
+                "degraded_fraction": (
+                    (self._degraded / completed) if completed else 0.0
+                ),
+                "retries": self._retries,
+                "breaker_short_circuits": self._breaker_short_circuits,
+                "batches": self._batches,
+                "batch_size_histogram": dict(sorted(self._batch_sizes.items())),
+                "mean_batch_size": (
+                    (sum(s * c for s, c in self._batch_sizes.items()) / self._batches)
+                    if self._batches
+                    else 0.0
+                ),
+                "latency_ms": {
+                    "count": len(latencies),
+                    "p50": percentile(latencies, 50) * 1e3,
+                    "p99": percentile(latencies, 99) * 1e3,
+                    "max": (max(latencies) * 1e3) if latencies else 0.0,
+                },
+            }

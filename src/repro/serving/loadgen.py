@@ -1,0 +1,170 @@
+"""Poisson load generator and the serving benchmark harness.
+
+Drives an :class:`~repro.serving.server.InferenceServer` with open-loop
+Poisson arrivals (exponential inter-arrival times at a target rate —
+the canonical model of independent user traffic), records one terminal
+outcome per request, and reports QPS, p50/p99 latency and the degraded
+fraction. The report also carries the zero-lost-requests accounting
+identity (``lost = sent - terminal``), which the fault-injection tests
+and the CI smoke job assert to be exactly zero.
+
+Also provides the *naive* baseline — one-request-per-kernel-call, no
+batching — so ``BENCH_serving.json`` measures what dynamic batching
+actually buys at equal traffic.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..diagnostics import AdmissionError, DeadlineError
+from .health import percentile
+from .server import InferenceServer
+
+
+def poisson_load(
+    server: InferenceServer,
+    model: str,
+    rows: np.ndarray,
+    rate_qps: float,
+    duration_s: float,
+    seed: int = 0,
+    timeout_s: Optional[float] = None,
+    on_tick: Optional[Callable[[int], None]] = None,
+) -> Dict[str, object]:
+    """Submit Poisson traffic against ``server`` and account for every
+    request. Returns the report dict (see module docstring).
+
+    ``rows`` is a pool of input rows cycled through by the generator.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    rng = random.Random(seed)
+    outcomes: Counter = Counter()
+    latencies: List[float] = []
+    degraded = [0]
+    lock = threading.Lock()
+    inflight = [0]
+
+    def settle(outcome: str, latency: Optional[float] = None, was_degraded=False):
+        with lock:
+            outcomes[outcome] += 1
+            inflight[0] -= 1
+            if latency is not None:
+                latencies.append(latency)
+            if was_degraded:
+                degraded[0] += 1
+
+    sent = 0
+    start = time.monotonic()
+    end = start + duration_s
+    # Open-loop arrivals: the schedule is absolute, so when this thread
+    # falls behind (e.g. starved by a busy kernel holding the GIL) it
+    # catches up with a burst instead of silently lowering the offered
+    # rate — the server being slow must never slow the clients down.
+    next_arrival = start + rng.expovariate(rate_qps)
+    while next_arrival < end:
+        while True:
+            now = time.monotonic()
+            if now >= next_arrival:
+                break
+            time.sleep(min(next_arrival - now, 0.01))
+        next_arrival += rng.expovariate(rate_qps)
+        row = rows[sent % len(rows)]
+        submitted_at = time.monotonic()
+        sent += 1
+        with lock:
+            inflight[0] += 1
+        try:
+            future = server.submit(model, row, timeout_s=timeout_s)
+        except AdmissionError:
+            settle("rejected")
+        except DeadlineError:
+            settle("expired")
+        except Exception:
+            settle("failed")
+        else:
+
+            def on_done(f, submitted_at=submitted_at):
+                try:
+                    result = f.result()
+                except DeadlineError:
+                    settle("expired")
+                except Exception:
+                    settle("failed")
+                else:
+                    settle(
+                        "ok",
+                        latency=time.monotonic() - submitted_at,
+                        was_degraded=result.degraded,
+                    )
+
+            future.add_done_callback(on_done)
+        if on_tick is not None:
+            on_tick(sent)
+    elapsed = time.monotonic() - start
+
+    # Drain: every submitted request must reach a terminal outcome.
+    drain_deadline = time.monotonic() + max(10.0, 4 * (timeout_s or 1.0))
+    while time.monotonic() < drain_deadline:
+        with lock:
+            if inflight[0] == 0:
+                break
+        time.sleep(0.005)
+
+    with lock:
+        terminal = sum(outcomes.values())
+        report = {
+            "rate_qps": rate_qps,
+            "duration_s": elapsed,
+            "sent": sent,
+            "outcomes": {k: outcomes[k] for k in ("ok", "rejected", "expired", "failed")},
+            "lost": sent - terminal,
+            "achieved_qps": outcomes["ok"] / elapsed if elapsed > 0 else 0.0,
+            "degraded": degraded[0],
+            "degraded_fraction": (degraded[0] / outcomes["ok"]) if outcomes["ok"] else 0.0,
+            "latency_ms": {
+                "count": len(latencies),
+                "p50": percentile(latencies, 50) * 1e3,
+                "p99": percentile(latencies, 99) * 1e3,
+            },
+        }
+    return report
+
+
+def naive_baseline(
+    log_likelihood: Callable[[np.ndarray], np.ndarray],
+    rows: np.ndarray,
+    num_requests: int,
+) -> Dict[str, object]:
+    """One-request-per-kernel-call baseline (no batching, no queueing).
+
+    ``log_likelihood`` is called with a single-row [1, features] matrix
+    per request — exactly what a server without a dynamic batcher would
+    do — and per-request latency/QPS are measured over the same traffic
+    volume the batched run sees.
+    """
+    latencies: List[float] = []
+    start = time.monotonic()
+    for index in range(num_requests):
+        row = rows[index % len(rows)].reshape(1, -1)
+        t0 = time.monotonic()
+        log_likelihood(row)
+        latencies.append(time.monotonic() - t0)
+    elapsed = time.monotonic() - start
+    return {
+        "sent": num_requests,
+        "duration_s": elapsed,
+        "achieved_qps": num_requests / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "count": len(latencies),
+            "p50": percentile(latencies, 50) * 1e3,
+            "p99": percentile(latencies, 99) * 1e3,
+        },
+    }

@@ -1,0 +1,263 @@
+"""Versioned registry of compiled models with drain-before-unload.
+
+Each published model becomes a :class:`ModelVersion`: the compiled
+kernel plus its SPN (for the interpreter degradation rung), an
+auto-incrementing version number and the compiled artifact's identity —
+``CompilerOptions.cache_fingerprint()`` — so two versions compiled from
+identical configurations are recognizably the same kernel.
+
+Hot swap is lease-based: execution paths :meth:`~ModelRegistry.acquire`
+the current version (taking a lease) and release it when the batch
+completes. :meth:`~ModelRegistry.swap` atomically redirects new traffic
+to the new version, then the old version is *drained* — swapped out of
+the routing table first, closed only after its lease count reaches
+zero — so in-flight batches finish on the kernel they started on and
+no request is ever dropped by a swap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..api import CPUCompiler, _CompilerBase
+from ..diagnostics import (
+    Diagnostic,
+    DiagnosticLog,
+    ErrorCode,
+    Severity,
+)
+from ..spn import inference
+from .admission import ModelNotFoundError
+
+
+class ModelVersion:
+    """One published (compiled) version of a named model.
+
+    Holds both the compiled executable (the fast path) and the source
+    SPN (the always-correct interpreter rung of the degradation ladder).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        spn,
+        compilation,
+        fingerprint: tuple,
+        use_log_space: bool = True,
+    ):
+        self.name = name
+        self.version = version
+        self.spn = spn
+        self.compilation = compilation
+        #: ``CompilerOptions.cache_fingerprint()`` of the compiled kernel.
+        self.fingerprint = fingerprint
+        self.use_log_space = use_log_space
+        self.created_at = time.time()
+        self._leases = 0
+        self._retired = False
+        self._cond = threading.Condition()
+
+    # -- execution surface -------------------------------------------------------
+
+    @property
+    def executable(self):
+        return self.compilation.executable
+
+    @property
+    def num_features(self) -> int:
+        return self.executable.signature.num_features
+
+    def interpret(self, inputs: np.ndarray) -> np.ndarray:
+        """Reference-interpreter evaluation (the degraded rung).
+
+        SPFlow-equivalent semantics (:mod:`repro.spn.inference`) — slow
+        but always correct, even when the compiled kernel is faulting.
+        """
+        data = np.asarray(inputs, dtype=np.float64)
+        output = inference.log_likelihood(self.spn, data)
+        return output if self.use_log_space else np.exp(output)
+
+    # -- lease lifecycle ---------------------------------------------------------
+
+    @property
+    def leases(self) -> int:
+        with self._cond:
+            return self._leases
+
+    @property
+    def retired(self) -> bool:
+        with self._cond:
+            return self._retired
+
+    def _acquire(self) -> None:
+        with self._cond:
+            self._leases += 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._leases -= 1
+            if self._leases <= 0:
+                self._cond.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no execution holds a lease; True when drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._leases > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            return True
+
+    def close(self) -> None:
+        """Release the compiled kernel's resources (post-drain)."""
+        with self._cond:
+            self._retired = True
+        self.executable.close()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "target": self.executable.target,
+            "fingerprint": repr(self.fingerprint),
+            "leases": self.leases,
+            "retired": self.retired,
+            "created_at": self.created_at,
+        }
+
+
+class ModelRegistry:
+    """Name → current :class:`ModelVersion` routing table with hot swap."""
+
+    def __init__(self, diagnostics: Optional[DiagnosticLog] = None):
+        self._lock = threading.Lock()
+        self._models: Dict[str, ModelVersion] = {}
+        self._next_version: Dict[str, int] = {}
+        self.diagnostics = diagnostics or DiagnosticLog()
+
+    # -- publication -------------------------------------------------------------
+
+    def publish(
+        self,
+        name: str,
+        spn,
+        compiler: Optional[_CompilerBase] = None,
+        **compiler_options,
+    ) -> ModelVersion:
+        """Compile ``spn`` and make it the current version of ``name``.
+
+        ``compiler`` may be a configured :class:`~repro.api.CPUCompiler`
+        / :class:`~repro.api.GPUCompiler`; otherwise one is built from
+        ``compiler_options``. Publishing over an existing name is a hot
+        swap: new traffic routes to the new version immediately, and the
+        previous version is returned *retired but not yet closed* — call
+        :meth:`retire` (or let the server's background retirer do it) to
+        drain and release it.
+        """
+        if compiler is None:
+            compiler = CPUCompiler(**compiler_options)
+        elif compiler_options:
+            raise ValueError("pass either a compiler instance or options, not both")
+        compilation = compiler.compile(spn)
+        # The full kernel identity: CompilerOptions.cache_fingerprint()
+        # plus the query configuration (batch size, marginal support, ...).
+        fingerprint = compiler._fingerprint(compiler._default_query(), compiler.target)
+        with self._lock:
+            version_number = self._next_version.get(name, 1)
+            self._next_version[name] = version_number + 1
+            version = ModelVersion(
+                name=name,
+                version=version_number,
+                spn=spn,
+                compilation=compilation,
+                fingerprint=fingerprint,
+                use_log_space=compiler.use_log_space,
+            )
+            previous = self._models.get(name)
+            self._models[name] = version
+        if previous is not None:
+            self.diagnostics.emit(
+                Diagnostic(
+                    severity=Severity.NOTE,
+                    code=ErrorCode.MODEL_SWAPPED,
+                    message=(
+                        f"model '{name}' swapped "
+                        f"v{previous.version} -> v{version_number}"
+                    ),
+                    detail={"previous_leases": previous.leases},
+                )
+            )
+            version.previous = previous
+        else:
+            version.previous = None
+        return version
+
+    def swap(self, name: str, spn, **kwargs) -> ModelVersion:
+        """Alias of :meth:`publish` that requires the name to exist."""
+        with self._lock:
+            if name not in self._models:
+                raise ModelNotFoundError(f"cannot swap unknown model '{name}'")
+        return self.publish(name, spn, **kwargs)
+
+    @staticmethod
+    def retire(version: ModelVersion, drain_timeout: Optional[float] = None) -> bool:
+        """Drain-before-unload: wait out leases, then close the kernel.
+
+        Returns False when the drain timed out (the version is left
+        open; the caller may retry).
+        """
+        if not version.drain(drain_timeout):
+            return False
+        version.close()
+        return True
+
+    # -- routing -----------------------------------------------------------------
+
+    def acquire(self, name: str) -> ModelVersion:
+        """Lease the current version of ``name`` for one execution.
+
+        Callers must :meth:`ModelVersion.release` when done (the lease
+        is what makes drain-before-unload correct under swap).
+        """
+        with self._lock:
+            version = self._models.get(name)
+            if version is None:
+                raise ModelNotFoundError(f"unknown model '{name}'")
+            version._acquire()
+            return version
+
+    def current(self, name: str) -> ModelVersion:
+        with self._lock:
+            version = self._models.get(name)
+        if version is None:
+            raise ModelNotFoundError(f"unknown model '{name}'")
+        return version
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def unload(self, name: str, drain_timeout: Optional[float] = None) -> bool:
+        """Remove ``name`` from routing, drain it and close its kernel."""
+        with self._lock:
+            version = self._models.pop(name, None)
+        if version is None:
+            raise ModelNotFoundError(f"unknown model '{name}'")
+        return self.retire(version, drain_timeout)
+
+    def close(self, drain_timeout: Optional[float] = None) -> None:
+        """Unload every model (used by server shutdown)."""
+        with self._lock:
+            versions = list(self._models.values())
+            self._models.clear()
+        for version in versions:
+            self.retire(version, drain_timeout)

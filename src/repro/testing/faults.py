@@ -82,10 +82,35 @@ class _GpuOomFault:
 
 
 @dataclass
+class _KernelFault:
+    """Raises at the generated-kernel entry (a simulated runtime crash)."""
+
+    exception: Optional[Callable[[], BaseException]] = None
+    #: Remaining times this fault fires; ``None`` = every call while armed.
+    remaining: Optional[int] = None
+    fired: int = 0
+
+    def trigger(self, entry_name: str) -> None:
+        if self.remaining is not None:
+            if self.remaining <= 0:
+                return
+            self.remaining -= 1
+        self.fired += 1
+        if self.exception is not None:
+            raise self.exception()
+        raise FaultInjectionError(
+            f"injected kernel failure executing '{entry_name}'"
+        )
+
+
+@dataclass
 class _FaultState:
     pass_faults: List[_PassFault] = field(default_factory=list)
     kernel_nan: int = 0
     gpu_oom: Optional[_GpuOomFault] = None
+    kernel_faults: List[_KernelFault] = field(default_factory=list)
+    #: Seconds each kernel/chunk invocation sleeps (simulated slow chunk).
+    chunk_delay_s: float = 0.0
 
 
 _STATE = _FaultState()
@@ -167,6 +192,71 @@ def kernel_nan_active() -> bool:
     return _STATE.kernel_nan > 0
 
 
+# --- kernel raises (runtime crash) -------------------------------------------------
+
+
+@contextmanager
+def inject_kernel_failure(
+    exception: Optional[Callable[[], BaseException]] = None,
+    times: Optional[int] = None,
+):
+    """Arm an exception at the compiled-kernel entry point (CPU and GPU).
+
+    Unlike :func:`inject_pass_failure` (compile-time), this simulates a
+    *runtime* crash of an already-compiled kernel — the signal the
+    serving runtime's circuit breaker and retry policy react to.
+
+    Args:
+        exception: zero-arg callable producing the exception to raise;
+            defaults to :class:`FaultInjectionError`.
+        times: fire at most this many times (``None`` = every execution
+            while armed) — a finite ``times`` models a transient fault
+            that a bounded retry can ride out.
+    """
+    fault = _KernelFault(exception=exception, remaining=times)
+    _STATE.kernel_faults.append(fault)
+    try:
+        yield fault
+    finally:
+        if fault in _STATE.kernel_faults:
+            _STATE.kernel_faults.remove(fault)
+
+
+def maybe_fail_kernel(entry_name: str) -> None:
+    """Hook: raise if a kernel-failure fault is armed."""
+    if not _STATE.kernel_faults:
+        return
+    for fault in list(_STATE.kernel_faults):
+        fault.trigger(entry_name)
+
+
+# --- slow chunks -------------------------------------------------------------------
+
+
+@contextmanager
+def inject_slow_chunks(seconds: float):
+    """Arm a per-chunk execution delay (simulated slow/overloaded kernel).
+
+    Every generated-kernel chunk invocation sleeps ``seconds`` while
+    armed — the fault that exercises deadline propagation and p99-tail
+    behaviour in the serving tests. Nested contexts accumulate.
+    """
+    _STATE.chunk_delay_s += seconds
+    try:
+        yield
+    finally:
+        _STATE.chunk_delay_s -= seconds
+
+
+def maybe_delay_chunk() -> None:
+    """Hook: sleep if a slow-chunk fault is armed (no-op otherwise)."""
+    delay = _STATE.chunk_delay_s
+    if delay > 0.0:
+        import time
+
+        time.sleep(delay)
+
+
 # --- simulated device OOM ----------------------------------------------------------
 
 
@@ -211,4 +301,6 @@ def active_faults() -> Dict[str, object]:
         "pass_faults": [f.name for f in _STATE.pass_faults],
         "kernel_nan": _STATE.kernel_nan > 0,
         "gpu_oom": _STATE.gpu_oom,
+        "kernel_faults": len(_STATE.kernel_faults),
+        "chunk_delay_s": _STATE.chunk_delay_s,
     }

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -288,6 +289,254 @@ def _broken_module_dead_result():
     fb.create(arith.AddFOp, lhs, rhs)  # result never used
     fb.create(func_dialect.ReturnOp, [])
     return module
+
+
+def _demo_spn():
+    """Small Gaussian mixture used when no ``.spnb`` model is given."""
+    from ..spn import Gaussian, Product, Sum
+
+    return Sum(
+        [
+            Product([Gaussian(0, -1.0, 1.0), Gaussian(1, 0.5, 2.0),
+                     Gaussian(2, 0.0, 1.0)]),
+            Product([Gaussian(0, 1.5, 0.5), Gaussian(1, -0.5, 1.5),
+                     Gaussian(2, 2.0, 0.7)]),
+            Product([Gaussian(0, 0.0, 2.0), Gaussian(1, 1.0, 1.0),
+                     Gaussian(2, -2.0, 1.2)]),
+        ],
+        [0.3, 0.45, 0.25],
+    )
+
+
+def _serving_model(args: argparse.Namespace):
+    """Resolve ``(name, spn)`` from an optional ``.spnb`` path."""
+    if getattr(args, "model", None):
+        root, _ = deserialize_from_file(args.model)
+        import os
+
+        return os.path.splitext(os.path.basename(args.model))[0], root
+    return "demo", _demo_spn()
+
+
+def _server_config(args: argparse.Namespace):
+    from ..serving import BreakerConfig, ServerConfig
+
+    return ServerConfig(
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        queue_capacity=args.queue_capacity,
+        default_timeout_s=(
+            None if args.timeout_ms is None else args.timeout_ms / 1e3
+        ),
+        breaker=BreakerConfig(cooldown_s=args.breaker_cooldown),
+        workers_per_model=args.workers,
+    )
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-batch", type=int, default=1024,
+                        help="max rows coalesced per kernel call")
+    parser.add_argument("--max-wait-us", type=int, default=2000,
+                        help="max microseconds a lone request waits for "
+                             "batch company")
+    parser.add_argument("--queue-capacity", type=int, default=1024,
+                        help="bounded admission queue depth (overflow is "
+                             "rejected with a retry-after hint)")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        help="default per-request deadline")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="batch workers per model")
+    parser.add_argument("--breaker-cooldown", type=float, default=0.25,
+                        help="circuit-breaker cooldown before half-open "
+                             "probes (seconds)")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async inference server with the HTTP facade.
+
+    Publishes the model (a ``.spnb`` file, or a built-in demo SPN when
+    omitted) and serves ``POST /v1/models/<name>:predict`` plus
+    ``GET /healthz`` until interrupted.
+    """
+    from ..serving import InferenceServer
+    from ..serving.httpd import serve_http
+
+    name, spn = _serving_model(args)
+    server = InferenceServer(config=_server_config(args))
+    try:
+        version = server.publish(name, spn)
+        httpd = serve_http(server, host=args.host, port=args.port)
+        host, port = httpd.server_address[:2]
+        print(f"serving model '{name}' v{version.version} on "
+              f"http://{host}:{port}")
+        print(f"  predict: POST /v1/models/{name}:predict "
+              f'{{"inputs": [[...]], "timeout_ms": 250}}')
+        print(f"  health:  GET /healthz")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("shutting down (draining in-flight requests)...")
+        httpd.shutdown()
+    finally:
+        server.close(drain=True)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive an in-process server with Poisson traffic and verify the
+    zero-lost-requests invariant.
+
+    With ``--inject``, the named faults are armed for the middle third
+    of the run (kernel failures trip the circuit breaker, which must
+    recover once the faults clear). Exits non-zero when any request is
+    lost, when any request fails terminally, or when the breaker is
+    stuck open after recovery.
+    """
+    import json as json_module
+
+    from ..serving import InferenceServer
+    from ..serving.loadgen import poisson_load
+    from ..spn.sampling import sample as sample_spn
+    from ..testing import faults
+
+    known_faults = {
+        "kernel-fault": lambda: faults.inject_kernel_failure(),
+        "kernel-nan": faults.inject_kernel_nan,
+        "slow-chunk": lambda: faults.inject_slow_chunks(0.001),
+    }
+    injected = []
+    if args.inject:
+        injected = [f.strip() for f in args.inject.split(",") if f.strip()]
+        unknown = sorted(set(injected) - set(known_faults))
+        if unknown:
+            print(f"error: unknown fault(s) {', '.join(unknown)}; "
+                  f"available: {', '.join(sorted(known_faults))}",
+                  file=sys.stderr)
+            return 2
+
+    name, spn = _serving_model(args)
+    rng = np.random.default_rng(args.seed)
+    rows = sample_spn(spn, 256, rng)
+
+    server = InferenceServer(config=_server_config(args))
+    failures = 0
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        nonlocal failures
+        print(f"  {label:46s} {'ok' if ok else 'FAIL'}{detail}")
+        if not ok:
+            failures += 1
+
+    try:
+        server.publish(name, spn)
+        timeout_s = None if args.timeout_ms is None else args.timeout_ms / 1e3
+
+        # Arm faults (and optionally hot-swap) for the middle third of
+        # the run from a side thread; the tail third must recover.
+        import contextlib
+        import threading
+
+        def fault_window():
+            time.sleep(args.duration / 3)
+            with contextlib.ExitStack() as stack:
+                for fault in injected:
+                    stack.enter_context(known_faults[fault]())
+                if args.swap_under_load:
+                    server.swap(name, spn)
+                time.sleep(args.duration / 3)
+
+        chaos = None
+        if injected or args.swap_under_load:
+            chaos = threading.Thread(target=fault_window, daemon=True)
+            chaos.start()
+
+        print(f"loadgen: {args.qps:g} qps for {args.duration:g}s against "
+              f"'{name}' (faults: {', '.join(injected) or 'none'}"
+              f"{', swap-under-load' if args.swap_under_load else ''})")
+        report = poisson_load(
+            server, name, rows,
+            rate_qps=args.qps, duration_s=args.duration,
+            seed=args.seed, timeout_s=timeout_s,
+        )
+        if chaos is not None:
+            chaos.join()
+
+        outcomes = report["outcomes"]
+        check("every request reached a terminal outcome",
+              report["lost"] == 0, f" (lost={report['lost']})")
+        check("no request failed terminally",
+              outcomes["failed"] == 0, f" (failed={outcomes['failed']})")
+
+        # Breaker must not be stuck open once the faults are gone: wait
+        # out the cooldown, send a probe, and require closed.
+        breaker_state = server.health()["models"][name]["breaker"]["state"]
+        if injected and breaker_state != "closed":
+            time.sleep(args.breaker_cooldown + 0.05)
+            with contextlib.suppress(Exception):
+                server.infer(name, rows[0])
+            breaker_state = server.health()["models"][name]["breaker"]["state"]
+        check("circuit breaker recovered (not stuck open)",
+              breaker_state == "closed", f" (state={breaker_state})")
+
+        payload = {
+            "batched": report,
+            "health": server.health(),
+            "config": {
+                "qps": args.qps, "duration_s": args.duration,
+                "max_batch": args.max_batch, "max_wait_us": args.max_wait_us,
+                "queue_capacity": args.queue_capacity,
+                "timeout_ms": args.timeout_ms,
+                "injected_faults": injected,
+                "swap_under_load": bool(args.swap_under_load),
+            },
+        }
+        if args.baseline:
+            # Same open-loop traffic against a no-batching server:
+            # max_batch=1 means one request per kernel call.
+            from ..serving import ServerConfig
+
+            naive_config = ServerConfig(
+                max_batch=1,
+                max_wait_us=0,
+                queue_capacity=args.queue_capacity,
+                default_timeout_s=timeout_s,
+                workers_per_model=args.workers,
+            )
+            with InferenceServer(config=naive_config) as naive_server:
+                naive_server.publish(name, spn)
+                payload["naive"] = poisson_load(
+                    naive_server, name, rows,
+                    rate_qps=args.qps, duration_s=args.duration,
+                    seed=args.seed, timeout_s=timeout_s,
+                )
+            print(f"  naive (max_batch=1): "
+                  f"{payload['naive']['achieved_qps']:.0f} qps, "
+                  f"p99 {payload['naive']['latency_ms']['p99']:.2f} ms "
+                  f"vs batched {report['achieved_qps']:.0f} qps, "
+                  f"p99 {report['latency_ms']['p99']:.2f} ms")
+
+        ok = outcomes["ok"]
+        print(f"  outcomes: ok={ok} rejected={outcomes['rejected']} "
+              f"expired={outcomes['expired']} failed={outcomes['failed']} "
+              f"degraded={report['degraded']}")
+        print(f"  latency: p50 {report['latency_ms']['p50']:.2f} ms, "
+              f"p99 {report['latency_ms']['p99']:.2f} ms "
+              f"({report['achieved_qps']:.0f} qps served)")
+
+        if args.output:
+            with open(args.output, "w") as handle:
+                json_module.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"  wrote report to {args.output}")
+    finally:
+        server.close(drain=True)
+
+    if failures:
+        print(f"loadgen: {failures} check(s) failed", file=sys.stderr)
+        return 1
+    print("loadgen: all checks passed")
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -610,6 +859,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify fallback robustness under an injected pass failure",
     )
     selftest.set_defaults(fn=_cmd_selftest)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async inference server (dynamic batching + HTTP)",
+    )
+    serve.add_argument("model", nargs="?", default=None,
+                       help=".spnb model file (default: built-in demo SPN)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="HTTP port (0 = OS-assigned)")
+    _add_serving_arguments(serve)
+    serve.set_defaults(fn=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="Poisson load generator against an in-process server "
+             "(verifies zero lost requests)",
+    )
+    loadgen.add_argument("model", nargs="?", default=None,
+                         help=".spnb model file (default: built-in demo SPN)")
+    loadgen.add_argument("--qps", type=float, default=500.0,
+                         help="target Poisson arrival rate")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="seconds of generated traffic")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--inject", default=None, metavar="A,B,...",
+                         help="faults armed mid-run: kernel-fault, "
+                              "kernel-nan, slow-chunk")
+    loadgen.add_argument("--swap-under-load", action="store_true",
+                         help="hot-swap the model mid-run (drain-before-"
+                              "unload must drop zero requests)")
+    loadgen.add_argument("--baseline", action="store_true",
+                         help="also measure the naive one-request-per-"
+                              "kernel baseline")
+    loadgen.add_argument("-o", "--output", default=None, metavar="FILE",
+                         help="write the JSON report (e.g. "
+                              "BENCH_serving.json)")
+    _add_serving_arguments(loadgen)
+    loadgen.set_defaults(fn=_cmd_loadgen)
 
     fuzz = sub.add_parser(
         "fuzz",

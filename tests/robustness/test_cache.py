@@ -1,6 +1,7 @@
 """Compiled-kernel cache: weakref identity, fingerprints, eviction."""
 
 import gc
+import time
 
 import numpy as np
 import pytest
@@ -145,3 +146,100 @@ class TestSimulatedSeconds:
         compiler = GPUCompiler(batch_size=32)
         with pytest.raises(RuntimeError):
             compiler.simulated_seconds(make_gaussian_spn())
+
+
+class TestThreadSafety:
+    """Concurrent compilation: lock-protected cache plus single-flight."""
+
+    def test_concurrent_identical_compiles_run_once(self, monkeypatch):
+        import threading
+
+        import repro.api as api
+
+        calls = []
+        real_compile = api.compile_spn
+
+        def counting_compile(spn, query, options):
+            calls.append(threading.get_ident())
+            time.sleep(0.02)  # widen the race window
+            return real_compile(spn, query, options)
+
+        monkeypatch.setattr(api, "compile_spn", counting_compile)
+        compiler = CPUCompiler(batch_size=32)
+        spn = make_gaussian_spn()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(compiler.compile(spn))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Single-flight: one leader compiled, everyone shares the result.
+        assert len(calls) == 1
+        assert len(results) == 8
+        assert all(result is results[0] for result in results)
+
+    def test_failed_leader_propagates_to_followers_and_retries(self, monkeypatch):
+        import threading
+
+        import repro.api as api
+
+        real_compile = api.compile_spn
+        fail_first = [True]
+
+        def flaky_compile(spn, query, options):
+            if fail_first[0]:
+                fail_first[0] = False
+                time.sleep(0.02)
+                raise ValueError("injected compile failure")
+            return real_compile(spn, query, options)
+
+        monkeypatch.setattr(api, "compile_spn", flaky_compile)
+        compiler = CPUCompiler(batch_size=32)
+        spn = make_gaussian_spn()
+        errors, results = [], []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            try:
+                results.append(compiler.compile(spn))
+            except ValueError as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # The leader's failure reached every waiter of that flight...
+        assert errors, "the injected failure must surface"
+        # ...and was not cached: a later compile succeeds.
+        assert compiler.compile(spn) is not None
+
+    def test_concurrent_distinct_spns_all_cached(self):
+        import threading
+
+        compiler = CPUCompiler(batch_size=32)
+        spns = [make_gaussian_spn() for _ in range(6)]
+        barrier = threading.Barrier(6)
+
+        def worker(spn):
+            barrier.wait()
+            compiler.compile(spn)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in spns]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(compiler._cache) == 6
+        # Eviction still works: dropping the SPNs empties the cache.
+        del spns, threads
+        gc.collect()
+        assert len(compiler._cache) == 0

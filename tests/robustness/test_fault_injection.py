@@ -60,6 +60,54 @@ class TestFaultScoping:
         assert state["kernel_nan"] is True
 
 
+class TestKernelFaults:
+    """The serving-era injectors: kernel failures and slow chunks."""
+
+    def test_kernel_failure_fires_at_kernel_entry(self):
+        with faults.inject_kernel_failure():
+            with pytest.raises(FaultInjectionError):
+                faults.maybe_fail_kernel("spn_kernel")
+        faults.maybe_fail_kernel("spn_kernel")  # disarmed
+
+    def test_kernel_failure_times_budget(self):
+        with faults.inject_kernel_failure(times=2) as fault:
+            for _ in range(2):
+                with pytest.raises(FaultInjectionError):
+                    faults.maybe_fail_kernel("k")
+            faults.maybe_fail_kernel("k")  # budget spent
+        assert fault.fired == 2
+
+    def test_kernel_failure_custom_exception(self):
+        with faults.inject_kernel_failure(exception=lambda: OSError("io")):
+            with pytest.raises(OSError):
+                faults.maybe_fail_kernel("k")
+
+    def test_kernel_failure_reaches_compiled_execution(self, rng):
+        from repro import CPUCompiler
+        from repro.diagnostics import ExecutionError
+
+        compiler = CPUCompiler(batch_size=16)
+        executable = compiler.compile(make_gaussian_spn()).executable
+        inputs = rng.normal(size=(8, 2))
+        with faults.inject_kernel_failure():
+            with pytest.raises(Exception):
+                executable.execute(inputs)
+        # Disarmed: the same executable works again.
+        assert np.isfinite(executable.execute(inputs)).all()
+
+    def test_slow_chunks_delay_accumulates_and_scopes(self):
+        import time
+
+        with faults.inject_slow_chunks(0.03):
+            start = time.monotonic()
+            faults.maybe_delay_chunk()
+            assert time.monotonic() - start >= 0.025
+            assert faults.active_faults()["chunk_delay_s"] >= 0.03
+        start = time.monotonic()
+        faults.maybe_delay_chunk()  # disarmed: no sleep
+        assert time.monotonic() - start < 0.02
+
+
 class TestGpuOomRetry:
     def _compile(self, **kw):
         compiler = GPUCompiler(batch_size=64, **kw)

@@ -1,0 +1,1 @@
+"""Serving-runtime test suite."""

@@ -1,0 +1,200 @@
+"""Unit tests: bounded queue, circuit breaker, stats accounting."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import BreakerConfig, CircuitBreaker, RequestQueue
+from repro.serving.health import ServerStats, percentile
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue(capacity=4)
+        for item in "abc":
+            assert queue.offer(item)
+        assert [queue.take_nowait() for _ in range(3)] == list("abc")
+
+    def test_offer_rejects_when_full(self):
+        queue = RequestQueue(capacity=2)
+        assert queue.offer(1)
+        assert queue.offer(2)
+        assert not queue.offer(3)  # backpressure, not blocking
+        assert queue.depth == 2
+
+    def test_take_blocks_until_offer(self):
+        queue = RequestQueue(capacity=1)
+        got = []
+
+        def taker():
+            got.append(queue.take(timeout=2.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        time.sleep(0.02)
+        queue.offer("x")
+        thread.join()
+        assert got == ["x"]
+
+    def test_take_timeout_returns_none(self):
+        queue = RequestQueue(capacity=1)
+        start = time.monotonic()
+        assert queue.take(timeout=0.02) is None
+        assert time.monotonic() - start < 1.0
+
+    def test_close_flush_returns_pending(self):
+        queue = RequestQueue(capacity=4)
+        queue.offer(1)
+        queue.offer(2)
+        assert queue.close(flush=True) == [1, 2]
+        with pytest.raises(RuntimeError):
+            queue.offer(3)
+        assert queue.take() is None
+
+    def test_close_without_flush_leaves_items_for_takers(self):
+        queue = RequestQueue(capacity=4)
+        queue.offer(1)
+        assert queue.close(flush=False) == []
+        assert queue.take() == 1
+        assert queue.take() is None  # closed and empty
+
+    def test_close_wakes_blocked_taker(self):
+        queue = RequestQueue(capacity=1)
+        got = ["sentinel"]
+
+        def taker():
+            got[0] = queue.take()
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        time.sleep(0.02)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert got[0] is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RequestQueue(capacity=0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, cooldown=0.05):
+        return CircuitBreaker(
+            BreakerConfig(
+                failure_threshold=threshold,
+                cooldown_s=cooldown,
+                half_open_probes=1,
+            )
+        )
+
+    def test_starts_closed_and_allows(self):
+        breaker = self._breaker()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow_request()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = self._breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow_request()
+        assert breaker.trip_count == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_cooldown_probe_success_closes(self):
+        breaker = self._breaker(threshold=1, cooldown=0.02)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        time.sleep(0.03)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow_request()  # the probe
+        assert not breaker.allow_request()  # only one probe admitted
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow_request()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = self._breaker(threshold=1, cooldown=0.02)
+        breaker.record_failure()
+        time.sleep(0.03)
+        assert breaker.allow_request()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trip_count == 2
+
+    def test_force_open(self):
+        breaker = self._breaker()
+        breaker.force_open()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow_request()
+
+    def test_describe(self):
+        breaker = self._breaker(threshold=1)
+        breaker.record_failure()
+        info = breaker.describe()
+        assert info["state"] == CircuitBreaker.OPEN
+        assert info["trip_count"] == 1
+
+
+class TestServerStats:
+    def test_exactly_one_outcome_identity(self):
+        stats = ServerStats()
+        for _ in range(5):
+            stats.record_arrival(accepted=True)
+        stats.record_arrival(accepted=False)  # rejection is terminal at arrival
+        assert stats.in_flight == 5
+        for outcome in ("ok", "ok", "expired", "failed", "ok"):
+            stats.record_outcome(outcome, latency_s=0.01)
+        assert stats.in_flight == 0
+        assert stats.lost() == 0
+        snap = stats.snapshot()
+        assert snap["outcomes"] == {
+            "ok": 3, "rejected": 1, "expired": 1, "failed": 1,
+        }
+        assert snap["lost"] == 0
+
+    def test_unknown_outcome_rejected(self):
+        stats = ServerStats()
+        with pytest.raises(ValueError):
+            stats.record_outcome("vanished")
+
+    def test_degraded_fraction(self):
+        stats = ServerStats()
+        for degraded in (True, False, True, True):
+            stats.record_arrival(accepted=True)
+            stats.record_outcome("ok", latency_s=0.01, degraded=degraded)
+        assert stats.degraded_fraction() == pytest.approx(0.75)
+
+    def test_batch_histogram_and_mean(self):
+        stats = ServerStats()
+        for size in (1, 4, 4, 8):
+            stats.record_batch(size)
+        snap = stats.snapshot()
+        assert snap["batch_size_histogram"] == {1: 1, 4: 2, 8: 1}
+        assert snap["mean_batch_size"] == pytest.approx((1 + 4 + 4 + 8) / 4)
+
+    def test_latency_quantiles(self):
+        stats = ServerStats()
+        for ms in range(1, 101):
+            stats.record_arrival(accepted=True)
+            stats.record_outcome("ok", latency_s=ms / 1e3)
+        snap = stats.snapshot()["latency_ms"]
+        assert snap["count"] == 100
+        assert 45 <= snap["p50"] <= 55
+        assert 95 <= snap["p99"] <= 100
+        assert snap["max"] == pytest.approx(100.0)
+
+    def test_percentile_edge_cases(self):
+        assert percentile([], 99) == 0.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([1.0, 2.0, 3.0], 0) == 1.0
+        assert percentile([1.0, 2.0, 3.0], 100) == 3.0

@@ -1,0 +1,132 @@
+"""Dynamic batcher: coalescing policy, expiry separation, split/concat."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchPolicy, DynamicBatcher, Request, RequestQueue
+
+
+def _request(rows=1, features=2, deadline=None, fill=0.0):
+    return Request(
+        model="m",
+        rows=np.full((rows, features), fill, dtype=np.float64),
+        deadline=deadline,
+    )
+
+
+class TestBatchPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_us=-1)
+
+    def test_max_wait_conversion(self):
+        assert BatchPolicy(max_wait_us=2500).max_wait_s == pytest.approx(0.0025)
+
+
+class TestCoalescing:
+    def test_coalesces_queued_requests_into_one_batch(self):
+        queue = RequestQueue(capacity=16)
+        requests = [_request() for _ in range(5)]
+        for request in requests:
+            queue.offer(request)
+        batcher = DynamicBatcher(BatchPolicy(max_batch=64, max_wait_us=10_000))
+        batch, expired = batcher.next_batch(queue)
+        assert batch == requests
+        assert expired == []
+
+    def test_max_batch_caps_rows_not_requests(self):
+        queue = RequestQueue(capacity=16)
+        for _ in range(4):
+            queue.offer(_request(rows=3))
+        batcher = DynamicBatcher(BatchPolicy(max_batch=6, max_wait_us=10_000))
+        batch, _ = batcher.next_batch(queue)
+        # 3 + 3 rows reach the cap; the other two requests stay queued.
+        assert len(batch) == 2
+        assert queue.depth == 2
+
+    def test_lone_request_waits_at_most_max_wait(self):
+        queue = RequestQueue(capacity=4)
+        queue.offer(_request())
+        batcher = DynamicBatcher(BatchPolicy(max_batch=64, max_wait_us=20_000))
+        start = time.monotonic()
+        batch, _ = batcher.next_batch(queue)
+        waited = time.monotonic() - start
+        assert len(batch) == 1
+        assert waited < 1.0  # bounded, not blocking forever
+
+    def test_late_arrival_joins_within_window(self):
+        queue = RequestQueue(capacity=4)
+        queue.offer(_request())
+        late = _request()
+
+        def arrive_late():
+            time.sleep(0.01)
+            queue.offer(late)
+
+        thread = threading.Thread(target=arrive_late)
+        thread.start()
+        batcher = DynamicBatcher(BatchPolicy(max_batch=64, max_wait_us=500_000))
+        batch, _ = batcher.next_batch(queue)
+        thread.join()
+        assert len(batch) == 2 and batch[1] is late
+
+    def test_closed_empty_queue_returns_none(self):
+        queue = RequestQueue(capacity=4)
+        queue.close()
+        batcher = DynamicBatcher()
+        batch, expired = batcher.next_batch(queue)
+        assert batch is None and expired == []
+
+    def test_drained_expiries_returned_without_blocking_for_live_traffic(self):
+        # Regression: a queue holding only expired requests must yield
+        # them immediately — not block until unrelated live traffic
+        # arrives to complete a batch.
+        queue = RequestQueue(capacity=4)
+        dead = _request(deadline=time.monotonic() - 0.01)
+        queue.offer(dead)
+        batcher = DynamicBatcher(BatchPolicy(max_batch=64, max_wait_us=500_000))
+        start = time.monotonic()
+        batch, expired = batcher.next_batch(queue)
+        assert time.monotonic() - start < 0.4
+        assert batch is None and expired == [dead]
+        assert not queue.closed
+
+    def test_expired_requests_separated_not_batched(self):
+        queue = RequestQueue(capacity=8)
+        dead = _request(deadline=time.monotonic() - 0.01)
+        live = _request()
+        queue.offer(dead)
+        queue.offer(live)
+        batcher = DynamicBatcher(BatchPolicy(max_batch=64, max_wait_us=1000))
+        batch, expired = batcher.next_batch(queue)
+        assert batch == [live]
+        assert expired == [dead]
+
+
+class TestConcatSplit:
+    def test_roundtrip_single_head(self):
+        batch = [_request(rows=2, fill=1.0), _request(rows=3, fill=2.0)]
+        stacked = DynamicBatcher.concat(batch)
+        assert stacked.shape == (5, 2)
+        outputs = np.arange(5, dtype=np.float64)
+        pieces = DynamicBatcher.split(batch, outputs)
+        np.testing.assert_array_equal(pieces[0], [0.0, 1.0])
+        np.testing.assert_array_equal(pieces[1], [2.0, 3.0, 4.0])
+
+    def test_split_multi_head_outputs(self):
+        # Rows are the last axis; leading axes (e.g. heads) pass through.
+        batch = [_request(rows=1), _request(rows=2)]
+        outputs = np.arange(6, dtype=np.float64).reshape(2, 3)
+        pieces = DynamicBatcher.split(batch, outputs)
+        assert pieces[0].shape == (2, 1)
+        assert pieces[1].shape == (2, 2)
+        np.testing.assert_array_equal(pieces[1], [[1.0, 2.0], [4.0, 5.0]])
+
+    def test_single_request_concat_avoids_copy(self):
+        request = _request(rows=4)
+        assert DynamicBatcher.concat([request]) is request.rows

@@ -1,0 +1,106 @@
+"""HTTP facade: JSON endpoints and admission error mapping."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import InferenceServer, ServerConfig
+from repro.serving.httpd import serve_http
+from repro.spn import log_likelihood
+
+from ..conftest import make_gaussian_spn
+
+
+@pytest.fixture
+def endpoint():
+    server = InferenceServer(
+        config=ServerConfig(max_batch=32, max_wait_us=500, queue_capacity=32)
+    )
+    server.publish("m", make_gaussian_spn(), batch_size=16)
+    httpd = serve_http(server, port=0)
+    host, port = httpd.server_address[:2]
+    yield f"http://{host}:{port}", server
+    httpd.shutdown()
+    server.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, endpoint):
+        base, _ = endpoint
+        status, health = _get(f"{base}/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert "m" in health["models"]
+        assert health["batch_policy"]["max_batch"] == 32
+
+    def test_models_listing(self, endpoint):
+        base, _ = endpoint
+        status, models = _get(f"{base}/models")
+        assert status == 200
+        assert models["m"]["version"] == 1
+
+    def test_predict_roundtrip(self, endpoint, rng):
+        base, _ = endpoint
+        inputs = rng.normal(size=(3, 2))
+        status, body = _post(
+            f"{base}/v1/models/m:predict",
+            {"inputs": inputs.tolist(), "timeout_ms": 5000},
+        )
+        assert status == 200
+        assert body["degraded"] is False
+        assert body["model_version"] == 1
+        reference = log_likelihood(make_gaussian_spn(), inputs)
+        np.testing.assert_allclose(body["outputs"], reference, atol=1e-5, rtol=1e-5)
+
+    def test_unknown_model_404(self, endpoint, rng):
+        base, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{base}/v1/models/ghost:predict", {"inputs": [[0.0, 0.0]]})
+        assert excinfo.value.code == 404
+
+    def test_malformed_body_400(self, endpoint):
+        base, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{base}/v1/models/m:predict", {"wrong_key": 1})
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_404(self, endpoint):
+        base, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}/nope")
+        assert excinfo.value.code == 404
+
+    def test_infeasible_deadline_504(self, endpoint):
+        base, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                f"{base}/v1/models/m:predict",
+                {"inputs": [[0.0, 0.0]], "timeout_ms": 0},
+            )
+        assert excinfo.value.code == 504
+
+    def test_health_reports_closed_as_503(self, endpoint):
+        base, server = endpoint
+        server.close()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}/healthz")
+        assert excinfo.value.code == 503

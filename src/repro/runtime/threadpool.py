@@ -111,12 +111,29 @@ def _deadline_error(start: int, end: int, deadline: float) -> DeadlineError:
     )
 
 
+@dataclass
+class _RunState:
+    """Per-run mutable state (diagnostics sink + counters).
+
+    Kept local to each :meth:`ChunkedExecutor.run` call so concurrent
+    runs on a shared executor (e.g. multiple batcher workers over one
+    executable) cannot cross-wire retry diagnostics or corrupt each
+    other's counters.
+    """
+
+    diagnostics: Optional[DiagnosticLog] = None
+    retries: int = 0
+    cancelled: int = 0
+
+
 class ChunkedExecutor:
     """Runs a per-chunk callable over the batch, optionally in parallel.
 
-    Attributes (reset per :meth:`run`, for observability and tests):
-        last_run_retries: number of retry attempts performed.
-        last_run_cancelled: number of chunks cancelled before starting
+    Attributes (for observability and tests):
+        last_run_retries: retry attempts of the most recently *finished*
+            run. Concurrent runs each count their own retries and write
+            a final snapshot here on completion.
+        last_run_cancelled: same, for chunks cancelled before starting
             after another chunk failed (they are then re-run inline).
     """
 
@@ -159,17 +176,37 @@ class ChunkedExecutor:
             if max_retries < 0:
                 raise ValueError("max_retries must be >= 0")
             retry_policy = RetryPolicy(max_retries=max_retries)
-        self.last_run_retries = 0
-        self.last_run_cancelled = 0
-        self._diagnostics = diagnostics
+        state = _RunState(diagnostics=diagnostics)
+        try:
+            self._run(total, chunk_size, fn, retry_policy, deadline, state)
+        finally:
+            self.last_run_retries = state.retries
+            self.last_run_cancelled = state.cancelled
+
+    def _run(
+        self,
+        total: int,
+        chunk_size: int,
+        fn: Callable[[int, int], None],
+        retry_policy: RetryPolicy,
+        deadline: Optional[float],
+        state: _RunState,
+    ) -> None:
         ranges = chunk_ranges(total, chunk_size)
         if self._pool is None or len(ranges) == 1:
             for start, end in ranges:
                 self._check_deadline(deadline, start, end)
-                self._run_with_retry(fn, start, end, retry_policy, deadline)
+                self._run_with_retry(fn, start, end, retry_policy, deadline, state)
             return
 
-        futures = [(self._pool.submit(fn, s, e), (s, e)) for s, e in ranges]
+        def guarded(start: int, end: int) -> None:
+            # Deadline holds on the pool path too: a chunk that reaches
+            # a worker past the deadline must not start. The resulting
+            # DeadlineError fails fast below and is never retried.
+            self._check_deadline(deadline, start, end)
+            fn(start, end)
+
+        futures = [(self._pool.submit(guarded, s, e), (s, e)) for s, e in ranges]
         failed: List[Tuple[Tuple[int, int], BaseException]] = []
         cancelled_ids: set = set()
         for index, (future, chunk) in enumerate(futures):
@@ -188,13 +225,13 @@ class ChunkedExecutor:
                     if later not in cancelled_ids and futures[later][0].cancel():
                         cancelled_ids.add(later)
         cancelled = [futures[i][1] for i in sorted(cancelled_ids)]
-        self.last_run_cancelled = len(cancelled)
+        state.cancelled = len(cancelled)
 
         for (start, end), error in failed:
-            self._retry_failed(fn, start, end, retry_policy, deadline, error)
+            self._retry_failed(fn, start, end, retry_policy, deadline, error, state)
         for start, end in cancelled:
             self._check_deadline(deadline, start, end)
-            self._run_with_retry(fn, start, end, retry_policy, deadline)
+            self._run_with_retry(fn, start, end, retry_policy, deadline, state)
 
     @staticmethod
     def _check_deadline(deadline: Optional[float], start: int, end: int) -> None:
@@ -208,11 +245,12 @@ class ChunkedExecutor:
         end: int,
         policy: RetryPolicy,
         deadline: Optional[float],
+        state: _RunState,
     ) -> None:
         try:
             fn(start, end)
         except Exception as error:
-            self._retry_failed(fn, start, end, policy, deadline, error)
+            self._retry_failed(fn, start, end, policy, deadline, error, state)
 
     def _retry_failed(
         self,
@@ -222,7 +260,12 @@ class ChunkedExecutor:
         policy: RetryPolicy,
         deadline: Optional[float],
         error: BaseException,
+        state: _RunState,
     ) -> None:
+        if isinstance(error, DeadlineError):
+            # Deadline expiry is terminal, never transient: re-running
+            # the chunk cannot un-expire the budget.
+            raise error
         attempt = 0
         while True:
             if attempt >= policy.max_retries:
@@ -235,8 +278,8 @@ class ChunkedExecutor:
             if delay > 0.0:
                 time.sleep(delay)
             attempt += 1
-            self.last_run_retries += 1
-            self._emit_retry(start, end, attempt, delay, error)
+            state.retries += 1
+            self._emit_retry(state.diagnostics, start, end, attempt, delay, error)
             try:
                 fn(start, end)
                 return
@@ -244,9 +287,14 @@ class ChunkedExecutor:
                 error = new_error
 
     def _emit_retry(
-        self, start: int, end: int, attempt: int, delay: float, error: BaseException
+        self,
+        log: Optional[DiagnosticLog],
+        start: int,
+        end: int,
+        attempt: int,
+        delay: float,
+        error: BaseException,
     ) -> None:
-        log = getattr(self, "_diagnostics", None)
         if log is None:
             return
         log.emit(

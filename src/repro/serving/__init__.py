@@ -40,6 +40,7 @@ from .admission import (
     BreakerConfig,
     CircuitBreaker,
     ModelNotFoundError,
+    QueueClosedError,
     RequestQueue,
 )
 from .batcher import BatchPolicy, DynamicBatcher, Request, ServingResult
@@ -57,6 +58,7 @@ __all__ = [
     "ModelNotFoundError",
     "ModelRegistry",
     "ModelVersion",
+    "QueueClosedError",
     "Request",
     "RequestQueue",
     "ServerConfig",

@@ -37,6 +37,11 @@ class ModelNotFoundError(CompilerError, KeyError):
     default_code = ErrorCode.MODEL_NOT_FOUND
 
 
+class QueueClosedError(RuntimeError):
+    """``offer`` raced ``close``: the queue shut down between admission
+    checks. Callers translate this into a structured rejection."""
+
+
 class RequestQueue:
     """Bounded FIFO of pending requests with blocking take.
 
@@ -64,10 +69,11 @@ class RequestQueue:
             return self._closed
 
     def offer(self, item) -> bool:
-        """Enqueue; False when full (backpressure), raises when closed."""
+        """Enqueue; False when full (backpressure), raises
+        :class:`QueueClosedError` when closed."""
         with self._cond:
             if self._closed:
-                raise RuntimeError("queue is closed")
+                raise QueueClosedError("queue is closed")
             if len(self._items) >= self.capacity:
                 return False
             self._items.append(item)

@@ -57,6 +57,10 @@ class Request:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     #: True when the caller submitted a single row (result is squeezed).
     single_row: bool = False
+    #: Set by the server the moment a terminal outcome is recorded, so
+    #: error paths that overlap (worker guard after a partial batch)
+    #: cannot double-count a request. Only the owning worker writes it.
+    finished: bool = False
 
     @property
     def num_rows(self) -> int:

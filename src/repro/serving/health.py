@@ -1,11 +1,13 @@
 """Serving observability: counters, batch histogram, latency quantiles.
 
 Every request gets *exactly one* terminal outcome — ``ok``,
-``rejected`` (admission backpressure), ``expired`` (deadline) or
-``failed`` (both rungs of the degradation ladder errored). The stats
-surface makes that auditable: :meth:`ServerStats.lost` computes the
-accounting identity ``arrived - terminal - in_flight``, which the
-fault-injection load tests (and the CI smoke job) assert to be zero.
+``rejected`` (admission backpressure), ``expired`` (deadline),
+``failed`` (both rungs of the degradation ladder errored) or
+``cancelled`` (the client cancelled the pending Future, e.g. after a
+``result(timeout=...)`` timeout). The stats surface makes that
+auditable: :meth:`ServerStats.lost` computes the accounting identity
+``arrived - terminal - in_flight``, which the fault-injection load
+tests (and the CI smoke job) assert to be zero.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from collections import Counter, deque
 from typing import Deque, Dict, List, Optional
 
 #: Terminal outcome labels (exactly one per request).
-OUTCOMES = ("ok", "rejected", "expired", "failed")
+OUTCOMES = ("ok", "rejected", "expired", "failed", "cancelled")
 
 
 def percentile(values: List[float], q: float) -> float:

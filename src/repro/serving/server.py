@@ -8,7 +8,8 @@ Request lifecycle (every request gets exactly one terminal outcome)::
        ├─ unknown model ─▶ ModelNotFoundError            │   backoff retry → breaker
        └─ dead deadline ─▶ expired                       │   → interpreter (degraded)
                               │                          └─ deadline → expired
-                              └─ expired while queued ─▶ expired
+                              ├─ expired while queued ─▶ expired
+                              └─ client cancelled ─────▶ cancelled (skipped)
 
 Robustness decisions:
 
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import InvalidStateError
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -50,7 +52,13 @@ from ..diagnostics import (
     diagnostic_from_exception,
 )
 from ..runtime.threadpool import RetryPolicy
-from .admission import BreakerConfig, CircuitBreaker, ModelNotFoundError, RequestQueue
+from .admission import (
+    BreakerConfig,
+    CircuitBreaker,
+    ModelNotFoundError,
+    QueueClosedError,
+    RequestQueue,
+)
 from .batcher import BatchPolicy, DynamicBatcher, Request, ServingResult
 from .health import ServerStats
 from .registry import ModelRegistry, ModelVersion
@@ -191,7 +199,11 @@ class InferenceServer:
         thread = threading.Thread(
             target=retire, name=f"retire-{version.name}-v{version.version}", daemon=True
         )
-        self._retirers.append(thread)
+        with self._lock:
+            # Prune finished retirers so frequent swaps on a long-lived
+            # server do not accumulate dead Thread objects.
+            self._retirers = [t for t in self._retirers if t.is_alive()]
+            self._retirers.append(thread)
         thread.start()
 
     # -- request entry points ----------------------------------------------------
@@ -241,7 +253,18 @@ class InferenceServer:
             self._finish_error(state, request, error, outcome="expired")
             raise error
 
-        if not state.queue.offer(request):
+        try:
+            accepted = state.queue.offer(request)
+        except QueueClosedError:
+            # close()/unload() won the race after our closed check above:
+            # reject with the same structured shutdown semantics the
+            # synchronous path documents (HTTP 503, not a bare 500).
+            self._record_arrival(state, accepted=False)
+            raise AdmissionError(
+                f"model '{name}' is shutting down",
+                retry_after_s=self.config.drain_timeout_s,
+            ) from None
+        if not accepted:
             self._record_arrival(state, accepted=False)
             retry_after = self._retry_after_hint(state)
             raise AdmissionError(
@@ -287,21 +310,48 @@ class InferenceServer:
         degraded: bool,
         version: int,
     ) -> None:
+        if request.finished:
+            return
+        request.finished = True
         latency = time.monotonic() - request.submitted_at
         result = ServingResult(
             values=values, degraded=degraded, model_version=version, latency_s=latency
         )
+        try:
+            request.future.set_result(result)
+        except InvalidStateError:
+            # The client cancelled the pending Future (its terminal
+            # outcome); account for it so no request goes missing.
+            state.stats.record_outcome("cancelled", latency_s=latency)
+            self.stats.record_outcome("cancelled", latency_s=latency)
+            return
         state.stats.record_outcome("ok", latency_s=latency, degraded=degraded)
         self.stats.record_outcome("ok", latency_s=latency, degraded=degraded)
-        request.future.set_result(result)
 
     def _finish_error(
         self, state: _ModelState, request: Request, error: Exception, outcome: str
     ) -> None:
+        if request.finished:
+            return
+        request.finished = True
         latency = time.monotonic() - request.submitted_at
+        try:
+            request.future.set_exception(error)
+        except InvalidStateError:
+            outcome = "cancelled"
         state.stats.record_outcome(outcome, latency_s=latency)
         self.stats.record_outcome(outcome, latency_s=latency)
-        request.future.set_exception(error)
+
+    def _finish_cancelled(self, state: _ModelState, request: Request) -> None:
+        """Terminal outcome for a request whose Future the client
+        cancelled while it was queued (the cancellation already
+        delivered ``CancelledError`` to the caller)."""
+        if request.finished:
+            return
+        request.finished = True
+        latency = time.monotonic() - request.submitted_at
+        state.stats.record_outcome("cancelled", latency_s=latency)
+        self.stats.record_outcome("cancelled", latency_s=latency)
 
     @staticmethod
     def _deadline_error(request: Request, where: str) -> DeadlineError:
@@ -339,9 +389,44 @@ class InferenceServer:
                 if state.queue.closed:
                     return
                 continue
-            self._process_batch(state, batch)
+            # Transition each Future to RUNNING so a late client
+            # cancel() can no longer race our set_result/set_exception;
+            # requests already cancelled while queued are dropped here
+            # with a 'cancelled' outcome instead of burning kernel time.
+            live = []
+            for request in batch:
+                if request.future.set_running_or_notify_cancel():
+                    live.append(request)
+                else:
+                    self._finish_cancelled(state, request)
+            # A hot swap can change num_features while old-width
+            # requests sit queued; uniform-width groups keep concat
+            # well-defined and fail mismatches cleanly per group.
+            for group in self._partition_by_width(live):
+                try:
+                    self._process_batch(state, group)
+                except Exception as error:
+                    # The worker must survive any batch: fail the
+                    # group's requests and keep serving. A dead worker
+                    # would strand every future behind it.
+                    self.diagnostics.emit(
+                        diagnostic_from_exception(
+                            error, code=ErrorCode.EXECUTION_FAILED
+                        )
+                    )
+                    for request in group:
+                        self._finish_error(state, request, error, outcome="failed")
+
+    @staticmethod
+    def _partition_by_width(batch: List[Request]) -> List[List[Request]]:
+        groups: Dict[int, List[Request]] = {}
+        for request in batch:
+            groups.setdefault(request.rows.shape[1], []).append(request)
+        return list(groups.values())
 
     def _process_batch(self, state: _ModelState, batch: List[Request]) -> None:
+        if not batch:
+            return
         inputs = DynamicBatcher.concat(batch)
         deadlines = [r.deadline for r in batch if r.deadline is not None]
         deadline = min(deadlines) if deadlines else None
@@ -353,6 +438,18 @@ class InferenceServer:
             try:
                 version = self.registry.acquire(state.name)
             except ModelNotFoundError as error:
+                for request in batch:
+                    self._finish_error(state, request, error, outcome="failed")
+                return
+            if inputs.shape[1] != version.num_features:
+                # Stranded by a swap that changed the schema: reject
+                # cleanly without charging the kernel or the breaker.
+                version.release()
+                error = ExecutionError(
+                    f"request feature width {inputs.shape[1]} does not match "
+                    f"model '{state.name}' v{version.version} "
+                    f"({version.num_features} features)"
+                )
                 for request in batch:
                     self._finish_error(state, request, error, outcome="failed")
                 return
@@ -562,7 +659,10 @@ class InferenceServer:
                     )
             else:
                 self._stop_state(state, reason="server is shutting down")
-        for thread in self._retirers:
+        with self._lock:
+            retirers = list(self._retirers)
+            self._retirers.clear()
+        for thread in retirers:
             thread.join(timeout=self.config.drain_timeout_s)
         self.registry.close(drain_timeout=self.config.drain_timeout_s)
 

@@ -136,6 +136,47 @@ class TestChunkedExecutorDeadline:
         with ChunkedExecutor(2) as ex:
             ex.run(16, 4, lambda s, e: None, deadline=time.monotonic() + 30.0)
 
+    def test_deadline_enforced_on_parallel_path_without_faults(self):
+        # Regression: the pool path used to submit every chunk upfront
+        # and only detect expiry post-hoc, so a slow but fault-free
+        # batch ran arbitrarily past its deadline. Chunks that start
+        # past the deadline must fail bounded instead.
+        ran = []
+        lock = threading.Lock()
+
+        def slow(start, end):
+            with lock:
+                ran.append((start, end))
+            time.sleep(0.05)
+
+        with ChunkedExecutor(2) as ex:
+            before = time.monotonic()
+            with pytest.raises(DeadlineError):
+                ex.run(40, 4, slow, deadline=time.monotonic() + 0.06)
+            elapsed = time.monotonic() - before
+        # Ten 0.05s chunks on two workers take ~0.25s unchecked; the
+        # deadline cut that short and most chunks never started.
+        assert elapsed < 0.25
+        assert len(ran) < 10
+
+    def test_deadline_expiry_is_not_retried(self):
+        # A DeadlineError must consume no retry budget: re-running the
+        # chunk cannot un-expire the deadline.
+        ran = []
+
+        def slow(start, end):
+            ran.append((start, end))
+            time.sleep(0.05)
+
+        policy = RetryPolicy(max_retries=3, backoff_base=0.0, jitter=0.0)
+        with ChunkedExecutor(2) as ex:
+            with pytest.raises(DeadlineError):
+                ex.run(
+                    40, 4, slow, retry_policy=policy,
+                    deadline=time.monotonic() + 0.06,
+                )
+            assert ex.last_run_retries == 0
+
 
 class TestRetryPolicy:
     def test_delay_grows_and_caps(self):

@@ -158,7 +158,7 @@ class TestServerStats:
         assert stats.lost() == 0
         snap = stats.snapshot()
         assert snap["outcomes"] == {
-            "ok": 3, "rejected": 1, "expired": 1, "failed": 1,
+            "ok": 3, "rejected": 1, "expired": 1, "failed": 1, "cancelled": 0,
         }
         assert snap["lost"] == 0
 

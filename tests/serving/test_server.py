@@ -13,7 +13,7 @@ from concurrent.futures import wait
 import numpy as np
 import pytest
 
-from repro.diagnostics import AdmissionError, DeadlineError
+from repro.diagnostics import AdmissionError, DeadlineError, ExecutionError
 from repro.runtime.threadpool import RetryPolicy
 from repro.serving import (
     BreakerConfig,
@@ -23,7 +23,7 @@ from repro.serving import (
     ServerConfig,
 )
 from repro.serving.loadgen import poisson_load
-from repro.spn import log_likelihood
+from repro.spn import Gaussian, Product, log_likelihood
 from repro.testing import faults
 
 from ..conftest import make_gaussian_spn
@@ -250,6 +250,69 @@ class TestHotSwap:
         server.unload("m")
         with pytest.raises(ModelNotFoundError):
             server.submit("m", rng.normal(size=2))
+
+
+class TestWorkerResilience:
+    """Regressions: the batcher worker must survive cancellation races
+    and schema-mixed queues — a dead worker strands every future
+    behind it and silently breaks the one-terminal-outcome invariant."""
+
+    def test_client_cancelled_request_skipped_and_accounted(self, rng):
+        config = _config(max_wait_us=0, retry=RetryPolicy())
+        with InferenceServer(config=config) as server:
+            server.publish("m", make_gaussian_spn(), batch_size=16)
+            with faults.inject_slow_chunks(0.1):
+                blocker = server.submit("m", rng.normal(size=2))
+                time.sleep(0.02)  # let the worker enter the slow batch
+                doomed = server.submit("m", rng.normal(size=2))
+                assert doomed.cancel()  # client walked away while queued
+            blocker.result(timeout=10.0)
+            # The worker survived the cancelled future and still serves.
+            value = server.infer("m", rng.normal(size=2), timeout_s=5.0)
+            assert np.isfinite(value)
+            stats = server.health()["models"]["m"]
+            assert stats["outcomes"]["cancelled"] == 1
+            assert stats["lost"] == 0
+
+    def test_swap_changing_width_fails_stranded_requests_cleanly(self, rng):
+        # A hot swap that changes num_features while old-width requests
+        # sit queued used to make DynamicBatcher.concat raise inside
+        # the worker loop, killing the worker. The stranded requests
+        # must instead fail cleanly and new-width traffic keep flowing.
+        wider = Product(
+            [Gaussian(0, 0.0, 1.0), Gaussian(1, 0.0, 1.0), Gaussian(2, 0.0, 1.0)]
+        )
+        config = _config(max_wait_us=0, retry=RetryPolicy())
+        with InferenceServer(config=config) as server:
+            server.publish("m", make_gaussian_spn(), batch_size=16)
+            with faults.inject_slow_chunks(0.1):
+                blocker = server.submit("m", rng.normal(size=2))
+                time.sleep(0.02)
+                stranded = server.submit("m", rng.normal(size=2))  # old width
+                server.swap("m", wider, batch_size=16)  # now 3 features
+                fresh = server.submit("m", rng.normal(size=3))
+            blocker.result(timeout=10.0)
+            with pytest.raises(ExecutionError):
+                stranded.result(timeout=10.0)
+            assert not fresh.result(timeout=10.0).degraded
+            stats = server.health()["models"]["m"]
+            assert stats["lost"] == 0
+            # The worker is still alive and serving the new schema.
+            server.infer("m", rng.normal(size=3), timeout_s=5.0)
+
+    def test_submit_racing_queue_close_maps_to_admission_error(self, rng):
+        # Simulates close()/unload() winning the race between submit's
+        # closed check and the queue offer: the caller must see the
+        # structured AdmissionError, not a bare RuntimeError.
+        server = InferenceServer(config=_config())
+        try:
+            server.publish("m", make_gaussian_spn(), batch_size=16)
+            server._models["m"].queue.close(flush=False)
+            with pytest.raises(AdmissionError) as excinfo:
+                server.submit("m", rng.normal(size=2))
+            assert excinfo.value.retry_after_s > 0
+        finally:
+            server.close()
 
 
 class TestFaultInjectedLoad:

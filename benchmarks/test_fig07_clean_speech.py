@@ -187,7 +187,8 @@ def test_fig07_summary(benchmark):
     assert speedup_vs_scalar >= 10.0
 
     # Seed the perf trajectory: BENCH_cpu.json tracks the batch-mode
-    # throughput and its margin over scalar from this PR onward.
+    # throughput and its margin over scalar from this PR onward. Merge:
+    # the thread-scaling benchmark co-owns this file (scaling keys).
     path = write_bench_json(
         "cpu",
         {
@@ -201,5 +202,6 @@ def test_fig07_summary(benchmark):
             "speedup_vs_spflow_python": rows["spnc batch"],
             "bench_scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
         },
+        merge=True,
     )
     report.note(f"wrote {path}")

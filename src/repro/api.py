@@ -391,8 +391,9 @@ class CPUCompiler(_CompilerBase):
 class GPUCompiler(_CompilerBase):
     """Compile SPN queries to kernels for the simulated CUDA GPU.
 
-    Extra keyword option: ``gpu_block_size`` (defaults to the query batch
-    size, as in the paper).
+    Extra keyword options: ``gpu_block_size`` (defaults to the query
+    batch size, as in the paper) and ``streams`` (device streams for the
+    chunked transfer/compute software pipeline; 1 = serialized).
     """
 
     target = "gpu"

@@ -115,6 +115,11 @@ class CompilerOptions:
     use_log_space: bool = True
     # GPU knobs (block size defaults to the query batch size).
     gpu_block_size: Optional[int] = None
+    #: Concurrent device streams for the GPU software pipeline: with
+    #: ``streams > 1`` the executable slices batches into chunks and
+    #: overlaps host↔device copies with kernel compute (Fig. 9 reclaim).
+    #: 1 preserves the historic serialized execution.
+    streams: int = 1
     #: Textual pipeline override (mlir-opt style). ``None`` resolves the
     #: declarative pipeline from the target registry; a spec string
     #: replaces the pass sequence wholesale (codegen still comes from
@@ -168,6 +173,10 @@ class CompilerOptions:
                 f"unknown verify_each mode '{self.verify_each}' "
                 "(expected 'off', 'structural', 'boundaries' or 'every-pass')"
             )
+        if self.num_threads < 1:
+            raise OptionsError("num_threads must be >= 1")
+        if self.streams < 1:
+            raise OptionsError("streams must be >= 1")
 
     def cache_fingerprint(self) -> tuple:
         """Normalized tuple of every option that affects the compiled
@@ -186,6 +195,7 @@ class CompilerOptions:
             self.max_partition_size,
             self.use_log_space,
             self.gpu_block_size,
+            self.streams,
             self.pipeline,
             self.collect_ir,
         )

@@ -274,7 +274,12 @@ class GPUTarget(Target):
         simulator = GPUSimulator()
         host, kernels = generate_gpu_module(module, simulator)
         return GPUExecutable(
-            host, kernels, info.kernel_name, self._signature(info, query), simulator
+            host,
+            kernels,
+            info.kernel_name,
+            self._signature(info, query),
+            simulator,
+            streams=options.streams,
         )
 
 

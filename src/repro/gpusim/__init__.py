@@ -3,19 +3,25 @@
 from .device import (
     DeviceBuffer,
     DeviceSpec,
+    EventRecord,
     ExecutionProfile,
     LaunchRecord,
     OutOfDeviceMemory,
     TransferRecord,
+    WaitRecord,
 )
-from .simulator import GPUSimulator
+from .simulator import Event, GPUSimulator, Stream
 
 __all__ = [
     "DeviceBuffer",
     "DeviceSpec",
+    "Event",
+    "EventRecord",
     "ExecutionProfile",
     "LaunchRecord",
     "OutOfDeviceMemory",
+    "Stream",
     "TransferRecord",
+    "WaitRecord",
     "GPUSimulator",
 ]

@@ -16,8 +16,9 @@ last block never touch memory.
 
 from __future__ import annotations
 
+import contextlib
 import time
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,11 +26,45 @@ from ..testing import faults
 from .device import (
     DeviceBuffer,
     DeviceSpec,
+    EventRecord,
     ExecutionProfile,
     LaunchRecord,
     OutOfDeviceMemory,
     TransferRecord,
+    WaitRecord,
 )
+
+
+class Stream:
+    """An in-order command queue on the simulated device.
+
+    Ops issued on the same stream never overlap or reorder among
+    themselves; ops on *different* streams may overlap whenever the
+    engine they need (copy vs. compute) is free — exactly the CUDA
+    stream contract the analytic schedule in
+    :class:`~repro.gpusim.device.ExecutionProfile` models.
+    """
+
+    __slots__ = ("stream_id",)
+
+    def __init__(self, stream_id: int):
+        self.stream_id = stream_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stream {self.stream_id}>"
+
+
+class Event:
+    """A marker recorded on a stream; other streams can wait on it."""
+
+    __slots__ = ("event_id", "stream_id")
+
+    def __init__(self, event_id: int, stream_id: int):
+        self.event_id = event_id
+        self.stream_id = stream_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Event {self.event_id} on stream {self.stream_id}>"
 
 
 class GPUSimulator:
@@ -58,6 +93,13 @@ class GPUSimulator:
         #: Successfully completed launches over the simulator's lifetime
         #: (drives deterministic ``inject_gpu_oom(after_n_launches=...)``).
         self.completed_launches = 0
+        #: Stream registry; stream 0 is the default (CUDA's "legacy"
+        #: stream) and every driver call is attributed to
+        #: :attr:`current_stream` when issued.
+        self._streams: Dict[int, Stream] = {0: Stream(0)}
+        self.current_stream: Stream = self._streams[0]
+        self._seq = 0
+        self._next_event_id = 0
 
     # -- module loading -------------------------------------------------------
 
@@ -71,6 +113,60 @@ class GPUSimulator:
 
     def reset_profile(self) -> None:
         self.profile = ExecutionProfile()
+        self._seq = 0
+        self.current_stream = self._streams[0]
+
+    # -- streams and events ------------------------------------------------------
+
+    def stream(self, stream_id: int) -> Stream:
+        """The stream with this id (created on first use)."""
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            stream = self._streams[stream_id] = Stream(stream_id)
+        return stream
+
+    @contextlib.contextmanager
+    def use_stream(self, stream: Union[Stream, int]):
+        """Issue every driver call in the body on ``stream``."""
+        if not isinstance(stream, Stream):
+            stream = self.stream(int(stream))
+        previous = self.current_stream
+        self.current_stream = stream
+        try:
+            yield stream
+        finally:
+            self.current_stream = previous
+
+    def record_event(self, stream: Optional[Union[Stream, int]] = None) -> Event:
+        """Record an event at the current tail of ``stream``."""
+        stream_id = self._stream_id(stream)
+        event = Event(self._next_event_id, stream_id)
+        self._next_event_id += 1
+        self.profile.events.append(
+            EventRecord(event.event_id, stream_id, self._next_seq())
+        )
+        return event
+
+    def wait_event(
+        self, event: Event, stream: Optional[Union[Stream, int]] = None
+    ) -> None:
+        """Make ``stream`` wait until ``event``'s recorded work is done."""
+        stream_id = self._stream_id(stream)
+        self.profile.waits.append(
+            WaitRecord(event.event_id, stream_id, self._next_seq())
+        )
+
+    def _stream_id(self, stream: Optional[Union[Stream, int]]) -> int:
+        if stream is None:
+            return self.current_stream.stream_id
+        if isinstance(stream, Stream):
+            return stream.stream_id
+        return int(stream)
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
 
     # -- driver API (called from generated host code) ---------------------------
 
@@ -108,7 +204,13 @@ class GPUSimulator:
         else:
             raise ValueError(f"unknown memcpy direction '{direction}'")
         self.profile.transfers.append(
-            TransferRecord(direction, num_bytes, self.spec.transfer_seconds(num_bytes))
+            TransferRecord(
+                direction,
+                num_bytes,
+                self.spec.transfer_seconds(num_bytes),
+                stream=self.current_stream.stream_id,
+                seq=self._next_seq(),
+            )
         )
 
     def launch(
@@ -148,7 +250,14 @@ class GPUSimulator:
         )
         self.profile.launches.append(
             LaunchRecord(
-                kernel, grid_size, block_size, measured, simulated, retries=retries
+                kernel,
+                grid_size,
+                block_size,
+                measured,
+                simulated,
+                retries=retries,
+                stream=self.current_stream.stream_id,
+                seq=self._next_seq(),
             )
         )
         self.completed_launches += 1

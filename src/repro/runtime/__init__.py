@@ -1,14 +1,28 @@
 """Runtime component: kernel loading, chunking, multi-threading."""
 
-from .bufferpool import BufferPool
+from .bufferpool import Arena, BufferPool
 from .executable import CPUExecutable, Executable, KernelSignature
-from .threadpool import ChunkedExecutor, chunk_ranges
+from .threadpool import (
+    MIN_PROFITABLE_CHUNK,
+    ChunkedExecutor,
+    RetryPolicy,
+    ShardRecord,
+    ShardTimeline,
+    chunk_ranges,
+    plan_chunks,
+)
 
 __all__ = [
+    "Arena",
     "BufferPool",
     "CPUExecutable",
     "Executable",
     "KernelSignature",
     "ChunkedExecutor",
+    "MIN_PROFITABLE_CHUNK",
+    "RetryPolicy",
+    "ShardRecord",
+    "ShardTimeline",
     "chunk_ranges",
+    "plan_chunks",
 ]

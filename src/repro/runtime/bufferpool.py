@@ -16,11 +16,19 @@ stable name such as ``v0`` or ``m1``) and hands out views:
   short tail chunk followed by a full chunk at most doubles the
   high-water footprint once.
 
-Buffers are **thread-local**: the multi-threaded runtime runs the same
-kernel concurrently on pool workers, and slots must never be shared
-across threads. Counters (``allocations``/``requests``) are aggregated
-across threads for observability — the steady-state regression test
-asserts that repeated same-shape invocations perform zero allocations.
+Worker-affine arenas
+--------------------
+The multi-threaded runtime runs the same kernel concurrently on pool
+workers, and slots must never be shared across threads. Each worker
+thread therefore owns an :class:`Arena` — a private slot→array map with
+its own (lock-free) counters — created lazily on the thread's first
+request and registered with the pool for observability. The hot path
+(``buffer()``) touches only thread-confined state: no lock, no shared
+counter cache-line bouncing, which is what lets W sharded workers scale
+without serializing on the pool itself. Aggregate ``allocations`` /
+``requests`` / ``retained_bytes`` sum the per-arena counters on demand
+(the steady-state regression tests assert that repeated same-shape
+invocations perform zero allocations on *every* worker's arena).
 
 Pooled buffers are strictly kernel-internal. Results returned to the
 user are always freshly allocated by the executable, never views into
@@ -30,58 +38,42 @@ the pool.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
 ShapeArg = Union[int, Tuple[int, ...]]
 
 
-class BufferPool:
-    """Slot-keyed, thread-local cache of reusable ndarray temporaries."""
+class Arena:
+    """One worker's private slot→array map (thread-confined, lock-free).
 
-    def __init__(self):
-        self._local = threading.local()
-        self._lock = threading.Lock()
-        self._allocations = 0
-        self._requests = 0
+    An arena is created for — and only ever touched by — a single
+    thread; the owning :class:`BufferPool` keeps a registry of live
+    arenas for aggregate accounting and shutdown, but never reaches
+    into their slots from another thread.
+    """
 
-    # -- accounting (aggregated across threads) ------------------------------
+    __slots__ = ("name", "slots", "allocations", "requests")
 
-    @property
-    def allocations(self) -> int:
-        """Number of backing-array allocations performed so far."""
-        return self._allocations
-
-    @property
-    def requests(self) -> int:
-        """Total number of :meth:`buffer` calls served so far."""
-        return self._requests
-
-    def _slots(self) -> Dict[str, np.ndarray]:
-        slots = getattr(self._local, "slots", None)
-        if slots is None:
-            slots = self._local.slots = {}
-        return slots
-
-    # -- the kernel-facing entry point ----------------------------------------
+    def __init__(self, name: str):
+        #: Owning worker's thread name (observability: ties arenas to
+        #: the ChunkedExecutor's named workers).
+        self.name = name
+        self.slots: Dict[str, np.ndarray] = {}
+        #: Backing-array allocations performed by this arena.
+        self.allocations = 0
+        #: Total ``buffer()`` calls served by this arena.
+        self.requests = 0
 
     def buffer(self, slot: str, shape: ShapeArg, dtype) -> np.ndarray:
-        """Return a reusable uninitialized array of ``shape``/``dtype``.
-
-        The returned array is a view of this thread's retained backing
-        store for ``slot``; its contents are unspecified (like
-        ``np.empty``). Callers must fully define every element they
-        read — generated kernels do, by construction.
-        """
+        """Return a reusable uninitialized array of ``shape``/``dtype``."""
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape),)
         else:
             shape = tuple(int(d) for d in shape)
-        slots = self._slots()
-        backing = slots.get(slot)
-        with self._lock:
-            self._requests += 1
+        self.requests += 1
+        backing = self.slots.get(slot)
         if (
             backing is None
             or backing.dtype != np.dtype(dtype)
@@ -95,13 +87,114 @@ class BufferPool:
                 else tuple(max(c, d) for c, d in zip(backing.shape, shape))
             )
             backing = np.empty(grown, dtype=dtype)
-            slots[slot] = backing
-            with self._lock:
-                self._allocations += 1
+            self.slots[slot] = backing
+            self.allocations += 1
         if backing.shape == shape:
             return backing
         return backing[tuple(slice(0, d) for d in shape)]
 
+    @property
+    def retained_bytes(self) -> int:
+        """Bytes currently held by this arena's backing arrays."""
+        return sum(array.nbytes for array in self.slots.values())
+
+    def clear(self) -> None:
+        """Drop the retained buffers (counters are kept)."""
+        self.slots.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Arena {self.name!r} slots={len(self.slots)} "
+            f"allocs={self.allocations} bytes={self.retained_bytes}>"
+        )
+
+
+class BufferPool:
+    """Slot-keyed cache of reusable ndarray temporaries, one arena per
+    worker thread."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        #: Live arenas, in creation order (guarded by ``_lock``).
+        self._arena_registry: List[Arena] = []
+        self._closed = False
+
+    # -- accounting (aggregated across arenas) --------------------------------
+
+    @property
+    def allocations(self) -> int:
+        """Backing-array allocations performed so far, over all arenas."""
+        return sum(a.allocations for a in self.arenas())
+
+    @property
+    def requests(self) -> int:
+        """Total :meth:`buffer` calls served so far, over all arenas."""
+        return sum(a.requests for a in self.arenas())
+
+    @property
+    def retained_bytes(self) -> int:
+        """Bytes currently retained across every live arena."""
+        return sum(a.retained_bytes for a in self.arenas())
+
+    def arenas(self) -> List[Arena]:
+        """Snapshot of the live arenas (observability and leak tests)."""
+        with self._lock:
+            return list(self._arena_registry)
+
+    @property
+    def arena_count(self) -> int:
+        with self._lock:
+            return len(self._arena_registry)
+
+    # -- the kernel-facing entry points ----------------------------------------
+
+    def arena(self) -> Arena:
+        """This thread's arena, created (and registered) on first use."""
+        if self._closed:
+            # Plain attribute read, no lock: the hot path pays one
+            # predictable branch. Checked even for threads with a cached
+            # arena, so post-close requests fail uniformly.
+            raise RuntimeError("buffer pool is closed")
+        arena = getattr(self._local, "arena", None)
+        if arena is None:
+            arena = Arena(threading.current_thread().name)
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("buffer pool is closed")
+                self._arena_registry.append(arena)
+            self._local.arena = arena
+        return arena
+
+    def buffer(self, slot: str, shape: ShapeArg, dtype) -> np.ndarray:
+        """Return a reusable uninitialized array of ``shape``/``dtype``.
+
+        The returned array is a view of the calling worker's retained
+        backing store for ``slot``; its contents are unspecified (like
+        ``np.empty``). Callers must fully define every element they
+        read — generated kernels do, by construction.
+        """
+        return self.arena().buffer(slot, shape, dtype)
+
     def clear(self) -> None:
         """Drop this thread's retained buffers (counters are kept)."""
-        self._slots().clear()
+        arena = getattr(self._local, "arena", None)
+        if arena is not None:
+            arena.clear()
+
+    def close(self) -> None:
+        """Release every arena's buffers (leak-free shutdown).
+
+        Idempotent. After close, the next ``buffer()`` call raises —
+        executables close their pools only after in-flight executions
+        have drained, so a request after close is a lifecycle bug.
+        """
+        with self._lock:
+            self._closed = True
+            arenas, self._arena_registry = self._arena_registry, []
+        for arena in arenas:
+            arena.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

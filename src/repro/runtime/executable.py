@@ -46,7 +46,7 @@ from ..diagnostics import (
 )
 from ..ir.types import Type
 from ..testing import faults
-from .threadpool import ChunkedExecutor, RetryPolicy
+from .threadpool import ChunkedExecutor, RetryPolicy, ShardTimeline, plan_chunks
 
 
 @dataclass
@@ -218,12 +218,19 @@ class CPUExecutable(Executable):
         #: retries with the ``max_chunk_retries`` budget.
         self.retry_policy = retry_policy or RetryPolicy(max_retries=max_chunk_retries)
         self._executor = ChunkedExecutor(num_threads) if num_threads > 1 else None
+        #: Shard timeline of the most recent multi-threaded execution
+        #: (worker names + per-chunk intervals; observability/benchmarks).
+        self.last_timeline: Optional[ShardTimeline] = None
 
     def _release(self) -> None:
-        """Release the worker thread pool (runs once, post-drain)."""
+        """Release the worker thread pool and the kernel's buffer-pool
+        arenas (runs once, post-drain — leak-free shutdown)."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        pool = self.buffer_pool
+        if pool is not None:
+            pool.close()
 
     def _run(
         self, inputs: np.ndarray, output: np.ndarray, deadline: Optional[float] = None
@@ -233,14 +240,30 @@ class CPUExecutable(Executable):
         # libm semantics for the raw ufuncs in generated code: log(0) is
         # -inf, exp overflow is inf — never a warning or exception.
         with np.errstate(all="ignore"):
-            if self._executor is None or n <= sig.batch_size:
+            if self._executor is None:
                 faults.maybe_delay_chunk()
                 self.entry(inputs, output)
-            else:
-                def run_chunk(start: int, end: int) -> None:
-                    faults.maybe_delay_chunk()
-                    self.entry(inputs[start:end], output[:, start:end])
+                return
+            # Shard the batch across the pool workers: the plan
+            # over-decomposes to ≥ 2 * workers chunks (work stealing for
+            # tail imbalance) without shrinking chunks below the
+            # vector-profitable size or above the compiled hint (which
+            # would regrow every worker arena's high-water mark). Chunk
+            # boundaries never change results: the kernels are
+            # per-sample, so sharded output is bit-identical to the
+            # single-worker run at every chunk/tail size.
+            ranges = plan_chunks(n, sig.batch_size, self.num_threads)
+            if len(ranges) <= 1:
+                faults.maybe_delay_chunk()
+                self.entry(inputs, output)
+                return
+            timeline = ShardTimeline()
 
+            def run_chunk(start: int, end: int) -> None:
+                faults.maybe_delay_chunk()
+                self.entry(inputs[start:end], output[:, start:end])
+
+            try:
                 self._executor.run(
                     n,
                     sig.batch_size,
@@ -248,7 +271,11 @@ class CPUExecutable(Executable):
                     retry_policy=self.retry_policy,
                     deadline=deadline,
                     diagnostics=self.diagnostics,
+                    ranges=ranges,
+                    timeline=timeline,
                 )
+            finally:
+                self.last_timeline = timeline
 
     @property
     def source(self) -> str:

@@ -1,4 +1,19 @@
-"""GPU executable: host function + simulator + timing profile."""
+"""GPU executable: host function + simulator + timing profile.
+
+Multi-stream pipelining (paper Fig. 9): the serialized H2D→kernel→D2H
+timeline spends >60 % of execution in transfers. With ``streams > 1``
+the executable splits the batch into chunks and issues each chunk's
+host sequence on a round-robin stream; the analytic device model then
+overlaps chunk *i+1*'s host→device copy (copy engine) with chunk *i*'s
+kernels (compute engine), the classic CUDA software pipeline. Results
+are bit-identical to the single-stream run — kernels are per-sample and
+chunk boundaries do not change arithmetic — only the *reported* timing
+changes: ``last_profile.makespan_seconds`` (what
+:meth:`simulated_seconds` returns) reflects the overlapped schedule,
+while ``serialized_seconds`` keeps the single-timeline view for
+comparison, and ``overlap_fraction`` says how much of the serialized
+transfer time the pipeline reclaimed.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +26,11 @@ from ..diagnostics import DeviceError, Diagnostic, ErrorCode, Severity
 from ..gpusim.device import ExecutionProfile, OutOfDeviceMemory
 from ..gpusim.simulator import GPUSimulator
 from .executable import Executable, KernelSignature
+from .threadpool import plan_chunks
+
+#: Below this many rows per chunk, per-transfer latency and per-launch
+#: overhead stop amortizing; the pipeline never slices finer.
+MIN_PIPELINE_ROWS = 256
 
 
 class GPUExecutable(Executable):
@@ -33,13 +53,22 @@ class GPUExecutable(Executable):
         entry_name: str,
         signature: KernelSignature,
         simulator: GPUSimulator,
+        streams: int = 1,
     ):
         super().__init__(entry_name, signature)
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
         self.host = host
         self.kernels = kernels
         self.entry = host.get(entry_name)
         self.simulator = simulator
+        #: Number of concurrent device streams the software pipeline
+        #: issues chunks on (1 = the historic serialized execution).
+        self.streams = streams
         self.last_profile: Optional[ExecutionProfile] = None
+        #: Chunk count of the most recent pipelined execution (1 when
+        #: the batch ran unsliced).
+        self.last_pipeline_chunks = 0
 
     def _run(
         self, inputs: np.ndarray, output: np.ndarray, deadline: Optional[float] = None
@@ -53,7 +82,17 @@ class GPUExecutable(Executable):
             # expected and suppressed (NaN *results* are still a defect,
             # caught by the fallback layer's output validation).
             with np.errstate(all="ignore"):
-                self.entry(inputs, output)
+                ranges = self._pipeline_plan(inputs.shape[0])
+                if len(ranges) <= 1:
+                    self.last_pipeline_chunks = 1
+                    self.entry(inputs, output)
+                else:
+                    self.last_pipeline_chunks = len(ranges)
+                    simulator = self.simulator
+                    for index, (start, end) in enumerate(ranges):
+                        stream = simulator.stream(index % self.streams)
+                        with simulator.use_stream(stream):
+                            self.entry(inputs[start:end], output[:, start:end])
         except OutOfDeviceMemory as error:
             # The simulator already exhausted its halved-block-size retry
             # budget; surface a structured device error so the fallback
@@ -70,11 +109,24 @@ class GPUExecutable(Executable):
             ) from error
         self.last_profile = self.simulator.profile
 
+    def _pipeline_plan(self, total: int):
+        """Chunk plan for the software pipeline: ≥2 chunks per stream so
+        the copy engine always has a next chunk to prefetch while the
+        compute engine drains the current one, without slicing below
+        :data:`MIN_PIPELINE_ROWS` (where per-op overhead dominates)."""
+        if self.streams <= 1 or total <= MIN_PIPELINE_ROWS:
+            return [(0, total)] if total else []
+        return plan_chunks(
+            total, total, self.streams, min_chunk=MIN_PIPELINE_ROWS
+        )
+
     def simulated_seconds(self) -> float:
-        """Simulated device time of the most recent execution."""
+        """Simulated device time of the most recent execution: the
+        overlapped makespan (equal to the serialized sum when running
+        on a single stream)."""
         if self.last_profile is None:
             raise RuntimeError("no execution has been profiled yet")
-        return self.last_profile.total_seconds
+        return self.last_profile.makespan_seconds
 
     @property
     def source(self) -> str:

@@ -32,6 +32,7 @@ off in this reproduction.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -54,6 +55,101 @@ def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
         (start, min(start + chunk_size, total))
         for start in range(0, total, chunk_size)
     ]
+
+
+#: Below this many rows per chunk, the whole-batch vector kernels stop
+#: amortizing their per-call dispatch cost (the Python-interpreted
+#: straight-line prologue); adaptive sharding never shrinks chunks
+#: further just to create parallelism that could not pay anyway.
+MIN_PROFITABLE_CHUNK = 256
+
+
+def plan_chunks(
+    total: int,
+    hint: int,
+    workers: int,
+    min_chunk: int = MIN_PROFITABLE_CHUNK,
+) -> List[Tuple[int, int]]:
+    """Adaptive shard plan: [0, total) split for ``workers`` pool workers.
+
+    The user's ``hint`` (the compiled batch size — "a mere optimization
+    hint", paper Section IV-B) caps the chunk width: scratch arenas are
+    sized to it, and chunks beyond it would regrow every worker's
+    high-water footprint. Within that cap the plan over-decomposes the
+    batch so the shared chunk queue stays work-stealing friendly:
+
+    - target at least ``2 * workers`` chunks, so a worker that finishes
+      early (short tail, OS preemption, NUMA-unlucky placement) pulls
+      another chunk instead of idling at the barrier;
+    - never shrink a chunk below ``min_chunk`` rows — parallelism that
+      deoptimizes the vector kernels is a net loss;
+    - chunks are uniform except the tail, and the tail is *last* in the
+      queue, so the longest work is in flight first (LPT-flavoured).
+
+    Degenerates to :func:`chunk_ranges(total, hint)` for one worker.
+    """
+    if hint <= 0:
+        raise ValueError("chunk hint must be positive")
+    if workers <= 1 or total <= min_chunk:
+        return chunk_ranges(total, min(hint, total) if total else hint)
+    target_chunks = 2 * workers
+    size = -(-total // target_chunks)  # ceil: ≥2W chunks when it fits
+    size = max(min(size, hint), min(min_chunk, hint))
+    return chunk_ranges(total, size)
+
+
+@dataclass
+class ShardRecord:
+    """One chunk's execution interval, for makespan/overlap accounting."""
+
+    start: int
+    end: int
+    worker: str
+    began_at: float
+    ended_at: float
+
+    @property
+    def seconds(self) -> float:
+        return self.ended_at - self.began_at
+
+
+class ShardTimeline:
+    """Per-run record of which worker ran which chunk, and when.
+
+    Thread-safe append; the scaling benchmark and the contention tests
+    read it to compute busy time vs. makespan (achieved parallelism)
+    and to assert worker-affine arena isolation.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.records: List[ShardRecord] = []
+
+    def record(self, start: int, end: int, began_at: float, ended_at: float) -> None:
+        entry = ShardRecord(
+            start, end, threading.current_thread().name, began_at, ended_at
+        )
+        with self._lock:
+            self.records.append(entry)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Sum of chunk execution times (work, ignoring idle gaps)."""
+        return sum(r.seconds for r in self.records)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Wall-clock span from first chunk start to last chunk end."""
+        if not self.records:
+            return 0.0
+        return max(r.ended_at for r in self.records) - min(
+            r.began_at for r in self.records
+        )
+
+    @property
+    def workers(self) -> List[str]:
+        """Distinct worker names that executed chunks, sorted."""
+        return sorted({r.worker for r in self.records})
 
 
 @dataclass(frozen=True)
@@ -142,7 +238,11 @@ class ChunkedExecutor:
             raise ValueError("num_threads must be >= 1")
         self.num_threads = num_threads
         self._pool: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=num_threads) if num_threads > 1 else None
+            ThreadPoolExecutor(
+                max_workers=num_threads, thread_name_prefix="spnc-worker"
+            )
+            if num_threads > 1
+            else None
         )
         self.last_run_retries = 0
         self.last_run_cancelled = 0
@@ -156,6 +256,8 @@ class ChunkedExecutor:
         retry_policy: Optional[RetryPolicy] = None,
         deadline: Optional[float] = None,
         diagnostics: Optional[DiagnosticLog] = None,
+        ranges: Optional[List[Tuple[int, int]]] = None,
+        timeline: Optional[ShardTimeline] = None,
     ) -> None:
         """Execute ``fn(start, end)`` for every chunk of the batch.
 
@@ -171,14 +273,27 @@ class ChunkedExecutor:
                 :class:`DeadlineError` is raised.
             diagnostics: optional log receiving one ``chunk-retry``
                 WARNING diagnostic per retry attempt.
+            ranges: explicit shard plan (e.g. from :func:`plan_chunks`);
+                overrides the uniform ``chunk_size`` split. Must cover
+                ``[0, total)`` with disjoint chunks.
+            timeline: optional :class:`ShardTimeline` receiving one
+                record per executed chunk (worker name + interval).
         """
         if retry_policy is None:
             if max_retries < 0:
                 raise ValueError("max_retries must be >= 0")
             retry_policy = RetryPolicy(max_retries=max_retries)
+        if timeline is not None:
+            timed = fn
+
+            def fn(start: int, end: int, _inner=timed) -> None:
+                began = time.monotonic()
+                _inner(start, end)
+                timeline.record(start, end, began, time.monotonic())
+
         state = _RunState(diagnostics=diagnostics)
         try:
-            self._run(total, chunk_size, fn, retry_policy, deadline, state)
+            self._run(total, chunk_size, fn, retry_policy, deadline, state, ranges)
         finally:
             self.last_run_retries = state.retries
             self.last_run_cancelled = state.cancelled
@@ -191,8 +306,10 @@ class ChunkedExecutor:
         retry_policy: RetryPolicy,
         deadline: Optional[float],
         state: _RunState,
+        ranges: Optional[List[Tuple[int, int]]] = None,
     ) -> None:
-        ranges = chunk_ranges(total, chunk_size)
+        if ranges is None:
+            ranges = chunk_ranges(total, chunk_size)
         if self._pool is None or len(ranges) == 1:
             for start, end in ranges:
                 self._check_deadline(deadline, start, end)

@@ -83,8 +83,27 @@ class ServerConfig:
     breaker: BreakerConfig = BreakerConfig()
     #: Batcher workers per model (each forms and runs whole batches).
     workers_per_model: int = 1
+    #: Runtime worker threads each *compiled kernel* shards coalesced
+    #: batches across (forwarded as ``num_threads`` to the compiler
+    #: unless the publish call overrides it). Distinct from
+    #: ``workers_per_model``: that many batches form concurrently,
+    #: each of which fans out over this many kernel threads.
+    kernel_threads: int = 1
+    #: Per-model cap on *concurrently executing* kernel batches
+    #: (``None`` = unbounded, i.e. ``workers_per_model``). Composes
+    #: with admission control: workers beyond the cap block at the
+    #: gate, queue depth grows, and the bounded queue starts rejecting
+    #: with retry-after hints — parallelism pressure becomes
+    #: back-pressure instead of oversubscription.
+    max_parallel_batches: Optional[int] = None
     #: How long shutdown/swap waits for in-flight work to drain.
     drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.kernel_threads < 1:
+            raise ValueError("kernel_threads must be >= 1")
+        if self.max_parallel_batches is not None and self.max_parallel_batches < 1:
+            raise ValueError("max_parallel_batches must be >= 1 or None")
 
 
 class _ModelState:
@@ -96,6 +115,13 @@ class _ModelState:
         self.breaker = CircuitBreaker(config.breaker)
         self.stats = ServerStats()
         self.workers: List[threading.Thread] = []
+        #: Bounds concurrently *executing* kernel batches for this model
+        #: (``None`` = no cap beyond the worker count).
+        self.kernel_gate: Optional[threading.BoundedSemaphore] = (
+            None
+            if config.max_parallel_batches is None
+            else threading.BoundedSemaphore(config.max_parallel_batches)
+        )
 
 
 class InferenceServer:
@@ -136,10 +162,16 @@ class InferenceServer:
 
         The previous version (if any) is drained and unloaded in the
         background; in-flight requests against it complete normally.
+        The server's :attr:`ServerConfig.kernel_threads` is forwarded
+        as the compiler's ``num_threads`` default, so coalesced batches
+        execute sharded across runtime workers; an explicit
+        ``num_threads=...`` (or a pre-built ``compiler``) overrides it.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("server is closed")
+        if compiler is None:
+            compiler_options.setdefault("num_threads", self.config.kernel_threads)
         version = self.registry.publish(name, spn, compiler=compiler, **compiler_options)
         with self._lock:
             state = self._models.get(name)
@@ -453,6 +485,13 @@ class InferenceServer:
                 for request in batch:
                     self._finish_error(state, request, error, outcome="failed")
                 return
+            gate = state.kernel_gate
+            if gate is not None and not self._acquire_gate(gate, deadline):
+                version.release()
+                error = self._gate_deadline_error(state, batch)
+                for request in batch:
+                    self._finish_error(state, request, error, outcome="expired")
+                return
             try:
                 outputs, degraded = self._execute_resilient(
                     state, version, inputs, deadline
@@ -467,6 +506,8 @@ class InferenceServer:
                 return
             finally:
                 version.release()
+                if gate is not None:
+                    gate.release()
         for request, piece in zip(batch, DynamicBatcher.split(batch, outputs)):
             if request.expired():
                 # The deadline is a contract: a result computed too late
@@ -481,6 +522,39 @@ class InferenceServer:
                 )
             else:
                 self._finish_ok(state, request, piece, degraded, version.version)
+
+    @staticmethod
+    def _acquire_gate(
+        gate: threading.BoundedSemaphore, deadline: Optional[float]
+    ) -> bool:
+        """Take a kernel-parallelism slot, waiting no longer than the
+        batch's deadline allows. Returns ``False`` when the deadline
+        expires first — the batch then fails *expired*, the same terminal
+        outcome a slow kernel would have produced."""
+        if deadline is None:
+            gate.acquire()
+            return True
+        remaining = deadline - time.monotonic()
+        return remaining > 0 and gate.acquire(timeout=remaining)
+
+    def _gate_deadline_error(
+        self, state: _ModelState, batch: List[Request]
+    ) -> DeadlineError:
+        message = (
+            f"deadline exceeded waiting for a kernel-parallelism slot on "
+            f"model '{state.name}' "
+            f"(max_parallel_batches={self.config.max_parallel_batches})"
+        )
+        return DeadlineError(
+            message,
+            diagnostic=Diagnostic(
+                severity=Severity.ERROR,
+                code=ErrorCode.DEADLINE_EXCEEDED,
+                message=message,
+                stage="serving",
+                detail={"request_ids": [r.request_id for r in batch]},
+            ),
+        )
 
     # -- the degradation ladder --------------------------------------------------
 
@@ -610,6 +684,11 @@ class InferenceServer:
             "batch_policy": {
                 "max_batch": self.config.max_batch,
                 "max_wait_us": self.config.max_wait_us,
+            },
+            "parallelism": {
+                "workers_per_model": self.config.workers_per_model,
+                "kernel_threads": self.config.kernel_threads,
+                "max_parallel_batches": self.config.max_parallel_batches,
             },
             "totals": self.stats.snapshot(),
             "models": models,

@@ -104,7 +104,16 @@ DEFAULT_CONFIGS: Tuple[ConfigSpec, ...] = (
         "cpu-o3-partitioned",
         options={"vectorize": "batch", "opt_level": 3, "max_partition_size": 6},
     ),
+    # Parallel execution must be invisible in the results: sharding a
+    # batch across pool workers and pipelining GPU chunks over streams
+    # are pure scheduling decisions, bit-identical to the single-worker
+    # / single-stream runs at every chunk and tail size.
+    ConfigSpec(
+        "cpu-o2-batch-sharded",
+        options={"vectorize": "batch", "opt_level": 2, "num_threads": 4},
+    ),
     ConfigSpec("gpu-sim", options={"target": "gpu"}),
+    ConfigSpec("gpu-sim-pipelined", options={"target": "gpu", "streams": 4}),
     ConfigSpec("interpreter", kind="interpreter", row_limit=INTERPRETER_ROW_LIMIT),
 )
 

@@ -43,7 +43,13 @@ def _add_compiler_arguments(parser: argparse.ArgumentParser) -> None:
                         help="use gathers instead of loads+shuffles")
     parser.add_argument("--partition", type=int, default=None, metavar="N",
                         help="max graph-partition size (ops per task)")
-    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--threads", type=int, default=1,
+                        help="runtime worker threads the CPU batch is "
+                             "sharded across (per-worker buffer arenas)")
+    parser.add_argument("--streams", type=int, default=1,
+                        help="GPU device streams for the chunked "
+                             "transfer/compute software pipeline "
+                             "(1 = serialized timeline)")
     parser.add_argument("--linear-space", action="store_true",
                         help="compute in linear instead of log space")
     parser.add_argument("--pipeline", default=None, metavar="SPEC",
@@ -73,6 +79,7 @@ def _options_from(args: argparse.Namespace, collect_ir: bool = False) -> Compile
         use_shuffle=not args.no_shuffle,
         max_partition_size=args.partition,
         num_threads=args.threads,
+        streams=args.streams,
         use_log_space=not args.linear_space,
         pipeline=args.pipeline,
         verify_each=args.verify_each,
@@ -330,6 +337,8 @@ def _server_config(args: argparse.Namespace):
         ),
         breaker=BreakerConfig(cooldown_s=args.breaker_cooldown),
         workers_per_model=args.workers,
+        kernel_threads=args.kernel_threads,
+        max_parallel_batches=args.max_parallel_batches,
     )
 
 
@@ -346,6 +355,12 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
                         help="default per-request deadline")
     parser.add_argument("--workers", type=int, default=1,
                         help="batch workers per model")
+    parser.add_argument("--kernel-threads", type=int, default=1,
+                        help="runtime threads each compiled kernel "
+                             "shards coalesced batches across")
+    parser.add_argument("--max-parallel-batches", type=int, default=None,
+                        help="per-model cap on concurrently executing "
+                             "kernel batches (default: unbounded)")
     parser.add_argument("--breaker-cooldown", type=float, default=0.25,
                         help="circuit-breaker cooldown before half-open "
                              "probes (seconds)")

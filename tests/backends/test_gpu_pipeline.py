@@ -1,0 +1,223 @@
+"""Multi-stream GPU pipelining: schedule model and end-to-end behavior.
+
+The overlapped timing model runs the recorded op stream through an
+event-driven two-engine schedule (one copy engine, one compute engine,
+per-stream program order, recorded event waits). These tests pin the
+schedule's semantics on hand-built op records — where the exact
+makespan is computable by inspection — then drive the compiled
+:class:`GPUExecutable` to verify that multi-stream execution is
+bit-identical to the serialized run and actually hides transfer time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_spn
+from repro.gpusim import (
+    EventRecord,
+    ExecutionProfile,
+    GPUSimulator,
+    LaunchRecord,
+    TransferRecord,
+    WaitRecord,
+)
+from repro.spn import JointProbability
+
+from ..conftest import make_gaussian_spn
+
+
+def _h2d(seconds, stream, seq):
+    return TransferRecord(
+        direction="h2d", num_bytes=0, seconds=seconds, stream=stream, seq=seq
+    )
+
+
+def _kernel(seconds, stream, seq):
+    return LaunchRecord(
+        kernel="k",
+        grid_size=1,
+        block_size=64,
+        measured_compute=seconds,
+        simulated_seconds=seconds,
+        stream=stream,
+        seq=seq,
+    )
+
+
+class TestScheduleModel:
+    def test_single_stream_makespan_equals_serialized(self):
+        profile = ExecutionProfile(
+            transfers=[_h2d(10.0, 0, 0), _h2d(5.0, 0, 2)],
+            launches=[_kernel(7.0, 0, 1), _kernel(3.0, 0, 3)],
+        )
+        assert profile.serialized_seconds == pytest.approx(25.0)
+        # One stream chains every op: the two views agree exactly.
+        assert profile.makespan_seconds == pytest.approx(25.0)
+        assert profile.overlap_fraction == pytest.approx(0.0)
+
+    def test_two_streams_overlap_copy_with_compute(self):
+        # stream 0: H2D(10) K(10); stream 1: H2D(10) K(10).
+        # Copy engine: [0,10] s0, [10,20] s1.
+        # Compute engine: s0 K at 10 -> [10,20]; s1 K at 20 -> [20,30].
+        profile = ExecutionProfile(
+            transfers=[_h2d(10.0, 0, 0), _h2d(10.0, 1, 1)],
+            launches=[_kernel(10.0, 0, 2), _kernel(10.0, 1, 3)],
+        )
+        assert profile.serialized_seconds == pytest.approx(40.0)
+        assert profile.makespan_seconds == pytest.approx(30.0)
+        assert profile.overlap_seconds == pytest.approx(10.0)
+        # 10 of the 20 serialized transfer seconds were hidden.
+        assert profile.overlap_fraction == pytest.approx(0.5)
+        assert profile.num_streams == 2
+
+    def test_engines_do_not_overlap_within_one_engine(self):
+        # Two transfers on different streams still serialize on the one
+        # copy engine (a single PCIe link, not one per stream).
+        profile = ExecutionProfile(
+            transfers=[_h2d(10.0, 0, 0), _h2d(10.0, 1, 1)],
+        )
+        assert profile.makespan_seconds == pytest.approx(20.0)
+
+    def test_stream_program_order_is_preserved(self):
+        # A stream's own ops never reorder: the kernel issued after a
+        # transfer on the same stream waits for it even if the compute
+        # engine is free earlier.
+        profile = ExecutionProfile(
+            transfers=[_h2d(10.0, 0, 0)],
+            launches=[_kernel(1.0, 0, 1)],
+        )
+        assert profile.makespan_seconds == pytest.approx(11.0)
+
+    def test_event_wait_synchronizes_across_streams(self):
+        # stream 0: H2D(10), record event; stream 1 waits on the event
+        # before its kernel -> kernel starts at 10 even though stream 1
+        # issued nothing before it.
+        profile = ExecutionProfile(
+            transfers=[_h2d(10.0, 0, 0)],
+            launches=[_kernel(5.0, 1, 3)],
+            events=[EventRecord(event_id=0, stream=0, seq=1)],
+            waits=[WaitRecord(event_id=0, stream=1, seq=2)],
+        )
+        assert profile.makespan_seconds == pytest.approx(15.0)
+
+    def test_overlapped_transfer_fraction_shrinks(self):
+        profile = ExecutionProfile(
+            transfers=[_h2d(10.0, 0, 0), _h2d(10.0, 1, 1)],
+            launches=[_kernel(10.0, 0, 2), _kernel(10.0, 1, 3)],
+        )
+        assert profile.serial_transfer_fraction == pytest.approx(0.5)
+        # Exposed transfer drops to 10 of the 30-second makespan.
+        assert profile.overlapped_transfer_fraction == pytest.approx(1 / 3)
+
+
+class TestSimulatorStreams:
+    def test_records_stamp_stream_and_seq(self):
+        sim = GPUSimulator()
+        buf = sim.alloc((64,), np.float64)
+        host = np.zeros(64)
+        sim.memcpy(buf, host, "h2d")
+        with sim.use_stream(sim.stream(1)):
+            sim.memcpy(host, buf, "d2h")
+        transfers = sim.profile.transfers
+        assert [t.stream for t in transfers] == [0, 1]
+        assert transfers[0].seq < transfers[1].seq
+
+    def test_use_stream_restores_previous(self):
+        sim = GPUSimulator()
+        with sim.use_stream(1):
+            assert sim.current_stream.stream_id == 1
+            with sim.use_stream(2):
+                assert sim.current_stream.stream_id == 2
+            assert sim.current_stream.stream_id == 1
+        assert sim.current_stream.stream_id == 0
+
+    def test_reset_profile_resets_stream_state(self):
+        sim = GPUSimulator()
+        with sim.use_stream(3):
+            pass
+        sim.reset_profile()
+        assert sim.current_stream.stream_id == 0
+        buf = sim.alloc((8,), np.float64)
+        sim.memcpy(buf, np.zeros(8), "h2d")
+        assert sim.profile.transfers[0].seq == 0
+
+    def test_event_record_and_wait(self):
+        sim = GPUSimulator()
+        event = sim.record_event(stream=0)
+        sim.wait_event(event, stream=1)
+        assert sim.profile.events[0].event_id == event.event_id
+        assert sim.profile.waits[0].stream == 1
+
+
+class TestPipelinedExecutable:
+    @pytest.fixture(scope="class")
+    def kernels(self):
+        spn = make_gaussian_spn()
+        query = JointProbability(batch_size=64, relative_error=1e-9)
+        serial = compile_spn(
+            spn, query, CompilerOptions(target="gpu", streams=1)
+        ).executable
+        piped = compile_spn(
+            spn, query, CompilerOptions(target="gpu", streams=4)
+        ).executable
+        yield serial, piped
+        serial.close()
+        piped.close()
+
+    @pytest.mark.parametrize("batch", [16, 255, 256, 257, 4096, 4099])
+    def test_bit_identical_to_serialized(self, kernels, batch, rng):
+        serial, piped = kernels
+        inputs = rng.normal(size=(batch, 2))
+        np.testing.assert_array_equal(
+            piped.execute(inputs), serial.execute(inputs)
+        )
+
+    def test_pipeline_chunks_and_streams(self, kernels, rng):
+        serial, piped = kernels
+        inputs = rng.normal(size=(4096, 2))
+        piped.execute(inputs)
+        assert piped.last_pipeline_chunks >= 2 * piped.streams
+        assert piped.last_profile.num_streams == piped.streams
+        serial.execute(inputs)
+        assert serial.last_pipeline_chunks == 1
+        assert serial.last_profile.num_streams == 1
+
+    def test_overlap_reduces_makespan(self, kernels, rng):
+        serial, piped = kernels
+        inputs = rng.normal(size=(8192, 2))
+        piped.execute(inputs)
+        profile = piped.last_profile
+        assert profile.makespan_seconds < profile.serialized_seconds
+        assert profile.overlap_fraction > 0.0
+        assert piped.simulated_seconds() == pytest.approx(
+            profile.makespan_seconds
+        )
+
+    def test_small_batch_runs_unsliced(self, kernels, rng):
+        _, piped = kernels
+        piped.execute(rng.normal(size=(32, 2)))
+        assert piped.last_pipeline_chunks == 1
+
+    def test_single_stream_makespan_matches_serialized(self, kernels, rng):
+        serial, _ = kernels
+        serial.execute(rng.normal(size=(2048, 2)))
+        profile = serial.last_profile
+        assert profile.makespan_seconds == pytest.approx(
+            profile.serialized_seconds
+        )
+
+    def test_invalid_stream_count(self):
+        with pytest.raises(Exception):
+            CompilerOptions(target="gpu", streams=0)
+
+
+class TestStreamsInFingerprint:
+    def test_streams_change_cache_fingerprint(self):
+        base = CompilerOptions(target="gpu", streams=1)
+        piped = CompilerOptions(target="gpu", streams=4)
+        assert base.cache_fingerprint() != piped.cache_fingerprint()
+
+    def test_threads_change_cache_fingerprint(self):
+        one = CompilerOptions(num_threads=1)
+        four = CompilerOptions(num_threads=4)
+        assert one.cache_fingerprint() != four.cache_fingerprint()

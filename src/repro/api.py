@@ -57,9 +57,17 @@ from .diagnostics import (
     Severity,
     diagnostic_from_exception,
 )
-from .spn import inference
+from .spn import inference, sampling
+from .spn.mpe import mpe as reference_mpe
 from .spn.nodes import Node
-from .spn.query import JointProbability
+from .spn.query import (
+    ConditionalProbability,
+    Expectation,
+    JointProbability,
+    MPEQuery,
+    Query,
+    SampleQuery,
+)
 from .spn.serialization import deserialize, serialize
 
 
@@ -158,7 +166,9 @@ class _CompilerBase:
             batch_size=self.batch_size, support_marginal=self.support_marginal
         )
 
-    def _query_for(self, inputs: np.ndarray) -> JointProbability:
+    def _query_for(
+        self, inputs: np.ndarray, query: Optional[Query] = None
+    ) -> Query:
         """The query to compile for a concrete input batch.
 
         NaN evidence always means "marginalize this feature out" — the
@@ -169,9 +179,22 @@ class _CompilerBase:
         the API transparently routes it to a marginal-supporting kernel
         (a separate cache entry; fully-observed batches keep using the
         cheaper non-marginal kernel).
+
+        Only *joint* queries are rerouted. The other modalities define
+        their own NaN semantics intrinsically — MPE completes missing
+        features, sampling draws them, conditional kernels always
+        marginalize NaN *evidence* (a NaN *query* feature is a
+        structured ``QUERY_NAN`` error at execute time, never a silent
+        marginal), and expectations take the posterior moment — so
+        flipping them to a marginal joint kernel would silently compute
+        the wrong query.
         """
-        query = self._default_query()
-        if not query.support_marginal and np.isnan(np.min(inputs)):
+        query = query if query is not None else self._default_query()
+        if (
+            query.kind == "joint"
+            and not query.support_marginal
+            and np.isnan(np.min(inputs))
+        ):
             query = dataclasses.replace(query, support_marginal=True)
         return query
 
@@ -181,27 +204,28 @@ class _CompilerBase:
     def _as_tuple(spn) -> Tuple[Node, ...]:
         return tuple(spn) if isinstance(spn, (list, tuple)) else (spn,)
 
-    def _fingerprint(self, query: JointProbability, target: str) -> tuple:
+    def _fingerprint(self, query: Query, target: str) -> tuple:
         # Normalize through CompilerOptions so equivalent spellings (e.g.
         # vectorize=True vs "lanes") share a cache entry while any change
         # to the vectorization mode/width/veclib configuration — or any
         # other kernel-affecting option — recompiles instead of returning
-        # a stale kernel.
+        # a stale kernel. The query contributes its kind plus every
+        # descriptor field (covering kind-specific fields such as
+        # ``query_variables`` and ``moment``), so e.g. conditionals over
+        # different variable sets never share a kernel.
         options_key = self._options(target).cache_fingerprint()
         return (
             options_key,
             self.via_serialization,
-            query.batch_size,
-            query.input_dtype,
-            query.support_marginal,
-            query.relative_error,
+            query.kind,
+            dataclasses.astuple(query),
         )
 
-    def _cache_key(self, spn, query: JointProbability, target: str) -> tuple:
+    def _cache_key(self, spn, query: Query, target: str) -> tuple:
         ids = tuple(id(s) for s in self._as_tuple(spn))
         return (ids, self._fingerprint(query, target))
 
-    def compile(self, spn, query: Optional[JointProbability] = None) -> CompilationResult:
+    def compile(self, spn, query: Optional[Query] = None) -> CompilationResult:
         """Compile (or fetch the cached kernel for) an SPN.
 
         ``spn`` may also be a list of class SPNs: they compile into a
@@ -211,7 +235,7 @@ class _CompilerBase:
         return self._compile_cached(spn, query, self.target)
 
     def _compile_cached(
-        self, spn, query: Optional[JointProbability], target: str
+        self, spn, query: Optional[Query], target: str
     ) -> CompilationResult:
         query = query or self._default_query()
         key = self._cache_key(spn, query, target)
@@ -271,45 +295,139 @@ class _CompilerBase:
         """
         inputs = np.asarray(inputs)
         query = self._query_for(inputs)
-        if self.fallback == "raise":
-            return self._compile_cached(spn, query, self.target).executable(inputs)
-        return self._degradable_log_likelihood(spn, inputs, query)
+        return self._run(spn, inputs, query)
+
+    def mpe(self, spn, evidence: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Most Probable Explanation: complete NaN features, score the result.
+
+        Returns ``(completions, scores)``: ``completions`` is the input
+        with every NaN feature replaced by its most probable value given
+        the observed evidence (``[batch, num_features]``, float64;
+        observed values pass through bit-exactly), and ``scores`` is the
+        max-product log score of each completed row (``[batch]``).
+        """
+        evidence = np.asarray(evidence)
+        output = self._run(spn, evidence, MPEQuery(batch_size=self.batch_size))
+        return output[1:].T, output[0]
+
+    def sample(self, spn, evidence: np.ndarray, seed: int = 0) -> np.ndarray:
+        """Seeded ancestral sampling of NaN features, conditioned on the rest.
+
+        Observed (non-NaN) features pass through bit-exactly; NaN
+        features are drawn from the SPN posterior given the evidence (an
+        all-NaN row draws an unconditional sample). The same ``seed``
+        reproduces the same samples on the same compiled kernel; the
+        seed is an execute-time parameter, so no recompile per run.
+        Returns ``[batch, num_features]`` float64.
+        """
+        evidence = np.asarray(evidence)
+        output = self._run(
+            spn, evidence, SampleQuery(batch_size=self.batch_size), seed=seed
+        )
+        return output.T
+
+    def conditional_log_likelihood(
+        self, spn, inputs: np.ndarray, query_variables
+    ) -> np.ndarray:
+        """``log P(Q = q | E = e)`` for a fixed query-variable set.
+
+        ``query_variables`` indexes the features interpreted as the
+        query; all remaining features are evidence. Evidence NaNs are
+        marginalized; a NaN on a *query* feature raises a structured
+        :class:`~repro.diagnostics.ExecutionError` (code
+        ``query-variable-nan``) rather than silently marginalizing.
+        Rows with zero-probability evidence yield NaN. Returns
+        ``[batch]`` log conditionals.
+        """
+        inputs = np.asarray(inputs)
+        query = ConditionalProbability(
+            batch_size=self.batch_size, query_variables=tuple(query_variables)
+        )
+        return self._run(spn, inputs, query)
+
+    def expectation(self, spn, evidence: np.ndarray, moment: int = 1) -> np.ndarray:
+        """Posterior raw moments ``E[X_v^m | e]`` per row and feature.
+
+        Observed features return their value raised to the ``moment``-th
+        power; NaN features return the posterior moment given the
+        remaining evidence. Features outside the model scope and rows of
+        zero-probability evidence come back NaN. Returns
+        ``[batch, num_features]`` float64.
+        """
+        evidence = np.asarray(evidence)
+        output = self._run(
+            spn, evidence, Expectation(batch_size=self.batch_size, moment=moment)
+        )
+        return output.T
 
     def classify(self, spns, inputs: np.ndarray) -> np.ndarray:
         """Arg-max classification over per-class SPNs (one shared kernel)."""
         scores = self.log_likelihood(list(spns), inputs)
         return np.argmax(scores, axis=0)
 
-    def _degradable_log_likelihood(
-        self, spn, inputs: np.ndarray, query: Optional[JointProbability] = None
+    def _run(
+        self, spn, inputs: np.ndarray, query: Query, seed: Optional[int] = None
+    ) -> np.ndarray:
+        """Compile (cached) + execute, honoring the fallback policy."""
+        if self.fallback == "raise":
+            result = self._compile_cached(spn, query, self.target)
+            return self._execute(result, inputs, query, seed)
+        return self._degradable_run(spn, inputs, query, seed)
+
+    @staticmethod
+    def _execute(
+        result: CompilationResult,
+        inputs: np.ndarray,
+        query: Query,
+        seed: Optional[int],
+    ) -> np.ndarray:
+        if query.kind == "sample":
+            return result.executable.execute(inputs, seed=seed)
+        return result.executable(inputs)
+
+    def _degradable_run(
+        self, spn, inputs: np.ndarray, query: Query, seed: Optional[int] = None
     ) -> np.ndarray:
         cascade = ["gpu", "cpu"] if self.target == "gpu" else ["cpu"]
         failures: List[Diagnostic] = []
         for rung, target in enumerate(cascade):
             try:
                 result = self._compile_cached(spn, query, target)
-                output = result.executable(inputs)
-                self._check_output(output, inputs, target)
+                output = self._execute(result, inputs, query, seed)
+                self._check_output(output, query, target)
             except Exception as error:
+                if self._is_caller_error(error):
+                    # Malformed input (e.g. NaN on a conditional query
+                    # variable) is the caller's bug, not a compiler
+                    # defect: degrading to a slower rung cannot fix it,
+                    # so surface the structured error immediately.
+                    raise
                 failures.append(self._record_failure(error, target))
                 continue
             if rung > 0:
                 self._announce_fallback(spn, failures, landed=f"{target} kernel")
             return output
-        output = self._interpret(spn, inputs)
+        output = self._interpret(spn, inputs, query, seed)
         self._announce_fallback(spn, failures, landed="reference interpreter")
         return output
 
-    def _check_output(
-        self, output: np.ndarray, inputs: np.ndarray, target: str
-    ) -> None:
+    @staticmethod
+    def _is_caller_error(error: BaseException) -> bool:
+        diagnostic = getattr(error, "diagnostic", None)
+        return diagnostic is not None and diagnostic.code == ErrorCode.QUERY_NAN
+
+    def _check_output(self, output: np.ndarray, query: Query, target: str) -> None:
         """Reject NaN kernel results (a codegen/runtime defect signal).
 
         -inf is a legitimate log probability of zero; NaN never is —
         even for marginal queries, NaN *inputs* must not leak through to
-        the result. Only consulted on the degradable path, preserving
-        strict ``fallback="raise"`` semantics.
+        the result. Conditionals and expectations are exempt: there NaN
+        is a defined answer (zero-probability evidence, features outside
+        the model scope). Only consulted on the degradable path,
+        preserving strict ``fallback="raise"`` semantics.
         """
+        if query.kind in ("conditional", "expectation"):
+            return
         if np.isnan(output).any():
             from .diagnostics import ExecutionError
 
@@ -331,8 +449,25 @@ class _CompilerBase:
         self.diagnostics.emit(diagnostic)
         return diagnostic
 
-    def _interpret(self, spn, inputs: np.ndarray) -> np.ndarray:
+    def _interpret(
+        self, spn, inputs: np.ndarray, query: Query, seed: Optional[int] = None
+    ) -> np.ndarray:
+        """Reference-evaluator rung, shaped like the compiled kernel output."""
         data = np.asarray(inputs, dtype=np.float64)
+        if query.kind == "mpe":
+            completions, scores = reference_mpe(spn, data)
+            if not self.use_log_space:
+                scores = np.exp(scores)
+            return np.concatenate([scores[None, :], completions.T], axis=0)
+        if query.kind == "sample":
+            rng = np.random.default_rng(0 if seed is None else seed)
+            return sampling.conditional_sample(spn, data, rng).T
+        if query.kind == "conditional":
+            return inference.conditional_log_likelihood(
+                spn, data, query.query_variables
+            )
+        if query.kind == "expectation":
+            return inference.expectation(spn, data, moment=query.moment).T
         if isinstance(spn, (list, tuple)):
             output = np.stack(
                 [inference.log_likelihood(s, data) for s in spn], axis=0

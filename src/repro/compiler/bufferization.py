@@ -67,6 +67,10 @@ def _bufferize_kernel(kernel: Operation, builder: Builder) -> None:
     # still tell which arguments must never be written.
     new_kernel.attributes["numInputs"] = len(arg_memrefs)
     new_kernel.attributes["readonlyArgs"] = tuple(range(len(arg_memrefs)))
+    if "queryPlan" in kernel.attributes:
+        # The host-side query plan (MPE traceback, sampling, ...) rides
+        # on the kernel through every rewrite.
+        new_kernel.attributes["queryPlan"] = kernel.attributes["queryPlan"]
     kb = Builder.at_end(new_kernel.body)
 
     value_map: Dict[Value, Value] = {}

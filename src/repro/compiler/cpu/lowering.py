@@ -417,6 +417,21 @@ def _emit_body(op: Operation, emitter: ScalarEmitter, value_map: Dict[Value, Val
             value = emitter.add(
                 value_map[inner.operands[0]], value_map[inner.operands[1]]
             )
+        elif name == lospn.MaxOp.name:
+            value = emitter.max(
+                value_map[inner.operands[0]], value_map[inner.operands[1]]
+            )
+        elif name == lospn.SelectMaxOp.name:
+            value = emitter.select_max(
+                value_map[inner.operands[0]],
+                value_map[inner.operands[1]],
+                value_map[inner.operands[2]],
+                value_map[inner.operands[3]],
+            )
+        elif name == lospn.InputValueOp.name:
+            value = emitter.input_value(
+                value_map[inner.operands[0]], inner.nan_value
+            )
         elif name == lospn.ConstantOp.name:
             value = emitter.lo_constant(inner.value)
         elif name == lospn.YieldOp.name:

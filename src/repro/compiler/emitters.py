@@ -135,6 +135,29 @@ class ScalarEmitter:
         is_neg_inf = b_.create(arith.CmpFOp, "oeq", hi, neg_inf).result
         return b_.create(arith.SelectOp, is_neg_inf, neg_inf, combined).result
 
+    def max(self, a: Value, b: Value) -> Value:
+        """Probability maximum (raw-value max in both spaces)."""
+        b_ = self.builder
+        a_ge_b = b_.create(arith.CmpFOp, "oge", a, b).result
+        return b_.create(arith.SelectOp, a_ge_b, a, b).result
+
+    def select_max(self, a: Value, b: Value, t: Value, f: Value) -> Value:
+        """Running-argmax select: ``t`` where ``a > b`` (strictly), else ``f``.
+
+        The strict comparison keeps the *first* maximum across a chain of
+        selects, matching the reference tracebacks and ``np.argmax``.
+        """
+        b_ = self.builder
+        a_gt_b = b_.create(arith.CmpFOp, "ogt", a, b).result
+        return b_.create(arith.SelectOp, a_gt_b, t, f).result
+
+    def input_value(self, x: Value, nan_value: float) -> Value:
+        """The raw feature value, with NaN replaced by ``nan_value``."""
+        b_ = self.builder
+        x = self.convert_input(x)
+        is_nan = b_.create(arith.CmpFOp, "une", x, x).result
+        return b_.create(arith.SelectOp, is_nan, self.constant(nan_value), x).result
+
     def lo_constant(self, payload: float) -> Value:
         """A lo_spn.constant payload (already in target space)."""
         return self.constant(payload)

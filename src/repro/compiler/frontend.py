@@ -17,11 +17,27 @@ from ..ir import Builder, ModuleOp
 from ..ir.ops import Operation
 from ..ir.value import Value
 from ..spn.nodes import Categorical, Gaussian, Histogram, Node, Product, Sum, topological_order
-from ..spn.query import JointProbability
+from ..spn.query import (
+    ConditionalProbability,
+    Expectation,
+    JointProbability,
+    MPEQuery,
+    Query,
+    SampleQuery,
+)
 from ..spn.serialization import deserialize
 
+#: Query descriptor class → HiSPN query op class.
+_QUERY_OPS = {
+    JointProbability: hispn.JointQueryOp,
+    MPEQuery: hispn.MPEQueryOp,
+    SampleQuery: hispn.SampleQueryOp,
+    ConditionalProbability: hispn.ConditionalQueryOp,
+    Expectation: hispn.ExpectationQueryOp,
+}
 
-def build_hispn_module(root, query: JointProbability) -> ModuleOp:
+
+def build_hispn_module(root, query: Query) -> ModuleOp:
     """Translate (root, query) into a fresh HiSPN module.
 
     ``root`` may also be a *list* of class SPNs (multi-head queries):
@@ -35,16 +51,32 @@ def build_hispn_module(root, query: JointProbability) -> ModuleOp:
     module = ModuleOp.build()
     builder = Builder.at_end(module.body)
 
+    op_class = _QUERY_OPS.get(type(query), hispn.JointQueryOp)
+    if op_class is not hispn.JointQueryOp and len(roots) > 1:
+        raise ValueError(
+            f"multi-head ensembles only support joint queries, not '{query.kind}'"
+        )
+
     # Feature indices are input-column indices: an SPN over a sparse
     # variable subset still reads from the full-width input rows.
     num_features = max(max(r.scope) for r in roots) + 1
+    extra = {}
+    if isinstance(query, ConditionalProbability):
+        if max(query.query_variables) >= num_features:
+            raise ValueError(
+                "conditional query variable out of range for the SPN scope"
+            )
+        extra["queryVariables"] = tuple(query.query_variables)
+    elif isinstance(query, Expectation):
+        extra["moment"] = int(query.moment)
     query_op = builder.create(
-        hispn.JointQueryOp,
+        op_class,
         num_features=num_features,
         input_type=query.input_type,
         batch_size=query.batch_size,
         support_marginal=query.support_marginal,
         relative_error=query.relative_error,
+        **extra,
     )
     graph_builder = Builder.at_end(query_op.body_block)
     graph_op = graph_builder.create(hispn.GraphOp, num_features, query.input_type)

@@ -167,7 +167,7 @@ class GraphPartitioner:
 
     def _value_cost(self, op: Operation) -> int:
         """Cut cost contributed by the results of ``op``."""
-        if op.has_trait(Trait.CONSTANT_LIKE):
+        if _rematerializable(op):
             return 0
         producer_part = self.assignment[id(op)]
         cost = 0
@@ -249,6 +249,18 @@ class GraphPartitioner:
             self.stats.moves_applied += moves_this_round
             if moves_this_round == 0:
                 break
+
+
+def _rematerializable(op: Operation) -> bool:
+    """Ops cloned into consumer partitions instead of exported.
+
+    Constants are free to re-materialize. ``lo_spn.input_value`` must be:
+    its result is a *raw* feature value (not the computation type), and
+    cross-partition tensors carry a single element type — exporting a raw
+    value through a log-typed tensor would silently reinterpret it. Its
+    only operand is a feature block argument, available in any partition.
+    """
+    return op.has_trait(Trait.CONSTANT_LIKE) or op.op_name == lospn.InputValueOp.name
 
 
 # --- IR rewriting ------------------------------------------------------------------
@@ -347,7 +359,7 @@ def _rewrite_kernel(
     exports: List[List[Value]] = [[] for _ in range(num_partitions)]
     export_index: Dict[Value, Tuple[int, int]] = {}
     for op in dag_ops:
-        if op.has_trait(Trait.CONSTANT_LIKE):
+        if _rematerializable(op):
             continue
         part = assignment[id(op)]
         for res in op.results:
@@ -374,6 +386,10 @@ def _rewrite_kernel(
         list(kernel.arg_types),
         list(kernel.result_types),
     )
+    if "queryPlan" in kernel.attributes:
+        # Host-side query plans (MPE traceback, sampling, ...) describe
+        # head rows, which partitioning preserves — carry the plan over.
+        new_kernel.attributes["queryPlan"] = kernel.attributes["queryPlan"]
     kb = Builder.at_end(new_kernel.body)
     input_arg = new_kernel.body.arguments[0]
 
@@ -398,7 +414,15 @@ def _rewrite_kernel(
                     producer = operand.defining_op
                     if producer is None or id(producer) not in assignment:
                         continue
-                    if producer.has_trait(Trait.CONSTANT_LIKE):
+                    if _rematerializable(producer):
+                        # Cloned into this partition rather than imported;
+                        # make its feature operands available here.
+                        if assignment[id(producer)] != part:
+                            for sub in producer.operands:
+                                if isinstance(sub, BlockArgument):
+                                    feature = feature_of_arg[sub]
+                                    if feature not in needed_features:
+                                        needed_features.append(feature)
                         continue
                     if assignment[id(producer)] != part and operand not in needed_imports:
                         needed_imports.append(operand)
@@ -464,22 +488,24 @@ def _rewrite_kernel(
         for i, value in enumerate(needed_imports):
             value_map[value] = new_body.body.arguments[offset + i]
 
-        cloned_constants: Dict[int, Operation] = {}
+        cloned_remats: Dict[int, Operation] = {}
         for op in ops:
-            # Re-materialize constant operands from other partitions.
+            # Re-materialize constant/input-value operands from other
+            # partitions (their inputs — nothing, or feature args — are
+            # available in every partition).
             for operand in op.operands:
                 producer = operand.defining_op
                 if (
                     producer is not None
-                    and producer.has_trait(Trait.CONSTANT_LIKE)
+                    and _rematerializable(producer)
                     and assignment.get(id(producer)) != part
                     and operand not in value_map
                 ):
-                    if id(producer) not in cloned_constants:
-                        cloned_constants[id(producer)] = bb.insert(
-                            producer.clone({})
+                    if id(producer) not in cloned_remats:
+                        cloned_remats[id(producer)] = bb.insert(
+                            producer.clone(value_map)
                         )
-                    value_map[operand] = cloned_constants[id(producer)].results[0]
+                    value_map[operand] = cloned_remats[id(producer)].results[0]
             bb.insert(op.clone(value_map))
         bb.create(
             lospn.YieldOp, [value_map.get(v, v) for v in exports[part]]

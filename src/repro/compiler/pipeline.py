@@ -57,7 +57,13 @@ from ..ir.analysis import AnalysisFinding
 from ..ir.passes import PassInstrumentation, PassManager
 from ..ir.pipeline_spec import build_pipeline
 from ..spn.nodes import Node
-from ..spn.query import JointProbability
+from ..spn.query import (
+    QUERY_KINDS,
+    ConditionalProbability,
+    Expectation,
+    JointProbability,
+    Query,
+)
 from ..testing import faults
 from .cpu.lowering import ISAS, normalize_vectorize_mode
 from .partitioning import PartitioningStats
@@ -113,6 +119,15 @@ class CompilerOptions:
     # Target-independent knobs.
     max_partition_size: Optional[int] = None
     use_log_space: bool = True
+    #: Query modality compiled when no explicit Query object is passed:
+    #: "joint" (default), "mpe", "sample", "conditional", "expectation".
+    #: Every modality flows through the same registered pass pipeline;
+    #: only the frontend op and the runtime wrapper differ.
+    query: str = "joint"
+    #: Conditioned variables for ``query="conditional"`` (P(Q | E)).
+    query_variables: tuple = ()
+    #: Raw moment order for ``query="expectation"`` (1 or 2).
+    moment: int = 1
     # GPU knobs (block size defaults to the query batch size).
     gpu_block_size: Optional[int] = None
     #: Concurrent device streams for the GPU software pipeline: with
@@ -177,6 +192,23 @@ class CompilerOptions:
             raise OptionsError("num_threads must be >= 1")
         if self.streams < 1:
             raise OptionsError("streams must be >= 1")
+        if self.query not in QUERY_KINDS:
+            raise OptionsError(
+                f"unknown query kind '{self.query}' "
+                f"(expected one of {', '.join(sorted(QUERY_KINDS))})"
+            )
+        try:
+            self.query_variables = tuple(
+                sorted({int(v) for v in self.query_variables})
+            )
+        except (TypeError, ValueError):
+            raise OptionsError("query_variables must be a sequence of ints") from None
+        if self.query == "conditional" and not self.query_variables:
+            raise OptionsError(
+                "query='conditional' requires non-empty query_variables"
+            )
+        if self.moment not in (1, 2):
+            raise OptionsError("moment must be 1 or 2")
 
     def cache_fingerprint(self) -> tuple:
         """Normalized tuple of every option that affects the compiled
@@ -198,7 +230,18 @@ class CompilerOptions:
             self.streams,
             self.pipeline,
             self.collect_ir,
+            self.query,
+            self.query_variables,
+            self.moment,
         )
+
+    def make_query(self) -> Query:
+        """The :class:`~repro.spn.query.Query` these options describe."""
+        if self.query == "conditional":
+            return ConditionalProbability(query_variables=self.query_variables)
+        if self.query == "expectation":
+            return Expectation(moment=self.moment)
+        return QUERY_KINDS[self.query]()
 
     def verify_mode(self) -> str:
         """The effective PassManager ``verify_each`` mode: the analysis
@@ -250,9 +293,13 @@ def compile_spn(
     query: Optional[JointProbability] = None,
     options: Optional[CompilerOptions] = None,
 ) -> CompilationResult:
-    """Compile an SPN joint-probability query to an executable kernel."""
-    query = query or JointProbability()
+    """Compile an SPN query to an executable kernel.
+
+    ``query`` may be any :class:`~repro.spn.query.Query` modality; when
+    omitted it is derived from ``options.query`` (default: joint).
+    """
     options = options or CompilerOptions()
+    query = query or options.make_query()
     target, spec = build_compile_pipeline(options, query)
 
     try:
@@ -296,6 +343,12 @@ def compile_spn(
         executable = target.codegen(module, passes, options, query)
     except Exception as error:
         raise _codegen_error(codegen_stage, error, module, options) from error
+    # Non-joint modalities carry a host-side query plan on the kernel;
+    # wrap the backend executable with the matching post-processor (MPE
+    # traceback, sampling, ...). Joint kernels pass through unchanged.
+    from ..runtime.query_executable import make_query_executable
+
+    executable = make_query_executable(executable, target.lowering_info(passes))
     manager.timing.record(codegen_stage, time.perf_counter() - start)
 
     stage_seconds: "OrderedDict[str, float]" = OrderedDict(

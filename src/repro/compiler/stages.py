@@ -56,10 +56,16 @@ class KernelInfo:
     log_space: bool
     num_results: int
     num_tasks: int
+    #: Host-side query plan (MPE traceback, sampling, ...) attached by
+    #: the query lowering as a JSON ``queryPlan`` kernel attribute; the
+    #: runtime wrapper in :mod:`repro.runtime.query_executable` reads it.
+    query_plan: Optional[dict] = None
 
 
 def capture_kernel_info(module: ModuleOp) -> KernelInfo:
     """Read the (first) ``lo_spn.kernel``'s signature facts."""
+    import json
+
     from ..backends.cpu.codegen import numpy_dtype
 
     num_tasks = 0
@@ -73,6 +79,7 @@ def capture_kernel_info(module: ModuleOp) -> KernelInfo:
         raise IRError("module contains no lo_spn.kernel")
     input_type = first.arg_types[0]
     result_type = first.arg_types[-1]
+    plan_text = first.attributes.get("queryPlan")
     return KernelInfo(
         kernel_name=first.sym_name,
         num_features=input_type.shape[1],
@@ -81,6 +88,7 @@ def capture_kernel_info(module: ModuleOp) -> KernelInfo:
         log_space=isinstance(result_type.element_type, lospn.LogType),
         num_results=result_type.shape[0] or 1,
         num_tasks=num_tasks,
+        query_plan=json.loads(plan_text) if plan_text else None,
     )
 
 

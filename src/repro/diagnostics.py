@@ -58,6 +58,7 @@ class ErrorCode:
     STAGE_FAILED = "stage-failed"
     CODEGEN_FAILED = "codegen-failed"
     EXECUTION_FAILED = "execution-failed"
+    QUERY_NAN = "query-variable-nan"
     KERNEL_NAN = "kernel-nan"
     DEVICE_OOM = "device-oom"
     DEVICE_OOM_RETRY = "device-oom-retry"

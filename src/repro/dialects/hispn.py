@@ -62,6 +62,7 @@ class _QueryOp(Operation):
         batch_size: int = 1,
         support_marginal: bool = False,
         relative_error: float = 0.0,
+        **extra_attributes,
     ):
         op = cls(
             attributes={
@@ -70,6 +71,7 @@ class _QueryOp(Operation):
                 "batchSize": batch_size,
                 "supportMarginal": support_marginal,
                 "relativeError": float(relative_error),
+                **extra_attributes,
             },
             regions=1,
         )
@@ -120,6 +122,75 @@ class JointQueryOp(_QueryOp):
     """
 
     name = "hi_spn.joint_query"
+
+
+@hispn.op
+class MPEQueryOp(_QueryOp):
+    """A Most-Probable-Explanation query (max-product semiring).
+
+    Lowered to a max-product upward pass plus one arg-max result row per
+    sum node; the host runtime performs the top-down traceback that
+    completes missing (NaN) features with their most probable values.
+    """
+
+    name = "hi_spn.mpe_query"
+
+
+@hispn.op
+class SampleQueryOp(_QueryOp):
+    """A seeded ancestral-sampling query conditioned on observed features.
+
+    Lowered to a marginal upward pass plus one Gumbel-max choice row per
+    sum node; the kernel reads host-supplied Gumbel noise from input
+    columns appended after the real features.
+    """
+
+    name = "hi_spn.sample_query"
+
+
+@hispn.op
+class ConditionalQueryOp(_QueryOp):
+    """A conditional ``P(Q | E)`` query for a fixed query-variable set.
+
+    ``queryVariables`` is the compile-time tuple of feature indices
+    interpreted as the query; all others are evidence. Lowered to a
+    two-head kernel: the full marginal log-likelihood and the
+    evidence-only one (query leaves replaced by probability 1).
+    """
+
+    name = "hi_spn.conditional_query"
+
+    @property
+    def query_variables(self) -> Tuple[int, ...]:
+        return tuple(self.attributes["queryVariables"])
+
+    def verify_op(self) -> None:
+        super().verify_op()
+        variables = self.query_variables
+        if not variables:
+            raise IRError("hi_spn.conditional_query needs query variables")
+        if any(v < 0 or v >= self.num_features for v in variables):
+            raise IRError("hi_spn.conditional_query variable out of range")
+
+
+@hispn.op
+class ExpectationQueryOp(_QueryOp):
+    """A per-feature raw-moment query ``E[X_v^moment | e]``.
+
+    Lowered in linear space to the (likelihood, moment) pair recursion
+    with one result row for the root likelihood plus one per feature.
+    """
+
+    name = "hi_spn.expectation_query"
+
+    @property
+    def moment(self) -> int:
+        return int(self.attributes.get("moment", 1))
+
+    def verify_op(self) -> None:
+        super().verify_op()
+        if self.moment not in (1, 2):
+            raise IRError("hi_spn.expectation_query supports moments 1 and 2")
 
 
 @hispn.op
@@ -331,3 +402,13 @@ LEAF_OP_NAMES = frozenset(
 )
 
 NODE_OP_NAMES = LEAF_OP_NAMES | {ProductOp.name, SumOp.name}
+
+#: Every query op name, keyed by the query-kind string it implements
+#: (mirrors ``repro.spn.query.QUERY_KINDS``).
+QUERY_OP_NAMES = {
+    "joint": JointQueryOp.name,
+    "mpe": MPEQueryOp.name,
+    "sample": SampleQueryOp.name,
+    "conditional": ConditionalQueryOp.name,
+    "expectation": ExpectationQueryOp.name,
+}

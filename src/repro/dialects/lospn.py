@@ -427,6 +427,74 @@ class AddOp(_BinaryArithOp):
 
 
 @lospn.op
+class MaxOp(_BinaryArithOp):
+    """Probability maximum (the max-product semiring's "sum").
+
+    Log storage is monotone, so the op is a plain floating-point max of
+    the raw stored values in either space.
+    """
+
+    name = "lo_spn.max"
+
+
+@lospn.op
+class SelectMaxOp(Operation):
+    """Running-argmax select: ``t if a > b else f``.
+
+    ``a``/``b`` are probability scores (same type), ``t``/``f`` arbitrary
+    same-typed payloads (argmax indices in the MPE/sampling lowerings).
+    The comparison is *strict*, so chained selects keep the first
+    maximum on ties — matching the reference tracebacks' first-max-wins
+    rule (and ``np.argmax``).
+    """
+
+    name = "lo_spn.select_max"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(cls, a: Value, b: Value, t: Value, f: Value) -> "SelectMaxOp":
+        if a.type != b.type:
+            raise IRError("lo_spn.select_max: score operand types differ")
+        if t.type != f.type:
+            raise IRError("lo_spn.select_max: payload operand types differ")
+        return cls(operands=[a, b, t, f], result_types=[t.type])
+
+
+@lospn.op
+class InputValueOp(Operation):
+    """A raw feature value with a NaN substitution constant.
+
+    Evaluates to the input where it is a number and to ``nanValue``
+    where it is NaN. The MPE lowering substitutes leaf modes, the
+    expectation lowering leaf moments; the result is a plain feature
+    value (never log-typed).
+    """
+
+    name = "lo_spn.input_value"
+    traits = frozenset({Trait.PURE})
+
+    @classmethod
+    def build(
+        cls, value: Value, nan_value: float, result_type: ComputationType = None
+    ) -> "InputValueOp":
+        """``result_type`` reinterprets the raw input in the computation
+        space (the bits pass through unchanged): the sampling lowering
+        reads host-supplied Gumbel noise as log-space addends, the
+        expectation lowering feature values as linear-space factors."""
+        if is_log_type(value.type):
+            raise IRError("lo_spn.input_value input must be a raw feature value")
+        return cls(
+            operands=[value],
+            result_types=[result_type if result_type is not None else value.type],
+            attributes={"nanValue": float(nan_value)},
+        )
+
+    @property
+    def nan_value(self) -> float:
+        return self.attributes["nanValue"]
+
+
+@lospn.op
 class ConstantOp(Operation):
     """A probability constant; for log types the payload is the log value."""
 
@@ -581,4 +649,8 @@ class ExpOp(Operation):
 
 LEAF_OP_NAMES = frozenset({HistogramOp.name, CategoricalOp.name, GaussianOp.name})
 
-ARITH_OP_NAMES = frozenset({MulOp.name, AddOp.name})
+ARITH_OP_NAMES = frozenset({MulOp.name, AddOp.name, MaxOp.name})
+
+#: Ops introduced by the non-joint query lowerings (MPE, sampling,
+#: conditionals, expectations).
+QUERY_OP_NAMES = frozenset({MaxOp.name, SelectMaxOp.name, InputValueOp.name})

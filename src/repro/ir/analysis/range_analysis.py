@@ -162,6 +162,10 @@ class RangeAnalysis(DataflowAnalysis):
         if name == "lo_spn.add":
             lhs, rhs = self._facts(op, state)
             return lhs.logaddexp(rhs) if _is_log(result) else lhs.add(rhs)
+        if name == "lo_spn.max":
+            # Raw-value max in both spaces (log storage is monotone).
+            lhs, rhs = self._facts(op, state)
+            return lhs.max_with(rhs)
         if name == "lo_spn.log":
             (operand,) = self._facts(op, state)
             return operand.log()
@@ -238,6 +242,7 @@ class RangeAnalysis(DataflowAnalysis):
             "lo_spn.histogram",
             "lo_spn.mul",
             "lo_spn.add",
+            "lo_spn.max",
             "lo_spn.log",
             "lo_spn.exp",
             "lo_spn.constant",

@@ -1,0 +1,390 @@
+"""Query-modality wrappers around compiled kernels.
+
+The query lowerings (:mod:`repro.compiler.lower_to_lospn`) emit kernels
+whose heads carry everything the device can compute data-parallel: max
+scores, per-sum argmax choice rows, marginal/moment integrals. The
+cheap, batch-size-proportional remainder — MPE traceback, drawing leaf
+samples, conditional subtraction, moment normalization — runs here on
+the host, driven by the JSON ``queryPlan`` the lowering attached to the
+kernel.
+
+Wrappers subclass :class:`~repro.runtime.executable.Executable`, so they
+share the lifecycle contract (close/drain semantics, context-manager
+use) and look exactly like a plain compiled kernel to the serving layer
+and the differential oracle. All wrapper outputs are **batch-last**
+(``[rows, batch]``), matching multi-head kernels, so batch slicing
+``outputs[..., a:b]`` keeps working:
+
+=============  =========================  =================================
+kind           output shape               rows
+=============  =========================  =================================
+mpe            ``(1 + F, n)``             max score; completed features
+sample         ``(F, n)``                 sampled features
+conditional    ``(n,)``                   log P(Q | E)
+expectation    ``(F, n)``                 E[x_v^m | E] (NaN off-scope)
+=============  =========================  =================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..diagnostics import (
+    Diagnostic,
+    ErrorCode,
+    ExecutionError,
+    Severity,
+)
+from .executable import Executable, KernelSignature
+
+
+def make_query_executable(inner: Executable, kernel_info) -> Executable:
+    """Wrap ``inner`` according to the kernel's query plan.
+
+    Joint-probability kernels (no plan) are returned unchanged.
+    """
+    plan = getattr(kernel_info, "query_plan", None)
+    if plan is None:
+        return inner
+    cls = _WRAPPERS.get(plan["kind"])
+    if cls is None:
+        raise ValueError(f"unknown query plan kind '{plan['kind']}'")
+    return cls(inner, plan)
+
+
+class QueryExecutable(Executable):
+    """Common host-post-processing wrapper machinery."""
+
+    def __init__(self, inner: Executable, plan: dict, signature: KernelSignature):
+        super().__init__(inner.entry_name, signature)
+        self.inner = inner
+        self.plan = plan
+        # Mirror the backend name so oracle/serving dispatch (which keys
+        # on .target) sees through the wrapper.
+        self.target = inner.target
+
+    def _release(self) -> None:
+        self.inner.close()
+
+    @property
+    def source(self) -> str:
+        return self.inner.source
+
+    # Wrappers accept an extra ``seed`` keyword (used by sampling; the
+    # others ignore it) so callers can treat all modalities uniformly.
+    def __call__(
+        self,
+        inputs: np.ndarray,
+        deadline: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.execute(inputs, deadline=deadline, seed=seed)
+
+    def execute(
+        self,
+        inputs: np.ndarray,
+        deadline: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> np.ndarray:
+        self._enter_execute()
+        try:
+            sig = self.signature
+            # Feature pass-through (observed values in completions and
+            # samples) uses the caller's full-precision values, not the
+            # kernel-dtype cast — an f32 kernel must not round-trip the
+            # user's f64 evidence.
+            original = np.asarray(inputs, dtype=np.float64)
+            inputs = np.ascontiguousarray(inputs, dtype=sig.input_dtype)
+            if inputs.ndim != 2 or inputs.shape[1] != sig.num_features:
+                raise ValueError(
+                    f"expected input of shape [batch, {sig.num_features}], "
+                    f"got {inputs.shape}"
+                )
+            return self._post(inputs, original, deadline, seed)
+        finally:
+            self._exit_execute()
+
+    def _post(
+        self,
+        inputs: np.ndarray,
+        original: np.ndarray,
+        deadline: Optional[float],
+        seed: Optional[int],
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _heads(self, inputs: np.ndarray, deadline: Optional[float]) -> np.ndarray:
+        """Run the inner kernel; always return a 2-D [rows, batch] view."""
+        raw = self.inner.execute(inputs, deadline=deadline)
+        return np.atleast_2d(raw)
+
+
+def _choice_rows(plan: dict, heads: np.ndarray) -> Dict[int, np.ndarray]:
+    """Per-sum integer winner indices decoded from the argmax head rows."""
+    choices: Dict[int, np.ndarray] = {}
+    for node in plan["nodes"]:
+        if node.get("kind") == "sum":
+            choices[node["id"]] = np.rint(heads[node["row"]]).astype(np.int64)
+    return choices
+
+
+def _active_masks(
+    plan: dict, choices: Dict[int, np.ndarray], n: int
+) -> Dict[int, np.ndarray]:
+    """Top-down traceback: which samples reach each node.
+
+    Plan nodes are in topological order (children first), so the
+    reversed sweep visits every parent before its children and each
+    node's mask is final when read. Products propagate their mask to all
+    children; sums route it to the child the argmax head selected.
+    """
+    active = {node["id"]: np.zeros(n, dtype=bool) for node in plan["nodes"]}
+    active[plan["root"]][:] = True
+    for node in reversed(plan["nodes"]):
+        kind = node["kind"]
+        if kind == "leaf":
+            continue
+        mask = active[node["id"]]
+        if not mask.any():
+            continue
+        if kind == "product":
+            for child in node["children"]:
+                active[child] |= mask
+        else:  # sum
+            choice = choices[node["id"]]
+            for position, child in enumerate(node["children"]):
+                active[child] |= mask & (choice == position)
+    return active
+
+
+class MPEExecutable(QueryExecutable):
+    """Most-probable-explanation: argmax traceback + mode completion.
+
+    Row 0 is the max-product score (same space as the inner kernel);
+    rows ``1..F`` are the input features with every NaN replaced by the
+    mode of the leaf the traceback selected for that sample.
+    """
+
+    def __init__(self, inner: Executable, plan: dict):
+        inner_sig = inner.signature
+        super().__init__(
+            inner,
+            plan,
+            KernelSignature(
+                num_features=plan["num_features"],
+                input_dtype=inner_sig.input_dtype,
+                result_dtype=np.dtype(np.float64),
+                log_space=inner_sig.log_space,
+                batch_size=inner_sig.batch_size,
+                num_results=1 + plan["num_features"],
+            ),
+        )
+
+    def _post(self, inputs, original, deadline, seed):
+        heads = self._heads(inputs, deadline)
+        n = inputs.shape[0]
+        masks = _active_masks(self.plan, _choice_rows(self.plan, heads), n)
+        completions = original.copy()
+        missing = np.isnan(completions)
+        for node in self.plan["nodes"]:
+            if node["kind"] != "leaf":
+                continue
+            variable = node["variable"]
+            fill = masks[node["id"]] & missing[:, variable]
+            if fill.any():
+                completions[fill, variable] = node["mode"]
+        output = np.empty((1 + completions.shape[1], n), dtype=np.float64)
+        output[0] = heads[0]
+        output[1:] = completions.T
+        return output
+
+
+class SampleExecutable(QueryExecutable):
+    """Seeded ancestral sampling via on-device Gumbel-max choice rows.
+
+    The host appends one Gumbel-noise column per (sum, child) edge to
+    the evidence batch; the kernel's argmax heads then *are* posterior
+    branch draws. Traceback selects one leaf per variable and the host
+    draws the leaf values. Determinism: noise and leaf draws both come
+    from one ``np.random.default_rng(seed)``, with **full-batch** draws
+    per leaf in plan order — so results depend only on (seed, inputs),
+    never on which subset of samples reaches a leaf.
+    """
+
+    def __init__(self, inner: Executable, plan: dict):
+        inner_sig = inner.signature
+        super().__init__(
+            inner,
+            plan,
+            KernelSignature(
+                num_features=plan["num_features"],
+                input_dtype=inner_sig.input_dtype,
+                result_dtype=np.dtype(np.float64),
+                log_space=False,
+                batch_size=inner_sig.batch_size,
+                num_results=plan["num_features"],
+            ),
+        )
+
+    def _post(self, inputs, original, deadline, seed):
+        plan = self.plan
+        n = inputs.shape[0]
+        rng = np.random.default_rng(0 if seed is None else seed)
+        extended = np.empty(
+            (n, plan["num_features"] + plan["num_aux"]),
+            dtype=self.inner.signature.input_dtype,
+        )
+        extended[:, : plan["num_features"]] = inputs
+        extended[:, plan["num_features"]:] = rng.gumbel(
+            size=(n, plan["num_aux"])
+        )
+        heads = self._heads(extended, deadline)
+        masks = _active_masks(plan, _choice_rows(plan, heads), n)
+        samples = original.copy()
+        missing = np.isnan(samples)
+        for node in plan["nodes"]:
+            if node["kind"] != "leaf":
+                continue
+            variable = node["variable"]
+            draws = _draw_leaf(node["leaf"], rng, n)
+            fill = masks[node["id"]] & missing[:, variable]
+            if fill.any():
+                samples[fill, variable] = draws[fill]
+        return samples.T.copy()
+
+
+def _draw_leaf(leaf: dict, rng: np.random.Generator, n: int) -> np.ndarray:
+    kind = leaf["type"]
+    if kind == "gaussian":
+        return rng.normal(leaf["mean"], leaf["stdev"], size=n)
+    if kind == "categorical":
+        probs = np.asarray(leaf["probabilities"], dtype=np.float64)
+        probs = probs / probs.sum()
+        return rng.choice(len(probs), p=probs, size=n).astype(np.float64)
+    if kind == "histogram":
+        bounds = np.asarray(leaf["bounds"], dtype=np.float64)
+        densities = np.asarray(leaf["densities"], dtype=np.float64)
+        lo, hi = bounds[:-1], bounds[1:]
+        masses = densities * (hi - lo)
+        total = masses.sum()
+        if total <= 0:
+            masses = (hi - lo) / (hi - lo).sum()
+        else:
+            masses = masses / total
+        buckets = rng.choice(len(masses), p=masses, size=n)
+        return lo[buckets] + rng.random(n) * (hi[buckets] - lo[buckets])
+    raise ValueError(f"unknown leaf type '{kind}'")
+
+
+class ConditionalExecutable(QueryExecutable):
+    """log P(Q | E) from the joint/evidence marginal head pair.
+
+    Evidence NaNs marginalize inside the kernel; a NaN in a *query*
+    column is a caller error (the query value is what the probability is
+    conditioned *of*) and raises a structured diagnostic instead of
+    silently degenerating to 0.
+    """
+
+    def __init__(self, inner: Executable, plan: dict):
+        inner_sig = inner.signature
+        super().__init__(
+            inner,
+            plan,
+            KernelSignature(
+                num_features=plan["num_features"],
+                input_dtype=inner_sig.input_dtype,
+                result_dtype=np.dtype(np.float64),
+                log_space=True,
+                batch_size=inner_sig.batch_size,
+                num_results=1,
+            ),
+        )
+
+    def _post(self, inputs, original, deadline, seed):
+        variables = self.plan["query_variables"]
+        nan_rows = np.isnan(inputs[:, variables]).any(axis=1)
+        if nan_rows.any():
+            bad = int(np.flatnonzero(nan_rows)[0])
+            raise ExecutionError(
+                f"conditional query requires observed query variables; "
+                f"sample {bad} has NaN in query columns {variables} "
+                "(NaN evidence marginalizes, NaN query values are invalid)",
+                diagnostic=Diagnostic(
+                    severity=Severity.ERROR,
+                    code=ErrorCode.QUERY_NAN,
+                    message="NaN in conditional query variables",
+                    stage="execute",
+                    target=self.target,
+                    detail={
+                        "query_variables": list(variables),
+                        "first_bad_sample": bad,
+                        "bad_samples": int(nan_rows.sum()),
+                    },
+                ),
+            )
+        heads = self._heads(inputs, deadline)
+        joint = heads[0].astype(np.float64)
+        evidence = heads[1].astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            if self.inner.signature.log_space:
+                return joint - evidence
+            return np.log(joint) - np.log(evidence)
+
+
+class ExpectationExecutable(QueryExecutable):
+    """E[x_v^m | E]: normalize the moment heads by the likelihood head.
+
+    Output rows follow feature order; variables outside the root scope
+    (the kernel computes no moment for them) and samples whose marginal
+    likelihood is non-positive or non-finite come back NaN.
+    """
+
+    def __init__(self, inner: Executable, plan: dict):
+        inner_sig = inner.signature
+        super().__init__(
+            inner,
+            plan,
+            KernelSignature(
+                num_features=plan["num_features"],
+                input_dtype=inner_sig.input_dtype,
+                result_dtype=np.dtype(np.float64),
+                log_space=False,
+                batch_size=inner_sig.batch_size,
+                num_results=plan["num_features"],
+            ),
+        )
+
+    def _post(self, inputs, original, deadline, seed):
+        plan = self.plan
+        heads = self._heads(inputs, deadline)
+        likelihood = heads[0].astype(np.float64)
+        invalid = ~np.isfinite(likelihood) | (likelihood <= 0.0)
+        output = np.full(
+            (plan["num_features"], inputs.shape[0]), np.nan, dtype=np.float64
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            for row, variable in enumerate(plan["variables"]):
+                values = heads[1 + row].astype(np.float64) / likelihood
+                values[invalid] = np.nan
+                output[variable] = values
+        return output
+
+
+_WRAPPERS = {
+    "mpe": MPEExecutable,
+    "sample": SampleExecutable,
+    "conditional": ConditionalExecutable,
+    "expectation": ExpectationExecutable,
+}
+
+
+__all__ = [
+    "ConditionalExecutable",
+    "ExpectationExecutable",
+    "MPEExecutable",
+    "QueryExecutable",
+    "SampleExecutable",
+    "make_query_executable",
+]

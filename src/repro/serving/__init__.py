@@ -43,7 +43,13 @@ from .admission import (
     QueueClosedError,
     RequestQueue,
 )
-from .batcher import BatchPolicy, DynamicBatcher, Request, ServingResult
+from .batcher import (
+    BatchPolicy,
+    DynamicBatcher,
+    Request,
+    ServingResult,
+    canonical_query_args,
+)
 from .health import ServerStats
 from .httpd import serve_http
 from .registry import ModelRegistry, ModelVersion
@@ -64,5 +70,6 @@ __all__ = [
     "ServerConfig",
     "ServerStats",
     "ServingResult",
+    "canonical_query_args",
     "serve_http",
 ]

@@ -12,6 +12,16 @@ batch fills instantly (throughput mode); a lone request waits at most
 Expired requests are separated out at collection time so a request
 whose deadline passed while queued gets its terminal outcome
 (deadline error) immediately instead of burning kernel time.
+
+Mixed query modalities coalesce into the *same* queue but never into
+the same kernel call: each request carries its query kind (plus the
+kind-specific compile parameters) and the server partitions collected
+batches by :attr:`Request.batch_key`, so a burst of joint, MPE and
+conditional traffic forms one kernel batch per modality. Sampling
+requests additionally key on their own identity — the kernel's noise
+columns are row-position-dependent, so coalescing two seeded requests
+would make each one's samples depend on co-batched traffic instead of
+only on ``(seed, evidence)``.
 """
 
 from __future__ import annotations
@@ -29,11 +39,28 @@ from .admission import RequestQueue
 _request_ids = itertools.count(1)
 
 
+def canonical_query_args(kind: str, query_variables=(), moment: int = 1) -> tuple:
+    """The kind-specific compile parameters, in canonical (hashable) form.
+
+    This is the modality half of the batching key: two requests coalesce
+    into one kernel call only when their ``(kind, args)`` agree, because
+    e.g. conditionals over different query-variable sets are different
+    compiled kernels.
+    """
+    if kind == "conditional":
+        return tuple(sorted({int(v) for v in query_variables}))
+    if kind == "expectation":
+        return (int(moment),)
+    return ()
+
+
 @dataclass
 class ServingResult:
     """Terminal success payload delivered through ``Request.future``."""
 
-    #: Per-request (log-)likelihoods: shape [rows] (or [heads, rows]).
+    #: Per-request results, rows always on the last axis: ``[rows]`` for
+    #: joint/conditional, ``[heads, rows]`` for multi-head joint,
+    #: ``[1 + F, rows]`` for MPE, ``[F, rows]`` for sample/expectation.
     values: np.ndarray
     #: True when served by the interpreter degradation rung.
     degraded: bool
@@ -41,6 +68,8 @@ class ServingResult:
     model_version: int
     #: End-to-end latency (submit → completion), seconds.
     latency_s: float
+    #: Query modality that produced the values.
+    query: str = "joint"
 
 
 @dataclass
@@ -57,6 +86,14 @@ class Request:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     #: True when the caller submitted a single row (result is squeezed).
     single_row: bool = False
+    #: Query modality ("joint", "mpe", "sample", "conditional",
+    #: "expectation"); part of the batching key.
+    query: str = "joint"
+    #: Canonical kind-specific compile parameters (conditional query
+    #: variables, expectation moment); see :func:`canonical_query_args`.
+    query_args: tuple = ()
+    #: RNG seed for sampling requests (execute-time parameter).
+    seed: int = 0
     #: Set by the server the moment a terminal outcome is recorded, so
     #: error paths that overlap (worker guard after a partial batch)
     #: cannot double-count a request. Only the owning worker writes it.
@@ -65,6 +102,19 @@ class Request:
     @property
     def num_rows(self) -> int:
         return self.rows.shape[0]
+
+    @property
+    def batch_key(self) -> tuple:
+        """Coalescing key: requests sharing it may run as one kernel call.
+
+        Sampling requests are never coalesced across requests (the key
+        includes the request id): the kernel's Gumbel-noise columns are
+        drawn per row *position*, so a request's samples must depend only
+        on its own ``(seed, evidence)``, not on co-batched traffic.
+        """
+        if self.query == "sample":
+            return (self.query, self.query_args, self.seed, self.request_id)
+        return (self.query, self.query_args)
 
     def expired(self, now: Optional[float] = None) -> bool:
         return self.deadline is not None and (now or time.monotonic()) >= self.deadline

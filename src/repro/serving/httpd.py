@@ -9,6 +9,9 @@ Endpoints (JSON in/out, no dependencies beyond the standard library):
 - ``POST /v1/models/<name>:predict`` — body
   ``{"inputs": [[...], ...], "timeout_ms": 250}``; responds
   ``{"outputs": [...], "degraded": false, "model_version": 1}``.
+  Optional query-modality fields: ``"query"`` ("joint" default, "mpe",
+  "sample", "conditional", "expectation"), ``"query_variables"``
+  (conditional), ``"moment"`` (expectation) and ``"seed"`` (sample).
 
 Error mapping keeps the admission semantics visible to clients:
 queue-full backpressure is ``429`` with a ``Retry-After`` header,
@@ -25,7 +28,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..diagnostics import AdmissionError, DeadlineError
+from ..diagnostics import AdmissionError, DeadlineError, ErrorCode, ExecutionError
 from .admission import ModelNotFoundError
 from .server import InferenceServer
 
@@ -89,12 +92,24 @@ class _Handler(BaseHTTPRequestHandler):
             inputs = np.asarray(request["inputs"], dtype=np.float64)
             timeout_ms = request.get("timeout_ms")
             timeout_s = None if timeout_ms is None else float(timeout_ms) / 1e3
-        except (KeyError, ValueError, json.JSONDecodeError) as error:
+            query = str(request.get("query", "joint"))
+            query_variables = request.get("query_variables", ())
+            moment = int(request.get("moment", 1))
+            seed = int(request.get("seed", 0))
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as error:
             self._send_json(400, {"error": f"bad request: {error}"})
             return
         server = self.server.inference_server
         try:
-            future = server.submit(name, inputs, timeout_s=timeout_s)
+            future = server.submit(
+                name,
+                inputs,
+                timeout_s=timeout_s,
+                query=query,
+                query_variables=query_variables,
+                moment=moment,
+                seed=seed,
+            )
             result = future.result()
         except ModelNotFoundError as error:
             self._send_json(404, {"error": str(error)})
@@ -108,6 +123,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(504, {"error": str(error)})
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
+        except ExecutionError as error:
+            diagnostic = getattr(error, "diagnostic", None)
+            if diagnostic is not None and diagnostic.code == ErrorCode.QUERY_NAN:
+                # NaN on a conditional query variable: the client's bug
+                # (a protocol answer), not a server failure.
+                self._send_json(400, {"error": str(error)})
+            else:
+                self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
         except Exception as error:  # both degradation rungs failed
             self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
         else:
@@ -118,6 +141,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "degraded": result.degraded,
                     "model_version": result.model_version,
                     "latency_ms": result.latency_s * 1e3,
+                    "query": result.query,
                 },
             )
 

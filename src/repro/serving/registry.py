@@ -30,15 +30,20 @@ from ..diagnostics import (
     ErrorCode,
     Severity,
 )
-from ..spn import inference
+from ..spn import inference, sampling
+from ..spn.mpe import mpe as reference_mpe
+from ..spn.query import QUERY_KINDS, Query
 from .admission import ModelNotFoundError
 
 
 class ModelVersion:
     """One published (compiled) version of a named model.
 
-    Holds both the compiled executable (the fast path) and the source
-    SPN (the always-correct interpreter rung of the degradation ladder).
+    Holds the compiled joint executable (the fast path), the compiler
+    that produced it (so the other query modalities — MPE, sampling,
+    conditional, expectation — compile lazily on their first request,
+    through the same registered pass pipeline), and the source SPN (the
+    always-correct interpreter rung of the degradation ladder).
     """
 
     def __init__(
@@ -49,6 +54,7 @@ class ModelVersion:
         compilation,
         fingerprint: tuple,
         use_log_space: bool = True,
+        compiler: Optional[_CompilerBase] = None,
     ):
         self.name = name
         self.version = version
@@ -57,10 +63,17 @@ class ModelVersion:
         #: ``CompilerOptions.cache_fingerprint()`` of the compiled kernel.
         self.fingerprint = fingerprint
         self.use_log_space = use_log_space
+        self.compiler = compiler
         self.created_at = time.time()
         self._leases = 0
         self._retired = False
         self._cond = threading.Condition()
+        # Per-query-descriptor compilations, seeded with the base (joint)
+        # kernel; other modalities land here on first use.
+        self._compile_lock = threading.Lock()
+        self._compilations: Dict[Query, object] = {}
+        if compiler is not None:
+            self._compilations[compiler._default_query()] = compilation
 
     # -- execution surface -------------------------------------------------------
 
@@ -72,13 +85,96 @@ class ModelVersion:
     def num_features(self) -> int:
         return self.executable.signature.num_features
 
-    def interpret(self, inputs: np.ndarray) -> np.ndarray:
-        """Reference-interpreter evaluation (the degraded rung).
+    def query_for(
+        self,
+        kind: str,
+        query_args: tuple = (),
+        inputs: Optional[np.ndarray] = None,
+    ) -> Query:
+        """Build (and validate) the query descriptor for one batch.
 
-        SPFlow-equivalent semantics (:mod:`repro.spn.inference`) — slow
-        but always correct, even when the compiled kernel is faulting.
+        ``query_args`` is the canonical kind-specific parameter tuple
+        (see :func:`~repro.serving.batcher.canonical_query_args`). Joint
+        batches containing NaN evidence are rerouted to a
+        marginal-supporting kernel, mirroring the direct-API behaviour.
+        Raises ``ValueError`` for unknown kinds or invalid parameters.
+        """
+        if self.compiler is None:
+            raise ValueError(
+                "this model version was published without a compiler; "
+                "only joint queries are servable"
+            )
+        if kind == "joint":
+            query = self.compiler._default_query()
+            if inputs is not None:
+                query = self.compiler._query_for(inputs, query)
+            return query
+        cls = QUERY_KINDS.get(kind)
+        if cls is None:
+            raise ValueError(
+                f"unknown query kind '{kind}' "
+                f"(expected one of {sorted(QUERY_KINDS)})"
+            )
+        if kind == "conditional":
+            if query_args and query_args[-1] >= self.num_features:
+                raise ValueError(
+                    f"conditional query variable {query_args[-1]} out of "
+                    f"range for a {self.num_features}-feature model"
+                )
+            return cls(
+                batch_size=self.compiler.batch_size, query_variables=query_args
+            )
+        if kind == "expectation":
+            moment = query_args[0] if query_args else 1
+            return cls(batch_size=self.compiler.batch_size, moment=moment)
+        return cls(batch_size=self.compiler.batch_size)
+
+    def executable_for(self, query: Optional[Query] = None):
+        """The compiled executable serving ``query`` (lazily compiled).
+
+        The base (joint) kernel is compiled at publish; the other
+        modalities — and the marginal-supporting joint variant — compile
+        on their first request through the compiler's single-flight
+        cache, then stay resident for the life of this version.
+        """
+        if query is None:
+            return self.executable
+        with self._compile_lock:
+            compilation = self._compilations.get(query)
+            if compilation is None:
+                compilation = self.compiler.compile(self.spn, query)
+                self._compilations[query] = compilation
+        return compilation.executable
+
+    def interpret(
+        self,
+        inputs: np.ndarray,
+        query: Optional[Query] = None,
+        seed: Optional[int] = None,
+    ) -> np.ndarray:
+        """Reference evaluation (the degraded rung), any modality.
+
+        SPFlow-equivalent semantics (:mod:`repro.spn`) — slow but always
+        correct, even when the compiled kernel is faulting. Outputs are
+        shaped exactly like the compiled kernel's (rows on the last
+        axis) so batch slicing downstream is modality-agnostic.
         """
         data = np.asarray(inputs, dtype=np.float64)
+        kind = "joint" if query is None else query.kind
+        if kind == "mpe":
+            completions, scores = reference_mpe(self.spn, data)
+            if not self.use_log_space:
+                scores = np.exp(scores)
+            return np.concatenate([scores[None, :], completions.T], axis=0)
+        if kind == "sample":
+            rng = np.random.default_rng(0 if seed is None else seed)
+            return sampling.conditional_sample(self.spn, data, rng).T
+        if kind == "conditional":
+            return inference.conditional_log_likelihood(
+                self.spn, data, query.query_variables
+            )
+        if kind == "expectation":
+            return inference.expectation(self.spn, data, moment=query.moment).T
         output = inference.log_likelihood(self.spn, data)
         return output if self.use_log_space else np.exp(output)
 
@@ -118,12 +214,27 @@ class ModelVersion:
             return True
 
     def close(self) -> None:
-        """Release the compiled kernel's resources (post-drain)."""
+        """Release every compiled kernel's resources (post-drain).
+
+        Covers the base joint kernel and any lazily compiled query
+        modalities, deduplicated by identity (the compiler's cache may
+        hand the same compilation back for equivalent descriptors).
+        """
         with self._cond:
             self._retired = True
-        self.executable.close()
+        with self._compile_lock:
+            compilations = list(self._compilations.values())
+            self._compilations.clear()
+        closed = set()
+        for compilation in compilations + [self.compilation]:
+            executable = compilation.executable
+            if id(executable) not in closed:
+                closed.add(id(executable))
+                executable.close()
 
     def describe(self) -> Dict[str, object]:
+        with self._compile_lock:
+            queries = sorted({query.kind for query in self._compilations})
         return {
             "name": self.name,
             "version": self.version,
@@ -132,6 +243,7 @@ class ModelVersion:
             "leases": self.leases,
             "retired": self.retired,
             "created_at": self.created_at,
+            "compiled_queries": queries or ["joint"],
         }
 
 
@@ -181,6 +293,7 @@ class ModelRegistry:
                 compilation=compilation,
                 fingerprint=fingerprint,
                 use_log_space=compiler.use_log_space,
+                compiler=compiler,
             )
             previous = self._models.get(name)
             self._models[name] = version

@@ -59,7 +59,13 @@ from .admission import (
     QueueClosedError,
     RequestQueue,
 )
-from .batcher import BatchPolicy, DynamicBatcher, Request, ServingResult
+from .batcher import (
+    BatchPolicy,
+    DynamicBatcher,
+    Request,
+    ServingResult,
+    canonical_query_args,
+)
 from .health import ServerStats
 from .registry import ModelRegistry, ModelVersion
 
@@ -240,14 +246,31 @@ class InferenceServer:
 
     # -- request entry points ----------------------------------------------------
 
-    def submit(self, name: str, rows, timeout_s: Optional[float] = None):
+    def submit(
+        self,
+        name: str,
+        rows,
+        timeout_s: Optional[float] = None,
+        *,
+        query: str = "joint",
+        query_variables=(),
+        moment: int = 1,
+        seed: int = 0,
+    ):
         """Admit one request; returns a Future of :class:`ServingResult`.
 
         ``rows`` is one row ``[features]`` or a small batch
-        ``[k, features]``. Raises synchronously on admission failure:
+        ``[k, features]``. ``query`` selects the modality ("joint",
+        "mpe", "sample", "conditional", "expectation");
+        ``query_variables`` (conditional), ``moment`` (expectation) and
+        ``seed`` (sample) parameterize it. Requests of different
+        modalities share the queue but batch separately — the batcher
+        partitions by query, so mixed traffic coalesces per kind.
+        Raises synchronously on admission failure:
         :class:`~repro.serving.admission.ModelNotFoundError`,
         :class:`~repro.diagnostics.AdmissionError` (queue full /
-        closed, with ``retry_after_s``) or
+        closed, with ``retry_after_s``), ``ValueError`` (bad shape or
+        query parameters) or
         :class:`~repro.diagnostics.DeadlineError` (deadline already
         infeasible at submit).
         """
@@ -273,11 +296,22 @@ class InferenceServer:
                 f"expected [{version.num_features}] features per row, "
                 f"got shape {rows.shape}"
             )
+        query_args = canonical_query_args(query, query_variables, moment)
+        # Build the descriptor once to validate synchronously (unknown
+        # kind, empty conditional set, unsupported moment) — the caller
+        # gets a ValueError at submit, not a failed Future later.
+        version.query_for(query, query_args)
 
         timeout = self.config.default_timeout_s if timeout_s is None else timeout_s
         deadline = None if timeout is None else time.monotonic() + timeout
         request = Request(
-            model=name, rows=rows, deadline=deadline, single_row=single_row
+            model=name,
+            rows=rows,
+            deadline=deadline,
+            single_row=single_row,
+            query=query,
+            query_args=query_args,
+            seed=int(seed),
         )
         if request.expired():
             self._record_arrival(state, accepted=True)
@@ -309,14 +343,33 @@ class InferenceServer:
         return request.future
 
     def infer(
-        self, name: str, rows, timeout_s: Optional[float] = None
+        self,
+        name: str,
+        rows,
+        timeout_s: Optional[float] = None,
+        *,
+        query: str = "joint",
+        query_variables=(),
+        moment: int = 1,
+        seed: int = 0,
     ) -> np.ndarray:
-        """Blocking inference; returns the (log-)likelihood values.
+        """Blocking inference; returns the query's values.
 
         Single-row submits get a scalar-shaped result (``[...]`` with
-        the row axis squeezed), mirroring direct kernel calls.
+        the row axis squeezed), mirroring direct kernel calls. Values
+        keep the kernel layout (rows on the last axis): ``[rows]`` for
+        joint/conditional, ``[1 + F, rows]`` for MPE (score row first),
+        ``[F, rows]`` for sample/expectation.
         """
-        future = self.submit(name, rows, timeout_s=timeout_s)
+        future = self.submit(
+            name,
+            rows,
+            timeout_s=timeout_s,
+            query=query,
+            query_variables=query_variables,
+            moment=moment,
+            seed=seed,
+        )
         result: ServingResult = future.result(
             timeout=None if timeout_s is None else timeout_s + self.config.drain_timeout_s
         )
@@ -347,7 +400,11 @@ class InferenceServer:
         request.finished = True
         latency = time.monotonic() - request.submitted_at
         result = ServingResult(
-            values=values, degraded=degraded, model_version=version, latency_s=latency
+            values=values,
+            degraded=degraded,
+            model_version=version,
+            latency_s=latency,
+            query=request.query,
         )
         try:
             request.future.set_result(result)
@@ -431,10 +488,14 @@ class InferenceServer:
                     live.append(request)
                 else:
                     self._finish_cancelled(state, request)
-            # A hot swap can change num_features while old-width
-            # requests sit queued; uniform-width groups keep concat
-            # well-defined and fail mismatches cleanly per group.
-            for group in self._partition_by_width(live):
+            # Partition by feature width *and* query modality: a hot
+            # swap can change num_features while old-width requests sit
+            # queued (uniform-width groups keep concat well-defined and
+            # fail mismatches cleanly per group), and different query
+            # kinds — or conditionals over different variable sets —
+            # are different compiled kernels, so mixed-modality traffic
+            # coalesces per kind, never across kinds.
+            for group in self._partition(live):
                 try:
                     self._process_batch(state, group)
                 except Exception as error:
@@ -450,10 +511,11 @@ class InferenceServer:
                         self._finish_error(state, request, error, outcome="failed")
 
     @staticmethod
-    def _partition_by_width(batch: List[Request]) -> List[List[Request]]:
-        groups: Dict[int, List[Request]] = {}
+    def _partition(batch: List[Request]) -> List[List[Request]]:
+        groups: Dict[tuple, List[Request]] = {}
         for request in batch:
-            groups.setdefault(request.rows.shape[1], []).append(request)
+            key = (request.rows.shape[1], request.batch_key)
+            groups.setdefault(key, []).append(request)
         return list(groups.values())
 
     def _process_batch(self, state: _ModelState, batch: List[Request]) -> None:
@@ -493,8 +555,14 @@ class InferenceServer:
                     self._finish_error(state, request, error, outcome="expired")
                 return
             try:
+                # The group shares one modality (it is part of the
+                # batching key); joint batches with NaN evidence reroute
+                # to the marginal-supporting kernel here.
+                query = version.query_for(
+                    batch[0].query, batch[0].query_args, inputs=inputs
+                )
                 outputs, degraded = self._execute_resilient(
-                    state, version, inputs, deadline
+                    state, version, inputs, deadline, query, batch[0].seed
                 )
             except DeadlineError as error:
                 for request in batch:
@@ -521,7 +589,9 @@ class InferenceServer:
                     outcome="expired",
                 )
             else:
-                self._finish_ok(state, request, piece, degraded, version.version)
+                self._finish_ok(
+                    state, request, piece, degraded, version.version
+                )
 
     @staticmethod
     def _acquire_gate(
@@ -564,12 +634,16 @@ class InferenceServer:
         version: ModelVersion,
         inputs: np.ndarray,
         deadline: Optional[float],
+        query,
+        seed: int,
     ):
         """Compiled kernel (with retries) → interpreter. Returns
         ``(outputs, degraded)`` or raises the terminal error."""
         if state.breaker.allow_request():
             try:
-                outputs = self._run_compiled(state, version, inputs, deadline)
+                outputs = self._run_compiled(
+                    state, version, inputs, deadline, query, seed
+                )
                 state.breaker.record_success()
                 return outputs, False
             except DeadlineError:
@@ -577,6 +651,12 @@ class InferenceServer:
                 # the deadline without charging the breaker.
                 raise
             except Exception as error:
+                if self._is_caller_error(error):
+                    # Malformed input (NaN on a conditional query
+                    # variable): the caller's bug, not a kernel defect —
+                    # don't charge the breaker, don't degrade (the
+                    # interpreter would reject it too).
+                    raise
                 state.breaker.record_failure()
                 self.diagnostics.emit(
                     diagnostic_from_exception(
@@ -606,8 +686,13 @@ class InferenceServer:
                 "deadline exceeded before interpreter fallback could run"
             )
         # The always-correct rung: SPFlow-equivalent reference semantics.
-        outputs = version.interpret(inputs)
+        outputs = version.interpret(inputs, query, seed=seed)
         return outputs, True
+
+    @staticmethod
+    def _is_caller_error(error: BaseException) -> bool:
+        diagnostic = getattr(error, "diagnostic", None)
+        return diagnostic is not None and diagnostic.code == ErrorCode.QUERY_NAN
 
     def _run_compiled(
         self,
@@ -615,6 +700,8 @@ class InferenceServer:
         version: ModelVersion,
         inputs: np.ndarray,
         deadline: Optional[float],
+        query,
+        seed: int,
     ) -> np.ndarray:
         policy = self.config.retry
         attempt = 0
@@ -622,7 +709,22 @@ class InferenceServer:
             if deadline is not None and time.monotonic() >= deadline:
                 raise DeadlineError("deadline exceeded before kernel execution")
             try:
-                outputs = version.executable.execute(inputs, deadline=deadline)
+                # Lazy per-modality compile (first request of a kind on
+                # this version) happens inside the retry/breaker ladder,
+                # so a failing query lowering degrades to the reference
+                # interpreter instead of erroring the batch.
+                executable = version.executable_for(query)
+                if query.kind == "sample":
+                    outputs = executable.execute(
+                        inputs, deadline=deadline, seed=seed
+                    )
+                else:
+                    outputs = executable.execute(inputs, deadline=deadline)
+                if query.kind in ("conditional", "expectation"):
+                    # NaN is a defined answer for these modalities
+                    # (zero-probability evidence, off-scope features),
+                    # never a kernel-defect signal.
+                    return outputs
                 if np.isnan(outputs).any():
                     raise ExecutionError(
                         f"compiled kernel for '{state.name}' produced NaN results",
@@ -638,7 +740,9 @@ class InferenceServer:
             except DeadlineError:
                 raise
             except Exception as error:
-                if attempt >= policy.max_retries:
+                if self._is_caller_error(error) or attempt >= policy.max_retries:
+                    # A caller error (NaN query variable) is
+                    # deterministic: retrying cannot change the answer.
                     raise
                 delay = policy.delay(attempt)
                 if deadline is not None and time.monotonic() + delay >= deadline:

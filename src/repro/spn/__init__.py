@@ -4,7 +4,13 @@ This package is the SPFlow-equivalent: users model or learn Sum-Product
 Networks here and hand them (plus a query) to :mod:`repro.compiler`.
 """
 
-from .inference import classify, likelihood, log_likelihood
+from .inference import (
+    classify,
+    conditional_log_likelihood,
+    expectation,
+    likelihood,
+    log_likelihood,
+)
 from .learning import (
     LearnSPNOptions,
     em_weight_update,
@@ -31,7 +37,15 @@ from .nodes import (
     topological_order,
 )
 from .mpe import max_log_likelihood, mpe
-from .query import JointProbability
+from .query import (
+    QUERY_KINDS,
+    ConditionalProbability,
+    Expectation,
+    JointProbability,
+    MPEQuery,
+    Query,
+    SampleQuery,
+)
 from .rat import RatSpnConfig, build_rat_spn, train_rat_spn
 from .sampling import conditional_sample, sample
 from .serialization import (
@@ -51,6 +65,8 @@ from .validity import (
 
 __all__ = [
     "classify",
+    "conditional_log_likelihood",
+    "expectation",
     "likelihood",
     "log_likelihood",
     "LearnSPNOptions",
@@ -76,7 +92,13 @@ __all__ = [
     "topological_order",
     "max_log_likelihood",
     "mpe",
+    "QUERY_KINDS",
+    "ConditionalProbability",
+    "Expectation",
     "JointProbability",
+    "MPEQuery",
+    "Query",
+    "SampleQuery",
     "conditional_sample",
     "sample",
     "RatSpnConfig",

@@ -1,0 +1,60 @@
+"""Closed-form leaf statistics shared by reference and compiled paths.
+
+Modes (density argmax) and raw moments of the univariate leaf families,
+expressed over raw parameter arrays. Both the reference implementations
+(:mod:`repro.spn.mpe`, :mod:`repro.spn.inference`) and the compiler's
+query-plan builder (:mod:`repro.compiler.lower_to_lospn`) call these, so
+the substitution constants baked into compiled kernels are bit-identical
+to what the reference computes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def gaussian_mode(mean: float, stdev: float) -> float:
+    return float(mean)
+
+
+def categorical_mode(probabilities: Sequence[float]) -> float:
+    return float(int(np.argmax(np.asarray(probabilities))))
+
+
+def histogram_mode(bounds: Sequence[float], densities: Sequence[float]) -> float:
+    bucket = int(np.argmax(np.asarray(densities)))
+    return 0.5 * (bounds[bucket] + bounds[bucket + 1])
+
+
+def gaussian_moment(mean: float, stdev: float, moment: int) -> float:
+    if moment == 1:
+        return float(mean)
+    return float(mean * mean + stdev * stdev)
+
+
+def categorical_moment(probabilities: Sequence[float], moment: int) -> float:
+    probs = np.asarray(probabilities, dtype=np.float64)
+    support = np.arange(len(probs), dtype=np.float64)
+    return float(np.sum(probs * support**moment))
+
+
+def histogram_moment(
+    bounds: Sequence[float], densities: Sequence[float], moment: int
+) -> float:
+    """Raw moment of the normalized piecewise-uniform histogram density."""
+    bounds_arr = np.asarray(bounds, dtype=np.float64)
+    dens = np.asarray(densities, dtype=np.float64)
+    lo, hi = bounds_arr[:-1], bounds_arr[1:]
+    masses = dens * (hi - lo)
+    total = masses.sum()
+    if total <= 0:  # degenerate all-zero histogram; fall back to midpoints
+        masses = (hi - lo) / (hi - lo).sum()
+    else:
+        masses = masses / total
+    if moment == 1:
+        per_bucket = 0.5 * (lo + hi)
+    else:
+        per_bucket = (lo * lo + lo * hi + hi * hi) / 3.0
+    return float(np.sum(masses * per_bucket))

@@ -1,15 +1,34 @@
 """Probabilistic query descriptors.
 
-A query bundles what the user wants computed (joint or marginal log
-likelihood), over how many samples per chunk (``batch_size``, an
-optimization hint used for vector/block sizing and runtime chunking), and
-the input element type. It is what the frontend serializes alongside the
-SPN graph for the compiler.
+A query bundles what the user wants computed, over how many samples per
+chunk (``batch_size``, an optimization hint used for vector/block sizing
+and runtime chunking), and the input element type. It is what the
+frontend serializes alongside the SPN graph for the compiler.
+
+Five modalities are expressible (matching the SPN literature's query
+taxonomy — Poon & Domingos 2011, SPFlow's ``Inference``/``mpe`` APIs):
+
+=====================  =======================================================
+descriptor             computes, per input row
+=====================  =======================================================
+:class:`JointProbability`       joint/marginal log-likelihood ``log P(e)``
+:class:`MPEQuery`               most probable explanation: argmax completion of
+                                missing (NaN) features + max-product score
+:class:`SampleQuery`            seeded ancestral sample of missing features
+                                conditioned on the observed ones
+:class:`ConditionalProbability` ``log P(Q = q | E = e)`` for a fixed
+                                compile-time query-variable set
+:class:`Expectation`            per-feature raw moments ``E[X_v^m | e]``
+=====================  =======================================================
+
+All descriptors are frozen dataclasses: they are hashable compile keys
+and participate in the compile-cache fingerprint.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Tuple
 
 from ..ir.types import FloatType, Type, f32, f64
 
@@ -18,19 +37,23 @@ _DTYPE_BY_NAME = {"f32": f32, "f64": f64}
 
 
 @dataclass(frozen=True)
-class JointProbability:
-    """A joint-probability query over fully (or partially) observed samples.
+class Query:
+    """Base class of all query descriptors.
 
     Attributes:
         batch_size: samples per processing chunk (optimization hint only;
             compiled kernels accept arbitrary batch lengths).
         input_dtype: "f32" or "f64" input feature encoding.
         support_marginal: treat NaN features as missing and marginalize
-            them at the leaves.
+            them at the leaves (joint queries only; the other modalities
+            define their own NaN semantics and ignore this flag).
         relative_error: reserved accuracy knob (the paper's Python API
             exposes it; our lowering always selects log-space f32/f64 by
             graph depth, see ``lower_to_lospn``).
     """
+
+    #: Stable query-kind name ("joint", "mpe", ...); class attribute.
+    kind = "joint"
 
     batch_size: int = 4096
     input_dtype: str = "f32"
@@ -46,3 +69,88 @@ class JointProbability:
     @property
     def input_type(self) -> FloatType:
         return _DTYPE_BY_NAME[self.input_dtype]
+
+
+@dataclass(frozen=True)
+class JointProbability(Query):
+    """A joint-probability query over fully (or partially) observed samples."""
+
+    kind = "joint"
+
+
+@dataclass(frozen=True)
+class MPEQuery(Query):
+    """Most Probable Explanation: max-product upward pass + argmax traceback.
+
+    NaN input features are treated as missing; the compiled kernel
+    completes them with their most probable values given the observed
+    evidence and reports the max-product log score of the completion.
+    """
+
+    kind = "mpe"
+
+
+@dataclass(frozen=True)
+class SampleQuery(Query):
+    """Seeded ancestral sampling, conditioned on observed features.
+
+    NaN input features are sampled top-down (sum-node children chosen
+    with probability proportional to ``w_k * P_k(evidence)`` via the
+    Gumbel-max trick on host-supplied noise columns); observed features
+    pass through unchanged. An all-NaN row draws an unconditional sample.
+    The random seed is an *execute-time* parameter so one compiled kernel
+    serves arbitrarily many reproducible sampling runs.
+    """
+
+    kind = "sample"
+
+
+@dataclass(frozen=True)
+class ConditionalProbability(Query):
+    """``log P(Q = q | E = e)`` for a fixed query-variable set.
+
+    ``query_variables`` names the feature indices interpreted as the
+    query ``Q``; every other feature is evidence ``E``. NaN is legal only
+    on evidence features (marginalized); a NaN query feature is a
+    structured error at execute time.
+    """
+
+    kind = "conditional"
+
+    query_variables: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        super().__post_init__()
+        variables = tuple(sorted({int(v) for v in self.query_variables}))
+        if not variables:
+            raise ValueError("conditional query needs at least one query variable")
+        if variables[0] < 0:
+            raise ValueError("query variables must be non-negative feature indices")
+        object.__setattr__(self, "query_variables", variables)
+
+
+@dataclass(frozen=True)
+class Expectation(Query):
+    """Per-feature raw moments ``E[X_v^m | e]`` under the SPN posterior.
+
+    Observed features return their observed value (``m == 1``) or its
+    ``m``-th power; NaN features return the posterior moment given the
+    evidence. Lowered in linear space (f64) since moments are not
+    probabilities.
+    """
+
+    kind = "expectation"
+
+    moment: int = 1
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.moment not in (1, 2):
+            raise ValueError("only moments 1 and 2 are supported")
+
+
+#: All query descriptor classes, keyed by their stable kind name.
+QUERY_KINDS = {
+    cls.kind: cls
+    for cls in (JointProbability, MPEQuery, SampleQuery, ConditionalProbability, Expectation)
+}

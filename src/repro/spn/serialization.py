@@ -27,7 +27,14 @@ import struct
 from typing import BinaryIO, Dict, List, Tuple, Union
 
 from .nodes import Categorical, Gaussian, Histogram, Node, Product, Sum, topological_order
-from .query import JointProbability
+from .query import (
+    ConditionalProbability,
+    Expectation,
+    JointProbability,
+    MPEQuery,
+    Query,
+    SampleQuery,
+)
 
 MAGIC = b"SPNB"
 VERSION = 2
@@ -39,6 +46,21 @@ _TAG_SUM = 4
 _TAG_PRODUCT = 5
 
 _QUERY_KIND_JOINT = 0
+_QUERY_KIND_MPE = 1
+_QUERY_KIND_SAMPLE = 2
+_QUERY_KIND_CONDITIONAL = 3
+_QUERY_KIND_EXPECTATION = 4
+
+#: Query-kind codes by descriptor class. Kinds > 0 append a kind-specific
+#: payload after the fixed query record (see serialize); v2 readers that
+#: predate them reject the kind byte rather than misparse.
+_QUERY_KIND_CODES = {
+    JointProbability: _QUERY_KIND_JOINT,
+    MPEQuery: _QUERY_KIND_MPE,
+    SampleQuery: _QUERY_KIND_SAMPLE,
+    ConditionalProbability: _QUERY_KIND_CONDITIONAL,
+    Expectation: _QUERY_KIND_EXPECTATION,
+}
 
 _DTYPE_CODES = {"f32": 0, "f64": 1}
 _DTYPE_NAMES = {code: name for name, code in _DTYPE_CODES.items()}
@@ -60,8 +82,13 @@ def _read(stream: BinaryIO, fmt: str) -> Tuple:
     return struct.unpack("<" + fmt, payload)
 
 
-def serialize(root: Node, query: JointProbability, stream: BinaryIO = None) -> bytes:
+def serialize(root: Node, query: Query, stream: BinaryIO = None) -> bytes:
     """Serialize an SPN + query to bytes (and optionally into a stream)."""
+    kind = _QUERY_KIND_CODES.get(type(query))
+    if kind is None:
+        raise SerializationError(
+            f"cannot serialize query type {type(query).__name__}"
+        )
     buffer = io.BytesIO()
     _write(buffer, "4sHH", MAGIC, VERSION, 0)
 
@@ -69,13 +96,20 @@ def serialize(root: Node, query: JointProbability, stream: BinaryIO = None) -> b
     _write(
         buffer,
         "BIIBBd",
-        _QUERY_KIND_JOINT,
+        kind,
         query.batch_size,
         num_features,
         _DTYPE_CODES[query.input_dtype],
         int(query.support_marginal),
         query.relative_error,
     )
+    # Kind-specific payloads (absent for joint/mpe/sample).
+    if isinstance(query, ConditionalProbability):
+        variables = list(query.query_variables)
+        _write(buffer, "I", len(variables))
+        _write(buffer, f"{len(variables)}I", *variables)
+    elif isinstance(query, Expectation):
+        _write(buffer, "B", query.moment)
 
     order = topological_order(root)
     index: Dict[int, int] = {id(node): i for i, node in enumerate(order)}
@@ -110,7 +144,7 @@ def serialize(root: Node, query: JointProbability, stream: BinaryIO = None) -> b
     return payload
 
 
-def deserialize(payload: Union[bytes, BinaryIO]) -> Tuple[Node, JointProbability]:
+def deserialize(payload: Union[bytes, BinaryIO]) -> Tuple[Node, Query]:
     """Reconstruct (root, query) from the binary format."""
     stream = io.BytesIO(payload) if isinstance(payload, (bytes, bytearray)) else payload
 
@@ -128,16 +162,29 @@ def deserialize(payload: Union[bytes, BinaryIO]) -> Tuple[Node, JointProbability
         support_marginal,
         relative_error,
     ) = _read(stream, "BIIBBd")
-    if kind != _QUERY_KIND_JOINT:
-        raise SerializationError(f"unknown query kind {kind}")
     if dtype_code not in _DTYPE_NAMES:
         raise SerializationError(f"unknown dtype code {dtype_code}")
-    query = JointProbability(
+    common = dict(
         batch_size=batch_size,
         input_dtype=_DTYPE_NAMES[dtype_code],
         support_marginal=bool(support_marginal),
         relative_error=relative_error,
     )
+    if kind == _QUERY_KIND_JOINT:
+        query = JointProbability(**common)
+    elif kind == _QUERY_KIND_MPE:
+        query = MPEQuery(**common)
+    elif kind == _QUERY_KIND_SAMPLE:
+        query = SampleQuery(**common)
+    elif kind == _QUERY_KIND_CONDITIONAL:
+        (count,) = _read(stream, "I")
+        variables = _read(stream, f"{count}I")
+        query = ConditionalProbability(**common, query_variables=tuple(variables))
+    elif kind == _QUERY_KIND_EXPECTATION:
+        (moment,) = _read(stream, "B")
+        query = Expectation(**common, moment=moment)
+    else:
+        raise SerializationError(f"unknown query kind {kind}")
 
     (node_count,) = _read(stream, "I")
     nodes: List[Node] = []
@@ -178,11 +225,11 @@ def deserialize(payload: Union[bytes, BinaryIO]) -> Tuple[Node, JointProbability
     return root, query
 
 
-def serialize_to_file(root: Node, query: JointProbability, path: str) -> None:
+def serialize_to_file(root: Node, query: Query, path: str) -> None:
     with open(path, "wb") as handle:
         serialize(root, query, handle)
 
 
-def deserialize_from_file(path: str) -> Tuple[Node, JointProbability]:
+def deserialize_from_file(path: str) -> Tuple[Node, Query]:
     with open(path, "rb") as handle:
         return deserialize(handle)

@@ -32,7 +32,14 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..spn.nodes import Categorical, Gaussian, Histogram, Leaf, Node, Product, Sum, leaves
-from ..spn.query import JointProbability
+from ..spn.query import (
+    ConditionalProbability,
+    Expectation,
+    JointProbability,
+    MPEQuery,
+    Query,
+    SampleQuery,
+)
 
 #: Probability that a generated input batch carries each adversarial
 #: feature. Tuned so a ~200-case fuzz run exercises every combination.
@@ -47,6 +54,11 @@ EXTREME_MAGNITUDE = 1.0e4
 
 LEAF_KINDS = ("gaussian", "categorical", "histogram")
 SHAPES = ("balanced", "deep", "wide")
+
+#: All query modalities the case generator can produce. Every kind is a
+#: pure function of ``(seed, index)`` — the fuzz CLI and the nightly CI
+#: matrix iterate this tuple.
+QUERY_CASE_KINDS = ("joint", "mpe", "sample", "conditional", "expectation")
 
 
 def _rng_from(seed) -> np.random.Generator:
@@ -191,9 +203,12 @@ class Case:
     index: int
     spn: Node
     num_features: int
-    query: JointProbability
+    query: Query
     inputs: np.ndarray
     label: str = ""
+    #: Execute-time RNG seed for sample-query cases (pure function of
+    #: the case identity, so replays are bit-reproducible).
+    sample_seed: int = 0
 
     @property
     def name(self) -> str:
@@ -206,6 +221,8 @@ class Case:
         from ..spn.nodes import num_nodes
 
         marks = []
+        if self.query.kind != "joint":
+            marks.append(f"query={self.query.kind}")
         if np.isnan(self.inputs).any():
             marks.append("nan-evidence")
         if self.label:
@@ -228,12 +245,28 @@ class CaseGenerator:
         seed: int = 0,
         max_features: int = 5,
         max_depth: int = 3,
+        query_kinds: Sequence[str] = ("joint",),
     ):
         self.seed = int(seed)
         self.max_features = max_features
         self.max_depth = max_depth
+        unknown = sorted(set(query_kinds) - set(QUERY_CASE_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown query kind(s) {', '.join(unknown)}; "
+                f"available: {', '.join(QUERY_CASE_KINDS)}"
+            )
+        self.query_kinds = tuple(query_kinds)
 
     def case(self, index: int) -> Case:
+        # Round-robin over the requested modalities so even a short fuzz
+        # run covers each one; the case stays a pure (seed, index)
+        # function because the kind depends on the index alone.
+        kind = self.query_kinds[index % len(self.query_kinds)]
+        return self.query_case(index, kind)
+
+    def query_case(self, index: int, kind: str) -> Case:
+        """A differential case for one query modality at ``(seed, index)``."""
         rng = np.random.default_rng([self.seed, index])
         structure = SPNGenerator(
             rng, max_features=self.max_features, max_depth=self.max_depth
@@ -246,15 +279,13 @@ class CaseGenerator:
         # through the full error analysis instead of the depth heuristic.
         relative_error = float(rng.choice([0.0, 0.0, 0.0, 1e-6, 1e-9]))
         inputs, used_nan = self._inputs(rng, spn, num_features, batch_width)
-        inputs = inputs.astype(np.float32 if input_dtype == "f32" else np.float64)
-        query = JointProbability(
+        inputs, query, used_nan = self._shape_for_kind(
+            rng, kind, index, inputs, num_features, used_nan,
             batch_size=batch_width,
             input_dtype=input_dtype,
-            # NaN evidence means "marginalize": cases carrying NaN compile
-            # with marginal support, matching the API-level auto-routing.
-            support_marginal=used_nan,
             relative_error=relative_error,
         )
+        inputs = inputs.astype(np.float32 if input_dtype == "f32" else np.float64)
         return Case(
             seed=self.seed,
             index=index,
@@ -263,7 +294,61 @@ class CaseGenerator:
             query=query,
             inputs=inputs,
             label=shape,
+            sample_seed=index,
         )
+
+    def _shape_for_kind(
+        self,
+        rng: np.random.Generator,
+        kind: str,
+        index: int,
+        inputs: np.ndarray,
+        num_features: int,
+        used_nan: bool,
+        **query_kwargs,
+    ) -> Tuple[np.ndarray, Query, bool]:
+        """Adjust the evidence pattern and build the query descriptor.
+
+        Per-modality structure: MPE/sample/expectation cases lean on NaN
+        (missing) evidence — including fully-observed and all-NaN-row
+        extremes at fixed index strides — while conditional cases split
+        the features into an observed query set and a (possibly NaN)
+        evidence remainder.
+        """
+        if kind == "joint":
+            return inputs, JointProbability(
+                # NaN evidence means "marginalize": cases carrying NaN
+                # compile with marginal support, matching the API-level
+                # auto-routing.
+                support_marginal=used_nan, **query_kwargs
+            ), used_nan
+        if kind == "conditional":
+            count = int(rng.integers(1, num_features + 1))
+            variables = tuple(
+                sorted(rng.choice(num_features, size=count, replace=False))
+            )
+            # NaN is legal on evidence features only; scrub the query set.
+            query_columns = np.asarray(variables, dtype=int)
+            column = inputs[:, query_columns]
+            inputs[:, query_columns] = np.where(np.isnan(column), 0.0, column)
+            query = ConditionalProbability(
+                query_variables=variables, **query_kwargs
+            )
+            return inputs, query, bool(np.isnan(inputs).any())
+        # The completion/sampling/moment modalities: richer missingness.
+        if index % 5 == 0:
+            inputs = np.where(np.isnan(inputs), 0.0, inputs)  # fully observed
+        else:
+            extra = rng.random(inputs.shape) < 0.4
+            inputs[extra] = np.nan
+            if index % 7 == 0 and inputs.shape[0] > 0:
+                inputs[rng.integers(0, inputs.shape[0])] = np.nan  # all-NaN row
+        if kind == "mpe":
+            return inputs, MPEQuery(**query_kwargs), True
+        if kind == "sample":
+            return inputs, SampleQuery(**query_kwargs), True
+        query = Expectation(moment=int(rng.choice([1, 2])), **query_kwargs)
+        return inputs, query, True
 
     def cases(self, count: int, start: int = 0) -> Iterator[Case]:
         for index in range(start, start + count):

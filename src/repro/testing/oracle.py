@@ -54,11 +54,12 @@ from ..dialects import hispn
 from ..ir import parse_module, print_op, verify
 from ..ir.interpreter import Interpreter
 from ..ir.pipeline_spec import parse_pipeline
-from ..spn.inference import log_likelihood
-from ..spn.nodes import Node, Product, Sum, num_nodes
-from ..spn.query import JointProbability
+from ..spn.inference import conditional_log_likelihood, expectation, log_likelihood
+from ..spn.mpe import max_log_likelihood, mpe
+from ..spn.nodes import Categorical, Histogram, Node, Product, Sum, leaves, num_nodes
+from ..spn.query import JointProbability, Query
 from ..spn.serialization import serialize_to_file
-from .generators import Case, CaseGenerator
+from .generators import QUERY_CASE_KINDS, Case, CaseGenerator
 
 #: Safety factor applied to the analytic error bounds. The bounds are
 #: first-order worst-case estimates over a *modeled* input domain;
@@ -77,6 +78,13 @@ TOLERANCE_FLOOR = 1e-9
 #: it replays per case so fuzzing stays fast. Divergences are per-row,
 #: so a prefix is as good a witness as the full batch.
 INTERPRETER_ROW_LIMIT = 8
+
+#: Expectation queries compare in *linear* space (moments are not
+#: probabilities): both sides run the same f64 (likelihood, moment)
+#: recursion, differing only in association order, so a modest relative
+#: tolerance plus an absolute floor for near-cancelled moments suffices.
+EXPECTATION_RTOL = 1e-5
+EXPECTATION_ATOL = 1e-8
 
 
 @dataclasses.dataclass(frozen=True)
@@ -144,8 +152,14 @@ class Divergence:
         # Structural mismatches (one-sided inf/NaN) rank above any
         # numeric gap so shrinking homes in on them first.
         diff = np.where(np.isnan(diff), np.inf, diff)
+        both_nan = np.isnan(self.observed) & np.isnan(self.reference)
         both_neg_inf = np.isneginf(self.observed) & np.isneginf(self.reference)
-        return np.where(both_neg_inf, 0.0, diff)
+        diff = np.where(both_nan | both_neg_inf, 0.0, diff)
+        if diff.ndim > 1:
+            # Multi-column modalities (MPE [score, completions...],
+            # expectation moments): rank rows by their worst column.
+            diff = diff.reshape(diff.shape[0], -1).max(axis=1)
+        return diff
 
     def describe(self) -> str:
         if self.error is not None:
@@ -188,7 +202,7 @@ class FuzzReport:
 
 
 def compute_tolerance(
-    spn: Node, query: JointProbability, reference: np.ndarray
+    spn: Node, query: Query, reference: np.ndarray
 ) -> np.ndarray:
     """Per-row comparison tolerance in log space.
 
@@ -198,12 +212,18 @@ def compute_tolerance(
     :data:`TOLERANCE_SAFETY`. A relative term covers log magnitudes far
     outside the modeled leaf domain (adversarial extreme inputs), where
     representation error alone grows with ``|log p|``.
+
+    Query-kind scaling: a conditional is the *difference* of two such
+    evaluations, so its tolerance doubles; an MPE score replaces sums by
+    maxima (no accumulation growth), so the joint bound is conservative
+    and reused as-is.
     """
     module = build_hispn_module(spn, query)
+    query_op_names = set(hispn.QUERY_OP_NAMES.values())
     query_op = next(
         op
         for op in module.body_block.ops
-        if op.op_name == hispn.JointQueryOp.name
+        if op.op_name in query_op_names
     )
     decision = decide_computation_type(query_op, use_log_space=True)
     estimates = analyze_error(query_op)
@@ -218,23 +238,32 @@ def compute_tolerance(
     # |log p| beyond the modeled range: one unit roundoff per represented
     # log value, accumulated over the graph's add chain.
     rtol = TOLERANCE_SAFETY * UNIT_ROUNDOFF[width] * max(num_nodes(spn), 8)
+    if query.kind == "conditional":
+        atol, rtol = 2.0 * atol, 2.0 * rtol
     with np.errstate(invalid="ignore"):
         magnitude = np.where(np.isfinite(reference), np.abs(reference), 0.0)
     return atol + rtol * magnitude
 
 
 def outputs_match(
-    observed: np.ndarray, reference: np.ndarray, tolerance: np.ndarray
+    observed: np.ndarray,
+    reference: np.ndarray,
+    tolerance: np.ndarray,
+    nan_agrees: bool = False,
 ) -> np.ndarray:
     """Per-row agreement under the log-space comparison rules.
 
     ``-inf == -inf`` (probability zero on both sides) is agreement; a
     one-sided ``-inf`` or any NaN is a structural divergence regardless
-    of tolerance.
+    of tolerance. With ``nan_agrees=True`` a *two-sided* NaN also counts
+    as agreement — conditional and expectation queries define NaN as a
+    legitimate answer (zero-probability evidence, out-of-scope
+    features), so only a one-sided NaN diverges there.
     """
     observed = np.asarray(observed, dtype=np.float64)
     reference = np.asarray(reference, dtype=np.float64)
     both_neg_inf = np.isneginf(observed) & np.isneginf(reference)
+    both_nan = np.isnan(observed) & np.isnan(reference)
     structurally_bad = (
         np.isnan(observed)
         | np.isnan(reference)
@@ -242,7 +271,10 @@ def outputs_match(
     )
     with np.errstate(invalid="ignore"):
         close = np.abs(observed - reference) <= tolerance
-    return both_neg_inf | (~structurally_bad & close)
+    agreed = both_neg_inf | (~structurally_bad & close)
+    if nan_agrees:
+        agreed = agreed | both_nan
+    return agreed
 
 
 def run_interpreter(case: Case, row_limit: Optional[int] = None) -> np.ndarray:
@@ -281,19 +313,93 @@ class DifferentialOracle:
         # Every backend satisfies the common Executable contract, so the
         # oracle runs and releases kernels uniformly — no target cases.
         with result.executable as executable:
-            values = executable(inputs)
+            if case.query.kind == "sample":
+                values = executable.execute(inputs, seed=case.sample_seed)
+            else:
+                values = executable(inputs)
         return np.asarray(values, dtype=np.float64)
+
+    # -- per-modality reference + comparison --------------------------------------
+
+    def _reference_and_tolerance(
+        self, case: Case
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-major reference output and comparison tolerance for a case.
+
+        Shapes by kind: joint/conditional ``[batch]``; MPE
+        ``[batch, 1 + F]`` (score column, then the completed features);
+        expectation ``[batch, F]`` with elementwise tolerance.
+        """
+        data = case.inputs.astype(np.float64)
+        kind = case.query.kind
+        if kind == "mpe":
+            completions, scores = mpe(case.spn, data)
+            reference = np.column_stack([scores, completions])
+            return reference, compute_tolerance(case.spn, case.query, scores)
+        if kind == "conditional":
+            reference = conditional_log_likelihood(
+                case.spn, data, case.query.query_variables
+            )
+            return reference, compute_tolerance(case.spn, case.query, reference)
+        if kind == "expectation":
+            reference = expectation(case.spn, data, moment=case.query.moment)
+            with np.errstate(invalid="ignore"):
+                tolerance = EXPECTATION_ATOL + EXPECTATION_RTOL * np.abs(reference)
+            return reference, tolerance
+        reference = log_likelihood(
+            case.spn, data, marginal=case.query.support_marginal
+        )
+        return reference, compute_tolerance(case.spn, case.query, reference)
+
+    def _compare(
+        self,
+        case: Case,
+        observed: np.ndarray,
+        reference: np.ndarray,
+        tolerance: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row agreement plus the row-major observed representation."""
+        kind = case.query.kind
+        if kind == "mpe":
+            observed = np.atleast_2d(observed)
+            scores, completions = observed[0], observed[1:].T
+            ref_scores, ref_completions = reference[:, 0], reference[:, 1:]
+            ok = outputs_match(scores, ref_scores, tolerance)
+            exact = np.all(completions == ref_completions, axis=1)
+            tied = ok & ~exact
+            if tied.any():
+                # The compiled argmax may legally break a (near-)tie the
+                # other way; the completion is correct iff rescoring it
+                # with the reference max-product evaluator achieves the
+                # reference maximum within tolerance.
+                rescored = max_log_likelihood(case.spn, completions[tied])
+                rows = np.flatnonzero(tied)
+                ok[rows] = outputs_match(
+                    rescored, ref_scores[tied], tolerance[tied]
+                )
+            return ok, np.column_stack([scores, completions])
+        if kind == "conditional":
+            return outputs_match(
+                observed, reference, tolerance, nan_agrees=True
+            ), observed
+        if kind == "expectation":
+            observed = np.atleast_2d(observed).T
+            match = outputs_match(observed, reference, tolerance, nan_agrees=True)
+            return match.all(axis=1), observed
+        return outputs_match(observed, reference, tolerance), observed
 
     def check_case(self, case: Case) -> List[Divergence]:
         """Run one case through every backend; shrink and dump failures."""
-        reference = log_likelihood(
-            case.spn,
-            case.inputs.astype(np.float64),
-            marginal=case.query.support_marginal,
-        )
-        tolerance = compute_tolerance(case.spn, case.query, reference)
+        if case.query.kind == "sample":
+            return self._check_sample_case(case)
+        reference, tolerance = self._reference_and_tolerance(case)
         divergences: List[Divergence] = []
         for spec in self.configs:
+            if spec.kind == "interpreter" and case.query.kind != "joint":
+                # The scalar-IR replay rung only understands the joint
+                # kernel layout; the other modalities are checked against
+                # the repro.spn reference implementations instead.
+                continue
             self.comparisons += 1
             divergence = self._check_config(spec, case, reference, tolerance)
             if divergence is not None:
@@ -326,12 +432,94 @@ class DifferentialOracle:
                 tolerance=tol,
                 error=f"{type(error).__name__}: {error}",
             )
-        if outputs_match(observed, ref, tol).all():
+        ok, observed_rows = self._compare(case, observed, ref, tol)
+        if ok.all():
             return None
         return Divergence(
             case=case, config=spec.name, reference=ref,
-            observed=np.asarray(observed, dtype=np.float64), tolerance=tol,
+            observed=np.asarray(observed_rows, dtype=np.float64), tolerance=tol,
         )
+
+    # -- sampling invariants -------------------------------------------------------
+
+    def _check_sample_case(self, case: Case) -> List[Divergence]:
+        """Sampling has no pointwise reference; check its invariants.
+
+        Per configuration: seeded determinism (same seed ⇒ bit-identical
+        samples), bit-exact pass-through of observed evidence, finite
+        sampled values, and membership in the leaf supports (integer
+        categories in range, histogram draws within bounds).
+        Distributional goodness-of-fit lives in the differential test
+        suite, where the model is controlled.
+        """
+        divergences: List[Divergence] = []
+        rows = case.inputs.shape[0]
+        for spec in self.configs:
+            if spec.kind != "compiled":
+                continue
+            self.comparisons += 1
+            error = self._sample_config_error(spec, case)
+            if error is None:
+                continue
+            divergence = Divergence(
+                case=case,
+                config=spec.name,
+                reference=np.zeros(rows),
+                observed=np.full(rows, np.nan),
+                tolerance=np.zeros(rows),
+                error=error,
+            )
+            if self.dump_reproducers:
+                divergence.reproducer_path = self._dump(spec, divergence)
+            divergences.append(divergence)
+            self.log(divergence.describe())
+        return divergences
+
+    def _sample_config_error(self, spec: ConfigSpec, case: Case) -> Optional[str]:
+        try:
+            first = self.run_config(spec, case)
+            second = self.run_config(spec, case)
+        except Exception as error:
+            return f"{type(error).__name__}: {error}"
+        if not np.array_equal(first, second):
+            return "seeded sampling not deterministic (same seed, different samples)"
+        samples = np.atleast_2d(first).T
+        original = case.inputs.astype(np.float64)
+        observed_mask = ~np.isnan(original)
+        if not np.array_equal(samples[observed_mask], original[observed_mask]):
+            return "observed evidence not preserved bit-exactly in samples"
+        if not np.isfinite(samples).all():
+            return "non-finite sampled values"
+        return self._support_violation(case, samples, observed_mask)
+
+    @staticmethod
+    def _support_violation(
+        case: Case, samples: np.ndarray, observed_mask: np.ndarray
+    ) -> Optional[str]:
+        by_variable: Dict[int, list] = {}
+        for leaf in leaves(case.spn):
+            by_variable.setdefault(leaf.variable, []).append(leaf)
+        for variable, choices in by_variable.items():
+            column = samples[~observed_mask[:, variable], variable]
+            if column.size == 0:
+                continue
+            if all(isinstance(leaf, Categorical) for leaf in choices):
+                count = max(len(leaf.probabilities) for leaf in choices)
+                ok = (column == np.round(column)) & (column >= 0) & (column < count)
+                if not ok.all():
+                    return (
+                        f"sampled categorical value outside support for "
+                        f"variable {variable}"
+                    )
+            elif all(isinstance(leaf, Histogram) for leaf in choices):
+                lo = min(leaf.bounds[0] for leaf in choices)
+                hi = max(leaf.bounds[-1] for leaf in choices)
+                if not ((column >= lo) & (column <= hi)).all():
+                    return (
+                        f"sampled histogram value outside bounds for "
+                        f"variable {variable}"
+                    )
+        return None
 
     # -- shrinking ---------------------------------------------------------------
 
@@ -368,12 +556,7 @@ class DifferentialOracle:
 
     def _recheck(self, spec: ConfigSpec, case: Case) -> Optional[Divergence]:
         try:
-            reference = log_likelihood(
-                case.spn,
-                case.inputs.astype(np.float64),
-                marginal=case.query.support_marginal,
-            )
-            tolerance = compute_tolerance(case.spn, case.query, reference)
+            reference, tolerance = self._reference_and_tolerance(case)
             return self._check_config(spec, case, reference, tolerance)
         except Exception:
             # A reduction that breaks the harness itself is not a valid
@@ -448,19 +631,31 @@ class DifferentialOracle:
         max_features: int = 5,
         max_depth: int = 3,
         ir_share: float = 0.25,
+        query_kinds: Sequence[str] = ("joint",),
         report: Optional[FuzzReport] = None,
     ) -> FuzzReport:
-        """Run ``count`` generated cases (plus interleaved IR fuzzing)."""
+        """Run ``count`` generated cases (plus interleaved IR fuzzing).
+
+        ``query_kinds`` selects the modality mix (round-robin over the
+        tuple; see :data:`~repro.testing.generators.QUERY_CASE_KINDS`).
+        IR round-trip/permutation fuzzing rides on joint cases only —
+        its interpreter baseline replays the joint kernel layout.
+        """
         report = report or FuzzReport()
         generator = CaseGenerator(
-            seed=seed, max_features=max_features, max_depth=max_depth
+            seed=seed, max_features=max_features, max_depth=max_depth,
+            query_kinds=query_kinds,
         )
         ir_fuzzer = IRFuzzer(artifact_dir=self.artifact_dir)
         ir_every = max(1, int(round(1.0 / ir_share))) if ir_share > 0 else 0
         for case in generator.cases(count, start=start):
             report.cases_run += 1
             report.divergences.extend(self.check_case(case))
-            if ir_every and case.index % ir_every == 0:
+            if (
+                ir_every
+                and case.index % ir_every == 0
+                and case.query.kind == "joint"
+            ):
                 report.ir_failures.extend(ir_fuzzer.fuzz_case(case))
         report.configs_compared = self.comparisons
         return report

@@ -52,6 +52,20 @@ def _add_compiler_arguments(parser: argparse.ArgumentParser) -> None:
                              "(1 = serialized timeline)")
     parser.add_argument("--linear-space", action="store_true",
                         help="compute in linear instead of log space")
+    parser.add_argument("--query",
+                        choices=("joint", "mpe", "sample", "conditional",
+                                 "expectation"),
+                        default="joint",
+                        help="query modality to compile: joint/marginal "
+                             "log-likelihood (default), mpe (most probable "
+                             "explanation), sample (seeded ancestral "
+                             "sampling), conditional (log P(Q|E)) or "
+                             "expectation (posterior moments)")
+    parser.add_argument("--query-variables", default=None, metavar="A,B,...",
+                        help="comma-separated feature indices forming the "
+                             "query set Q of a conditional query")
+    parser.add_argument("--moment", type=int, default=1, choices=(1, 2),
+                        help="raw moment order for expectation queries")
     parser.add_argument("--pipeline", default=None, metavar="SPEC",
                         help="override the pass pipeline with an mlir-opt "
                              "style spec (see --print-pipeline for the "
@@ -69,10 +83,21 @@ def _add_compiler_arguments(parser: argparse.ArgumentParser) -> None:
                              "static checks after every pass)")
 
 
+def _query_variables_from(args: argparse.Namespace) -> tuple:
+    if not getattr(args, "query_variables", None):
+        return ()
+    return tuple(
+        int(v.strip()) for v in args.query_variables.split(",") if v.strip()
+    )
+
+
 def _options_from(args: argparse.Namespace, collect_ir: bool = False) -> CompilerOptions:
     return CompilerOptions(
         target=args.target,
         opt_level=args.opt,
+        query=args.query,
+        query_variables=_query_variables_from(args),
+        moment=args.moment,
         vectorize=args.vectorize,
         vector_isa=args.vector_isa,
         use_vector_library=not args.no_veclib,
@@ -99,6 +124,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  features:   {stats.num_features}")
     print(f"  depth:      {stats.depth}")
     print(f"query:")
+    print(f"  kind:       {query.kind}")
     print(f"  batch size: {query.batch_size}")
     print(f"  input type: {query.input_dtype}")
     print(f"  marginal:   {query.support_marginal}")
@@ -106,17 +132,30 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _effective_query(args: argparse.Namespace, file_query):
+    """The query to compile: the model file's unless ``--query`` overrides.
+
+    A non-joint ``--query`` replaces the serialized (joint) query with
+    one built from the CLI options via ``CompilerOptions.make_query``.
+    """
+    if args.query == "joint":
+        return file_query
+    return None  # compile_spn derives it from the options
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     root, query = deserialize_from_file(args.model)
+    options = _options_from(args, collect_ir=bool(args.dump_ir))
+    query = _effective_query(args, query)
     if args.print_pipeline:
         from ..compiler.pipeline import build_compile_pipeline
 
         _, spec = build_compile_pipeline(
-            _options_from(args), query
+            options, query or options.make_query()
         )
         print(spec)
         return 0
-    result = compile_spn(root, query, _options_from(args, collect_ir=bool(args.dump_ir)))
+    result = compile_spn(root, query, options)
     print(f"compiled '{args.model}' for {args.target} "
           f"(-O{args.opt}, {result.num_tasks} task(s)) "
           f"in {result.compile_time:.3f}s")
@@ -137,8 +176,15 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     root, query = deserialize_from_file(args.model)
     inputs = np.load(args.inputs)
-    result = compile_spn(root, query, _options_from(args))
-    outputs = result.executable(inputs)
+    result = compile_spn(root, _effective_query(args, query), _options_from(args))
+    if args.query == "sample":
+        outputs = result.executable.execute(inputs, seed=args.seed)
+    else:
+        outputs = result.executable(inputs)
+    if args.query in ("mpe", "sample", "expectation"):
+        # Kernel outputs are row-major [heads, batch]; present them
+        # batch-major (mpe: [score, completions...] per row).
+        outputs = outputs.T
     if args.output:
         np.save(args.output, outputs)
         print(f"wrote {outputs.shape[0]} results to {args.output}")
@@ -564,7 +610,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     dumped as reproducers (``--artifact-dir`` / ``$SPNC_ARTIFACT_DIR``)
     and make the command exit non-zero.
     """
+    from ..testing.generators import QUERY_CASE_KINDS
     from ..testing.oracle import DEFAULT_CONFIGS, DifferentialOracle
+
+    query_kinds = tuple(
+        kind.strip() for kind in args.queries.split(",") if kind.strip()
+    )
+    unknown_kinds = sorted(set(query_kinds) - set(QUERY_CASE_KINDS))
+    if unknown_kinds:
+        print(f"error: unknown query kind(s) {', '.join(unknown_kinds)}; "
+              f"available: {', '.join(QUERY_CASE_KINDS)}", file=sys.stderr)
+        return 2
 
     configs = DEFAULT_CONFIGS
     if args.configs:
@@ -584,7 +640,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         configs=configs, artifact_dir=args.artifact_dir, log=progress
     )
     print(f"fuzzing {args.count} case(s), seed {args.seed}, "
-          f"{len(configs)} backend config(s)...")
+          f"{len(configs)} backend config(s), "
+          f"queries: {', '.join(query_kinds)}...")
     report = oracle.fuzz(
         args.count,
         seed=args.seed,
@@ -592,6 +649,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_features=args.max_features,
         max_depth=args.max_depth,
         ir_share=0.0 if args.no_ir else 0.25,
+        query_kinds=query_kinds,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -772,6 +830,20 @@ def _cmd_pipelines(args: argparse.Namespace) -> int:
                 )
                 spec = target.pipeline(options)
                 print(f"{target_name} -O{opt_level} vectorize={vectorize}: {spec}")
+    # Query-modality section: the registered pipeline for every non-joint
+    # query kind at the default configuration. The same pass registry
+    # serves every modality (no target special-casing) — this snapshot
+    # pins that property.
+    for target_name in targets:
+        target = get_target(target_name)
+        for kind in ("mpe", "sample", "conditional", "expectation"):
+            options = CompilerOptions(
+                target=target_name,
+                query=kind,
+                query_variables=(0,) if kind == "conditional" else (),
+            )
+            spec = target.pipeline(options, options.make_query())
+            print(f"{target_name} -O1 query={kind}: {spec}")
     return 0
 
 
@@ -802,6 +874,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("model")
     run.add_argument("inputs", help="input .npy array [batch, features]")
     run.add_argument("-o", "--output", default=None)
+    run.add_argument("--seed", type=int, default=0,
+                     help="random seed for --query sample (execute-time "
+                          "parameter; same seed, same samples)")
     _add_compiler_arguments(run)
     run.set_defaults(fn=_cmd_run)
 
@@ -926,6 +1001,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-depth", type=int, default=3)
     fuzz.add_argument("--configs", default=None, metavar="A,B,...",
                       help="comma-separated subset of backend configs")
+    fuzz.add_argument("--queries",
+                      default="joint,mpe,sample,conditional,expectation",
+                      metavar="A,B,...",
+                      help="comma-separated query modalities to fuzz "
+                           "(round-robin; default: all five kinds)")
     fuzz.add_argument("--no-ir", action="store_true",
                       help="skip IR round-trip/pass-permutation fuzzing")
     fuzz.add_argument("--artifact-dir", default=None,

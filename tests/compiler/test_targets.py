@@ -28,9 +28,12 @@ GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_pipelines.txt")
 
 VECTORIZE_MODES = ("off", "lanes", "batch")
 
+QUERY_MODALITIES = ("mpe", "sample", "conditional", "expectation")
+
 
 def golden_lines():
-    """The pipeline snapshot for every (target, opt, vectorize) combo."""
+    """The pipeline snapshot for every (target, opt, vectorize) combo,
+    followed by every non-joint query modality at the default config."""
     lines = []
     for target_name in registered_targets():
         target = get_target(target_name)
@@ -43,6 +46,18 @@ def golden_lines():
                     f"{target_name} -O{opt_level} vectorize={vectorize}: "
                     f"{target.pipeline(options)}"
                 )
+    for target_name in registered_targets():
+        target = get_target(target_name)
+        for kind in QUERY_MODALITIES:
+            options = CompilerOptions(
+                target=target_name,
+                query=kind,
+                query_variables=(0,) if kind == "conditional" else (),
+            )
+            lines.append(
+                f"{target_name} -O1 query={kind}: "
+                f"{target.pipeline(options, options.make_query())}"
+            )
     return lines
 
 
@@ -58,8 +73,9 @@ class TestGoldenPipelines:
         assert golden_lines() == read_golden()
 
     def test_covers_full_matrix(self):
-        assert len(read_golden()) == len(registered_targets()) * 4 * len(
-            VECTORIZE_MODES
+        targets = len(registered_targets())
+        assert len(read_golden()) == targets * 4 * len(VECTORIZE_MODES) + (
+            targets * len(QUERY_MODALITIES)
         )
 
     def test_every_spec_round_trips(self):

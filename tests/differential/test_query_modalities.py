@@ -1,0 +1,395 @@
+"""Differential tests for the non-joint query modalities.
+
+Compiled kernels (CPU off/lanes/batch and the simulated GPU) against the
+reference implementations in :mod:`repro.spn`:
+
+- MPE: scores agree at oracle tolerances and completed states either
+  match exactly or are tie-equivalent (rescoring the compiled completion
+  achieves the reference max score);
+- conditional: log P(Q | E) agrees, NaN rows (zero-probability
+  evidence) agree as NaN;
+- expectation: posterior moments agree elementwise in linear space with
+  identical NaN (off-scope) patterns;
+- sampling: the same seed is bit-identical, different seeds differ,
+  observed evidence passes through bit-exactly, and sampled values pass
+  chi-squared goodness-of-fit checks against the model marginals;
+- sharding: every modality is bit-identical between ``num_threads=1``
+  and ``num_threads=4`` (the PR-7 worker sharding must not change
+  results);
+- NaN routing: joint queries with NaN evidence reroute to a
+  marginal-supporting kernel, while a NaN on a *conditional query
+  variable* is a structured ``query-variable-nan`` error — on the
+  strict and on the degradable path alike.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import CPUCompiler, GPUCompiler
+from repro.diagnostics import ErrorCode, ExecutionError
+from repro.spn import inference
+from repro.spn.mpe import max_log_likelihood
+from repro.spn.mpe import mpe as reference_mpe
+
+from ..conftest import make_discrete_spn, make_gaussian_spn, make_shared_spn
+
+# One compiler per backend configuration the oracle exercises: scalar,
+# lane-vectorized and whole-batch-vectorized CPU, plus the simulated GPU.
+CONFIGS = (
+    ("cpu-off", CPUCompiler, {"vectorize": "off"}),
+    ("cpu-lanes", CPUCompiler, {"vectorize": "lanes"}),
+    ("cpu-batch", CPUCompiler, {"vectorize": "batch"}),
+    ("gpu", GPUCompiler, {}),
+)
+
+MODELS = {
+    "gaussian": make_gaussian_spn,
+    "discrete": make_discrete_spn,
+    "shared": make_shared_spn,
+}
+
+SCORE_RTOL, SCORE_ATOL = 1e-4, 1e-6
+
+
+def make_compiler(name, batch_size=32, **extra):
+    _, cls, options = next(cfg for cfg in CONFIGS if cfg[0] == name)
+    return cls(batch_size=batch_size, **{**options, **extra})
+
+
+def evidence_for(model_name, rng, n=24, nan_share=0.4):
+    """Evidence with NaN holes, one all-NaN row, one fully observed row."""
+    if model_name == "discrete":
+        data = np.column_stack(
+            [
+                rng.integers(0, 3, size=n).astype(np.float64),
+                rng.uniform(0.0, 4.0, size=n),
+            ]
+        )
+    else:
+        data = rng.normal(size=(n, 2))
+    mask = rng.random((n, 2)) < nan_share
+    data[mask] = np.nan
+    data[0] = np.nan  # unconditional row
+    if np.isnan(data[1]).any():  # fully observed row
+        data[1] = 0.5
+    return data
+
+
+@pytest.fixture(params=[name for name, *_ in CONFIGS])
+def config(request):
+    return request.param
+
+
+class TestMPEAgreement:
+    @pytest.mark.parametrize("model_name", sorted(MODELS))
+    def test_compiled_matches_reference(self, config, model_name, rng):
+        spn = MODELS[model_name]()
+        evidence = evidence_for(model_name, rng)
+        compiler = make_compiler(config)
+        completions, scores = compiler.mpe(spn, evidence)
+        ref_completions, ref_scores = reference_mpe(spn, evidence)
+        np.testing.assert_allclose(
+            scores, ref_scores, rtol=SCORE_RTOL, atol=SCORE_ATOL
+        )
+        # Observed evidence passes through bit-exactly.
+        observed = ~np.isnan(evidence)
+        assert np.array_equal(completions[observed], evidence[observed])
+        # States: exact, or tie-equivalent — rescoring the compiled
+        # completion must achieve the reference max-product score.
+        exact = np.all(
+            (completions == ref_completions)
+            | (np.isnan(completions) & np.isnan(ref_completions)),
+            axis=1,
+        )
+        if not exact.all():
+            rescored = max_log_likelihood(spn, completions[~exact])
+            np.testing.assert_allclose(
+                rescored,
+                ref_scores[~exact],
+                rtol=SCORE_RTOL,
+                atol=SCORE_ATOL,
+            )
+
+    def test_fully_observed_is_identity(self, config, rng):
+        spn = make_gaussian_spn()
+        data = rng.normal(size=(8, 2))
+        compiler = make_compiler(config)
+        completions, scores = compiler.mpe(spn, data)
+        assert np.array_equal(completions, data)
+        np.testing.assert_allclose(
+            scores,
+            max_log_likelihood(spn, data),
+            rtol=SCORE_RTOL,
+            atol=SCORE_ATOL,
+        )
+
+
+class TestConditionalAgreement:
+    @pytest.mark.parametrize("query_variables", [(0,), (1,), (0, 1)])
+    def test_compiled_matches_reference(self, config, query_variables, rng):
+        spn = make_gaussian_spn()
+        data = rng.normal(size=(24, 2))
+        # NaN only on evidence features (marginalized out).
+        evidence_columns = [v for v in (0, 1) if v not in query_variables]
+        for column in evidence_columns:
+            data[rng.random(24) < 0.5, column] = np.nan
+        compiler = make_compiler(config)
+        observed = compiler.conditional_log_likelihood(spn, data, query_variables)
+        reference = inference.conditional_log_likelihood(
+            spn, data, query_variables
+        )
+        # Conditional tolerance is the joint tolerance doubled (the
+        # result is a difference of two kernel evaluations).
+        np.testing.assert_allclose(
+            observed, reference, rtol=2e-4, atol=2e-6, equal_nan=True
+        )
+
+    def test_discrete_model(self, config, rng):
+        spn = make_discrete_spn()
+        data = np.column_stack(
+            [
+                rng.integers(0, 3, size=24).astype(np.float64),
+                rng.uniform(0.0, 4.0, size=24),
+            ]
+        )
+        data[rng.random(len(data)) < 0.5, 1] = np.nan  # evidence NaNs only
+        compiler = make_compiler(config)
+        observed = compiler.conditional_log_likelihood(spn, data, (0,))
+        reference = inference.conditional_log_likelihood(spn, data, (0,))
+        np.testing.assert_allclose(
+            observed, reference, rtol=2e-4, atol=2e-6, equal_nan=True
+        )
+
+
+class TestExpectationAgreement:
+    @pytest.mark.parametrize("moment", [1, 2])
+    @pytest.mark.parametrize("model_name", sorted(MODELS))
+    def test_compiled_matches_reference(self, config, model_name, moment, rng):
+        spn = MODELS[model_name]()
+        evidence = evidence_for(model_name, rng)
+        compiler = make_compiler(config)
+        observed = compiler.expectation(spn, evidence, moment=moment)
+        reference = inference.expectation(spn, evidence, moment=moment)
+        assert np.array_equal(np.isnan(observed), np.isnan(reference))
+        np.testing.assert_allclose(
+            observed, reference, rtol=1e-4, atol=1e-6, equal_nan=True
+        )
+
+
+class TestSamplingDeterminism:
+    def test_same_seed_bit_identical(self, config, rng):
+        spn = make_gaussian_spn()
+        evidence = evidence_for("gaussian", rng)
+        compiler = make_compiler(config)
+        first = compiler.sample(spn, evidence, seed=11)
+        second = compiler.sample(spn, evidence, seed=11)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self, config, rng):
+        spn = make_gaussian_spn()
+        evidence = np.full((16, 2), np.nan)
+        compiler = make_compiler(config)
+        assert not np.array_equal(
+            compiler.sample(spn, evidence, seed=1),
+            compiler.sample(spn, evidence, seed=2),
+        )
+
+    def test_observed_evidence_passes_through(self, config, rng):
+        spn = make_gaussian_spn()
+        evidence = evidence_for("gaussian", rng)
+        compiler = make_compiler(config)
+        samples = compiler.sample(spn, evidence, seed=3)
+        observed = ~np.isnan(evidence)
+        assert np.array_equal(samples[observed], evidence[observed])
+        assert np.isfinite(samples).all()
+
+
+# 99.9th-percentile chi-squared critical values by degrees of freedom:
+# a deterministic (seeded) draw failing this indicates a real sampler
+# defect, not noise.
+CHI2_CRIT = {2: 13.816, 3: 16.266, 5: 20.515}
+
+
+def chi_squared(counts, probabilities):
+    expected = probabilities * counts.sum()
+    return float(((counts - expected) ** 2 / expected).sum())
+
+
+class TestSamplingGoodnessOfFit:
+    N = 4000
+
+    def draw(self, spn, num_features=2, seed=29):
+        compiler = make_compiler("cpu-off", batch_size=1024)
+        evidence = np.full((self.N, num_features), np.nan)
+        return compiler.sample(spn, evidence, seed=seed)
+
+    def test_categorical_marginal(self):
+        spn = make_discrete_spn()
+        samples = self.draw(spn)
+        # Mixture marginal of variable 0:
+        # 0.6*[0.2, 0.5, 0.3] + 0.4*[0.7, 0.2, 0.1]
+        probabilities = np.array([0.4, 0.38, 0.22])
+        counts = np.bincount(samples[:, 0].astype(int), minlength=3)
+        assert chi_squared(counts, probabilities) < CHI2_CRIT[2]
+
+    def test_histogram_marginal(self):
+        spn = make_discrete_spn()
+        samples = self.draw(spn)
+        values = samples[:, 1]
+        assert (values >= 0.0).all() and (values < 4.0).all()
+        # Unit-width buckets: bucket masses are the mixed densities.
+        probabilities = 0.6 * np.array([0.1, 0.2, 0.3, 0.4]) + 0.4 * np.array(
+            [0.4, 0.3, 0.2, 0.1]
+        )
+        counts = np.bincount(np.floor(values).astype(int), minlength=4)
+        assert chi_squared(counts, probabilities) < CHI2_CRIT[3]
+
+    def test_gaussian_marginal(self):
+        spn = make_gaussian_spn()
+        samples = self.draw(spn)[:, 0]  # 0.3*N(0,1) + 0.7*N(2,1)
+
+        def mixture_cdf(x):
+            return 0.3 * 0.5 * (1 + math.erf(x / math.sqrt(2))) + 0.7 * 0.5 * (
+                1 + math.erf((x - 2.0) / math.sqrt(2))
+            )
+
+        edges = [-1.0, 0.0, 1.0, 2.0, 3.0]
+        cdf = [0.0] + [mixture_cdf(edge) for edge in edges] + [1.0]
+        probabilities = np.diff(cdf)
+        counts = np.histogram(samples, bins=[-np.inf] + edges + [np.inf])[0]
+        assert chi_squared(counts, probabilities) < CHI2_CRIT[5]
+
+
+class TestShardingBitIdentity:
+    """PR-7 worker sharding must not change any modality's results."""
+
+    @pytest.fixture
+    def compilers(self):
+        # batch_size=8 over 32 rows => 4 chunks for the sharded kernel.
+        return (
+            CPUCompiler(batch_size=8, num_threads=1),
+            CPUCompiler(batch_size=8, num_threads=4),
+        )
+
+    def test_mpe(self, compilers, rng):
+        spn = make_gaussian_spn()
+        evidence = evidence_for("gaussian", rng, n=32)
+        single, sharded = compilers
+        c1, s1 = single.mpe(spn, evidence)
+        c4, s4 = sharded.mpe(spn, evidence)
+        assert np.array_equal(s1, s4)
+        assert np.array_equal(c1, c4, equal_nan=True)
+
+    def test_conditional(self, compilers, rng):
+        spn = make_gaussian_spn()
+        data = rng.normal(size=(32, 2))
+        data[rng.random(32) < 0.5, 0] = np.nan
+        single, sharded = compilers
+        assert np.array_equal(
+            single.conditional_log_likelihood(spn, data, (1,)),
+            sharded.conditional_log_likelihood(spn, data, (1,)),
+            equal_nan=True,
+        )
+
+    def test_sample(self, compilers, rng):
+        spn = make_gaussian_spn()
+        evidence = evidence_for("gaussian", rng, n=32)
+        single, sharded = compilers
+        assert np.array_equal(
+            single.sample(spn, evidence, seed=5),
+            sharded.sample(spn, evidence, seed=5),
+        )
+
+    def test_expectation(self, compilers, rng):
+        spn = make_gaussian_spn()
+        evidence = evidence_for("gaussian", rng, n=32)
+        single, sharded = compilers
+        assert np.array_equal(
+            single.expectation(spn, evidence, moment=2),
+            sharded.expectation(spn, evidence, moment=2),
+            equal_nan=True,
+        )
+
+
+class TestNaNRouting:
+    """Pin the evidence-NaN vs query-NaN composition rules."""
+
+    def test_joint_nan_reroutes_to_marginal_kernel(self, rng):
+        spn = make_gaussian_spn()
+        compiler = CPUCompiler(batch_size=16, support_marginal=False)
+        clean = rng.normal(size=(8, 2))
+        holes = clean.copy()
+        holes[::2, 0] = np.nan
+        np.testing.assert_allclose(
+            compiler.log_likelihood(spn, clean),
+            inference.log_likelihood(spn, clean),
+            rtol=1e-4,
+            atol=1e-6,
+        )
+        np.testing.assert_allclose(
+            compiler.log_likelihood(spn, holes),
+            inference.log_likelihood(spn, holes),
+            rtol=1e-4,
+            atol=1e-6,
+        )
+        # Two distinct kernels: the cheap fully-observed one and the
+        # marginal-supporting variant the NaN batch rerouted to.
+        assert len(compiler._cache) == 2
+
+    def test_conditional_evidence_nan_marginalizes_without_reroute(self, rng):
+        spn = make_gaussian_spn()
+        compiler = CPUCompiler(batch_size=16)
+        data = rng.normal(size=(8, 2))
+        data[::2, 0] = np.nan  # evidence feature only
+        observed = compiler.conditional_log_likelihood(spn, data, (1,))
+        reference = inference.conditional_log_likelihood(spn, data, (1,))
+        np.testing.assert_allclose(
+            observed, reference, rtol=2e-4, atol=2e-6, equal_nan=True
+        )
+        # Exactly one compiled kernel: no silent reroute to a marginal
+        # *joint* kernel (which would compute the wrong query).
+        assert len(compiler._cache) == 1
+        ((_, fingerprint),) = compiler._cache.keys()
+        assert fingerprint[2] == "conditional"
+
+    def test_conditional_query_nan_is_structured_error(self, rng):
+        spn = make_gaussian_spn()
+        compiler = CPUCompiler(batch_size=16)
+        data = rng.normal(size=(8, 2))
+        data[3, 1] = np.nan  # NaN on the query variable
+        with pytest.raises(ExecutionError) as excinfo:
+            compiler.conditional_log_likelihood(spn, data, (1,))
+        diagnostic = excinfo.value.diagnostic
+        assert diagnostic.code == ErrorCode.QUERY_NAN
+        assert diagnostic.detail["first_bad_sample"] == 3
+        assert diagnostic.detail["query_variables"] == [1]
+
+    def test_query_nan_not_swallowed_by_degradation(self, rng):
+        # fallback="interpret" degrades compiler defects, never caller
+        # errors: the NaN query variable must still raise, not silently
+        # fall back to a rung that would reject it anyway.
+        spn = make_gaussian_spn()
+        compiler = CPUCompiler(batch_size=16, fallback="interpret")
+        data = rng.normal(size=(8, 2))
+        data[0, 0] = np.nan
+        with pytest.raises(ExecutionError) as excinfo:
+            compiler.conditional_log_likelihood(spn, data, (0,))
+        assert excinfo.value.diagnostic.code == ErrorCode.QUERY_NAN
+
+    def test_other_modalities_keep_nan_semantics(self, rng):
+        # MPE/sample/expectation consume NaN intrinsically: no
+        # support_marginal flip, one kernel per modality.
+        spn = make_gaussian_spn()
+        compiler = CPUCompiler(batch_size=16)
+        evidence = rng.normal(size=(8, 2))
+        evidence[::2, 1] = np.nan
+        compiler.mpe(spn, evidence)
+        compiler.sample(spn, evidence, seed=0)
+        compiler.expectation(spn, evidence)
+        kinds = sorted(fingerprint[2] for _, fingerprint in compiler._cache)
+        assert kinds == ["expectation", "mpe", "sample"]
+        for _, fingerprint in compiler._cache:
+            # astuple field 2 is support_marginal: stays False for all.
+            assert fingerprint[3][2] is False

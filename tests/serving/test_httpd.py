@@ -104,3 +104,78 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(f"{base}/healthz")
         assert excinfo.value.code == 503
+
+
+class TestQueryModalities:
+    def test_predict_mpe(self, endpoint, rng):
+        base, _ = endpoint
+        inputs = rng.normal(size=(3, 2))
+        inputs[0, 0] = float("nan")
+        payload = {
+            "inputs": [[None if np.isnan(v) else v for v in row] for row in inputs],
+            "query": "mpe",
+            "timeout_ms": 5000,
+        }
+        status, body = _post(f"{base}/v1/models/m:predict", payload)
+        assert status == 200
+        assert body["query"] == "mpe"
+        outputs = np.asarray(body["outputs"], dtype=np.float64)
+        # Rows: [score; completions.T] — the NaN hole was completed.
+        assert outputs.shape == (3, 3)
+        assert np.isfinite(outputs[1, 0])
+
+    def test_predict_conditional(self, endpoint, rng):
+        from repro.spn import inference
+
+        base, _ = endpoint
+        inputs = rng.normal(size=(3, 2))
+        status, body = _post(
+            f"{base}/v1/models/m:predict",
+            {
+                "inputs": inputs.tolist(),
+                "query": "conditional",
+                "query_variables": [1],
+                "timeout_ms": 5000,
+            },
+        )
+        assert status == 200
+        assert body["query"] == "conditional"
+        reference = inference.conditional_log_likelihood(
+            make_gaussian_spn(), inputs, (1,)
+        )
+        np.testing.assert_allclose(body["outputs"], reference, atol=1e-5, rtol=2e-4)
+
+    def test_predict_sample_seeded(self, endpoint):
+        base, _ = endpoint
+        payload = {
+            "inputs": [[None, None]] * 2,
+            "query": "sample",
+            "seed": 9,
+            "timeout_ms": 5000,
+        }
+        _, first = _post(f"{base}/v1/models/m:predict", payload)
+        _, second = _post(f"{base}/v1/models/m:predict", payload)
+        assert first["outputs"] == second["outputs"]
+
+    def test_query_nan_is_400(self, endpoint):
+        base, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                f"{base}/v1/models/m:predict",
+                {
+                    "inputs": [[0.0, None]],
+                    "query": "conditional",
+                    "query_variables": [1],
+                    "timeout_ms": 5000,
+                },
+            )
+        assert excinfo.value.code == 400
+
+    def test_unknown_query_kind_is_400(self, endpoint):
+        base, _ = endpoint
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                f"{base}/v1/models/m:predict",
+                {"inputs": [[0.0, 0.0]], "query": "bogus"},
+            )
+        assert excinfo.value.code == 400

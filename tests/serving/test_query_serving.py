@@ -1,0 +1,299 @@
+"""Query modalities through the serving layer.
+
+Mixed-modality traffic must batch correctly (the batcher partitions by
+query kind, so a joint result can never come from an MPE kernel), keep
+the zero-lost accounting identity, and preserve each modality's
+semantics end to end: seeded sampling stays per-request deterministic,
+conditional query-variable NaNs are caller errors that neither charge
+the circuit breaker nor degrade, and the interpreter rung serves every
+modality when the compiled kernel faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import ExecutionError
+from repro.serving import InferenceServer, ServerConfig, canonical_query_args
+from repro.serving.admission import CircuitBreaker
+from repro.serving.batcher import Request
+from repro.spn import inference
+from repro.spn.mpe import mpe as reference_mpe
+
+from ..conftest import make_gaussian_spn
+
+
+@pytest.fixture
+def server():
+    server = InferenceServer(
+        config=ServerConfig(max_batch=64, max_wait_us=2000, queue_capacity=256)
+    )
+    server.publish("m", make_gaussian_spn(), batch_size=16)
+    yield server
+    server.close()
+
+
+def rows_with_holes(rng, n=4):
+    rows = rng.normal(size=(n, 2))
+    rows[0, 0] = np.nan
+    return rows
+
+
+class TestCanonicalQueryArgs:
+    def test_per_kind(self):
+        assert canonical_query_args("joint") == ()
+        assert canonical_query_args("mpe") == ()
+        assert canonical_query_args("sample") == ()
+        assert canonical_query_args("conditional", [1, 0, 1]) == (0, 1)
+        assert canonical_query_args("expectation", moment=2) == (2,)
+
+    def test_batch_key_partitions_by_modality(self):
+        joint = Request(model="m", rows=np.zeros((1, 2)), deadline=None)
+        mpe = Request(
+            model="m", rows=np.zeros((1, 2)), deadline=None, query="mpe"
+        )
+        conditional_a = Request(
+            model="m",
+            rows=np.zeros((1, 2)),
+            deadline=None,
+            query="conditional",
+            query_args=(0,),
+        )
+        conditional_b = Request(
+            model="m",
+            rows=np.zeros((1, 2)),
+            deadline=None,
+            query="conditional",
+            query_args=(1,),
+        )
+        keys = {
+            joint.batch_key,
+            mpe.batch_key,
+            conditional_a.batch_key,
+            conditional_b.batch_key,
+        }
+        assert len(keys) == 4
+
+    def test_sample_requests_never_coalesce(self):
+        # Same seed, same shape: the key still differs per request, so
+        # one request's samples never depend on co-batched traffic.
+        first = Request(
+            model="m", rows=np.zeros((1, 2)), deadline=None, query="sample", seed=7
+        )
+        second = Request(
+            model="m", rows=np.zeros((1, 2)), deadline=None, query="sample", seed=7
+        )
+        assert first.batch_key != second.batch_key
+
+
+class TestMixedModalityTraffic:
+    def test_concurrent_mix_resolves_correctly(self, server, rng):
+        spn = make_gaussian_spn()
+        joint_rows = rng.normal(size=(3, 2))
+        mpe_rows = rows_with_holes(rng)
+        cond_rows = rng.normal(size=(3, 2))
+        cond_rows[:, 0] = np.nan  # evidence NaN (query variable is 1)
+        exp_rows = rows_with_holes(rng)
+        sample_rows = rows_with_holes(rng)
+
+        # Submit everything before resolving anything: the batcher sees
+        # genuinely mixed traffic and must partition it per modality.
+        futures = {
+            "joint": server.submit("m", joint_rows, timeout_s=10.0),
+            "mpe": server.submit("m", mpe_rows, timeout_s=10.0, query="mpe"),
+            "conditional": server.submit(
+                "m",
+                cond_rows,
+                timeout_s=10.0,
+                query="conditional",
+                query_variables=(1,),
+            ),
+            "expectation": server.submit(
+                "m", exp_rows, timeout_s=10.0, query="expectation", moment=2
+            ),
+            "sample": server.submit(
+                "m", sample_rows, timeout_s=10.0, query="sample", seed=13
+            ),
+        }
+        results = {kind: future.result(timeout=10.0) for kind, future in futures.items()}
+        for kind, result in results.items():
+            assert result.query == kind
+            assert result.degraded is False
+
+        np.testing.assert_allclose(
+            results["joint"].values,
+            inference.log_likelihood(spn, joint_rows),
+            rtol=1e-4,
+            atol=1e-6,
+        )
+        ref_completions, ref_scores = reference_mpe(spn, mpe_rows)
+        np.testing.assert_allclose(
+            results["mpe"].values[0], ref_scores, rtol=1e-4, atol=1e-6
+        )
+        assert np.array_equal(results["mpe"].values[1:].T, ref_completions)
+        np.testing.assert_allclose(
+            results["conditional"].values,
+            inference.conditional_log_likelihood(spn, cond_rows, (1,)),
+            rtol=2e-4,
+            atol=2e-6,
+        )
+        np.testing.assert_allclose(
+            results["expectation"].values,
+            inference.expectation(spn, exp_rows, moment=2).T,
+            rtol=1e-4,
+            atol=1e-6,
+            equal_nan=True,
+        )
+        samples = results["sample"].values
+        observed = ~np.isnan(sample_rows)
+        assert np.array_equal(samples.T[observed], sample_rows[observed])
+
+        # The zero-lost accounting identity holds for mixed traffic.
+        assert server.stats.lost() == 0
+        assert server.stats.outcome("ok") == len(futures)
+
+    def test_seeded_sampling_deterministic_under_load(self, server, rng):
+        evidence = np.full((4, 2), np.nan)
+        futures = [
+            server.submit("m", evidence, timeout_s=10.0, query="sample", seed=21)
+            for _ in range(6)
+        ]
+        values = [future.result(timeout=10.0).values for future in futures]
+        for other in values[1:]:
+            assert np.array_equal(values[0], other)
+        # A different seed produces different draws.
+        different = server.infer("m", evidence, timeout_s=10.0, query="sample", seed=22)
+        assert not np.array_equal(values[0], different)
+        assert server.stats.lost() == 0
+
+    def test_conditional_variables_partition_separately(self, server, rng):
+        spn = make_gaussian_spn()
+        rows = rng.normal(size=(3, 2))
+        futures = [
+            server.submit(
+                "m", rows, timeout_s=10.0, query="conditional", query_variables=vs
+            )
+            for vs in ((0,), (1,))
+        ]
+        for future, variables in zip(futures, ((0,), (1,))):
+            np.testing.assert_allclose(
+                future.result(timeout=10.0).values,
+                inference.conditional_log_likelihood(spn, rows, variables),
+                rtol=2e-4,
+                atol=2e-6,
+            )
+        assert server.stats.lost() == 0
+
+
+class TestCallerErrors:
+    def test_query_nan_fails_request_without_charging_breaker(self, server, rng):
+        rows = rng.normal(size=(2, 2))
+        rows[0, 1] = np.nan  # NaN on the query variable
+        future = server.submit(
+            "m", rows, timeout_s=10.0, query="conditional", query_variables=(1,)
+        )
+        with pytest.raises(ExecutionError, match="query"):
+            future.result(timeout=10.0)
+        state = server._models["m"]
+        assert state.breaker.state == CircuitBreaker.CLOSED
+        # Subsequent traffic is still served by the compiled kernel.
+        result = server.submit("m", rng.normal(size=(2, 2)), timeout_s=10.0).result(
+            timeout=10.0
+        )
+        assert result.degraded is False
+        assert server.stats.lost() == 0
+
+    def test_invalid_query_rejected_at_submit(self, server, rng):
+        rows = rng.normal(size=(2, 2))
+        with pytest.raises(ValueError, match="unknown query kind"):
+            server.submit("m", rows, query="bogus")
+        with pytest.raises(ValueError, match="query variable"):
+            server.submit("m", rows, query="conditional")
+        with pytest.raises(ValueError, match="moment"):
+            server.submit("m", rows, query="expectation", moment=7)
+        with pytest.raises(ValueError, match="out of range"):
+            server.submit("m", rows, query="conditional", query_variables=(5,))
+        # Synchronous rejections never enter the queue: nothing lost,
+        # nothing stuck in flight.
+        assert server.stats.lost() == 0
+        assert server.stats.in_flight == 0
+
+
+class TestDegradedRung:
+    def test_interpreter_serves_every_modality(self, server, rng):
+        spn = make_gaussian_spn()
+        version = server.registry.current("m")
+
+        def boom(query=None):
+            raise RuntimeError("injected kernel fault")
+
+        version.executable_for = boom
+        try:
+            rows = rows_with_holes(rng)
+            mpe_result = server.submit(
+                "m", rows, timeout_s=10.0, query="mpe"
+            ).result(timeout=10.0)
+            assert mpe_result.degraded is True
+            ref_completions, ref_scores = reference_mpe(spn, rows)
+            np.testing.assert_allclose(
+                mpe_result.values[0], ref_scores, rtol=1e-6, atol=1e-9
+            )
+            assert np.array_equal(mpe_result.values[1:].T, ref_completions)
+
+            cond_rows = rng.normal(size=(3, 2))
+            cond_result = server.submit(
+                "m",
+                cond_rows,
+                timeout_s=10.0,
+                query="conditional",
+                query_variables=(0,),
+            ).result(timeout=10.0)
+            assert cond_result.degraded is True
+            np.testing.assert_allclose(
+                cond_result.values,
+                inference.conditional_log_likelihood(spn, cond_rows, (0,)),
+                rtol=1e-6,
+                atol=1e-9,
+            )
+
+            sample_result = server.submit(
+                "m", np.full((3, 2), np.nan), timeout_s=10.0, query="sample", seed=4
+            ).result(timeout=10.0)
+            assert sample_result.degraded is True
+            assert np.isfinite(sample_result.values).all()
+
+            exp_rows = rows_with_holes(rng)
+            exp_result = server.submit(
+                "m", exp_rows, timeout_s=10.0, query="expectation"
+            ).result(timeout=10.0)
+            assert exp_result.degraded is True
+            np.testing.assert_allclose(
+                exp_result.values,
+                inference.expectation(spn, exp_rows, moment=1).T,
+                rtol=1e-6,
+                atol=1e-9,
+                equal_nan=True,
+            )
+        finally:
+            del version.executable_for  # restore the class method
+        assert server.stats.lost() == 0
+
+
+class TestRegistryQuerySurface:
+    def test_lazy_compilation_per_kind(self, server, rng):
+        version = server.registry.current("m")
+        assert version.describe()["compiled_queries"] == ["joint"]
+        server.infer("m", rows_with_holes(rng), timeout_s=10.0, query="mpe")
+        assert "mpe" in version.describe()["compiled_queries"]
+
+    def test_joint_nan_reroutes_to_marginal_kernel(self, server, rng):
+        spn = make_gaussian_spn()
+        rows = rows_with_holes(rng)
+        result = server.submit("m", rows, timeout_s=10.0).result(timeout=10.0)
+        np.testing.assert_allclose(
+            result.values,
+            inference.log_likelihood(spn, rows),
+            rtol=1e-4,
+            atol=1e-6,
+        )
+        assert result.degraded is False
+        assert server.stats.lost() == 0

@@ -22,6 +22,16 @@ described in the paper:
 - **Refinement**: the *Simple Moves* heuristic — single-node moves
   between neighbouring partitions that reduce cut cost while preserving
   acyclicity and balance.
+- **Spine extraction**: the combining arithmetic nearest the root (the
+  weighted-sum chain joining otherwise-independent subtrees) is grown
+  into a users-closed "spine" and pinned to the final partition. With
+  the spine out of the way, the remaining ops are pure subtree content,
+  and partition boundaries are snapped to *clean cuts* — positions where
+  no SSA value is live across the boundary — so independent subtrees
+  land in separate partitions with no cross imports. The resulting
+  partition dependence graph is wide rather than a chain, which is what
+  lets the `parallelize-partitions` pass prove partitions independent
+  and run them concurrently (ROADMAP item 5 stretch goal).
 
 After assignment the kernel is rewritten: one ``lo_spn.task`` per
 partition, with cross-partition values communicated through intermediate
@@ -31,6 +41,7 @@ the consumers).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -85,10 +96,11 @@ class GraphPartitioner:
 
     def run(self) -> Dict[int, int]:
         order = self._child_first_ordering()
+        self._compute_spine(order)
         self._initial_partitioning(order)
-        self._apply_pins()
         self.stats.initial_cut_cost = self._total_cut_cost()
         self._refine()
+        self._merge_exportless()
         self.stats.final_cut_cost = self._total_cut_cost()
         self.stats.num_partitions = self.num_partitions
         self.stats.partition_sizes = list(self.sizes)
@@ -130,38 +142,200 @@ class GraphPartitioner:
             order.extend(remaining)
         return order
 
+    # -- spine extraction -------------------------------------------------------
+
+    def _compute_spine(self, order: List[Operation]) -> None:
+        """Grow the pinned head producers into a users-closed spine.
+
+        Starting from the pinned root producers, ops whose every in-DAG
+        user is already in the spine are absorbed, largest approximate
+        operand-closure first — so the weighted-sum chain near the root
+        (whose closures span the whole graph) is absorbed before any
+        subtree content. Growth stops at one balanced partition's worth
+        of ops. The spine is users-closed, so pinning it to the final
+        partition keeps every edge pointing forward.
+        """
+        total = len(self.ops)
+        estimated = max(1, -(-total // self.options.max_partition_size))
+        if estimated <= 1 or not self.pinned_last:
+            return
+        budget = -(-total // estimated)
+        if len(self.pinned_last) >= budget:
+            return
+        op_set = {id(op): op for op in self.ops}
+        closure: Dict[int, int] = {}
+        for op in order:  # child-first: producers are sized before users
+            closure[id(op)] = 1 + sum(
+                closure.get(id(o.defining_op), 0)
+                for o in op.operands
+                if o.defining_op is not None and id(o.defining_op) in op_set
+            )
+        users: Dict[int, List[Operation]] = {
+            id(op): [
+                use.owner
+                for res in op.results
+                for use in res.uses
+                if id(use.owner) in op_set
+            ]
+            for op in self.ops
+        }
+        spine: Set[int] = set(self.pinned_last)
+        heap: List[Tuple[int, int, int]] = []
+        tie = 0
+
+        def consider(op: Operation) -> None:
+            nonlocal tie
+            if id(op) in spine:
+                return
+            consumers = users[id(op)]
+            if consumers and all(id(u) in spine for u in consumers):
+                heapq.heappush(heap, (-closure[id(op)], tie, id(op)))
+                tie += 1
+
+        for op in self.ops:
+            if id(op) in spine:
+                for operand in op.operands:
+                    producer = operand.defining_op
+                    if producer is not None and id(producer) in op_set:
+                        consider(producer)
+        while heap and len(spine) < budget:
+            _, _, op_id = heapq.heappop(heap)
+            if op_id in spine:
+                continue
+            if any(id(u) not in spine for u in users[op_id]):
+                continue  # stale entry: a user left the frontier
+            spine.add(op_id)
+            for operand in op_set[op_id].operands:
+                producer = operand.defining_op
+                if producer is not None and id(producer) in op_set:
+                    consider(producer)
+        self.pinned_last = spine
+
     # -- initial partitioning ------------------------------------------------------
 
     def _initial_partitioning(self, order: List[Operation]) -> None:
-        total = len(order)
-        max_size = self.options.max_partition_size
-        self.num_partitions = max(1, -(-total // max_size))
-        target = -(-total // self.num_partitions)
-        self.capacity = max(
-            1, int(target * (1.0 + self.options.balance_slack))
-        )
-        self.sizes = [0] * self.num_partitions
-        partition = 0
         for position, op in enumerate(order):
-            if self.sizes[partition] >= target and partition < self.num_partitions - 1:
-                partition += 1
             self.position[id(op)] = position
-            self.assignment[id(op)] = partition
-            self.sizes[partition] += 1
+        if len(self.ops) <= self.options.max_partition_size:
+            self.num_partitions = 1
+            self.sizes = [len(self.ops)]
+            self.capacity = max(
+                1, int(len(self.ops) * (1.0 + self.options.balance_slack))
+            )
+            for op in self.ops:
+                self.assignment[id(op)] = 0
+            return
+        spine = self.pinned_last
+        rest = [op for op in order if id(op) not in spine]
+        total = len(rest)
+        max_size = self.options.max_partition_size
+        num_rest = max(1, -(-total // max_size)) if total else 0
+        target = -(-total // num_rest) if num_rest else 1
+        self.capacity = max(
+            1,
+            int(target * (1.0 + self.options.balance_slack)),
+            len(spine),
+        )
+        clean = self._clean_cuts(rest)
+        bounds: List[Tuple[int, int]] = []
+        start = 0
+        while start < total:
+            if total - start <= self.capacity:
+                end = total
+            else:
+                # Snap to the latest clean cut that still fills at least
+                # half the target; fall back to a plain balanced cut.
+                end = None
+                hi = min(start + self.capacity, total) - 1
+                lo = start + max(1, -(-target // 2)) - 1
+                for cut in range(hi, lo - 1, -1):
+                    if clean[cut]:
+                        end = cut + 1
+                        break
+                if end is None:
+                    end = start + target
+            bounds.append((start, end))
+            start = end
+        self.num_partitions = len(bounds) + (1 if spine else 0)
+        self.sizes = []
+        for partition, (lo, hi) in enumerate(bounds):
+            for index in range(lo, hi):
+                self.assignment[id(rest[index])] = partition
+            self.sizes.append(hi - lo)
+        if spine:
+            last = len(bounds)
+            for op in self.ops:
+                if id(op) in spine:
+                    self.assignment[id(op)] = last
+            self.sizes.append(len(spine))
 
-    def _apply_pins(self) -> None:
-        """Move pinned ops (head producers) into the final partition.
+    def _merge_exportless(self) -> None:
+        """Fold partitions that would emit no task into their successor.
 
-        Heads have no users inside the op set, so the move keeps all
-        edges pointing forward; the final partition may exceed the
-        balance capacity by the number of heads, which is negligible.
+        A partition whose every non-rematerializable value is consumed
+        inside the partition itself (e.g. a slice of constants, or dead
+        ops) has nothing to export, so the kernel rewrite would skip it
+        and the emitted task count would diverge from
+        ``stats.num_partitions``. Merging forward is always legal: such
+        a partition has no outgoing edges, and incoming edges keep
+        pointing forward.
         """
-        last = self.num_partitions - 1
+        if self.num_partitions <= 1:
+            return
+        exporting = [False] * self.num_partitions
+        exporting[self.num_partitions - 1] = True  # holds the pinned heads
         for op in self.ops:
-            if id(op) in self.pinned_last and self.assignment[id(op)] != last:
-                self.sizes[self.assignment[id(op)]] -= 1
-                self.assignment[id(op)] = last
-                self.sizes[last] += 1
+            if _rematerializable(op):
+                continue
+            part = self.assignment[id(op)]
+            if exporting[part]:
+                continue
+            for res in op.results:
+                if any(
+                    self.assignment.get(id(use.owner)) not in (None, part)
+                    for use in res.uses
+                ):
+                    exporting[part] = True
+                    break
+        if all(exporting):
+            return
+        successor: Dict[int, int] = {}
+        new_index = sum(exporting)
+        for part in range(self.num_partitions - 1, -1, -1):
+            if exporting[part]:
+                new_index -= 1
+                current = new_index
+            successor[part] = current
+        for op in self.ops:
+            self.assignment[id(op)] = successor[self.assignment[id(op)]]
+        self.num_partitions = sum(exporting)
+        self.sizes = [0] * self.num_partitions
+        for op in self.ops:
+            self.sizes[self.assignment[id(op)]] += 1
+        self.capacity = max(self.capacity, max(self.sizes))
+
+    @staticmethod
+    def _clean_cuts(rest: List[Operation]) -> List[bool]:
+        """``clean[i]`` — no SSA value is live across the cut after
+        ``rest[i]`` (values consumed only by the spine do not count)."""
+        total = len(rest)
+        positions = {id(op): i for i, op in enumerate(rest)}
+        crossing = [0] * (total + 1)
+        for consumer_pos, op in enumerate(rest):
+            for operand in op.operands:
+                producer = operand.defining_op
+                if producer is None:
+                    continue
+                producer_pos = positions.get(id(producer))
+                if producer_pos is not None and producer_pos < consumer_pos:
+                    crossing[producer_pos] += 1
+                    crossing[consumer_pos] -= 1
+        live = 0
+        clean = [False] * total
+        for i in range(total):
+            live += crossing[i]
+            clean[i] = live == 0
+        return clean
 
     # -- cost model ---------------------------------------------------------------
 

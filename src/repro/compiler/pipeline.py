@@ -116,6 +116,14 @@ class CompilerOptions:
     use_shuffle: bool = True
     superword_factor: int = 128
     num_threads: int = 1
+    #: Analysis-gated partition-level task parallelism (CPU): run the
+    #: ``parallelize-partitions`` pass, which proves partitions of the
+    #: task graph disjoint via the memory-access summaries and attaches
+    #: a wave schedule; ``CPUExecutable`` then executes each wave's
+    #: tasks concurrently on its worker pool. Off by default — the pass
+    #: only ever fires where disjointness is proven, and results stay
+    #: bit-identical to serial execution.
+    partition_parallel: bool = False
     # Target-independent knobs.
     max_partition_size: Optional[int] = None
     use_log_space: bool = True
@@ -192,6 +200,10 @@ class CompilerOptions:
             raise OptionsError("num_threads must be >= 1")
         if self.streams < 1:
             raise OptionsError("streams must be >= 1")
+        if self.partition_parallel and self.target != "cpu":
+            raise OptionsError(
+                "partition_parallel is only supported on the cpu target"
+            )
         if self.query not in QUERY_KINDS:
             raise OptionsError(
                 f"unknown query kind '{self.query}' "
@@ -224,6 +236,7 @@ class CompilerOptions:
             self.use_shuffle,
             self.superword_factor,
             self.num_threads,
+            self.partition_parallel,
             self.max_partition_size,
             self.use_log_space,
             self.gpu_block_size,

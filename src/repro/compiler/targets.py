@@ -200,7 +200,12 @@ class CPUTarget(Target):
     def target_leg(
         self, options: "CompilerOptions", query: JointProbability
     ) -> List[str]:
-        items = [
+        items = []
+        if options.partition_parallel:
+            # Opt-in: prove task disjointness and attach the wave
+            # schedule before the tasks are lowered away.
+            items.append("parallelize-partitions")
+        items.append(
             pass_spec(
                 "cpu-lowering",
                 _explicit(
@@ -214,7 +219,7 @@ class CPUTarget(Target):
                     CPULoweringPass.defaults,
                 ),
             )
-        ]
+        )
         items.extend(cleanup_passes(options.opt_level, licm=self.spec.uses_licm))
         return items
 
@@ -241,6 +246,7 @@ class CPUTarget(Target):
             info.kernel_name,
             self._signature(info, query),
             num_threads=options.num_threads,
+            parallel_plan=info.parallel_plan if options.partition_parallel else None,
         )
 
 

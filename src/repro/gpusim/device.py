@@ -31,9 +31,53 @@ shapes, never absolute times.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
+
+try:  # NumPy 2 moved byte_bounds out of the top-level namespace.
+    from numpy.lib.array_utils import byte_bounds as _byte_bounds
+except ImportError:  # pragma: no cover - NumPy 1.x
+    _byte_bounds = np.byte_bounds
+
+#: One contiguous byte range in an address space: ``(space, lo, hi)``
+#: with ``hi`` exclusive. Spaces are ``"host"`` (process addresses) or
+#: ``"device:<buffer_id>"`` (offsets within one simulated allocation).
+MemorySpan = Tuple[str, int, int]
+
+#: Row-decomposition cap for non-contiguous host views; beyond this the
+#: conservative envelope is used (may over-approximate, never under-).
+_MAX_SPAN_ROWS = 128
+
+
+def host_spans(array: np.ndarray) -> Tuple[MemorySpan, ...]:
+    """Byte ranges a host-side transfer endpoint actually touches.
+
+    Contiguous arrays are one span. A non-contiguous 2-D view (e.g. the
+    ``output[:, start:end]`` column slice each pipeline chunk writes)
+    is decomposed per row: the rows of adjacent chunks interleave in
+    memory, so their *envelopes* overlap even though the chunks are
+    disjoint — per-row spans keep clean pipelined runs hazard-free.
+    """
+    array = np.asarray(array)
+    if array.size == 0:
+        return ()
+    if array.ndim <= 1 or array.flags["C_CONTIGUOUS"]:
+        lo, hi = _byte_bounds(array)
+        return (("host", lo, hi),)
+    if array.ndim == 2 and array.shape[0] <= _MAX_SPAN_ROWS:
+        spans = []
+        for row in array:
+            lo, hi = _byte_bounds(row)
+            spans.append(("host", lo, hi))
+        return tuple(spans)
+    lo, hi = _byte_bounds(array)
+    return (("host", lo, hi),)
+
+
+def device_span(buffer: "DeviceBuffer") -> Tuple[MemorySpan, ...]:
+    """The full extent of a simulated device allocation."""
+    return ((f"device:{buffer.buffer_id}", 0, buffer.nbytes),)
 
 
 @dataclass(frozen=True)
@@ -116,10 +160,13 @@ class DeviceBuffer:
     mix-ups: host code can only touch device data through ``gpu.memcpy``.
     """
 
-    __slots__ = ("data",)
+    __slots__ = ("data", "buffer_id")
 
-    def __init__(self, data: np.ndarray):
+    def __init__(self, data: np.ndarray, buffer_id: Optional[int] = None):
         self.data = data
+        #: Unique id within one simulator (fresh per ``gpu.alloc``), the
+        #: identity the stream-hazard verifier keys device footprints on.
+        self.buffer_id = id(self) if buffer_id is None else buffer_id
 
     @property
     def nbytes(self) -> int:
@@ -146,6 +193,9 @@ class TransferRecord:
     #: (drives the overlapped-makespan schedule below).
     stream: int = 0
     seq: int = -1
+    #: Byte ranges read/written, for the stream-hazard verifier.
+    reads: Tuple[MemorySpan, ...] = ()
+    writes: Tuple[MemorySpan, ...] = ()
 
     @property
     def engine(self) -> str:
@@ -174,6 +224,12 @@ class LaunchRecord:
     retries: int = 0
     stream: int = 0
     seq: int = -1
+    #: Byte ranges read/written. The simulator does not know per-buffer
+    #: kernel roles, so it records every device-buffer argument as both
+    #: read and written — sound, and precise enough because each
+    #: pipeline chunk launches on freshly allocated buffers.
+    reads: Tuple[MemorySpan, ...] = ()
+    writes: Tuple[MemorySpan, ...] = ()
 
     engine = "compute"
 

@@ -32,6 +32,8 @@ from .device import (
     OutOfDeviceMemory,
     TransferRecord,
     WaitRecord,
+    device_span,
+    host_spans,
 )
 
 
@@ -100,6 +102,7 @@ class GPUSimulator:
         self.current_stream: Stream = self._streams[0]
         self._seq = 0
         self._next_event_id = 0
+        self._next_buffer_id = 0
 
     # -- module loading -------------------------------------------------------
 
@@ -171,7 +174,8 @@ class GPUSimulator:
     # -- driver API (called from generated host code) ---------------------------
 
     def alloc(self, shape: Tuple[int, ...], dtype) -> DeviceBuffer:
-        buffer = DeviceBuffer(np.empty(shape, dtype=dtype))
+        buffer = DeviceBuffer(np.empty(shape, dtype=dtype), self._next_buffer_id)
+        self._next_buffer_id += 1
         self.allocated_bytes += buffer.nbytes
         if self.allocated_bytes > self.spec.device_memory_bytes:
             raise OutOfDeviceMemory(
@@ -191,16 +195,19 @@ class GPUSimulator:
                 raise TypeError("h2d memcpy requires host source and device target")
             dst.data[...] = src
             num_bytes = dst.nbytes
+            reads, writes = host_spans(np.asarray(src)), device_span(dst)
         elif direction == "d2h":
             if isinstance(dst, DeviceBuffer) or not isinstance(src, DeviceBuffer):
                 raise TypeError("d2h memcpy requires device source and host target")
             dst[...] = src.data
             num_bytes = src.nbytes
+            reads, writes = device_span(src), host_spans(dst)
         elif direction == "d2d":
             if not (isinstance(dst, DeviceBuffer) and isinstance(src, DeviceBuffer)):
                 raise TypeError("d2d memcpy requires two device buffers")
             dst.data[...] = src.data
             num_bytes = src.nbytes
+            reads, writes = device_span(src), device_span(dst)
         else:
             raise ValueError(f"unknown memcpy direction '{direction}'")
         self.profile.transfers.append(
@@ -210,6 +217,8 @@ class GPUSimulator:
                 self.spec.transfer_seconds(num_bytes),
                 stream=self.current_stream.stream_id,
                 seq=self._next_seq(),
+                reads=reads,
+                writes=writes,
             )
         )
 
@@ -248,6 +257,12 @@ class GPUSimulator:
         simulated = self.spec.launch_seconds(
             grid_size, block_size, measured, self.registers_per_thread[kernel]
         )
+        touched = tuple(
+            span
+            for arg in args
+            if isinstance(arg, DeviceBuffer)
+            for span in device_span(arg)
+        )
         self.profile.launches.append(
             LaunchRecord(
                 kernel,
@@ -258,6 +273,8 @@ class GPUSimulator:
                 retries=retries,
                 stream=self.current_stream.stream_id,
                 seq=self._next_seq(),
+                reads=touched,
+                writes=touched,
             )
         )
         self.completed_launches += 1

@@ -34,11 +34,20 @@ from .lattices import BOTTOM, LOG_F64_MAX, LOG_F64_MIN, TOP, Interval
 # Importing the modules registers their checks.
 from . import buffer_safety as _buffer_safety  # noqa: F401
 from . import linter as _linter  # noqa: F401
+from . import memory_access as _memory_access  # noqa: F401
 from . import range_analysis as _range_analysis  # noqa: F401
 
 from .buffer_safety import BufferSafetyAnalysis, check_buffer_safety
 from .linter import check_lint
+from .memory_access import (
+    MemoryAccessSummary,
+    check_concurrency,
+    check_shard_plan,
+    dependence_waves,
+    summarize_kernel,
+)
 from .range_analysis import RangeAnalysis, check_range
+from .stream_hazards import verify_profile
 
 __all__ = [
     "AnalysisContext",
@@ -46,14 +55,20 @@ __all__ = [
     "BufferSafetyAnalysis",
     "DataflowAnalysis",
     "Interval",
+    "MemoryAccessSummary",
     "RangeAnalysis",
     "BOTTOM",
     "TOP",
     "LOG_F64_MIN",
     "LOG_F64_MAX",
     "check_buffer_safety",
+    "check_concurrency",
     "check_lint",
     "check_range",
+    "check_shard_plan",
+    "dependence_waves",
+    "summarize_kernel",
+    "verify_profile",
     "register_check",
     "registered_checks",
     "run_analysis",

@@ -71,7 +71,7 @@ def _check_unused_results(op: Operation, ctx: AnalysisContext) -> None:
 
 def _check_dead_blocks(op: Operation, ctx: AnalysisContext) -> None:
     for region_index, region in enumerate(op.regions):
-        for block_index, block in enumerate(region.blocks):
+        for block_index, _block in enumerate(region.blocks):
             if block_index == 0:
                 continue
             ctx.report(

@@ -35,6 +35,7 @@ only LoSPN-level probability values are judged:
 
 from __future__ import annotations
 
+import json
 import math
 from typing import Any, Optional
 
@@ -70,9 +71,33 @@ def _gaussian_peak(stddev: float) -> float:
 
 
 class RangeAnalysis(DataflowAnalysis):
-    """Interval propagation over LoSPN probability computations."""
+    """Interval propagation over LoSPN probability computations.
+
+    Alongside intervals the analysis carries an *evidence taint*: values
+    derived from raw model inputs (``lo_spn.input_value`` evidence /
+    noise / moment columns, ``batch_read`` / ``batch_extract`` feature
+    loads) are arbitrary reals, not probabilities, so range judgments do
+    not apply to them or to arithmetic mixing them in — while untainted
+    probability arithmetic (leaf distributions and their combinations)
+    is still judged precisely. Leaf distributions *consume* evidence and
+    produce probabilities, so taint does not flow through them.
+
+    Kernels whose ``queryPlan`` declares ``kind == "expectation"``
+    compute likelihood-weighted moments in linear space by design
+    (moments have no log-space representation), so the linear-space
+    underflow/overflow judgments are suppressed for them.
+    """
 
     name = "range"
+
+    def __init__(self) -> None:
+        self._tainted: set = set()
+        self._linear_by_design = False
+
+    def initial_state(self, func: Operation, ctx: AnalysisContext) -> Any:
+        self._tainted = set()
+        self._linear_by_design = _is_linear_by_design(func)
+        return {}
 
     def join_facts(self, a: Interval, b: Interval) -> Interval:
         return a.join(b)
@@ -99,16 +124,33 @@ class RangeAnalysis(DataflowAnalysis):
                 fact = state.get(operand)
                 if fact is not None:
                     state[arg] = fact
+                if operand in self._tainted:
+                    self._tainted.add(arg)
         elif op.op_name == "lo_spn.task":
             for arg, operand in zip(args[1:], op.operands):
                 fact = state.get(operand)
                 if fact is not None:
                     state[arg] = fact
+                if operand in self._tainted:
+                    self._tainted.add(arg)
         return state
 
     # -- transfer ----------------------------------------------------------
 
+    #: Arithmetic through which evidence taint flows operand → result.
+    _TAINT_PROPAGATING = frozenset(
+        {
+            "lo_spn.mul",
+            "lo_spn.add",
+            "lo_spn.max",
+            "lo_spn.log",
+            "lo_spn.exp",
+            "lo_spn.select_max",
+        }
+    )
+
     def transfer(self, op: Operation, state: Any, ctx: AnalysisContext) -> Any:
+        self._propagate_taint(op)
         interval = self._evaluate(op, state)
         if interval is None:
             return state
@@ -116,6 +158,29 @@ class RangeAnalysis(DataflowAnalysis):
         state[result] = interval
         self._judge(op, result, interval, ctx)
         return state
+
+    def _propagate_taint(self, op: Operation) -> None:
+        if not op.results:
+            return
+        name = op.op_name
+        if name == "lo_spn.input_value":
+            # Raw evidence / noise column / moment value: not a
+            # probability, whatever type it is stored in.
+            self._tainted.update(op.results)
+            return
+        if name in ("lo_spn.batch_extract", "lo_spn.batch_read"):
+            # Feature loads from the input tensor (transposed=False) are
+            # evidence; transposed reads pull imported intermediate
+            # probability rows and stay judged.
+            if not op.attributes.get("transposed", False):
+                self._tainted.update(op.results)
+            return
+        if (
+            name in self._TAINT_PROPAGATING
+            or name.startswith("arith.")
+            or name.startswith("math.")
+        ) and any(operand in self._tainted for operand in op.operands):
+            self._tainted.update(op.results)
 
     def _evaluate(self, op: Operation, state: Any) -> Optional[Interval]:
         name = op.op_name
@@ -174,6 +239,20 @@ class RangeAnalysis(DataflowAnalysis):
             return operand.exp()
         if name in ("lo_spn.batch_extract", "lo_spn.batch_read"):
             # Evidence features: statically unknown.
+            return TOP
+        if name == "lo_spn.select_max":
+            # (scoreA, scoreB, payloadA, payloadB) — the result is the
+            # payload of whichever score wins, so its interval is the
+            # join of the payload intervals (MPE traceback argmax and
+            # sampling noise-perturbed selection both lower to this).
+            if len(op.operands) >= 4:
+                payload_a = self._fact(op.operands[2], state)
+                payload_b = self._fact(op.operands[3], state)
+                return payload_a.join(payload_b)
+            return TOP
+        if name == "lo_spn.input_value":
+            # Raw evidence / noise / moment value forwarded into the
+            # body; its range is the input domain, statically unknown.
             return TOP
         if name == "arith.constant":
             payload = op.attributes.get("value")
@@ -258,6 +337,10 @@ class RangeAnalysis(DataflowAnalysis):
     ) -> None:
         if interval.is_bottom or op.op_name not in self._PROBABILITY_OPS:
             return
+        if result in self._tainted:
+            # Evidence-derived value (noise columns, moment pairs, MPE
+            # traceback payloads): arbitrary reals, not probabilities.
+            return
         if _is_log(result):
             if interval.hi <= LOG_F64_MIN:
                 ctx.report(
@@ -275,6 +358,11 @@ class RangeAnalysis(DataflowAnalysis):
         if op.op_name == "lo_spn.constant":
             # A literal 0.0 (or tiny) weight is the model's own choice,
             # not an arithmetic hazard.
+            return
+        if self._linear_by_design:
+            # Expectation kernels weight moments by linear-space
+            # likelihoods on purpose; flagging every product would bury
+            # real findings (moments have no log-space representation).
             return
         if 0.0 < F64_MIN and interval.lo < F64_MIN and interval.hi > 0.0:
             ctx.report(
@@ -296,6 +384,17 @@ class RangeAnalysis(DataflowAnalysis):
                 op=op,
                 interval=(interval.lo, interval.hi),
             )
+
+
+def _is_linear_by_design(func: Operation) -> bool:
+    """True for kernels whose query plan mandates linear-space math."""
+    plan = func.attributes.get("queryPlan")
+    if isinstance(plan, str):
+        try:
+            plan = json.loads(plan)
+        except ValueError:
+            return False
+    return isinstance(plan, dict) and plan.get("kind") == "expectation"
 
 
 def _log(x: float) -> float:

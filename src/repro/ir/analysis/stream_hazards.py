@@ -1,0 +1,397 @@
+"""Stream-hazard verifier for the GPU pipeline's execution traces.
+
+The multi-stream executable (PR 7) issues each chunk's H2D → kernel →
+D2H sequence on a round-robin stream; correctness rests on two
+invariants the device model cannot enforce by construction: concurrent
+streams must never touch overlapping memory without an ordering edge,
+and event waits must never form a cycle. Streams and events exist only
+at runtime — the host IR carries no stream ops — so this verifier runs
+over the :class:`~repro.gpusim.device.ExecutionProfile` trace the
+simulator records (``reads``/``writes`` byte-range footprints on every
+transfer and launch).
+
+Happens-before is the standard vector-clock construction: per-stream
+program order (``seq`` within a stream) plus ``record(e) → wait(e)``
+edges. Two footprint-overlapping ops on different streams with at
+least one write and no happens-before edge in either direction are a
+hazard:
+
+- ``stream-hazard.cross-stream-raw`` / ``-war`` / ``-waw`` (ERROR) —
+  named from issue order: the earlier op's access vs the later op's.
+- ``stream-hazard.deadlock-cycle`` (ERROR) — the dependency graph
+  (program order + record→wait) has a cycle: every stream in it waits
+  on an event another one has not reached yet; a real device would
+  hang here.
+- ``stream-hazard.wait-before-record`` (WARNING) — a wait issued
+  before its event was ever recorded (outside any cycle); CUDA treats
+  this as a no-op wait, which almost always means a lost ordering edge.
+
+:func:`verify_profile` returns findings; :func:`dump_trace_reproducer`
+writes a *shrunken* JSON reproducer (only the ops involved in findings
+plus every event/wait) under ``$SPNC_ARTIFACT_DIR``, and
+:func:`profile_from_json` round-trips it for replay — re-running
+:func:`verify_profile` on a loaded reproducer reproduces the findings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...diagnostics import Severity, artifact_directory
+from ...gpusim.device import (
+    EventRecord,
+    ExecutionProfile,
+    LaunchRecord,
+    TransferRecord,
+    WaitRecord,
+)
+from .engine import AnalysisFinding
+
+
+def _spans_overlap(a, b) -> bool:
+    for space_a, lo_a, hi_a in a:
+        for space_b, lo_b, hi_b in b:
+            if space_a == space_b and lo_a < hi_b and lo_b < hi_a:
+                return True
+    return False
+
+
+def _op_label(op) -> str:
+    if isinstance(op, TransferRecord):
+        return f"memcpy[{op.direction}](stream={op.stream}, seq={op.seq})"
+    return f"launch[{op.kernel}](stream={op.stream}, seq={op.seq})"
+
+
+def verify_profile(profile: ExecutionProfile) -> List[AnalysisFinding]:
+    """Check one execution trace for cross-stream hazards and deadlocks."""
+    findings: List[AnalysisFinding] = []
+    ops = sorted(
+        list(profile.transfers)
+        + list(profile.launches)
+        + list(profile.events)
+        + list(profile.waits),
+        key=lambda op: op.seq,
+    )
+
+    cycle = _find_dependency_cycle(ops)
+    if cycle is not None:
+        findings.append(
+            AnalysisFinding(
+                check="stream-hazard.deadlock-cycle",
+                severity=Severity.ERROR,
+                message=(
+                    "event-wait cycle: "
+                    + " -> ".join(_node_label(op) for op in cycle)
+                    + " -> "
+                    + _node_label(cycle[0])
+                    + " — every stream in the cycle waits on an event "
+                    "another has not reached; a real device would hang"
+                ),
+                detail={
+                    "streams": sorted({op.stream for op in cycle}),
+                    "seqs": [op.seq for op in cycle],
+                },
+            )
+        )
+        # A cyclic trace has no consistent happens-before order; the
+        # race check below would report arbitrary extras, so stop here.
+        return findings
+
+    clocks, unmatched_waits = _vector_clocks(ops)
+    for wait in unmatched_waits:
+        findings.append(
+            AnalysisFinding(
+                check="stream-hazard.wait-before-record",
+                severity=Severity.WARNING,
+                message=(
+                    f"stream {wait.stream} waits on event {wait.event_id} "
+                    f"(seq={wait.seq}) before it is recorded — the wait "
+                    f"is a no-op and orders nothing"
+                ),
+                detail={"stream": wait.stream, "event": wait.event_id,
+                        "seq": wait.seq},
+            )
+        )
+
+    memory_ops = [
+        op for op in ops if isinstance(op, (TransferRecord, LaunchRecord))
+    ]
+    for j, later in enumerate(memory_ops):
+        for earlier in memory_ops[:j]:
+            if earlier.stream == later.stream:
+                continue
+            if _happens_before(earlier, later, clocks):
+                continue
+            kind = None
+            if _spans_overlap(earlier.writes, later.writes):
+                kind = "waw"
+            elif _spans_overlap(earlier.writes, later.reads):
+                kind = "raw"
+            elif _spans_overlap(earlier.reads, later.writes):
+                kind = "war"
+            if kind is None:
+                continue
+            names = {"raw": "read-after-write", "war": "write-after-read",
+                     "waw": "write-after-write"}
+            findings.append(
+                AnalysisFinding(
+                    check=f"stream-hazard.cross-stream-{kind}",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{names[kind]} hazard: {_op_label(later)} and "
+                        f"{_op_label(earlier)} touch overlapping memory "
+                        f"on different streams with no happens-before "
+                        f"edge between them"
+                    ),
+                    detail={
+                        "kind": kind,
+                        "ops": [_op_label(earlier), _op_label(later)],
+                        "streams": [earlier.stream, later.stream],
+                        "seqs": [earlier.seq, later.seq],
+                    },
+                )
+            )
+    return findings
+
+
+def _node_label(op) -> str:
+    if isinstance(op, EventRecord):
+        return f"record(event={op.event_id}, stream={op.stream})"
+    if isinstance(op, WaitRecord):
+        return f"wait(event={op.event_id}, stream={op.stream})"
+    return _op_label(op)
+
+
+def _find_dependency_cycle(ops) -> Optional[List[Any]]:
+    """A cycle in program-order + record→wait edges, or ``None``.
+
+    Program-order edges run between consecutive ops of each stream;
+    a ``wait`` additionally depends on the matching ``record``. All
+    program-order edges point forward in ``seq``, so any cycle must
+    use a record→wait edge pointing backward — i.e. a wait issued
+    before its event is recorded, closed into a loop by another
+    stream's symmetric wait.
+    """
+    edges: Dict[int, List[int]] = {id(op): [] for op in ops}
+    by_stream: Dict[int, Any] = {}
+    record_of: Dict[int, Any] = {}
+    for op in ops:
+        previous = by_stream.get(op.stream)
+        if previous is not None:
+            edges[id(previous)].append(id(op))
+        by_stream[op.stream] = op
+        if isinstance(op, EventRecord):
+            record_of[op.event_id] = op
+    for op in ops:
+        if isinstance(op, WaitRecord):
+            record = record_of.get(op.event_id)
+            if record is not None:
+                edges[id(record)].append(id(op))
+    by_id = {id(op): op for op in ops}
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+    parent: Dict[int, int] = {}
+    for root in edges:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(edges[root]))]
+        color[root] = GRAY
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if color[succ] == WHITE:
+                    color[succ] = GRAY
+                    parent[succ] = node
+                    stack.append((succ, iter(edges[succ])))
+                    advanced = True
+                    break
+                if color[succ] == GRAY:
+                    cycle = [node]
+                    while cycle[-1] != succ:
+                        cycle.append(parent[cycle[-1]])
+                    cycle.reverse()
+                    return [by_id[n] for n in cycle]
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def _vector_clocks(ops) -> Tuple[Dict[int, Dict[int, int]], List[WaitRecord]]:
+    """Vector clock per op (keyed by ``id(op)``) and unmatched waits.
+
+    Clock component ``clock[s]`` counts ops of stream ``s`` that
+    happened before (and including, for the op's own stream) this op.
+    """
+    stream_clock: Dict[int, Dict[int, int]] = {}
+    event_clock: Dict[int, Dict[int, int]] = {}
+    recorded: set = set()
+    clocks: Dict[int, Dict[int, int]] = {}
+    unmatched: List[WaitRecord] = []
+    for op in ops:
+        clock = dict(stream_clock.setdefault(op.stream, {op.stream: 0}))
+        if isinstance(op, WaitRecord):
+            if op.event_id in recorded:
+                for stream, count in event_clock[op.event_id].items():
+                    clock[stream] = max(clock.get(stream, 0), count)
+            else:
+                unmatched.append(op)
+        clock[op.stream] = clock.get(op.stream, 0) + 1
+        clocks[id(op)] = clock
+        stream_clock[op.stream] = clock
+        if isinstance(op, EventRecord):
+            recorded.add(op.event_id)
+            event_clock[op.event_id] = clock
+    return clocks, unmatched
+
+
+def _happens_before(earlier, later, clocks: Dict[int, Dict[int, int]]) -> bool:
+    return (
+        clocks[id(later)].get(earlier.stream, 0)
+        >= clocks[id(earlier)][earlier.stream]
+    )
+
+
+# -- trace (de)serialization and reproducer dumps ------------------------------
+
+
+def profile_to_json(profile: ExecutionProfile) -> Dict[str, Any]:
+    """JSON-serializable form of a trace (footprints included)."""
+
+    def spans(entries):
+        return [[space, lo, hi] for space, lo, hi in entries]
+
+    return {
+        "transfers": [
+            {
+                "direction": t.direction,
+                "num_bytes": t.num_bytes,
+                "seconds": t.seconds,
+                "stream": t.stream,
+                "seq": t.seq,
+                "reads": spans(t.reads),
+                "writes": spans(t.writes),
+            }
+            for t in profile.transfers
+        ],
+        "launches": [
+            {
+                "kernel": l.kernel,
+                "grid_size": l.grid_size,
+                "block_size": l.block_size,
+                "measured_compute": l.measured_compute,
+                "simulated_seconds": l.simulated_seconds,
+                "retries": l.retries,
+                "stream": l.stream,
+                "seq": l.seq,
+                "reads": spans(l.reads),
+                "writes": spans(l.writes),
+            }
+            for l in profile.launches
+        ],
+        "events": [
+            {"event_id": e.event_id, "stream": e.stream, "seq": e.seq}
+            for e in profile.events
+        ],
+        "waits": [
+            {"event_id": w.event_id, "stream": w.stream, "seq": w.seq}
+            for w in profile.waits
+        ],
+    }
+
+
+def profile_from_json(payload: Dict[str, Any]) -> ExecutionProfile:
+    """Inverse of :func:`profile_to_json` (reproducer replay)."""
+
+    def spans(entries):
+        return tuple((space, lo, hi) for space, lo, hi in entries)
+
+    profile = ExecutionProfile()
+    for t in payload.get("transfers", ()):
+        profile.transfers.append(
+            TransferRecord(
+                t["direction"], t["num_bytes"], t["seconds"],
+                stream=t["stream"], seq=t["seq"],
+                reads=spans(t.get("reads", ())),
+                writes=spans(t.get("writes", ())),
+            )
+        )
+    for l in payload.get("launches", ()):
+        profile.launches.append(
+            LaunchRecord(
+                l["kernel"], l["grid_size"], l["block_size"],
+                l["measured_compute"], l["simulated_seconds"],
+                retries=l.get("retries", 0), stream=l["stream"], seq=l["seq"],
+                reads=spans(l.get("reads", ())),
+                writes=spans(l.get("writes", ())),
+            )
+        )
+    for e in payload.get("events", ()):
+        profile.events.append(EventRecord(e["event_id"], e["stream"], e["seq"]))
+    for w in payload.get("waits", ()):
+        profile.waits.append(WaitRecord(w["event_id"], w["stream"], w["seq"]))
+    return profile
+
+
+def shrink_profile(
+    profile: ExecutionProfile, findings: List[AnalysisFinding]
+) -> ExecutionProfile:
+    """Minimal trace still exhibiting the findings: keeps only the
+    memory ops named in a finding, plus every event/wait record (the
+    ordering skeleton is cheap and deadlock cycles live there)."""
+    keep = set()
+    for finding in findings:
+        keep.update(finding.detail.get("seqs", ()))
+        if "seq" in finding.detail:
+            keep.add(finding.detail["seq"])
+    shrunk = ExecutionProfile()
+    shrunk.transfers = [t for t in profile.transfers if t.seq in keep]
+    shrunk.launches = [l for l in profile.launches if l.seq in keep]
+    shrunk.events = list(profile.events)
+    shrunk.waits = list(profile.waits)
+    return shrunk
+
+
+def dump_trace_reproducer(
+    profile: ExecutionProfile,
+    findings: List[AnalysisFinding],
+    artifact_dir: Optional[str] = None,
+) -> Optional[str]:
+    """Write ``trace.json`` (shrunken) + ``findings.json`` to the
+    artifact directory; returns the directory, or ``None`` on I/O
+    failure (a reproducer dump must never mask the original error)."""
+    if not findings:
+        return None
+    try:
+        root = artifact_directory(artifact_dir)
+        base = os.path.join(root, f"stream-hazard-{os.getpid()}")
+        path = base
+        suffix = 0
+        while os.path.exists(path):
+            suffix += 1
+            path = f"{base}-{suffix}"
+        os.makedirs(path, exist_ok=True)
+        with open(os.path.join(path, "trace.json"), "w") as handle:
+            json.dump(
+                profile_to_json(shrink_profile(profile, findings)),
+                handle, indent=2,
+            )
+        with open(os.path.join(path, "findings.json"), "w") as handle:
+            json.dump(
+                [
+                    {
+                        "check": f.check,
+                        "severity": str(f.severity),
+                        "message": f.message,
+                        "detail": f.detail,
+                    }
+                    for f in findings
+                ],
+                handle, indent=2, default=repr,
+            )
+        return path
+    except OSError:
+        return None

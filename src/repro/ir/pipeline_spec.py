@@ -273,6 +273,9 @@ def _register_builtin_passes() -> None:
     register_pass("bufferize", _compiler_stage("BufferizePass"))
     register_pass("buffer-optimization", _compiler_stage("BufferOptimizationPass"))
     register_pass("buffer-deallocation", _compiler_stage("BufferDeallocationPass"))
+    register_pass(
+        "parallelize-partitions", _compiler_stage("ParallelizePartitionsPass")
+    )
     register_pass("cpu-lowering", _compiler_stage("CPULoweringPass"))
     register_pass("gpu-lowering", _compiler_stage("GPULoweringPass"))
     register_pass("gpu-copy-elimination", _compiler_stage("GPUCopyEliminationPass"))

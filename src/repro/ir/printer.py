@@ -67,8 +67,8 @@ def _np_dtype_spelling(dtype: np.dtype) -> str:
     }
     try:
         return mapping[np.dtype(dtype)]
-    except KeyError:  # pragma: no cover - guarded by normalize_attribute
-        raise TypeError(f"unsupported dense element dtype {dtype}")
+    except KeyError as error:  # pragma: no cover - guarded by normalize_attribute
+        raise TypeError(f"unsupported dense element dtype {dtype}") from error
 
 
 class Printer:

@@ -111,6 +111,9 @@ class _FaultState:
     kernel_faults: List[_KernelFault] = field(default_factory=list)
     #: Seconds each kernel/chunk invocation sleeps (simulated slow chunk).
     chunk_delay_s: float = 0.0
+    #: Rows each shard's range is extended past its end (overlapping
+    #: shard plans; the concurrency analysis-vs-runtime agreement tests).
+    shard_overlap_rows: int = 0
 
 
 _STATE = _FaultState()
@@ -257,6 +260,33 @@ def maybe_delay_chunk() -> None:
         time.sleep(delay)
 
 
+@contextmanager
+def inject_overlapping_shards(rows: int = 1):
+    """Arm a deliberately broken shard plan: every chunk's row range is
+    extended ``rows`` past its end (clamped to the batch), so adjacent
+    shards write overlapping output rows. The statically-detectable
+    counterpart is :func:`repro.ir.analysis.check_shard_plan`; the
+    agreement tests assert the analysis flags exactly the plans this
+    fault makes the runtime race on.
+    """
+    _STATE.shard_overlap_rows += rows
+    try:
+        yield
+    finally:
+        _STATE.shard_overlap_rows -= rows
+
+
+def maybe_overlap_shards(ranges, total):
+    """Hook: corrupt a shard plan if the overlap fault is armed."""
+    rows = _STATE.shard_overlap_rows
+    if rows <= 0 or len(ranges) <= 1:
+        return ranges
+    return [
+        (start, min(total, end + rows)) if end < total else (start, end)
+        for start, end in ranges
+    ]
+
+
 # --- simulated device OOM ----------------------------------------------------------
 
 
@@ -303,4 +333,5 @@ def active_faults() -> Dict[str, object]:
         "gpu_oom": _STATE.gpu_oom,
         "kernel_faults": len(_STATE.kernel_faults),
         "chunk_delay_s": _STATE.chunk_delay_s,
+        "shard_overlap_rows": _STATE.shard_overlap_rows,
     }

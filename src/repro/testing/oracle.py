@@ -120,6 +120,20 @@ DEFAULT_CONFIGS: Tuple[ConfigSpec, ...] = (
         "cpu-o2-batch-sharded",
         options={"vectorize": "batch", "opt_level": 2, "num_threads": 4},
     ),
+    # Partition-level task parallelism (analysis-gated): independent
+    # partitions of the task graph run concurrently on the worker pool;
+    # the proof comes from the memory-access summaries and the results
+    # must stay bit-identical to serial execution.
+    ConfigSpec(
+        "cpu-o2-partition-parallel",
+        options={
+            "vectorize": "batch",
+            "opt_level": 2,
+            "max_partition_size": 6,
+            "partition_parallel": True,
+            "num_threads": 4,
+        },
+    ),
     ConfigSpec("gpu-sim", options={"target": "gpu"}),
     ConfigSpec("gpu-sim-pipelined", options={"target": "gpu", "streams": 4}),
     ConfigSpec("interpreter", kind="interpreter", row_limit=INTERPRETER_ROW_LIMIT),
@@ -774,10 +788,10 @@ class IRFuzzer:
             baseline = run_interpreter(case, INTERPRETER_ROW_LIMIT)
             module = _lowered_module(case, "off")
             # "every-pass" runs the structural verifier *and* the static
-            # analyses (buffer safety, range, lint) after each pass, so a
-            # pass that produces invalid-but-interpretable IR fails
-            # structurally instead of surfacing only as a numeric
-            # divergence downstream.
+            # analyses (buffer safety, range, lint, concurrency) after
+            # each pass, so a pass that produces invalid-but-interpretable
+            # IR fails structurally instead of surfacing only as a
+            # numeric divergence downstream.
             parse_pipeline(spec, verify_each="every-pass").run(module)
             after = _interpret_lowered(module, case, INTERPRETER_ROW_LIMIT)
         except Exception as error:

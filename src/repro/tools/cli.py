@@ -46,6 +46,11 @@ def _add_compiler_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threads", type=int, default=1,
                         help="runtime worker threads the CPU batch is "
                              "sharded across (per-worker buffer arenas)")
+    parser.add_argument("--partition-parallel", action="store_true",
+                        help="run the parallelize-partitions pass: prove "
+                             "task-graph partitions disjoint (memory-access "
+                             "analysis) and execute independent partitions "
+                             "concurrently on the worker pool (cpu only)")
     parser.add_argument("--streams", type=int, default=1,
                         help="GPU device streams for the chunked "
                              "transfer/compute software pipeline "
@@ -104,6 +109,7 @@ def _options_from(args: argparse.Namespace, collect_ir: bool = False) -> Compile
         use_shuffle=not args.no_shuffle,
         max_partition_size=args.partition,
         num_threads=args.threads,
+        partition_parallel=args.partition_parallel,
         streams=args.streams,
         use_log_space=not args.linear_space,
         pipeline=args.pipeline,
@@ -274,6 +280,8 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
          "range.linear-underflow", _broken_module_underflow),
         ("dead pure result flagged by lint",
          "lint.unused-result", _broken_module_dead_result),
+        ("unconfined shard write flagged by concurrency",
+         "concurrency.shard-overlap", _broken_module_shard_overlap),
     ):
         from ..ir.analysis import run_checks
 
@@ -342,6 +350,32 @@ def _broken_module_dead_result():
     fb.create(arith.AddFOp, lhs, rhs)  # result never used
     fb.create(func_dialect.ReturnOp, [])
     return module
+
+
+def _broken_module_shard_overlap():
+    """A task writing its output at a constant batch index: row-sharded
+    execution would race on that element across shards."""
+    from ..ir import parse_module
+
+    return parse_module(
+        '"builtin.module"() ({\n'
+        '  "lo_spn.kernel"() ({\n'
+        "  ^bb0(%0: memref<?x2xf32>, %1: memref<1x?xf32>):\n"
+        '    "lo_spn.task"(%0, %1) ({\n'
+        "    ^bb0(%2: index, %3: memref<?x2xf32>, %4: memref<1x?xf32>):\n"
+        '      %5 = "lo_spn.batch_read"(%3, %2) {staticIndex = 0 : i64, '
+        "transposed = false} : (memref<?x2xf32>, index) -> f32\n"
+        '      %6 = "arith.constant"() {value = 0 : i64} : () -> index\n'
+        '      "memref.store"(%5, %4, %6, %6) : '
+        "(f32, memref<1x?xf32>, index, index) -> ()\n"
+        '    }) {batchSize = 4 : i64} : '
+        "(memref<?x2xf32>, memref<1x?xf32>) -> ()\n"
+        '    "lo_spn.kernel_return"() : () -> ()\n'
+        '  }) {arg_types = [memref<?x2xf32>, memref<1x?xf32>], '
+        "numInputs = 1 : i64, readonlyArgs = [0 : i64], result_types = [], "
+        'sym_name = "overlapping_shards"} : () -> ()\n'
+        "}) : () -> ()\n"
+    )
 
 
 def _demo_spn():
@@ -694,6 +728,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    as_json = getattr(args, "format", "text") == "json"
+    records = []  # structured per-module reports (--format json)
+
+    def emit(message: str, err: bool = False) -> None:
+        if not as_json:
+            print(message, file=sys.stderr if err else sys.stdout)
+
     modules = []  # (label, module) pairs
     failures = 0
     for path in args.modules:
@@ -724,7 +765,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                         "canonicalize,cse,licm,dce", verify_each="every-pass"
                     ).run(module)
                 except Exception as error:
-                    print(f"{label}: FAIL {type(error).__name__}: {error}")
+                    emit(f"{label}: FAIL {type(error).__name__}: {error}")
+                    records.append({
+                        "label": label,
+                        "status": "error",
+                        "error": f"{type(error).__name__}: {error}",
+                        "findings": [],
+                    })
                     failures += 1
                     continue
                 modules.append((label, module))
@@ -733,7 +780,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         try:
             verify(module)
         except VerificationError as error:
-            print(f"{label}: error: structural verification failed: {error}")
+            emit(f"{label}: error: structural verification failed: {error}")
+            records.append({
+                "label": label,
+                "status": "error",
+                "error": f"structural verification failed: {error}",
+                "findings": [],
+            })
             failures += 1
             continue
         findings = run_checks(module, checks=checks, phase=args.phase)
@@ -741,7 +794,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f for f in findings if severity_at_least(f.severity, threshold)
         ]
         for finding in findings:
-            print(f"{label}: {finding.render()}")
+            emit(f"{label}: {finding.render()}")
+        record = {
+            "label": label,
+            "status": "findings" if gating else "clean",
+            "findings": [
+                {
+                    "check": f.check,
+                    "severity": str(f.severity),
+                    "message": f.message,
+                    "op_path": f.op_path,
+                    "detail": f.detail,
+                    "gating": severity_at_least(f.severity, threshold),
+                }
+                for f in findings
+            ],
+        }
         if gating:
             failures += 1
             diagnostic = Diagnostic(
@@ -760,13 +828,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 artifact_dir=args.artifact_dir,
             )
             if reproducer:
-                print(f"{label}: reproducer dumped to {reproducer}",
-                      file=sys.stderr)
+                emit(f"{label}: reproducer dumped to {reproducer}", err=True)
+                record["reproducer"] = reproducer
         else:
-            print(f"{label}: clean ({len(findings)} finding(s) below "
-                  f"'{args.min_severity}')")
+            emit(f"{label}: clean ({len(findings)} finding(s) below "
+                 f"'{args.min_severity}')")
+        records.append(record)
+    if as_json:
+        import json as json_module
+
+        json_module.dump(
+            {
+                "checks": checks or sorted(registered_checks()),
+                "phase": args.phase,
+                "min_severity": args.min_severity,
+                "modules": records,
+                "failures": failures,
+                "ok": failures == 0,
+            },
+            sys.stdout,
+            indent=2,
+            default=repr,
+        )
+        print()
     if failures:
-        print(f"analyze: {failures} module(s) with findings", file=sys.stderr)
+        emit(f"analyze: {failures} module(s) with findings", err=True)
         return 1
     return 0
 
@@ -927,6 +1013,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--artifact-dir", default=None,
                          help="reproducer dump directory "
                               "(default: $SPNC_ARTIFACT_DIR)")
+    analyze.add_argument("--format", choices=("text", "json"), default="text",
+                         help="output format: human-readable text (default) "
+                              "or a machine-readable JSON report on stdout "
+                              "(findings as structured records)")
     analyze.set_defaults(fn=_cmd_analyze)
 
     pipelines = sub.add_parser(

@@ -1,0 +1,12 @@
+"builtin.module"() ({
+  "lo_spn.kernel"() ({
+  ^bb0(%0: memref<?x2xf32>, %1: memref<1x?xf32>):
+    "lo_spn.task"(%0, %1) ({
+    ^bb0(%2: index, %3: memref<?x2xf32>, %4: memref<1x?xf32>):
+      %5 = "lo_spn.batch_read"(%3, %2) {staticIndex = 0 : i64, transposed = false} : (memref<?x2xf32>, index) -> f32
+      %6 = "arith.constant"() {value = 0 : i64} : () -> index
+      "memref.store"(%5, %4, %6, %6) : (f32, memref<1x?xf32>, index, index) -> ()
+    }) {batchSize = 4 : i64} : (memref<?x2xf32>, memref<1x?xf32>) -> ()
+    "lo_spn.kernel_return"() : () -> ()
+  }) {arg_types = [memref<?x2xf32>, memref<1x?xf32>], numInputs = 1 : i64, readonlyArgs = [0 : i64], result_types = [], sym_name = "overlapping_shards"} : () -> ()
+}) : () -> ()

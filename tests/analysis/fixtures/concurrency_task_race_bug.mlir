@@ -1,0 +1,30 @@
+"builtin.module"() ({
+  "lo_spn.kernel"() ({
+  ^bb0(%0: memref<?x2xf32>, %1: memref<1x?x!lo_spn.log<f32>>):
+    %2 = "memref.dim"(%0) {dim = 0 : i64} : (memref<?x2xf32>) -> index
+    %3 = "memref.alloc"(%2) : (index) -> memref<1x?x!lo_spn.log<f32>>
+    "lo_spn.task"(%0, %3) ({
+    ^bb0(%4: index, %5: memref<?x2xf32>, %6: memref<1x?x!lo_spn.log<f32>>):
+      %7 = "lo_spn.batch_read"(%5, %4) {staticIndex = 0 : i64, transposed = false} : (memref<?x2xf32>, index) -> f32
+      %8 = "lo_spn.body"(%7) ({
+      ^bb0(%9: f32):
+        %10 = "lo_spn.gaussian"(%9) {mean = 0.0 : f64, stddev = 1.0 : f64, supportMarginal = false} : (f32) -> !lo_spn.log<f32>
+        "lo_spn.yield"(%10) : (!lo_spn.log<f32>) -> ()
+      }) : (f32) -> !lo_spn.log<f32>
+      "lo_spn.batch_write"(%6, %4, %8) {transposed = true} : (memref<1x?x!lo_spn.log<f32>>, index, !lo_spn.log<f32>) -> ()
+    }) {batchSize = 4 : i64} : (memref<?x2xf32>, memref<1x?x!lo_spn.log<f32>>) -> ()
+    "lo_spn.task"(%3, %1) ({
+    ^bb0(%11: index, %12: memref<1x?x!lo_spn.log<f32>>, %13: memref<1x?x!lo_spn.log<f32>>):
+      %14 = "lo_spn.batch_read"(%12, %11) {staticIndex = 0 : i64, transposed = true} : (memref<1x?x!lo_spn.log<f32>>, index) -> !lo_spn.log<f32>
+      %15 = "lo_spn.body"(%14) ({
+      ^bb0(%16: !lo_spn.log<f32>):
+        %17 = "lo_spn.constant"() {value = -0.6931471805599453 : f64} : () -> !lo_spn.log<f32>
+        %18 = "lo_spn.mul"(%16, %17) : (!lo_spn.log<f32>, !lo_spn.log<f32>) -> !lo_spn.log<f32>
+        "lo_spn.yield"(%18) : (!lo_spn.log<f32>) -> ()
+      }) : (!lo_spn.log<f32>) -> !lo_spn.log<f32>
+      "lo_spn.batch_write"(%13, %11, %15) {transposed = true} : (memref<1x?x!lo_spn.log<f32>>, index, !lo_spn.log<f32>) -> ()
+    }) {batchSize = 4 : i64, outputAliases = [1 : i64]} : (memref<1x?x!lo_spn.log<f32>>, memref<1x?x!lo_spn.log<f32>>) -> ()
+    "memref.dealloc"(%3) : (memref<1x?x!lo_spn.log<f32>>) -> ()
+    "lo_spn.kernel_return"() : () -> ()
+  }) {arg_types = [memref<?x2xf32>, memref<1x?x!lo_spn.log<f32>>], numInputs = 1 : i64, parallelSchedule = "{\"waves\": [[0, 1]]}", readonlyArgs = [0 : i64], result_types = [], sym_name = "racy_schedule"} : () -> ()
+}) : () -> ()

@@ -16,6 +16,8 @@ SEEDED_BUGS = {
     "buffer_safety_bug.mlir": "buffer-safety.use-after-free",
     "range_underflow_bug.mlir": "range.linear-underflow",
     "lint_dead_result_bug.mlir": "lint.unused-result",
+    "concurrency_shard_overlap_bug.mlir": "concurrency.shard-overlap",
+    "concurrency_task_race_bug.mlir": "concurrency.task-race",
 }
 
 
@@ -110,6 +112,46 @@ class TestAnalyzeCommand:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "clean" in captured.out
+
+
+class TestJsonFormat:
+    def test_findings_are_machine_readable(self, capsys):
+        import json
+
+        exit_code = main(
+            [
+                "analyze",
+                str(FIXTURES / "concurrency_shard_overlap_bug.mlir"),
+                "--format",
+                "json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        assert payload["failures"] == 1
+        assert "concurrency" in payload["checks"]
+        (module,) = payload["modules"]
+        assert module["status"] == "findings"
+        (finding,) = module["findings"]
+        assert finding["check"] == "concurrency.shard-overlap"
+        assert finding["severity"] == "error"
+        assert finding["gating"] is True
+        assert "lo_spn.task" in finding["op_path"]
+        # No human-readable noise may pollute the JSON document.
+        assert captured.out.lstrip().startswith("{")
+
+    def test_clean_module_reports_ok(self, capsys, tmp_path):
+        import json
+
+        clean = tmp_path / "clean.mlir"
+        clean.write_text('"builtin.module"() ({\n}) : () -> ()\n')
+        exit_code = main(["analyze", str(clean), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["ok"] is True
+        assert payload["modules"][0]["status"] == "clean"
 
 
 class TestSelftestIntegration:

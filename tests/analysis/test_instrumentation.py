@@ -215,3 +215,88 @@ class TestInstrumentedPipelines:
         )
         checks = {f.check for f in result.analysis_findings}
         assert "range.linear-underflow" in checks
+
+
+class TestEveryPassAcrossAllConfigurations:
+    """Every golden pipeline combo and query modality runs clean.
+
+    The exhaustive acceptance sweep: all 24 registered
+    (target, opt_level, vectorize) combinations, all four non-joint
+    query modalities, and the analysis-gated partition-parallel
+    configuration compile with ``verify_each="every-pass"`` — the full
+    static-analysis suite (buffer safety, range, lint, concurrency)
+    after every pass — without a single finding.
+    """
+
+    @pytest.mark.parametrize("target", ["cpu", "gpu"])
+    @pytest.mark.parametrize("opt_level", [0, 1, 2, 3])
+    @pytest.mark.parametrize("vectorize", ["off", "lanes", "batch"])
+    def test_golden_combo_is_clean(self, target, opt_level, vectorize):
+        result = compile_spn(
+            make_gaussian_spn(),
+            JointProbability(batch_size=16),
+            CompilerOptions(
+                target=target,
+                opt_level=opt_level,
+                vectorize=vectorize,
+                verify_each="every-pass",
+            ),
+        )
+        assert result.analysis_findings == []
+
+    @pytest.mark.parametrize("kind", ["mpe", "sample", "conditional",
+                                      "expectation"])
+    def test_query_modality_is_clean(self, kind):
+        from repro.spn.query import (
+            ConditionalProbability,
+            Expectation,
+            MPEQuery,
+            SampleQuery,
+        )
+
+        query = {
+            "mpe": lambda: MPEQuery(batch_size=16),
+            "sample": lambda: SampleQuery(batch_size=16),
+            "conditional": lambda: ConditionalProbability(
+                query_variables=(0,), batch_size=16
+            ),
+            "expectation": lambda: Expectation(batch_size=16),
+        }[kind]()
+        result = compile_spn(
+            make_gaussian_spn(),
+            query,
+            CompilerOptions(
+                opt_level=3, vectorize="batch", verify_each="every-pass"
+            ),
+        )
+        assert result.analysis_findings == []
+
+    def test_partition_parallel_schedule_passes_reverification(self):
+        # The attached parallelSchedule is re-checked from scratch by
+        # the concurrency analysis after every subsequent pass.
+        from repro.spn import Gaussian, Product, Sum
+
+        wide = Sum(
+            [
+                Product([Gaussian(2 * i, 0.0, 1.0),
+                         Gaussian(2 * i + 1, 0.0, 1.0)])
+                for i in range(4)
+            ],
+            [0.25] * 4,
+        )
+        result = compile_spn(
+            wide,
+            JointProbability(batch_size=16),
+            CompilerOptions(
+                vectorize="batch",
+                max_partition_size=6,
+                partition_parallel=True,
+                num_threads=4,
+                verify_each="every-pass",
+            ),
+        )
+        try:
+            assert result.analysis_findings == []
+            assert result.executable.parallel_plan is not None
+        finally:
+            result.executable.close()

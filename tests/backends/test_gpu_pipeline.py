@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.compiler import CompilerOptions, compile_spn
+from repro.diagnostics import OptionsError
 from repro.gpusim import (
     EventRecord,
     ExecutionProfile,
@@ -207,7 +208,7 @@ class TestPipelinedExecutable:
         )
 
     def test_invalid_stream_count(self):
-        with pytest.raises(Exception):
+        with pytest.raises(OptionsError):
             CompilerOptions(target="gpu", streams=0)
 
 

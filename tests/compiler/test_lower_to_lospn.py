@@ -7,6 +7,7 @@ import pytest
 from repro.compiler.frontend import build_hispn_module
 from repro.compiler.lower_to_lospn import (
     DEPTH_F64_THRESHOLD,
+    LoweringError,
     decide_computation_type,
     graph_depth,
     lower_to_lospn,
@@ -145,5 +146,5 @@ class TestTypeDecision:
     def test_empty_module_rejected(self):
         from repro.ir import ModuleOp
 
-        with pytest.raises(Exception):
+        with pytest.raises(LoweringError):
             lower_to_lospn(ModuleOp.build())

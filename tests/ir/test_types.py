@@ -9,6 +9,7 @@ from repro.ir import (
     IntegerType,
     MemRefType,
     NoneType,
+    ParseError,
     TensorType,
     VectorType,
     f32,
@@ -130,11 +131,11 @@ class TestTypeParsing:
         assert parse_type_text(text).spelling() == text
 
     def test_unknown_type_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ParseError):
             parse_type_text("f128x")
 
     def test_unknown_dialect_type_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ParseError):
             parse_type_text("!no_such.type")
 
 

@@ -8,6 +8,7 @@ from repro.dialects.scf import ForOp, YieldOp
 from repro.ir import (
     Block,
     Builder,
+    IRError,
     ModuleOp,
     Operation,
     VerificationError,
@@ -92,7 +93,7 @@ class TestStructuralRules:
 
     def test_func_requires_return(self):
         module, fn = empty_func()
-        with pytest.raises(Exception):
+        with pytest.raises(IRError):
             verify(module)
 
     def test_func_return_type_mismatch(self):
@@ -100,7 +101,7 @@ class TestStructuralRules:
         fb = Builder.at_end(fn.body)
         c = fb.create(ConstantOp, 1.0, f32)
         fb.create(ReturnOp, [c.result])
-        with pytest.raises(Exception):
+        with pytest.raises(IRError):
             verify(module)
 
     def test_single_block_trait_enforced(self):
@@ -121,7 +122,7 @@ class TestStructuralRules:
         lb = Builder.at_end(loop.body_block)
         lb.create(YieldOp, [])  # missing the carried value
         fb.create(ReturnOp, [])
-        with pytest.raises(Exception):
+        with pytest.raises(IRError):
             verify(module)
 
     def test_per_op_hook_runs(self):

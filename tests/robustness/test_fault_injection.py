@@ -90,7 +90,7 @@ class TestKernelFaults:
         executable = compiler.compile(make_gaussian_spn()).executable
         inputs = rng.normal(size=(8, 2))
         with faults.inject_kernel_failure():
-            with pytest.raises(Exception):
+            with pytest.raises(FaultInjectionError):
                 executable.execute(inputs)
         # Disarmed: the same executable works again.
         assert np.isfinite(executable.execute(inputs)).all()

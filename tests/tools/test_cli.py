@@ -66,6 +66,21 @@ class TestCompile:
         assert "task(s)" in out
         assert "graph-partitioning" in out
 
+    def test_partition_parallel_flag(self, model_path, capsys):
+        assert main(
+            [
+                "compile",
+                model_path,
+                "--vectorize",
+                "--partition",
+                "3",
+                "--threads",
+                "2",
+                "--partition-parallel",
+            ]
+        ) == 0
+        assert "parallelize-partitions" in capsys.readouterr().out
+
 
 class TestRun:
     def test_run_writes_output(self, model_path, inputs_path, tmp_path, capsys):

@@ -77,6 +77,9 @@ from .targets import get_target, registered_targets
 STAGE_NAMES = (
     "frontend",
     "hispn-simplify",
+    "structure-cse",
+    "structure-prune",
+    "structure-compress",
     "lower-to-lospn",
     "lospn-cse",
     "graph-partitioning",
@@ -127,6 +130,20 @@ class CompilerOptions:
     # Target-independent knobs.
     max_partition_size: Optional[int] = None
     use_log_space: bool = True
+    #: Structure-level optimization suite (architecture §17): which of
+    #: the HiSPN graph rewrites run before lowering. ``None`` derives
+    #: the set from the -O ladder (-O3 enables "cse,prune"; lower levels
+    #: none); "none"/"off" disables explicitly; otherwise a comma list
+    #: drawn from {cse, prune, compress} applied in the given order.
+    #: "cse" is exact; "prune"/"compress" are lossy and honor
+    #: ``accuracy_budget``.
+    structure_opt: Optional[str] = None
+    #: Maximum acceptable absolute log-likelihood error introduced by
+    #: the lossy structure passes, split evenly among the enabled lossy
+    #: passes. 0.0 (default) restricts pruning to exactly-zero weights
+    #: (semantics-preserving) and forbids compression, which needs a
+    #: positive budget to be legal.
+    accuracy_budget: float = 0.0
     #: Query modality compiled when no explicit Query object is passed:
     #: "joint" (default), "mpe", "sample", "conditional", "expectation".
     #: Every modality flows through the same registered pass pipeline;
@@ -221,6 +238,18 @@ class CompilerOptions:
             )
         if self.moment not in (1, 2):
             raise OptionsError("moment must be 1 or 2")
+        try:
+            self.accuracy_budget = float(self.accuracy_budget)
+        except (TypeError, ValueError):
+            raise OptionsError("accuracy_budget must be a number") from None
+        if self.accuracy_budget < 0:
+            raise OptionsError("accuracy_budget must be >= 0")
+        passes = self.structure_passes()  # validates structure_opt
+        if "compress" in passes and self.accuracy_budget <= 0:
+            raise OptionsError(
+                "structure_opt='compress' requires accuracy_budget > 0 "
+                "(low-rank factorization perturbs the distribution)"
+            )
 
     def cache_fingerprint(self) -> tuple:
         """Normalized tuple of every option that affects the compiled
@@ -246,7 +275,48 @@ class CompilerOptions:
             self.query,
             self.query_variables,
             self.moment,
+            # Fingerprint the *resolved* structure suite so explicit and
+            # ladder-derived spellings of the same configuration share a
+            # cache entry (and serving versions key on the real passes).
+            self.structure_passes(),
+            self.accuracy_budget,
         )
+
+    #: Recognized structure-suite pass names, in canonical run order.
+    STRUCTURE_PASSES = ("cse", "prune", "compress")
+
+    def structure_passes(self) -> tuple:
+        """Resolved structure-suite pass names, in run order.
+
+        ``structure_opt=None`` derives from the -O ladder: -O3 enables
+        the exact + semantics-preserving pair ("cse", "prune"); lower
+        levels run nothing. Explicit specs are honored verbatim (order
+        preserved, duplicates dropped).
+        """
+        if self.structure_opt is None:
+            return ("cse", "prune") if self.opt_level >= 3 else ()
+        spec = self.structure_opt.strip()
+        if spec in ("", "none", "off"):
+            return ()
+        passes = []
+        for name in spec.split(","):
+            name = name.strip()
+            if name not in self.STRUCTURE_PASSES:
+                raise OptionsError(
+                    f"unknown structure pass '{name}' (expected a comma "
+                    f"list of {', '.join(self.STRUCTURE_PASSES)}, or "
+                    "'none')"
+                )
+            if name not in passes:
+                passes.append(name)
+        return tuple(passes)
+
+    def structure_budget_share(self) -> float:
+        """Per-pass accuracy budget: the total split across lossy passes."""
+        lossy = [p for p in self.structure_passes() if p != "cse"]
+        if not lossy:
+            return 0.0
+        return self.accuracy_budget / len(lossy)
 
     def make_query(self) -> Query:
         """The :class:`~repro.spn.query.Query` these options describe."""

@@ -41,6 +41,11 @@ from .balance import balance_chains
 from .bufferization import bufferize, insert_deallocations, remove_result_copies
 from .frontend import build_hispn_module
 from .hispn_passes import HiSPNSimplifyPass as HiSPNSimplifyStage  # noqa: F401
+from .structure import (  # noqa: F401
+    StructureCSEStage,
+    StructureCompressStage,
+    StructurePruneStage,
+)
 from .lower_to_lospn import lower_to_lospn
 from .partitioning import PartitioningOptions, PartitioningStats, partition_kernel
 

@@ -1,0 +1,60 @@
+"""Graph-level CSE: merge isomorphic sub-SPNs into shared references.
+
+Unlike the generic SSA CSE (:mod:`repro.ir.transforms.cse`), which only
+merges ops whose operand *identities* already coincide, this pass hashes
+whole sub-SPNs canonically (:class:`CanonicalIndex`) and therefore merges
+subtrees that are isomorphic but built from distinct values — e.g. the
+per-class heads of an ensemble built as independent copies of the same
+random structure. Because class ids are interned bottom-up, rewriting
+every use to the class representative collapses entire duplicate
+subtrees in one linear sweep; the orphaned duplicates are then erased
+bottom-up.
+
+Merging is *exact*: a shared reference computes the identical
+distribution, so this pass needs no accuracy budget and the differential
+oracle holds it to the reference tolerance, not a budget.
+"""
+
+from __future__ import annotations
+
+from ...dialects import hispn
+from ...ir.ops import Operation
+from ...ir.passes import Pass
+from ...ir.traits import Trait
+from .canonical import CanonicalIndex, each_graph
+
+
+def cse_graph(graph: Operation) -> int:
+    """Merge isomorphic sub-SPNs inside one graph. Returns ops removed."""
+    index = CanonicalIndex(graph)
+    block = graph.regions[0].entry_block
+    merged = 0
+    for op in list(block.ops):
+        if op.op_name not in hispn.NODE_OP_NAMES:
+            continue
+        representative = index.representative[index.class_id(op.results[0])]
+        if representative is op:
+            continue
+        op.results[0].replace_all_uses_with(representative.results[0])
+    # Erase the now-dead duplicates bottom-up (users before producers).
+    for op in reversed(list(block.ops)):
+        if (
+            op.op_name in hispn.NODE_OP_NAMES
+            and op.has_trait(Trait.PURE)
+            and not op.has_uses
+        ):
+            op.erase()
+            merged += 1
+    return merged
+
+
+def cse_module(module: Operation) -> int:
+    """Run graph CSE on every ``hi_spn.graph`` in ``module``."""
+    return sum(cse_graph(graph) for graph in each_graph(module))
+
+
+class StructureCSEStage(Pass):
+    name = "structure-cse"
+
+    def run(self, op: Operation) -> None:
+        cse_module(op)

@@ -1,0 +1,191 @@
+"""Low-rank compression of dense sum layers (Ko et al., tensor networks).
+
+RAT-SPN-style models contain *dense sum layers*: groups of sums that mix
+the same ordered child tuple with different weight rows — an N x K
+weight matrix W applied to a shared child vector. When W is (nearly)
+low-rank, the layer factors into two thinner layers,
+
+    W  ~=  A @ B,     A: N x r,   B: r x K,
+
+i.e. ``r`` *inner* sums over the K children followed by N *outer* sums
+over the r inner ones — ``r * (N + K)`` weighted edges instead of
+``N * K``. Rank ``r`` is chosen from the truncated SVD spectrum, then
+the factors are made non-negative (lowering takes ``log`` of weights,
+so negative weights are not representable) with NMF multiplicative
+updates seeded from the truncated SVD magnitudes, and normalized so
+every new sum is a distribution: B rows sum to one, A absorbs B's row
+sums and is renormalized, making each reconstructed row sum to one
+exactly.
+
+Accuracy: replacing a row's weights ``w`` by its reconstruction
+``(A @ B)`` row perturbs that sum by at most
+``|A@B - w|_1 * sup(children) / inf(sum)`` in relative terms over the
+modeled input domain, so the admissible row-wise L1 tolerance is
+derived from the :mod:`.ranges` value bounds: with per-sum
+log-perturbation allowance ``own`` (:func:`.ranges.per_sum_budget`,
+the same path-multiplicity allocation pruning uses),
+
+    tolerance = (1 - e^{-own}) * exp(lo_sum - hi_children),
+
+taking the worst row's lower bound. A row whose guaranteed value is
+zero somewhere in the domain (``lo = -inf``) admits no perturbation
+and blocks its layer. The *measured* max-abs log-likelihood error is
+additionally enforced by the differential oracle. A layer with no rank
+that fits both the budget and the edge-savings requirement
+(``r * (N + K) < N * K``) is left untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...dialects import hispn
+from ...ir.builder import Builder
+from ...ir.ops import Operation
+from ...ir.passes import Pass
+from .canonical import each_graph, graph_ops
+from .ranges import per_sum_budget, value_log_ranges
+
+_NEG_INF = float("-inf")
+
+#: Multiplicative-update iterations; convergence is fast from an SVD seed.
+_NMF_ITERATIONS = 200
+_EPS = 1e-12
+
+
+def find_dense_layers(graph: Operation) -> List[List[Operation]]:
+    """Groups of >= 2 sums over an identical ordered child tuple."""
+    layers: Dict[Tuple[int, ...], List[Operation]] = {}
+    for op in graph_ops(graph):
+        if op.op_name == hispn.SumOp.name and len(op.operands) >= 2:
+            key = tuple(id(v) for v in op.operands)
+            layers.setdefault(key, []).append(op)
+    return [ops for ops in layers.values() if len(ops) >= 2]
+
+
+def _nmf(
+    matrix: np.ndarray, rank: int, iterations: int = _NMF_ITERATIONS
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Non-negative factorization seeded from the truncated SVD."""
+    u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+    scale = np.sqrt(s[:rank])
+    a = np.abs(u[:, :rank] * scale) + _EPS
+    b = np.abs(scale[:, None] * vt[:rank, :]) + _EPS
+    for _ in range(iterations):
+        b *= (a.T @ matrix) / (a.T @ a @ b + _EPS)
+        a *= (matrix @ b.T) / (a @ (b @ b.T) + _EPS)
+    return a, b
+
+
+def _normalized_factors(
+    a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scale factors so every row of A and of B sums to one."""
+    b_mass = b.sum(axis=1)
+    b = b / b_mass[:, None]
+    a = a * b_mass[None, :]
+    a = a / a.sum(axis=1)[:, None]
+    return a, b
+
+
+def factor_layer(
+    weights: np.ndarray, tolerance: float
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Cheapest admissible factorization of a layer's weight matrix.
+
+    Returns normalized ``(A, B)`` for the smallest rank whose max
+    row-wise L1 reconstruction error is within ``tolerance`` and that
+    actually saves edges (``r * (N + K) < N * K``), or None.
+    """
+    n, k = weights.shape
+    max_rank = (n * k - 1) // (n + k)
+    for rank in range(1, min(max_rank, min(n, k) - 1) + 1):
+        a, b = _normalized_factors(*_nmf(weights, rank))
+        error = np.abs(a @ b - weights).sum(axis=1).max()
+        if error <= tolerance:
+            return a, b
+    return None
+
+
+def _rewrite_layer(
+    layer: List[Operation], a: np.ndarray, b: np.ndarray
+) -> None:
+    children = list(layer[0].operands)
+    builder = Builder.before_op(layer[0])
+    inner = [
+        builder.create(hispn.SumOp, children, [float(w) for w in row]).result
+        for row in b
+    ]
+    for op, row in zip(layer, a):
+        replacement = Builder.before_op(op).create(
+            hispn.SumOp, inner, [float(w) for w in row]
+        )
+        op.results[0].replace_all_uses_with(replacement.results[0])
+        op.erase()
+
+
+def _layer_tolerance(
+    layer: List[Operation],
+    ranges: Dict[int, Tuple[float, float]],
+    allowance: float,
+) -> float:
+    """Admissible row-wise L1 weight error for one dense layer.
+
+    Derived from the modeled-domain ranges so the layer's worst row
+    stays within the per-sum log-perturbation ``allowance``; the
+    ``2 * allowance`` deflation covers children that are themselves
+    replaced (compressed or pruned) rows, each within ``allowance`` of
+    their original value.
+    """
+    if allowance <= 0.0:
+        return 0.0
+    hi_children = max(
+        ranges.get(id(v), (_NEG_INF, math.inf))[1] for v in layer[0].operands
+    )
+    worst_row = min(
+        ranges.get(id(op.results[0]), (_NEG_INF, math.inf))[0] for op in layer
+    )
+    if hi_children == math.inf or worst_row == _NEG_INF:
+        return 0.0
+    return -math.expm1(-allowance) * math.exp(
+        worst_row - hi_children - 2.0 * allowance
+    )
+
+
+def compress_graph(graph: Operation, accuracy_budget: float) -> int:
+    """Factor every admissible dense layer. Returns layers compressed."""
+    allowance = per_sum_budget(graph, accuracy_budget)
+    ranges = value_log_ranges(graph)
+    compressed = 0
+    for layer in find_dense_layers(graph):
+        tolerance = _layer_tolerance(layer, ranges, allowance)
+        if tolerance <= 0.0:
+            continue
+        weights = np.array([op.weights for op in layer], dtype=np.float64)
+        factors = factor_layer(weights, tolerance)
+        if factors is None:
+            continue
+        _rewrite_layer(layer, *factors)
+        compressed += 1
+    return compressed
+
+
+def compress_module(module: Operation, accuracy_budget: float) -> int:
+    """Compress dense sum layers in every graph of ``module``."""
+    return sum(
+        compress_graph(graph, accuracy_budget) for graph in each_graph(module)
+    )
+
+
+class StructureCompressStage(Pass):
+    name = "structure-compress"
+
+    def __init__(self, accuracy_budget: float = 0.0):
+        super().__init__()
+        self.accuracy_budget = float(accuracy_budget)
+
+    def run(self, op: Operation) -> None:
+        compress_module(op, self.accuracy_budget)

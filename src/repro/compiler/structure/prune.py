@@ -1,0 +1,154 @@
+"""Near-zero-weight pruning with renormalization, behind an accuracy budget.
+
+Trained SPNs (EM in particular) concentrate mixture mass on few children
+and leave long tails of near-zero weights; every such edge still costs a
+multiply-add per sample after lowering. This pass drops the smallest
+weights of each ``hi_spn.sum`` and renormalizes the survivors so the sum
+stays a distribution, under an explicit *accuracy budget*: the maximum
+acceptable absolute log-likelihood error of the optimized model over the
+modeled input domain.
+
+A weight threshold alone cannot honor such a budget: a tiny-weight
+component can still be the sole component covering part of the input
+space, and dropping it sends the likelihood there to zero (log -inf).
+Each drop is therefore gated on the *value ranges* of
+:mod:`.ranges` — per-node (log_min, log_max) bounds over the modeled
+leaf domain with true support semantics. Dropping child set D from a
+sum is admissible only when
+
+    bound = sum_perturbation_bound(m, U, L) <= per-sum allowance,
+
+where ``m`` is the dropped weight mass, ``U`` the log of the dropped
+children's worst-case (weighted, supremum) contribution and ``L`` the
+log of the kept children's guaranteed (weighted, infimum) contribution.
+If every kept child can simultaneously reach zero, ``L = -inf`` and the
+bound is infinite — support can never be lost. The per-sum allowance is
+``budget / sum of root-to-sum path multiplicities``
+(:func:`.ranges.per_sum_budget`): log perturbations add across product
+children and through shared sub-DAGs, so each sum's contribution counts
+once per path and the total stays within ``budget`` at the root.
+
+With ``budget = 0`` only exactly-zero weights are dropped (``m = 0``,
+``U = -inf``, bound ``0``), which is semantics-preserving. Outside the
+modeled domain (inputs beyond GAUSSIAN_DOMAIN_SIGMAS of every mixture
+component) the log-space bound does not apply — though the *linear*
+probability error is still at most the dropped mass. The differential
+oracle enforces the budget on modeled-domain inputs.
+
+Pruning is a single sweep — each sum gives up at most its allowance
+once, and replacement sums inherit conservatively widened ranges so
+downstream decisions stay sound. Cleanup of the structures pruning
+exposes (single-operand sums/products, orphaned subtrees) is delegated
+to the greedy driver afterwards, whose dead-op elimination erases any
+subtree reachable only through a pruned edge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ...dialects import hispn
+from ...ir.builder import Builder
+from ...ir.ops import Operation
+from ...ir.passes import Pass
+from ...ir.rewrite import apply_patterns_greedily
+from ..hispn_passes import SingleOperandProduct, SingleOperandSum
+from .canonical import each_graph
+from .ranges import (
+    log_sum_exp,
+    per_sum_budget,
+    sum_perturbation_bound,
+    value_log_ranges,
+)
+
+_NEG_INF = float("-inf")
+
+
+def _prune_sum(
+    op: Operation,
+    allowance: float,
+    ranges: Dict[int, Tuple[float, float]],
+) -> bool:
+    weights = op.weights
+    n = len(weights)
+    if n <= 1:
+        return False
+    bounds = [ranges.get(id(v), (_NEG_INF, math.inf)) for v in op.operands]
+    logw = [math.log(w) if w > 0.0 else _NEG_INF for w in weights]
+    # Greedy, smallest weight first; each candidate must keep the
+    # worst-case perturbation of the whole drop set within the allowance.
+    order = sorted(range(n), key=lambda i: weights[i])
+    dropped: List[int] = []
+    dropped_mass = 0.0
+    dropped_upper: List[float] = []
+    for i in order[:-1]:  # always keep at least one child
+        trial_mass = dropped_mass + weights[i]
+        trial_upper = dropped_upper + [logw[i] + bounds[i][1]]
+        trial_set = set(dropped)
+        trial_set.add(i)
+        kept_lower = log_sum_exp(
+            logw[j] + bounds[j][0] for j in range(n) if j not in trial_set
+        )
+        bound = sum_perturbation_bound(
+            trial_mass, log_sum_exp(trial_upper), kept_lower
+        )
+        if bound > allowance:
+            break
+        dropped.append(i)
+        dropped_mass = trial_mass
+        dropped_upper = trial_upper
+    if not dropped:
+        return False
+    keep = [i for i in range(n) if i not in set(dropped)]
+    total = sum(weights[i] for i in keep)
+    operands = [op.operands[i] for i in keep]
+    new_weights = [weights[i] / total for i in keep]
+    replacement = Builder.before_op(op).create(hispn.SumOp, operands, new_weights)
+    # Downstream sums consult the replacement's range: the pruned sum
+    # stays within `allowance` of the original in log space.
+    lo, hi = ranges.get(id(op.results[0]), (_NEG_INF, math.inf))
+    ranges[id(replacement.results[0])] = (lo - allowance, hi + allowance)
+    op.results[0].replace_all_uses_with(replacement.results[0])
+    op.erase()
+    return True
+
+
+def prune_graph(graph: Operation, accuracy_budget: float) -> bool:
+    """One pruning sweep over every sum in ``graph``."""
+    allowance = per_sum_budget(graph, accuracy_budget)
+    ranges = value_log_ranges(graph)
+    sums: List[Operation] = [
+        op
+        for op in graph.regions[0].entry_block.ops
+        if op.op_name == hispn.SumOp.name
+    ]
+    changed = False
+    for op in sums:
+        changed |= _prune_sum(op, allowance, ranges)
+    if changed:
+        # Fold the sum(x; w=1) / product(x) shells pruning leaves behind
+        # and let the driver's dead-op elimination reap orphaned subtrees.
+        apply_patterns_greedily(
+            graph, [SingleOperandSum(), SingleOperandProduct()]
+        )
+    return changed
+
+
+def prune_module(module: Operation, accuracy_budget: float) -> bool:
+    """Prune every graph in ``module`` under ``accuracy_budget``."""
+    changed = False
+    for graph in each_graph(module):
+        changed |= prune_graph(graph, accuracy_budget)
+    return changed
+
+
+class StructurePruneStage(Pass):
+    name = "structure-prune"
+
+    def __init__(self, accuracy_budget: float = 0.0):
+        super().__init__()
+        self.accuracy_budget = float(accuracy_budget)
+
+    def run(self, op: Operation) -> None:
+        prune_module(op, self.accuracy_budget)

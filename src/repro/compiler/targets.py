@@ -67,11 +67,36 @@ def _explicit(values: Dict[str, object], defaults: Dict[str, object]) -> Dict[st
     }
 
 
+def structure_pipeline(options: "CompilerOptions") -> List[str]:
+    """The structure-level optimization leg (architecture §17).
+
+    Resolved from ``CompilerOptions.structure_passes()``: -O3 enables
+    CSE + pruning by default, compression is opt-in via
+    ``structure_opt``. Lossy passes split ``accuracy_budget`` evenly;
+    the per-pass share is printed only when non-zero so the default
+    pipelines stay minimal.
+    """
+    share = options.structure_budget_share()
+    items: List[str] = []
+    for name in options.structure_passes():
+        if name == "cse":
+            items.append("structure-cse")
+        else:
+            items.append(
+                pass_spec(
+                    f"structure-{name}",
+                    _explicit({"accuracy_budget": share}, {"accuracy_budget": 0.0}),
+                )
+            )
+    return items
+
+
 def common_pipeline(options: "CompilerOptions") -> List[str]:
     """The target-independent leg (Section IV-A) as pipeline elements."""
     items = ["frontend"]
     if options.opt_level >= 1:
         items.append("hispn-simplify")
+    items.extend(structure_pipeline(options))
     items.append(
         pass_spec(
             "lower-to-lospn",
@@ -323,6 +348,7 @@ __all__ = [
     "TargetSpec",
     "cleanup_passes",
     "common_pipeline",
+    "structure_pipeline",
     "get_target",
     "register_target",
     "registered_targets",

@@ -267,6 +267,9 @@ def _register_builtin_passes() -> None:
     # `spnc compile --print-pipeline` / `--pipeline` possible.
     register_pass("frontend", _compiler_stage("FrontendPass"))
     register_pass("hispn-simplify", _compiler_stage("HiSPNSimplifyStage"))
+    register_pass("structure-cse", _compiler_stage("StructureCSEStage"))
+    register_pass("structure-prune", _compiler_stage("StructurePruneStage"))
+    register_pass("structure-compress", _compiler_stage("StructureCompressStage"))
     register_pass("lower-to-lospn", _compiler_stage("LowerToLoSPNPass"))
     register_pass("partition", _compiler_stage("PartitionPass"))
     register_pass("balance-chains", _compiler_stage("BalanceChainsPass"))

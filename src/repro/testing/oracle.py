@@ -56,7 +56,16 @@ from ..ir.interpreter import Interpreter
 from ..ir.pipeline_spec import parse_pipeline
 from ..spn.inference import conditional_log_likelihood, expectation, log_likelihood
 from ..spn.mpe import max_log_likelihood, mpe
-from ..spn.nodes import Categorical, Histogram, Node, Product, Sum, leaves, num_nodes
+from ..spn.nodes import (
+    Categorical,
+    Gaussian,
+    Histogram,
+    Node,
+    Product,
+    Sum,
+    leaves,
+    num_nodes,
+)
 from ..spn.query import JointProbability, Query
 from ..spn.serialization import serialize_to_file
 from .generators import QUERY_CASE_KINDS, Case, CaseGenerator
@@ -85,6 +94,72 @@ INTERPRETER_ROW_LIMIT = 8
 #: tolerance plus an absolute floor for near-cancelled moments suffices.
 EXPECTATION_RTOL = 1e-5
 EXPECTATION_ATOL = 1e-8
+
+#: Default accuracy budget for structure-suite fuzzing (`fuzz
+#: --structure-opt`): generous enough that prune/compress actually fire
+#: on generated cases, small enough that a semantic bug (not a budgeted
+#: approximation) still stands out.
+DEFAULT_STRUCTURE_BUDGET = 0.05
+
+#: Execution configurations the structure suite is crossed with: the
+#: budget must hold on every backend, not just the one that compiled
+#: fastest (cpu off/lanes/batch and the GPU simulator).
+STRUCTURE_EXECUTION_CONFIGS: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    ("cpu-off", {"vectorize": "off", "opt_level": 1}),
+    ("cpu-lanes", {"vectorize": "lanes", "opt_level": 1}),
+    ("cpu-batch", {"vectorize": "batch", "opt_level": 2}),
+    ("gpu-sim", {"target": "gpu"}),
+)
+
+#: Structure-suite pass names the fuzzer permutes.
+STRUCTURE_PASS_NAMES = ("cse", "prune", "compress")
+
+
+def clamp_to_modeled_domain(spn: Node, inputs: np.ndarray) -> np.ndarray:
+    """Project inputs onto the modeled leaf domain of the lossy passes.
+
+    The accuracy budget of prune/compress is proven over the same
+    bounded domain the error analysis models — every Gaussian leaf
+    within :data:`~repro.compiler.error_analysis.GAUSSIAN_DOMAIN_SIGMAS`
+    standard deviations of its mean, every histogram leaf within its
+    bucket bounds (see :mod:`repro.compiler.structure.ranges`). Outside
+    it the log-space bound has no meaning (the linear-space error is
+    still bounded by the dropped mass, but log-likelihoods diverge), so
+    the oracle's budget enforcement clips each continuous feature into
+    the intersection of its leaves' domains. NaN (marginalized) entries
+    and categorical features pass through unchanged.
+    """
+    from ..compiler.error_analysis import GAUSSIAN_DOMAIN_SIGMAS
+
+    # Histogram clamp edges live on the f32 grid, one f32 ulp inside the
+    # covered range: a clamped value that lands exactly on a bucket
+    # bound after an f32 round-trip (kernels may compute in f32 even for
+    # f64 inputs) would sit in-range for the f64 reference but
+    # out-of-range for the f32 kernel — a representation edge, not a
+    # structure-pass defect. One f32 ulp inside is exactly representable
+    # in both precisions and strictly inside the range in both.
+    f32 = np.float32
+    lows: Dict[int, float] = {}
+    highs: Dict[int, float] = {}
+    for leaf in leaves(spn):
+        if isinstance(leaf, Gaussian):
+            radius = GAUSSIAN_DOMAIN_SIGMAS * leaf.stdev
+            low, high = leaf.mean - radius, leaf.mean + radius
+        elif isinstance(leaf, Histogram):
+            low = float(np.nextafter(f32(leaf.bounds[0]), f32(np.inf)))
+            high = float(np.nextafter(f32(leaf.bounds[-1]), f32(-np.inf)))
+        else:
+            continue
+        variable = leaf.variable
+        lows[variable] = max(lows.get(variable, -np.inf), low)
+        highs[variable] = min(highs.get(variable, np.inf), high)
+    if not lows:
+        return inputs
+    clamped = np.array(inputs, dtype=np.float64, copy=True)
+    for variable, low in lows.items():
+        column = clamped[:, variable]
+        clamped[:, variable] = np.clip(column, low, highs[variable])
+    return clamped.astype(inputs.dtype)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -313,6 +388,11 @@ class DifferentialOracle:
         self.dump_reproducers = dump_reproducers
         self.log = log or (lambda message: None)
         self.comparisons = 0
+        #: Extra absolute tolerance added on top of the calibrated
+        #: floating-point bounds — the structure checks set this to the
+        #: accuracy budget of the lossy passes under test, so shrinking
+        #: re-verification uses the same budgeted comparison.
+        self.extra_tolerance = 0.0
 
     # -- execution ---------------------------------------------------------------
 
@@ -344,6 +424,14 @@ class DifferentialOracle:
         ``[batch, 1 + F]`` (score column, then the completed features);
         expectation ``[batch, F]`` with elementwise tolerance.
         """
+        reference, tolerance = self._base_reference_and_tolerance(case)
+        if self.extra_tolerance:
+            tolerance = tolerance + self.extra_tolerance
+        return reference, tolerance
+
+    def _base_reference_and_tolerance(
+        self, case: Case
+    ) -> Tuple[np.ndarray, np.ndarray]:
         data = case.inputs.astype(np.float64)
         kind = case.query.kind
         if kind == "mpe":
@@ -635,6 +723,109 @@ class DifferentialOracle:
             pass
         return path
 
+    # -- structure-suite verification ---------------------------------------------
+
+    def check_structure_case(
+        self,
+        case: Case,
+        suite: str,
+        accuracy_budget: float = DEFAULT_STRUCTURE_BUDGET,
+        execution_configs: Sequence[
+            Tuple[str, Dict[str, object]]
+        ] = STRUCTURE_EXECUTION_CONFIGS,
+    ) -> List[Divergence]:
+        """Verify one structure-suite spelling against the uncompressed
+        reference, across the execution-configuration matrix.
+
+        ``suite`` is a ``structure_opt`` spec ("cse", "prune,cse",
+        "cse,prune,compress", ...). CSE is exact, so a suite without a
+        lossy pass is held to the reference tolerance; suites containing
+        prune/compress get ``accuracy_budget`` of additional absolute
+        log-likelihood slack — the budget is the *semantic contract* of
+        those passes, and this check is what enforces it. Divergences
+        shrink and dump reproducers exactly like backend divergences.
+        """
+        lossy = any(name != "cse" for name in suite.split(","))
+        budget = accuracy_budget if lossy else 0.0
+        if lossy:
+            # The budget is a modeled-domain contract: lossy drops are
+            # proven over bounded leaf domains, so enforcement projects
+            # the inputs into that domain first (CSE-only suites stay
+            # bit-exact on arbitrary inputs and are checked unclamped).
+            case = case.replace(
+                inputs=clamp_to_modeled_domain(case.spn, case.inputs)
+            )
+        divergences: List[Divergence] = []
+        previous = self.extra_tolerance
+        self.extra_tolerance = budget
+        try:
+            reference, tolerance = self._reference_and_tolerance(case)
+            for name, options in execution_configs:
+                spec = ConfigSpec(
+                    f"{name}+structure[{suite}]",
+                    options={
+                        **options,
+                        "structure_opt": suite,
+                        "accuracy_budget": budget,
+                    },
+                )
+                self.comparisons += 1
+                divergence = self._check_config(spec, case, reference, tolerance)
+                if divergence is not None:
+                    if self.shrink and divergence.error is None:
+                        divergence = self._shrink(spec, divergence)
+                    if self.dump_reproducers:
+                        divergence.reproducer_path = self._dump(spec, divergence)
+                    divergences.append(divergence)
+                    self.log(divergence.describe())
+        finally:
+            self.extra_tolerance = previous
+        return divergences
+
+    def fuzz_structure(
+        self,
+        count: int,
+        seed: int = 0,
+        start: int = 0,
+        accuracy_budget: float = DEFAULT_STRUCTURE_BUDGET,
+        max_features: int = 5,
+        max_depth: int = 3,
+        report: Optional[FuzzReport] = None,
+    ) -> FuzzReport:
+        """Permute the structure suite over generated cases.
+
+        Each case gets a random non-empty subset of the suite passes in
+        a random order (``fuzz --structure-opt``); semantic preservation
+        is asserted exactly for CSE-only spellings and within
+        ``accuracy_budget`` when prune/compress participate. Compression
+        needs a positive budget to be legal, so it only enters the draw
+        when one is available.
+        """
+        report = report or FuzzReport()
+        generator = CaseGenerator(
+            seed=seed, max_features=max_features, max_depth=max_depth
+        )
+        names = [
+            name
+            for name in STRUCTURE_PASS_NAMES
+            if name != "compress" or accuracy_budget > 0
+        ]
+        for case in generator.cases(count, start=start):
+            rng = np.random.default_rng([seed, case.index, 0x57])
+            chosen = [n for n in names if rng.random() < 0.5] or [
+                names[int(rng.integers(len(names)))]
+            ]
+            rng.shuffle(chosen)
+            suite = ",".join(chosen)
+            report.cases_run += 1
+            report.divergences.extend(
+                self.check_structure_case(
+                    case, suite, accuracy_budget=accuracy_budget
+                )
+            )
+        report.configs_compared = self.comparisons
+        return report
+
     # -- fuzzing loop ------------------------------------------------------------
 
     def fuzz(
@@ -686,6 +877,10 @@ def _replay_flags(spec: ConfigSpec) -> str:
         flags.append(f"--vectorize {options['vectorize']}")
     if options.get("max_partition_size") is not None:
         flags.append(f"--partition {options['max_partition_size']}")
+    if options.get("structure_opt"):
+        flags.append(f"--structure-opt {options['structure_opt']}")
+    if options.get("accuracy_budget"):
+        flags.append(f"--accuracy-budget {options['accuracy_budget']}")
     return " ".join(flags)
 
 

@@ -71,6 +71,19 @@ def _add_compiler_arguments(parser: argparse.ArgumentParser) -> None:
                              "query set Q of a conditional query")
     parser.add_argument("--moment", type=int, default=1, choices=(1, 2),
                         help="raw moment order for expectation queries")
+    parser.add_argument("--structure-opt", default=None, metavar="PASSES",
+                        help="structure-level optimization suite run on the "
+                             "HiSPN graph before lowering: a comma list of "
+                             "cse, prune, compress (in order), or 'none'; "
+                             "the default derives from -O (-O3 enables "
+                             "cse,prune)")
+    parser.add_argument("--accuracy-budget", type=float, default=0.0,
+                        metavar="EPS",
+                        help="max acceptable absolute log-likelihood error "
+                             "for the lossy structure passes (prune/"
+                             "compress), split evenly among them; 0 limits "
+                             "pruning to exactly-zero weights and forbids "
+                             "compression")
     parser.add_argument("--pipeline", default=None, metavar="SPEC",
                         help="override the pass pipeline with an mlir-opt "
                              "style spec (see --print-pipeline for the "
@@ -112,6 +125,8 @@ def _options_from(args: argparse.Namespace, collect_ir: bool = False) -> Compile
         partition_parallel=args.partition_parallel,
         streams=args.streams,
         use_log_space=not args.linear_space,
+        structure_opt=args.structure_opt,
+        accuracy_budget=args.accuracy_budget,
         pipeline=args.pipeline,
         verify_each=args.verify_each,
         collect_ir=collect_ir,
@@ -645,7 +660,35 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     and make the command exit non-zero.
     """
     from ..testing.generators import QUERY_CASE_KINDS
-    from ..testing.oracle import DEFAULT_CONFIGS, DifferentialOracle
+    from ..testing.oracle import (
+        DEFAULT_CONFIGS,
+        DEFAULT_STRUCTURE_BUDGET,
+        DifferentialOracle,
+    )
+
+    if getattr(args, "structure_opt", False):
+        budget = args.accuracy_budget
+        if budget is None:
+            budget = DEFAULT_STRUCTURE_BUDGET
+
+        def structure_progress(message: str) -> None:
+            print(f"  {message}", file=sys.stderr)
+
+        oracle = DifferentialOracle(
+            artifact_dir=args.artifact_dir, log=structure_progress
+        )
+        print(f"structure-fuzzing {args.count} case(s), seed {args.seed}, "
+              f"accuracy budget {budget}...")
+        report = oracle.fuzz_structure(
+            args.count,
+            seed=args.seed,
+            start=args.start,
+            accuracy_budget=budget,
+            max_features=args.max_features,
+            max_depth=args.max_depth,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
 
     query_kinds = tuple(
         kind.strip() for kind in args.queries.split(",") if kind.strip()
@@ -707,6 +750,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from ..ir import parse_module, print_op, verify
     from ..ir.analysis import registered_checks, run_checks, severity_at_least
     from ..ir.verifier import VerificationError
+
+    if getattr(args, "structure_stats", None):
+        return _analyze_structure_stats(args)
 
     checks = None
     if args.checks:
@@ -854,6 +900,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if failures:
         emit(f"analyze: {failures} module(s) with findings", err=True)
         return 1
+    return 0
+
+
+def _analyze_structure_stats(args: argparse.Namespace) -> int:
+    """The ``analyze --structure-stats`` report (architecture §17).
+
+    Profiles a model's HiSPN graph *before* any structure pass runs, so
+    the numbers estimate what the optimization suite would buy: the
+    duplicate-op count is exactly what ``structure-cse`` merges, the
+    weight histogram shows the mass ``structure-prune`` could drop at a
+    given budget, and the dense layers are ``structure-compress``
+    candidates.
+    """
+    from ..compiler.frontend import build_hispn_module
+    from ..compiler.structure import render_structure_stats, structure_stats
+
+    root, query = deserialize_from_file(args.structure_stats)
+    module = build_hispn_module(root, query)
+    stats = structure_stats(module)
+    if getattr(args, "format", "text") == "json":
+        import json as json_module
+
+        json_module.dump(
+            {"model": args.structure_stats, **stats}, sys.stdout, indent=2
+        )
+        print()
+    else:
+        print(f"model: {args.structure_stats}")
+        print(render_structure_stats(stats))
     return 0
 
 
@@ -1017,6 +1092,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output format: human-readable text (default) "
                               "or a machine-readable JSON report on stdout "
                               "(findings as structured records)")
+    analyze.add_argument("--structure-stats", default=None, metavar="MODEL",
+                         help="instead of static checks, print the "
+                              "structure-optimization opportunity profile "
+                              "of a .spnb model: op counts by kind, sharing "
+                              "factor, prunable-weight histogram and dense "
+                              "sum layers (honors --format json)")
     analyze.set_defaults(fn=_cmd_analyze)
 
     pipelines = sub.add_parser(
@@ -1098,6 +1179,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "(round-robin; default: all five kinds)")
     fuzz.add_argument("--no-ir", action="store_true",
                       help="skip IR round-trip/pass-permutation fuzzing")
+    fuzz.add_argument("--structure-opt", action="store_true",
+                      help="fuzz the structure-optimization suite instead: "
+                           "random permutations of cse/prune/compress per "
+                           "case, asserting exact semantics for CSE-only "
+                           "spellings and within-budget max-abs "
+                           "log-likelihood error otherwise, across cpu "
+                           "off/lanes/batch and gpu-sim")
+    fuzz.add_argument("--accuracy-budget", type=float, default=None,
+                      metavar="EPS",
+                      help="accuracy budget for --structure-opt fuzzing "
+                           "(default: 0.05)")
     fuzz.add_argument("--artifact-dir", default=None,
                       help="reproducer dump directory "
                            "(default: $SPNC_ARTIFACT_DIR)")

@@ -106,6 +106,9 @@ class TestStageNameFreeze:
     FROZEN = (
         "frontend",
         "hispn-simplify",
+        "structure-cse",
+        "structure-prune",
+        "structure-compress",
         "lower-to-lospn",
         "lospn-cse",
         "graph-partitioning",
